@@ -1,0 +1,324 @@
+// Benchmarks mirroring the paper's evaluation (Figures 5-11), one family
+// per figure, plus the ablation benches called out in DESIGN.md. They use a
+// laptop-scale database (10k files by default; set MCS_BENCH_FILES to
+// change) — the paper's own finding is that add and simple-query rates are
+// insensitive to database size, and the complex-query benches sweep the
+// size-sensitive dimension (attribute count) directly.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full parameter sweeps (thread counts, host counts, all three database
+// sizes) are produced by cmd/mcsbench, which prints the same series the
+// paper plots.
+package mcs_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"mcs"
+	"mcs/internal/bench"
+	"mcs/internal/core"
+)
+
+// benchFiles is the database size used by the benchmarks.
+func benchFiles() int {
+	if s := os.Getenv("MCS_BENCH_FILES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 10000
+}
+
+// benchState caches the loaded catalog across benchmarks in one process.
+var benchState struct {
+	files   int
+	catalog *core.Catalog
+}
+
+func loadedCatalog(b *testing.B) *core.Catalog {
+	b.Helper()
+	n := benchFiles()
+	if benchState.catalog == nil || benchState.files != n {
+		cat, err := bench.Load(bench.DefaultConfig(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchState.catalog = cat
+		benchState.files = n
+	}
+	return benchState.catalog
+}
+
+// soapTarget starts a web-service front end over the shared catalog.
+func soapTarget(b *testing.B) bench.SOAP {
+	b.Helper()
+	srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: loadedCatalog(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+	return bench.SOAP{Client: mcs.NewClient(ts.URL, bench.LoaderDN)}
+}
+
+var addSeq atomic.Int64
+
+func runAdd(b *testing.B, tgt bench.Target) {
+	b.Helper()
+	cfg := bench.DefaultConfig(benchFiles())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := addSeq.Add(1)
+			name := fmt.Sprintf("bench-add-%d", i)
+			if err := tgt.AddAndDelete(name, bench.FileAttributes(int(i), cfg.AttrsPerFile)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func runSimple(b *testing.B, tgt bench.Target) {
+	b.Helper()
+	n := benchFiles()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if err := tgt.SimpleQuery(bench.FileName((i * 7919) % n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func runComplex(b *testing.B, tgt bench.Target, attrs int) {
+	b.Helper()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if err := tgt.AttrQuery(bench.Predicates(attrs, i%50)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figure 5: add rate, direct vs web service. ---
+
+func BenchmarkFig5AddDirect(b *testing.B) {
+	runAdd(b, bench.Direct{Catalog: loadedCatalog(b)})
+}
+
+func BenchmarkFig5AddWebService(b *testing.B) {
+	runAdd(b, soapTarget(b))
+}
+
+// --- Figure 6: simple query rate, direct vs web service. ---
+
+func BenchmarkFig6SimpleQueryDirect(b *testing.B) {
+	runSimple(b, bench.Direct{Catalog: loadedCatalog(b)})
+}
+
+func BenchmarkFig6SimpleQueryWebService(b *testing.B) {
+	runSimple(b, soapTarget(b))
+}
+
+// --- Figure 7: complex query rate (10 attributes), direct vs web. ---
+
+func BenchmarkFig7ComplexQueryDirect(b *testing.B) {
+	runComplex(b, bench.Direct{Catalog: loadedCatalog(b)}, 10)
+}
+
+func BenchmarkFig7ComplexQueryWebService(b *testing.B) {
+	runComplex(b, soapTarget(b), 10)
+}
+
+// --- Figures 8-10: multi-host aggregate rates (4 threads per host). ---
+
+func runMultiHost(b *testing.B, op bench.Op, hosts int) {
+	b.Helper()
+	cat := loadedCatalog(b)
+	srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	targets := make([]bench.Target, hosts)
+	for h := range targets {
+		targets[h] = bench.SOAP{Client: mcs.NewClient(ts.URL, bench.LoaderDN)}
+	}
+	cfg := bench.DefaultConfig(benchFiles())
+	// Fixed-work benchmark: b.N operations split across hosts*4 workers.
+	b.ResetTimer()
+	done := make(chan error, hosts*4)
+	var seq atomic.Int64
+	for h := 0; h < hosts; h++ {
+		for t := 0; t < 4; t++ {
+			go func(h, t int, tgt bench.Target) {
+				for {
+					i := seq.Add(1)
+					if i > int64(b.N) {
+						done <- nil
+						return
+					}
+					var err error
+					switch op {
+					case bench.OpAdd:
+						err = tgt.AddAndDelete(fmt.Sprintf("mh-%d-%d-%d", h, t, i),
+							bench.FileAttributes(int(i), cfg.AttrsPerFile))
+					case bench.OpSimpleQuery:
+						err = tgt.SimpleQuery(bench.FileName(int(i*7919) % cfg.Files))
+					case bench.OpComplexQuery:
+						err = tgt.AttrQuery(bench.Predicates(10, int(i)%50))
+					}
+					if err != nil {
+						done <- err
+						return
+					}
+				}
+			}(h, t, targets[h])
+		}
+	}
+	for i := 0; i < hosts*4; i++ {
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8MultiHostAdd(b *testing.B) {
+	for _, hosts := range []int{1, 4} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			runMultiHost(b, bench.OpAdd, hosts)
+		})
+	}
+}
+
+func BenchmarkFig9MultiHostSimple(b *testing.B) {
+	for _, hosts := range []int{1, 4} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			runMultiHost(b, bench.OpSimpleQuery, hosts)
+		})
+	}
+}
+
+func BenchmarkFig10MultiHostComplex(b *testing.B) {
+	for _, hosts := range []int{1, 4} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			runMultiHost(b, bench.OpComplexQuery, hosts)
+		})
+	}
+}
+
+// --- Figure 11: complex query rate vs number of matched attributes. ---
+
+func BenchmarkFig11AttrSweep(b *testing.B) {
+	cat := loadedCatalog(b)
+	for _, attrs := range []int{1, 2, 4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("attrs=%d", attrs), func(b *testing.B) {
+			runComplex(b, bench.Direct{Catalog: cat}, attrs)
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md section 5). ---
+
+// BenchmarkAblationTransport isolates the web-service overhead the paper
+// measures: the same ping-weight operation in-process vs through SOAP/HTTP.
+func BenchmarkAblationTransport(b *testing.B) {
+	cat := loadedCatalog(b)
+	b.Run("direct", func(b *testing.B) {
+		d := bench.Direct{Catalog: cat}
+		for i := 0; i < b.N; i++ {
+			if err := d.SimpleQuery(bench.FileName(i % benchFiles())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("soap", func(b *testing.B) {
+		s := soapTarget(b)
+		for i := 0; i < b.N; i++ {
+			if err := s.SimpleQuery(bench.FileName(i % benchFiles())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationNoIndex quantifies what the paper's index set buys: the
+// same single-attribute match with and without the (attr_id, value) index
+// path (the unindexed variant matches on an inequality the planner cannot
+// route to an index prefix scan).
+func BenchmarkAblationNoIndex(b *testing.B) {
+	cat := loadedCatalog(b)
+	b.Run("indexed", func(b *testing.B) {
+		d := bench.Direct{Catalog: cat}
+		for i := 0; i < b.N; i++ {
+			if err := d.AttrQuery(bench.Predicates(1, i%50)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		// A LIKE predicate on the name forces a table scan.
+		for i := 0; i < b.N; i++ {
+			_, err := cat.RunQuery(bench.LoaderDN, core.Query{Predicates: []core.Predicate{
+				{Attribute: "name", Op: core.OpLike, Value: core.String(fmt.Sprintf("%%%07d", i%1000))},
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAuthz measures the authorization chain walk.
+func BenchmarkAblationAuthz(b *testing.B) {
+	run := func(b *testing.B, enforce bool) {
+		opts := core.Options{}
+		if enforce {
+			opts = core.Options{Owner: "/CN=root", EnforceAuthz: true}
+		}
+		cat, err := core.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		owner := bench.LoaderDN
+		if enforce {
+			owner = "/CN=root"
+		}
+		if _, err := cat.CreateCollection(owner, core.CollectionSpec{Name: "c"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cat.CreateFile(owner, core.FileSpec{Name: "f", Collection: "c"}); err != nil {
+			b.Fatal(err)
+		}
+		reader := "/CN=reader"
+		if enforce {
+			if err := cat.Grant(owner, core.ObjectCollection, "c", reader, core.PermRead); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cat.GetFile(reader, "f", 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,130 @@
+package mcs
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mcs/internal/gsi"
+)
+
+// The CAS integration tests: section 9 of the paper plans MCS+CAS; here the
+// full flow runs — community policy at the CAS, a signed assertion carried
+// by the client, and the MCS mapping the member onto the community identity
+// whose rights the catalog administrator granted.
+
+const (
+	casAdmin     = "/O=Grid/CN=Admin"
+	casCommunity = "/O=Grid/CN=ligo-community"
+	casMember    = "/O=LIGO/CN=Carol"
+)
+
+func startCASServer(t *testing.T) (*gsi.CAS, *Client, *Client) {
+	t.Helper()
+	cas, err := gsi.NewCAS("ligo.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerOptions{
+		CatalogOptions: Options{Owner: casAdmin, EnforceAuthz: true},
+		CAS: &CASIntegration{
+			Community:   "ligo.org",
+			Key:         cas.PublicKey(),
+			CommunityDN: casCommunity,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	adminC := NewClient(ts.URL, casAdmin)
+	// The administrator grants the community identity service-level create
+	// rights — the coarse grant of the CAS model.
+	if err := adminC.Grant(ObjectService, "", casCommunity, PermCreate); err != nil {
+		t.Fatal(err)
+	}
+	memberC := NewClient(ts.URL, casMember)
+	return cas, adminC, memberC
+}
+
+func TestCASAssertionEnablesCommunityRights(t *testing.T) {
+	cas, _, memberC := startCASServer(t)
+
+	// Without an assertion, the member has no rights of their own.
+	if _, err := memberC.CreateFile(FileSpec{Name: "denied.dat"}); err == nil {
+		t.Fatal("assertion-less create succeeded")
+	}
+
+	// CAS policy: Carol may create under /ligo.
+	cas.Grant(casMember, "", gsi.RightCreate, gsi.RightRead, gsi.RightWrite)
+	a, err := cas.IssueAssertion(casMember, "", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := gsi.EncodeAssertion(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memberC.UseAssertion(encoded)
+
+	f, err := memberC.CreateFile(FileSpec{Name: "allowed.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The operation ran as the community identity.
+	if f.Creator != casCommunity {
+		t.Fatalf("creator = %q, want community DN", f.Creator)
+	}
+	// Reads through the community identity work too.
+	if _, err := memberC.GetFile("allowed.dat", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASAssertionRightsAreChecked(t *testing.T) {
+	cas, _, memberC := startCASServer(t)
+	// Assertion granting only read cannot create.
+	cas.Grant(casMember, "", gsi.RightRead)
+	a, _ := cas.IssueAssertion(casMember, "", time.Hour)
+	encoded, _ := gsi.EncodeAssertion(a)
+	memberC.UseAssertion(encoded)
+	if _, err := memberC.CreateFile(FileSpec{Name: "x"}); err == nil {
+		t.Fatal("read-only assertion allowed create")
+	}
+}
+
+func TestCASAssertionSubjectMustMatch(t *testing.T) {
+	// Carol presents an assertion issued to someone else: rejected.
+	cas, _, carol := startCASServer(t)
+	cas.Grant("/O=LIGO/CN=SomeoneElse", "", gsi.RightCreate)
+	a, err := cas.IssueAssertion("/O=LIGO/CN=SomeoneElse", "", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded, err := gsi.EncodeAssertion(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol.UseAssertion(encoded)
+	if _, err := carol.CreateFile(FileSpec{Name: "stolen"}); err == nil {
+		t.Fatal("assertion with mismatched subject accepted")
+	}
+}
+
+func TestCASWrongCommunityKeyRejected(t *testing.T) {
+	_, _, memberC := startCASServer(t)
+	// An assertion signed by a different CAS must be ignored.
+	otherCAS, err := gsi.NewCAS("ligo.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCAS.Grant(casMember, "", gsi.RightCreate)
+	a, _ := otherCAS.IssueAssertion(casMember, "", time.Hour)
+	encoded, _ := gsi.EncodeAssertion(a)
+	memberC.UseAssertion(encoded)
+	if _, err := memberC.CreateFile(FileSpec{Name: "x"}); err == nil {
+		t.Fatal("foreign-CAS assertion accepted")
+	}
+}

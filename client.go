@@ -1,0 +1,515 @@
+package mcs
+
+import (
+	"time"
+
+	"mcs/internal/gsi"
+	"mcs/internal/mcswire"
+	"mcs/internal/soap"
+)
+
+// Client is a typed MCS client over SOAP/HTTP: the equivalent of the Java
+// client library generated from the service's WSDL in the original system.
+//
+// Each Client owns an independent HTTP connection pool, so one Client models
+// one "client host" in the scalability experiments. A Client is safe for
+// concurrent use by multiple goroutines ("client threads").
+type Client struct {
+	soap *soap.Client
+	// dn is the identity declared on unauthenticated deployments. When a
+	// GSI credential is attached with UseCredential, the server derives the
+	// identity from the credential instead.
+	dn string
+}
+
+// NewClient returns a client for the MCS at endpoint, acting as dn.
+func NewClient(endpoint, dn string) *Client {
+	return &Client{soap: soap.NewClient(endpoint), dn: dn}
+}
+
+// UseCredential attaches a GSI credential: every request is signed and the
+// server authenticates the chain instead of trusting the declared DN.
+func (c *Client) UseCredential(cred *gsi.Credential) {
+	c.soap.Sign = cred.Sign
+}
+
+// SetTimeout adjusts the per-call HTTP timeout (default 30s). Long-running
+// complex queries against large catalogs may need more on loaded servers.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.soap.HTTP.Timeout = d
+}
+
+// UseAssertion attaches an encoded CAS capability assertion (from
+// gsi.EncodeAssertion) to every request, enabling community-authorized
+// operations on servers configured with CASIntegration.
+func (c *Client) UseAssertion(encoded string) {
+	if c.soap.Header == nil {
+		c.soap.Header = make(map[string][]string)
+	}
+	c.soap.Header.Set(gsi.AssertionHeader, encoded)
+}
+
+// Ping checks liveness and returns the DN the server sees for this client.
+func (c *Client) Ping() (string, error) {
+	var resp mcswire.PingResponse
+	if err := c.soap.Call("ping", &mcswire.PingRequest{}, &resp); err != nil {
+		return "", err
+	}
+	return resp.DN, nil
+}
+
+// CreateFile registers a logical file with its user-defined attributes.
+func (c *Client) CreateFile(spec FileSpec) (File, error) {
+	req := &mcswire.CreateFileRequest{
+		Caller: c.dn, Name: spec.Name, Version: spec.Version, DataType: spec.DataType,
+		Collection: spec.Collection, ContainerID: spec.ContainerID,
+		ContainerService: spec.ContainerService, MasterCopy: spec.MasterCopy,
+		Audited: spec.Audited, Provenance: spec.Provenance,
+	}
+	for _, a := range spec.Attributes {
+		req.Attributes = append(req.Attributes, mcswire.FromCore(a))
+	}
+	var resp mcswire.CreateFileResponse
+	if err := c.soap.Call("createFile", req, &resp); err != nil {
+		return File{}, err
+	}
+	return mcswire.FileFromWire(resp.File), nil
+}
+
+// GetFile fetches static file metadata; version 0 selects the sole version.
+func (c *Client) GetFile(name string, version int) (File, error) {
+	var resp mcswire.GetFileResponse
+	err := c.soap.Call("getFile", &mcswire.GetFileRequest{Caller: c.dn, Name: name, Version: version}, &resp)
+	if err != nil {
+		return File{}, err
+	}
+	return mcswire.FileFromWire(resp.File), nil
+}
+
+// FileVersions lists every version of a logical name, oldest first.
+func (c *Client) FileVersions(name string) ([]File, error) {
+	var resp mcswire.FileVersionsResponse
+	if err := c.soap.Call("fileVersions", &mcswire.FileVersionsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+		return nil, err
+	}
+	files := make([]File, 0, len(resp.Files))
+	for _, wf := range resp.Files {
+		files = append(files, mcswire.FileFromWire(wf))
+	}
+	return files, nil
+}
+
+// UpdateFile modifies static file attributes (nil fields are unchanged).
+func (c *Client) UpdateFile(name string, version int, upd FileUpdate) (File, error) {
+	req := &mcswire.UpdateFileRequest{Caller: c.dn, Name: name, Version: version}
+	if upd.DataType != nil {
+		req.SetDataType, req.DataType = true, *upd.DataType
+	}
+	if upd.Valid != nil {
+		req.SetValid, req.Valid = true, *upd.Valid
+	}
+	if upd.ContainerID != nil {
+		req.SetContainerID, req.ContainerID = true, *upd.ContainerID
+	}
+	if upd.ContainerService != nil {
+		req.SetContainerService, req.ContainerService = true, *upd.ContainerService
+	}
+	if upd.MasterCopy != nil {
+		req.SetMasterCopy, req.MasterCopy = true, *upd.MasterCopy
+	}
+	var resp mcswire.UpdateFileResponse
+	if err := c.soap.Call("updateFile", req, &resp); err != nil {
+		return File{}, err
+	}
+	return mcswire.FileFromWire(resp.File), nil
+}
+
+// InvalidateFile clears a file's valid flag.
+func (c *Client) InvalidateFile(name string, version int) error {
+	valid := false
+	_, err := c.UpdateFile(name, version, FileUpdate{Valid: &valid})
+	return err
+}
+
+// DeleteFile removes a logical file and its dependent metadata.
+func (c *Client) DeleteFile(name string, version int) error {
+	var resp mcswire.DeleteFileResponse
+	return c.soap.Call("deleteFile", &mcswire.DeleteFileRequest{Caller: c.dn, Name: name, Version: version}, &resp)
+}
+
+// MoveFile reassigns a file's logical collection ("" removes it).
+func (c *Client) MoveFile(name string, version int, collection string) error {
+	var resp mcswire.MoveFileResponse
+	return c.soap.Call("moveFile", &mcswire.MoveFileRequest{
+		Caller: c.dn, Name: name, Version: version, Collection: collection,
+	}, &resp)
+}
+
+// CreateCollection registers a logical collection.
+func (c *Client) CreateCollection(spec CollectionSpec) (Collection, error) {
+	req := &mcswire.CreateCollectionRequest{
+		Caller: c.dn, Name: spec.Name, Description: spec.Description,
+		Parent: spec.Parent, Audited: spec.Audited,
+	}
+	for _, a := range spec.Attributes {
+		req.Attributes = append(req.Attributes, mcswire.FromCore(a))
+	}
+	var resp mcswire.CreateCollectionResponse
+	if err := c.soap.Call("createCollection", req, &resp); err != nil {
+		return Collection{}, err
+	}
+	return mcswire.CollectionFromWire(resp.Collection), nil
+}
+
+// GetCollection fetches collection metadata by name.
+func (c *Client) GetCollection(name string) (Collection, error) {
+	var resp mcswire.GetCollectionResponse
+	if err := c.soap.Call("getCollection", &mcswire.GetCollectionRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+		return Collection{}, err
+	}
+	return mcswire.CollectionFromWire(resp.Collection), nil
+}
+
+// CollectionContents lists a collection's direct files and sub-collections.
+func (c *Client) CollectionContents(name string) ([]File, []Collection, error) {
+	var resp mcswire.CollectionContentsResponse
+	if err := c.soap.Call("collectionContents", &mcswire.CollectionContentsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+		return nil, nil, err
+	}
+	files := make([]File, 0, len(resp.Files))
+	for _, wf := range resp.Files {
+		files = append(files, mcswire.FileFromWire(wf))
+	}
+	subs := make([]Collection, 0, len(resp.SubCollections))
+	for _, wc := range resp.SubCollections {
+		subs = append(subs, mcswire.CollectionFromWire(wc))
+	}
+	return files, subs, nil
+}
+
+// DeleteCollection removes an empty collection.
+func (c *Client) DeleteCollection(name string) error {
+	var resp mcswire.DeleteCollectionResponse
+	return c.soap.Call("deleteCollection", &mcswire.DeleteCollectionRequest{Caller: c.dn, Name: name}, &resp)
+}
+
+// ListCollections lists collection names, optionally LIKE-filtered.
+func (c *Client) ListCollections(pattern string) ([]string, error) {
+	var resp mcswire.ListCollectionsResponse
+	if err := c.soap.Call("listCollections", &mcswire.ListCollectionsRequest{Caller: c.dn, Pattern: pattern}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// CreateView registers a logical view.
+func (c *Client) CreateView(spec ViewSpec) (View, error) {
+	req := &mcswire.CreateViewRequest{
+		Caller: c.dn, Name: spec.Name, Description: spec.Description, Audited: spec.Audited,
+	}
+	for _, a := range spec.Attributes {
+		req.Attributes = append(req.Attributes, mcswire.FromCore(a))
+	}
+	var resp mcswire.CreateViewResponse
+	if err := c.soap.Call("createView", req, &resp); err != nil {
+		return View{}, err
+	}
+	return View{
+		ID: resp.View.ID, Name: resp.View.Name, Description: resp.View.Description,
+		Creator: resp.View.Creator, LastModifier: resp.View.LastModifier,
+		Created: resp.View.Created, Modified: resp.View.Modified, Audited: resp.View.Audited,
+	}, nil
+}
+
+// AddToView aggregates an object into a view.
+func (c *Client) AddToView(view string, objType ObjectType, member string) error {
+	var resp mcswire.AddToViewResponse
+	return c.soap.Call("addToView", &mcswire.AddToViewRequest{
+		Caller: c.dn, View: view, ObjectType: string(objType), Member: member,
+	}, &resp)
+}
+
+// RemoveFromView removes a member from a view.
+func (c *Client) RemoveFromView(view string, objType ObjectType, member string) error {
+	var resp mcswire.RemoveFromViewResponse
+	return c.soap.Call("removeFromView", &mcswire.RemoveFromViewRequest{
+		Caller: c.dn, View: view, ObjectType: string(objType), Member: member,
+	}, &resp)
+}
+
+// ViewContents lists a view's direct members.
+func (c *Client) ViewContents(name string) ([]ViewMember, error) {
+	var resp mcswire.ViewContentsResponse
+	if err := c.soap.Call("viewContents", &mcswire.ViewContentsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+		return nil, err
+	}
+	members := make([]ViewMember, 0, len(resp.Members))
+	for _, m := range resp.Members {
+		members = append(members, ViewMember{Type: ObjectType(m.Type), ID: m.ID, Name: m.Name})
+	}
+	return members, nil
+}
+
+// ExpandView recursively resolves a view to logical file names.
+func (c *Client) ExpandView(name string) ([]string, error) {
+	var resp mcswire.ExpandViewResponse
+	if err := c.soap.Call("expandView", &mcswire.ExpandViewRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// DeleteView removes a view (not its members).
+func (c *Client) DeleteView(name string) error {
+	var resp mcswire.DeleteViewResponse
+	return c.soap.Call("deleteView", &mcswire.DeleteViewRequest{Caller: c.dn, Name: name}, &resp)
+}
+
+// DefineAttribute declares a user-defined attribute.
+func (c *Client) DefineAttribute(name string, typ AttrType, description string) (AttributeDef, error) {
+	var resp mcswire.DefineAttributeResponse
+	err := c.soap.Call("defineAttribute", &mcswire.DefineAttributeRequest{
+		Caller: c.dn, Name: name, Type: string(typ), Description: description,
+	}, &resp)
+	if err != nil {
+		return AttributeDef{}, err
+	}
+	return AttributeDef{ID: resp.ID, Name: resp.Name, Type: AttrType(resp.Type), Description: resp.Description}, nil
+}
+
+// ListAttributeDefs lists every declared user-defined attribute.
+func (c *Client) ListAttributeDefs() ([]AttributeDef, error) {
+	var resp mcswire.ListAttributeDefsResponse
+	if err := c.soap.Call("listAttributeDefs", &mcswire.ListAttributeDefsRequest{Caller: c.dn}, &resp); err != nil {
+		return nil, err
+	}
+	defs := make([]AttributeDef, 0, len(resp.Defs))
+	for _, d := range resp.Defs {
+		defs = append(defs, AttributeDef{ID: d.ID, Name: d.Name, Type: AttrType(d.Type), Description: d.Description})
+	}
+	return defs, nil
+}
+
+// SetAttribute binds a user-defined attribute value on an object.
+func (c *Client) SetAttribute(objType ObjectType, object, attr string, v AttrValue) error {
+	var resp mcswire.SetAttributeResponse
+	return c.soap.Call("setAttribute", &mcswire.SetAttributeRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object,
+		Attribute: mcswire.FromCore(Attribute{Name: attr, Value: v}),
+	}, &resp)
+}
+
+// UnsetAttribute removes a user-defined attribute from an object.
+func (c *Client) UnsetAttribute(objType ObjectType, object, attr string) error {
+	var resp mcswire.UnsetAttributeResponse
+	return c.soap.Call("unsetAttribute", &mcswire.UnsetAttributeRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object, Attribute: attr,
+	}, &resp)
+}
+
+// GetAttributes lists an object's user-defined attributes.
+func (c *Client) GetAttributes(objType ObjectType, object string) ([]Attribute, error) {
+	var resp mcswire.GetAttributesResponse
+	err := c.soap.Call("getAttributes", &mcswire.GetAttributesRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]Attribute, 0, len(resp.Attributes))
+	for _, wa := range resp.Attributes {
+		a, err := wa.ToCore()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+	}
+	return attrs, nil
+}
+
+// RunQuery executes an attribute-based discovery query, returning matching
+// logical names.
+func (c *Client) RunQuery(q Query) ([]string, error) {
+	req := &mcswire.QueryRequest{Caller: c.dn, Target: string(q.Target), Limit: q.Limit}
+	for _, p := range q.Predicates {
+		req.Predicates = append(req.Predicates, mcswire.WirePredicate{
+			Attribute: p.Attribute, Op: string(p.Op),
+			Type: string(p.Value.Type), Value: p.Value.Render(),
+		})
+	}
+	var resp mcswire.QueryResponse
+	if err := c.soap.Call("query", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// RunQueryAttrs executes a discovery query and also returns the values of
+// the named user-defined attributes for every match.
+func (c *Client) RunQueryAttrs(q Query, returnAttrs []string) ([]QueryResult, error) {
+	req := &mcswire.QueryAttrsRequest{
+		Caller: c.dn, Target: string(q.Target), Limit: q.Limit, Return: returnAttrs,
+	}
+	for _, p := range q.Predicates {
+		req.Predicates = append(req.Predicates, mcswire.WirePredicate{
+			Attribute: p.Attribute, Op: string(p.Op),
+			Type: string(p.Value.Type), Value: p.Value.Render(),
+		})
+	}
+	var resp mcswire.QueryAttrsResponse
+	if err := c.soap.Call("queryAttrs", req, &resp); err != nil {
+		return nil, err
+	}
+	results := make([]QueryResult, 0, len(resp.Results))
+	for _, wr := range resp.Results {
+		r := QueryResult{Name: wr.Name}
+		for _, wa := range wr.Attributes {
+			a, err := wa.ToCore()
+			if err != nil {
+				return nil, err
+			}
+			r.Attributes = append(r.Attributes, a)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Annotate attaches a free-text note to an object.
+func (c *Client) Annotate(objType ObjectType, object, text string) (int64, error) {
+	var resp mcswire.AnnotateResponse
+	err := c.soap.Call("annotate", &mcswire.AnnotateRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object, Text: text,
+	}, &resp)
+	return resp.ID, err
+}
+
+// Annotations lists the notes on an object, oldest first.
+func (c *Client) Annotations(objType ObjectType, object string) ([]Annotation, error) {
+	var resp mcswire.GetAnnotationsResponse
+	err := c.soap.Call("getAnnotations", &mcswire.GetAnnotationsRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	anns := make([]Annotation, 0, len(resp.Annotations))
+	for _, a := range resp.Annotations {
+		anns = append(anns, Annotation{ID: a.ID, Text: a.Text, Creator: a.Creator, CreatedAt: a.At})
+	}
+	return anns, nil
+}
+
+// AddProvenance appends a transformation-history record to a file.
+func (c *Client) AddProvenance(name string, version int, description string) error {
+	var resp mcswire.AddProvenanceResponse
+	return c.soap.Call("addProvenance", &mcswire.AddProvenanceRequest{
+		Caller: c.dn, Name: name, Version: version, Description: description,
+	}, &resp)
+}
+
+// Provenance returns a file's transformation history, oldest first.
+func (c *Client) Provenance(name string, version int) ([]ProvenanceRecord, error) {
+	var resp mcswire.GetProvenanceResponse
+	err := c.soap.Call("getProvenance", &mcswire.GetProvenanceRequest{
+		Caller: c.dn, Name: name, Version: version,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]ProvenanceRecord, 0, len(resp.Records))
+	for _, r := range resp.Records {
+		recs = append(recs, ProvenanceRecord{ID: r.ID, Description: r.Description, At: r.At})
+	}
+	return recs, nil
+}
+
+// AuditLog returns the audit trail of an object, oldest first.
+func (c *Client) AuditLog(objType ObjectType, object string) ([]AuditRecord, error) {
+	var resp mcswire.AuditLogResponse
+	err := c.soap.Call("auditLog", &mcswire.AuditLogRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]AuditRecord, 0, len(resp.Records))
+	for _, r := range resp.Records {
+		recs = append(recs, AuditRecord{ID: r.ID, Action: r.Action, DN: r.DN, Detail: r.Detail, At: r.At})
+	}
+	return recs, nil
+}
+
+// Grant gives principal a permission on an object ("" + ObjectService for
+// service-level rights).
+func (c *Client) Grant(objType ObjectType, object, principal string, perm Permission) error {
+	var resp mcswire.GrantResponse
+	return c.soap.Call("grant", &mcswire.GrantRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object,
+		Principal: principal, Permission: string(perm),
+	}, &resp)
+}
+
+// Revoke removes a granted permission.
+func (c *Client) Revoke(objType ObjectType, object, principal string, perm Permission) error {
+	var resp mcswire.RevokeResponse
+	return c.soap.Call("revoke", &mcswire.RevokeRequest{
+		Caller: c.dn, ObjectType: string(objType), Object: object,
+		Principal: principal, Permission: string(perm),
+	}, &resp)
+}
+
+// RegisterWriter stores a metadata-writer contact record.
+func (c *Client) RegisterWriter(w Writer) error {
+	var resp mcswire.RegisterWriterResponse
+	return c.soap.Call("registerWriter", &mcswire.RegisterWriterRequest{
+		Caller: c.dn, DN: w.DN, Description: w.Description, Institution: w.Institution,
+		Address: w.Address, Phone: w.Phone, Email: w.Email,
+	}, &resp)
+}
+
+// GetWriter fetches a writer contact record by DN.
+func (c *Client) GetWriter(dn string) (Writer, error) {
+	var resp mcswire.GetWriterResponse
+	if err := c.soap.Call("getWriter", &mcswire.GetWriterRequest{Caller: c.dn, DN: dn}, &resp); err != nil {
+		return Writer{}, err
+	}
+	return Writer{DN: resp.DN, Description: resp.Description, Institution: resp.Institution,
+		Address: resp.Address, Phone: resp.Phone, Email: resp.Email}, nil
+}
+
+// RegisterExternalCatalog records a pointer to another metadata catalog.
+func (c *Client) RegisterExternalCatalog(ec ExternalCatalog) (int64, error) {
+	var resp mcswire.RegisterExternalCatalogResponse
+	err := c.soap.Call("registerExternalCatalog", &mcswire.RegisterExternalCatalogRequest{
+		Caller: c.dn, Name: ec.Name, Type: ec.Type, Host: ec.Host, IP: ec.IP, Description: ec.Description,
+	}, &resp)
+	return resp.ID, err
+}
+
+// ListExternalCatalogs lists the registered external catalogs.
+func (c *Client) ListExternalCatalogs() ([]ExternalCatalog, error) {
+	var resp mcswire.ListExternalCatalogsResponse
+	if err := c.soap.Call("listExternalCatalogs", &mcswire.ListExternalCatalogsRequest{Caller: c.dn}, &resp); err != nil {
+		return nil, err
+	}
+	list := make([]ExternalCatalog, 0, len(resp.Catalogs))
+	for _, ec := range resp.Catalogs {
+		list = append(list, ExternalCatalog{
+			ID: ec.ID, Name: ec.Name, Type: ec.Type, Host: ec.Host, IP: ec.IP, Description: ec.Description,
+		})
+	}
+	return list, nil
+}
+
+// Stats returns catalog row counts.
+func (c *Client) Stats() (Stats, error) {
+	var resp mcswire.StatsResponse
+	if err := c.soap.Call("stats", &mcswire.StatsRequest{Caller: c.dn}, &resp); err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Files: resp.Files, Collections: resp.Collections, Views: resp.Views,
+		Attributes: resp.Attributes, AttrDefs: resp.AttrDefs,
+	}, nil
+}

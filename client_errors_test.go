@@ -1,0 +1,87 @@
+package mcs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// httpPost sends a raw SOAP envelope and returns the response body.
+func httpPost(url, body string) (string, error) {
+	resp, err := http.Post(url, "text/xml", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+// Client-side failure handling: dead endpoints, timeouts and bad payloads
+// must surface as errors, never hangs or corrupt results.
+
+func TestClientDeadEndpoint(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", "/CN=x") // port 1: connection refused
+	c.SetTimeout(2 * time.Second)
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("call to dead endpoint succeeded")
+	}
+	if _, err := c.GetFile("f", 0); err == nil {
+		t.Fatal("GetFile against dead endpoint succeeded")
+	}
+}
+
+func TestClientNonSOAPResponder(t *testing.T) {
+	ts := httptest.NewServer(nil) // 404s for everything
+	defer ts.Close()
+	c := NewClient(ts.URL+"/nosuch", "/CN=x")
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("non-SOAP responder accepted")
+	}
+}
+
+func TestServerRejectsBadAttributeOnWire(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	if _, err := c.DefineAttribute("n", AttrInt, ""); err != nil {
+		t.Fatal(err)
+	}
+	// A raw envelope with an unparsable attribute value: the server must
+	// fault and create nothing.
+	env := `<?xml version="1.0"?>
+<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/">
+ <soapenv:Body>
+  <createFile xmlns="urn:mcs">
+   <caller>` + testAlice + `</caller>
+   <name>bad</name>
+   <attributes><attribute><name>n</name><type>int</type><value>not-a-number</value></attribute></attributes>
+  </createFile>
+ </soapenv:Body>
+</soapenv:Envelope>`
+	resp, err := httpPost(url, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "Fault") {
+		t.Fatalf("no fault in response: %s", resp)
+	}
+	if _, err := c.GetFile("bad", 0); err == nil {
+		t.Fatal("file created despite bad attribute")
+	}
+}
+
+func TestFaultMessagesAreInformative(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	_, err := c.CreateFile(FileSpec{Name: ""})
+	if err == nil || !strings.Contains(err.Error(), "name required") {
+		t.Fatalf("err = %v", err)
+	}
+	err = c.DeleteCollection("ghost")
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+// Command gridftpd runs a GridFTP-style transfer server over an in-memory
+// store, optionally seeded with synthetic files — the storage-system end of
+// the paper's Figure 2 discovery-and-access scenario.
+//
+// Usage:
+//
+//	gridftpd -addr :2811
+//	gridftpd -addr :2811 -seed 100 -seed-size 65536
+//
+// Talk to it with internal/gridftp.Client or any line-oriented TCP tool:
+//
+//	printf 'LIST\n' | nc localhost 2811
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+
+	"mcs/internal/gridftp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:2811", "listen address")
+	root := flag.String("root", "", "serve files from this directory (default: in-memory store)")
+	seed := flag.Int("seed", 0, "number of synthetic files to preload")
+	seedSize := flag.Int("seed-size", 65536, "size of each synthetic file in bytes")
+	flag.Parse()
+
+	var store gridftp.Store
+	if *root != "" {
+		store = gridftp.NewDirStore(*root)
+		log.Printf("gridftpd: serving directory %s", *root)
+	} else {
+		store = gridftp.NewMemStore()
+	}
+	if *seed > 0 {
+		rng := rand.New(rand.NewSource(1))
+		buf := make([]byte, *seedSize)
+		for i := 0; i < *seed; i++ {
+			rng.Read(buf)
+			store.Put(fmt.Sprintf("seed-%06d.dat", i), buf)
+		}
+		log.Printf("gridftpd: seeded %d files of %d bytes", *seed, *seedSize)
+	}
+	srv := gridftp.NewServer(store)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("gridftpd: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "gridftpd: serving on %s\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

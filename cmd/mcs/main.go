@@ -1,0 +1,328 @@
+// Command mcs is the command-line client of the Metadata Catalog Service,
+// covering the operations of the paper's client API.
+//
+// Usage:
+//
+//	mcs [-server URL] [-dn DN] <command> [args]
+//
+// Commands:
+//
+//	create-file <name> [attr=type:value ...]     register a logical file
+//	get-file <name>                              show static metadata
+//	delete-file <name>                           remove a logical file
+//	versions <name>                              list all versions
+//	create-collection <name> [parent]            register a collection
+//	ls <collection>                              list collection contents
+//	create-view <name>                           register a view
+//	view-add <view> <file|collection|view> <member>
+//	view-ls <view>                               list view members
+//	view-expand <view>                           resolve a view to file names
+//	define-attr <name> <type> [description]      declare a user attribute
+//	set-attr <objtype> <object> <name>=<type>:<value>
+//	attrs <objtype> <object>                     show user attributes
+//	query <attr><op><type>:<value> ...           attribute-based discovery
+//	annotate <objtype> <object> <text>           attach an annotation
+//	annotations <objtype> <object>               list annotations
+//	provenance <file>                            show transformation history
+//	grant <objtype> <object> <principal> <perm>  grant a permission
+//	audit <objtype> <object>                     show the audit trail
+//	stats                                        catalog row counts
+//
+// Attribute types: string, int, float, date, time, datetime.
+// Query operators: = != < <= > >= ~ (LIKE).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mcs"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mcs [-server URL] [-dn DN] <command> [args]; see 'go doc mcs/cmd/mcs'")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mcs: %v\n", err)
+	os.Exit(1)
+}
+
+// parseAttr parses "name=type:value" into an attribute binding.
+func parseAttr(s string) (mcs.Attribute, error) {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return mcs.Attribute{}, fmt.Errorf("want name=type:value, got %q", s)
+	}
+	name := s[:eq]
+	tv := s[eq+1:]
+	colon := strings.IndexByte(tv, ':')
+	if colon < 0 {
+		return mcs.Attribute{}, fmt.Errorf("want name=type:value, got %q", s)
+	}
+	v, err := mcs.ParseAttrValue(mcs.AttrType(tv[:colon]), tv[colon+1:])
+	if err != nil {
+		return mcs.Attribute{}, err
+	}
+	return mcs.Attribute{Name: name, Value: v}, nil
+}
+
+// queryOps maps CLI spellings to query operators, longest first.
+var queryOps = []struct {
+	text string
+	op   mcs.Op
+}{
+	{"<=", mcs.OpLe}, {">=", mcs.OpGe}, {"!=", mcs.OpNe},
+	{"=", mcs.OpEq}, {"<", mcs.OpLt}, {">", mcs.OpGt}, {"~", mcs.OpLike},
+}
+
+// parsePredicate parses "attr<op>type:value".
+func parsePredicate(s string) (mcs.Predicate, error) {
+	for _, cand := range queryOps {
+		idx := strings.Index(s, cand.text)
+		if idx <= 0 {
+			continue
+		}
+		attr := s[:idx]
+		tv := s[idx+len(cand.text):]
+		colon := strings.IndexByte(tv, ':')
+		if colon < 0 {
+			return mcs.Predicate{}, fmt.Errorf("want attr%stype:value, got %q", cand.text, s)
+		}
+		v, err := mcs.ParseAttrValue(mcs.AttrType(tv[:colon]), tv[colon+1:])
+		if err != nil {
+			return mcs.Predicate{}, err
+		}
+		return mcs.Predicate{Attribute: attr, Op: cand.op, Value: v}, nil
+	}
+	return mcs.Predicate{}, fmt.Errorf("no operator in predicate %q", s)
+}
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "MCS endpoint URL")
+	dn := flag.String("dn", "/O=Grid/CN=cli-user", "identity to act as")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := mcs.NewClient(*server, *dn)
+	cmd, args := args[0], args[1:]
+
+	switch cmd {
+	case "create-file":
+		if len(args) < 1 {
+			usage()
+		}
+		spec := mcs.FileSpec{Name: args[0]}
+		for _, s := range args[1:] {
+			a, err := parseAttr(s)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Attributes = append(spec.Attributes, a)
+		}
+		f, err := c.CreateFile(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("created %s version %d (id %d)\n", f.Name, f.Version, f.ID)
+	case "get-file":
+		if len(args) != 1 {
+			usage()
+		}
+		f, err := c.GetFile(args[0], 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("name: %s\nversion: %d\ndataType: %s\nvalid: %v\ncreator: %s\ncreated: %s\nmasterCopy: %s\n",
+			f.Name, f.Version, f.DataType, f.Valid, f.Creator, f.Created, f.MasterCopy)
+	case "delete-file":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := c.DeleteFile(args[0], 0); err != nil {
+			fatal(err)
+		}
+	case "versions":
+		if len(args) != 1 {
+			usage()
+		}
+		fs, err := c.FileVersions(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range fs {
+			fmt.Printf("%s version %d (valid=%v, modified %s)\n", f.Name, f.Version, f.Valid, f.Modified)
+		}
+	case "create-collection":
+		if len(args) < 1 {
+			usage()
+		}
+		spec := mcs.CollectionSpec{Name: args[0]}
+		if len(args) > 1 {
+			spec.Parent = args[1]
+		}
+		if _, err := c.CreateCollection(spec); err != nil {
+			fatal(err)
+		}
+	case "ls":
+		if len(args) != 1 {
+			usage()
+		}
+		files, subs, err := c.CollectionContents(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, col := range subs {
+			fmt.Printf("%s/\n", col.Name)
+		}
+		for _, f := range files {
+			fmt.Printf("%s (v%d)\n", f.Name, f.Version)
+		}
+	case "create-view":
+		if len(args) != 1 {
+			usage()
+		}
+		if _, err := c.CreateView(mcs.ViewSpec{Name: args[0]}); err != nil {
+			fatal(err)
+		}
+	case "view-add":
+		if len(args) != 3 {
+			usage()
+		}
+		if err := c.AddToView(args[0], mcs.ObjectType(args[1]), args[2]); err != nil {
+			fatal(err)
+		}
+	case "view-ls":
+		if len(args) != 1 {
+			usage()
+		}
+		members, err := c.ViewContents(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range members {
+			fmt.Printf("%s %s\n", m.Type, m.Name)
+		}
+	case "view-expand":
+		if len(args) != 1 {
+			usage()
+		}
+		names, err := c.ExpandView(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "define-attr":
+		if len(args) < 2 {
+			usage()
+		}
+		desc := strings.Join(args[2:], " ")
+		if _, err := c.DefineAttribute(args[0], mcs.AttrType(args[1]), desc); err != nil {
+			fatal(err)
+		}
+	case "set-attr":
+		if len(args) != 3 {
+			usage()
+		}
+		a, err := parseAttr(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.SetAttribute(mcs.ObjectType(args[0]), args[1], a.Name, a.Value); err != nil {
+			fatal(err)
+		}
+	case "attrs":
+		if len(args) != 2 {
+			usage()
+		}
+		attrs, err := c.GetAttributes(mcs.ObjectType(args[0]), args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range attrs {
+			fmt.Printf("%s = %s (%s)\n", a.Name, a.Value.Render(), a.Value.Type)
+		}
+	case "query":
+		if len(args) < 1 {
+			usage()
+		}
+		var q mcs.Query
+		for _, s := range args {
+			p, err := parsePredicate(s)
+			if err != nil {
+				fatal(err)
+			}
+			q.Predicates = append(q.Predicates, p)
+		}
+		names, err := c.RunQuery(q)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "annotate":
+		if len(args) < 3 {
+			usage()
+		}
+		if _, err := c.Annotate(mcs.ObjectType(args[0]), args[1], strings.Join(args[2:], " ")); err != nil {
+			fatal(err)
+		}
+	case "annotations":
+		if len(args) != 2 {
+			usage()
+		}
+		anns, err := c.Annotations(mcs.ObjectType(args[0]), args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range anns {
+			fmt.Printf("[%s] %s: %s\n", a.CreatedAt.Format("2006-01-02 15:04"), a.Creator, a.Text)
+		}
+	case "provenance":
+		if len(args) != 1 {
+			usage()
+		}
+		recs, err := c.Provenance(args[0], 0)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range recs {
+			fmt.Printf("[%s] %s\n", r.At.Format("2006-01-02 15:04"), r.Description)
+		}
+	case "grant":
+		if len(args) != 4 {
+			usage()
+		}
+		if err := c.Grant(mcs.ObjectType(args[0]), args[1], args[2], mcs.Permission(args[3])); err != nil {
+			fatal(err)
+		}
+	case "audit":
+		if len(args) != 2 {
+			usage()
+		}
+		recs, err := c.AuditLog(mcs.ObjectType(args[0]), args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range recs {
+			fmt.Printf("[%s] %s %s %s\n", r.At.Format("2006-01-02 15:04"), r.DN, r.Action, r.Detail)
+		}
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("files: %d\ncollections: %d\nviews: %d\nattributes: %d\nattribute definitions: %d\n",
+			st.Files, st.Collections, st.Views, st.Attributes, st.AttrDefs)
+	default:
+		usage()
+	}
+}

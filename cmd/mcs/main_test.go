@@ -1,0 +1,86 @@
+package main
+
+import (
+	"testing"
+
+	"mcs"
+)
+
+func TestParseAttr(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantOK   bool
+		name     string
+		typ      mcs.AttrType
+		rendered string
+	}{
+		{"freq=float:40.5", true, "freq", mcs.AttrFloat, "40.5"},
+		{"run=string:S2", true, "run", mcs.AttrString, "S2"},
+		{"n=int:-7", true, "n", mcs.AttrInt, "-7"},
+		{"d=date:2003-11-15", true, "d", mcs.AttrDate, "2003-11-15"},
+		{"s=string:has:colons", true, "s", mcs.AttrString, "has:colons"},
+		{"noequals", false, "", "", ""},
+		{"name=notype", false, "", "", ""},
+		{"x=int:notanumber", false, "", "", ""},
+		{"x=badtype:v", false, "", "", ""},
+	}
+	for _, c := range cases {
+		a, err := parseAttr(c.in)
+		if c.wantOK {
+			if err != nil {
+				t.Errorf("parseAttr(%q): %v", c.in, err)
+				continue
+			}
+			if a.Name != c.name || a.Value.Type != c.typ || a.Value.Render() != c.rendered {
+				t.Errorf("parseAttr(%q) = %+v", c.in, a)
+			}
+		} else if err == nil {
+			t.Errorf("parseAttr(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestParsePredicate(t *testing.T) {
+	cases := []struct {
+		in     string
+		wantOK bool
+		attr   string
+		op     mcs.Op
+	}{
+		{"freq>=float:40", true, "freq", mcs.OpGe},
+		{"freq<=float:40", true, "freq", mcs.OpLe},
+		{"freq>float:40", true, "freq", mcs.OpGt},
+		{"freq<float:40", true, "freq", mcs.OpLt},
+		{"run=string:S2", true, "run", mcs.OpEq},
+		{"run!=string:S2", true, "run", mcs.OpNe},
+		{"name~string:H-%", true, "name", mcs.OpLike},
+		{"nooperator", false, "", ""},
+		{"=string:x", false, "", ""},
+		{"a=string", false, "", ""},
+	}
+	for _, c := range cases {
+		p, err := parsePredicate(c.in)
+		if c.wantOK {
+			if err != nil {
+				t.Errorf("parsePredicate(%q): %v", c.in, err)
+				continue
+			}
+			if p.Attribute != c.attr || p.Op != c.op {
+				t.Errorf("parsePredicate(%q) = %+v", c.in, p)
+			}
+		} else if err == nil {
+			t.Errorf("parsePredicate(%q) accepted: %+v", c.in, p)
+		}
+	}
+}
+
+// Longest-operator-first matters: ">=" must not parse as ">" + "=float...".
+func TestParsePredicateOperatorPriority(t *testing.T) {
+	p, err := parsePredicate("a>=int:5")
+	if err != nil || p.Op != mcs.OpGe {
+		t.Fatalf("got %+v, %v", p, err)
+	}
+	if p.Value.I != 5 {
+		t.Fatalf("value = %+v", p.Value)
+	}
+}

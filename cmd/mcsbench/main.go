@@ -1,0 +1,137 @@
+// Command mcsbench regenerates the evaluation figures of the MCS paper
+// (SC'03, Figures 5–11): add, simple-query and complex-query rates against
+// the catalog directly and through the SOAP web service, swept over client
+// threads, client hosts, database sizes and attribute counts.
+//
+// Usage:
+//
+//	mcsbench -fig 6                        # one figure, default settings
+//	mcsbench -fig all -sizes 10000,50000   # every figure at chosen sizes
+//	mcsbench -fig 11 -duration 5s          # longer measurement windows
+//
+// The paper's full-scale databases (100k/1M/5M files) are reachable with
+// -sizes 100000,1000000,5000000 given enough memory and patience; the
+// defaults are scaled so a laptop run finishes in minutes while preserving
+// every qualitative shape (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcs"
+	"mcs/internal/bench"
+	"mcs/internal/core"
+)
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) { return parseSizes(s) }
+
+func env() bench.Env {
+	return bench.Env{
+		StartServer: func(cat *core.Catalog) (string, func(), error) {
+			srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
+			if err != nil {
+				return "", nil, err
+			}
+			ts := httptest.NewUnstartedServer(srv)
+			ts.Start()
+			return ts.URL, ts.Close, nil
+		},
+		NewClient: func(url string) bench.SOAPClient {
+			c := mcs.NewClient(url, bench.LoaderDN)
+			// Complex queries over the largest database can exceed the
+			// default timeout when many simulated hosts share few cores.
+			c.SetTimeout(10 * time.Minute)
+			return c
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.String("fig", "all", `figure to regenerate: 5..11 or "all"`)
+	sizes := flag.String("sizes", "10000,50000,100000", "database sizes (files), comma-separated")
+	threads := flag.String("threads", "1,2,4,8,12,16", "thread sweep for figures 5-7")
+	hosts := flag.String("hosts", "1,2,4,6,8,10", "host sweep for figures 8-10")
+	threadsPerHost := flag.Int("threads-per-host", 4, "threads per host for figures 8-10")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per data point")
+	attrSweep := flag.String("attr-sweep", "1,2,4,6,8,10", "attribute counts for figure 11")
+	flag.Parse()
+	_ = http.DefaultClient // keep net/http linked for httptest servers
+
+	szs, err := parseSizes(*sizes)
+	if err != nil {
+		log.Fatalf("mcsbench: %v", err)
+	}
+	thr, err := parseInts(*threads)
+	if err != nil {
+		log.Fatalf("mcsbench: %v", err)
+	}
+	hst, err := parseInts(*hosts)
+	if err != nil {
+		log.Fatalf("mcsbench: %v", err)
+	}
+	swp, err := parseInts(*attrSweep)
+	if err != nil {
+		log.Fatalf("mcsbench: %v", err)
+	}
+	opt := bench.FigureOptions{
+		Sizes: szs, Threads: thr, Hosts: hst,
+		ThreadsPerHost: *threadsPerHost, Duration: *duration,
+		AttrSweep: swp, Env: env(),
+	}
+
+	var figs []int
+	if *fig == "all" {
+		figs = []int{5, 6, 7, 8, 9, 10, 11}
+	} else {
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			log.Fatalf("mcsbench: bad -fig %q", *fig)
+		}
+		figs = []int{n}
+	}
+
+	fmt.Fprintf(os.Stderr, "mcsbench: loading databases %v...\n", szs)
+	loadStart := time.Now()
+	cats, err := bench.LoadAll(szs)
+	if err != nil {
+		log.Fatalf("mcsbench: load: %v", err)
+	}
+	opt.Catalogs = cats
+	fmt.Fprintf(os.Stderr, "mcsbench: databases loaded in %s\n", time.Since(loadStart).Round(time.Second))
+
+	for _, f := range figs {
+		fmt.Fprintf(os.Stderr, "mcsbench: running figure %d (sizes %v, window %s)...\n", f, szs, *duration)
+		start := time.Now()
+		series, err := bench.Figure(f, opt)
+		if err != nil {
+			log.Fatalf("mcsbench: figure %d: %v", f, err)
+		}
+		fmt.Println(bench.Render(f, series))
+		fmt.Fprintf(os.Stderr, "mcsbench: figure %d done in %s\n\n", f, time.Since(start).Round(time.Second))
+	}
+}

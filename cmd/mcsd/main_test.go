@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcs"
+)
+
+func TestRestoreOrOpenFreshWhenMissing(t *testing.T) {
+	cat, err := restoreOrOpen(filepath.Join(t.TempDir(), "none.mcs"), mcs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateFile("/CN=x", mcs.FileSpec{Name: "f"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotCycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.mcs")
+	cat, err := restoreOrOpen(path, mcs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateFile("/CN=x", mcs.FileSpec{Name: "persisted"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshotTo(cat, path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left: %v", err)
+	}
+	// A "restarted" daemon sees the data.
+	restored, err := restoreOrOpen(path, mcs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.GetFile("/CN=x", "persisted", 0); err != nil {
+		t.Fatalf("restored catalog missing file: %v", err)
+	}
+}
+
+func TestRestoreOrOpenCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.mcs")
+	if err := os.WriteFile(path, []byte("junk"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restoreOrOpen(path, mcs.Options{}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}

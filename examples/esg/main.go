@@ -1,0 +1,186 @@
+// Earth System Grid example: the paper's section 6.2 experience, end to end.
+//
+// ESG metadata arrives as XML — netCDF-convention dataset descriptions plus
+// Dublin Core records. The documents are "shredded" into individual
+// attribute values, the attribute declarations are created on the fly, and
+// the values are bound to the published logical files in the MCS. Scientists
+// then discover data by attribute query, resolve locations through the RLS
+// and fetch the data over GridFTP (the Figure 2 scenario). Small monthly
+// summary objects are grouped through the external container service the
+// MCS schema points at.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"mcs"
+	"mcs/internal/container"
+	"mcs/internal/gridftp"
+	"mcs/internal/rls"
+	"mcs/internal/xmlshred"
+)
+
+const curator = "/O=ESG/OU=NCAR/CN=curator"
+
+// netcdfXML is the kind of dataset description the ESG testbed carried.
+func netcdfXML(model string, year int, meanTemp float64) string {
+	return fmt.Sprintf(`<?xml version="1.0"?>
+<netcdf name="%s-y%d">
+  <dimension name="lat" length="64"/>
+  <dimension name="lon" length="128"/>
+  <variable name="surface_temperature">
+    <units>K</units>
+    <mean>%g</mean>
+  </variable>
+  <global>
+    <institution>NCAR</institution>
+    <model>%s</model>
+    <year>%d</year>
+    <created>2002-08-15</created>
+  </global>
+</netcdf>`, model, year, meanTemp, model, year)
+}
+
+// dublinCoreXML is the digital-library-style record ESG also stored.
+func dublinCoreXML(model string, year int) string {
+	return fmt.Sprintf(`<record xmlns:dc="http://purl.org/dc/elements/1.1/">
+  <dc:title>%s control run year %d</dc:title>
+  <dc:creator>NCAR</dc:creator>
+  <dc:publisher>Earth System Grid</dc:publisher>
+  <dc:date>2002-08-15</dc:date>
+  <dc:format>netCDF</dc:format>
+</record>`, model, year)
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// --- Fabric: MCS over SOAP, RLS over HTTP, a GridFTP data node. ---
+	srv, err := mcs.NewServer(mcs.ServerOptions{})
+	must(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	go http.Serve(ln, srv) //nolint:errcheck
+	catalog := mcs.NewClient("http://"+ln.Addr().String(), curator)
+	// The shredder works against the embedded engine for bulk ingestion
+	// (the ESG scientists observed shredding through the service was slow).
+	engine := srv.Catalog()
+
+	lrc := rls.NewLRC("lrc://esg-ncar")
+	rli := rls.NewRLI()
+	rlsHTTP := httptest.NewServer(rls.NewServer(lrc, rli))
+	defer rlsHTTP.Close()
+	rlsClient := rls.NewClient(rlsHTTP.URL)
+
+	dataStore := gridftp.NewMemStore()
+	dataNode := gridftp.NewServer(dataStore)
+	dataAddr, err := dataNode.Listen("127.0.0.1:0")
+	must(err)
+	defer dataNode.Close()
+	fmt.Printf("MCS at http://%s, RLS at %s, GridFTP node at %s\n",
+		ln.Addr(), rlsHTTP.URL, dataAddr)
+
+	// --- Publish ESG datasets: data + shredded XML metadata. ---
+	models := []string{"CCSM2", "PCM"}
+	published := 0
+	totalAttrs := 0
+	for _, model := range models {
+		for year := 1; year <= 3; year++ {
+			lfn := fmt.Sprintf("%s-y%d.nc", strings.ToLower(model), year)
+			content := []byte(strings.Repeat(fmt.Sprintf("%s:%d;", model, year), 4096))
+			dataStore.Put(lfn, content)
+			must(rlsClient.AddMapping(lfn, "gsiftp://"+dataAddr+"/"+lfn))
+
+			_, err := catalog.CreateFile(mcs.FileSpec{Name: lfn, DataType: "binary"})
+			must(err)
+
+			// Shred the netCDF description and the Dublin Core record.
+			mean := 286.5 + float64(year)
+			fields, err := xmlshred.Shred(strings.NewReader(netcdfXML(model, year, mean)), "esg")
+			must(err)
+			dcFields, err := xmlshred.ShredDublinCore(strings.NewReader(dublinCoreXML(model, year)))
+			must(err)
+			fields = append(fields, dcFields...)
+			_, set, errs := xmlshred.Ingest(engine, curator, mcs.ObjectFile, lfn, fields)
+			if len(errs) > 0 {
+				log.Fatalf("ingest errors: %v", errs)
+			}
+			published++
+			totalAttrs += set
+		}
+	}
+	fmt.Printf("published %d datasets; shredded %d attribute values out of XML\n",
+		published, totalAttrs)
+
+	// --- Soft-state: the LRC summarizes itself into the RLI. ---
+	must(rlsClient.SendUpdate("lrc://esg-ncar", lrc.LFNs(), nil, time.Minute))
+
+	// --- Discovery (Fig. 2 steps 1-2): attribute query against the MCS. ---
+	names, err := catalog.RunQuery(mcs.Query{Predicates: []mcs.Predicate{
+		{Attribute: "esg.netcdf.global.model", Op: mcs.OpEq, Value: mcs.String("CCSM2")},
+		{Attribute: "esg.netcdf.variable.mean", Op: mcs.OpGt, Value: mcs.Float(288.0)},
+	}})
+	must(err)
+	fmt.Printf("query model=CCSM2 AND mean>288K -> %v\n", names)
+
+	// Dublin Core attributes are queryable too.
+	dcNames, err := catalog.RunQuery(mcs.Query{Predicates: []mcs.Predicate{
+		{Attribute: "dc.publisher", Op: mcs.OpEq, Value: mcs.String("Earth System Grid")},
+	}})
+	must(err)
+	fmt.Printf("query dc.publisher='Earth System Grid' -> %d datasets\n", len(dcNames))
+
+	// --- Location (steps 3-4): RLI -> LRC -> physical names. ---
+	target := names[0]
+	lrcs, err := rlsClient.QueryRLI(target)
+	must(err)
+	pfns, err := rlsClient.Lookup(target)
+	must(err)
+	fmt.Printf("RLS: %s known to %v at %v\n", target, lrcs, pfns)
+
+	// --- Access (steps 5-6): parallel GridFTP retrieval. ---
+	rest := strings.TrimPrefix(pfns[0], "gsiftp://")
+	slash := strings.IndexByte(rest, '/')
+	data, err := gridftp.NewClient(rest[:slash], 4).Retrieve(rest[slash+1:])
+	must(err)
+	fmt.Printf("retrieved %s: %d bytes over 4 parallel streams\n", target, len(data))
+
+	// --- Containers: group small monthly summaries, reference from MCS. ---
+	containers := container.NewService("esg-containers")
+	cid := containers.Create()
+	for month := 1; month <= 12; month++ {
+		must(containers.Add(cid, fmt.Sprintf("summary-m%02d.txt", month),
+			[]byte(fmt.Sprintf("monthly summary %d", month))))
+	}
+	must(containers.Seal(cid))
+	_, err = catalog.CreateFile(mcs.FileSpec{
+		Name: "ccsm2-y1-summaries", DataType: "container",
+		ContainerID: cid, ContainerService: "esg-containers",
+	})
+	must(err)
+	f, err := catalog.GetFile("ccsm2-y1-summaries", 0)
+	must(err)
+	objs, err := containers.List(f.ContainerID)
+	must(err)
+	extracted, err := containers.Extract(f.ContainerID, objs[3])
+	must(err)
+	fmt.Printf("container %s holds %d objects; extracted %q -> %q\n",
+		f.ContainerID, len(objs), objs[3], extracted)
+
+	st, err := catalog.Stats()
+	must(err)
+	fmt.Printf("catalog: %d files, %d attribute bindings, %d attribute definitions\n",
+		st.Files, st.Attributes, st.AttrDefs)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mcs
+
+go 1.22

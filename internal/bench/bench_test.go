@@ -1,0 +1,174 @@
+package bench_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mcs"
+	"mcs/internal/bench"
+	"mcs/internal/core"
+)
+
+func testEnv(t *testing.T) bench.Env {
+	t.Helper()
+	return bench.Env{
+		StartServer: func(cat *core.Catalog) (string, func(), error) {
+			srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
+			if err != nil {
+				return "", nil, err
+			}
+			ts := httptest.NewServer(srv)
+			return ts.URL, ts.Close, nil
+		},
+		NewClient: func(url string) bench.SOAPClient {
+			return mcs.NewClient(url, bench.LoaderDN)
+		},
+	}
+}
+
+func TestLoadShape(t *testing.T) {
+	cfg := bench.Config{Files: 250, FilesPerCollection: 100, AttrsPerFile: 10}
+	cat, err := bench.Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cat.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 250 {
+		t.Fatalf("files = %d", st.Files)
+	}
+	if st.Collections != 3 { // ceil(250/100)
+		t.Fatalf("collections = %d", st.Collections)
+	}
+	// 10 attrs per file + 10 per collection.
+	if st.Attributes != 250*10+3*10 {
+		t.Fatalf("attributes = %d", st.Attributes)
+	}
+	if st.AttrDefs != 10 {
+		t.Fatalf("attr defs = %d", st.AttrDefs)
+	}
+}
+
+func TestComplexQuerySelectivity(t *testing.T) {
+	// With 50 value groups, a full 10-attribute conjunction over N files
+	// must match exactly N/50 files.
+	cat, err := bench.Load(bench.Config{Files: 500, FilesPerCollection: 100, AttrsPerFile: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := cat.RunQuery(bench.LoaderDN, core.Query{Predicates: bench.Predicates(10, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 10 { // 500/50
+		t.Fatalf("complex query matched %d files, want 10", len(names))
+	}
+	// Fewer predicates match a superset (same groups), not fewer files.
+	names1, err := cat.RunQuery(bench.LoaderDN, core.Query{Predicates: bench.Predicates(1, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names1) != 10 {
+		t.Fatalf("1-attr query matched %d files, want 10", len(names1))
+	}
+}
+
+func TestDirectTargetOps(t *testing.T) {
+	cat, err := bench.Load(bench.Config{Files: 100, FilesPerCollection: 100, AttrsPerFile: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bench.Direct{Catalog: cat}
+	if err := d.AddAndDelete("tmp-file", bench.FileAttributes(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cat.Stats()
+	if st.Files != 100 {
+		t.Fatalf("add/delete changed size: %d", st.Files)
+	}
+	if err := d.SimpleQuery(bench.FileName(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AttrQuery(bench.Predicates(10, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSOAPTargetOps(t *testing.T) {
+	cat, err := bench.Load(bench.Config{Files: 100, FilesPerCollection: 100, AttrsPerFile: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(t)
+	url, stop, err := env.StartServer(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	s := bench.SOAP{Client: env.NewClient(url)}
+	if err := s.AddAndDelete("tmp-soap", bench.FileAttributes(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SimpleQuery(bench.FileName(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttrQuery(bench.Predicates(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRateCounts(t *testing.T) {
+	cat, err := bench.Load(bench.Config{Files: 200, FilesPerCollection: 100, AttrsPerFile: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bench.DefaultConfig(200)
+	rate := bench.RunRate([]bench.Target{bench.Direct{Catalog: cat}}, 2,
+		100*time.Millisecond, bench.OpSimpleQuery, cfg, 10)
+	if rate <= 0 {
+		t.Fatalf("rate = %f", rate)
+	}
+}
+
+func TestFigureSmoke(t *testing.T) {
+	// A miniature end-to-end run of each figure to prove the harness works.
+	opt := bench.FigureOptions{
+		Sizes:          []int{200},
+		Threads:        []int{1, 2},
+		Hosts:          []int{1, 2},
+		ThreadsPerHost: 1,
+		Duration:       50 * time.Millisecond,
+		AttrSweep:      []int{1, 3},
+		Env:            testEnv(t),
+	}
+	for _, fig := range []int{5, 6, 7, 8, 9, 10, 11} {
+		series, err := bench.Figure(fig, opt)
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if len(series) == 0 {
+			t.Fatalf("figure %d produced no series", fig)
+		}
+		for _, s := range series {
+			for _, p := range s.Points {
+				if p.Y <= 0 {
+					t.Fatalf("figure %d series %q has nonpositive rate at x=%d", fig, s.Label, p.X)
+				}
+			}
+		}
+		text := bench.Render(fig, series)
+		if !strings.Contains(text, "Fig.") {
+			t.Fatalf("render missing title: %s", text)
+		}
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	if _, err := bench.Figure(12, bench.FigureOptions{Env: testEnv(t)}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

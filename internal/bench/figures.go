@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mcs/internal/core"
+)
+
+// Env supplies the web-service plumbing without importing the root package
+// (the mcs package provides both functions; see cmd/mcsbench).
+type Env struct {
+	// StartServer serves cat over SOAP/HTTP, returning the base URL and a
+	// shutdown function.
+	StartServer func(cat *core.Catalog) (url string, stop func(), err error)
+	// NewClient returns an independent SOAP client ("client host") for url.
+	NewClient func(url string) SOAPClient
+}
+
+// Point is one measurement: X is the swept parameter, Y the rate (ops/s).
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// FigureOptions parameterizes figure regeneration. The paper's full-scale
+// settings (sizes 100k/1M/5M, threads to 16, hosts to 10) reproduce at
+// laptop scale with smaller sizes; the shapes are preserved.
+type FigureOptions struct {
+	// Sizes are the database sizes (number of logical files).
+	Sizes []int
+	// Threads is the thread sweep for single-host figures (5–7).
+	Threads []int
+	// Hosts is the host sweep for multi-host figures (8–10).
+	Hosts []int
+	// ThreadsPerHost matches the paper's 4 for figures 8–10.
+	ThreadsPerHost int
+	// Duration is the measurement window per point.
+	Duration time.Duration
+	// AttrK is the complex-query attribute count (paper: 10).
+	AttrK int
+	// AttrSweep is the Fig. 11 attribute-count sweep.
+	AttrSweep []int
+	// Env provides the web-service plumbing.
+	Env Env
+	// Catalogs supplies preloaded databases keyed by size; Figure loads any
+	// missing size itself. Use LoadAll to share loads across figures.
+	Catalogs map[int]*core.Catalog
+}
+
+// LoadAll prepares one catalog per size for reuse across multiple figures.
+func LoadAll(sizes []int) (map[int]*core.Catalog, error) {
+	return loadAll(sizes, nil)
+}
+
+// Defaults fills unset fields with laptop-scale defaults.
+func (o FigureOptions) Defaults() FigureOptions {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{10000, 50000, 100000}
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = []int{1, 2, 4, 8, 12, 16}
+	}
+	if len(o.Hosts) == 0 {
+		o.Hosts = []int{1, 2, 4, 6, 8, 10}
+	}
+	if o.ThreadsPerHost == 0 {
+		o.ThreadsPerHost = 4
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.AttrK == 0 {
+		o.AttrK = 10
+	}
+	if len(o.AttrSweep) == 0 {
+		o.AttrSweep = []int{1, 2, 4, 6, 8, 10}
+	}
+	return o
+}
+
+// loadAll prepares one catalog per size (expensive; shared across series).
+// Sizes already present in have are reused.
+func loadAll(sizes []int, have map[int]*core.Catalog) (map[int]*core.Catalog, error) {
+	cats := make(map[int]*core.Catalog, len(sizes))
+	for _, size := range sizes {
+		if cat, ok := have[size]; ok {
+			cats[size] = cat
+			continue
+		}
+		cat, err := Load(DefaultConfig(size))
+		if err != nil {
+			return nil, fmt.Errorf("bench: load %d files: %w", size, err)
+		}
+		cats[size] = cat
+	}
+	return cats, nil
+}
+
+// sizeLabel renders a database size the way the paper captions it.
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1000000 && n%1000000 == 0:
+		return fmt.Sprintf("%dM", n/1000000)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%dk", n/1000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// opForFigure maps figure numbers to workloads.
+func opForFigure(fig int) (Op, error) {
+	switch fig {
+	case 5, 8:
+		return OpAdd, nil
+	case 6, 9:
+		return OpSimpleQuery, nil
+	case 7, 10, 11:
+		return OpComplexQuery, nil
+	}
+	return 0, fmt.Errorf("bench: no figure %d in the paper's evaluation", fig)
+}
+
+// Figure regenerates one of the paper's Figures 5–11 and returns its series.
+func Figure(fig int, opt FigureOptions) ([]Series, error) {
+	opt = opt.Defaults()
+	op, err := opForFigure(fig)
+	if err != nil {
+		return nil, err
+	}
+	cats, err := loadAll(opt.Sizes, opt.Catalogs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Series
+
+	measure := func(cat *core.Catalog, size, hosts, threads int, web bool, attrK int) (float64, error) {
+		cfg := DefaultConfig(size)
+		targets := make([]Target, hosts)
+		if web {
+			url, stop, err := opt.Env.StartServer(cat)
+			if err != nil {
+				return 0, err
+			}
+			defer stop()
+			for h := range targets {
+				targets[h] = SOAP{Client: opt.Env.NewClient(url)}
+			}
+		} else {
+			for h := range targets {
+				targets[h] = Direct{Catalog: cat}
+			}
+		}
+		return RunRate(targets, threads, opt.Duration, op, cfg, attrK), nil
+	}
+
+	switch fig {
+	case 5, 6, 7:
+		// Single host, thread sweep, direct and web series per size.
+		for _, web := range []bool{false, true} {
+			for _, size := range opt.Sizes {
+				label := sizeLabel(size) + " database, no web service"
+				if web {
+					label = sizeLabel(size) + " database, with web service"
+				}
+				s := Series{Label: label}
+				for _, threads := range opt.Threads {
+					rate, err := measure(cats[size], size, 1, threads, web, opt.AttrK)
+					if err != nil {
+						return nil, err
+					}
+					s.Points = append(s.Points, Point{X: threads, Y: rate})
+				}
+				out = append(out, s)
+			}
+		}
+	case 8, 9, 10:
+		// Host sweep at fixed threads-per-host, direct and web per size.
+		for _, web := range []bool{false, true} {
+			for _, size := range opt.Sizes {
+				label := sizeLabel(size) + " database, no web service"
+				if web {
+					label = sizeLabel(size) + " database, with web service"
+				}
+				s := Series{Label: label}
+				for _, hosts := range opt.Hosts {
+					rate, err := measure(cats[size], size, hosts, opt.ThreadsPerHost, web, opt.AttrK)
+					if err != nil {
+						return nil, err
+					}
+					s.Points = append(s.Points, Point{X: hosts, Y: rate})
+				}
+				out = append(out, s)
+			}
+		}
+	case 11:
+		// Attribute-count sweep, database only (no web service).
+		for _, size := range opt.Sizes {
+			s := Series{Label: sizeLabel(size) + " database"}
+			for _, k := range opt.AttrSweep {
+				rate, err := measure(cats[size], size, 1, 4, false, k)
+				if err != nil {
+					return nil, err
+				}
+				s.Points = append(s.Points, Point{X: k, Y: rate})
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// FigureTitle returns the caption of a figure.
+func FigureTitle(fig int) string {
+	switch fig {
+	case 5:
+		return "Fig. 5: Add rate with varying threads on a single client host (adds/s)"
+	case 6:
+		return "Fig. 6: Simple query rate with varying threads on a single client host (queries/s)"
+	case 7:
+		return "Fig. 7: Complex query rate with varying threads on a single client host (queries/s)"
+	case 8:
+		return "Fig. 8: Add rate with varying client hosts, 4 threads each (adds/s)"
+	case 9:
+		return "Fig. 9: Simple query rate with varying client hosts (queries/s)"
+	case 10:
+		return "Fig. 10: Complex query rate with varying client hosts (queries/s)"
+	case 11:
+		return "Fig. 11: Complex query rate vs number of attributes, database only (queries/s)"
+	}
+	return fmt.Sprintf("unknown figure %d", fig)
+}
+
+// xAxis returns the swept-parameter label of a figure.
+func xAxis(fig int) string {
+	switch fig {
+	case 5, 6, 7:
+		return "threads"
+	case 8, 9, 10:
+		return "hosts"
+	default:
+		return "attributes"
+	}
+}
+
+// Render formats figure series as an aligned text table, one row per X.
+func Render(fig int, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", FigureTitle(fig))
+	xs := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]int, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Ints(sorted)
+
+	fmt.Fprintf(&b, "%-12s", xAxis(fig))
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %28s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-12d", x)
+		for _, s := range series {
+			val := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					val = fmt.Sprintf("%.1f", p.Y)
+					break
+				}
+			}
+			fmt.Fprintf(&b, "  %28s", val)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,333 @@
+// Package btree implements an in-memory B-tree with user-supplied ordering.
+//
+// It is the storage structure behind sqldb's primary and secondary indexes.
+// Keys are kept in sorted order, so equality lookups, range scans and ordered
+// iteration are all O(log n + k). The tree is not safe for concurrent
+// mutation; sqldb serializes writers above this layer.
+package btree
+
+// degree is the minimum number of children of an internal node. Nodes hold
+// between degree-1 and 2*degree-1 items. 32 keeps nodes around a cache line
+// multiple without deep trees for million-row tables.
+const degree = 32
+
+const (
+	maxItems = 2*degree - 1
+	minItems = degree - 1
+)
+
+// Tree is a B-tree mapping keys of type K to values of type V.
+// The zero value is not usable; construct with New.
+type Tree[K, V any] struct {
+	less func(a, b K) bool
+	root *node[K, V]
+	size int
+}
+
+type item[K, V any] struct {
+	key K
+	val V
+}
+
+type node[K, V any] struct {
+	items    []item[K, V]
+	children []*node[K, V] // nil for leaves
+}
+
+// New returns an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{less: less, root: &node[K, V]{}}
+}
+
+// Len reports the number of items stored in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+func (n *node[K, V]) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of the first item in n not less than key, and
+// whether that item's key equals key (i.e. neither orders before the other).
+func (t *Tree[K, V]) find(n *node[K, V], key K) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(n.items[mid].key, key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && !t.less(key, n.items[lo].key) {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for {
+		i, ok := t.find(n, key)
+		if ok {
+			return n.items[i].val, true
+		}
+		if n.leaf() {
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Set inserts key/val, replacing any existing value under an equal key.
+// It reports whether an existing value was replaced.
+func (t *Tree[K, V]) Set(key K, val V) bool {
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node[K, V]{children: []*node[K, V]{old}}
+		t.splitChild(t.root, 0)
+	}
+	replaced := t.insertNonFull(t.root, key, val)
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) bool {
+	for {
+		i, ok := t.find(n, key)
+		if ok {
+			n.items[i].val = val
+			return true
+		}
+		if n.leaf() {
+			n.items = append(n.items, item[K, V]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item[K, V]{key: key, val: val}
+			return false
+		}
+		if len(n.children[i].items) == maxItems {
+			t.splitChild(n, i)
+			// The promoted separator may equal or order before key.
+			if !t.less(key, n.items[i].key) {
+				if !t.less(n.items[i].key, key) {
+					n.items[i].val = val
+					return true
+				}
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i of n, promoting its median
+// item into n.
+func (t *Tree[K, V]) splitChild(n *node[K, V], i int) {
+	child := n.children[i]
+	mid := maxItems / 2
+	median := child.items[mid]
+
+	right := &node[K, V]{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	child.items = child.items[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+
+	n.items = append(n.items, item[K, V]{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key from the tree and reports whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	deleted := t.delete(t.root, key)
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
+	i, found := t.find(n, key)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with predecessor from the left subtree, then delete it there.
+		left := n.children[i]
+		if len(left.items) > minItems {
+			pred := t.max(left)
+			n.items[i] = pred
+			return t.delete(left, pred.key)
+		}
+		right := n.children[i+1]
+		if len(right.items) > minItems {
+			succ := t.min(right)
+			n.items[i] = succ
+			return t.delete(right, succ.key)
+		}
+		t.mergeChildren(n, i)
+		return t.delete(left, key)
+	}
+	// Descend, topping up the child if it is minimal.
+	child := n.children[i]
+	if len(child.items) == minItems {
+		i = t.fixChild(n, i)
+		child = n.children[i]
+	}
+	return t.delete(child, key)
+}
+
+func (t *Tree[K, V]) max(n *node[K, V]) item[K, V] {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (t *Tree[K, V]) min(n *node[K, V]) item[K, V] {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// fixChild ensures n.children[i] has more than minItems items, borrowing
+// from a sibling or merging. It returns the (possibly shifted) child index.
+func (t *Tree[K, V]) fixChild(n *node[K, V], i int) int {
+	child := n.children[i]
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		// Rotate right: left sibling's last item -> separator -> child front.
+		left := n.children[i-1]
+		child.items = append(child.items, item[K, V]{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !child.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+		// Rotate left.
+		right := n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !child.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	if i == len(n.children)-1 {
+		i--
+	}
+	t.mergeChildren(n, i)
+	return i
+}
+
+// mergeChildren merges child i, separator i and child i+1 into child i.
+func (t *Tree[K, V]) mergeChildren(n *node[K, V], i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for each item in key order, starting at the smallest key,
+// until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[K, V]) ascend(n *node[K, V], fn func(K, V) bool) bool {
+	for i, it := range n.items {
+		if !n.leaf() && !t.ascend(n.children[i], fn) {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascend(n.children[len(n.children)-1], fn)
+	}
+	return true
+}
+
+// AscendRange calls fn in key order for every item with ge <= key < lt,
+// until fn returns false.
+func (t *Tree[K, V]) AscendRange(ge, lt K, fn func(key K, val V) bool) {
+	t.ascendGE(t.root, ge, func(k K, v V) bool {
+		if !t.less(k, lt) {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// AscendGE calls fn in key order for every item with key >= ge,
+// until fn returns false.
+func (t *Tree[K, V]) AscendGE(ge K, fn func(key K, val V) bool) {
+	t.ascendGE(t.root, ge, fn)
+}
+
+func (t *Tree[K, V]) ascendGE(n *node[K, V], ge K, fn func(K, V) bool) bool {
+	i, _ := t.find(n, ge)
+	if !n.leaf() {
+		if !t.ascendGE(n.children[i], ge, fn) {
+			return false
+		}
+	}
+	for ; i < len(n.items); i++ {
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+		if !n.leaf() && !t.ascend(n.children[i+1], fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.size == 0 {
+		var k K
+		var v V
+		return k, v, false
+	}
+	it := t.min(t.root)
+	return it.key, it.val, true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[K, V]) Max() (K, V, bool) {
+	if t.size == 0 {
+		var k K
+		var v V
+		return k, v, false
+	}
+	it := t.max(t.root)
+	return it.key, it.val, true
+}

@@ -1,0 +1,302 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, string] {
+	return New[int, string](func(a, b int) bool { return a < b })
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Fatal("Get on empty tree reported ok")
+	}
+	if tr.Delete(42) {
+		t.Fatal("Delete on empty tree reported true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree reported ok")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	tr := intTree()
+	if tr.Set(1, "a") {
+		t.Fatal("first Set reported replacement")
+	}
+	if !tr.Set(1, "b") {
+		t.Fatal("second Set did not report replacement")
+	}
+	v, ok := tr.Get(1)
+	if !ok || v != "b" {
+		t.Fatalf("Get(1) = %q, %v; want b, true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tr.Len())
+	}
+}
+
+func TestSequentialInsertDelete(t *testing.T) {
+	const n = 5000
+	tr := intTree()
+	for i := 0; i < n; i++ {
+		tr.Set(i, "v")
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := tr.Get(i); !ok {
+			t.Fatalf("Get(%d) missing", i)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len() = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := intTree()
+	ref := map[int]string{}
+	vals := []string{"a", "b", "c", "d"}
+	for op := 0; op < 20000; op++ {
+		k := rng.Intn(2000)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := vals[rng.Intn(len(vals))]
+			wantReplace := false
+			if _, ok := ref[k]; ok {
+				wantReplace = true
+			}
+			if got := tr.Set(k, v); got != wantReplace {
+				t.Fatalf("op %d: Set(%d) replaced=%v, want %v", op, k, got, wantReplace)
+			}
+			ref[k] = v
+		case 2:
+			_, want := ref[k]
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, want %d", op, tr.Len(), len(ref))
+		}
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("final Get(%d) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(1)).Perm(1000)
+	for _, k := range perm {
+		tr.Set(k, "v")
+	}
+	var got []int
+	tr.Ascend(func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 1000 {
+		t.Fatalf("Ascend visited %d items, want 1000", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("Ascend visited keys out of order")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, "v")
+	}
+	count := 0
+	tr.Ascend(func(k int, _ string) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early-stopped Ascend visited %d, want 10", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 200; i += 2 { // even keys only
+		tr.Set(i, "v")
+	}
+	var got []int
+	tr.AscendRange(31, 71, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []int
+	for i := 32; i < 71; i += 2 {
+		want = append(want, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("AscendRange returned %d keys, want %d: %v", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AscendRange[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendGE(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 50; i++ {
+		tr.Set(i*3, "v")
+	}
+	var got []int
+	tr.AscendGE(100, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	for _, k := range got {
+		if k < 100 {
+			t.Fatalf("AscendGE(100) visited %d", k)
+		}
+	}
+	// keys are 0,3,...,147; >= 100 means 102..147 -> 16 keys
+	if len(got) != 16 {
+		t.Fatalf("AscendGE(100) visited %d keys, want 16", len(got))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		tr.Set(k, "v")
+	}
+	if k, _, _ := tr.Min(); k != 1 {
+		t.Fatalf("Min = %d, want 1", k)
+	}
+	if k, _, _ := tr.Max(); k != 9 {
+		t.Fatalf("Max = %d, want 9", k)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string, int](func(a, b string) bool { return a < b })
+	words := []string{"pear", "apple", "fig", "banana", "cherry"}
+	for i, w := range words {
+		tr.Set(w, i)
+	}
+	var got []string
+	tr.Ascend(func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("string keys out of order: %v", got)
+	}
+}
+
+// Property: inserting any set of keys then iterating yields exactly the
+// sorted unique keys.
+func TestQuickInsertIterate(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := intTree()
+		uniq := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), "v")
+			uniq[int(k)] = true
+		}
+		var got []int
+		tr.Ascend(func(k int, _ string) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(uniq) {
+			return false
+		}
+		if !sort.IntsAreSorted(got) {
+			return false
+		}
+		for _, k := range got {
+			if !uniq[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delete of all inserted keys, in any order, empties the tree.
+func TestQuickInsertDeleteAll(t *testing.T) {
+	f := func(keys []uint8, seed int64) bool {
+		tr := intTree()
+		uniq := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), "v")
+			uniq[int(k)] = true
+		}
+		order := make([]int, 0, len(uniq))
+		for k := range uniq {
+			order = append(order, k)
+		}
+		rand.New(rand.NewSource(seed)).Shuffle(len(order), func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+		for _, k := range order {
+			if !tr.Delete(k) {
+				return false
+			}
+		}
+		return tr.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i, "v")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < 100000; i++ {
+		tr.Set(i, "v")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i % 100000)
+	}
+}

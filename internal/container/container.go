@@ -1,0 +1,226 @@
+// Package container implements the external container service referenced by
+// the MCS schema: it groups large numbers of relatively small data objects
+// into containers for efficient storage and transfer, and extracts
+// individual objects on demand. The MCS stores only the (containerId,
+// containerService) attributes; this service owns the container contents.
+//
+// The design follows the SRB container facility the paper cites: a
+// container is built incrementally, sealed, and thereafter immutable; sealed
+// containers can be shipped whole (e.g. over gridftp) and objects extracted
+// at the far side.
+package container
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the service.
+var (
+	ErrNotFound  = errors.New("container: not found")
+	ErrSealed    = errors.New("container: container is sealed")
+	ErrNotSealed = errors.New("container: container is not sealed")
+	ErrExists    = errors.New("container: already exists")
+)
+
+// object is one member of a container.
+type object struct {
+	name string
+	data []byte
+}
+
+// Container aggregates small objects under one identifier.
+type Container struct {
+	ID     string
+	sealed bool
+	objs   []object
+	index  map[string]int
+}
+
+// Service manages containers. All methods are safe for concurrent use.
+type Service struct {
+	// Name identifies this service instance; it is what MCS stores in the
+	// containerService attribute.
+	Name string
+
+	mu         sync.RWMutex
+	containers map[string]*Container
+	nextID     int
+}
+
+// NewService returns an empty container service.
+func NewService(name string) *Service {
+	return &Service{Name: name, containers: make(map[string]*Container)}
+}
+
+// Create opens a new container and returns its identifier.
+func (s *Service) Create() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("%s-c%06d", s.Name, s.nextID)
+	s.containers[id] = &Container{ID: id, index: make(map[string]int)}
+	return id
+}
+
+// Add appends an object to an unsealed container.
+func (s *Service) Add(containerID, objectName string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[containerID]
+	if !ok {
+		return fmt.Errorf("%w: container %q", ErrNotFound, containerID)
+	}
+	if c.sealed {
+		return fmt.Errorf("%w: %q", ErrSealed, containerID)
+	}
+	if _, dup := c.index[objectName]; dup {
+		return fmt.Errorf("%w: object %q in %q", ErrExists, objectName, containerID)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.index[objectName] = len(c.objs)
+	c.objs = append(c.objs, object{name: objectName, data: cp})
+	return nil
+}
+
+// Seal freezes a container; sealed containers are immutable and exportable.
+func (s *Service) Seal(containerID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[containerID]
+	if !ok {
+		return fmt.Errorf("%w: container %q", ErrNotFound, containerID)
+	}
+	c.sealed = true
+	return nil
+}
+
+// Extract returns one object's content from a container.
+func (s *Service) Extract(containerID, objectName string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[containerID]
+	if !ok {
+		return nil, fmt.Errorf("%w: container %q", ErrNotFound, containerID)
+	}
+	i, ok := c.index[objectName]
+	if !ok {
+		return nil, fmt.Errorf("%w: object %q in %q", ErrNotFound, objectName, containerID)
+	}
+	out := make([]byte, len(c.objs[i].data))
+	copy(out, c.objs[i].data)
+	return out, nil
+}
+
+// List returns the object names in a container, sorted.
+func (s *Service) List(containerID string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[containerID]
+	if !ok {
+		return nil, fmt.Errorf("%w: container %q", ErrNotFound, containerID)
+	}
+	names := make([]string, 0, len(c.objs))
+	for _, o := range c.objs {
+		names = append(names, o.name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Export serializes a sealed container to a portable byte stream
+// (magic, object count, then length-prefixed name/data pairs).
+func (s *Service) Export(containerID string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[containerID]
+	if !ok {
+		return nil, fmt.Errorf("%w: container %q", ErrNotFound, containerID)
+	}
+	if !c.sealed {
+		return nil, fmt.Errorf("%w: %q", ErrNotSealed, containerID)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("MCSC")
+	writeUvarint(&buf, uint64(len(c.objs)))
+	for _, o := range c.objs {
+		writeUvarint(&buf, uint64(len(o.name)))
+		buf.WriteString(o.name)
+		writeUvarint(&buf, uint64(len(o.data)))
+		buf.Write(o.data)
+	}
+	return buf.Bytes(), nil
+}
+
+// Import registers an exported container under the given identifier.
+// The imported container is sealed.
+func (s *Service) Import(containerID string, raw []byte) error {
+	r := bytes.NewReader(raw)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != "MCSC" {
+		return errors.New("container: bad container stream magic")
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("container: read object count: %w", err)
+	}
+	c := &Container{ID: containerID, sealed: true, index: make(map[string]int)}
+	for i := uint64(0); i < n; i++ {
+		name, err := readBlob(r)
+		if err != nil {
+			return fmt.Errorf("container: read object name: %w", err)
+		}
+		data, err := readBlob(r)
+		if err != nil {
+			return fmt.Errorf("container: read object data: %w", err)
+		}
+		c.index[string(name)] = len(c.objs)
+		c.objs = append(c.objs, object{name: string(name), data: data})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.containers[containerID]; dup {
+		return fmt.Errorf("%w: container %q", ErrExists, containerID)
+	}
+	s.containers[containerID] = c
+	return nil
+}
+
+// Containers lists the known container IDs, sorted.
+func (s *Service) Containers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.containers))
+	for id := range s.containers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func readBlob(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, errors.New("length exceeds remaining stream")
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

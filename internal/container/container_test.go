@@ -1,0 +1,162 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCreateAddExtract(t *testing.T) {
+	s := NewService("svc")
+	id := s.Create()
+	if id == "" {
+		t.Fatal("empty container id")
+	}
+	if err := s.Add(id, "obj1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(id, "obj2", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Extract(id, "obj1")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("Extract = %q, %v", data, err)
+	}
+	names, err := s.List(id)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+func TestDuplicateObjectRejected(t *testing.T) {
+	s := NewService("svc")
+	id := s.Create()
+	s.Add(id, "x", []byte("1")) //nolint:errcheck
+	if err := s.Add(id, "x", []byte("2")); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSealedContainerImmutable(t *testing.T) {
+	s := NewService("svc")
+	id := s.Create()
+	s.Add(id, "x", []byte("1")) //nolint:errcheck
+	if err := s.Seal(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(id, "y", []byte("2")); !errors.Is(err, ErrSealed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Extraction still works after sealing.
+	if _, err := s.Extract(id, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportRequiresSeal(t *testing.T) {
+	s := NewService("svc")
+	id := s.Create()
+	s.Add(id, "x", []byte("1")) //nolint:errcheck
+	if _, err := s.Export(id); !errors.Is(err, ErrNotSealed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := NewService("src")
+	id := src.Create()
+	for i := 0; i < 50; i++ {
+		if err := src.Add(id, fmt.Sprintf("obj-%02d", i), bytes.Repeat([]byte{byte(i)}, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Seal(id) //nolint:errcheck
+	raw, err := src.Export(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewService("dst")
+	if err := dst.Import("imported-1", raw); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("obj-%02d", i)
+		want, _ := src.Extract(id, name)
+		got, err := dst.Extract("imported-1", name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("object %s differs after import: %v", name, err)
+		}
+	}
+	// Imported containers are sealed.
+	if err := dst.Add("imported-1", "new", nil); !errors.Is(err, ErrSealed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestImportMalformed(t *testing.T) {
+	s := NewService("svc")
+	if err := s.Import("x", []byte("NOPE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := s.Import("x", []byte("MCSC\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01")); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestImportDuplicateID(t *testing.T) {
+	s := NewService("svc")
+	id := s.Create()
+	s.Seal(id) //nolint:errcheck
+	raw, _ := s.Export(id)
+	if err := s.Import("dup", raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Import("dup", raw); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingLookups(t *testing.T) {
+	s := NewService("svc")
+	if _, err := s.Extract("no", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.List("no"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Seal("no"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	id := s.Create()
+	if _, err := s.Extract(id, "no"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDataIsolation(t *testing.T) {
+	s := NewService("svc")
+	id := s.Create()
+	buf := []byte("abc")
+	s.Add(id, "x", buf) //nolint:errcheck
+	buf[0] = 'Z'
+	got, _ := s.Extract(id, "x")
+	if got[0] != 'a' {
+		t.Fatal("Add aliases caller buffer")
+	}
+	got[0] = 'Q'
+	got2, _ := s.Extract(id, "x")
+	if got2[0] != 'a' {
+		t.Fatal("Extract aliases internal buffer")
+	}
+}
+
+func TestContainersListing(t *testing.T) {
+	s := NewService("svc")
+	a := s.Create()
+	b := s.Create()
+	ids := s.Containers()
+	if len(ids) != 2 || ids[0] != a || ids[1] != b {
+		t.Fatalf("Containers = %v", ids)
+	}
+}

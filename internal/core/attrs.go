@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mcs/internal/sqldb"
+)
+
+// DefineAttribute declares a new user-defined attribute usable on files,
+// collections and views. This is the paper's extensibility mechanism for
+// domain-specific, virtual-organization and user metadata ontologies.
+func (c *Catalog) DefineAttribute(dn, name string, typ AttrType, description string) (AttributeDef, error) {
+	if name == "" {
+		return AttributeDef{}, fmt.Errorf("%w: attribute name required", ErrInvalidInput)
+	}
+	if !typ.Valid() {
+		return AttributeDef{}, fmt.Errorf("%w: attribute type %q", ErrInvalidInput, typ)
+	}
+	if _, ok := staticFileColumns[name]; ok {
+		return AttributeDef{}, fmt.Errorf("%w: %q shadows a predefined attribute", ErrInvalidInput, name)
+	}
+	if err := c.requireService(dn, PermCreate); err != nil {
+		return AttributeDef{}, err
+	}
+	now := c.now()
+	res, err := c.db.Exec(
+		"INSERT INTO attribute_def (name, type, description, creator, created) VALUES (?, ?, ?, ?, ?)",
+		sqldb.Text(name), sqldb.Text(string(typ)), sqldb.Text(description), sqldb.Text(dn), now)
+	if err != nil {
+		return AttributeDef{}, fmt.Errorf("%w: attribute %q", ErrExists, name)
+	}
+	return AttributeDef{
+		ID: res.LastInsertID, Name: name, Type: typ,
+		Description: description, Creator: dn, Created: now.M,
+	}, nil
+}
+
+// GetAttributeDef looks up a user-defined attribute declaration by name.
+func (c *Catalog) GetAttributeDef(name string) (AttributeDef, error) {
+	rows, err := c.db.Query(
+		"SELECT id, name, type, description, creator, created FROM attribute_def WHERE name = ?",
+		sqldb.Text(name))
+	if err != nil {
+		return AttributeDef{}, err
+	}
+	if len(rows.Data) == 0 {
+		return AttributeDef{}, fmt.Errorf("%w: attribute %q", ErrNotFound, name)
+	}
+	r := rows.Data[0]
+	return AttributeDef{
+		ID: r[0].I, Name: r[1].S, Type: AttrType(r[2].S),
+		Description: r[3].S, Creator: r[4].S, Created: r[5].M,
+	}, nil
+}
+
+// ListAttributeDefs returns all user-defined attribute declarations, sorted
+// by name.
+func (c *Catalog) ListAttributeDefs() ([]AttributeDef, error) {
+	rows, err := c.db.Query(
+		"SELECT id, name, type, description, creator, created FROM attribute_def ORDER BY name")
+	if err != nil {
+		return nil, err
+	}
+	defs := make([]AttributeDef, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		defs = append(defs, AttributeDef{
+			ID: r[0].I, Name: r[1].S, Type: AttrType(r[2].S),
+			Description: r[3].S, Creator: r[4].S, Created: r[5].M,
+		})
+	}
+	return defs, nil
+}
+
+// resolveObject maps (type, name) to the object's ID, with a read check.
+func (c *Catalog) resolveObject(dn string, objType ObjectType, name string) (int64, error) {
+	return c.resolveMember(dn, objType, name)
+}
+
+// SetAttribute binds (or rebinds) a user-defined attribute value on an
+// object. Replacement semantics: a second Set with the same attribute name
+// overwrites the previous value.
+func (c *Catalog) SetAttribute(dn string, objType ObjectType, objectName, attrName string, v AttrValue) error {
+	def, err := c.GetAttributeDef(attrName)
+	if err != nil {
+		return err
+	}
+	if def.Type != v.Type {
+		return fmt.Errorf("%w: attribute %q is %s, value is %s", ErrInvalidInput, attrName, def.Type, v.Type)
+	}
+	id, err := c.resolveObject(dn, objType, objectName)
+	if err != nil {
+		return err
+	}
+	if err := c.requireObject(dn, objType, id, PermWrite); err != nil {
+		return err
+	}
+	return c.db.Update(func(tx *sqldb.Tx) error {
+		if _, err := tx.Exec(
+			"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ? AND attr_id = ?",
+			sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID)); err != nil {
+			return err
+		}
+		_, err := tx.Exec(fmt.Sprintf(
+			"INSERT INTO user_attribute (object_type, object_id, attr_id, %s) VALUES (?, ?, ?, ?)",
+			def.Type.storageColumn()),
+			sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID), v.sqlValue())
+		return err
+	})
+}
+
+// UnsetAttribute removes a user-defined attribute from an object.
+func (c *Catalog) UnsetAttribute(dn string, objType ObjectType, objectName, attrName string) error {
+	def, err := c.GetAttributeDef(attrName)
+	if err != nil {
+		return err
+	}
+	id, err := c.resolveObject(dn, objType, objectName)
+	if err != nil {
+		return err
+	}
+	if err := c.requireObject(dn, objType, id, PermWrite); err != nil {
+		return err
+	}
+	res, err := c.db.Exec(
+		"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ? AND attr_id = ?",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		return fmt.Errorf("%w: attribute %q on %s %q", ErrNotFound, attrName, objType, objectName)
+	}
+	return nil
+}
+
+// GetAttributes returns every user-defined attribute bound to an object,
+// sorted by attribute name.
+func (c *Catalog) GetAttributes(dn string, objType ObjectType, objectName string) ([]Attribute, error) {
+	id, err := c.resolveObject(dn, objType, objectName)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.requireObject(dn, objType, id, PermRead); err != nil {
+		return nil, err
+	}
+	rows, err := c.db.Query(`SELECT d.name, d.type, ua.sval, ua.ival, ua.fval, ua.tval
+		FROM user_attribute ua JOIN attribute_def d ON d.id = ua.attr_id
+		WHERE ua.object_type = ? AND ua.object_id = ?`,
+		sqldb.Text(string(objType)), sqldb.Int(id))
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]Attribute, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		typ := AttrType(r[1].S)
+		var v AttrValue
+		switch typ {
+		case AttrString:
+			v = String(r[2].S)
+		case AttrInt:
+			v = Int(r[3].I)
+		case AttrFloat:
+			v = Float(r[4].F)
+		case AttrDate:
+			v = AttrValue{Type: AttrDate, T: r[5].M}
+		case AttrTime:
+			v = AttrValue{Type: AttrTime, T: r[5].M}
+		default:
+			v = AttrValue{Type: AttrDateTime, T: r[5].M}
+		}
+		attrs = append(attrs, Attribute{Name: r[0].S, Value: v})
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	return attrs, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"mcs/internal/sqldb"
+)
+
+// The MCS authorization model, per section 5 of the paper:
+//
+//   - Permissions may be granted on the service itself (e.g. the right to
+//     add logical files), on individual files, on collections and on views.
+//   - Permissions granted on a collection apply to every file in it and in
+//     its sub-collections: "the effective set of permissions on a logical
+//     file is the union of the permissions on that file and the permissions
+//     on a logical collection to which the file belongs, and so on up the
+//     hierarchy of collections."
+//   - Views do not affect authorization.
+//   - The creator of an object implicitly holds every permission on it.
+
+// Grant gives principal a permission on an object. objectName may be "" with
+// objType == ObjectService for service-level rights. Granting requires write
+// permission on the object (or service write for service-level grants).
+func (c *Catalog) Grant(dn string, objType ObjectType, objectName, principal string, perm Permission) error {
+	if !perm.Valid() {
+		return fmt.Errorf("%w: permission %q", ErrInvalidInput, perm)
+	}
+	var id int64
+	if objType != ObjectService {
+		var err error
+		id, err = c.resolveObject(dn, objType, objectName)
+		if err != nil {
+			return err
+		}
+	}
+	if err := c.requireObject(dn, objType, id, PermWrite); err != nil {
+		return err
+	}
+	dup, err := c.db.Query(
+		"SELECT id FROM acl WHERE object_type = ? AND object_id = ? AND principal = ? AND permission = ?",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(principal), sqldb.Text(string(perm)))
+	if err != nil {
+		return err
+	}
+	if len(dup.Data) > 0 {
+		return nil // idempotent
+	}
+	_, err = c.db.Exec(
+		"INSERT INTO acl (object_type, object_id, principal, permission) VALUES (?, ?, ?, ?)",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(principal), sqldb.Text(string(perm)))
+	return err
+}
+
+// Revoke removes a granted permission.
+func (c *Catalog) Revoke(dn string, objType ObjectType, objectName, principal string, perm Permission) error {
+	var id int64
+	if objType != ObjectService {
+		var err error
+		id, err = c.resolveObject(dn, objType, objectName)
+		if err != nil {
+			return err
+		}
+	}
+	if err := c.requireObject(dn, objType, id, PermWrite); err != nil {
+		return err
+	}
+	_, err := c.db.Exec(
+		"DELETE FROM acl WHERE object_type = ? AND object_id = ? AND principal = ? AND permission = ?",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(principal), sqldb.Text(string(perm)))
+	return err
+}
+
+// Permissions lists the explicit grants on one object.
+func (c *Catalog) Permissions(dn string, objType ObjectType, objectName string) (map[string][]Permission, error) {
+	var id int64
+	if objType != ObjectService {
+		var err error
+		id, err = c.resolveObject(dn, objType, objectName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := c.requireObject(dn, objType, id, PermRead); err != nil {
+		return nil, err
+	}
+	rows, err := c.db.Query(
+		"SELECT principal, permission FROM acl WHERE object_type = ? AND object_id = ?",
+		sqldb.Text(string(objType)), sqldb.Int(id))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Permission)
+	for _, r := range rows.Data {
+		out[r[0].S] = append(out[r[0].S], Permission(r[1].S))
+	}
+	return out, nil
+}
+
+// hasDirectGrant checks the ACL table for one (object, principal, perm) row.
+func (c *Catalog) hasDirectGrant(objType ObjectType, id int64, dn string, perm Permission) (bool, error) {
+	rows, err := c.db.Query(
+		"SELECT id FROM acl WHERE object_type = ? AND object_id = ? AND principal = ? AND permission = ? LIMIT 1",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(dn), sqldb.Text(string(perm)))
+	if err != nil {
+		return false, err
+	}
+	return len(rows.Data) > 0, nil
+}
+
+// creatorOf returns the creator DN of an object.
+func (c *Catalog) creatorOf(objType ObjectType, id int64) (string, error) {
+	var table string
+	switch objType {
+	case ObjectFile:
+		table = "logical_file"
+	case ObjectCollection:
+		table = "logical_collection"
+	case ObjectView:
+		table = "logical_view"
+	default:
+		return "", nil
+	}
+	rows, err := c.db.Query("SELECT creator FROM "+table+" WHERE id = ?", sqldb.Int(id))
+	if err != nil || len(rows.Data) == 0 {
+		return "", err
+	}
+	return rows.Data[0][0].S, nil
+}
+
+// allowed computes the effective permission check for dn on an object.
+func (c *Catalog) allowed(dn string, objType ObjectType, id int64, perm Permission) (bool, error) {
+	if !c.authz {
+		return true, nil
+	}
+	if dn == c.opts.Owner && c.opts.Owner != "" {
+		return true, nil
+	}
+	// Service-level grants apply everywhere (the owner bootstrap rows).
+	if ok, err := c.hasDirectGrant(ObjectService, 0, dn, perm); err != nil || ok {
+		return ok, err
+	}
+	if objType == ObjectService {
+		return false, nil
+	}
+	if creator, err := c.creatorOf(objType, id); err != nil {
+		return false, err
+	} else if creator == dn {
+		return true, nil
+	}
+	if ok, err := c.hasDirectGrant(objType, id, dn, perm); err != nil || ok {
+		return ok, err
+	}
+	// Union with the collection hierarchy for files and sub-collections.
+	var startCollection int64
+	switch objType {
+	case ObjectFile:
+		rows, err := c.db.Query("SELECT collection_id FROM logical_file WHERE id = ?", sqldb.Int(id))
+		if err != nil {
+			return false, err
+		}
+		if len(rows.Data) > 0 && !rows.Data[0][0].IsNull() {
+			startCollection = rows.Data[0][0].I
+		}
+	case ObjectCollection:
+		rows, err := c.db.Query("SELECT parent_id FROM logical_collection WHERE id = ?", sqldb.Int(id))
+		if err != nil {
+			return false, err
+		}
+		if len(rows.Data) > 0 && !rows.Data[0][0].IsNull() {
+			startCollection = rows.Data[0][0].I
+		}
+	}
+	if startCollection == 0 {
+		return false, nil
+	}
+	chain, err := c.collectionChain(startCollection)
+	if err != nil {
+		return false, err
+	}
+	for _, cid := range chain {
+		if creator, err := c.creatorOf(ObjectCollection, cid); err != nil {
+			return false, err
+		} else if creator == dn {
+			return true, nil
+		}
+		if ok, err := c.hasDirectGrant(ObjectCollection, cid, dn, perm); err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// requireService enforces a service-level permission.
+func (c *Catalog) requireService(dn string, perm Permission) error {
+	ok, err := c.allowed(dn, ObjectService, 0, perm)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s needs service %s", ErrDenied, dn, perm)
+	}
+	return nil
+}
+
+// requireObject enforces a permission on a specific object.
+func (c *Catalog) requireObject(dn string, objType ObjectType, id int64, perm Permission) error {
+	ok, err := c.allowed(dn, objType, id, perm)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s needs %s on %s/%d", ErrDenied, dn, perm, objType, id)
+	}
+	return nil
+}
+
+// requireFile enforces a permission on an already-loaded file.
+func (c *Catalog) requireFile(dn string, f *File, perm Permission) error {
+	return c.requireObject(dn, ObjectFile, f.ID, perm)
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAuthzServiceLevelCreate(t *testing.T) {
+	c := openAuthzCatalog(t)
+	// Alice has no grants: create must fail.
+	if _, err := c.CreateFile(alice, FileSpec{Name: "f"}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	// Admin (owner) may grant Alice service create.
+	if err := c.Grant(admin, ObjectService, "", alice, PermCreate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile(alice, FileSpec{Name: "f"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func setupAuthz(t *testing.T) *Catalog {
+	t.Helper()
+	c := openAuthzCatalog(t)
+	for _, dn := range []string{alice, bob} {
+		if err := c.Grant(admin, ObjectService, "", dn, PermCreate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAuthzCreatorHasAllPermissions(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "af"}) //nolint:errcheck
+	// Creator can read, update, annotate, delete.
+	if _, err := c.GetFile(alice, "af", 0); err != nil {
+		t.Fatal(err)
+	}
+	dt := "xml"
+	if _, err := c.UpdateFile(alice, "af", 0, FileUpdate{DataType: &dt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Annotate(alice, ObjectFile, "af", "mine"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteFile(alice, "af", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthzOtherUserDenied(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "af"}) //nolint:errcheck
+	if _, err := c.GetFile(bob, "af", 0); !errors.Is(err, ErrDenied) {
+		t.Fatalf("read err = %v", err)
+	}
+	dt := "xml"
+	if _, err := c.UpdateFile(bob, "af", 0, FileUpdate{DataType: &dt}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("write err = %v", err)
+	}
+	if err := c.DeleteFile(bob, "af", 0); !errors.Is(err, ErrDenied) {
+		t.Fatalf("delete err = %v", err)
+	}
+}
+
+func TestAuthzDirectGrantOnFile(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "af"}) //nolint:errcheck
+	if err := c.Grant(alice, ObjectFile, "af", bob, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile(bob, "af", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Read does not imply write.
+	dt := "xml"
+	if _, err := c.UpdateFile(bob, "af", 0, FileUpdate{DataType: &dt}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("write err = %v", err)
+	}
+	// Revoke restores denial.
+	if err := c.Revoke(alice, ObjectFile, "af", bob, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile(bob, "af", 0); !errors.Is(err, ErrDenied) {
+		t.Fatalf("post-revoke read err = %v", err)
+	}
+}
+
+func TestAuthzCollectionInheritance(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateCollection(alice, CollectionSpec{Name: "root"})                //nolint:errcheck
+	c.CreateCollection(alice, CollectionSpec{Name: "sub", Parent: "root"}) //nolint:errcheck
+	c.CreateFile(alice, FileSpec{Name: "deep", Collection: "sub"})         //nolint:errcheck
+	// Grant read on the ROOT collection; it must flow down to the file
+	// through the hierarchy (union-of-permissions rule).
+	if err := c.Grant(alice, ObjectCollection, "root", bob, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile(bob, "deep", 0); err != nil {
+		t.Fatalf("inherited read failed: %v", err)
+	}
+	// Sub-collection readable too.
+	if _, err := c.GetCollection(bob, "sub"); err != nil {
+		t.Fatalf("inherited collection read failed: %v", err)
+	}
+	// But write is not inherited from a read grant.
+	dt := "x"
+	if _, err := c.UpdateFile(bob, "deep", 0, FileUpdate{DataType: &dt}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("write err = %v", err)
+	}
+}
+
+func TestAuthzUnionSemantics(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateCollection(alice, CollectionSpec{Name: "col"})      //nolint:errcheck
+	c.CreateFile(alice, FileSpec{Name: "f", Collection: "col"}) //nolint:errcheck
+	// Read granted on file, write granted on collection: bob has both
+	// (effective set is the union).
+	c.Grant(alice, ObjectFile, "f", bob, PermRead)          //nolint:errcheck
+	c.Grant(alice, ObjectCollection, "col", bob, PermWrite) //nolint:errcheck
+	if _, err := c.GetFile(bob, "f", 0); err != nil {
+		t.Fatal(err)
+	}
+	dt := "x"
+	if _, err := c.UpdateFile(bob, "f", 0, FileUpdate{DataType: &dt}); err != nil {
+		t.Fatalf("union write failed: %v", err)
+	}
+}
+
+func TestAuthzViewsDoNotAffectAuthorization(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "private"}) //nolint:errcheck
+	c.CreateView(bob, ViewSpec{Name: "bobs-view"}) //nolint:errcheck
+	// Bob cannot use a view to gain access: adding requires read on the file.
+	if err := c.AddToView(bob, "bobs-view", ObjectFile, "private"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("add err = %v", err)
+	}
+	// Even if alice adds her file to bob's view (with permission on view)...
+	c.Grant(bob, ObjectView, "bobs-view", alice, PermWrite) //nolint:errcheck
+	if err := c.AddToView(alice, "bobs-view", ObjectFile, "private"); err != nil {
+		t.Fatal(err)
+	}
+	// ...bob still cannot read the file itself.
+	if _, err := c.GetFile(bob, "private", 0); !errors.Is(err, ErrDenied) {
+		t.Fatalf("view leaked access: %v", err)
+	}
+}
+
+func TestAuthzQueryFiltersResults(t *testing.T) {
+	c := setupAuthz(t)
+	c.DefineAttribute(admin, "tag", AttrString, "") //nolint:errcheck
+	c.CreateFile(alice, FileSpec{Name: "a-file",
+		Attributes: []Attribute{{"tag", String("x")}}}) //nolint:errcheck
+	c.CreateFile(bob, FileSpec{Name: "b-file",
+		Attributes: []Attribute{{"tag", String("x")}}}) //nolint:errcheck
+	names, err := c.RunQuery(alice, Query{Predicates: []Predicate{
+		{"tag", OpEq, String("x")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a-file" {
+		t.Fatalf("filtered query = %v", names)
+	}
+	// Admin sees everything.
+	names, _ = c.RunQuery(admin, Query{Predicates: []Predicate{
+		{"tag", OpEq, String("x")},
+	}})
+	if len(names) != 2 {
+		t.Fatalf("admin query = %v", names)
+	}
+}
+
+func TestAuthzGrantRequiresWrite(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "af"}) //nolint:errcheck
+	// Bob cannot grant himself access.
+	if err := c.Grant(bob, ObjectFile, "af", bob, PermRead); !errors.Is(err, ErrDenied) {
+		t.Fatalf("self-grant err = %v", err)
+	}
+}
+
+func TestAuthzOwnerBypasses(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "af"}) //nolint:errcheck
+	if _, err := c.GetFile(admin, "af", 0); err != nil {
+		t.Fatalf("owner read failed: %v", err)
+	}
+	if err := c.DeleteFile(admin, "af", 0); err != nil {
+		t.Fatalf("owner delete failed: %v", err)
+	}
+}
+
+func TestAuthzDisabledAllowsAll(t *testing.T) {
+	c := openCatalog(t)
+	c.CreateFile(alice, FileSpec{Name: "f"}) //nolint:errcheck
+	if _, err := c.GetFile(bob, "f", 0); err != nil {
+		t.Fatalf("authz-off read failed: %v", err)
+	}
+}
+
+func TestAuthzRequiresOwner(t *testing.T) {
+	if _, err := Open(Options{EnforceAuthz: true}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPermissionsListing(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "f"})           //nolint:errcheck
+	c.Grant(alice, ObjectFile, "f", bob, PermRead)     //nolint:errcheck
+	c.Grant(alice, ObjectFile, "f", bob, PermAnnotate) //nolint:errcheck
+	perms, err := c.Permissions(alice, ObjectFile, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perms[bob]) != 2 {
+		t.Fatalf("perms = %v", perms)
+	}
+	// Idempotent re-grant does not duplicate.
+	c.Grant(alice, ObjectFile, "f", bob, PermRead) //nolint:errcheck
+	perms, _ = c.Permissions(alice, ObjectFile, "f")
+	if len(perms[bob]) != 2 {
+		t.Fatalf("re-grant duplicated: %v", perms)
+	}
+}
+
+func TestInvalidPermissionRejected(t *testing.T) {
+	c := setupAuthz(t)
+	c.CreateFile(alice, FileSpec{Name: "f"}) //nolint:errcheck
+	if err := c.Grant(alice, ObjectFile, "f", bob, Permission("fly")); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mcs/internal/sqldb"
+)
+
+// Sentinel errors surfaced by catalog operations.
+var (
+	ErrNotFound      = errors.New("mcs: not found")
+	ErrExists        = errors.New("mcs: already exists")
+	ErrDenied        = errors.New("mcs: permission denied")
+	ErrInvalidInput  = errors.New("mcs: invalid input")
+	ErrCycle         = errors.New("mcs: operation would create a cycle")
+	ErrNotEmpty      = errors.New("mcs: collection not empty")
+	ErrAmbiguousFile = errors.New("mcs: multiple versions exist; specify a version")
+)
+
+// Options configures a Catalog.
+type Options struct {
+	// Owner is the DN bootstrapped with service-level rights. Required when
+	// EnforceAuthz is set.
+	Owner string
+	// EnforceAuthz turns on authorization checks. When false the catalog
+	// trusts every caller (the mode used for the scalability study).
+	EnforceAuthz bool
+	// Clock overrides time.Now, for deterministic tests.
+	Clock func() time.Time
+}
+
+// Catalog is the Metadata Catalog Service engine. It is safe for concurrent
+// use by multiple goroutines.
+type Catalog struct {
+	db    *sqldb.DB
+	opts  Options
+	authz bool
+}
+
+// Open creates a fresh in-memory catalog with the MCS schema applied.
+func Open(opts Options) (*Catalog, error) {
+	if opts.EnforceAuthz && opts.Owner == "" {
+		return nil, fmt.Errorf("%w: authorization requires an owner DN", ErrInvalidInput)
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	db := sqldb.New()
+	if err := applySchema(db); err != nil {
+		return nil, err
+	}
+	c := &Catalog{db: db, opts: opts, authz: opts.EnforceAuthz}
+	if opts.Owner != "" {
+		for _, p := range []Permission{PermRead, PermWrite, PermCreate, PermDelete, PermAnnotate} {
+			if _, err := db.Exec(
+				"INSERT INTO acl (object_type, object_id, principal, permission) VALUES (?, 0, ?, ?)",
+				sqldb.Text(string(ObjectService)), sqldb.Text(opts.Owner), sqldb.Text(string(p))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// DB exposes the underlying database for the benchmark harness's
+// direct-database baseline (the "MySQL without web service" series).
+func (c *Catalog) DB() *sqldb.DB { return c.db }
+
+func (c *Catalog) now() sqldb.Value { return sqldb.Time(c.opts.Clock()) }
+
+// FileSpec describes a logical file to create.
+type FileSpec struct {
+	Name             string
+	Version          int // 0 assigns the next version number
+	DataType         string
+	Collection       string // optional logical collection name
+	ContainerID      string
+	ContainerService string
+	MasterCopy       string
+	Audited          bool
+	Attributes       []Attribute // user-defined attributes set atomically
+	Provenance       string      // optional initial creation record
+}
+
+// CreateFile registers a logical file and its user-defined attributes as one
+// atomic operation, returning the stored static metadata.
+func (c *Catalog) CreateFile(dn string, spec FileSpec) (File, error) {
+	if spec.Name == "" {
+		return File{}, fmt.Errorf("%w: file name required", ErrInvalidInput)
+	}
+	if err := c.requireService(dn, PermCreate); err != nil {
+		return File{}, err
+	}
+	var collectionID int64
+	if spec.Collection != "" {
+		col, err := c.GetCollection(dn, spec.Collection)
+		if err != nil {
+			return File{}, fmt.Errorf("collection %q: %w", spec.Collection, err)
+		}
+		if err := c.requireObject(dn, ObjectCollection, col.ID, PermWrite); err != nil {
+			return File{}, err
+		}
+		collectionID = col.ID
+	}
+	// Resolve attribute definitions up front (read path, outside the tx).
+	type resolved struct {
+		attrID int64
+		col    string
+		val    sqldb.Value
+	}
+	attrs := make([]resolved, 0, len(spec.Attributes))
+	for _, a := range spec.Attributes {
+		def, err := c.GetAttributeDef(a.Name)
+		if err != nil {
+			return File{}, fmt.Errorf("attribute %q: %w", a.Name, err)
+		}
+		if def.Type != a.Value.Type {
+			return File{}, fmt.Errorf("%w: attribute %q is %s, value is %s",
+				ErrInvalidInput, a.Name, def.Type, a.Value.Type)
+		}
+		attrs = append(attrs, resolved{attrID: def.ID, col: def.Type.storageColumn(), val: a.Value.sqlValue()})
+	}
+
+	var out File
+	err := c.db.Update(func(tx *sqldb.Tx) error {
+		version := spec.Version
+		rows, err := tx.Query("SELECT version FROM logical_file WHERE name = ? ORDER BY version DESC LIMIT 1",
+			sqldb.Text(spec.Name))
+		if err != nil {
+			return err
+		}
+		if version == 0 {
+			version = 1
+			if len(rows.Data) > 0 {
+				version = int(rows.Data[0][0].I) + 1
+			}
+		} else {
+			dup, err := tx.Query("SELECT id FROM logical_file WHERE name = ? AND version = ?",
+				sqldb.Text(spec.Name), sqldb.Int(int64(version)))
+			if err != nil {
+				return err
+			}
+			if len(dup.Data) > 0 {
+				return fmt.Errorf("%w: file %q version %d", ErrExists, spec.Name, version)
+			}
+		}
+		now := c.now()
+		res, err := tx.Exec(`INSERT INTO logical_file
+			(name, version, data_type, valid, collection_id, container_id,
+			 container_service, master_copy, creator, last_modifier, created, modified, audited)
+			VALUES (?, ?, ?, TRUE, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.Text(spec.Name), sqldb.Int(int64(version)), sqldb.Text(spec.DataType),
+			nullableID(collectionID), sqldb.Text(spec.ContainerID),
+			sqldb.Text(spec.ContainerService), sqldb.Text(spec.MasterCopy),
+			sqldb.Text(dn), sqldb.Text(dn), now, now, sqldb.Bool(spec.Audited))
+		if err != nil {
+			return err
+		}
+		fileID := res.LastInsertID
+		for _, a := range attrs {
+			if _, err := tx.Exec(fmt.Sprintf(
+				"INSERT INTO user_attribute (object_type, object_id, attr_id, %s) VALUES (?, ?, ?, ?)", a.col),
+				sqldb.Text(string(ObjectFile)), sqldb.Int(fileID), sqldb.Int(a.attrID), a.val); err != nil {
+				return err
+			}
+		}
+		if spec.Provenance != "" {
+			if _, err := tx.Exec("INSERT INTO provenance (file_id, description, at) VALUES (?, ?, ?)",
+				sqldb.Int(fileID), sqldb.Text(spec.Provenance), now); err != nil {
+				return err
+			}
+		}
+		if spec.Audited {
+			if err := c.auditTx(tx, ObjectFile, fileID, "create", dn, spec.Name); err != nil {
+				return err
+			}
+		}
+		out = File{
+			ID: fileID, Name: spec.Name, Version: version, DataType: spec.DataType,
+			Valid: true, CollectionID: collectionID, ContainerID: spec.ContainerID,
+			ContainerService: spec.ContainerService, MasterCopy: spec.MasterCopy,
+			Creator: dn, LastModifier: dn,
+			Created: now.M, Modified: now.M, Audited: spec.Audited,
+		}
+		return nil
+	})
+	if err != nil {
+		return File{}, err
+	}
+	return out, nil
+}
+
+// nullableID renders 0 as NULL for optional foreign keys.
+func nullableID(id int64) sqldb.Value {
+	if id == 0 {
+		return sqldb.Null()
+	}
+	return sqldb.Int(id)
+}
+
+const fileColumns = `id, name, version, data_type, valid, collection_id,
+	container_id, container_service, master_copy, creator, last_modifier,
+	created, modified, audited`
+
+func scanFile(row []sqldb.Value) File {
+	f := File{
+		ID:       row[0].I,
+		Name:     row[1].S,
+		Version:  int(row[2].I),
+		DataType: row[3].S,
+		Valid:    row[4].B,
+	}
+	if !row[5].IsNull() {
+		f.CollectionID = row[5].I
+	}
+	f.ContainerID = row[6].S
+	f.ContainerService = row[7].S
+	f.MasterCopy = row[8].S
+	f.Creator = row[9].S
+	f.LastModifier = row[10].S
+	f.Created = row[11].M
+	f.Modified = row[12].M
+	f.Audited = row[13].B
+	return f
+}
+
+// GetFile fetches a logical file by name. version 0 selects the only
+// version if unique, otherwise the call fails with ErrAmbiguousFile,
+// matching the paper's rule that name and version together identify the
+// item once multiple versions exist.
+func (c *Catalog) GetFile(dn, name string, version int) (File, error) {
+	var rows *sqldb.Rows
+	var err error
+	if version == 0 {
+		rows, err = c.db.Query("SELECT "+fileColumns+" FROM logical_file WHERE name = ?",
+			sqldb.Text(name))
+	} else {
+		rows, err = c.db.Query("SELECT "+fileColumns+" FROM logical_file WHERE name = ? AND version = ?",
+			sqldb.Text(name), sqldb.Int(int64(version)))
+	}
+	if err != nil {
+		return File{}, err
+	}
+	if len(rows.Data) == 0 {
+		return File{}, fmt.Errorf("%w: file %q", ErrNotFound, name)
+	}
+	if version == 0 && len(rows.Data) > 1 {
+		return File{}, fmt.Errorf("%w: file %q has %d versions", ErrAmbiguousFile, name, len(rows.Data))
+	}
+	f := scanFile(rows.Data[0])
+	if err := c.requireFile(dn, &f, PermRead); err != nil {
+		return File{}, err
+	}
+	return f, nil
+}
+
+// FileVersions lists all versions of a logical file name, oldest first.
+func (c *Catalog) FileVersions(dn, name string) ([]File, error) {
+	rows, err := c.db.Query("SELECT "+fileColumns+" FROM logical_file WHERE name = ? ORDER BY version",
+		sqldb.Text(name))
+	if err != nil {
+		return nil, err
+	}
+	files := make([]File, 0, len(rows.Data))
+	for _, row := range rows.Data {
+		f := scanFile(row)
+		if err := c.requireFile(dn, &f, PermRead); err != nil {
+			continue // unreadable versions are filtered, not fatal
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%w: file %q", ErrNotFound, name)
+	}
+	return files, nil
+}
+
+// FileUpdate holds the modifiable static attributes of a logical file.
+// Nil pointers leave the field unchanged.
+type FileUpdate struct {
+	DataType         *string
+	Valid            *bool
+	ContainerID      *string
+	ContainerService *string
+	MasterCopy       *string
+}
+
+// UpdateFile modifies static attributes of a file.
+func (c *Catalog) UpdateFile(dn, name string, version int, upd FileUpdate) (File, error) {
+	f, err := c.GetFile(dn, name, version)
+	if err != nil {
+		return File{}, err
+	}
+	if err := c.requireFile(dn, &f, PermWrite); err != nil {
+		return File{}, err
+	}
+	set := ""
+	var args []sqldb.Value
+	add := func(col string, v sqldb.Value) {
+		if set != "" {
+			set += ", "
+		}
+		set += col + " = ?"
+		args = append(args, v)
+	}
+	if upd.DataType != nil {
+		add("data_type", sqldb.Text(*upd.DataType))
+		f.DataType = *upd.DataType
+	}
+	if upd.Valid != nil {
+		add("valid", sqldb.Bool(*upd.Valid))
+		f.Valid = *upd.Valid
+	}
+	if upd.ContainerID != nil {
+		add("container_id", sqldb.Text(*upd.ContainerID))
+		f.ContainerID = *upd.ContainerID
+	}
+	if upd.ContainerService != nil {
+		add("container_service", sqldb.Text(*upd.ContainerService))
+		f.ContainerService = *upd.ContainerService
+	}
+	if upd.MasterCopy != nil {
+		add("master_copy", sqldb.Text(*upd.MasterCopy))
+		f.MasterCopy = *upd.MasterCopy
+	}
+	if set == "" {
+		return f, nil
+	}
+	now := c.now()
+	add("last_modifier", sqldb.Text(dn))
+	add("modified", now)
+	f.LastModifier = dn
+	f.Modified = now.M
+	args = append(args, sqldb.Int(f.ID))
+	err = c.db.Update(func(tx *sqldb.Tx) error {
+		if _, err := tx.Exec("UPDATE logical_file SET "+set+" WHERE id = ?", args...); err != nil {
+			return err
+		}
+		if f.Audited {
+			return c.auditTx(tx, ObjectFile, f.ID, "update", dn, "static attributes")
+		}
+		return nil
+	})
+	if err != nil {
+		return File{}, err
+	}
+	return f, nil
+}
+
+// InvalidateFile clears the valid flag, the paper's fast mechanism for a
+// virtual organization to mark data as bad without deleting its metadata.
+func (c *Catalog) InvalidateFile(dn, name string, version int) error {
+	valid := false
+	_, err := c.UpdateFile(dn, name, version, FileUpdate{Valid: &valid})
+	return err
+}
+
+// DeleteFile removes a logical file and everything hanging off it:
+// user-defined attributes, annotations, provenance, ACL entries and view
+// memberships.
+func (c *Catalog) DeleteFile(dn, name string, version int) error {
+	f, err := c.GetFile(dn, name, version)
+	if err != nil {
+		return err
+	}
+	if err := c.requireFile(dn, &f, PermDelete); err != nil {
+		return err
+	}
+	return c.db.Update(func(tx *sqldb.Tx) error {
+		id := sqldb.Int(f.ID)
+		ft := sqldb.Text(string(ObjectFile))
+		if _, err := tx.Exec("DELETE FROM logical_file WHERE id = ?", id); err != nil {
+			return err
+		}
+		for _, stmt := range []string{
+			"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ?",
+			"DELETE FROM annotation WHERE object_type = ? AND object_id = ?",
+			"DELETE FROM acl WHERE object_type = ? AND object_id = ?",
+			"DELETE FROM view_member WHERE object_type = ? AND object_id = ?",
+		} {
+			if _, err := tx.Exec(stmt, ft, id); err != nil {
+				return err
+			}
+		}
+		if _, err := tx.Exec("DELETE FROM provenance WHERE file_id = ?", id); err != nil {
+			return err
+		}
+		if f.Audited {
+			return c.auditTx(tx, ObjectFile, f.ID, "delete", dn, f.Name)
+		}
+		return nil
+	})
+}
+
+// MoveFile reassigns a file to a different logical collection ("" removes it
+// from its collection). The paper's single-collection rule is preserved.
+func (c *Catalog) MoveFile(dn, name string, version int, collection string) error {
+	f, err := c.GetFile(dn, name, version)
+	if err != nil {
+		return err
+	}
+	if err := c.requireFile(dn, &f, PermWrite); err != nil {
+		return err
+	}
+	var newID int64
+	if collection != "" {
+		col, err := c.GetCollection(dn, collection)
+		if err != nil {
+			return err
+		}
+		if err := c.requireObject(dn, ObjectCollection, col.ID, PermWrite); err != nil {
+			return err
+		}
+		newID = col.ID
+	}
+	_, err = c.db.Exec("UPDATE logical_file SET collection_id = ?, last_modifier = ?, modified = ? WHERE id = ?",
+		nullableID(newID), sqldb.Text(dn), c.now(), sqldb.Int(f.ID))
+	return err
+}

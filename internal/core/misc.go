@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+
+	"mcs/internal/sqldb"
+)
+
+// auditTx appends an audit record inside an existing transaction.
+func (c *Catalog) auditTx(tx *sqldb.Tx, objType ObjectType, id int64, action, dn, detail string) error {
+	_, err := tx.Exec(
+		"INSERT INTO audit_log (object_type, object_id, action, dn, detail, at) VALUES (?, ?, ?, ?, ?, ?)",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(action),
+		sqldb.Text(dn), sqldb.Text(detail), c.now())
+	return err
+}
+
+// AuditLog returns the audit records for one object, oldest first.
+func (c *Catalog) AuditLog(dn string, objType ObjectType, objectName string) ([]AuditRecord, error) {
+	id, err := c.resolveObject(dn, objType, objectName)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.requireObject(dn, objType, id, PermRead); err != nil {
+		return nil, err
+	}
+	rows, err := c.db.Query(
+		`SELECT id, object_type, object_id, action, dn, detail, at FROM audit_log
+		 WHERE object_type = ? AND object_id = ? ORDER BY id`,
+		sqldb.Text(string(objType)), sqldb.Int(id))
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]AuditRecord, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		recs = append(recs, AuditRecord{
+			ID: r[0].I, Object: ObjectType(r[1].S), ObjectID: r[2].I,
+			Action: r[3].S, DN: r[4].S, Detail: r[5].S, At: r[6].M,
+		})
+	}
+	return recs, nil
+}
+
+// Annotate attaches a free-text annotation to a file, collection or view.
+func (c *Catalog) Annotate(dn string, objType ObjectType, objectName, text string) (Annotation, error) {
+	if text == "" {
+		return Annotation{}, fmt.Errorf("%w: empty annotation", ErrInvalidInput)
+	}
+	id, err := c.resolveObject(dn, objType, objectName)
+	if err != nil {
+		return Annotation{}, err
+	}
+	if err := c.requireObject(dn, objType, id, PermAnnotate); err != nil {
+		return Annotation{}, err
+	}
+	now := c.now()
+	res, err := c.db.Exec(
+		"INSERT INTO annotation (object_type, object_id, annotation, dn, at) VALUES (?, ?, ?, ?, ?)",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(text), sqldb.Text(dn), now)
+	if err != nil {
+		return Annotation{}, err
+	}
+	return Annotation{
+		ID: res.LastInsertID, Object: objType, ObjectID: id,
+		Text: text, Creator: dn, CreatedAt: now.M,
+	}, nil
+}
+
+// Annotations lists the annotations on an object, oldest first.
+func (c *Catalog) Annotations(dn string, objType ObjectType, objectName string) ([]Annotation, error) {
+	id, err := c.resolveObject(dn, objType, objectName)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.requireObject(dn, objType, id, PermRead); err != nil {
+		return nil, err
+	}
+	rows, err := c.db.Query(
+		`SELECT id, annotation, dn, at FROM annotation
+		 WHERE object_type = ? AND object_id = ? ORDER BY id`,
+		sqldb.Text(string(objType)), sqldb.Int(id))
+	if err != nil {
+		return nil, err
+	}
+	anns := make([]Annotation, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		anns = append(anns, Annotation{
+			ID: r[0].I, Object: objType, ObjectID: id,
+			Text: r[1].S, Creator: r[2].S, CreatedAt: r[3].M,
+		})
+	}
+	return anns, nil
+}
+
+// AddProvenance appends a creation/transformation history record to a file.
+func (c *Catalog) AddProvenance(dn, fileName string, version int, description string) error {
+	f, err := c.GetFile(dn, fileName, version)
+	if err != nil {
+		return err
+	}
+	if err := c.requireFile(dn, &f, PermWrite); err != nil {
+		return err
+	}
+	_, err = c.db.Exec("INSERT INTO provenance (file_id, description, at) VALUES (?, ?, ?)",
+		sqldb.Int(f.ID), sqldb.Text(description), c.now())
+	return err
+}
+
+// Provenance returns a file's transformation history, oldest first.
+func (c *Catalog) Provenance(dn, fileName string, version int) ([]ProvenanceRecord, error) {
+	f, err := c.GetFile(dn, fileName, version)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.db.Query(
+		"SELECT id, file_id, description, at FROM provenance WHERE file_id = ? ORDER BY id",
+		sqldb.Int(f.ID))
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]ProvenanceRecord, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		recs = append(recs, ProvenanceRecord{ID: r[0].I, FileID: r[1].I, Description: r[2].S, At: r[3].M})
+	}
+	return recs, nil
+}
+
+// RegisterWriter stores (or updates) the contact record of a metadata
+// writer.
+func (c *Catalog) RegisterWriter(dn string, w Writer) error {
+	if w.DN == "" {
+		return fmt.Errorf("%w: writer DN required", ErrInvalidInput)
+	}
+	return c.db.Update(func(tx *sqldb.Tx) error {
+		if _, err := tx.Exec("DELETE FROM writer WHERE dn = ?", sqldb.Text(w.DN)); err != nil {
+			return err
+		}
+		_, err := tx.Exec(
+			"INSERT INTO writer (dn, description, institution, address, phone, email) VALUES (?, ?, ?, ?, ?, ?)",
+			sqldb.Text(w.DN), sqldb.Text(w.Description), sqldb.Text(w.Institution),
+			sqldb.Text(w.Address), sqldb.Text(w.Phone), sqldb.Text(w.Email))
+		return err
+	})
+}
+
+// GetWriter fetches a writer's contact record by DN.
+func (c *Catalog) GetWriter(dn, writerDN string) (Writer, error) {
+	rows, err := c.db.Query(
+		"SELECT dn, description, institution, address, phone, email FROM writer WHERE dn = ?",
+		sqldb.Text(writerDN))
+	if err != nil {
+		return Writer{}, err
+	}
+	if len(rows.Data) == 0 {
+		return Writer{}, fmt.Errorf("%w: writer %q", ErrNotFound, writerDN)
+	}
+	r := rows.Data[0]
+	return Writer{DN: r[0].S, Description: r[1].S, Institution: r[2].S,
+		Address: r[3].S, Phone: r[4].S, Email: r[5].S}, nil
+}
+
+// RegisterExternalCatalog records a pointer to another metadata catalog.
+func (c *Catalog) RegisterExternalCatalog(dn string, ec ExternalCatalog) (ExternalCatalog, error) {
+	if ec.Name == "" {
+		return ExternalCatalog{}, fmt.Errorf("%w: external catalog name required", ErrInvalidInput)
+	}
+	if err := c.requireService(dn, PermCreate); err != nil {
+		return ExternalCatalog{}, err
+	}
+	res, err := c.db.Exec(
+		"INSERT INTO external_catalog (name, type, host, ip, description) VALUES (?, ?, ?, ?, ?)",
+		sqldb.Text(ec.Name), sqldb.Text(ec.Type), sqldb.Text(ec.Host),
+		sqldb.Text(ec.IP), sqldb.Text(ec.Description))
+	if err != nil {
+		return ExternalCatalog{}, fmt.Errorf("%w: external catalog %q", ErrExists, ec.Name)
+	}
+	ec.ID = res.LastInsertID
+	return ec, nil
+}
+
+// ExternalCatalogs lists the registered external catalogs.
+func (c *Catalog) ExternalCatalogs(dn string) ([]ExternalCatalog, error) {
+	rows, err := c.db.Query(
+		"SELECT id, name, type, host, ip, description FROM external_catalog ORDER BY name")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExternalCatalog, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		out = append(out, ExternalCatalog{
+			ID: r[0].I, Name: r[1].S, Type: r[2].S, Host: r[3].S, IP: r[4].S, Description: r[5].S,
+		})
+	}
+	return out, nil
+}
+
+// AttributePairs calls fn with every (attribute name, rendered value)
+// binding on objects of the given type, until fn returns false. The
+// federation index uses this to build discovery summaries.
+func (c *Catalog) AttributePairs(objType ObjectType, fn func(attr, value string) bool) error {
+	rows, err := c.db.Query(`SELECT d.name, d.type, ua.sval, ua.ival, ua.fval, ua.tval
+		FROM user_attribute ua JOIN attribute_def d ON d.id = ua.attr_id
+		WHERE ua.object_type = ?`, sqldb.Text(string(objType)))
+	if err != nil {
+		return err
+	}
+	for _, r := range rows.Data {
+		typ := AttrType(r[1].S)
+		var v AttrValue
+		switch typ {
+		case AttrString:
+			v = String(r[2].S)
+		case AttrInt:
+			v = Int(r[3].I)
+		case AttrFloat:
+			v = Float(r[4].F)
+		case AttrDate:
+			v = AttrValue{Type: AttrDate, T: r[5].M}
+		case AttrTime:
+			v = AttrValue{Type: AttrTime, T: r[5].M}
+		default:
+			v = AttrValue{Type: AttrDateTime, T: r[5].M}
+		}
+		if !fn(r[0].S, v.Render()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats reports catalog row counts (diagnostics and the bench harness).
+type Stats struct {
+	Files       int
+	Collections int
+	Views       int
+	Attributes  int
+	AttrDefs    int
+}
+
+// Stats returns current row counts.
+func (c *Catalog) Stats() (Stats, error) {
+	var s Stats
+	for _, q := range []struct {
+		table string
+		dst   *int
+	}{
+		{"logical_file", &s.Files},
+		{"logical_collection", &s.Collections},
+		{"logical_view", &s.Views},
+		{"user_attribute", &s.Attributes},
+		{"attribute_def", &s.AttrDefs},
+	} {
+		n, err := c.db.RowCount(q.table)
+		if err != nil {
+			return Stats{}, err
+		}
+		*q.dst = n
+	}
+	return s, nil
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mcs/internal/sqldb"
+)
+
+// The attribute-based discovery engine. A query is a conjunction of
+// predicates over predefined (static) attributes and user-defined
+// attributes; the result is the set of logical names whose metadata
+// matches — step (1)/(2) of the paper's Figure 2 scenario.
+//
+// Query compilation mirrors what the original MCS server did against MySQL:
+// static predicates filter the object table directly; each user-defined
+// attribute predicate becomes one join against the user_attribute table,
+// so an N-attribute "complex query" is an N-way self-join. The first
+// user-attribute predicate drives the access path through the
+// (attr_id, value) index; subsequent instances join on object_id.
+
+// targetTable returns the object table and alias for a query target.
+func targetTable(t ObjectType) (string, error) {
+	switch t {
+	case ObjectFile, "":
+		return "logical_file", nil
+	case ObjectCollection:
+		return "logical_collection", nil
+	case ObjectView:
+		return "logical_view", nil
+	}
+	return "", fmt.Errorf("%w: query target %q", ErrInvalidInput, t)
+}
+
+// staticColumnFor resolves a static attribute name for the given target.
+func staticColumnFor(target ObjectType, attr string) (column string, typ AttrType, ok bool) {
+	if target == ObjectFile || target == "" {
+		sc, ok := staticFileColumns[attr]
+		return sc.column, sc.typ, ok
+	}
+	// Collections and views share a small static vocabulary.
+	switch attr {
+	case "name", "description", "creator", "lastModifier":
+		cols := map[string]string{
+			"name": "name", "description": "description",
+			"creator": "creator", "lastModifier": "last_modifier",
+		}
+		return cols[attr], AttrString, true
+	}
+	return "", "", false
+}
+
+// staticTypeCompatible reports whether a predicate value of type got can
+// meaningfully compare against a static column of type want (numeric types
+// interconvert; everything else must match exactly).
+func staticTypeCompatible(want, got AttrType) bool {
+	if want == got {
+		return true
+	}
+	numeric := func(t AttrType) bool { return t == AttrInt || t == AttrFloat }
+	if numeric(want) && numeric(got) {
+		return true
+	}
+	// The datetime-ish static columns accept any of the three time kinds.
+	timeish := func(t AttrType) bool { return t == AttrDate || t == AttrTime || t == AttrDateTime }
+	return timeish(want) && timeish(got)
+}
+
+// sqlOp maps a query operator to its SQL spelling.
+func sqlOp(op Op) (string, error) {
+	switch op {
+	case OpEq:
+		return "=", nil
+	case OpNe:
+		return "!=", nil
+	case OpLt, OpLe, OpGt, OpGe:
+		return string(op), nil
+	case OpLike:
+		return "LIKE", nil
+	}
+	return "", fmt.Errorf("%w: operator %q", ErrInvalidInput, op)
+}
+
+// compileQuery translates a Query into SQL and its parameters.
+func (c *Catalog) compileQuery(q Query) (string, []sqldb.Value, error) {
+	target := q.Target
+	if target == "" {
+		target = ObjectFile
+	}
+	table, err := targetTable(target)
+	if err != nil {
+		return "", nil, err
+	}
+
+	type userPred struct {
+		def AttributeDef
+		op  string
+		val sqldb.Value
+	}
+	var staticConds []string
+	var staticArgs []sqldb.Value
+	var userPreds []userPred
+
+	for _, p := range q.Predicates {
+		op, err := sqlOp(p.Op)
+		if err != nil {
+			return "", nil, err
+		}
+		if col, typ, ok := staticColumnFor(target, p.Attribute); ok {
+			v := p.Value.sqlValue()
+			// The valid flag is stored as BOOLEAN; accept int 0/1 predicates.
+			if p.Attribute == "valid" {
+				v = sqldb.Bool(p.Value.I != 0)
+			} else if !staticTypeCompatible(typ, p.Value.Type) {
+				return "", nil, fmt.Errorf("%w: static attribute %q is %s, predicate value is %s",
+					ErrInvalidInput, p.Attribute, typ, p.Value.Type)
+			}
+			staticConds = append(staticConds, fmt.Sprintf("t.%s %s ?", col, op))
+			staticArgs = append(staticArgs, v)
+			continue
+		}
+		def, err := c.GetAttributeDef(p.Attribute)
+		if err != nil {
+			return "", nil, err
+		}
+		if def.Type != p.Value.Type {
+			return "", nil, fmt.Errorf("%w: attribute %q is %s, predicate value is %s",
+				ErrInvalidInput, p.Attribute, def.Type, p.Value.Type)
+		}
+		userPreds = append(userPreds, userPred{def: def, op: op, val: p.Value.sqlValue()})
+	}
+
+	var sb strings.Builder
+	var args []sqldb.Value
+	if len(userPreds) == 0 {
+		sb.WriteString("SELECT t.name FROM " + table + " t")
+		if len(staticConds) > 0 {
+			sb.WriteString(" WHERE " + strings.Join(staticConds, " AND "))
+			args = append(args, staticArgs...)
+		}
+	} else {
+		// a0 drives the scan through the (attr_id, value) index; the object
+		// table and the remaining attribute instances join off it.
+		sb.WriteString("SELECT DISTINCT t.name FROM user_attribute a0")
+		sb.WriteString(" JOIN " + table + " t ON t.id = a0.object_id")
+		for i := 1; i < len(userPreds); i++ {
+			fmt.Fprintf(&sb, " JOIN user_attribute a%d ON a%d.object_id = a0.object_id", i, i)
+		}
+		var conds []string
+		for i, up := range userPreds {
+			a := fmt.Sprintf("a%d", i)
+			conds = append(conds, fmt.Sprintf("%s.object_type = ?", a))
+			args = append(args, sqldb.Text(string(target)))
+			conds = append(conds, fmt.Sprintf("%s.attr_id = ?", a))
+			args = append(args, sqldb.Int(up.def.ID))
+			conds = append(conds, fmt.Sprintf("%s.%s %s ?", a, up.def.Type.storageColumn(), up.op))
+			args = append(args, up.val)
+		}
+		conds = append(conds, staticConds...)
+		args = append(args, staticArgs...)
+		sb.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String(), args, nil
+}
+
+// RunQuery executes an attribute-based query and returns the matching
+// logical names. With authorization enabled, names the caller may not read
+// are filtered from the result.
+func (c *Catalog) RunQuery(dn string, q Query) ([]string, error) {
+	sql, args, err := c.compileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		names = append(names, r[0].S)
+	}
+	if !c.authz {
+		return names, nil
+	}
+	target := q.Target
+	if target == "" {
+		target = ObjectFile
+	}
+	visible := names[:0]
+	for _, name := range names {
+		id, err := c.resolveObject(dn, target, name)
+		if err != nil {
+			continue
+		}
+		ok, err := c.allowed(dn, target, id, PermRead)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			visible = append(visible, name)
+		}
+	}
+	return visible, nil
+}
+
+// QueryResult couples one matched logical name with the values of the
+// attributes the caller asked to be returned.
+type QueryResult struct {
+	Name       string
+	Attributes []Attribute
+}
+
+// RunQueryAttrs executes a query and, per the requirements of section 3 of
+// the paper ("queries must also return the values of one or more additional
+// metadata attributes associated with the logical name attribute"), fetches
+// the named user-defined attributes of every match. Attributes a match does
+// not carry are simply absent from its result.
+func (c *Catalog) RunQueryAttrs(dn string, q Query, returnAttrs []string) ([]QueryResult, error) {
+	names, err := c.RunQuery(dn, q)
+	if err != nil {
+		return nil, err
+	}
+	target := q.Target
+	if target == "" {
+		target = ObjectFile
+	}
+	want := make(map[string]bool, len(returnAttrs))
+	for _, a := range returnAttrs {
+		if _, err := c.GetAttributeDef(a); err != nil {
+			return nil, err
+		}
+		want[a] = true
+	}
+	out := make([]QueryResult, 0, len(names))
+	for _, name := range names {
+		res := QueryResult{Name: name}
+		if len(want) > 0 {
+			attrs, err := c.GetAttributes(dn, target, name)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range attrs {
+				if want[a.Name] {
+					res.Attributes = append(res.Attributes, a)
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// QueryFiles runs a file-targeted query and loads the full static metadata
+// of each match.
+func (c *Catalog) QueryFiles(dn string, q Query) ([]File, error) {
+	q.Target = ObjectFile
+	names, err := c.RunQuery(dn, q)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]File, 0, len(names))
+	for _, name := range names {
+		vs, err := c.FileVersions(dn, name)
+		if err != nil {
+			continue
+		}
+		files = append(files, vs...)
+	}
+	return files, nil
+}
+
+// ExplainQuery exposes the compiled SQL of a query (diagnostics, tests and
+// the ablation benchmarks).
+func (c *Catalog) ExplainQuery(q Query) (string, error) {
+	sql, _, err := c.compileQuery(q)
+	return sql, err
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunQueryAttrs(t *testing.T) {
+	c := openCatalog(t)
+	c.DefineAttribute(alice, "band", AttrString, "") //nolint:errcheck
+	c.DefineAttribute(alice, "dur", AttrInt, "")     //nolint:errcheck
+	c.CreateFile(alice, FileSpec{Name: "a", Attributes: []Attribute{
+		{Name: "band", Value: String("high")}, {Name: "dur", Value: Int(30)},
+	}}) //nolint:errcheck
+	c.CreateFile(alice, FileSpec{Name: "b", Attributes: []Attribute{
+		{Name: "band", Value: String("high")},
+	}}) //nolint:errcheck
+
+	results, err := c.RunQueryAttrs(alice, Query{Predicates: []Predicate{
+		{Attribute: "band", Op: OpEq, Value: String("high")},
+	}}, []string{"dur"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	byName := map[string][]Attribute{}
+	for _, r := range results {
+		byName[r.Name] = r.Attributes
+	}
+	// File a carries dur; file b does not, so its result has no attributes.
+	if len(byName["a"]) != 1 || byName["a"][0].Value.I != 30 {
+		t.Fatalf("a attrs = %v", byName["a"])
+	}
+	if len(byName["b"]) != 0 {
+		t.Fatalf("b attrs = %v", byName["b"])
+	}
+
+	// Empty return list degenerates to plain name results.
+	results, err = c.RunQueryAttrs(alice, Query{Predicates: []Predicate{
+		{Attribute: "band", Op: OpEq, Value: String("high")},
+	}}, nil)
+	if err != nil || len(results) != 2 || results[0].Attributes != nil {
+		t.Fatalf("plain results = %v, %v", results, err)
+	}
+
+	// Unknown return attribute fails.
+	if _, err := c.RunQueryAttrs(alice, Query{}, []string{"ghost"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunQueryAttrsOnCollections(t *testing.T) {
+	c := openCatalog(t)
+	c.DefineAttribute(alice, "project", AttrString, "") //nolint:errcheck
+	c.CreateCollection(alice, CollectionSpec{Name: "col", Attributes: []Attribute{
+		{Name: "project", Value: String("esg")},
+	}}) //nolint:errcheck
+	results, err := c.RunQueryAttrs(alice, Query{
+		Target:     ObjectCollection,
+		Predicates: []Predicate{{Attribute: "project", Op: OpEq, Value: String("esg")}},
+	}, []string{"project"})
+	if err != nil || len(results) != 1 || results[0].Name != "col" {
+		t.Fatalf("results = %v, %v", results, err)
+	}
+	if len(results[0].Attributes) != 1 || results[0].Attributes[0].Value.S != "esg" {
+		t.Fatalf("attrs = %v", results[0].Attributes)
+	}
+}
+
+func TestStaticPredicateTypeChecked(t *testing.T) {
+	c := openCatalog(t)
+	c.CreateFile(alice, FileSpec{Name: "f"}) //nolint:errcheck
+	// name is a string attribute; an int predicate value is a caller bug.
+	if _, err := c.RunQuery(alice, Query{Predicates: []Predicate{
+		{Attribute: "name", Op: OpEq, Value: Int(1)},
+	}}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("err = %v", err)
+	}
+	// version is int; float compares numerically and is accepted.
+	if _, err := c.RunQuery(alice, Query{Predicates: []Predicate{
+		{Attribute: "version", Op: OpEq, Value: Float(1)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}

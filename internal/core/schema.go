@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"mcs/internal/sqldb"
+)
+
+// ddl is the predefined MCS schema, following section 5 of the paper.
+// The index set mirrors the evaluation setup: "indexes on logical file
+// names, logical collection names and logical views … on the
+// database-assigned identifiers for these items and on (name,id) pairs",
+// plus per-type value indexes for user-defined attribute matching.
+var ddl = []string{
+	`CREATE TABLE logical_file (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL,
+		version INTEGER NOT NULL,
+		data_type TEXT,
+		valid BOOLEAN NOT NULL,
+		collection_id INTEGER,
+		container_id TEXT,
+		container_service TEXT,
+		master_copy TEXT,
+		creator TEXT NOT NULL,
+		last_modifier TEXT,
+		created DATETIME NOT NULL,
+		modified DATETIME,
+		audited BOOLEAN NOT NULL
+	)`,
+	`CREATE INDEX lf_name ON logical_file (name, version)`,
+	`CREATE INDEX lf_name_id ON logical_file (name, id)`,
+	`CREATE INDEX lf_collection ON logical_file (collection_id)`,
+
+	`CREATE TABLE logical_collection (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL UNIQUE,
+		description TEXT,
+		parent_id INTEGER,
+		creator TEXT NOT NULL,
+		last_modifier TEXT,
+		created DATETIME NOT NULL,
+		modified DATETIME,
+		audited BOOLEAN NOT NULL
+	)`,
+	`CREATE INDEX lc_name_id ON logical_collection (name, id)`,
+	`CREATE INDEX lc_parent ON logical_collection (parent_id)`,
+
+	`CREATE TABLE logical_view (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL UNIQUE,
+		description TEXT,
+		creator TEXT NOT NULL,
+		last_modifier TEXT,
+		created DATETIME NOT NULL,
+		modified DATETIME,
+		audited BOOLEAN NOT NULL
+	)`,
+	`CREATE INDEX lv_name_id ON logical_view (name, id)`,
+
+	`CREATE TABLE view_member (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		view_id INTEGER NOT NULL,
+		object_type TEXT NOT NULL,
+		object_id INTEGER NOT NULL
+	)`,
+	`CREATE INDEX vm_view ON view_member (view_id)`,
+	`CREATE INDEX vm_object ON view_member (object_type, object_id)`,
+
+	`CREATE TABLE attribute_def (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL UNIQUE,
+		type TEXT NOT NULL,
+		description TEXT,
+		creator TEXT,
+		created DATETIME NOT NULL
+	)`,
+
+	`CREATE TABLE user_attribute (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		object_type TEXT NOT NULL,
+		object_id INTEGER NOT NULL,
+		attr_id INTEGER NOT NULL,
+		sval TEXT,
+		ival INTEGER,
+		fval FLOAT,
+		tval DATETIME
+	)`,
+	`CREATE INDEX ua_object ON user_attribute (object_type, object_id)`,
+	`CREATE INDEX ua_oid ON user_attribute (object_id)`,
+	`CREATE INDEX ua_attr_s ON user_attribute (attr_id, sval)`,
+	`CREATE INDEX ua_attr_i ON user_attribute (attr_id, ival)`,
+	`CREATE INDEX ua_attr_f ON user_attribute (attr_id, fval)`,
+	`CREATE INDEX ua_attr_t ON user_attribute (attr_id, tval)`,
+
+	`CREATE TABLE acl (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		object_type TEXT NOT NULL,
+		object_id INTEGER NOT NULL,
+		principal TEXT NOT NULL,
+		permission TEXT NOT NULL
+	)`,
+	`CREATE INDEX acl_object ON acl (object_type, object_id)`,
+	`CREATE INDEX acl_principal ON acl (principal)`,
+
+	`CREATE TABLE audit_log (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		object_type TEXT NOT NULL,
+		object_id INTEGER NOT NULL,
+		action TEXT NOT NULL,
+		dn TEXT NOT NULL,
+		detail TEXT,
+		at DATETIME NOT NULL
+	)`,
+	`CREATE INDEX audit_object ON audit_log (object_type, object_id)`,
+
+	`CREATE TABLE annotation (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		object_type TEXT NOT NULL,
+		object_id INTEGER NOT NULL,
+		annotation TEXT NOT NULL,
+		dn TEXT NOT NULL,
+		at DATETIME NOT NULL
+	)`,
+	`CREATE INDEX ann_object ON annotation (object_type, object_id)`,
+
+	`CREATE TABLE provenance (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		file_id INTEGER NOT NULL,
+		description TEXT NOT NULL,
+		at DATETIME NOT NULL
+	)`,
+	`CREATE INDEX prov_file ON provenance (file_id)`,
+
+	`CREATE TABLE writer (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		dn TEXT NOT NULL UNIQUE,
+		description TEXT,
+		institution TEXT,
+		address TEXT,
+		phone TEXT,
+		email TEXT
+	)`,
+
+	`CREATE TABLE external_catalog (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL UNIQUE,
+		type TEXT NOT NULL,
+		host TEXT,
+		ip TEXT,
+		description TEXT
+	)`,
+}
+
+// staticFileColumns maps queryable predefined logical-file attribute names
+// to their column and attribute type. These are the "static attributes" of
+// the paper's simple-query workload.
+var staticFileColumns = map[string]struct {
+	column string
+	typ    AttrType
+}{
+	"name":             {"name", AttrString},
+	"version":          {"version", AttrInt},
+	"dataType":         {"data_type", AttrString},
+	"creator":          {"creator", AttrString},
+	"lastModifier":     {"last_modifier", AttrString},
+	"containerId":      {"container_id", AttrString},
+	"containerService": {"container_service", AttrString},
+	"masterCopy":       {"master_copy", AttrString},
+	"created":          {"created", AttrDateTime},
+	"modified":         {"modified", AttrDateTime},
+	"valid":            {"valid", AttrInt}, // 0/1 via int predicate
+	"collectionId":     {"collection_id", AttrInt},
+}
+
+// applySchema creates all MCS tables and indexes in db.
+func applySchema(db *sqldb.DB) error {
+	for _, stmt := range ddl {
+		if _, err := db.Exec(stmt); err != nil {
+			return fmt.Errorf("mcs: apply schema: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mcs/internal/sqldb"
+)
+
+// Snapshot writes the catalog's full contents (schema, rows, indexes) to w,
+// from a consistent point-in-time view. Together with Restore it gives the
+// in-memory engine the restart durability of the paper's MySQL backend.
+func (c *Catalog) Snapshot(w io.Writer) error {
+	return c.db.Dump(w)
+}
+
+// Restore opens a catalog from a stream written by Snapshot. Options are
+// applied as in Open, except that the schema and any bootstrap ACL rows
+// come from the snapshot rather than being re-created.
+func Restore(opts Options, r io.Reader) (*Catalog, error) {
+	if opts.EnforceAuthz && opts.Owner == "" {
+		return nil, fmt.Errorf("%w: authorization requires an owner DN", ErrInvalidInput)
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	db := sqldb.New()
+	if err := db.LoadSnapshot(r); err != nil {
+		return nil, err
+	}
+	// Sanity-check that this snapshot carries an MCS schema.
+	for _, required := range []string{"logical_file", "logical_collection", "user_attribute"} {
+		if _, err := db.RowCount(required); err != nil {
+			return nil, fmt.Errorf("mcs: snapshot lacks table %q: %w", required, err)
+		}
+	}
+	return &Catalog{db: db, opts: opts, authz: opts.EnforceAuthz}, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCatalogSnapshotRestore(t *testing.T) {
+	c := openCatalog(t)
+	c.DefineAttribute(alice, "band", AttrString, "")       //nolint:errcheck
+	c.CreateCollection(alice, CollectionSpec{Name: "col"}) //nolint:errcheck
+	c.CreateFile(alice, FileSpec{
+		Name: "f1", Collection: "col",
+		Attributes: []Attribute{{Name: "band", Value: String("high")}},
+		Provenance: "made by test",
+		Audited:    true,
+	}) //nolint:errcheck
+	c.Annotate(bob, ObjectFile, "f1", "note") //nolint:errcheck
+
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(Options{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything survives: file, collection membership, attributes,
+	// provenance, annotations, audit, and the attribute definitions.
+	f, err := restored.GetFile(alice, "f1", 0)
+	if err != nil || f.CollectionID == 0 {
+		t.Fatalf("restored file = %+v, %v", f, err)
+	}
+	names, err := restored.RunQuery(alice, Query{Predicates: []Predicate{
+		{Attribute: "band", Op: OpEq, Value: String("high")},
+	}})
+	if err != nil || len(names) != 1 {
+		t.Fatalf("restored query = %v, %v", names, err)
+	}
+	if recs, _ := restored.Provenance(alice, "f1", 0); len(recs) != 1 {
+		t.Fatal("provenance lost")
+	}
+	if anns, _ := restored.Annotations(alice, ObjectFile, "f1"); len(anns) != 1 {
+		t.Fatal("annotations lost")
+	}
+	if audit, _ := restored.AuditLog(alice, ObjectFile, "f1"); len(audit) != 1 {
+		t.Fatal("audit lost")
+	}
+	// New writes continue cleanly (autoincrement, uniqueness intact).
+	if _, err := restored.CreateFile(alice, FileSpec{Name: "f2", Collection: "col"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.CreateCollection(alice, CollectionSpec{Name: "col"}); err == nil {
+		t.Fatal("unique collection name lost across restore")
+	}
+}
+
+func TestRestoreKeepsAuthorization(t *testing.T) {
+	c := openAuthzCatalog(t)
+	if err := c.Grant(admin, ObjectService, "", alice, PermCreate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile(alice, FileSpec{Name: "af"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(Options{Owner: admin, EnforceAuthz: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice's service grant survived; Bob still has nothing.
+	if _, err := restored.CreateFile(alice, FileSpec{Name: "af2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.CreateFile(bob, FileSpec{Name: "bf"}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("bob create err = %v", err)
+	}
+	if _, err := restored.GetFile(bob, "af", 0); !errors.Is(err, ErrDenied) {
+		t.Fatalf("bob read err = %v", err)
+	}
+}
+
+func TestRestoreRejectsNonMCSSnapshot(t *testing.T) {
+	if _, err := Restore(Options{}, strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,275 @@
+package federation
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mcs"
+	"mcs/internal/core"
+)
+
+const dn = "/O=Grid/CN=federator"
+
+// newSite builds one local catalog publishing files tagged with the site's
+// project name.
+func newSite(t *testing.T, project string, files int) *core.Catalog {
+	t.Helper()
+	cat, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineAttribute(dn, "project", core.AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineAttribute(dn, "index", core.AttrInt, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < files; i++ {
+		_, err := cat.CreateFile(dn, core.FileSpec{
+			Name: fmt.Sprintf("%s-file-%03d", project, i),
+			Attributes: []core.Attribute{
+				{Name: "project", Value: core.String(project)},
+				{Name: "index", Value: core.Int(int64(i))},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func localDialer(cats map[string]*core.Catalog) func(string) (Querier, error) {
+	return func(name string) (Querier, error) {
+		cat, ok := cats[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown catalog %q", name)
+		}
+		return adapter{cat}, nil
+	}
+}
+
+type adapter struct{ cat *core.Catalog }
+
+func (a adapter) RunQuery(q core.Query) ([]string, error) { return a.cat.RunQuery(dn, q) }
+
+func TestSummaryScreening(t *testing.T) {
+	ligo := newSite(t, "ligo", 20)
+	esg := newSite(t, "esg", 20)
+	ix := NewIndex()
+	for name, cat := range map[string]*core.Catalog{"ligo-cat": ligo, "esg-cat": esg} {
+		s, err := Summarize(cat, name, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Update(s, time.Minute)
+	}
+	// Equality on a value only one site has -> one candidate.
+	cands := ix.Candidates(core.Query{Predicates: []core.Predicate{
+		{Attribute: "project", Op: core.OpEq, Value: core.String("ligo")},
+	}})
+	if len(cands) != 1 || cands[0] != "ligo-cat" {
+		t.Fatalf("candidates = %v", cands)
+	}
+	// Unknown attribute -> no candidates.
+	cands = ix.Candidates(core.Query{Predicates: []core.Predicate{
+		{Attribute: "nosuch", Op: core.OpEq, Value: core.String("x")},
+	}})
+	if len(cands) != 0 {
+		t.Fatalf("unknown-attr candidates = %v", cands)
+	}
+	// Inequality cannot be screened by value: both sites have the attr.
+	cands = ix.Candidates(core.Query{Predicates: []core.Predicate{
+		{Attribute: "index", Op: core.OpGt, Value: core.Int(5)},
+	}})
+	if len(cands) != 2 {
+		t.Fatalf("range candidates = %v", cands)
+	}
+	// Static predicates never narrow.
+	cands = ix.Candidates(core.Query{Predicates: []core.Predicate{
+		{Attribute: "dataType", Op: core.OpEq, Value: core.String("binary")},
+	}})
+	if len(cands) != 2 {
+		t.Fatalf("static candidates = %v", cands)
+	}
+}
+
+func TestSoftStateExpiry(t *testing.T) {
+	cat := newSite(t, "x", 1)
+	ix := NewIndex()
+	now := time.Now()
+	ix.SetClock(func() time.Time { return now })
+	s, _ := Summarize(cat, "x-cat", 0.01)
+	ix.Update(s, 10*time.Second)
+	if len(ix.Known()) != 1 {
+		t.Fatal("fresh summary not known")
+	}
+	now = now.Add(11 * time.Second)
+	if len(ix.Known()) != 0 {
+		t.Fatal("expired summary still known")
+	}
+	if cands := ix.Candidates(core.Query{}); len(cands) != 0 {
+		t.Fatalf("expired candidates = %v", cands)
+	}
+}
+
+func TestFederatedQueryMergesAndSkips(t *testing.T) {
+	cats := map[string]*core.Catalog{
+		"ligo-cat": newSite(t, "ligo", 10),
+		"esg-cat":  newSite(t, "esg", 10),
+		"sdss-cat": newSite(t, "sdss", 10),
+	}
+	ix := NewIndex()
+	for name, cat := range cats {
+		s, err := Summarize(cat, name, 0.0001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Update(s, time.Minute)
+	}
+	fc := &Client{Index: ix, Dial: localDialer(cats)}
+
+	// Value held by exactly one site: two subqueries skipped.
+	res, err := fc.Query(core.Query{Predicates: []core.Predicate{
+		{Attribute: "project", Op: core.OpEq, Value: core.String("esg")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 || res.Skipped != 2 {
+		t.Fatalf("candidates=%v skipped=%d", res.Candidates, res.Skipped)
+	}
+	if got := res.Merged(); len(got) != 10 {
+		t.Fatalf("merged = %v", got)
+	}
+	// Range predicate fans out to all three and merges 3x5 results.
+	res, err = fc.Query(core.Query{Predicates: []core.Predicate{
+		{Attribute: "index", Op: core.OpGe, Value: core.Int(5)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("candidates = %v", res.Candidates)
+	}
+	if got := res.Merged(); len(got) != 15 {
+		t.Fatalf("merged %d names", len(got))
+	}
+}
+
+func TestFederatedQueryOverSOAP(t *testing.T) {
+	// Full stack: three MCS servers behind SOAP, index screening, network
+	// subqueries through the real client.
+	endpoints := map[string]string{}
+	cats := map[string]*core.Catalog{
+		"siteA": newSite(t, "alpha", 5),
+		"siteB": newSite(t, "beta", 5),
+	}
+	for name, cat := range cats {
+		srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		endpoints[name] = ts.URL
+	}
+	ix := NewIndex()
+	for name, cat := range cats {
+		s, err := Summarize(cat, name, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Update(s, time.Minute)
+	}
+	fc := &Client{
+		Index: ix,
+		Dial: func(name string) (Querier, error) {
+			return mcs.NewClient(endpoints[name], dn), nil
+		},
+	}
+	res, err := fc.Query(core.Query{Predicates: []core.Predicate{
+		{Attribute: "project", Op: core.OpEq, Value: core.String("beta")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names["siteB"]) != 5 || len(res.Names["siteA"]) != 0 {
+		t.Fatalf("names = %v", res.Names)
+	}
+}
+
+func TestUpdaterRefreshesSummaries(t *testing.T) {
+	cat := newSite(t, "dyn", 1)
+	ix := NewIndex()
+	u := &Updater{
+		Catalog: cat, Name: "dyn-cat", TTL: time.Minute, Interval: 5 * time.Millisecond,
+		Push: func(s *Summary, ttl time.Duration) error {
+			ix.Update(s, ttl)
+			return nil
+		},
+	}
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+	// A newly published value appears in the index after a refresh.
+	if _, err := cat.CreateFile(dn, core.FileSpec{
+		Name:       "late-file",
+		Attributes: []core.Attribute{{Name: "project", Value: core.String("late-project")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{Predicates: []core.Predicate{
+		{Attribute: "project", Op: core.OpEq, Value: core.String("late-project")},
+	}}
+	deadline := time.After(2 * time.Second)
+	for {
+		if cands := ix.Candidates(q); len(cands) == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("refresh never carried the new value")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestUpdaterRequiresPush(t *testing.T) {
+	cat := newSite(t, "x", 0)
+	u := &Updater{Catalog: cat, Name: "x"}
+	if err := u.Start(); err == nil {
+		t.Fatal("Start without Push succeeded")
+	}
+}
+
+func TestDialFailureSurfaces(t *testing.T) {
+	cats := map[string]*core.Catalog{"good": newSite(t, "p", 1)}
+	ix := NewIndex()
+	s, _ := Summarize(cats["good"], "good", 0.01)
+	ix.Update(s, time.Minute)
+	bad, _ := Summarize(cats["good"], "bad", 0.01)
+	bad.Catalog = "bad"
+	ix.Update(bad, time.Minute)
+	fc := &Client{Index: ix, Dial: localDialer(cats)} // "bad" will fail to dial
+	res, err := fc.Query(core.Query{Predicates: []core.Predicate{
+		{Attribute: "project", Op: core.OpEq, Value: core.String("p")},
+	}})
+	// Partial success: the good catalog's answer is returned.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names["good"]) != 1 {
+		t.Fatalf("names = %v", res.Names)
+	}
+	// Total failure: error surfaces.
+	ix.Remove("good")
+	if _, err := fc.Query(core.Query{Predicates: []core.Predicate{
+		{Attribute: "project", Op: core.OpEq, Value: core.String("p")},
+	}}); err == nil {
+		t.Fatal("all-failed query returned no error")
+	}
+}

@@ -1,0 +1,300 @@
+package gridftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client transfers files to and from a gridftp server using parallel TCP
+// streams, mirroring GridFTP's striped/parallel data channels.
+type Client struct {
+	Addr string
+	// Streams is the data-channel parallelism (GridFTP's "-p"); minimum 1.
+	Streams int
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+// NewClient returns a client for the server at addr using the given number
+// of parallel streams.
+func NewClient(addr string, streams int) *Client {
+	if streams < 1 {
+		streams = 1
+	}
+	return &Client{Addr: addr, Streams: streams, DialTimeout: 10 * time.Second}
+}
+
+// conn is one control/data connection.
+type conn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func (cl *Client) dial() (*conn, error) {
+	c, err := net.DialTimeout("tcp", cl.Addr, cl.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: dial %s: %w", cl.Addr, err)
+	}
+	return &conn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}, nil
+}
+
+func (co *conn) close() { co.c.Close() }
+
+// cmd sends one command line and parses the "NNN rest" reply line.
+func (co *conn) cmd(format string, args ...any) (code int, rest string, err error) {
+	fmt.Fprintf(co.w, format+"\n", args...)
+	if err := co.w.Flush(); err != nil {
+		return 0, "", err
+	}
+	line, err := co.r.ReadString('\n')
+	if err != nil {
+		return 0, "", err
+	}
+	line = strings.TrimSpace(line)
+	idx := strings.IndexByte(line, ' ')
+	if idx < 0 {
+		idx = len(line)
+	}
+	code, err = strconv.Atoi(line[:idx])
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: %q", errShort, line)
+	}
+	if idx < len(line) {
+		rest = line[idx+1:]
+	}
+	return code, rest, nil
+}
+
+// Size returns the size of a remote file.
+func (cl *Client) Size(name string) (int64, error) {
+	co, err := cl.dial()
+	if err != nil {
+		return 0, err
+	}
+	defer co.close()
+	code, rest, err := co.cmd("SIZE %s", name)
+	if err != nil {
+		return 0, err
+	}
+	if code != 213 {
+		return 0, fmt.Errorf("gridftp: SIZE %s: %d %s", name, code, rest)
+	}
+	return strconv.ParseInt(rest, 10, 64)
+}
+
+// Checksum returns the remote sha256 of a file.
+func (cl *Client) Checksum(name string) (string, error) {
+	co, err := cl.dial()
+	if err != nil {
+		return "", err
+	}
+	defer co.close()
+	code, rest, err := co.cmd("CKSM %s", name)
+	if err != nil {
+		return "", err
+	}
+	if code != 213 {
+		return "", fmt.Errorf("gridftp: CKSM %s: %d %s", name, code, rest)
+	}
+	return rest, nil
+}
+
+// List returns the remote file names.
+func (cl *Client) List() ([]string, error) {
+	co, err := cl.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer co.close()
+	code, rest, err := co.cmd("LIST")
+	if err != nil {
+		return nil, err
+	}
+	if code != 212 {
+		return nil, fmt.Errorf("gridftp: LIST: %d %s", code, rest)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return nil, errShort
+	}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := co.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, strings.TrimSpace(line))
+	}
+	return names, nil
+}
+
+// stripe describes one parallel transfer range.
+type stripe struct {
+	off, length int64
+}
+
+// stripes splits total bytes across n streams.
+func stripes(total int64, n int) []stripe {
+	if n < 1 {
+		n = 1
+	}
+	if int64(n) > total && total > 0 {
+		n = int(total)
+	}
+	if total == 0 {
+		return []stripe{{0, 0}}
+	}
+	out := make([]stripe, 0, n)
+	base := total / int64(n)
+	rem := total % int64(n)
+	var off int64
+	for i := 0; i < n; i++ {
+		length := base
+		if int64(i) < rem {
+			length++
+		}
+		out = append(out, stripe{off, length})
+		off += length
+	}
+	return out
+}
+
+// Retrieve fetches a remote file with parallel range streams and verifies
+// its checksum.
+func (cl *Client) Retrieve(name string) ([]byte, error) {
+	size, err := cl.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	parts := stripes(size, cl.Streams)
+	errs := make(chan error, len(parts))
+	for _, p := range parts {
+		go func(p stripe) {
+			errs <- cl.retrStripe(name, p, buf)
+		}(p)
+	}
+	for range parts {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	want, err := cl.Checksum(name)
+	if err != nil {
+		return nil, err
+	}
+	if got := checksum(buf); got != want {
+		return nil, fmt.Errorf("gridftp: checksum mismatch for %s: got %s want %s", name, got, want)
+	}
+	return buf, nil
+}
+
+func (cl *Client) retrStripe(name string, p stripe, buf []byte) error {
+	co, err := cl.dial()
+	if err != nil {
+		return err
+	}
+	defer co.close()
+	code, rest, err := co.cmd("RETR %s %d %d", name, p.off, p.length)
+	if err != nil {
+		return err
+	}
+	if code != 150 {
+		return fmt.Errorf("gridftp: RETR %s: %d %s", name, code, rest)
+	}
+	_, err = io.ReadFull(co.r, buf[p.off:p.off+p.length])
+	return err
+}
+
+// Store uploads data under name using parallel striped streams.
+func (cl *Client) Store(name string, data []byte) error {
+	co, err := cl.dial()
+	if err != nil {
+		return err
+	}
+	defer co.close()
+	code, id, err := co.cmd("ALLO %s %d", name, len(data))
+	if err != nil {
+		return err
+	}
+	if code != 200 {
+		return fmt.Errorf("gridftp: ALLO %s: %d %s", name, code, id)
+	}
+	parts := stripes(int64(len(data)), cl.Streams)
+	errs := make(chan error, len(parts))
+	for _, p := range parts {
+		go func(p stripe) {
+			errs <- cl.stowStripe(id, p, data)
+		}(p)
+	}
+	for range parts {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	code, rest, err := co.cmd("FIN %s", id)
+	if err != nil {
+		return err
+	}
+	if code != 226 {
+		return fmt.Errorf("gridftp: FIN: %d %s", code, rest)
+	}
+	return nil
+}
+
+func (cl *Client) stowStripe(id string, p stripe, data []byte) error {
+	co, err := cl.dial()
+	if err != nil {
+		return err
+	}
+	defer co.close()
+	code, rest, err := co.cmd("STOW %s %d %d", id, p.off, p.length)
+	if err != nil {
+		return err
+	}
+	if code != 150 {
+		return fmt.Errorf("gridftp: STOW: %d %s", code, rest)
+	}
+	if _, err := co.w.Write(data[p.off : p.off+p.length]); err != nil {
+		return err
+	}
+	if err := co.w.Flush(); err != nil {
+		return err
+	}
+	code, rest, err = co.readReply()
+	if err != nil {
+		return err
+	}
+	if code != 226 {
+		return fmt.Errorf("gridftp: STOW data: %d %s", code, rest)
+	}
+	return nil
+}
+
+// readReply parses one reply line without sending a command.
+func (co *conn) readReply() (int, string, error) {
+	line, err := co.r.ReadString('\n')
+	if err != nil {
+		return 0, "", err
+	}
+	line = strings.TrimSpace(line)
+	idx := strings.IndexByte(line, ' ')
+	if idx < 0 {
+		idx = len(line)
+	}
+	code, err := strconv.Atoi(line[:idx])
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: %q", errShort, line)
+	}
+	rest := ""
+	if idx < len(line) {
+		rest = line[idx+1:]
+	}
+	return code, rest, nil
+}

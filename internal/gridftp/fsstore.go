@@ -1,0 +1,83 @@
+package gridftp
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirStore is a Store backed by a directory tree, for gridftpd deployments
+// that serve real files rather than the in-memory store used in tests and
+// examples. Names are slash-separated relative paths; anything resolving
+// outside the root is treated as absent.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore serves the files under root.
+func NewDirStore(root string) *DirStore {
+	return &DirStore{root: filepath.Clean(root)}
+}
+
+// resolve maps a logical name to an absolute path inside the root, or ""
+// when the name escapes it.
+func (d *DirStore) resolve(name string) string {
+	if name == "" || strings.Contains(name, "\x00") {
+		return ""
+	}
+	p := filepath.Join(d.root, filepath.FromSlash(name))
+	if p != d.root && !strings.HasPrefix(p, d.root+string(filepath.Separator)) {
+		return ""
+	}
+	return p
+}
+
+// Get returns the content of name.
+func (d *DirStore) Get(name string) ([]byte, bool) {
+	p := d.resolve(name)
+	if p == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores content under name, creating parent directories as needed.
+// Errors are reported by making the file absent on the next Get; the
+// transfer protocol's checksum step catches silent failures.
+func (d *DirStore) Put(name string, data []byte) {
+	p := d.resolve(name)
+	if p == "" {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp := p + ".part"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, p) //nolint:errcheck // absence on Get signals the failure
+}
+
+// List returns the relative paths of all regular files under the root.
+func (d *DirStore) List() []string {
+	var names []string
+	filepath.Walk(d.root, func(path string, info os.FileInfo, err error) error { //nolint:errcheck
+		if err != nil || info.IsDir() || strings.HasSuffix(path, ".part") {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, path)
+		if err != nil {
+			return nil
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	sort.Strings(names)
+	return names
+}

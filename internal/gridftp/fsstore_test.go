@@ -1,0 +1,87 @@
+package gridftp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDirStorePutGet(t *testing.T) {
+	d := NewDirStore(t.TempDir())
+	d.Put("a/b/c.dat", []byte("hello"))
+	got, ok := d.Get("a/b/c.dat")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := d.Get("missing"); ok {
+		t.Fatal("missing file reported present")
+	}
+	names := d.List()
+	if len(names) != 1 || names[0] != "a/b/c.dat" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestDirStoreOverwrite(t *testing.T) {
+	d := NewDirStore(t.TempDir())
+	d.Put("f", []byte("one"))
+	d.Put("f", []byte("two"))
+	got, _ := d.Get("f")
+	if string(got) != "two" {
+		t.Fatalf("overwrite = %q", got)
+	}
+	// No .part residue.
+	for _, n := range d.List() {
+		if filepath.Ext(n) == ".part" {
+			t.Fatalf("partial file listed: %s", n)
+		}
+	}
+}
+
+func TestDirStorePathEscapeBlocked(t *testing.T) {
+	root := t.TempDir()
+	outside := filepath.Join(root, "..", "escape.txt")
+	d := NewDirStore(filepath.Join(root, "serve"))
+	os.MkdirAll(filepath.Join(root, "serve"), 0o755) //nolint:errcheck
+	d.Put("../escape.txt", []byte("evil"))
+	if _, err := os.Stat(outside); !os.IsNotExist(err) {
+		t.Fatal("path escaped the root on Put")
+	}
+	if _, ok := d.Get("../../etc/passwd"); ok {
+		t.Fatal("path escaped the root on Get")
+	}
+	if _, ok := d.Get(""); ok {
+		t.Fatal("empty name resolved")
+	}
+}
+
+func TestDirStoreServesTransfers(t *testing.T) {
+	root := t.TempDir()
+	d := NewDirStore(root)
+	data := randBytes(30000, 9)
+	d.Put("big.dat", data)
+
+	srv := NewServer(d)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got, err := NewClient(addr, 3).Retrieve("big.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("dir-backed retrieve differs")
+	}
+	// Upload lands on disk.
+	up := randBytes(5000, 10)
+	if err := NewClient(addr, 2).Store("up/loaded.dat", up); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(root, "up", "loaded.dat"))
+	if err != nil || !bytes.Equal(onDisk, up) {
+		t.Fatalf("upload not on disk: %v", err)
+	}
+}

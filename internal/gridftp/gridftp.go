@@ -1,0 +1,143 @@
+// Package gridftp implements a GridFTP-style file transfer service: a
+// text control protocol with striped, parallel TCP data transfer, integrity
+// checksums and third-party-transfer-friendly range requests. It completes
+// steps (5)–(6) of the paper's Figure 2 scenario — after the MCS resolves
+// attributes to logical names and the RLS resolves names to locations, the
+// data itself moves over this protocol.
+//
+// Control protocol (one text line per command, FTP-style reply codes):
+//
+//	SIZE <name>                          -> 213 <bytes> | 550 <err>
+//	CKSM <name>                          -> 213 <sha256-hex> | 550 <err>
+//	RETR <name> <offset> <length>        -> 150 <length> + raw bytes
+//	ALLO <name> <total>                  -> 200 <upload-id>
+//	STOW <upload-id> <offset> <length>   -> 150 ok, then raw bytes -> 226 ok
+//	FIN  <upload-id>                     -> 226 ok | 550 <err>
+//	LIST                                 -> 212 <n> + n lines
+//	QUIT                                 -> 221 bye
+package gridftp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store abstracts the storage a server fronts.
+type Store interface {
+	// Get returns the content of name.
+	Get(name string) ([]byte, bool)
+	// Put stores content under name, replacing any previous content.
+	Put(name string, data []byte)
+	// List returns all stored names, sorted.
+	List() []string
+}
+
+// MemStore is an in-memory Store, standing in for the storage systems of
+// the original testbed.
+type MemStore struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{files: make(map[string][]byte)}
+}
+
+// Get returns the content of name.
+func (m *MemStore) Get(name string) ([]byte, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[name]
+	return data, ok
+}
+
+// Put stores content under name.
+func (m *MemStore) Put(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.files[name] = cp
+}
+
+// List returns all stored names, sorted.
+func (m *MemStore) List() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of stored files.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.files)
+}
+
+// checksum returns the hex sha256 of data.
+func checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// upload tracks one in-progress striped store.
+type upload struct {
+	mu       sync.Mutex
+	name     string
+	buf      []byte
+	received int64
+}
+
+// uploads is the server-side registry of open striped stores.
+type uploads struct {
+	mu   sync.Mutex
+	next int64
+	m    map[string]*upload
+}
+
+func newUploads() *uploads { return &uploads{m: make(map[string]*upload)} }
+
+func (u *uploads) create(name string, total int64) (string, error) {
+	if total < 0 || total > 1<<31 {
+		return "", fmt.Errorf("gridftp: bad upload size %d", total)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.next++
+	id := fmt.Sprintf("u%d", u.next)
+	u.m[id] = &upload{name: name, buf: make([]byte, total)}
+	return id, nil
+}
+
+func (u *uploads) get(id string) (*upload, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	up, ok := u.m[id]
+	return up, ok
+}
+
+func (u *uploads) finish(id string) (*upload, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	up, ok := u.m[id]
+	if !ok {
+		return nil, fmt.Errorf("gridftp: unknown upload %q", id)
+	}
+	delete(u.m, id)
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if up.received != int64(len(up.buf)) {
+		return nil, fmt.Errorf("gridftp: upload %q incomplete: %d of %d bytes",
+			id, up.received, len(up.buf))
+	}
+	return up, nil
+}

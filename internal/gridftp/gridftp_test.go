@@ -1,0 +1,250 @@
+package gridftp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func startTestServer(t *testing.T) (*Server, *MemStore, string) {
+	t.Helper()
+	store := NewMemStore()
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, store, addr
+}
+
+func randBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n)
+	rng.Read(buf)
+	return buf
+}
+
+func TestSizeAndChecksum(t *testing.T) {
+	_, store, addr := startTestServer(t)
+	data := randBytes(1000, 1)
+	store.Put("f.dat", data)
+	c := NewClient(addr, 1)
+	size, err := c.Size("f.dat")
+	if err != nil || size != 1000 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	sum, err := c.Checksum("f.dat")
+	if err != nil || sum != checksum(data) {
+		t.Fatalf("Checksum = %s, %v", sum, err)
+	}
+	if _, err := c.Size("nosuch"); err == nil {
+		t.Fatal("Size of missing file succeeded")
+	}
+}
+
+func TestRetrieveSingleStream(t *testing.T) {
+	_, store, addr := startTestServer(t)
+	data := randBytes(64*1024, 2)
+	store.Put("big.dat", data)
+	got, err := NewClient(addr, 1).Retrieve("big.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("retrieved bytes differ")
+	}
+}
+
+func TestRetrieveParallelStreams(t *testing.T) {
+	_, store, addr := startTestServer(t)
+	for _, streams := range []int{2, 4, 8} {
+		data := randBytes(100000+streams, int64(streams))
+		name := fmt.Sprintf("f%d.dat", streams)
+		store.Put(name, data)
+		got, err := NewClient(addr, streams).Retrieve(name)
+		if err != nil {
+			t.Fatalf("streams=%d: %v", streams, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("streams=%d: bytes differ", streams)
+		}
+	}
+}
+
+func TestRetrieveEmptyFile(t *testing.T) {
+	_, store, addr := startTestServer(t)
+	store.Put("empty", nil)
+	got, err := NewClient(addr, 4).Retrieve("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d bytes", len(got))
+	}
+}
+
+func TestStoreParallelStreams(t *testing.T) {
+	_, store, addr := startTestServer(t)
+	data := randBytes(123457, 3)
+	if err := NewClient(addr, 4).Store("up.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := store.Get("up.dat")
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("stored bytes differ")
+	}
+}
+
+func TestStoreThenRetrieveRoundTrip(t *testing.T) {
+	_, _, addr := startTestServer(t)
+	c := NewClient(addr, 3)
+	data := randBytes(50000, 4)
+	if err := c.Store("rt.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Retrieve("rt.dat")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	_, store, addr := startTestServer(t)
+	store.Put("a", nil)
+	store.Put("b", nil)
+	names, err := NewClient(addr, 1).List()
+	if err != nil || len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+func TestThirdPartyStyleCopy(t *testing.T) {
+	// Two servers; data moves source -> client -> destination, as the
+	// Fig. 2 client would stage data between storage systems.
+	_, srcStore, srcAddr := startTestServer(t)
+	_, dstStore, dstAddr := startTestServer(t)
+	data := randBytes(20000, 5)
+	srcStore.Put("x", data)
+	got, err := NewClient(srcAddr, 2).Retrieve("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewClient(dstAddr, 2).Store("x", got); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := dstStore.Get("x")
+	if !bytes.Equal(final, data) {
+		t.Fatal("third-party copy corrupted data")
+	}
+}
+
+func TestStripesCoverExactly(t *testing.T) {
+	f := func(total uint16, n uint8) bool {
+		parts := stripes(int64(total), int(n))
+		var covered int64
+		expectedOff := int64(0)
+		for _, p := range parts {
+			if p.off != expectedOff || p.length < 0 {
+				return false
+			}
+			covered += p.length
+			expectedOff += p.length
+		}
+		return covered == int64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsBadCommands(t *testing.T) {
+	_, _, addr := startTestServer(t)
+	c := NewClient(addr, 1)
+	co, err := c.dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.close()
+	cases := []struct {
+		cmd      string
+		wantCode int
+	}{
+		{"NOSUCHCMD", 500},
+		{"SIZE", 501},
+		{"RETR f 0", 501},
+		{"RETR missing 0 10", 550},
+		{"STOW nope 0 10", 550},
+		{"FIN nope", 550},
+		{"ALLO f notanumber", 501},
+	}
+	for _, tc := range cases {
+		code, _, err := co.cmd("%s", tc.cmd)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.cmd, err)
+		}
+		if code != tc.wantCode {
+			t.Errorf("%q -> %d, want %d", tc.cmd, code, tc.wantCode)
+		}
+	}
+	// QUIT closes politely.
+	code, _, _ := co.cmd("QUIT")
+	if code != 221 {
+		t.Fatalf("QUIT -> %d", code)
+	}
+}
+
+func TestRangeBeyondEOF(t *testing.T) {
+	_, store, addr := startTestServer(t)
+	store.Put("small", []byte("12345"))
+	c := NewClient(addr, 1)
+	co, _ := c.dial()
+	defer co.close()
+	code, _, _ := co.cmd("RETR small 3 10")
+	if code != 550 {
+		t.Fatalf("overlong range -> %d", code)
+	}
+}
+
+func TestIncompleteUploadRejected(t *testing.T) {
+	_, _, addr := startTestServer(t)
+	c := NewClient(addr, 1)
+	co, _ := c.dial()
+	defer co.close()
+	code, id, err := co.cmd("ALLO partial 100")
+	if err != nil || code != 200 {
+		t.Fatalf("ALLO: %d %v", code, err)
+	}
+	// Send only 10 of 100 bytes, then FIN.
+	code, _, _ = co.cmd("STOW %s 0 10", id)
+	if code != 150 {
+		t.Fatalf("STOW: %d", code)
+	}
+	co.w.WriteString(strings.Repeat("x", 10)) //nolint:errcheck
+	co.w.Flush()                              //nolint:errcheck
+	code, _, _ = co.readReply()
+	if code != 226 {
+		t.Fatalf("STOW data: %d", code)
+	}
+	code, rest, _ := co.cmd("FIN %s", id)
+	if code != 550 || !strings.Contains(rest, "incomplete") {
+		t.Fatalf("FIN incomplete -> %d %s", code, rest)
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMemStore()
+	data := []byte("abc")
+	s.Put("f", data)
+	data[0] = 'X' // caller mutation must not leak in
+	got, _ := s.Get("f")
+	if got[0] != 'a' {
+		t.Fatal("MemStore aliases caller buffer")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

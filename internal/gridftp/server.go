@@ -1,0 +1,229 @@
+package gridftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server speaks the gridftp control/data protocol over TCP.
+type Server struct {
+	Store Store
+
+	uploads *uploads
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+}
+
+// NewServer fronts store with a transfer server.
+func NewServer(store Store) *Server {
+	return &Server{Store: store, uploads: newUploads(), conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("gridftp: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and closes open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+// handle runs the command loop for one control/data connection.
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for {
+		w.Flush() //nolint:errcheck // per-command flush
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "SIZE":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "501 SIZE takes one argument\n")
+				continue
+			}
+			data, ok := s.Store.Get(fields[1])
+			if !ok {
+				fmt.Fprintf(w, "550 no such file %s\n", fields[1])
+				continue
+			}
+			fmt.Fprintf(w, "213 %d\n", len(data))
+		case "CKSM":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "501 CKSM takes one argument\n")
+				continue
+			}
+			data, ok := s.Store.Get(fields[1])
+			if !ok {
+				fmt.Fprintf(w, "550 no such file %s\n", fields[1])
+				continue
+			}
+			fmt.Fprintf(w, "213 %s\n", checksum(data))
+		case "RETR":
+			if len(fields) != 4 {
+				fmt.Fprintf(w, "501 RETR takes name offset length\n")
+				continue
+			}
+			s.retr(w, fields[1], fields[2], fields[3])
+		case "ALLO":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "501 ALLO takes name total\n")
+				continue
+			}
+			total, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "501 bad total\n")
+				continue
+			}
+			id, err := s.uploads.create(fields[1], total)
+			if err != nil {
+				fmt.Fprintf(w, "550 %v\n", err)
+				continue
+			}
+			fmt.Fprintf(w, "200 %s\n", id)
+		case "STOW":
+			if len(fields) != 4 {
+				fmt.Fprintf(w, "501 STOW takes id offset length\n")
+				continue
+			}
+			s.stow(r, w, fields[1], fields[2], fields[3])
+		case "FIN":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "501 FIN takes one argument\n")
+				continue
+			}
+			up, err := s.uploads.finish(fields[1])
+			if err != nil {
+				fmt.Fprintf(w, "550 %v\n", err)
+				continue
+			}
+			s.Store.Put(up.name, up.buf)
+			fmt.Fprintf(w, "226 ok\n")
+		case "LIST":
+			names := s.Store.List()
+			fmt.Fprintf(w, "212 %d\n", len(names))
+			for _, n := range names {
+				fmt.Fprintf(w, "%s\n", n)
+			}
+		case "QUIT":
+			fmt.Fprintf(w, "221 bye\n")
+			return
+		default:
+			fmt.Fprintf(w, "500 unknown command %s\n", fields[0])
+		}
+	}
+}
+
+func (s *Server) retr(w *bufio.Writer, name, offStr, lenStr string) {
+	off, err1 := strconv.ParseInt(offStr, 10, 64)
+	length, err2 := strconv.ParseInt(lenStr, 10, 64)
+	if err1 != nil || err2 != nil || off < 0 || length < 0 {
+		fmt.Fprintf(w, "501 bad range\n")
+		return
+	}
+	data, ok := s.Store.Get(name)
+	if !ok {
+		fmt.Fprintf(w, "550 no such file %s\n", name)
+		return
+	}
+	if off > int64(len(data)) || off+length > int64(len(data)) {
+		fmt.Fprintf(w, "550 range beyond end of file\n")
+		return
+	}
+	fmt.Fprintf(w, "150 %d\n", length)
+	w.Write(data[off : off+length]) //nolint:errcheck // connection errors surface on flush
+}
+
+func (s *Server) stow(r *bufio.Reader, w *bufio.Writer, id, offStr, lenStr string) {
+	off, err1 := strconv.ParseInt(offStr, 10, 64)
+	length, err2 := strconv.ParseInt(lenStr, 10, 64)
+	if err1 != nil || err2 != nil || off < 0 || length < 0 {
+		fmt.Fprintf(w, "501 bad range\n")
+		return
+	}
+	up, ok := s.uploads.get(id)
+	if !ok {
+		fmt.Fprintf(w, "550 unknown upload %s\n", id)
+		return
+	}
+	if off+length > int64(len(up.buf)) {
+		fmt.Fprintf(w, "550 range beyond allocation\n")
+		return
+	}
+	fmt.Fprintf(w, "150 ok\n")
+	w.Flush() //nolint:errcheck // client waits for go-ahead before sending
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		fmt.Fprintf(w, "426 short stripe: %v\n", err)
+		return
+	}
+	up.mu.Lock()
+	copy(up.buf[off:], buf)
+	up.received += length
+	up.mu.Unlock()
+	fmt.Fprintf(w, "226 ok\n")
+}
+
+// errShort is returned when a reply line cannot be parsed.
+var errShort = errors.New("gridftp: malformed reply")

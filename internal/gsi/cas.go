@@ -1,0 +1,169 @@
+package gsi
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The Community Authorization Service (CAS) of Pearlman et al., which the
+// paper plans to integrate with MCS: a community server holds the policy of
+// a virtual organization and issues signed capability assertions that a
+// resource (here, the MCS) validates instead of keeping per-user ACLs.
+
+// Right names one action a community member may perform.
+type Right string
+
+// Rights used by the MCS integration.
+const (
+	RightRead     Right = "read"
+	RightWrite    Right = "write"
+	RightCreate   Right = "create"
+	RightDelete   Right = "delete"
+	RightAnnotate Right = "annotate"
+)
+
+// Assertion is a signed capability statement: subject may exercise Rights
+// on resources matching Scope until Expiry.
+type Assertion struct {
+	Community string    `json:"community"`
+	Subject   string    `json:"subject"` // DN of the member
+	Scope     string    `json:"scope"`   // resource prefix, e.g. a collection path
+	Rights    []Right   `json:"rights"`
+	Expiry    time.Time `json:"expiry"`
+	Signature []byte    `json:"signature"`
+}
+
+func (a *Assertion) tbs() []byte {
+	rights := make([]string, len(a.Rights))
+	for i, r := range a.Rights {
+		rights[i] = string(r)
+	}
+	sort.Strings(rights)
+	return []byte(strings.Join([]string{
+		a.Community, a.Subject, a.Scope,
+		strings.Join(rights, ","),
+		a.Expiry.UTC().Format(time.RFC3339),
+	}, "|"))
+}
+
+// Grants reports whether the assertion covers right r on resource at now.
+func (a *Assertion) Grants(r Right, resource string, now time.Time) bool {
+	if now.After(a.Expiry) {
+		return false
+	}
+	if !strings.HasPrefix(resource, a.Scope) {
+		return false
+	}
+	for _, have := range a.Rights {
+		if have == r {
+			return true
+		}
+	}
+	return false
+}
+
+// CAS is a community authorization server.
+type CAS struct {
+	Community string
+	pub       ed25519.PublicKey
+	key       ed25519.PrivateKey
+
+	mu     sync.RWMutex
+	policy map[string][]grant // member DN -> grants
+}
+
+type grant struct {
+	scope  string
+	rights []Right
+}
+
+// NewCAS creates a community server with a fresh signing key.
+func NewCAS(community string) (*CAS, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: generate CAS key: %w", err)
+	}
+	return &CAS{
+		Community: community,
+		pub:       pub,
+		key:       priv,
+		policy:    make(map[string][]grant),
+	}, nil
+}
+
+// PublicKey returns the key resources use to validate assertions.
+func (c *CAS) PublicKey() ed25519.PublicKey { return c.pub }
+
+// Grant records community policy: member may exercise rights within scope.
+func (c *CAS) Grant(memberDN, scope string, rights ...Right) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy[memberDN] = append(c.policy[memberDN], grant{scope: scope, rights: rights})
+}
+
+// Revoke removes all grants for a member.
+func (c *CAS) Revoke(memberDN string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.policy, memberDN)
+}
+
+// IssueAssertion returns a signed assertion covering the member's grant for
+// scope, or an error if policy does not allow it.
+func (c *CAS) IssueAssertion(memberDN, scope string, validity time.Duration) (*Assertion, error) {
+	c.mu.RLock()
+	grants := c.policy[memberDN]
+	c.mu.RUnlock()
+	for _, g := range grants {
+		if strings.HasPrefix(scope, g.scope) {
+			a := &Assertion{
+				Community: c.Community,
+				Subject:   memberDN,
+				Scope:     scope,
+				Rights:    g.rights,
+				Expiry:    time.Now().Add(validity),
+			}
+			a.Signature = ed25519.Sign(c.key, a.tbs())
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("gsi: community %q policy grants %q nothing under %q",
+		c.Community, memberDN, scope)
+}
+
+// EncodeAssertion serializes an assertion for transport in an HTTP header.
+func EncodeAssertion(a *Assertion) (string, error) {
+	raw, err := json.Marshal(a)
+	if err != nil {
+		return "", err
+	}
+	return base64.StdEncoding.EncodeToString(raw), nil
+}
+
+// DecodeAssertion reverses EncodeAssertion and verifies the signature
+// against the community public key.
+func DecodeAssertion(encoded string, communityKey ed25519.PublicKey) (*Assertion, error) {
+	raw, err := base64.StdEncoding.DecodeString(encoded)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: decode assertion: %w", err)
+	}
+	var a Assertion
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("gsi: parse assertion: %w", err)
+	}
+	if !ed25519.Verify(communityKey, a.tbs(), a.Signature) {
+		return nil, errors.New("gsi: assertion signature invalid")
+	}
+	return &a, nil
+}
+
+// AssertionHeader is the HTTP header carrying a CAS assertion.
+const AssertionHeader = "X-CAS-Assertion"

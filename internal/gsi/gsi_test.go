@@ -1,0 +1,229 @@
+package gsi
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("/O=Grid/CN=TestCA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.Issue("/O=Grid/CN=Alice", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.DN() != "/O=Grid/CN=Alice" {
+		t.Fatalf("DN = %q", cred.DN())
+	}
+	trust := NewTrustStore(ca.Root)
+	dn, err := trust.VerifyChain(cred.Chain, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != "/O=Grid/CN=Alice" {
+		t.Fatalf("verified DN = %q", dn)
+	}
+}
+
+func TestUntrustedCA(t *testing.T) {
+	ca := newTestCA(t)
+	other, err := NewCA("/O=Other/CN=OtherCA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, _ := ca.Issue("/O=Grid/CN=Mallory", time.Hour)
+	trust := NewTrustStore(other.Root)
+	if _, err := trust.VerifyChain(cred.Chain, time.Now()); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("err = %v, want ErrUntrusted", err)
+	}
+}
+
+func TestExpiredCredential(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=Grid/CN=Alice", time.Hour)
+	trust := NewTrustStore(ca.Root)
+	if _, err := trust.VerifyChain(cred.Chain, time.Now().Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+}
+
+func TestTamperedCertificate(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=Grid/CN=Alice", time.Hour)
+	cred.Chain[0].Subject = "/O=Grid/CN=Eve"
+	trust := NewTrustStore(ca.Root)
+	if _, err := trust.VerifyChain(cred.Chain, time.Now()); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestProxyDelegation(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=Grid/CN=Alice", time.Hour)
+	proxy, err := cred.Delegate(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.DN() != "/O=Grid/CN=Alice" {
+		t.Fatalf("proxy effective DN = %q", proxy.DN())
+	}
+	if !strings.HasSuffix(proxy.SubjectDN(), "/CN=proxy") {
+		t.Fatalf("proxy subject = %q", proxy.SubjectDN())
+	}
+	trust := NewTrustStore(ca.Root)
+	dn, err := trust.VerifyChain(proxy.Chain, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != "/O=Grid/CN=Alice" {
+		t.Fatalf("verified proxy DN = %q", dn)
+	}
+	// Second-level delegation (proxy of a proxy).
+	proxy2, err := proxy.Delegate(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn, err := trust.VerifyChain(proxy2.Chain, time.Now()); err != nil || dn != "/O=Grid/CN=Alice" {
+		t.Fatalf("second-level proxy: dn=%q err=%v", dn, err)
+	}
+}
+
+func TestProxyValidityClamped(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=Grid/CN=Alice", time.Minute)
+	proxy, _ := cred.Delegate(24 * time.Hour)
+	if proxy.Chain[0].NotAfter.After(cred.Chain[0].NotAfter) {
+		t.Fatal("proxy outlives its delegator")
+	}
+}
+
+func TestRequestSigning(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=Grid/CN=Alice", time.Hour)
+	body := []byte("<soap body>")
+	req, _ := http.NewRequest(http.MethodPost, "http://mcs.example/mcs", nil)
+	if err := cred.Sign(req, body); err != nil {
+		t.Fatal(err)
+	}
+	v := &Verifier{Trust: NewTrustStore(ca.Root)}
+	dn, err := v.Authenticate(req, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != "/O=Grid/CN=Alice" {
+		t.Fatalf("authenticated DN = %q", dn)
+	}
+}
+
+func TestRequestSigningRejectsTamperedBody(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=Grid/CN=Alice", time.Hour)
+	req, _ := http.NewRequest(http.MethodPost, "http://mcs.example/mcs", nil)
+	cred.Sign(req, []byte("original")) //nolint:errcheck
+	v := &Verifier{Trust: NewTrustStore(ca.Root)}
+	if _, err := v.Authenticate(req, []byte("tampered")); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestRequestSigningRejectsStaleTimestamp(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=Grid/CN=Alice", time.Hour)
+	body := []byte("b")
+	req, _ := http.NewRequest(http.MethodPost, "http://mcs.example/mcs", nil)
+	cred.Sign(req, body) //nolint:errcheck
+	v := &Verifier{
+		Trust: NewTrustStore(ca.Root),
+		Now:   func() time.Time { return time.Now().Add(10 * time.Minute) },
+	}
+	if _, err := v.Authenticate(req, body); !errors.Is(err, ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+}
+
+func TestUnsignedRequestRejected(t *testing.T) {
+	ca := newTestCA(t)
+	v := &Verifier{Trust: NewTrustStore(ca.Root)}
+	req, _ := http.NewRequest(http.MethodPost, "http://mcs.example/mcs", nil)
+	if _, err := v.Authenticate(req, nil); err == nil {
+		t.Fatal("unsigned request accepted")
+	}
+}
+
+func TestCASIssueAndValidate(t *testing.T) {
+	cas, err := NewCAS("ligo.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas.Grant("/O=Grid/CN=Alice", "/ligo/s2", RightRead, RightWrite)
+	a, err := cas.IssueAssertion("/O=Grid/CN=Alice", "/ligo/s2/run1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeAssertion(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAssertion(enc, cas.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if !dec.Grants(RightRead, "/ligo/s2/run1/file1", now) {
+		t.Fatal("assertion does not grant covered read")
+	}
+	if dec.Grants(RightDelete, "/ligo/s2/run1/file1", now) {
+		t.Fatal("assertion grants un-granted right")
+	}
+	if dec.Grants(RightRead, "/cms/data", now) {
+		t.Fatal("assertion grants out-of-scope resource")
+	}
+	if dec.Grants(RightRead, "/ligo/s2/run1/file1", now.Add(2*time.Hour)) {
+		t.Fatal("expired assertion still grants")
+	}
+}
+
+func TestCASPolicyDenied(t *testing.T) {
+	cas, _ := NewCAS("ligo.org")
+	if _, err := cas.IssueAssertion("/O=Grid/CN=Nobody", "/ligo", time.Hour); err == nil {
+		t.Fatal("assertion issued against empty policy")
+	}
+	cas.Grant("/O=Grid/CN=Bob", "/ligo/s2", RightRead)
+	if _, err := cas.IssueAssertion("/O=Grid/CN=Bob", "/other", time.Hour); err == nil {
+		t.Fatal("assertion issued outside granted scope")
+	}
+}
+
+func TestCASRevoke(t *testing.T) {
+	cas, _ := NewCAS("ligo.org")
+	cas.Grant("/O=Grid/CN=Bob", "/ligo", RightRead)
+	if _, err := cas.IssueAssertion("/O=Grid/CN=Bob", "/ligo/x", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	cas.Revoke("/O=Grid/CN=Bob")
+	if _, err := cas.IssueAssertion("/O=Grid/CN=Bob", "/ligo/x", time.Hour); err == nil {
+		t.Fatal("revoked member still issued assertion")
+	}
+}
+
+func TestCASTamperedAssertion(t *testing.T) {
+	cas, _ := NewCAS("ligo.org")
+	cas.Grant("/O=Grid/CN=Alice", "/ligo", RightRead)
+	a, _ := cas.IssueAssertion("/O=Grid/CN=Alice", "/ligo", time.Hour)
+	a.Rights = append(a.Rights, RightDelete)
+	enc, _ := EncodeAssertion(a)
+	if _, err := DecodeAssertion(enc, cas.PublicKey()); err == nil {
+		t.Fatal("tampered assertion validated")
+	}
+}

@@ -1,0 +1,773 @@
+// Package mcswire defines the SOAP wire schema of the Metadata Catalog
+// Service: one request/response struct pair per operation of the MCS client
+// API listed in the paper (create/query/modify/delete of logical objects,
+// user-defined attributes, annotations, aggregation, authorization, audit).
+//
+// Attribute values travel as (name, type, rendered-string) triples; the
+// typed forms are reconstructed with core.ParseAttrValue on the receiving
+// side, matching how the original Java client marshalled values through
+// Axis.
+package mcswire
+
+import (
+	"encoding/xml"
+	"time"
+
+	"mcs/internal/core"
+)
+
+// NS is the XML namespace of all MCS operations.
+const NS = "urn:mcs"
+
+// WireAttr is the wire form of one user-defined attribute value.
+type WireAttr struct {
+	Name  string `xml:"name"`
+	Type  string `xml:"type"`
+	Value string `xml:"value"`
+}
+
+// ToCore converts a wire attribute to its typed form.
+func (w WireAttr) ToCore() (core.Attribute, error) {
+	v, err := core.ParseAttrValue(core.AttrType(w.Type), w.Value)
+	if err != nil {
+		return core.Attribute{}, err
+	}
+	return core.Attribute{Name: w.Name, Value: v}, nil
+}
+
+// FromCore converts a typed attribute to its wire form.
+func FromCore(a core.Attribute) WireAttr {
+	return WireAttr{Name: a.Name, Type: string(a.Value.Type), Value: a.Value.Render()}
+}
+
+// WirePredicate is the wire form of one query predicate.
+type WirePredicate struct {
+	Attribute string `xml:"attribute"`
+	Op        string `xml:"op"`
+	Type      string `xml:"type"`
+	Value     string `xml:"value"`
+}
+
+// WireFile is the wire form of a logical file's static metadata.
+type WireFile struct {
+	ID               int64     `xml:"id"`
+	Name             string    `xml:"name"`
+	Version          int       `xml:"version"`
+	DataType         string    `xml:"dataType"`
+	Valid            bool      `xml:"valid"`
+	CollectionID     int64     `xml:"collectionId"`
+	ContainerID      string    `xml:"containerId"`
+	ContainerService string    `xml:"containerService"`
+	MasterCopy       string    `xml:"masterCopy"`
+	Creator          string    `xml:"creator"`
+	LastModifier     string    `xml:"lastModifier"`
+	Created          time.Time `xml:"created"`
+	Modified         time.Time `xml:"modified"`
+	Audited          bool      `xml:"audited"`
+}
+
+// FileToWire converts core file metadata to the wire form.
+func FileToWire(f core.File) WireFile {
+	return WireFile{
+		ID: f.ID, Name: f.Name, Version: f.Version, DataType: f.DataType,
+		Valid: f.Valid, CollectionID: f.CollectionID, ContainerID: f.ContainerID,
+		ContainerService: f.ContainerService, MasterCopy: f.MasterCopy,
+		Creator: f.Creator, LastModifier: f.LastModifier,
+		Created: f.Created, Modified: f.Modified, Audited: f.Audited,
+	}
+}
+
+// FileFromWire converts wire file metadata back to the core form.
+func FileFromWire(w WireFile) core.File {
+	return core.File{
+		ID: w.ID, Name: w.Name, Version: w.Version, DataType: w.DataType,
+		Valid: w.Valid, CollectionID: w.CollectionID, ContainerID: w.ContainerID,
+		ContainerService: w.ContainerService, MasterCopy: w.MasterCopy,
+		Creator: w.Creator, LastModifier: w.LastModifier,
+		Created: w.Created, Modified: w.Modified, Audited: w.Audited,
+	}
+}
+
+// --- File operations ---
+
+// CreateFileRequest registers a logical file.
+type CreateFileRequest struct {
+	XMLName          xml.Name   `xml:"urn:mcs createFile"`
+	Caller           string     `xml:"caller,omitempty"`
+	Name             string     `xml:"name"`
+	Version          int        `xml:"version,omitempty"`
+	DataType         string     `xml:"dataType,omitempty"`
+	Collection       string     `xml:"collection,omitempty"`
+	ContainerID      string     `xml:"containerId,omitempty"`
+	ContainerService string     `xml:"containerService,omitempty"`
+	MasterCopy       string     `xml:"masterCopy,omitempty"`
+	Audited          bool       `xml:"audited,omitempty"`
+	Provenance       string     `xml:"provenance,omitempty"`
+	Attributes       []WireAttr `xml:"attributes>attribute"`
+}
+
+// CreateFileResponse returns the created file.
+type CreateFileResponse struct {
+	XMLName xml.Name `xml:"urn:mcs createFileResponse"`
+	File    WireFile `xml:"file"`
+}
+
+// GetFileRequest fetches static file metadata by name (and version).
+type GetFileRequest struct {
+	XMLName xml.Name `xml:"urn:mcs getFile"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+	Version int      `xml:"version,omitempty"`
+}
+
+// GetFileResponse returns static file metadata.
+type GetFileResponse struct {
+	XMLName xml.Name `xml:"urn:mcs getFileResponse"`
+	File    WireFile `xml:"file"`
+}
+
+// FileVersionsRequest lists all versions of a logical name.
+type FileVersionsRequest struct {
+	XMLName xml.Name `xml:"urn:mcs fileVersions"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+}
+
+// FileVersionsResponse returns every version's metadata.
+type FileVersionsResponse struct {
+	XMLName xml.Name   `xml:"urn:mcs fileVersionsResponse"`
+	Files   []WireFile `xml:"files>file"`
+}
+
+// UpdateFileRequest modifies static file attributes; empty strings mean
+// "leave unchanged", the Set* flags distinguish clearing from omission.
+type UpdateFileRequest struct {
+	XMLName             xml.Name `xml:"urn:mcs updateFile"`
+	Caller              string   `xml:"caller,omitempty"`
+	Name                string   `xml:"name"`
+	Version             int      `xml:"version,omitempty"`
+	SetDataType         bool     `xml:"setDataType"`
+	DataType            string   `xml:"dataType,omitempty"`
+	SetValid            bool     `xml:"setValid"`
+	Valid               bool     `xml:"valid,omitempty"`
+	SetContainerID      bool     `xml:"setContainerId"`
+	ContainerID         string   `xml:"containerId,omitempty"`
+	SetContainerService bool     `xml:"setContainerService"`
+	ContainerService    string   `xml:"containerService,omitempty"`
+	SetMasterCopy       bool     `xml:"setMasterCopy"`
+	MasterCopy          string   `xml:"masterCopy,omitempty"`
+}
+
+// UpdateFileResponse returns the file after the update.
+type UpdateFileResponse struct {
+	XMLName xml.Name `xml:"urn:mcs updateFileResponse"`
+	File    WireFile `xml:"file"`
+}
+
+// DeleteFileRequest removes a logical file.
+type DeleteFileRequest struct {
+	XMLName xml.Name `xml:"urn:mcs deleteFile"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+	Version int      `xml:"version,omitempty"`
+}
+
+// DeleteFileResponse acknowledges a delete.
+type DeleteFileResponse struct {
+	XMLName xml.Name `xml:"urn:mcs deleteFileResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// MoveFileRequest reassigns a file's logical collection.
+type MoveFileRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs moveFile"`
+	Caller     string   `xml:"caller,omitempty"`
+	Name       string   `xml:"name"`
+	Version    int      `xml:"version,omitempty"`
+	Collection string   `xml:"collection"`
+}
+
+// MoveFileResponse acknowledges a move.
+type MoveFileResponse struct {
+	XMLName xml.Name `xml:"urn:mcs moveFileResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// --- Collection operations ---
+
+// CreateCollectionRequest registers a logical collection.
+type CreateCollectionRequest struct {
+	XMLName     xml.Name   `xml:"urn:mcs createCollection"`
+	Caller      string     `xml:"caller,omitempty"`
+	Name        string     `xml:"name"`
+	Description string     `xml:"description,omitempty"`
+	Parent      string     `xml:"parent,omitempty"`
+	Audited     bool       `xml:"audited,omitempty"`
+	Attributes  []WireAttr `xml:"attributes>attribute"`
+}
+
+// WireCollection is the wire form of collection metadata.
+type WireCollection struct {
+	ID           int64     `xml:"id"`
+	Name         string    `xml:"name"`
+	Description  string    `xml:"description"`
+	ParentID     int64     `xml:"parentId"`
+	Creator      string    `xml:"creator"`
+	LastModifier string    `xml:"lastModifier"`
+	Created      time.Time `xml:"created"`
+	Modified     time.Time `xml:"modified"`
+	Audited      bool      `xml:"audited"`
+}
+
+// CollectionToWire converts core collection metadata to the wire form.
+func CollectionToWire(c core.Collection) WireCollection {
+	return WireCollection{
+		ID: c.ID, Name: c.Name, Description: c.Description, ParentID: c.ParentID,
+		Creator: c.Creator, LastModifier: c.LastModifier,
+		Created: c.Created, Modified: c.Modified, Audited: c.Audited,
+	}
+}
+
+// CollectionFromWire converts wire collection metadata to the core form.
+func CollectionFromWire(w WireCollection) core.Collection {
+	return core.Collection{
+		ID: w.ID, Name: w.Name, Description: w.Description, ParentID: w.ParentID,
+		Creator: w.Creator, LastModifier: w.LastModifier,
+		Created: w.Created, Modified: w.Modified, Audited: w.Audited,
+	}
+}
+
+// CreateCollectionResponse returns the created collection.
+type CreateCollectionResponse struct {
+	XMLName    xml.Name       `xml:"urn:mcs createCollectionResponse"`
+	Collection WireCollection `xml:"collection"`
+}
+
+// GetCollectionRequest fetches collection metadata by name.
+type GetCollectionRequest struct {
+	XMLName xml.Name `xml:"urn:mcs getCollection"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+}
+
+// GetCollectionResponse returns collection metadata.
+type GetCollectionResponse struct {
+	XMLName    xml.Name       `xml:"urn:mcs getCollectionResponse"`
+	Collection WireCollection `xml:"collection"`
+}
+
+// CollectionContentsRequest lists a collection's direct members.
+type CollectionContentsRequest struct {
+	XMLName xml.Name `xml:"urn:mcs collectionContents"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+}
+
+// CollectionContentsResponse returns files and sub-collections.
+type CollectionContentsResponse struct {
+	XMLName        xml.Name         `xml:"urn:mcs collectionContentsResponse"`
+	Files          []WireFile       `xml:"files>file"`
+	SubCollections []WireCollection `xml:"subCollections>collection"`
+}
+
+// DeleteCollectionRequest removes an empty collection.
+type DeleteCollectionRequest struct {
+	XMLName xml.Name `xml:"urn:mcs deleteCollection"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+}
+
+// DeleteCollectionResponse acknowledges a delete.
+type DeleteCollectionResponse struct {
+	XMLName xml.Name `xml:"urn:mcs deleteCollectionResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// ListCollectionsRequest lists collection names matching a LIKE pattern.
+type ListCollectionsRequest struct {
+	XMLName xml.Name `xml:"urn:mcs listCollections"`
+	Caller  string   `xml:"caller,omitempty"`
+	Pattern string   `xml:"pattern,omitempty"`
+}
+
+// ListCollectionsResponse returns the matching names.
+type ListCollectionsResponse struct {
+	XMLName xml.Name `xml:"urn:mcs listCollectionsResponse"`
+	Names   []string `xml:"names>name"`
+}
+
+// --- View operations ---
+
+// WireView is the wire form of view metadata.
+type WireView struct {
+	ID           int64     `xml:"id"`
+	Name         string    `xml:"name"`
+	Description  string    `xml:"description"`
+	Creator      string    `xml:"creator"`
+	LastModifier string    `xml:"lastModifier"`
+	Created      time.Time `xml:"created"`
+	Modified     time.Time `xml:"modified"`
+	Audited      bool      `xml:"audited"`
+}
+
+// ViewToWire converts core view metadata to the wire form.
+func ViewToWire(v core.View) WireView {
+	return WireView{
+		ID: v.ID, Name: v.Name, Description: v.Description,
+		Creator: v.Creator, LastModifier: v.LastModifier,
+		Created: v.Created, Modified: v.Modified, Audited: v.Audited,
+	}
+}
+
+// CreateViewRequest registers a logical view.
+type CreateViewRequest struct {
+	XMLName     xml.Name   `xml:"urn:mcs createView"`
+	Caller      string     `xml:"caller,omitempty"`
+	Name        string     `xml:"name"`
+	Description string     `xml:"description,omitempty"`
+	Audited     bool       `xml:"audited,omitempty"`
+	Attributes  []WireAttr `xml:"attributes>attribute"`
+}
+
+// CreateViewResponse returns the created view.
+type CreateViewResponse struct {
+	XMLName xml.Name `xml:"urn:mcs createViewResponse"`
+	View    WireView `xml:"view"`
+}
+
+// AddToViewRequest aggregates an object into a view.
+type AddToViewRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs addToView"`
+	Caller     string   `xml:"caller,omitempty"`
+	View       string   `xml:"view"`
+	ObjectType string   `xml:"objectType"`
+	Member     string   `xml:"member"`
+}
+
+// AddToViewResponse acknowledges the addition.
+type AddToViewResponse struct {
+	XMLName xml.Name `xml:"urn:mcs addToViewResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// RemoveFromViewRequest removes a member from a view.
+type RemoveFromViewRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs removeFromView"`
+	Caller     string   `xml:"caller,omitempty"`
+	View       string   `xml:"view"`
+	ObjectType string   `xml:"objectType"`
+	Member     string   `xml:"member"`
+}
+
+// RemoveFromViewResponse acknowledges the removal.
+type RemoveFromViewResponse struct {
+	XMLName xml.Name `xml:"urn:mcs removeFromViewResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// WireViewMember is one element of a view listing.
+type WireViewMember struct {
+	Type string `xml:"type"`
+	ID   int64  `xml:"id"`
+	Name string `xml:"name"`
+}
+
+// ViewContentsRequest lists a view's direct members.
+type ViewContentsRequest struct {
+	XMLName xml.Name `xml:"urn:mcs viewContents"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+}
+
+// ViewContentsResponse returns the members.
+type ViewContentsResponse struct {
+	XMLName xml.Name         `xml:"urn:mcs viewContentsResponse"`
+	Members []WireViewMember `xml:"members>member"`
+}
+
+// ExpandViewRequest recursively resolves a view to file names.
+type ExpandViewRequest struct {
+	XMLName xml.Name `xml:"urn:mcs expandView"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+}
+
+// ExpandViewResponse returns the reachable logical file names.
+type ExpandViewResponse struct {
+	XMLName xml.Name `xml:"urn:mcs expandViewResponse"`
+	Names   []string `xml:"names>name"`
+}
+
+// DeleteViewRequest removes a view.
+type DeleteViewRequest struct {
+	XMLName xml.Name `xml:"urn:mcs deleteView"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+}
+
+// DeleteViewResponse acknowledges a delete.
+type DeleteViewResponse struct {
+	XMLName xml.Name `xml:"urn:mcs deleteViewResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// --- Attribute operations ---
+
+// DefineAttributeRequest declares a user-defined attribute.
+type DefineAttributeRequest struct {
+	XMLName     xml.Name `xml:"urn:mcs defineAttribute"`
+	Caller      string   `xml:"caller,omitempty"`
+	Name        string   `xml:"name"`
+	Type        string   `xml:"type"`
+	Description string   `xml:"description,omitempty"`
+}
+
+// DefineAttributeResponse returns the declaration.
+type DefineAttributeResponse struct {
+	XMLName     xml.Name `xml:"urn:mcs defineAttributeResponse"`
+	ID          int64    `xml:"id"`
+	Name        string   `xml:"name"`
+	Type        string   `xml:"type"`
+	Description string   `xml:"description"`
+}
+
+// ListAttributeDefsRequest lists all attribute declarations.
+type ListAttributeDefsRequest struct {
+	XMLName xml.Name `xml:"urn:mcs listAttributeDefs"`
+	Caller  string   `xml:"caller,omitempty"`
+}
+
+// WireAttrDef is one attribute declaration on the wire.
+type WireAttrDef struct {
+	ID          int64  `xml:"id"`
+	Name        string `xml:"name"`
+	Type        string `xml:"type"`
+	Description string `xml:"description"`
+}
+
+// ListAttributeDefsResponse returns all declarations.
+type ListAttributeDefsResponse struct {
+	XMLName xml.Name      `xml:"urn:mcs listAttributeDefsResponse"`
+	Defs    []WireAttrDef `xml:"defs>def"`
+}
+
+// SetAttributeRequest binds a user-defined attribute value on an object.
+type SetAttributeRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs setAttribute"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object"`
+	Attribute  WireAttr `xml:"attribute"`
+}
+
+// SetAttributeResponse acknowledges the binding.
+type SetAttributeResponse struct {
+	XMLName xml.Name `xml:"urn:mcs setAttributeResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// UnsetAttributeRequest removes a user-defined attribute from an object.
+type UnsetAttributeRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs unsetAttribute"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object"`
+	Attribute  string   `xml:"attribute"`
+}
+
+// UnsetAttributeResponse acknowledges the removal.
+type UnsetAttributeResponse struct {
+	XMLName xml.Name `xml:"urn:mcs unsetAttributeResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// GetAttributesRequest lists the user-defined attributes of an object.
+type GetAttributesRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs getAttributes"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object"`
+}
+
+// GetAttributesResponse returns the attribute bindings.
+type GetAttributesResponse struct {
+	XMLName    xml.Name   `xml:"urn:mcs getAttributesResponse"`
+	Attributes []WireAttr `xml:"attributes>attribute"`
+}
+
+// --- Query ---
+
+// QueryRequest runs an attribute-based discovery query.
+type QueryRequest struct {
+	XMLName    xml.Name        `xml:"urn:mcs query"`
+	Caller     string          `xml:"caller,omitempty"`
+	Target     string          `xml:"target,omitempty"`
+	Predicates []WirePredicate `xml:"predicates>predicate"`
+	Limit      int             `xml:"limit,omitempty"`
+}
+
+// QueryResponse returns the matching logical names.
+type QueryResponse struct {
+	XMLName xml.Name `xml:"urn:mcs queryResponse"`
+	Names   []string `xml:"names>name"`
+}
+
+// QueryAttrsRequest runs a discovery query that also returns the values of
+// the listed user-defined attributes for every match.
+type QueryAttrsRequest struct {
+	XMLName    xml.Name        `xml:"urn:mcs queryAttrs"`
+	Caller     string          `xml:"caller,omitempty"`
+	Target     string          `xml:"target,omitempty"`
+	Predicates []WirePredicate `xml:"predicates>predicate"`
+	Limit      int             `xml:"limit,omitempty"`
+	Return     []string        `xml:"return>attribute"`
+}
+
+// WireQueryResult is one matched name with its requested attribute values.
+type WireQueryResult struct {
+	Name       string     `xml:"name"`
+	Attributes []WireAttr `xml:"attributes>attribute"`
+}
+
+// QueryAttrsResponse returns the matches and their attribute values.
+type QueryAttrsResponse struct {
+	XMLName xml.Name          `xml:"urn:mcs queryAttrsResponse"`
+	Results []WireQueryResult `xml:"results>result"`
+}
+
+// --- Annotations, provenance, audit ---
+
+// AnnotateRequest attaches an annotation to an object.
+type AnnotateRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs annotate"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object"`
+	Text       string   `xml:"text"`
+}
+
+// AnnotateResponse returns the stored annotation's ID.
+type AnnotateResponse struct {
+	XMLName xml.Name `xml:"urn:mcs annotateResponse"`
+	ID      int64    `xml:"id"`
+}
+
+// WireAnnotation is one annotation on the wire.
+type WireAnnotation struct {
+	ID      int64     `xml:"id"`
+	Text    string    `xml:"text"`
+	Creator string    `xml:"creator"`
+	At      time.Time `xml:"at"`
+}
+
+// GetAnnotationsRequest lists the annotations on an object.
+type GetAnnotationsRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs getAnnotations"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object"`
+}
+
+// GetAnnotationsResponse returns the annotations, oldest first.
+type GetAnnotationsResponse struct {
+	XMLName     xml.Name         `xml:"urn:mcs getAnnotationsResponse"`
+	Annotations []WireAnnotation `xml:"annotations>annotation"`
+}
+
+// AddProvenanceRequest appends a transformation-history record to a file.
+type AddProvenanceRequest struct {
+	XMLName     xml.Name `xml:"urn:mcs addProvenance"`
+	Caller      string   `xml:"caller,omitempty"`
+	Name        string   `xml:"name"`
+	Version     int      `xml:"version,omitempty"`
+	Description string   `xml:"description"`
+}
+
+// AddProvenanceResponse acknowledges the append.
+type AddProvenanceResponse struct {
+	XMLName xml.Name `xml:"urn:mcs addProvenanceResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// WireProvenance is one history record on the wire.
+type WireProvenance struct {
+	ID          int64     `xml:"id"`
+	Description string    `xml:"description"`
+	At          time.Time `xml:"at"`
+}
+
+// GetProvenanceRequest lists a file's transformation history.
+type GetProvenanceRequest struct {
+	XMLName xml.Name `xml:"urn:mcs getProvenance"`
+	Caller  string   `xml:"caller,omitempty"`
+	Name    string   `xml:"name"`
+	Version int      `xml:"version,omitempty"`
+}
+
+// GetProvenanceResponse returns the history, oldest first.
+type GetProvenanceResponse struct {
+	XMLName xml.Name         `xml:"urn:mcs getProvenanceResponse"`
+	Records []WireProvenance `xml:"records>record"`
+}
+
+// WireAudit is one audit record on the wire.
+type WireAudit struct {
+	ID     int64     `xml:"id"`
+	Action string    `xml:"action"`
+	DN     string    `xml:"dn"`
+	Detail string    `xml:"detail"`
+	At     time.Time `xml:"at"`
+}
+
+// AuditLogRequest lists the audit trail of an object.
+type AuditLogRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs auditLog"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object"`
+}
+
+// AuditLogResponse returns the audit records, oldest first.
+type AuditLogResponse struct {
+	XMLName xml.Name    `xml:"urn:mcs auditLogResponse"`
+	Records []WireAudit `xml:"records>record"`
+}
+
+// --- Authorization ---
+
+// GrantRequest grants a permission on an object.
+type GrantRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs grant"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object,omitempty"`
+	Principal  string   `xml:"principal"`
+	Permission string   `xml:"permission"`
+}
+
+// GrantResponse acknowledges the grant.
+type GrantResponse struct {
+	XMLName xml.Name `xml:"urn:mcs grantResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// RevokeRequest revokes a permission on an object.
+type RevokeRequest struct {
+	XMLName    xml.Name `xml:"urn:mcs revoke"`
+	Caller     string   `xml:"caller,omitempty"`
+	ObjectType string   `xml:"objectType"`
+	Object     string   `xml:"object,omitempty"`
+	Principal  string   `xml:"principal"`
+	Permission string   `xml:"permission"`
+}
+
+// RevokeResponse acknowledges the revocation.
+type RevokeResponse struct {
+	XMLName xml.Name `xml:"urn:mcs revokeResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// --- Writers, external catalogs, service ---
+
+// RegisterWriterRequest stores a metadata-writer contact record.
+type RegisterWriterRequest struct {
+	XMLName     xml.Name `xml:"urn:mcs registerWriter"`
+	Caller      string   `xml:"caller,omitempty"`
+	DN          string   `xml:"dn"`
+	Description string   `xml:"description,omitempty"`
+	Institution string   `xml:"institution,omitempty"`
+	Address     string   `xml:"address,omitempty"`
+	Phone       string   `xml:"phone,omitempty"`
+	Email       string   `xml:"email,omitempty"`
+}
+
+// RegisterWriterResponse acknowledges the registration.
+type RegisterWriterResponse struct {
+	XMLName xml.Name `xml:"urn:mcs registerWriterResponse"`
+	OK      bool     `xml:"ok"`
+}
+
+// GetWriterRequest fetches a writer contact record.
+type GetWriterRequest struct {
+	XMLName xml.Name `xml:"urn:mcs getWriter"`
+	Caller  string   `xml:"caller,omitempty"`
+	DN      string   `xml:"dn"`
+}
+
+// GetWriterResponse returns the contact record.
+type GetWriterResponse struct {
+	XMLName     xml.Name `xml:"urn:mcs getWriterResponse"`
+	DN          string   `xml:"dn"`
+	Description string   `xml:"description"`
+	Institution string   `xml:"institution"`
+	Address     string   `xml:"address"`
+	Phone       string   `xml:"phone"`
+	Email       string   `xml:"email"`
+}
+
+// RegisterExternalCatalogRequest records a pointer to another catalog.
+type RegisterExternalCatalogRequest struct {
+	XMLName     xml.Name `xml:"urn:mcs registerExternalCatalog"`
+	Caller      string   `xml:"caller,omitempty"`
+	Name        string   `xml:"name"`
+	Type        string   `xml:"type"`
+	Host        string   `xml:"host,omitempty"`
+	IP          string   `xml:"ip,omitempty"`
+	Description string   `xml:"description,omitempty"`
+}
+
+// RegisterExternalCatalogResponse returns the assigned ID.
+type RegisterExternalCatalogResponse struct {
+	XMLName xml.Name `xml:"urn:mcs registerExternalCatalogResponse"`
+	ID      int64    `xml:"id"`
+}
+
+// WireExternalCatalog is one external catalog pointer on the wire.
+type WireExternalCatalog struct {
+	ID          int64  `xml:"id"`
+	Name        string `xml:"name"`
+	Type        string `xml:"type"`
+	Host        string `xml:"host"`
+	IP          string `xml:"ip"`
+	Description string `xml:"description"`
+}
+
+// ListExternalCatalogsRequest lists the registered external catalogs.
+type ListExternalCatalogsRequest struct {
+	XMLName xml.Name `xml:"urn:mcs listExternalCatalogs"`
+	Caller  string   `xml:"caller,omitempty"`
+}
+
+// ListExternalCatalogsResponse returns the catalog pointers.
+type ListExternalCatalogsResponse struct {
+	XMLName  xml.Name              `xml:"urn:mcs listExternalCatalogsResponse"`
+	Catalogs []WireExternalCatalog `xml:"catalogs>catalog"`
+}
+
+// StatsRequest asks for catalog row counts.
+type StatsRequest struct {
+	XMLName xml.Name `xml:"urn:mcs stats"`
+	Caller  string   `xml:"caller,omitempty"`
+}
+
+// StatsResponse returns the row counts.
+type StatsResponse struct {
+	XMLName     xml.Name `xml:"urn:mcs statsResponse"`
+	Files       int      `xml:"files"`
+	Collections int      `xml:"collections"`
+	Views       int      `xml:"views"`
+	Attributes  int      `xml:"attributes"`
+	AttrDefs    int      `xml:"attrDefs"`
+}
+
+// PingRequest is a liveness probe.
+type PingRequest struct {
+	XMLName xml.Name `xml:"urn:mcs ping"`
+}
+
+// PingResponse acknowledges a ping and reports the caller's DN as seen by
+// the server (useful for verifying authentication end to end).
+type PingResponse struct {
+	XMLName xml.Name `xml:"urn:mcs pingResponse"`
+	DN      string   `xml:"dn"`
+}

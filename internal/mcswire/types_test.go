@@ -1,0 +1,157 @@
+package mcswire
+
+import (
+	"encoding/xml"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcs/internal/core"
+)
+
+// roundTrip marshals v and unmarshals into out (a pointer of v's type).
+func roundTrip(t *testing.T, v, out any) {
+	t.Helper()
+	raw, err := xml.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	if err := xml.Unmarshal(raw, out); err != nil {
+		t.Fatalf("unmarshal %T: %v\n%s", v, err, raw)
+	}
+}
+
+func TestCreateFileRequestRoundTrip(t *testing.T) {
+	req := &CreateFileRequest{
+		Caller: "/O=Grid/CN=Alice", Name: "f<&>.dat", Version: 3, DataType: "binary",
+		Collection: "col", ContainerID: "c1", ContainerService: "svc",
+		MasterCopy: "gsiftp://x/y", Audited: true, Provenance: "made by hand",
+		Attributes: []WireAttr{
+			{Name: "a", Type: "string", Value: "v & w"},
+			{Name: "b", Type: "int", Value: "-42"},
+		},
+	}
+	var got CreateFileRequest
+	roundTrip(t, req, &got)
+	got.XMLName = xml.Name{}
+	req2 := *req
+	if !reflect.DeepEqual(got.Attributes, req2.Attributes) ||
+		got.Name != req.Name || got.Version != req.Version ||
+		got.Audited != req.Audited || got.Provenance != req.Provenance {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, req2)
+	}
+}
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	req := &QueryRequest{
+		Caller: "x", Target: "file", Limit: 7,
+		Predicates: []WirePredicate{
+			{Attribute: "freq", Op: ">=", Type: "float", Value: "40.5"},
+			{Attribute: "run", Op: "=", Type: "string", Value: "S2"},
+		},
+	}
+	var got QueryRequest
+	roundTrip(t, req, &got)
+	if len(got.Predicates) != 2 || got.Predicates[0].Op != ">=" || got.Limit != 7 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestWireFileTimeFields(t *testing.T) {
+	now := time.Date(2003, 11, 15, 12, 0, 0, 0, time.UTC)
+	f := core.File{
+		ID: 9, Name: "n", Version: 2, Valid: true,
+		Created: now, Modified: now.Add(time.Hour),
+	}
+	w := FileToWire(f)
+	resp := &GetFileResponse{File: w}
+	var got GetFileResponse
+	roundTrip(t, resp, &got)
+	back := FileFromWire(got.File)
+	if !back.Created.Equal(f.Created) || !back.Modified.Equal(f.Modified) {
+		t.Fatalf("time fields: %+v", back)
+	}
+	if back.ID != 9 || back.Version != 2 || !back.Valid {
+		t.Fatalf("scalar fields: %+v", back)
+	}
+}
+
+func TestWireAttrToCore(t *testing.T) {
+	cases := []struct {
+		wa   WireAttr
+		ok   bool
+		want core.AttrType
+	}{
+		{WireAttr{Name: "a", Type: "string", Value: "x"}, true, core.AttrString},
+		{WireAttr{Name: "a", Type: "int", Value: "5"}, true, core.AttrInt},
+		{WireAttr{Name: "a", Type: "float", Value: "2.5"}, true, core.AttrFloat},
+		{WireAttr{Name: "a", Type: "date", Value: "2003-11-15"}, true, core.AttrDate},
+		{WireAttr{Name: "a", Type: "time", Value: "10:30:00"}, true, core.AttrTime},
+		{WireAttr{Name: "a", Type: "datetime", Value: "2003-11-15T10:30:00Z"}, true, core.AttrDateTime},
+		{WireAttr{Name: "a", Type: "int", Value: "nope"}, false, ""},
+		{WireAttr{Name: "a", Type: "nosuch", Value: "x"}, false, ""},
+	}
+	for _, c := range cases {
+		a, err := c.wa.ToCore()
+		if c.ok && (err != nil || a.Value.Type != c.want) {
+			t.Errorf("%+v -> %v, %v", c.wa, a, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%+v accepted", c.wa)
+		}
+	}
+}
+
+// Property: FromCore/ToCore round-trips every representable string attr.
+func TestQuickAttrRoundTrip(t *testing.T) {
+	f := func(name, value string) bool {
+		if name == "" {
+			return true
+		}
+		a := core.Attribute{Name: name, Value: core.String(value)}
+		back, err := FromCore(a).ToCore()
+		return err == nil && back.Name == name && back.Value.S == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: int attrs survive the wire encoding for all values.
+func TestQuickIntAttrRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		back, err := FromCore(core.Attribute{Name: "n", Value: core.Int(v)}).ToCore()
+		return err == nil && back.Value.I == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateFileRequestFlagSemantics(t *testing.T) {
+	// The Set* booleans distinguish "clear to empty" from "leave alone".
+	req := &UpdateFileRequest{Name: "f", SetDataType: true, DataType: ""}
+	var got UpdateFileRequest
+	roundTrip(t, req, &got)
+	if !got.SetDataType || got.DataType != "" {
+		t.Fatalf("got %+v", got)
+	}
+	if got.SetValid || got.SetMasterCopy {
+		t.Fatalf("unset flags flipped: %+v", got)
+	}
+}
+
+func TestCollectionAndViewWireForms(t *testing.T) {
+	col := core.Collection{ID: 1, Name: "c", ParentID: 2, Audited: true,
+		Created: time.Now().UTC().Truncate(time.Second)}
+	back := CollectionFromWire(CollectionToWire(col))
+	if back.ID != col.ID || back.ParentID != 2 || !back.Audited {
+		t.Fatalf("collection: %+v", back)
+	}
+	v := core.View{ID: 3, Name: "v", Description: "d"}
+	wv := ViewToWire(v)
+	if wv.ID != 3 || wv.Name != "v" || wv.Description != "d" {
+		t.Fatalf("view: %+v", wv)
+	}
+}

@@ -1,0 +1,382 @@
+// Package pegasus implements a workflow planner in the style of Pegasus
+// (Planning for Execution in Grids), the system the paper describes as the
+// primary MCS consumer: Pegasus receives an abstract workflow, queries the
+// MCS to discover already-materialized data products (pruning the jobs that
+// would recreate them), maps the remaining jobs onto sites, inserts
+// stage-in transfers for inputs located through the RLS, and registers
+// newly created products back into the MCS and RLS.
+package pegasus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mcs/internal/core"
+)
+
+// Errors returned by planning and execution.
+var (
+	ErrCyclicWorkflow = errors.New("pegasus: abstract workflow has a cycle")
+	ErrUnboundInput   = errors.New("pegasus: input has no producer and no replica")
+	ErrNoTransform    = errors.New("pegasus: no implementation registered for transformation")
+)
+
+// MetadataCatalog is the slice of the MCS API the planner needs. Both the
+// dn-bound core catalog adapter and the SOAP client satisfy it.
+type MetadataCatalog interface {
+	// RunQuery returns logical names matching the predicates.
+	RunQuery(q core.Query) ([]string, error)
+	// CreateFile registers a new data product.
+	CreateFile(spec core.FileSpec) (core.File, error)
+}
+
+// ReplicaCatalog is the slice of the RLS API the planner needs.
+type ReplicaCatalog interface {
+	// Lookup returns physical locations of a logical file.
+	Lookup(lfn string) []string
+	// Add registers a new physical replica.
+	Add(lfn, pfn string)
+}
+
+// CatalogAdapter binds a core.Catalog to a DN so it satisfies
+// MetadataCatalog.
+type CatalogAdapter struct {
+	Catalog *core.Catalog
+	DN      string
+}
+
+// RunQuery implements MetadataCatalog.
+func (a CatalogAdapter) RunQuery(q core.Query) ([]string, error) {
+	return a.Catalog.RunQuery(a.DN, q)
+}
+
+// CreateFile implements MetadataCatalog.
+func (a CatalogAdapter) CreateFile(spec core.FileSpec) (core.File, error) {
+	return a.Catalog.CreateFile(a.DN, spec)
+}
+
+// Job is one transformation in an abstract workflow.
+type Job struct {
+	ID         string
+	Executable string
+	Args       []string
+	Inputs     []string // logical file names consumed
+	Outputs    []string // logical file names produced
+	// OutputMeta carries the user-defined attributes to attach to each
+	// output when it is registered (keyed by logical name).
+	OutputMeta map[string][]core.Attribute
+}
+
+// Workflow is an abstract (resource-independent) workflow.
+type Workflow struct {
+	Name string
+	Jobs []Job
+}
+
+// JobType classifies concrete-plan nodes.
+type JobType string
+
+// Concrete job types.
+const (
+	JobCompute  JobType = "compute"
+	JobStageIn  JobType = "stage-in"
+	JobRegister JobType = "register"
+)
+
+// ConcreteJob is one node of the executable plan.
+type ConcreteJob struct {
+	ID   string
+	Type JobType
+	// Compute fields.
+	Abstract *Job
+	Site     string
+	// Stage-in fields: copy SourcePFN to the site as logical name LFN.
+	LFN       string
+	SourcePFN string
+	// DependsOn lists concrete job IDs that must finish first.
+	DependsOn []string
+}
+
+// Plan is the concrete, executable workflow.
+type Plan struct {
+	Workflow string
+	Site     string
+	Jobs     []ConcreteJob
+	// Pruned lists abstract jobs skipped because every output already
+	// existed in the MCS (data reuse).
+	Pruned []string
+	// Reused lists the logical files satisfied from existing products.
+	Reused []string
+}
+
+// Planner maps abstract workflows to concrete plans.
+type Planner struct {
+	Metadata MetadataCatalog
+	Replicas ReplicaCatalog
+	// Site is the execution site jobs are mapped to.
+	Site string
+	// PFNPrefix forms physical names for new products,
+	// e.g. "gsiftp://host:port/". Defaults to "site://<Site>/".
+	PFNPrefix string
+}
+
+// topoOrder sorts jobs so producers precede consumers.
+func topoOrder(jobs []Job) ([]int, error) {
+	producer := map[string]int{}
+	for i, j := range jobs {
+		for _, out := range j.Outputs {
+			producer[out] = i
+		}
+	}
+	adj := make([][]int, len(jobs))
+	indeg := make([]int, len(jobs))
+	for i, j := range jobs {
+		for _, in := range j.Inputs {
+			if p, ok := producer[in]; ok && p != i {
+				adj[p] = append(adj[p], i)
+				indeg[i]++
+			}
+		}
+	}
+	var queue []int
+	for i := range jobs {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, m := range adj[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(order) != len(jobs) {
+		return nil, ErrCyclicWorkflow
+	}
+	return order, nil
+}
+
+// exists reports whether the MCS already has a valid file with this name.
+func (p *Planner) exists(lfn string) (bool, error) {
+	names, err := p.Metadata.RunQuery(core.Query{Predicates: []core.Predicate{
+		{Attribute: "name", Op: core.OpEq, Value: core.String(lfn)},
+		{Attribute: "valid", Op: core.OpEq, Value: core.Int(1)},
+	}, Limit: 1})
+	if err != nil {
+		return false, err
+	}
+	return len(names) > 0, nil
+}
+
+// Plan compiles an abstract workflow into a concrete plan:
+//
+//  1. Jobs whose outputs all exist in the MCS (and are locatable via the
+//     RLS) are pruned — the paper's data-reuse behaviour.
+//  2. Inputs not produced by an upstream kept job become stage-in jobs
+//     using a replica location from the RLS.
+//  3. Each kept compute job gets a register job that publishes its outputs.
+func (p *Planner) Plan(wf Workflow) (*Plan, error) {
+	order, err := topoOrder(wf.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	site := p.Site
+	if site == "" {
+		site = "local"
+	}
+	plan := &Plan{Workflow: wf.Name, Site: site}
+
+	producedBy := map[string]int{} // lfn -> abstract index of kept producer
+	computeID := map[int]string{}  // abstract index -> concrete compute id
+	staged := map[string]string{}  // lfn -> stage-in job id
+	reusedSet := map[string]bool{}
+
+	for _, idx := range order {
+		job := &wf.Jobs[idx]
+		// Data reuse: prune when every output already exists.
+		allExist := len(job.Outputs) > 0
+		for _, out := range job.Outputs {
+			ok, err := p.exists(out)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				allExist = false
+				break
+			}
+		}
+		if allExist {
+			plan.Pruned = append(plan.Pruned, job.ID)
+			for _, out := range job.Outputs {
+				reusedSet[out] = true
+			}
+			continue
+		}
+		cid := "compute-" + job.ID
+		computeID[idx] = cid
+		var deps []string
+		for _, in := range job.Inputs {
+			if prodIdx, ok := producedBy[in]; ok {
+				deps = append(deps, computeID[prodIdx])
+				continue
+			}
+			if sid, ok := staged[in]; ok {
+				deps = append(deps, sid)
+				continue
+			}
+			// Locate an existing replica via the RLS.
+			pfns := p.Replicas.Lookup(in)
+			if len(pfns) == 0 {
+				return nil, fmt.Errorf("%w: %q for job %q", ErrUnboundInput, in, job.ID)
+			}
+			sid := "stagein-" + in
+			plan.Jobs = append(plan.Jobs, ConcreteJob{
+				ID: sid, Type: JobStageIn, LFN: in, SourcePFN: pfns[0], Site: site,
+			})
+			staged[in] = sid
+			deps = append(deps, sid)
+			reusedSet[in] = true
+		}
+		plan.Jobs = append(plan.Jobs, ConcreteJob{
+			ID: cid, Type: JobCompute, Abstract: job, Site: site, DependsOn: deps,
+		})
+		for _, out := range job.Outputs {
+			producedBy[out] = idx
+		}
+		plan.Jobs = append(plan.Jobs, ConcreteJob{
+			ID: "register-" + job.ID, Type: JobRegister, Abstract: job,
+			Site: site, DependsOn: []string{cid},
+		})
+	}
+	for lfn := range reusedSet {
+		plan.Reused = append(plan.Reused, lfn)
+	}
+	sort.Strings(plan.Reused)
+	return plan, nil
+}
+
+// TransformFunc materializes a transformation: inputs are the staged file
+// contents keyed by logical name; it returns the produced contents keyed by
+// logical name.
+type TransformFunc func(args []string, inputs map[string][]byte) (map[string][]byte, error)
+
+// Executor runs a concrete plan at one site.
+type Executor struct {
+	Metadata MetadataCatalog
+	Replicas ReplicaCatalog
+	// Transforms maps executable names to implementations.
+	Transforms map[string]TransformFunc
+	// ReadLocal returns the content of a logical file already at the site.
+	ReadLocal func(lfn string) ([]byte, bool)
+	// WriteLocal stores content at the site under a logical name.
+	WriteLocal func(lfn string, data []byte)
+	// Fetch resolves a remote physical name during stage-in.
+	Fetch func(pfn string) ([]byte, error)
+	// PFNPrefix forms the physical names of registered outputs.
+	PFNPrefix string
+	// DataType is stamped on registered products (default "binary").
+	DataType string
+}
+
+// Result summarizes one plan execution.
+type Result struct {
+	ComputeRan int
+	StagedIn   int
+	Registered int
+}
+
+// Execute runs the plan's jobs in dependency order.
+func (e *Executor) Execute(plan *Plan) (Result, error) {
+	var res Result
+	done := map[string]bool{}
+	byID := map[string]*ConcreteJob{}
+	for i := range plan.Jobs {
+		byID[plan.Jobs[i].ID] = &plan.Jobs[i]
+	}
+	var run func(id string) error
+	run = func(id string) error {
+		if done[id] {
+			return nil
+		}
+		job, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("pegasus: missing plan job %q", id)
+		}
+		for _, dep := range job.DependsOn {
+			if err := run(dep); err != nil {
+				return err
+			}
+		}
+		switch job.Type {
+		case JobStageIn:
+			data, err := e.Fetch(job.SourcePFN)
+			if err != nil {
+				return fmt.Errorf("pegasus: stage-in %q from %q: %w", job.LFN, job.SourcePFN, err)
+			}
+			e.WriteLocal(job.LFN, data)
+			res.StagedIn++
+		case JobCompute:
+			fn, ok := e.Transforms[job.Abstract.Executable]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrNoTransform, job.Abstract.Executable)
+			}
+			inputs := make(map[string][]byte, len(job.Abstract.Inputs))
+			for _, in := range job.Abstract.Inputs {
+				data, ok := e.ReadLocal(in)
+				if !ok {
+					return fmt.Errorf("pegasus: input %q not present at site for job %q", in, job.ID)
+				}
+				inputs[in] = data
+			}
+			outputs, err := fn(job.Abstract.Args, inputs)
+			if err != nil {
+				return fmt.Errorf("pegasus: job %q failed: %w", job.ID, err)
+			}
+			for _, out := range job.Abstract.Outputs {
+				data, ok := outputs[out]
+				if !ok {
+					return fmt.Errorf("pegasus: job %q did not produce declared output %q", job.ID, out)
+				}
+				e.WriteLocal(out, data)
+			}
+			res.ComputeRan++
+		case JobRegister:
+			for _, out := range job.Abstract.Outputs {
+				spec := core.FileSpec{
+					Name:       out,
+					DataType:   e.dataType(),
+					Attributes: job.Abstract.OutputMeta[out],
+					Provenance: fmt.Sprintf("produced by %s(%s)", job.Abstract.Executable, job.Abstract.ID),
+				}
+				if _, err := e.Metadata.CreateFile(spec); err != nil {
+					return fmt.Errorf("pegasus: register %q: %w", out, err)
+				}
+				e.Replicas.Add(out, e.PFNPrefix+out)
+				res.Registered++
+			}
+		}
+		done[id] = true
+		return nil
+	}
+	for i := range plan.Jobs {
+		if err := run(plan.Jobs[i].ID); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func (e *Executor) dataType() string {
+	if e.DataType == "" {
+		return "binary"
+	}
+	return e.DataType
+}

@@ -1,0 +1,312 @@
+package pegasus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mcs/internal/core"
+	"mcs/internal/rls"
+)
+
+const dn = "/O=LIGO/CN=planner"
+
+// testRig wires a catalog, an LRC and a local in-memory site store.
+type testRig struct {
+	cat   *core.Catalog
+	lrc   *rls.LRC
+	local map[string][]byte
+	// remote physical storage keyed by pfn
+	remote map[string][]byte
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	cat, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{
+		cat:    cat,
+		lrc:    rls.NewLRC("lrc://test"),
+		local:  map[string][]byte{},
+		remote: map[string][]byte{},
+	}
+}
+
+func (r *testRig) planner() *Planner {
+	return &Planner{
+		Metadata: CatalogAdapter{Catalog: r.cat, DN: dn},
+		Replicas: r.lrc,
+		Site:     "isi-condor",
+	}
+}
+
+func (r *testRig) executor() *Executor {
+	return &Executor{
+		Metadata: CatalogAdapter{Catalog: r.cat, DN: dn},
+		Replicas: r.lrc,
+		Transforms: map[string]TransformFunc{
+			"concat": func(args []string, inputs map[string][]byte) (map[string][]byte, error) {
+				var sb strings.Builder
+				for _, name := range args[1:] {
+					sb.Write(inputs[name])
+				}
+				return map[string][]byte{args[0]: []byte(sb.String())}, nil
+			},
+			"upper": func(args []string, inputs map[string][]byte) (map[string][]byte, error) {
+				out := map[string][]byte{}
+				for _, name := range args[1:] {
+					out[args[0]] = append(out[args[0]], []byte(strings.ToUpper(string(inputs[name])))...)
+				}
+				return out, nil
+			},
+		},
+		ReadLocal: func(lfn string) ([]byte, bool) {
+			d, ok := r.local[lfn]
+			return d, ok
+		},
+		WriteLocal: func(lfn string, data []byte) { r.local[lfn] = data },
+		Fetch: func(pfn string) ([]byte, error) {
+			d, ok := r.remote[pfn]
+			if !ok {
+				return nil, fmt.Errorf("no such pfn %q", pfn)
+			}
+			return d, nil
+		},
+		PFNPrefix: "site://isi-condor/",
+	}
+}
+
+// seed registers a raw input in MCS + RLS + remote storage.
+func (r *testRig) seed(t *testing.T, lfn string, data []byte) {
+	t.Helper()
+	if _, err := r.cat.CreateFile(dn, core.FileSpec{Name: lfn}); err != nil {
+		t.Fatal(err)
+	}
+	pfn := "gsiftp://archive/" + lfn
+	r.lrc.Add(lfn, pfn)
+	r.remote[pfn] = data
+}
+
+func twoStageWorkflow() Workflow {
+	return Workflow{
+		Name: "pulsar-search",
+		Jobs: []Job{
+			{
+				ID: "j2", Executable: "upper",
+				Args:    []string{"final.out", "merged.dat"},
+				Inputs:  []string{"merged.dat"},
+				Outputs: []string{"final.out"},
+			},
+			{
+				ID: "j1", Executable: "concat",
+				Args:    []string{"merged.dat", "raw1.gwf", "raw2.gwf"},
+				Inputs:  []string{"raw1.gwf", "raw2.gwf"},
+				Outputs: []string{"merged.dat"},
+			},
+		},
+	}
+}
+
+func TestPlanTopologyAndStageIns(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "raw1.gwf", []byte("ab"))
+	r.seed(t, "raw2.gwf", []byte("cd"))
+	plan, err := r.planner().Plan(twoStageWorkflow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect 2 stage-ins + 2 computes + 2 registers.
+	counts := map[JobType]int{}
+	for _, j := range plan.Jobs {
+		counts[j.Type]++
+	}
+	if counts[JobStageIn] != 2 || counts[JobCompute] != 2 || counts[JobRegister] != 2 {
+		t.Fatalf("plan shape = %v", counts)
+	}
+	// j2's compute must depend on j1's compute (producer ordering).
+	var j2 *ConcreteJob
+	for i := range plan.Jobs {
+		if plan.Jobs[i].ID == "compute-j2" {
+			j2 = &plan.Jobs[i]
+		}
+	}
+	if j2 == nil {
+		t.Fatal("compute-j2 missing")
+	}
+	found := false
+	for _, d := range j2.DependsOn {
+		if d == "compute-j1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("compute-j2 deps = %v", j2.DependsOn)
+	}
+}
+
+func TestExecuteEndToEnd(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "raw1.gwf", []byte("ab"))
+	r.seed(t, "raw2.gwf", []byte("cd"))
+	plan, err := r.planner().Plan(twoStageWorkflow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.executor().Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputeRan != 2 || res.StagedIn != 2 || res.Registered != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if string(r.local["final.out"]) != "ABCD" {
+		t.Fatalf("final.out = %q", r.local["final.out"])
+	}
+	// Outputs registered in MCS with provenance, and in the RLS.
+	f, err := r.cat.GetFile(dn, "final.out", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := r.cat.Provenance(dn, "final.out", 0)
+	if len(recs) != 1 || !strings.Contains(recs[0].Description, "upper(j2)") {
+		t.Fatalf("provenance = %v", recs)
+	}
+	if pfns := r.lrc.Lookup("final.out"); len(pfns) != 1 || !strings.HasPrefix(pfns[0], "site://isi-condor/") {
+		t.Fatalf("replica = %v", pfns)
+	}
+	_ = f
+}
+
+func TestDataReusePrunesJobs(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "raw1.gwf", []byte("ab"))
+	r.seed(t, "raw2.gwf", []byte("cd"))
+	// First run materializes everything.
+	plan1, _ := r.planner().Plan(twoStageWorkflow())
+	if _, err := r.executor().Execute(plan1); err != nil {
+		t.Fatal(err)
+	}
+	// Second plan: all outputs exist, every job pruned.
+	plan2, err := r.planner().Plan(twoStageWorkflow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.Pruned) != 2 {
+		t.Fatalf("pruned = %v", plan2.Pruned)
+	}
+	if len(plan2.Jobs) != 0 {
+		t.Fatalf("plan2 still has %d jobs", len(plan2.Jobs))
+	}
+}
+
+func TestPartialReuse(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "raw1.gwf", []byte("ab"))
+	r.seed(t, "raw2.gwf", []byte("cd"))
+	// Pre-materialize only the intermediate product.
+	if _, err := r.cat.CreateFile(dn, core.FileSpec{Name: "merged.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	r.lrc.Add("merged.dat", "gsiftp://archive/merged.dat")
+	r.remote["gsiftp://archive/merged.dat"] = []byte("abcd")
+	plan, err := r.planner().Plan(twoStageWorkflow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pruned) != 1 || plan.Pruned[0] != "j1" {
+		t.Fatalf("pruned = %v", plan.Pruned)
+	}
+	// j2 still runs, staging the reused intermediate from its replica.
+	res, err := r.executor().Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ComputeRan != 1 || res.StagedIn != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if string(r.local["final.out"]) != "ABCD" {
+		t.Fatalf("final.out = %q", r.local["final.out"])
+	}
+}
+
+func TestInvalidatedProductNotReused(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "raw1.gwf", []byte("ab"))
+	r.seed(t, "raw2.gwf", []byte("cd"))
+	plan1, _ := r.planner().Plan(twoStageWorkflow())
+	r.executor().Execute(plan1) //nolint:errcheck
+	// Invalidate the final product; replanning must re-run j2 (not j1).
+	if err := r.cat.InvalidateFile(dn, "final.out", 0); err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := r.planner().Plan(twoStageWorkflow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.Pruned) != 1 || plan2.Pruned[0] != "j1" {
+		t.Fatalf("pruned = %v", plan2.Pruned)
+	}
+}
+
+func TestUnboundInputFails(t *testing.T) {
+	r := newRig(t)
+	// raw inputs never seeded.
+	_, err := r.planner().Plan(twoStageWorkflow())
+	if !errors.Is(err, ErrUnboundInput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCyclicWorkflowRejected(t *testing.T) {
+	r := newRig(t)
+	wf := Workflow{Jobs: []Job{
+		{ID: "a", Executable: "concat", Inputs: []string{"y"}, Outputs: []string{"x"}},
+		{ID: "b", Executable: "concat", Inputs: []string{"x"}, Outputs: []string{"y"}},
+	}}
+	if _, err := r.planner().Plan(wf); !errors.Is(err, ErrCyclicWorkflow) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingTransformFails(t *testing.T) {
+	r := newRig(t)
+	r.seed(t, "in", []byte("x"))
+	wf := Workflow{Jobs: []Job{{
+		ID: "j", Executable: "nosuch", Inputs: []string{"in"}, Outputs: []string{"out"},
+	}}}
+	plan, err := r.planner().Plan(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.executor().Execute(plan); !errors.Is(err, ErrNoTransform) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutputMetadataRegistered(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.cat.DefineAttribute(dn, "band", core.AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	r.seed(t, "in", []byte("x"))
+	wf := Workflow{Jobs: []Job{{
+		ID: "j", Executable: "upper",
+		Args: []string{"out", "in"}, Inputs: []string{"in"}, Outputs: []string{"out"},
+		OutputMeta: map[string][]core.Attribute{
+			"out": {{Name: "band", Value: core.String("high")}},
+		},
+	}}}
+	plan, _ := r.planner().Plan(wf)
+	if _, err := r.executor().Execute(plan); err != nil {
+		t.Fatal(err)
+	}
+	names, err := r.cat.RunQuery(dn, core.Query{Predicates: []core.Predicate{
+		{Attribute: "band", Op: core.OpEq, Value: core.String("high")},
+	}})
+	if err != nil || len(names) != 1 || names[0] != "out" {
+		t.Fatalf("metadata query = %v, %v", names, err)
+	}
+}

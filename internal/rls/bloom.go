@@ -1,0 +1,137 @@
+// Package rls implements a Replica Location Service in the style of the
+// Giggle framework (Chervenak et al., SC 2002), the companion service the
+// MCS paper federates with: Local Replica Catalogs (LRCs) map logical file
+// names to physical locations, and Replica Location Indices (RLIs) answer
+// "which LRCs know this logical name" using soft-state summaries — either
+// full name lists or compressed bloom filters — that expire unless
+// refreshed.
+package rls
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Bloom is a fixed-size bloom filter with k independent hash functions,
+// used to compress LRC soft-state updates (Giggle's "compression of state
+// updates" option).
+type Bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+}
+
+// NewBloom sizes a filter for n expected entries at false-positive rate p.
+func NewBloom(n int, p float64) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// hashPair derives two independent 64-bit hashes of s (Kirsch–Mitzenmacher
+// double hashing drives the k probes).
+func hashPair(s string) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	a := h1.Sum64()
+	h2 := fnv.New64()
+	h2.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	h2.Write([]byte{0x9e, 0x37})
+	b := h2.Sum64() | 1 // odd so probes cover the space
+	return a, b
+}
+
+// Add inserts s into the filter.
+func (b *Bloom) Add(s string) {
+	h1, h2 := hashPair(s)
+	for i := 0; i < b.k; i++ {
+		idx := (h1 + uint64(i)*h2) % b.m
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// Test reports whether s may be in the filter (false positives possible,
+// false negatives impossible).
+func (b *Bloom) Test(s string) bool {
+	h1, h2 := hashPair(s)
+	for i := 0; i < b.k; i++ {
+		idx := (h1 + uint64(i)*h2) % b.m
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRatio returns the fraction of set bits (diagnostic).
+func (b *Bloom) FillRatio() float64 {
+	ones := 0
+	for _, w := range b.bits {
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(b.m)
+}
+
+// bloomWire is the JSON encoding of a filter.
+type bloomWire struct {
+	M    uint64 `json:"m"`
+	K    int    `json:"k"`
+	Bits string `json:"bits"` // base64 of little-endian words
+}
+
+// MarshalJSON encodes the filter for soft-state transport.
+func (b *Bloom) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, len(b.bits)*8)
+	for i, w := range b.bits {
+		for j := 0; j < 8; j++ {
+			raw[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return json.Marshal(bloomWire{M: b.m, K: b.k, Bits: base64.StdEncoding.EncodeToString(raw)})
+}
+
+// UnmarshalJSON decodes a filter.
+func (b *Bloom) UnmarshalJSON(data []byte) error {
+	var w bloomWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Bits)
+	if err != nil {
+		return fmt.Errorf("rls: decode bloom bits: %w", err)
+	}
+	if w.M == 0 || w.K < 1 || w.K > 64 || uint64(len(raw))*8 < w.M {
+		return fmt.Errorf("rls: malformed bloom filter")
+	}
+	b.m = w.M
+	b.k = w.K
+	b.bits = make([]uint64, len(raw)/8)
+	for i := range b.bits {
+		var v uint64
+		for j := 0; j < 8; j++ {
+			v |= uint64(raw[i*8+j]) << (8 * j)
+		}
+		b.bits[i] = v
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package soap
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client issues SOAP calls to a single endpoint over HTTP.
+//
+// Each Client owns its own http.Client and connection pool, so benchmark
+// harnesses can model independent "client hosts" by constructing one Client
+// per simulated host.
+type Client struct {
+	Endpoint string
+	HTTP     *http.Client
+	// Sign, when set, is called with the serialized envelope and may add
+	// authentication headers (the gsi package provides an implementation).
+	Sign func(req *http.Request, body []byte) error
+	// Header holds extra headers attached to every request (e.g. CAS
+	// capability assertions).
+	Header http.Header
+}
+
+// NewClient returns a client for endpoint with a dedicated connection pool.
+func NewClient(endpoint string) *Client {
+	return &Client{
+		Endpoint: endpoint,
+		HTTP: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+			},
+		},
+	}
+}
+
+// Call performs one SOAP request/response round trip. action names the
+// operation (sent as the SOAPAction header), req is marshalled as the Body
+// payload and the reply payload is unmarshalled into resp. A SOAP fault is
+// returned as a *Fault error.
+func (c *Client) Call(action string, req, resp any) error {
+	payload, err := Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.Endpoint, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("soap: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	for k, vals := range c.Header {
+		for _, v := range vals {
+			httpReq.Header.Add(k, v)
+		}
+	}
+	if c.Sign != nil {
+		if err := c.Sign(httpReq, payload); err != nil {
+			return fmt.Errorf("soap: sign request: %w", err)
+		}
+	}
+	httpResp, err := c.HTTP.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("soap: call %s: %w", action, err)
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("soap: read response: %w", err)
+	}
+	if err := Unmarshal(raw, resp); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package soap
+
+import (
+	"encoding/xml"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type ctrRequest struct {
+	XMLName xml.Name `xml:"urn:test incr"`
+	By      int      `xml:"by"`
+}
+
+type ctrResponse struct {
+	XMLName xml.Name `xml:"urn:test incrResponse"`
+	Total   int64    `xml:"total"`
+}
+
+// TestConcurrentCalls hammers one server from many goroutines and checks
+// that every call is dispatched exactly once with its own payload.
+func TestConcurrentCalls(t *testing.T) {
+	var total atomic.Int64
+	s := NewServer("Ctr", "urn:test")
+	Handle(s, "incr", func(ctx *Ctx, req *ctrRequest) (*ctrResponse, error) {
+		return &ctrResponse{Total: total.Add(int64(req.By))}, nil
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const workers = 16
+	const callsPerWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			for i := 0; i < callsPerWorker; i++ {
+				var resp ctrResponse
+				if err := c.Call("incr", &ctrRequest{By: 1}, &resp); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := total.Load(); got != workers*callsPerWorker {
+		t.Fatalf("total = %d, want %d", got, workers*callsPerWorker)
+	}
+}
+
+// TestClientSharedAcrossGoroutines verifies one Client (one "host") is safe
+// for concurrent threads, as the bench harness assumes.
+func TestClientSharedAcrossGoroutines(t *testing.T) {
+	s := NewServer("Echo2", "urn:test")
+	Handle(s, "incr", func(ctx *Ctx, req *ctrRequest) (*ctrResponse, error) {
+		return &ctrResponse{Total: int64(req.By) * 2}, nil
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	var wg sync.WaitGroup
+	fail := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var resp ctrResponse
+				if err := c.Call("incr", &ctrRequest{By: g*100 + i}, &resp); err != nil {
+					fail <- err.Error()
+					return
+				}
+				if resp.Total != int64(g*100+i)*2 {
+					fail <- "response mismatch: answers crossed between goroutines"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

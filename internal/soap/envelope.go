@@ -1,0 +1,99 @@
+// Package soap implements the SOAP 1.1 over HTTP transport used between the
+// MCS client and server.
+//
+// It stands in for the Apache Axis/Tomcat stack of the original deployment:
+// requests and responses are Go structs marshalled into a SOAP envelope with
+// encoding/xml, carried in an HTTP POST, and dispatched by body element name.
+// Application errors travel as SOAP faults. The round trip through XML and
+// HTTP is precisely the "web service overhead" the paper's evaluation
+// quantifies, so this layer is implemented honestly rather than bypassed.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// EnvelopeNS is the SOAP 1.1 envelope namespace.
+const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// envelope is the wire representation of a SOAP message.
+type envelope struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Envelope"`
+	Body    body     `xml:"http://schemas.xmlsoap.org/soap/envelope/ Body"`
+}
+
+type body struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Fault is a SOAP 1.1 fault, used to carry application errors.
+type Fault struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
+	Code    string   `xml:"faultcode"`
+	String  string   `xml:"faultstring"`
+	Detail  string   `xml:"detail,omitempty"`
+}
+
+// Error implements the error interface so faults flow naturally to callers.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// Marshal wraps payload (a struct with an XMLName) in a SOAP envelope.
+func Marshal(payload any) ([]byte, error) {
+	inner, err := xml.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshal payload: %w", err)
+	}
+	env := envelope{Body: body{Inner: inner}}
+	out, err := xml.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshal envelope: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// bodyElement extracts the name of the first element inside the Body and the
+// raw bytes of the Body content.
+func bodyElement(raw []byte) (xml.Name, []byte, error) {
+	var env envelope
+	if err := xml.Unmarshal(raw, &env); err != nil {
+		return xml.Name{}, nil, fmt.Errorf("soap: parse envelope: %w", err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(env.Body.Inner))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return xml.Name{}, nil, fmt.Errorf("soap: empty Body")
+		}
+		if err != nil {
+			return xml.Name{}, nil, fmt.Errorf("soap: parse body: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			return se.Name, env.Body.Inner, nil
+		}
+	}
+}
+
+// Unmarshal extracts the first Body element of a SOAP message into v.
+// If the body is a Fault, it is returned as the error.
+func Unmarshal(raw []byte, v any) error {
+	name, inner, err := bodyElement(raw)
+	if err != nil {
+		return err
+	}
+	if name.Local == "Fault" {
+		var f Fault
+		if err := xml.Unmarshal(inner, &f); err != nil {
+			return fmt.Errorf("soap: parse fault: %w", err)
+		}
+		return &f
+	}
+	if err := xml.Unmarshal(inner, v); err != nil {
+		return fmt.Errorf("soap: unmarshal %s: %w", name.Local, err)
+	}
+	return nil
+}

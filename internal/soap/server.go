@@ -1,0 +1,198 @@
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Ctx carries per-request context into operation handlers.
+type Ctx struct {
+	// DN is the authenticated distinguished name of the caller, or "" when
+	// the service runs without authentication.
+	DN string
+	// RemoteAddr is the peer's network address.
+	RemoteAddr string
+	// Header exposes the raw request headers (capability assertions etc.).
+	Header http.Header
+}
+
+// Authenticator verifies a request before dispatch and returns the caller's
+// DN. The gsi package provides an implementation.
+type Authenticator interface {
+	Authenticate(r *http.Request, body []byte) (dn string, err error)
+}
+
+// handlerFunc is the internal type-erased operation handler.
+type handlerFunc func(ctx *Ctx, bodyXML []byte) (any, error)
+
+// Server dispatches SOAP requests to registered operations by the local
+// name of the first Body element.
+type Server struct {
+	mu   sync.RWMutex
+	ops  map[string]handlerFunc
+	auth Authenticator
+	// ServiceName and Namespace feed the generated WSDL.
+	ServiceName string
+	Namespace   string
+}
+
+// NewServer returns a server with no registered operations.
+func NewServer(serviceName, namespace string) *Server {
+	return &Server{
+		ops:         make(map[string]handlerFunc),
+		ServiceName: serviceName,
+		Namespace:   namespace,
+	}
+}
+
+// SetAuthenticator installs a request authenticator; nil disables auth.
+func (s *Server) SetAuthenticator(a Authenticator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auth = a
+}
+
+// Handle registers a typed operation handler. The request element's local
+// name must equal name; the handler's response is marshalled as the reply
+// payload. Req and Resp must be XML-marshallable structs.
+func Handle[Req, Resp any](s *Server, name string, fn func(ctx *Ctx, req *Req) (*Resp, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ops[name]; dup {
+		panic(fmt.Sprintf("soap: operation %q registered twice", name))
+	}
+	s.ops[name] = func(ctx *Ctx, bodyXML []byte) (any, error) {
+		var req Req
+		if err := xml.Unmarshal(bodyXML, &req); err != nil {
+			return nil, fmt.Errorf("decode %s request: %w", name, err)
+		}
+		return fn(ctx, &req)
+	}
+}
+
+// Operations returns the sorted operation names (for WSDL generation).
+func (s *Server) Operations() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.ops))
+	for n := range s.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ServeHTTP implements http.Handler: POST with a SOAP envelope dispatches an
+// operation; GET with ?wsdl returns the service description.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		if _, ok := r.URL.Query()["wsdl"]; ok {
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			io.WriteString(w, s.WSDL()) //nolint:errcheck // best-effort response write
+			return
+		}
+		http.Error(w, "MCS SOAP endpoint; POST SOAP envelopes here", http.StatusOK)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		s.writeFault(w, "Client", fmt.Sprintf("read request: %v", err))
+		return
+	}
+	ctx := &Ctx{RemoteAddr: r.RemoteAddr, Header: r.Header}
+
+	s.mu.RLock()
+	auth := s.auth
+	s.mu.RUnlock()
+	if auth != nil {
+		dn, err := auth.Authenticate(r, raw)
+		if err != nil {
+			s.writeFault(w, "Client.Authentication", err.Error())
+			return
+		}
+		ctx.DN = dn
+	}
+
+	name, inner, err := bodyElement(raw)
+	if err != nil {
+		s.writeFault(w, "Client", err.Error())
+		return
+	}
+	s.mu.RLock()
+	fn, ok := s.ops[name.Local]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeFault(w, "Client", fmt.Sprintf("unknown operation %q", name.Local))
+		return
+	}
+	resp, err := fn(ctx, operationElement(inner, name))
+	if err != nil {
+		s.writeFault(w, "Server", err.Error())
+		return
+	}
+	out, err := Marshal(resp)
+	if err != nil {
+		s.writeFault(w, "Server", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(out) //nolint:errcheck // best-effort response write
+}
+
+// operationElement returns the bytes of the element named name within body
+// content (which may contain surrounding whitespace).
+func operationElement(inner []byte, name xml.Name) []byte {
+	// The first start element is the operation; body content before it is
+	// whitespace only. Unmarshalling the whole inner content works because
+	// encoding/xml unmarshals the first matching element.
+	_ = name
+	return bytes.TrimSpace(inner)
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, code, msg string) {
+	f := Fault{Code: "soapenv:" + code, String: msg}
+	out, err := Marshal(&f)
+	if err != nil {
+		http.Error(w, msg, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	w.Write(out) //nolint:errcheck // best-effort response write
+}
+
+// WSDL renders a minimal WSDL 1.1 description of the registered operations.
+// The original MCS generated its Java client stubs from exactly this kind of
+// document.
+func (s *Server) WSDL() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s", xml.Header)
+	fmt.Fprintf(&b, `<definitions name=%q targetNamespace=%q
+  xmlns="http://schemas.xmlsoap.org/wsdl/"
+  xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+  xmlns:tns=%q>
+`, s.ServiceName, s.Namespace, s.Namespace)
+	for _, op := range s.Operations() {
+		fmt.Fprintf(&b, "  <message name=%q/>\n", op+"Request")
+		fmt.Fprintf(&b, "  <message name=%q/>\n", op+"Response")
+	}
+	fmt.Fprintf(&b, "  <portType name=%q>\n", s.ServiceName+"PortType")
+	for _, op := range s.Operations() {
+		fmt.Fprintf(&b, `    <operation name=%q>
+      <input message="tns:%sRequest"/>
+      <output message="tns:%sResponse"/>
+    </operation>
+`, op, op, op)
+	}
+	fmt.Fprintf(&b, "  </portType>\n</definitions>\n")
+	return b.String()
+}

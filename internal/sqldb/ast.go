@@ -1,0 +1,165 @@
+package sqldb
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE [IF NOT EXISTS] name (columns...).
+type CreateTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// ColumnDef describes one column in a CREATE TABLE.
+type ColumnDef struct {
+	Name          string
+	Type          Type
+	NotNull       bool
+	PrimaryKey    bool
+	AutoIncrement bool
+	Unique        bool
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX [IF NOT EXISTS] name ON table (cols...).
+type CreateIndexStmt struct {
+	Name        string
+	Table       string
+	Columns     []string
+	Unique      bool
+	IfNotExists bool
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS] name.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// DropIndexStmt is DROP INDEX name.
+type DropIndexStmt struct {
+	Name string
+}
+
+// InsertStmt is INSERT INTO table (cols) VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// UpdateStmt is UPDATE table SET col = expr, ... [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr // nil means all rows
+}
+
+// Assignment is one col = expr clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// SelectStmt is SELECT [DISTINCT] items FROM table [alias] [JOIN ...]
+// [WHERE expr] [ORDER BY col [ASC|DESC], ...] [LIMIT n [OFFSET m]].
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr
+	OrderBy  []OrderKey
+	Limit    int // -1 means no limit
+	Offset   int
+}
+
+// SelectItem is one projected expression. Star selects every column of
+// every table in FROM order.
+type SelectItem struct {
+	Star  bool
+	Count bool // COUNT(*)
+	Expr  Expr
+	As    string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// JoinClause is [INNER|LEFT] JOIN table [alias] ON expr.
+type JoinClause struct {
+	Left  bool
+	Table TableRef
+	On    Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*DropIndexStmt) stmt()   {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+
+// Expr is a SQL expression tree node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// Param is a ? placeholder, numbered left to right from 0.
+type Param struct{ Index int }
+
+// ColumnRef names a column, optionally qualified by table alias.
+type ColumnRef struct {
+	Table  string // "" if unqualified
+	Column string
+}
+
+// BinaryExpr applies Op to two operands. Ops: = != < <= > >= AND OR LIKE.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies Op to one operand. Ops: NOT.
+type UnaryExpr struct {
+	Op string
+	E  Expr
+}
+
+// InExpr is "e IN (list...)" or its negation.
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNullExpr is "e IS [NOT] NULL".
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+func (*Literal) expr()    {}
+func (*Param) expr()      {}
+func (*ColumnRef) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*InExpr) expr()     {}
+func (*IsNullExpr) expr() {}

@@ -1,0 +1,529 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DB is an in-memory relational database. All methods are safe for
+// concurrent use: reads run under a shared lock, writes are serialized.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*table
+	indexes map[string]*index // global index namespace
+
+	// stmtCache memoizes parsed statements by SQL text, the counterpart of
+	// the JDBC prepared-statement cache in the original MCS server. DDL is
+	// never cached (it is rare and self-invalidating).
+	stmtMu    sync.RWMutex
+	stmtCache map[string]Statement
+}
+
+// maxCachedStatements bounds the parse cache; beyond it the cache resets
+// (statement texts in MCS are a small fixed set, so this never triggers in
+// practice).
+const maxCachedStatements = 4096
+
+// parseCached returns the parsed form of sql, caching non-DDL statements.
+func (db *DB) parseCached(sql string) (Statement, error) {
+	db.stmtMu.RLock()
+	st, ok := db.stmtCache[sql]
+	db.stmtMu.RUnlock()
+	if ok {
+		return st, nil
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch st.(type) {
+	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt, *DropIndexStmt:
+		return st, nil
+	}
+	db.stmtMu.Lock()
+	if len(db.stmtCache) >= maxCachedStatements {
+		db.stmtCache = make(map[string]Statement)
+	}
+	db.stmtCache[sql] = st
+	db.stmtMu.Unlock()
+	return st, nil
+}
+
+// Result reports the outcome of a mutating statement.
+type Result struct {
+	// LastInsertID is the autoincrement value assigned to the last row
+	// inserted by an INSERT into a table with an AUTOINCREMENT column.
+	LastInsertID int64
+	// RowsAffected counts inserted, updated or deleted rows.
+	RowsAffected int
+}
+
+// ErrTxDone is returned when using a transaction after Commit or Rollback.
+var ErrTxDone = errors.New("sqldb: transaction has already been committed or rolled back")
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		tables:    make(map[string]*table),
+		indexes:   make(map[string]*index),
+		stmtCache: make(map[string]Statement),
+	}
+}
+
+// Exec parses and runs a mutating or DDL statement.
+func (db *DB) Exec(sql string, args ...Value) (Result, error) {
+	st, err := db.parseCached(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	if sel, ok := st.(*SelectStmt); ok {
+		// Permit Exec of SELECT for convenience; discard rows.
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		_, err := db.executeSelect(sel, args)
+		return Result{}, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execLocked(st, args, nil)
+}
+
+// Query parses and runs a SELECT, returning the materialized result.
+func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	st, err := db.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.executeSelect(sel, args)
+}
+
+// Stmt is a prepared statement: parsed once, executable many times.
+type Stmt struct {
+	db *DB
+	st Statement
+}
+
+// Prepare parses sql for repeated execution.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, st: st}, nil
+}
+
+// Exec runs a prepared mutating statement.
+func (s *Stmt) Exec(args ...Value) (Result, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	return s.db.execLocked(s.st, args, nil)
+}
+
+// Query runs a prepared SELECT.
+func (s *Stmt) Query(args ...Value) (*Rows, error) {
+	sel, ok := s.st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.executeSelect(sel, args)
+}
+
+// undoEntry records how to reverse one row mutation.
+type undoEntry struct {
+	tbl   *table
+	kind  byte // 'i' insert, 'd' delete, 'u' update
+	rowid int64
+	row   Row // deleted or pre-update image
+}
+
+// Tx is a serializable read-write transaction. It holds the database write
+// lock from Begin until Commit or Rollback, so statements inside it observe
+// and produce a consistent snapshot. DDL is not allowed inside transactions.
+type Tx struct {
+	db   *DB
+	undo []undoEntry
+	done bool
+}
+
+// Begin starts a transaction, blocking until the write lock is available.
+func (db *DB) Begin() *Tx {
+	db.mu.Lock()
+	return &Tx{db: db}
+}
+
+// Exec runs a mutating statement inside the transaction.
+func (tx *Tx) Exec(sql string, args ...Value) (Result, error) {
+	if tx.done {
+		return Result{}, ErrTxDone
+	}
+	st, err := tx.db.parseCached(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	switch st.(type) {
+	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt, *DropIndexStmt:
+		return Result{}, fmt.Errorf("sqldb: DDL is not allowed inside a transaction")
+	}
+	return tx.db.execLocked(st, args, &tx.undo)
+}
+
+// Query runs a SELECT inside the transaction, seeing its uncommitted writes.
+func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	st, err := tx.db.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	return tx.db.executeSelect(sel, args)
+}
+
+// Commit makes the transaction's writes permanent and releases the lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Rollback reverses every write made in the transaction and releases the lock.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		switch u.kind {
+		case 'i':
+			u.tbl.delete(u.rowid)
+		case 'd':
+			u.tbl.insertAt(u.rowid, u.row)
+		case 'u':
+			cur := u.tbl.rows[u.rowid]
+			for _, ix := range u.tbl.indexes {
+				ix.remove(u.rowid, cur)
+			}
+			u.tbl.rows[u.rowid] = u.row
+			for _, ix := range u.tbl.indexes {
+				ix.insert(u.rowid, u.row)
+			}
+		}
+	}
+	tx.undo = nil
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Update runs fn inside a transaction, committing if it returns nil and
+// rolling back otherwise (or on panic).
+func (db *DB) Update(fn func(tx *Tx) error) error {
+	tx := db.Begin()
+	defer func() {
+		if !tx.done {
+			tx.Rollback() //nolint:errcheck // best-effort cleanup on panic
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.Rollback() //nolint:errcheck // the fn error takes precedence
+		return err
+	}
+	return tx.Commit()
+}
+
+// execLocked dispatches a non-SELECT statement; callers hold the write lock.
+// When undo is non-nil, every row mutation appends its inverse.
+func (db *DB) execLocked(st Statement, args []Value, undo *[]undoEntry) (Result, error) {
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		return db.createTable(s)
+	case *CreateIndexStmt:
+		return db.createIndex(s)
+	case *DropTableStmt:
+		return db.dropTable(s)
+	case *DropIndexStmt:
+		return db.dropIndex(s)
+	case *InsertStmt:
+		return db.execInsert(s, args, undo)
+	case *UpdateStmt:
+		return db.execUpdate(s, args, undo)
+	case *DeleteStmt:
+		return db.execDelete(s, args, undo)
+	case *SelectStmt:
+		_, err := db.executeSelect(s, args)
+		return Result{}, err
+	}
+	return Result{}, fmt.Errorf("sqldb: unsupported statement %T", st)
+}
+
+func (db *DB) createTable(s *CreateTableStmt) (Result, error) {
+	if _, exists := db.tables[s.Name]; exists {
+		if s.IfNotExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("sqldb: table %q already exists", s.Name)
+	}
+	t, err := newTable(s)
+	if err != nil {
+		return Result{}, err
+	}
+	db.tables[s.Name] = t
+	for _, ix := range t.indexes {
+		db.indexes[ix.name] = ix
+	}
+	return Result{}, nil
+}
+
+func (db *DB) createIndex(s *CreateIndexStmt) (Result, error) {
+	if _, exists := db.indexes[s.Name]; exists {
+		if s.IfNotExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("sqldb: index %q already exists", s.Name)
+	}
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+	}
+	cols := make([]int, len(s.Columns))
+	for i, name := range s.Columns {
+		p, err := t.columnPos(name)
+		if err != nil {
+			return Result{}, err
+		}
+		cols[i] = p
+	}
+	ix := newIndex(s.Name, t, cols, s.Unique)
+	// Backfill existing rows, verifying uniqueness as we go.
+	for rowid, row := range t.rows {
+		if err := ix.checkUnique(rowid, row); err != nil {
+			return Result{}, err
+		}
+		ix.insert(rowid, row)
+	}
+	t.indexes = append(t.indexes, ix)
+	db.indexes[s.Name] = ix
+	return Result{}, nil
+}
+
+func (db *DB) dropTable(s *DropTableStmt) (Result, error) {
+	t, ok := db.tables[s.Name]
+	if !ok {
+		if s.IfExists {
+			return Result{}, nil
+		}
+		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Name)
+	}
+	for _, ix := range t.indexes {
+		delete(db.indexes, ix.name)
+	}
+	delete(db.tables, s.Name)
+	return Result{}, nil
+}
+
+func (db *DB) dropIndex(s *DropIndexStmt) (Result, error) {
+	ix, ok := db.indexes[s.Name]
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: no such index %q", s.Name)
+	}
+	delete(db.indexes, s.Name)
+	t := ix.table
+	for i, other := range t.indexes {
+		if other == ix {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			break
+		}
+	}
+	return Result{}, nil
+}
+
+func (db *DB) execInsert(s *InsertStmt, args []Value, undo *[]undoEntry) (Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+	}
+	ev := &env{params: args}
+	var res Result
+	autoCol := -1
+	for i, c := range t.cols {
+		if c.AutoIncrement {
+			autoCol = i
+			break
+		}
+	}
+	for _, exprRow := range s.Rows {
+		vals := make([]Value, len(exprRow))
+		for i, ex := range exprRow {
+			v, err := eval(ex, ev)
+			if err != nil {
+				return res, err
+			}
+			vals[i] = v
+		}
+		row, err := t.prepareRow(s.Columns, vals)
+		if err != nil {
+			return res, err
+		}
+		rowid, err := t.insert(row)
+		if err != nil {
+			return res, err
+		}
+		if undo != nil {
+			*undo = append(*undo, undoEntry{tbl: t, kind: 'i', rowid: rowid})
+		}
+		res.RowsAffected++
+		if autoCol >= 0 {
+			res.LastInsertID = row[autoCol].I
+		}
+	}
+	return res, nil
+}
+
+// matchingRowIDs evaluates where against each row of t (index-accelerated)
+// and returns the matching rowids.
+func (db *DB) matchingRowIDs(t *table, tableName string, where Expr, args []Value) ([]int64, error) {
+	ev := &env{params: args, bindings: []binding{{alias: tableName, tbl: t}}}
+	var preds []Expr
+	if where != nil {
+		scope := map[string]*table{tableName: t}
+		for _, c := range conjuncts(where) {
+			if !refsOnly(c, scope) {
+				return nil, fmt.Errorf("sqldb: unresolvable predicate %s", exprString(c))
+			}
+			preds = append(preds, c)
+		}
+	}
+	ap := planAccess(t, tableName, preds, args)
+	var ids []int64
+	var scanErr error
+	ap.scan(func(rowid int64, row Row) bool {
+		ev.bindings[0].row = row
+		for _, p := range preds {
+			v, err := eval(p, ev)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		ids = append(ids, rowid)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return ids, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt, args []Value, undo *[]undoEntry) (Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+	}
+	ids, err := db.matchingRowIDs(t, s.Table, s.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	ev := &env{params: args, bindings: []binding{{alias: s.Table, tbl: t}}}
+	var res Result
+	for _, rowid := range ids {
+		old := t.rows[rowid]
+		ev.bindings[0].row = old
+		newRow := old.clone()
+		for _, as := range s.Set {
+			p, err := t.columnPos(as.Column)
+			if err != nil {
+				return res, err
+			}
+			v, err := eval(as.Value, ev)
+			if err != nil {
+				return res, err
+			}
+			if v.IsNull() {
+				if t.cols[p].NotNull {
+					return res, fmt.Errorf("sqldb: NOT NULL constraint on %s.%s", t.name, as.Column)
+				}
+				newRow[p] = v
+				continue
+			}
+			cv, err := coerce(v, t.cols[p].Type)
+			if err != nil {
+				return res, fmt.Errorf("%w (column %s.%s)", err, t.name, as.Column)
+			}
+			newRow[p] = cv
+		}
+		prev, err := t.update(rowid, newRow)
+		if err != nil {
+			return res, err
+		}
+		if undo != nil {
+			*undo = append(*undo, undoEntry{tbl: t, kind: 'u', rowid: rowid, row: prev})
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt, args []Value, undo *[]undoEntry) (Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+	}
+	ids, err := db.matchingRowIDs(t, s.Table, s.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, rowid := range ids {
+		row, ok := t.delete(rowid)
+		if !ok {
+			continue
+		}
+		if undo != nil {
+			*undo = append(*undo, undoEntry{tbl: t, kind: 'd', rowid: rowid, row: row})
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+// Tables lists the table names in the database (test/diagnostic helper).
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// RowCount returns the number of rows in a table.
+func (db *DB) RowCount(table string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: no such table %q", table)
+	}
+	return len(t.rows), nil
+}

@@ -1,0 +1,600 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustExec(t *testing.T, db *DB, sql string, args ...Value) Result {
+	t.Helper()
+	res, err := db.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, db *DB, sql string, args ...Value) *Rows {
+	t.Helper()
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return rows
+}
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, `CREATE TABLE files (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL UNIQUE,
+		size INTEGER,
+		score FLOAT,
+		valid BOOLEAN,
+		created DATETIME
+	)`)
+	return db
+}
+
+func TestCreateTableAndInsert(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db,
+		"INSERT INTO files (name, size, valid) VALUES ('a.dat', 100, TRUE)")
+	if res.RowsAffected != 1 {
+		t.Fatalf("RowsAffected = %d, want 1", res.RowsAffected)
+	}
+	if res.LastInsertID != 1 {
+		t.Fatalf("LastInsertID = %d, want 1", res.LastInsertID)
+	}
+	res = mustExec(t, db,
+		"INSERT INTO files (name, size) VALUES ('b.dat', 200), ('c.dat', 300)")
+	if res.RowsAffected != 2 || res.LastInsertID != 3 {
+		t.Fatalf("multi-insert got %+v", res)
+	}
+}
+
+func TestCreateTableIfNotExists(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec("CREATE TABLE files (id INTEGER)"); err == nil {
+		t.Fatal("duplicate CREATE TABLE did not fail")
+	}
+	mustExec(t, db, "CREATE TABLE IF NOT EXISTS files (id INTEGER)")
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec("INSERT INTO files (name, size) VALUES ('x', 'not a number')"); err == nil {
+		t.Fatal("type mismatch insert did not fail")
+	}
+	if _, err := db.Exec("INSERT INTO files (size) VALUES (1)"); err == nil {
+		t.Fatal("NOT NULL violation did not fail")
+	}
+	if _, err := db.Exec("INSERT INTO files (name, nosuch) VALUES ('x', 1)"); err == nil {
+		t.Fatal("unknown column did not fail")
+	}
+	// int -> float widening is allowed
+	mustExec(t, db, "INSERT INTO files (name, score) VALUES ('w', 3)")
+	rows := mustQuery(t, db, "SELECT score FROM files WHERE name = 'w'")
+	if rows.Data[0][0].T != TypeFloat || rows.Data[0][0].F != 3 {
+		t.Fatalf("widened value = %v", rows.Data[0][0])
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name) VALUES ('dup')")
+	if _, err := db.Exec("INSERT INTO files (name) VALUES ('dup')"); err == nil {
+		t.Fatal("UNIQUE violation did not fail")
+	}
+	// After the failure the table must still be consistent.
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files")
+	if rows.Data[0][0].I != 1 {
+		t.Fatalf("row count after failed insert = %v", rows.Data[0][0])
+	}
+	mustExec(t, db, "INSERT INTO files (name) VALUES ('ok')")
+}
+
+func TestSelectWhereOperators(t *testing.T) {
+	db := newTestDB(t)
+	for i, name := range []string{"a", "b", "c", "d", "e"} {
+		mustExec(t, db, "INSERT INTO files (name, size) VALUES (?, ?)",
+			Text(name), Int(int64(i*10)))
+	}
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"size = 20", 1},
+		{"size != 20", 4},
+		{"size < 20", 2},
+		{"size <= 20", 3},
+		{"size > 20", 2},
+		{"size >= 20", 3},
+		{"size > 10 AND size < 40", 2},
+		{"size < 10 OR size > 30", 2},
+		{"NOT size = 20", 4},
+		{"name IN ('a', 'c', 'zzz')", 2},
+		{"name NOT IN ('a', 'c')", 3},
+		{"name LIKE 'a%'", 1},
+		{"name LIKE '%'", 5},
+		{"score IS NULL", 5},
+		{"score IS NOT NULL", 0},
+		{"20 = size", 1},
+		{"20 <= size", 3},
+	}
+	for _, c := range cases {
+		rows := mustQuery(t, db, "SELECT id FROM files WHERE "+c.where)
+		if len(rows.Data) != c.want {
+			t.Errorf("WHERE %s returned %d rows, want %d", c.where, len(rows.Data), c.want)
+		}
+	}
+}
+
+func TestSelectProjection(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name, size) VALUES ('x', 7)")
+	rows := mustQuery(t, db, "SELECT name, size FROM files")
+	if len(rows.Columns) != 2 || rows.Columns[0] != "name" || rows.Columns[1] != "size" {
+		t.Fatalf("Columns = %v", rows.Columns)
+	}
+	if rows.Data[0][0].S != "x" || rows.Data[0][1].I != 7 {
+		t.Fatalf("Data = %v", rows.Data)
+	}
+	star := mustQuery(t, db, "SELECT * FROM files")
+	if len(star.Columns) != 6 {
+		t.Fatalf("star Columns = %v", star.Columns)
+	}
+	aliased := mustQuery(t, db, "SELECT name AS n FROM files")
+	if aliased.Columns[0] != "n" {
+		t.Fatalf("alias column = %v", aliased.Columns)
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := newTestDB(t)
+	for _, n := range []int{5, 3, 9, 1, 7} {
+		mustExec(t, db, "INSERT INTO files (name, size) VALUES (?, ?)",
+			Text(strings.Repeat("x", n)), Int(int64(n)))
+	}
+	rows := mustQuery(t, db, "SELECT size FROM files ORDER BY size")
+	got := []int64{}
+	for _, r := range rows.Data {
+		got = append(got, r[0].I)
+	}
+	want := []int64{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ORDER BY ASC = %v", got)
+		}
+	}
+	rows = mustQuery(t, db, "SELECT size FROM files ORDER BY size DESC LIMIT 2")
+	if len(rows.Data) != 2 || rows.Data[0][0].I != 9 || rows.Data[1][0].I != 7 {
+		t.Fatalf("ORDER BY DESC LIMIT = %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT size FROM files ORDER BY size LIMIT 2 OFFSET 1")
+	if len(rows.Data) != 2 || rows.Data[0][0].I != 3 || rows.Data[1][0].I != 5 {
+		t.Fatalf("LIMIT OFFSET = %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT size FROM files ORDER BY size LIMIT 10 OFFSET 99")
+	if len(rows.Data) != 0 {
+		t.Fatalf("past-end OFFSET = %v", rows.Data)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	db := newTestDB(t)
+	for i := 0; i < 4; i++ {
+		mustExec(t, db, "INSERT INTO files (name) VALUES (?)", Text(strings.Repeat("a", i+1)))
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files WHERE size IS NULL")
+	if rows.Data[0][0].I != 4 {
+		t.Fatalf("COUNT(*) = %v", rows.Data[0][0])
+	}
+	rows = mustQuery(t, db, "SELECT COUNT(*) AS n FROM files WHERE name = 'a'")
+	if rows.Columns[0] != "n" || rows.Data[0][0].I != 1 {
+		t.Fatalf("COUNT AS = %v %v", rows.Columns, rows.Data)
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT)")
+	for _, v := range []int64{1, 2, 2, 3, 3, 3} {
+		mustExec(t, db, "INSERT INTO t (a, b) VALUES (?, 'x')", Int(v))
+	}
+	rows := mustQuery(t, db, "SELECT DISTINCT a FROM t ORDER BY a")
+	if len(rows.Data) != 3 {
+		t.Fatalf("DISTINCT returned %d rows", len(rows.Data))
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name, size) VALUES ('a', 1), ('b', 2), ('c', 3)")
+	res := mustExec(t, db, "UPDATE files SET size = 99, valid = TRUE WHERE size >= 2")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files WHERE size = 99")
+	if rows.Data[0][0].I != 2 {
+		t.Fatalf("updated count = %v", rows.Data[0][0])
+	}
+	// Update through an indexed column keeps the index coherent.
+	mustExec(t, db, "UPDATE files SET name = 'renamed' WHERE name = 'a'")
+	rows = mustQuery(t, db, "SELECT size FROM files WHERE name = 'renamed'")
+	if len(rows.Data) != 1 || rows.Data[0][0].I != 1 {
+		t.Fatalf("post-rename lookup = %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT * FROM files WHERE name = 'a'")
+	if len(rows.Data) != 0 {
+		t.Fatal("old index entry still visible")
+	}
+}
+
+func TestUpdateUniqueViolation(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name) VALUES ('a'), ('b')")
+	if _, err := db.Exec("UPDATE files SET name = 'a' WHERE name = 'b'"); err == nil {
+		t.Fatal("UPDATE causing UNIQUE violation did not fail")
+	}
+	// b must be intact.
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files WHERE name = 'b'")
+	if rows.Data[0][0].I != 1 {
+		t.Fatal("row lost after failed update")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name, size) VALUES ('a', 1), ('b', 2), ('c', 3)")
+	res := mustExec(t, db, "DELETE FROM files WHERE size > 1")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT name FROM files")
+	if len(rows.Data) != 1 || rows.Data[0][0].S != "a" {
+		t.Fatalf("remaining = %v", rows.Data)
+	}
+	// Deleting and re-inserting the same unique value must work.
+	mustExec(t, db, "DELETE FROM files WHERE name = 'a'")
+	mustExec(t, db, "INSERT INTO files (name) VALUES ('a')")
+}
+
+func TestParameters(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name, size, created) VALUES (?, ?, ?)",
+		Text("p"), Int(42), Time(time.Date(2003, 11, 15, 0, 0, 0, 0, time.UTC)))
+	rows := mustQuery(t, db, "SELECT created FROM files WHERE name = ? AND size = ?",
+		Text("p"), Int(42))
+	if len(rows.Data) != 1 {
+		t.Fatalf("param query returned %d rows", len(rows.Data))
+	}
+	if rows.Data[0][0].M.Year() != 2003 {
+		t.Fatalf("datetime round trip = %v", rows.Data[0][0])
+	}
+	if _, err := db.Query("SELECT * FROM files WHERE name = ?"); err == nil {
+		t.Fatal("missing parameter did not fail")
+	}
+}
+
+func TestDatetimeCoercionFromText(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name, created) VALUES ('t', '2003-11-15 12:30:00')")
+	rows := mustQuery(t, db, "SELECT created FROM files WHERE name = 't'")
+	if got := rows.Data[0][0].M; got.Month() != time.November || got.Hour() != 12 {
+		t.Fatalf("parsed datetime = %v", got)
+	}
+	if _, err := db.Exec("INSERT INTO files (name, created) VALUES ('u', 'not a date')"); err == nil {
+		t.Fatal("bad datetime literal did not fail")
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE c (id INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT)")
+	mustExec(t, db, "CREATE TABLE f (id INTEGER PRIMARY KEY AUTOINCREMENT, cid INTEGER, name TEXT)")
+	mustExec(t, db, "CREATE INDEX f_cid ON f (cid)")
+	mustExec(t, db, "INSERT INTO c (name) VALUES ('col1'), ('col2')")
+	mustExec(t, db, "INSERT INTO f (cid, name) VALUES (1, 'a'), (1, 'b'), (2, 'c')")
+	rows := mustQuery(t, db, `SELECT f.name, c.name FROM f JOIN c ON c.id = f.cid
+		WHERE c.name = 'col1' ORDER BY f.name`)
+	if len(rows.Data) != 2 || rows.Data[0][0].S != "a" || rows.Data[1][0].S != "b" {
+		t.Fatalf("join result = %v", rows.Data)
+	}
+}
+
+func TestJoinLeft(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE a (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "CREATE TABLE b (id INTEGER PRIMARY KEY, aid INTEGER, w TEXT)")
+	mustExec(t, db, "INSERT INTO a (id, v) VALUES (1, 'one'), (2, 'two')")
+	mustExec(t, db, "INSERT INTO b (id, aid, w) VALUES (10, 1, 'x')")
+	rows := mustQuery(t, db,
+		"SELECT a.v, b.w FROM a LEFT JOIN b ON b.aid = a.id ORDER BY a.v")
+	if len(rows.Data) != 2 {
+		t.Fatalf("left join rows = %v", rows.Data)
+	}
+	// 'two' has no match; w must be NULL.
+	if rows.Data[1][0].S != "two" || !rows.Data[1][1].IsNull() {
+		t.Fatalf("unmatched left join row = %v", rows.Data[1])
+	}
+}
+
+func TestJoinSelf(t *testing.T) {
+	// The EAV complex-query shape: N-way self join on object_id.
+	db := New()
+	mustExec(t, db, "CREATE TABLE attr (oid INTEGER, k TEXT, v TEXT)")
+	mustExec(t, db, "CREATE INDEX attr_kv ON attr (k, v)")
+	mustExec(t, db, "CREATE INDEX attr_oid ON attr (oid)")
+	for oid := 1; oid <= 50; oid++ {
+		for k := 0; k < 5; k++ {
+			val := "common"
+			if oid%10 == 0 && k == 2 {
+				val = "rare"
+			}
+			mustExec(t, db, "INSERT INTO attr (oid, k, v) VALUES (?, ?, ?)",
+				Int(int64(oid)), Text(string(rune('a'+k))), Text(val))
+		}
+	}
+	rows := mustQuery(t, db, `SELECT a0.oid FROM attr a0
+		JOIN attr a1 ON a1.oid = a0.oid
+		WHERE a0.k = 'c' AND a0.v = 'rare' AND a1.k = 'a' AND a1.v = 'common'
+		ORDER BY a0.oid`)
+	if len(rows.Data) != 5 {
+		t.Fatalf("self-join returned %d rows, want 5: %v", len(rows.Data), rows.Data)
+	}
+}
+
+func TestExplainIndexSelection(t *testing.T) {
+	db := newTestDB(t)
+	plan, err := db.Explain("SELECT * FROM files WHERE name = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(plan, "index-eq") {
+		t.Fatalf("name equality plan = %s, want index-eq", plan)
+	}
+	plan, _ = db.Explain("SELECT * FROM files WHERE size = 3")
+	if plan != "full-scan(files)" {
+		t.Fatalf("unindexed plan = %s", plan)
+	}
+	mustExec(t, db, "CREATE INDEX files_size ON files (size)")
+	plan, _ = db.Explain("SELECT * FROM files WHERE size = 3")
+	if !strings.HasPrefix(plan, "index-eq") {
+		t.Fatalf("indexed plan = %s", plan)
+	}
+	plan, _ = db.Explain("SELECT * FROM files WHERE size > 3")
+	if !strings.HasPrefix(plan, "index-range") {
+		t.Fatalf("range plan = %s", plan)
+	}
+	plan, _ = db.Explain("SELECT * FROM files WHERE size > 3 AND name = 'x'")
+	if !strings.HasPrefix(plan, "index-eq") {
+		t.Fatalf("mixed plan = %s, want equality to win", plan)
+	}
+}
+
+func TestIndexRangeScanCorrectness(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (v INTEGER)")
+	mustExec(t, db, "CREATE INDEX t_v ON t (v)")
+	for i := 0; i < 100; i++ {
+		mustExec(t, db, "INSERT INTO t (v) VALUES (?)", Int(int64(i)))
+	}
+	for _, c := range []struct {
+		where string
+		want  int
+	}{
+		{"v >= 90", 10},
+		{"v > 90", 9},
+		{"v <= 9", 10},
+		{"v < 9", 9},
+		{"v >= 10 AND v < 20", 10},
+		{"v > 98 AND v < 1", 0},
+	} {
+		rows := mustQuery(t, db, "SELECT v FROM t WHERE "+c.where)
+		if len(rows.Data) != c.want {
+			t.Errorf("WHERE %s: %d rows, want %d", c.where, len(rows.Data), c.want)
+		}
+	}
+}
+
+func TestCompositeIndexPrefix(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a TEXT, b INTEGER, c TEXT)")
+	mustExec(t, db, "CREATE INDEX t_ab ON t (a, b)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, db, "INSERT INTO t (a, b, c) VALUES (?, ?, 'z')",
+			Text(string(rune('a'+i%3))), Int(int64(i)))
+	}
+	rows := mustQuery(t, db, "SELECT c FROM t WHERE a = 'b' AND b = 10")
+	if len(rows.Data) != 1 {
+		t.Fatalf("(a,b) lookup = %d rows", len(rows.Data))
+	}
+	// Prefix-only use of the composite index.
+	rows = mustQuery(t, db, "SELECT c FROM t WHERE a = 'b'")
+	if len(rows.Data) != 10 {
+		t.Fatalf("prefix lookup = %d rows, want 10", len(rows.Data))
+	}
+	plan, _ := db.Explain("SELECT c FROM t WHERE a = 'b'")
+	if !strings.HasPrefix(plan, "index-eq") {
+		t.Fatalf("prefix plan = %s", plan)
+	}
+}
+
+func TestDropTableAndIndex(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE INDEX files_size ON files (size)")
+	mustExec(t, db, "DROP INDEX files_size")
+	if _, err := db.Exec("DROP INDEX files_size"); err == nil {
+		t.Fatal("double DROP INDEX did not fail")
+	}
+	mustExec(t, db, "DROP TABLE files")
+	if _, err := db.Query("SELECT * FROM files"); err == nil {
+		t.Fatal("query after DROP TABLE did not fail")
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS files")
+}
+
+func TestTransactionCommit(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO files (name) VALUES ('in-tx')"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tx.Query("SELECT COUNT(*) FROM files")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].I != 1 {
+		t.Fatal("tx does not see its own write")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM files")
+	if rows.Data[0][0].I != 1 {
+		t.Fatal("committed write lost")
+	}
+	if err := tx.Commit(); err != ErrTxDone {
+		t.Fatalf("double commit err = %v", err)
+	}
+}
+
+func TestTransactionRollback(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name, size) VALUES ('keep', 1)")
+	tx := db.Begin()
+	tx.Exec("INSERT INTO files (name) VALUES ('tmp')")                //nolint:errcheck
+	tx.Exec("UPDATE files SET size = 999 WHERE name = 'keep'")        //nolint:errcheck
+	tx.Exec("DELETE FROM files WHERE name = 'keep'")                  //nolint:errcheck
+	tx.Exec("INSERT INTO files (name, size) VALUES ('another', 123)") //nolint:errcheck
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustQuery(t, db, "SELECT name, size FROM files")
+	if len(rows.Data) != 1 || rows.Data[0][0].S != "keep" || rows.Data[0][1].I != 1 {
+		t.Fatalf("post-rollback state = %v", rows.Data)
+	}
+	// Indexes must also be restored: lookup by name must work.
+	rows = mustQuery(t, db, "SELECT size FROM files WHERE name = 'keep'")
+	if len(rows.Data) != 1 {
+		t.Fatal("index entry lost across rollback")
+	}
+	rows = mustQuery(t, db, "SELECT size FROM files WHERE name = 'tmp'")
+	if len(rows.Data) != 0 {
+		t.Fatal("rolled-back insert visible via index")
+	}
+}
+
+func TestUpdateHelper(t *testing.T) {
+	db := newTestDB(t)
+	err := db.Update(func(tx *Tx) error {
+		_, err := tx.Exec("INSERT INTO files (name) VALUES ('u')")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errBoom := db.Update(func(tx *Tx) error {
+		tx.Exec("INSERT INTO files (name) VALUES ('boom')") //nolint:errcheck
+		return ErrTxDone                                    // any error triggers rollback
+	})
+	if errBoom == nil {
+		t.Fatal("Update swallowed the error")
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files")
+	if rows.Data[0][0].I != 1 {
+		t.Fatalf("rows after mixed Update calls = %v", rows.Data[0][0])
+	}
+}
+
+func TestDDLInsideTxRejected(t *testing.T) {
+	db := New()
+	tx := db.Begin()
+	defer tx.Rollback() //nolint:errcheck
+	if _, err := tx.Exec("CREATE TABLE nope (id INTEGER)"); err == nil {
+		t.Fatal("DDL inside tx did not fail")
+	}
+}
+
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "INSERT INTO files (name, size) VALUES ('x', 0)")
+	done := make(chan error, 9)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 200; j++ {
+				if _, err := db.Query("SELECT size FROM files WHERE name = 'x'"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	go func() {
+		for j := 0; j < 200; j++ {
+			if _, err := db.Exec("UPDATE files SET size = ? WHERE name = 'x'", Int(int64(j))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 9; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db := newTestDB(t)
+	ins, err := db.Prepare("INSERT INTO files (name, size) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ins.Exec(Text(string(rune('a'+i))), Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, err := db.Prepare("SELECT name FROM files WHERE size = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sel.Query(Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].S != "h" {
+		t.Fatalf("prepared query = %v", rows.Data)
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	db := New()
+	for _, bad := range []string{
+		"SELEC * FROM t",
+		"SELECT * FROM",
+		"INSERT INTO t VALUES",
+		"CREATE TABLE t (x NOTATYPE)",
+		"SELECT * FROM nosuch",
+		"SELECT nosuchcol FROM t2",
+	} {
+		if _, err := db.Query(bad); err == nil {
+			if _, err2 := db.Exec(bad); err2 == nil {
+				t.Errorf("statement %q did not fail", bad)
+			}
+		}
+	}
+}
+
+func TestQueryRequiresSelect(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Query("DELETE FROM files"); err == nil {
+		t.Fatal("Query accepted DELETE")
+	}
+}

@@ -1,0 +1,208 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Join and planner edge cases beyond the basics in db_test.go.
+
+func setupJoinDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, "CREATE TABLE dept (id INTEGER PRIMARY KEY, name TEXT)")
+	mustExec(t, db, "CREATE TABLE emp (id INTEGER PRIMARY KEY, did INTEGER, name TEXT, salary INTEGER)")
+	mustExec(t, db, "CREATE INDEX emp_did ON emp (did)")
+	mustExec(t, db, "INSERT INTO dept (id, name) VALUES (1, 'eng'), (2, 'ops'), (3, 'empty')")
+	mustExec(t, db, `INSERT INTO emp (id, did, name, salary) VALUES
+		(10, 1, 'ann', 120), (11, 1, 'bob', 100), (12, 2, 'cat', 90), (13, NULL, 'dee', 80)`)
+	return db
+}
+
+func TestJoinThreeWay(t *testing.T) {
+	db := setupJoinDB(t)
+	mustExec(t, db, "CREATE TABLE badge (eid INTEGER, code TEXT)")
+	mustExec(t, db, "CREATE INDEX badge_eid ON badge (eid)")
+	mustExec(t, db, "INSERT INTO badge (eid, code) VALUES (10, 'A-1'), (11, 'B-2'), (12, 'C-3')")
+	rows := mustQuery(t, db, `SELECT d.name, e.name, b.code
+		FROM dept d JOIN emp e ON e.did = d.id JOIN badge b ON b.eid = e.id
+		WHERE d.name = 'eng' ORDER BY e.name`)
+	if len(rows.Data) != 2 {
+		t.Fatalf("3-way join rows = %v", rows.Data)
+	}
+	if rows.Data[0][1].S != "ann" || rows.Data[0][2].S != "A-1" {
+		t.Fatalf("3-way join first row = %v", rows.Data[0])
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	db := setupJoinDB(t)
+	// dee has NULL did: must not join to any department.
+	rows := mustQuery(t, db, "SELECT e.name FROM emp e JOIN dept d ON d.id = e.did")
+	if len(rows.Data) != 3 {
+		t.Fatalf("null-key join rows = %d, want 3", len(rows.Data))
+	}
+	// But LEFT JOIN keeps dee with a NULL department.
+	rows = mustQuery(t, db,
+		"SELECT e.name, d.name FROM emp e LEFT JOIN dept d ON d.id = e.did ORDER BY e.name")
+	if len(rows.Data) != 4 {
+		t.Fatalf("left join rows = %d", len(rows.Data))
+	}
+	if rows.Data[3][0].S != "dee" || !rows.Data[3][1].IsNull() {
+		t.Fatalf("left join null side = %v", rows.Data[3])
+	}
+}
+
+func TestJoinWhereOnNullableSide(t *testing.T) {
+	db := setupJoinDB(t)
+	// IS NULL on the nullable side selects exactly the unmatched rows.
+	rows := mustQuery(t, db, `SELECT e.name FROM emp e LEFT JOIN dept d ON d.id = e.did
+		WHERE d.name IS NULL`)
+	if len(rows.Data) != 1 || rows.Data[0][0].S != "dee" {
+		t.Fatalf("anti-join = %v", rows.Data)
+	}
+}
+
+func TestJoinPredicatePushdown(t *testing.T) {
+	// A predicate on the joined table must prune before later stages: with
+	// pushdown this query touches few intermediate rows; without it, the
+	// cross product would still give the right answer but the per-stage
+	// filters are what keeps the EAV self-join tractable. Correctness check:
+	db := New()
+	mustExec(t, db, "CREATE TABLE kv (oid INTEGER, k TEXT, v INTEGER)")
+	mustExec(t, db, "CREATE INDEX kv_oid ON kv (oid)")
+	mustExec(t, db, "CREATE INDEX kv_kv ON kv (k, v)")
+	for oid := 1; oid <= 30; oid++ {
+		for k := 0; k < 4; k++ {
+			mustExec(t, db, "INSERT INTO kv (oid, k, v) VALUES (?, ?, ?)",
+				Int(int64(oid)), Text(fmt.Sprintf("k%d", k)), Int(int64(oid%5)))
+		}
+	}
+	rows := mustQuery(t, db, `SELECT DISTINCT a.oid FROM kv a
+		JOIN kv b ON b.oid = a.oid
+		JOIN kv c ON c.oid = a.oid
+		WHERE a.k = 'k0' AND a.v = 2 AND b.k = 'k1' AND b.v = 2 AND c.k = 'k2' AND c.v = 2
+		ORDER BY a.oid`)
+	// oids with oid%5==2: 2,7,12,17,22,27 -> 6 rows.
+	if len(rows.Data) != 6 {
+		t.Fatalf("EAV 3-way self-join = %d rows: %v", len(rows.Data), rows.Data)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	db := setupJoinDB(t)
+	rows := mustQuery(t, db, "SELECT did, name FROM emp WHERE did IS NOT NULL ORDER BY did DESC, name ASC")
+	want := [][2]string{{"2", "cat"}, {"1", "ann"}, {"1", "bob"}}
+	for i, w := range want {
+		if rows.Data[i][0].String() != w[0] || rows.Data[i][1].S != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, rows.Data[i], w)
+		}
+	}
+}
+
+func TestOrderByJoinedColumn(t *testing.T) {
+	db := setupJoinDB(t)
+	rows := mustQuery(t, db,
+		"SELECT e.name FROM emp e JOIN dept d ON d.id = e.did ORDER BY d.name DESC, e.salary")
+	// ops(cat), then eng by salary asc: bob(100), ann(120).
+	got := []string{rows.Data[0][0].S, rows.Data[1][0].S, rows.Data[2][0].S}
+	if got[0] != "cat" || got[1] != "bob" || got[2] != "ann" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestInWithParams(t *testing.T) {
+	db := setupJoinDB(t)
+	rows := mustQuery(t, db, "SELECT name FROM emp WHERE salary IN (?, ?) ORDER BY name",
+		Int(100), Int(90))
+	if len(rows.Data) != 2 || rows.Data[0][0].S != "bob" || rows.Data[1][0].S != "cat" {
+		t.Fatalf("IN params = %v", rows.Data)
+	}
+}
+
+func TestSelectExpressionProjection(t *testing.T) {
+	db := setupJoinDB(t)
+	rows := mustQuery(t, db, "SELECT salary >= 100 AS senior FROM emp WHERE name = 'ann'")
+	if rows.Columns[0] != "senior" || !rows.Data[0][0].B {
+		t.Fatalf("expr projection = %v %v", rows.Columns, rows.Data)
+	}
+}
+
+func TestStarWithJoinQualifiesColumns(t *testing.T) {
+	db := setupJoinDB(t)
+	rows := mustQuery(t, db, "SELECT * FROM dept d JOIN emp e ON e.did = d.id LIMIT 1")
+	// dept has 2 columns, emp has 4: star over a join yields 6 qualified.
+	if len(rows.Columns) != 6 {
+		t.Fatalf("star columns = %v", rows.Columns)
+	}
+	if rows.Columns[0] != "d.id" || rows.Columns[2] != "e.id" {
+		t.Fatalf("qualified names = %v", rows.Columns)
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	db := setupJoinDB(t)
+	if _, err := db.Query("SELECT name FROM dept d JOIN emp e ON e.did = d.id"); err == nil {
+		t.Fatal("ambiguous unqualified column accepted")
+	}
+	if _, err := db.Query("SELECT * FROM dept d JOIN dept d ON d.id = d.id"); err == nil {
+		t.Fatal("duplicate alias accepted")
+	}
+}
+
+func TestDatetimeRangePlan(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE ev (at DATETIME)")
+	mustExec(t, db, "CREATE INDEX ev_at ON ev (at)")
+	base := time.Date(2003, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, "INSERT INTO ev (at) VALUES (?)", Time(base.AddDate(0, 0, i)))
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM ev WHERE at >= ? AND at < ?",
+		Time(base.AddDate(0, 0, 10)), Time(base.AddDate(0, 0, 20)))
+	if rows.Data[0][0].I != 10 {
+		t.Fatalf("datetime range count = %v", rows.Data[0][0])
+	}
+	plan, err := db.Explain("SELECT * FROM ev WHERE at >= ?", Time(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != "index-range(ev_at)" {
+		t.Fatalf("plan = %s", plan)
+	}
+}
+
+func TestStatementCacheTransparency(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	// Same text, different params: cache must not leak parameter state.
+	for i := 0; i < 100; i++ {
+		mustExec(t, db, "INSERT INTO t (a) VALUES (?)", Int(int64(i)))
+	}
+	for i := 0; i < 100; i++ {
+		rows := mustQuery(t, db, "SELECT a FROM t WHERE a = ?", Int(int64(i)))
+		if len(rows.Data) != 1 || rows.Data[0][0].I != int64(i) {
+			t.Fatalf("cached statement wrong result at %d: %v", i, rows.Data)
+		}
+	}
+	// DDL after caching: dropped table invalidates behaviour correctly
+	// (cached DML against a dropped table must fail, not crash).
+	mustExec(t, db, "DROP TABLE t")
+	if _, err := db.Query("SELECT a FROM t WHERE a = ?", Int(1)); err == nil {
+		t.Fatal("query against dropped table succeeded")
+	}
+}
+
+func TestUpdateWithExpressionOfOldValue(t *testing.T) {
+	db := setupJoinDB(t)
+	// SET salary = salary is an identity write; verifies old-row env binding.
+	res := mustExec(t, db, "UPDATE emp SET salary = salary WHERE did = 1")
+	if res.RowsAffected != 2 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT salary FROM emp WHERE name = 'ann'")
+	if rows.Data[0][0].I != 120 {
+		t.Fatalf("identity update changed value: %v", rows.Data)
+	}
+}

@@ -1,0 +1,190 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokParam  // ?
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep their case
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "UNIQUE": true, "ON": true, "DROP": true,
+	"AND": true, "OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"PRIMARY": true, "KEY": true, "AUTOINCREMENT": true, "INTEGER": true,
+	"FLOAT": true, "TEXT": true, "BOOLEAN": true, "DATETIME": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "AS": true, "IN": true,
+	"IS": true, "LIKE": true, "COUNT": true, "DISTINCT": true, "IF": true,
+	"EXISTS": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true, "OFFSET": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning the token stream ending in tokEOF.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.emit(tokParam, "?")
+			l.pos++
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexWord()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // doubled quote escape
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqldb: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos > start {
+			// exponent: e[+-]?digits
+			save := l.pos
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+				continue
+			}
+			l.pos = save
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+	}
+}
+
+func (l *lexer) lexSymbol() error {
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.emit(tokSymbol, two)
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '*', '.', ';':
+		l.emit(tokSymbol, string(c))
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sqldb: unexpected character %q at offset %d", c, l.pos)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,221 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasic(t *testing.T) {
+	toks, err := lex("SELECT a, b FROM t WHERE x = 'it''s' AND y >= 3.5 -- comment\n LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	if texts[0] != "SELECT" || kinds[0] != tokKeyword {
+		t.Fatalf("first token = %v %q", kinds[0], texts[0])
+	}
+	// string literal with escaped quote
+	found := false
+	for i, k := range kinds {
+		if k == tokString {
+			if texts[i] != "it's" {
+				t.Fatalf("string literal = %q", texts[i])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("string literal not lexed")
+	}
+	if kinds[len(kinds)-1] != tokEOF {
+		t.Fatal("missing EOF token")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string did not fail")
+	}
+	if _, err := lex("SELECT @"); err == nil {
+		t.Fatal("bad character did not fail")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("1 2.5 .5 1e3 1.5e-2 3E+4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", ".5", "1e3", "1.5e-2", "3E+4"}
+	for i, w := range want {
+		if toks[i].kind != tokNumber || toks[i].text != w {
+			t.Fatalf("token %d = %v %q, want number %q", i, toks[i].kind, toks[i].text, w)
+		}
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	st, err := Parse(`SELECT DISTINCT f.name AS n, COUNT(*) FROM files f
+		JOIN attrs a ON a.fid = f.id
+		LEFT JOIN extra e ON e.fid = f.id
+		WHERE f.size > 10 AND a.k = 'x' OR NOT f.valid
+		ORDER BY f.name DESC, f.size LIMIT 5 OFFSET 2;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*SelectStmt)
+	if !sel.Distinct || len(sel.Items) != 2 || len(sel.Joins) != 2 {
+		t.Fatalf("parsed shape: %+v", sel)
+	}
+	if sel.Items[0].As != "n" || !sel.Items[1].Count {
+		t.Fatalf("items: %+v", sel.Items)
+	}
+	if !sel.Joins[1].Left || sel.Joins[0].Left {
+		t.Fatalf("join leftness: %+v", sel.Joins)
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order by: %+v", sel.OrderBy)
+	}
+	if sel.Limit != 5 || sel.Offset != 2 {
+		t.Fatalf("limit/offset: %d/%d", sel.Limit, sel.Offset)
+	}
+}
+
+func TestParseTableAlias(t *testing.T) {
+	st, err := Parse("SELECT * FROM files AS f WHERE f.id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*SelectStmt).From.Alias != "f" {
+		t.Fatal("AS alias not applied")
+	}
+	st, err = Parse("SELECT * FROM files f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*SelectStmt).From.Alias != "f" {
+		t.Fatal("bare alias not applied")
+	}
+}
+
+func TestParseParamNumbering(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE a = ? AND b = ? AND c IN (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count Param indexes: must be 0..3 in order.
+	var idxs []int
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Param:
+			idxs = append(idxs, x.Index)
+		case *BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *InExpr:
+			walk(x.E)
+			for _, it := range x.List {
+				walk(it)
+			}
+		case *UnaryExpr:
+			walk(x.E)
+		}
+	}
+	walk(st.(*SelectStmt).Where)
+	if len(idxs) != 4 {
+		t.Fatalf("param count = %d", len(idxs))
+	}
+	for i, idx := range idxs {
+		if idx != i {
+			t.Fatalf("param %d numbered %d", i, idx)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must parse as a=1 OR (b=2 AND c=3)
+	or := st.(*SelectStmt).Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %s", or.Op)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right side = %s", exprString(or.R))
+	}
+	// Parenthesized override
+	st, _ = Parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+	and2 := st.(*SelectStmt).Where.(*BinaryExpr)
+	if and2.Op != "AND" {
+		t.Fatalf("paren top op = %s", and2.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GARBAGE TRAILING",
+		"INSERT INTO t (a VALUES (1)",
+		"CREATE UNIQUE TABLE t (a INTEGER)",
+		"UPDATE t SET WHERE a = 1",
+		"DELETE t WHERE a = 1",
+		"CREATE INDEX i ON t ()",
+		"SELECT * FROM t LIMIT xyz",
+		"SELECT * FROM t WHERE a LIKE",
+		"CREATE TABLE t (a TEXT AUTOINCREMENT)",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) did not fail", sql)
+		}
+	}
+}
+
+func TestParseErrorIncludesSQL(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE ???")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "SELECT * FROM t") {
+		t.Fatalf("error lacks statement context: %v", err)
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y'), (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*InsertStmt)
+	if len(ins.Rows) != 3 || len(ins.Columns) != 2 {
+		t.Fatalf("insert shape: %+v", ins)
+	}
+}
+
+func TestParseColumnConstraints(t *testing.T) {
+	st, err := Parse(`CREATE TABLE t (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL UNIQUE,
+		v FLOAT)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if !ct.Columns[0].PrimaryKey || !ct.Columns[0].AutoIncrement || !ct.Columns[0].NotNull {
+		t.Fatalf("id constraints: %+v", ct.Columns[0])
+	}
+	if !ct.Columns[1].NotNull || !ct.Columns[1].Unique {
+		t.Fatalf("name constraints: %+v", ct.Columns[1])
+	}
+}

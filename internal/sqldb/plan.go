@@ -1,0 +1,625 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rows is a fully materialized result set.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// accessPath describes how the planner reaches rows of one table.
+type accessPath struct {
+	tbl *table
+
+	// Index equality scan: idx != nil and eqVals set.
+	idx    *index
+	eqVals []Value
+
+	// Range scan on idx's first column (idx != nil, eqVals nil).
+	rangeLo, rangeHi       *Value
+	rangeLoInc, rangeHiInc bool
+
+	fullScan bool
+}
+
+func (ap accessPath) String() string {
+	switch {
+	case ap.idx != nil && ap.eqVals != nil:
+		return fmt.Sprintf("index-eq(%s)", ap.idx.name)
+	case ap.idx != nil:
+		return fmt.Sprintf("index-range(%s)", ap.idx.name)
+	default:
+		return fmt.Sprintf("full-scan(%s)", ap.tbl.name)
+	}
+}
+
+// scan invokes fn for each rowid selected by the path until fn returns false.
+func (ap accessPath) scan(fn func(rowid int64, row Row) bool) {
+	switch {
+	case ap.idx != nil && ap.eqVals != nil:
+		ap.idx.scanEqual(ap.eqVals, func(rowid int64) bool {
+			return fn(rowid, ap.tbl.rows[rowid])
+		})
+	case ap.idx != nil:
+		ap.idx.scanRange(ap.rangeLo, ap.rangeHi, ap.rangeLoInc, ap.rangeHiInc, func(rowid int64) bool {
+			return fn(rowid, ap.tbl.rows[rowid])
+		})
+	default:
+		for rowid, row := range ap.tbl.rows {
+			if !fn(rowid, row) {
+				return
+			}
+		}
+	}
+}
+
+// refsOnly reports whether every column reference in ex resolves within the
+// aliases set (alias -> table). Unqualified refs match any alias's columns.
+func refsOnly(ex Expr, aliases map[string]*table) bool {
+	switch x := ex.(type) {
+	case *Literal, *Param, nil:
+		return true
+	case *ColumnRef:
+		if x.Table != "" {
+			_, ok := aliases[x.Table]
+			return ok
+		}
+		for _, t := range aliases {
+			if _, ok := t.colPos[x.Column]; ok {
+				return true
+			}
+		}
+		return false
+	case *BinaryExpr:
+		return refsOnly(x.L, aliases) && refsOnly(x.R, aliases)
+	case *UnaryExpr:
+		return refsOnly(x.E, aliases)
+	case *InExpr:
+		if !refsOnly(x.E, aliases) {
+			return false
+		}
+		for _, it := range x.List {
+			if !refsOnly(it, aliases) {
+				return false
+			}
+		}
+		return true
+	case *IsNullExpr:
+		return refsOnly(x.E, aliases)
+	}
+	return false
+}
+
+// constExpr reports whether ex can be evaluated without any row bound
+// (literals and parameters only).
+func constExpr(ex Expr) bool {
+	return refsOnly(ex, map[string]*table{})
+}
+
+// colOf returns the column position if ex is a reference to a column of the
+// table bound under alias.
+func colOf(ex Expr, alias string, tbl *table) (int, bool) {
+	ref, ok := ex.(*ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	if ref.Table != "" && ref.Table != alias {
+		return 0, false
+	}
+	p, ok := tbl.colPos[ref.Column]
+	return p, ok
+}
+
+// planAccess picks an access path for tbl (bound as alias) from predicates.
+// preds must each reference only this table or constants.
+func planAccess(tbl *table, alias string, preds []Expr, params []Value) accessPath {
+	ev := &env{params: params}
+	// Collect col = const equalities and range bounds on columns.
+	eq := map[int]Value{}
+	type bound struct {
+		v   Value
+		inc bool
+	}
+	lo := map[int]bound{}
+	hi := map[int]bound{}
+	for _, p := range preds {
+		b, ok := p.(*BinaryExpr)
+		if !ok {
+			continue
+		}
+		var colPos int
+		var val Expr
+		var op string
+		if c, ok := colOf(b.L, alias, tbl); ok && constExpr(b.R) {
+			colPos, val, op = c, b.R, b.Op
+		} else if c, ok := colOf(b.R, alias, tbl); ok && constExpr(b.L) {
+			colPos, val = c, b.L
+			switch b.Op { // flip operator
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			default:
+				op = b.Op
+			}
+		} else {
+			continue
+		}
+		v, err := eval(val, ev)
+		if err != nil || v.IsNull() {
+			continue
+		}
+		switch op {
+		case "=":
+			eq[colPos] = v
+		case ">":
+			lo[colPos] = bound{v, false}
+		case ">=":
+			lo[colPos] = bound{v, true}
+		case "<":
+			hi[colPos] = bound{v, false}
+		case "<=":
+			hi[colPos] = bound{v, true}
+		}
+	}
+	// Longest equality prefix over any index wins.
+	var bestIx *index
+	bestLen := 0
+	for _, ix := range tbl.indexes {
+		n := 0
+		for _, c := range ix.cols {
+			if _, ok := eq[c]; ok {
+				n++
+			} else {
+				break
+			}
+		}
+		if n > bestLen {
+			bestIx, bestLen = ix, n
+		}
+	}
+	if bestIx != nil {
+		vals := make([]Value, bestLen)
+		for i := 0; i < bestLen; i++ {
+			vals[i] = eq[bestIx.cols[i]]
+		}
+		return accessPath{tbl: tbl, idx: bestIx, eqVals: vals}
+	}
+	// Range on the first column of some index.
+	for _, ix := range tbl.indexes {
+		c := ix.cols[0]
+		l, hasLo := lo[c]
+		h, hasHi := hi[c]
+		if hasLo || hasHi {
+			ap := accessPath{tbl: tbl, idx: ix}
+			if hasLo {
+				v := l.v
+				ap.rangeLo, ap.rangeLoInc = &v, l.inc
+			}
+			if hasHi {
+				v := h.v
+				ap.rangeHi, ap.rangeHiInc = &v, h.inc
+			}
+			return ap
+		}
+	}
+	return accessPath{tbl: tbl, fullScan: true}
+}
+
+// stagePlan is the per-stage execution info for a SELECT pipeline.
+type stagePlan struct {
+	ref  TableRef
+	tbl  *table
+	join *JoinClause // nil for the FROM stage
+
+	// filters are WHERE/ON conjuncts fully bound once this stage's table is
+	// in scope; applied immediately to keep intermediate row counts small.
+	filters []Expr
+
+	// For join stages: equality join on an indexed column of this table,
+	// probing with the value of probeExpr evaluated against outer bindings.
+	joinIdx   *index
+	probeExpr Expr
+
+	// Residual ON conjuncts (non-indexable); for LEFT JOIN these decide
+	// match/no-match, for INNER they are just filters.
+	onResidual []Expr
+
+	// For the FROM stage only: static predicates usable for access planning.
+	accessPreds []Expr
+}
+
+func (db *DB) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
+	fromTbl, ok := db.tables[st.From.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no such table %q", st.From.Table)
+	}
+	stages := []stagePlan{{ref: st.From, tbl: fromTbl}}
+	aliasSet := map[string]*table{st.From.Alias: fromTbl}
+	for i := range st.Joins {
+		j := &st.Joins[i]
+		jt, ok := db.tables[j.Table.Table]
+		if !ok {
+			return nil, fmt.Errorf("sqldb: no such table %q", j.Table.Table)
+		}
+		if _, dup := aliasSet[j.Table.Alias]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate table alias %q", j.Table.Alias)
+		}
+		aliasSet[j.Table.Alias] = jt
+		stages = append(stages, stagePlan{ref: j.Table, tbl: jt, join: j})
+	}
+
+	// Classify WHERE conjuncts to the earliest stage where they are bound.
+	whereStage := make([][]Expr, len(stages))
+	var unbound []Expr
+	if st.Where != nil {
+		for _, c := range conjuncts(st.Where) {
+			placed := false
+			scope := map[string]*table{}
+			for si := range stages {
+				scope[stages[si].ref.Alias] = stages[si].tbl
+				if refsOnly(c, scope) {
+					whereStage[si] = append(whereStage[si], c)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				unbound = append(unbound, c)
+			}
+		}
+	}
+	if len(unbound) > 0 {
+		return nil, fmt.Errorf("sqldb: unresolvable predicate %s", exprString(unbound[0]))
+	}
+
+	// Stage 0: access planning from its own conjuncts.
+	stages[0].accessPreds = whereStage[0]
+	stages[0].filters = whereStage[0]
+
+	// Join stages: split ON conjuncts, look for an indexed equality probe.
+	for si := 1; si < len(stages); si++ {
+		sp := &stages[si]
+		sp.filters = whereStage[si]
+		outerScope := map[string]*table{}
+		for k := 0; k < si; k++ {
+			outerScope[stages[k].ref.Alias] = stages[k].tbl
+		}
+		for _, c := range conjuncts(sp.join.On) {
+			if sp.joinIdx == nil {
+				if b, ok := c.(*BinaryExpr); ok && b.Op == "=" {
+					// new.col = outer-expr
+					if p, ok := colOf(b.L, sp.ref.Alias, sp.tbl); ok && refsOnly(b.R, outerScope) {
+						if ix := sp.tbl.findIndex([]int{p}); ix != nil {
+							sp.joinIdx, sp.probeExpr = ix, b.R
+							continue
+						}
+					}
+					if p, ok := colOf(b.R, sp.ref.Alias, sp.tbl); ok && refsOnly(b.L, outerScope) {
+						if ix := sp.tbl.findIndex([]int{p}); ix != nil {
+							sp.joinIdx, sp.probeExpr = ix, b.L
+							continue
+						}
+					}
+				}
+			}
+			sp.onResidual = append(sp.onResidual, c)
+		}
+		// Equality predicates on this table alone can also help the probe
+		// path; they are already in filters. For LEFT JOIN, WHERE filters on
+		// the nullable side must run after the match decision; that ordering
+		// is preserved below (filters run after onResidual).
+	}
+
+	// Build output schema.
+	type outCol struct {
+		name string
+		// star expansion: binding index + column position; otherwise expr
+		bind, pos int
+		expr      Expr
+		count     bool
+	}
+	var outs []outCol
+	for _, item := range st.Items {
+		switch {
+		case item.Star:
+			for bi := range stages {
+				for ci, cd := range stages[bi].tbl.cols {
+					name := cd.Name
+					if len(stages) > 1 {
+						name = stages[bi].ref.Alias + "." + cd.Name
+					}
+					outs = append(outs, outCol{name: name, bind: bi, pos: ci, expr: nil})
+				}
+			}
+		case item.Count:
+			name := item.As
+			if name == "" {
+				name = "count"
+			}
+			outs = append(outs, outCol{name: name, count: true})
+		default:
+			name := item.As
+			if name == "" {
+				name = exprString(item.Expr)
+				if ref, ok := item.Expr.(*ColumnRef); ok {
+					name = ref.Column
+				}
+			}
+			outs = append(outs, outCol{name: name, expr: item.Expr, bind: -1})
+		}
+	}
+	countOnly := len(outs) == 1 && outs[0].count
+
+	ev := &env{params: params, bindings: make([]binding, len(stages))}
+	for i := range stages {
+		ev.bindings[i] = binding{alias: stages[i].ref.Alias, tbl: stages[i].tbl}
+	}
+
+	passes := func(filters []Expr) (bool, error) {
+		for _, f := range filters {
+			v, err := eval(f, ev)
+			if err != nil {
+				return false, err
+			}
+			if !truthy(v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var resultEnvRows [][]Row // snapshot of binding rows per result tuple
+	var execErr error
+
+	// Recursive nested-loop execution over stages.
+	var run func(si int) bool // returns false to abort (error)
+	emit := func() bool {
+		snap := make([]Row, len(stages))
+		for i := range ev.bindings {
+			snap[i] = ev.bindings[i].row
+		}
+		resultEnvRows = append(resultEnvRows, snap)
+		return true
+	}
+	run = func(si int) bool {
+		if si == len(stages) {
+			return emit()
+		}
+		sp := &stages[si]
+		tryRow := func(row Row) (matched bool, cont bool) {
+			ev.bindings[si].row = row
+			if len(sp.onResidual) > 0 {
+				ok, err := passes(sp.onResidual)
+				if err != nil {
+					execErr = err
+					return false, false
+				}
+				if !ok {
+					return false, true
+				}
+			}
+			ok, err := passes(sp.filters)
+			if err != nil {
+				execErr = err
+				return false, false
+			}
+			if !ok {
+				// ON matched but WHERE rejected: counts as a join match for
+				// LEFT JOIN purposes, just not emitted.
+				return true, true
+			}
+			return true, run(si + 1)
+		}
+		anyMatch := false
+		if si == 0 {
+			ap := planAccess(sp.tbl, sp.ref.Alias, sp.accessPreds, params)
+			aborted := false
+			ap.scan(func(_ int64, row Row) bool {
+				_, cont := tryRow(row)
+				if !cont {
+					aborted = true
+				}
+				return cont
+			})
+			return !aborted
+		}
+		if sp.joinIdx != nil {
+			probe, err := eval(sp.probeExpr, ev)
+			if err != nil {
+				execErr = err
+				return false
+			}
+			aborted := false
+			if !probe.IsNull() {
+				sp.joinIdx.scanEqual([]Value{probe}, func(rowid int64) bool {
+					m, cont := tryRow(sp.tbl.rows[rowid])
+					anyMatch = anyMatch || m
+					if !cont {
+						aborted = true
+					}
+					return cont
+				})
+			}
+			if aborted {
+				return false
+			}
+		} else {
+			for _, row := range sp.tbl.rows {
+				m, cont := tryRow(row)
+				anyMatch = anyMatch || m
+				if !cont {
+					return false
+				}
+			}
+		}
+		if !anyMatch && sp.join.Left {
+			ev.bindings[si].row = nil
+			ok, err := passes(sp.filters)
+			if err != nil {
+				execErr = err
+				return false
+			}
+			if ok {
+				return run(si + 1)
+			}
+		}
+		ev.bindings[si].row = nil
+		return true
+	}
+	if !run(0) && execErr != nil {
+		return nil, execErr
+	}
+
+	// ORDER BY over the materialized env rows.
+	if len(st.OrderBy) > 0 {
+		keys := make([][]Value, len(resultEnvRows))
+		for i, snap := range resultEnvRows {
+			for bi := range ev.bindings {
+				ev.bindings[bi].row = snap[bi]
+			}
+			ks := make([]Value, len(st.OrderBy))
+			for ki, ob := range st.OrderBy {
+				v, err := eval(ob.Expr, ev)
+				if err != nil {
+					return nil, err
+				}
+				ks[ki] = v
+			}
+			keys[i] = ks
+		}
+		order := make([]int, len(resultEnvRows))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ka, kb := keys[order[a]], keys[order[b]]
+			for ki := range st.OrderBy {
+				c := Compare(ka[ki], kb[ki])
+				if c == 0 {
+					continue
+				}
+				if st.OrderBy[ki].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([][]Row, len(resultEnvRows))
+		for i, o := range order {
+			sorted[i] = resultEnvRows[o]
+		}
+		resultEnvRows = sorted
+	}
+
+	// Projection.
+	res := &Rows{Columns: make([]string, len(outs))}
+	for i, oc := range outs {
+		res.Columns[i] = oc.name
+	}
+	if countOnly {
+		res.Data = [][]Value{{Int(int64(len(resultEnvRows)))}}
+		return res, nil
+	}
+	for _, snap := range resultEnvRows {
+		for bi := range ev.bindings {
+			ev.bindings[bi].row = snap[bi]
+		}
+		out := make([]Value, len(outs))
+		for i, oc := range outs {
+			switch {
+			case oc.count:
+				out[i] = Int(int64(len(resultEnvRows)))
+			case oc.expr != nil:
+				v, err := eval(oc.expr, ev)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			default:
+				if snap[oc.bind] == nil {
+					out[i] = Null()
+				} else {
+					out[i] = snap[oc.bind][oc.pos]
+				}
+			}
+		}
+		res.Data = append(res.Data, out)
+	}
+
+	if st.Distinct {
+		seen := map[string]bool{}
+		uniq := res.Data[:0]
+		for _, row := range res.Data {
+			key := rowKey(row)
+			if !seen[key] {
+				seen[key] = true
+				uniq = append(uniq, row)
+			}
+		}
+		res.Data = uniq
+	}
+
+	// LIMIT / OFFSET.
+	if st.Offset > 0 {
+		if st.Offset >= len(res.Data) {
+			res.Data = nil
+		} else {
+			res.Data = res.Data[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && st.Limit < len(res.Data) {
+		res.Data = res.Data[:st.Limit]
+	}
+	return res, nil
+}
+
+// rowKey builds a collision-safe string key for DISTINCT.
+func rowKey(row []Value) string {
+	key := ""
+	for _, v := range row {
+		s := v.String()
+		key += fmt.Sprintf("%d:%d:%s|", v.T, len(s), s)
+	}
+	return key
+}
+
+// Explain returns a one-line description of the access path the planner
+// would choose for the FROM table of a SELECT. Used by tests and ablation
+// benchmarks to assert index usage.
+func (db *DB) Explain(sql string, args ...Value) (string, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("sqldb: EXPLAIN supports only SELECT")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	tbl, ok := db.tables[sel.From.Table]
+	if !ok {
+		return "", fmt.Errorf("sqldb: no such table %q", sel.From.Table)
+	}
+	var preds []Expr
+	if sel.Where != nil {
+		scope := map[string]*table{sel.From.Alias: tbl}
+		for _, c := range conjuncts(sel.Where) {
+			if refsOnly(c, scope) {
+				preds = append(preds, c)
+			}
+		}
+	}
+	ap := planAccess(tbl, sel.From.Alias, preds, args)
+	return ap.String(), nil
+}

@@ -1,0 +1,174 @@
+package sqldb
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshots give the in-memory engine the durability of the MySQL backend
+// it replaces: Dump serializes every table definition, secondary index
+// definition and row to a stream; Load rebuilds a database from one.
+// The format is versioned gob, written atomically from a consistent
+// read-locked view.
+
+// snapshotVersion guards format evolution.
+const snapshotVersion = 1
+
+// gobValue is the wire form of a Value (time.Time flattened for stability).
+type gobValue struct {
+	T    Type
+	I    int64
+	F    float64
+	S    string
+	B    bool
+	Unix int64 // seconds; valid when T == TypeTime
+}
+
+func toGob(v Value) gobValue {
+	g := gobValue{T: v.T, I: v.I, F: v.F, S: v.S, B: v.B}
+	if v.T == TypeTime {
+		g.Unix = v.M.Unix()
+	}
+	return g
+}
+
+func fromGob(g gobValue) Value {
+	v := Value{T: g.T, I: g.I, F: g.F, S: g.S, B: g.B}
+	if g.T == TypeTime {
+		v.M = time.Unix(g.Unix, 0).UTC()
+	}
+	return v
+}
+
+// gobIndex describes one secondary index.
+type gobIndex struct {
+	Name   string
+	Cols   []int
+	Unique bool
+}
+
+// gobTable carries one table's definition and contents.
+type gobTable struct {
+	Name    string
+	Cols    []ColumnDef
+	Indexes []gobIndex
+	NextRow int64
+	AutoInc int64
+	RowIDs  []int64
+	Rows    [][]gobValue
+}
+
+// gobSnapshot is the full stream payload.
+type gobSnapshot struct {
+	Version int
+	Tables  []gobTable
+}
+
+// Dump writes a consistent snapshot of the database to w.
+func (db *DB) Dump(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := gobSnapshot{Version: snapshotVersion}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		gt := gobTable{
+			Name:    t.name,
+			Cols:    t.cols,
+			NextRow: t.nextRow,
+			AutoInc: t.autoInc,
+		}
+		for _, ix := range t.indexes {
+			gt.Indexes = append(gt.Indexes, gobIndex{Name: ix.name, Cols: ix.cols, Unique: ix.unique})
+		}
+		gt.RowIDs = make([]int64, 0, len(t.rows))
+		for rowid := range t.rows {
+			gt.RowIDs = append(gt.RowIDs, rowid)
+		}
+		sort.Slice(gt.RowIDs, func(i, j int) bool { return gt.RowIDs[i] < gt.RowIDs[j] })
+		gt.Rows = make([][]gobValue, len(gt.RowIDs))
+		for i, rowid := range gt.RowIDs {
+			row := t.rows[rowid]
+			gr := make([]gobValue, len(row))
+			for c, v := range row {
+				gr[c] = toGob(v)
+			}
+			gt.Rows[i] = gr
+		}
+		snap.Tables = append(snap.Tables, gt)
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&snap); err != nil {
+		return fmt.Errorf("sqldb: encode snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot rebuilds a database from a Dump stream. It must be called on
+// a database whose tables do not collide with the snapshot's (typically a
+// fresh one); indexes are rebuilt from the rows.
+func (db *DB) LoadSnapshot(r io.Reader) error {
+	var snap gobSnapshot
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+		return fmt.Errorf("sqldb: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("sqldb: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, gt := range snap.Tables {
+		if _, exists := db.tables[gt.Name]; exists {
+			return fmt.Errorf("sqldb: snapshot table %q already exists", gt.Name)
+		}
+	}
+	for _, gt := range snap.Tables {
+		t := &table{
+			name:    gt.Name,
+			cols:    gt.Cols,
+			colPos:  make(map[string]int, len(gt.Cols)),
+			rows:    make(map[int64]Row, len(gt.RowIDs)),
+			nextRow: gt.NextRow,
+			autoInc: gt.AutoInc,
+		}
+		for i, c := range gt.Cols {
+			t.colPos[c.Name] = i
+		}
+		for _, gi := range gt.Indexes {
+			for _, c := range gi.Cols {
+				if c < 0 || c >= len(gt.Cols) {
+					return fmt.Errorf("sqldb: snapshot index %q references column %d of %q",
+						gi.Name, c, gt.Name)
+				}
+			}
+			ix := newIndex(gi.Name, t, gi.Cols, gi.Unique)
+			t.indexes = append(t.indexes, ix)
+			db.indexes[gi.Name] = ix
+		}
+		for i, rowid := range gt.RowIDs {
+			gr := gt.Rows[i]
+			if len(gr) != len(gt.Cols) {
+				return fmt.Errorf("sqldb: snapshot row width %d in table %q with %d columns",
+					len(gr), gt.Name, len(gt.Cols))
+			}
+			row := make(Row, len(gr))
+			for c, gv := range gr {
+				row[c] = fromGob(gv)
+			}
+			t.rows[rowid] = row
+			for _, ix := range t.indexes {
+				ix.insert(rowid, row)
+			}
+		}
+		db.tables[gt.Name] = t
+	}
+	return nil
+}

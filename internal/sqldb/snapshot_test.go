@@ -1,0 +1,120 @@
+package sqldb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE INDEX files_size ON files (size)")
+	base := time.Date(2003, 11, 15, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 500; i++ {
+		mustExec(t, db, "INSERT INTO files (name, size, score, valid, created) VALUES (?, ?, ?, ?, ?)",
+			Text(strings.Repeat("f", 1+i%7)+Int(int64(i)).String()),
+			Int(int64(i)), Float(float64(i)/3), Bool(i%2 == 0), Time(base.Add(time.Duration(i)*time.Hour)))
+	}
+	mustExec(t, db, "DELETE FROM files WHERE size = 250") // leave a rowid hole
+
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same row count.
+	n1, _ := db.RowCount("files")
+	n2, _ := db2.RowCount("files")
+	if n1 != n2 || n2 != 499 {
+		t.Fatalf("counts: %d vs %d", n1, n2)
+	}
+	// Indexed lookups work (indexes rebuilt).
+	rows := mustQuery(t, db2, "SELECT name, score, created FROM files WHERE size = ?", Int(123))
+	if len(rows.Data) != 1 {
+		t.Fatalf("indexed lookup = %v", rows.Data)
+	}
+	if rows.Data[0][1].F != 41 || rows.Data[0][2].M.Hour() != (9+123)%24 {
+		t.Fatalf("values = %v", rows.Data[0])
+	}
+	// Unique constraints still enforced.
+	name := rows.Data[0][0].S
+	if _, err := db2.Exec("INSERT INTO files (name) VALUES (?)", Text(name)); err == nil {
+		t.Fatal("unique constraint lost across snapshot")
+	}
+	// Autoincrement continues past the old values.
+	res, err := db2.Exec("INSERT INTO files (name) VALUES ('fresh')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 rows were inserted pre-snapshot and the failed unique insert above
+	// burned one value (as MySQL's autoincrement does), so the next id is 502.
+	if res.LastInsertID != 502 {
+		t.Fatalf("autoinc after restore = %d, want 502", res.LastInsertID)
+	}
+	// Deleted row stays deleted.
+	rows = mustQuery(t, db2, "SELECT * FROM files WHERE size = 250")
+	if len(rows.Data) != 0 {
+		t.Fatal("deleted row resurrected")
+	}
+}
+
+func TestSnapshotEmptyDatabase(t *testing.T) {
+	db := New()
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Tables()) != 0 {
+		t.Fatalf("tables = %v", db2.Tables())
+	}
+}
+
+func TestSnapshotCollisionRejected(t *testing.T) {
+	db := newTestDB(t)
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into a database that already has the table fails cleanly.
+	if err := db.LoadSnapshot(&buf); err == nil {
+		t.Fatal("colliding load succeeded")
+	}
+}
+
+func TestSnapshotGarbageRejected(t *testing.T) {
+	db := New()
+	if err := db.LoadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}
+
+func TestSnapshotNullsPreserved(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT)")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, NULL), (NULL, 'x')")
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustQuery(t, db2, "SELECT COUNT(*) FROM t WHERE b IS NULL")
+	if rows.Data[0][0].I != 1 {
+		t.Fatalf("null b count = %v", rows.Data[0][0])
+	}
+	rows = mustQuery(t, db2, "SELECT COUNT(*) FROM t WHERE a IS NULL")
+	if rows.Data[0][0].I != 1 {
+		t.Fatalf("null a count = %v", rows.Data[0][0])
+	}
+}

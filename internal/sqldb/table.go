@@ -1,0 +1,318 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+
+	"mcs/internal/btree"
+)
+
+// Row is one stored tuple, in table column order.
+type Row []Value
+
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// indexKey orders index entries by column values, then by rowid so that
+// duplicate values coexist and each row has a unique entry.
+type indexKey struct {
+	vals  []Value
+	rowid int64
+}
+
+func indexKeyLess(a, b indexKey) bool {
+	n := len(a.vals)
+	if len(b.vals) < n {
+		n = len(b.vals)
+	}
+	for i := 0; i < n; i++ {
+		switch Compare(a.vals[i], b.vals[i]) {
+		case -1:
+			return true
+		case 1:
+			return false
+		}
+	}
+	if len(a.vals) != len(b.vals) {
+		return len(a.vals) < len(b.vals)
+	}
+	return a.rowid < b.rowid
+}
+
+// index is one secondary (or primary) index over a table.
+type index struct {
+	name   string
+	table  *table
+	cols   []int // positions in the table's column list
+	unique bool
+	tree   *btree.Tree[indexKey, struct{}]
+}
+
+func newIndex(name string, t *table, cols []int, unique bool) *index {
+	return &index{
+		name:   name,
+		table:  t,
+		cols:   cols,
+		unique: unique,
+		tree:   btree.New[indexKey, struct{}](indexKeyLess),
+	}
+}
+
+func (ix *index) keyFor(rowid int64, row Row) indexKey {
+	vals := make([]Value, len(ix.cols))
+	for i, c := range ix.cols {
+		vals[i] = row[c]
+	}
+	return indexKey{vals: vals, rowid: rowid}
+}
+
+// checkUnique reports a constraint violation if another row already holds
+// the same full key values (NULLs exempt, as in SQL).
+func (ix *index) checkUnique(rowid int64, row Row) error {
+	if !ix.unique {
+		return nil
+	}
+	key := ix.keyFor(rowid, row)
+	for _, v := range key.vals {
+		if v.IsNull() {
+			return nil
+		}
+	}
+	dup := false
+	ix.scanEqual(key.vals, func(other int64) bool {
+		if other != rowid {
+			dup = true
+			return false
+		}
+		return true
+	})
+	if dup {
+		return fmt.Errorf("sqldb: UNIQUE constraint %q violated on table %q", ix.name, ix.table.name)
+	}
+	return nil
+}
+
+func (ix *index) insert(rowid int64, row Row) {
+	ix.tree.Set(ix.keyFor(rowid, row), struct{}{})
+}
+
+func (ix *index) remove(rowid int64, row Row) {
+	ix.tree.Delete(ix.keyFor(rowid, row))
+}
+
+// scanEqual calls fn with the rowid of every entry whose leading columns
+// equal prefix, in index order, until fn returns false.
+func (ix *index) scanEqual(prefix []Value, fn func(rowid int64) bool) {
+	start := indexKey{vals: prefix, rowid: math.MinInt64}
+	ix.tree.AscendGE(start, func(k indexKey, _ struct{}) bool {
+		for i := range prefix {
+			if Compare(k.vals[i], prefix[i]) != 0 {
+				return false
+			}
+		}
+		return fn(k.rowid)
+	})
+}
+
+// scanRange calls fn for entries whose first column lies in the interval
+// described by lo/hi (nil means unbounded) with the given inclusivity.
+func (ix *index) scanRange(lo, hi *Value, loInc, hiInc bool, fn func(rowid int64) bool) {
+	visit := func(k indexKey, _ struct{}) bool {
+		v := k.vals[0]
+		if lo != nil {
+			c := Compare(v, *lo)
+			if c < 0 || (c == 0 && !loInc) {
+				return true // before range; keep going (only when starting unbounded)
+			}
+		}
+		if hi != nil {
+			c := Compare(v, *hi)
+			if c > 0 || (c == 0 && !hiInc) {
+				return false
+			}
+		}
+		return fn(k.rowid)
+	}
+	if lo != nil {
+		ix.tree.AscendGE(indexKey{vals: []Value{*lo}, rowid: math.MinInt64}, visit)
+	} else {
+		ix.tree.Ascend(visit)
+	}
+}
+
+// table is the storage for one table: rows keyed by rowid plus its indexes.
+type table struct {
+	name    string
+	cols    []ColumnDef
+	colPos  map[string]int
+	rows    map[int64]Row
+	indexes []*index
+	nextRow int64
+	autoInc int64
+}
+
+func newTable(st *CreateTableStmt) (*table, error) {
+	t := &table{
+		name:   st.Name,
+		cols:   st.Columns,
+		colPos: make(map[string]int, len(st.Columns)),
+		rows:   make(map[int64]Row),
+	}
+	for i, c := range st.Columns {
+		if _, dup := t.colPos[c.Name]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate column %q in table %q", c.Name, st.Name)
+		}
+		t.colPos[c.Name] = i
+	}
+	for i, c := range st.Columns {
+		if c.PrimaryKey || c.Unique {
+			t.indexes = append(t.indexes,
+				newIndex(fmt.Sprintf("%s_%s_key", st.Name, c.Name), t, []int{i}, true))
+		}
+	}
+	return t, nil
+}
+
+// columnPos resolves a column name to its position.
+func (t *table) columnPos(name string) (int, error) {
+	if p, ok := t.colPos[name]; ok {
+		return p, nil
+	}
+	return 0, fmt.Errorf("sqldb: no column %q in table %q", name, t.name)
+}
+
+// prepareRow builds a full-width row from named insert values, applying
+// autoincrement, NOT NULL checks and type coercion.
+func (t *table) prepareRow(names []string, vals []Value) (Row, error) {
+	row := make(Row, len(t.cols))
+	if names == nil {
+		if len(vals) != len(t.cols) {
+			return nil, fmt.Errorf("sqldb: INSERT into %q has %d values, table has %d columns",
+				t.name, len(vals), len(t.cols))
+		}
+		for i, v := range vals {
+			row[i] = v
+		}
+	} else {
+		if len(names) != len(vals) {
+			return nil, fmt.Errorf("sqldb: INSERT into %q names %d columns but supplies %d values",
+				t.name, len(names), len(vals))
+		}
+		for i, n := range names {
+			p, err := t.columnPos(n)
+			if err != nil {
+				return nil, err
+			}
+			row[p] = vals[i]
+		}
+	}
+	for i, c := range t.cols {
+		if row[i].IsNull() && c.AutoIncrement {
+			t.autoInc++
+			row[i] = Int(t.autoInc)
+			continue
+		}
+		if row[i].IsNull() {
+			if c.NotNull {
+				return nil, fmt.Errorf("sqldb: NOT NULL constraint on %s.%s", t.name, c.Name)
+			}
+			continue
+		}
+		cv, err := coerce(row[i], c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("%w (column %s.%s)", err, t.name, c.Name)
+		}
+		row[i] = cv
+		if c.AutoIncrement && cv.I > t.autoInc {
+			t.autoInc = cv.I
+		}
+	}
+	return row, nil
+}
+
+// insert stores row and updates indexes, returning the new rowid.
+func (t *table) insert(row Row) (int64, error) {
+	t.nextRow++
+	rowid := t.nextRow
+	for _, ix := range t.indexes {
+		if err := ix.checkUnique(rowid, row); err != nil {
+			t.nextRow--
+			return 0, err
+		}
+	}
+	t.rows[rowid] = row
+	for _, ix := range t.indexes {
+		ix.insert(rowid, row)
+	}
+	return rowid, nil
+}
+
+// insertAt restores a row under a specific rowid (transaction rollback path).
+func (t *table) insertAt(rowid int64, row Row) {
+	t.rows[rowid] = row
+	for _, ix := range t.indexes {
+		ix.insert(rowid, row)
+	}
+}
+
+// delete removes rowid, returning the removed row.
+func (t *table) delete(rowid int64) (Row, bool) {
+	row, ok := t.rows[rowid]
+	if !ok {
+		return nil, false
+	}
+	for _, ix := range t.indexes {
+		ix.remove(rowid, row)
+	}
+	delete(t.rows, rowid)
+	return row, true
+}
+
+// update replaces the row at rowid, returning the previous row.
+func (t *table) update(rowid int64, newRow Row) (Row, error) {
+	old, ok := t.rows[rowid]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: update of missing rowid %d in %q", rowid, t.name)
+	}
+	for _, ix := range t.indexes {
+		ix.remove(rowid, old)
+	}
+	for _, ix := range t.indexes {
+		if err := ix.checkUnique(rowid, newRow); err != nil {
+			for _, ix2 := range t.indexes {
+				ix2.insert(rowid, old)
+			}
+			return nil, err
+		}
+	}
+	t.rows[rowid] = newRow
+	for _, ix := range t.indexes {
+		ix.insert(rowid, newRow)
+	}
+	return old, nil
+}
+
+// findIndex returns an index whose leading columns match cols exactly in
+// order, preferring the shortest such index.
+func (t *table) findIndex(cols []int) *index {
+	var best *index
+	for _, ix := range t.indexes {
+		if len(ix.cols) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if ix.cols[i] != c {
+				match = false
+				break
+			}
+		}
+		if match && (best == nil || len(ix.cols) < len(best.cols)) {
+			best = ix
+		}
+	}
+	return best
+}

@@ -1,0 +1,223 @@
+// Package sqldb is an embedded relational database engine.
+//
+// It stands in for the MySQL 4.1 backend of the original MCS deployment:
+// typed rows, B-tree secondary indexes, a SQL dialect large enough for the
+// MCS schema (CREATE TABLE/INDEX, INSERT, SELECT with joins, UPDATE, DELETE,
+// parameter placeholders), a planner that routes equality and range
+// predicates to indexes, and serializable transactions with rollback.
+//
+// The engine is deliberately in-memory: the paper's scalability study
+// measures query/add throughput against a warm database, and MySQL's own
+// buffer pool keeps the working set resident in that study too.
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type enumerates the value types a column can hold.
+type Type int
+
+// Column and literal types. TypeNull is the type of the SQL NULL literal and
+// of absent values; columns themselves are never declared NULL.
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeFloat
+	TypeText
+	TypeBool
+	TypeTime
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeText:
+		return "TEXT"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeTime:
+		return "DATETIME"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Value is a single typed cell. The zero Value is NULL.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+	B bool
+	M time.Time
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an INTEGER value.
+func Int(v int64) Value { return Value{T: TypeInt, I: v} }
+
+// Float returns a FLOAT value.
+func Float(v float64) Value { return Value{T: TypeFloat, F: v} }
+
+// Text returns a TEXT value.
+func Text(v string) Value { return Value{T: TypeText, S: v} }
+
+// Bool returns a BOOLEAN value.
+func Bool(v bool) Value { return Value{T: TypeBool, B: v} }
+
+// Time returns a DATETIME value, truncated to whole seconds in UTC so
+// round-trips through the text protocol are loss-free.
+func Time(v time.Time) Value { return Value{T: TypeTime, M: v.UTC().Truncate(time.Second)} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.T == TypeNull }
+
+// String renders the value as it would appear in a result set.
+func (v Value) String() string {
+	switch v.T {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeText:
+		return v.S
+	case TypeBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case TypeTime:
+		return v.M.Format(time.RFC3339)
+	}
+	return "?"
+}
+
+// numeric reports whether the value can participate in numeric comparison,
+// returning it widened to float64.
+func (v Value) numeric() (float64, bool) {
+	switch v.T {
+	case TypeInt:
+		return float64(v.I), true
+	case TypeFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// Compare orders two values: -1, 0 or +1. NULL orders before everything.
+// Int and Float compare numerically against each other; other cross-type
+// comparisons order by type tag (stable, arbitrary), mirroring the behaviour
+// MCS relies on (it never compares across types except int/float).
+func Compare(a, b Value) int {
+	if a.T == TypeNull || b.T == TypeNull {
+		switch {
+		case a.T == b.T:
+			return 0
+		case a.T == TypeNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if af, ok := a.numeric(); ok {
+		if bf, ok := b.numeric(); ok {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			}
+			// Equal as floats; break ties so 1 and 1.0 stay equal but the
+			// ordering over int64 beyond float precision remains sane.
+			if a.T == TypeInt && b.T == TypeInt {
+				switch {
+				case a.I < b.I:
+					return -1
+				case a.I > b.I:
+					return 1
+				}
+			}
+			return 0
+		}
+	}
+	if a.T != b.T {
+		switch {
+		case a.T < b.T:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch a.T {
+	case TypeText:
+		return strings.Compare(a.S, b.S)
+	case TypeBool:
+		switch {
+		case a.B == b.B:
+			return 0
+		case !a.B:
+			return -1
+		default:
+			return 1
+		}
+	case TypeTime:
+		switch {
+		case a.M.Before(b.M):
+			return -1
+		case a.M.After(b.M):
+			return 1
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+// Equal reports whether a and b compare equal. NULL never equals anything,
+// including NULL (SQL three-valued logic is applied by the evaluator; Equal
+// is the raw tuple-identity used by indexes, where NULL == NULL).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// coerce converts v to column type t where a lossless conversion exists.
+func coerce(v Value, t Type) (Value, error) {
+	if v.T == TypeNull || v.T == t {
+		return v, nil
+	}
+	switch t {
+	case TypeFloat:
+		if v.T == TypeInt {
+			return Float(float64(v.I)), nil
+		}
+	case TypeInt:
+		if v.T == TypeFloat && v.F == float64(int64(v.F)) {
+			return Int(int64(v.F)), nil
+		}
+	case TypeTime:
+		if v.T == TypeText {
+			for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+				if m, err := time.Parse(layout, v.S); err == nil {
+					return Time(m), nil
+				}
+			}
+			return Value{}, fmt.Errorf("sqldb: cannot parse %q as DATETIME", v.S)
+		}
+	case TypeText:
+		if v.T == TypeTime {
+			return Text(v.M.Format(time.RFC3339)), nil
+		}
+	}
+	return Value{}, fmt.Errorf("sqldb: cannot store %s value in %s column", v.T, t)
+}

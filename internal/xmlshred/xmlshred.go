@@ -1,0 +1,193 @@
+// Package xmlshred reproduces the Earth System Grid ingestion path of the
+// paper: ESG metadata arrived as XML documents (netCDF-convention
+// descriptions plus Dublin Core records) and was "parsed or shredded …
+// to extract individual attribute values" that were then stored as MCS
+// user-defined attributes.
+//
+// The shredder flattens an XML document into dotted-path fields, infers an
+// MCS attribute type for each value (int, float, datetime, date, string)
+// and returns them ready to feed core.DefineAttribute / SetAttribute. A
+// dedicated Dublin Core mapping renames the dc:* elements to their
+// conventional attribute names.
+package xmlshred
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"mcs/internal/core"
+)
+
+// Field is one shredded attribute candidate.
+type Field struct {
+	// Name is the dotted element path (e.g. "variable.temperature.units"),
+	// prefixed with the prefix given to Shred.
+	Name string
+	// Type is the inferred MCS attribute type.
+	Type core.AttrType
+	// Value is the typed value.
+	Value core.AttrValue
+}
+
+// Attribute converts the field to a core attribute binding.
+func (f Field) Attribute() core.Attribute {
+	return core.Attribute{Name: f.Name, Value: f.Value}
+}
+
+// Shred flattens one XML document into fields. Element paths are joined
+// with dots; attributes contribute path@attr entries; repeated paths get
+// .2, .3 … suffixes so no value is lost. Elements with only whitespace
+// content contribute nothing.
+func Shred(r io.Reader, prefix string) ([]Field, error) {
+	dec := xml.NewDecoder(r)
+	var stack []string
+	var fields []Field
+	counts := map[string]int{}
+
+	emit := func(path, value string) {
+		value = strings.TrimSpace(value)
+		if value == "" {
+			return
+		}
+		if prefix != "" {
+			path = prefix + "." + path
+		}
+		counts[path]++
+		if n := counts[path]; n > 1 {
+			path = fmt.Sprintf("%s.%d", path, n)
+		}
+		typ, v := inferValue(value)
+		fields = append(fields, Field{Name: path, Type: typ, Value: v})
+	}
+
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlshred: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			stack = append(stack, t.Name.Local)
+			text.Reset()
+			path := strings.Join(stack, ".")
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				emit(path+"@"+a.Name.Local, a.Value)
+			}
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			if len(stack) > 0 {
+				emit(strings.Join(stack, "."), text.String())
+				stack = stack[:len(stack)-1]
+			}
+			text.Reset()
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlshred: unclosed element %q", stack[len(stack)-1])
+	}
+	return fields, nil
+}
+
+// inferValue guesses the narrowest MCS type for a string value.
+func inferValue(s string) (core.AttrType, core.AttrValue) {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return core.AttrInt, core.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return core.AttrFloat, core.Float(f)
+	}
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return core.AttrDateTime, core.DateTime(t)
+		}
+	}
+	if t, err := time.Parse("2006-01-02", s); err == nil {
+		return core.AttrDate, core.Date(t)
+	}
+	return core.AttrString, core.String(s)
+}
+
+// DublinCore element names (the 15-element core the ESG scientists used).
+var dublinCoreElements = map[string]bool{
+	"title": true, "creator": true, "subject": true, "description": true,
+	"publisher": true, "contributor": true, "date": true, "type": true,
+	"format": true, "identifier": true, "source": true, "language": true,
+	"relation": true, "coverage": true, "rights": true,
+}
+
+// ShredDublinCore extracts dc:* elements from a document, emitting fields
+// named dc.<element>. Non-DC elements are ignored.
+func ShredDublinCore(r io.Reader) ([]Field, error) {
+	all, err := Shred(r, "")
+	if err != nil {
+		return nil, err
+	}
+	var out []Field
+	counts := map[string]int{}
+	for _, f := range all {
+		parts := strings.Split(f.Name, ".")
+		leaf := parts[len(parts)-1]
+		// Strip duplicate-suffix digits to find the element name.
+		if _, err := strconv.Atoi(leaf); err == nil && len(parts) >= 2 {
+			leaf = parts[len(parts)-2]
+		}
+		if !dublinCoreElements[leaf] {
+			continue
+		}
+		name := "dc." + leaf
+		counts[name]++
+		if n := counts[name]; n > 1 {
+			name = fmt.Sprintf("%s.%d", name, n)
+		}
+		f.Name = name
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Ingest defines any missing attribute declarations and binds every field
+// to the object — the full ESG publication path in one call. It returns
+// how many attributes were defined and how many were set. Fields whose
+// inferred type conflicts with an existing declaration are re-rendered as
+// the declared type when possible, else skipped with an error entry.
+func Ingest(cat *core.Catalog, dn string, objType core.ObjectType, object string, fields []Field) (defined, set int, errs []error) {
+	for _, f := range fields {
+		def, err := cat.GetAttributeDef(f.Name)
+		if err != nil {
+			if def, err = cat.DefineAttribute(dn, f.Name, f.Type, "shredded from XML"); err != nil {
+				errs = append(errs, fmt.Errorf("define %q: %w", f.Name, err))
+				continue
+			}
+			defined++
+		}
+		v := f.Value
+		if def.Type != v.Type {
+			// Re-render as the declared type (e.g. an int-looking value in
+			// a string-typed attribute).
+			if rv, err := core.ParseAttrValue(def.Type, f.Value.Render()); err == nil {
+				v = rv
+			} else {
+				errs = append(errs, fmt.Errorf("bind %q: declared %s, value %q", f.Name, def.Type, f.Value.Render()))
+				continue
+			}
+		}
+		if err := cat.SetAttribute(dn, objType, object, f.Name, v); err != nil {
+			errs = append(errs, fmt.Errorf("set %q: %w", f.Name, err))
+			continue
+		}
+		set++
+	}
+	return defined, set, errs
+}

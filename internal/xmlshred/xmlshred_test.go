@@ -1,0 +1,178 @@
+package xmlshred
+
+import (
+	"strings"
+	"testing"
+
+	"mcs/internal/core"
+)
+
+const netcdfDoc = `<?xml version="1.0"?>
+<netcdf name="pcmdi.t42">
+  <dimension name="lat" length="64"/>
+  <dimension name="lon" length="128"/>
+  <variable name="temperature">
+    <units>K</units>
+    <missing>-999.9</missing>
+  </variable>
+  <global>
+    <institution>NCAR</institution>
+    <model>CCSM2</model>
+    <created>2002-08-15</created>
+    <runDate>2002-08-15T12:30:00Z</runDate>
+  </global>
+</netcdf>`
+
+func TestShredNetCDF(t *testing.T) {
+	fields, err := Shred(strings.NewReader(netcdfDoc), "esg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Field{}
+	for _, f := range fields {
+		byName[f.Name] = f
+	}
+	// Element attributes shredded with @.
+	if f, ok := byName["esg.netcdf@name"]; !ok || f.Value.S != "pcmdi.t42" {
+		t.Fatalf("netcdf@name = %+v (have %v)", f, keys(byName))
+	}
+	// Repeated paths suffixed.
+	if _, ok := byName["esg.netcdf.dimension@name"]; !ok {
+		t.Fatal("first dimension@name missing")
+	}
+	if _, ok := byName["esg.netcdf.dimension@name.2"]; !ok {
+		t.Fatal("second dimension@name missing")
+	}
+	// Type inference.
+	if f := byName["esg.netcdf.dimension@length"]; f.Type != core.AttrInt || f.Value.I != 64 {
+		t.Fatalf("length = %+v", f)
+	}
+	if f := byName["esg.netcdf.variable.missing"]; f.Type != core.AttrFloat || f.Value.F != -999.9 {
+		t.Fatalf("missing = %+v", f)
+	}
+	if f := byName["esg.netcdf.global.created"]; f.Type != core.AttrDate {
+		t.Fatalf("created = %+v", f)
+	}
+	if f := byName["esg.netcdf.global.runDate"]; f.Type != core.AttrDateTime {
+		t.Fatalf("runDate = %+v", f)
+	}
+	if f := byName["esg.netcdf.global.institution"]; f.Type != core.AttrString || f.Value.S != "NCAR" {
+		t.Fatalf("institution = %+v", f)
+	}
+}
+
+func keys(m map[string]Field) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestShredMalformed(t *testing.T) {
+	if _, err := Shred(strings.NewReader("<a><b></a>"), ""); err == nil {
+		t.Fatal("mismatched tags accepted")
+	}
+	if _, err := Shred(strings.NewReader("<unclosed>"), ""); err == nil {
+		t.Fatal("unclosed element accepted")
+	}
+}
+
+func TestShredEmptyElementsSkipped(t *testing.T) {
+	fields, err := Shred(strings.NewReader("<a><b>  </b><c>x</c></a>"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 1 || fields[0].Name != "a.c" {
+		t.Fatalf("fields = %+v", fields)
+	}
+}
+
+const dcDoc = `<record xmlns:dc="http://purl.org/dc/elements/1.1/">
+  <dc:title>Community Climate System Model output</dc:title>
+  <dc:creator>NCAR</dc:creator>
+  <dc:creator>PCMDI</dc:creator>
+  <dc:date>2002-08-15</dc:date>
+  <dc:format>netCDF</dc:format>
+  <internal>ignore me</internal>
+</record>`
+
+func TestShredDublinCore(t *testing.T) {
+	fields, err := ShredDublinCore(strings.NewReader(dcDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Field{}
+	for _, f := range fields {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["dc.title"]; !ok || !strings.Contains(f.Value.S, "Climate") {
+		t.Fatalf("dc.title = %+v", f)
+	}
+	// Repeated creators both captured.
+	if _, ok := byName["dc.creator"]; !ok {
+		t.Fatal("dc.creator missing")
+	}
+	if _, ok := byName["dc.creator.2"]; !ok {
+		t.Fatal("dc.creator.2 missing")
+	}
+	if f := byName["dc.date"]; f.Type != core.AttrDate {
+		t.Fatalf("dc.date = %+v", f)
+	}
+	if _, ok := byName["dc.internal"]; ok {
+		t.Fatal("non-DC element leaked through")
+	}
+}
+
+func TestIngestIntoCatalog(t *testing.T) {
+	cat, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dn = "/CN=esg-loader"
+	if _, err := cat.CreateFile(dn, core.FileSpec{Name: "t42.nc"}); err != nil {
+		t.Fatal(err)
+	}
+	fields, err := Shred(strings.NewReader(netcdfDoc), "esg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defined, set, errs := Ingest(cat, dn, core.ObjectFile, "t42.nc", fields)
+	if len(errs) != 0 {
+		t.Fatalf("ingest errors: %v", errs)
+	}
+	if defined == 0 || set != len(fields) {
+		t.Fatalf("defined=%d set=%d want set=%d", defined, set, len(fields))
+	}
+	// The shredded metadata is now queryable through MCS.
+	names, err := cat.RunQuery(dn, core.Query{Predicates: []core.Predicate{
+		{Attribute: "esg.netcdf.global.model", Op: core.OpEq, Value: core.String("CCSM2")},
+	}})
+	if err != nil || len(names) != 1 || names[0] != "t42.nc" {
+		t.Fatalf("query = %v, %v", names, err)
+	}
+	// Second ingest of the same doc reuses the definitions.
+	if _, err := cat.CreateFile(dn, core.FileSpec{Name: "t63.nc"}); err != nil {
+		t.Fatal(err)
+	}
+	defined2, set2, errs2 := Ingest(cat, dn, core.ObjectFile, "t63.nc", fields)
+	if defined2 != 0 || set2 != len(fields) || len(errs2) != 0 {
+		t.Fatalf("re-ingest: defined=%d set=%d errs=%v", defined2, set2, errs2)
+	}
+}
+
+func TestIngestTypeConflictRerendered(t *testing.T) {
+	cat, _ := core.Open(core.Options{})
+	const dn = "/CN=x"
+	cat.CreateFile(dn, core.FileSpec{Name: "f"})             //nolint:errcheck
+	cat.DefineAttribute(dn, "esg.v", core.AttrString, "was") //nolint:errcheck
+	fields := []Field{{Name: "esg.v", Type: core.AttrInt, Value: core.Int(7)}}
+	_, set, errs := Ingest(cat, dn, core.ObjectFile, "f", fields)
+	if set != 1 || len(errs) != 0 {
+		t.Fatalf("set=%d errs=%v", set, errs)
+	}
+	attrs, _ := cat.GetAttributes(dn, core.ObjectFile, "f")
+	if len(attrs) != 1 || attrs[0].Value.Type != core.AttrString || attrs[0].Value.S != "7" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+}

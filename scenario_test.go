@@ -1,0 +1,171 @@
+package mcs_test
+
+// Integration test of the paper's Figure 2 scenario across real network
+// services: (1) attribute query to the MCS, (2) logical names back,
+// (3) RLS query, (4) physical locations back, (5) contact the storage
+// system, (6) data returned over GridFTP — plus the federated-discovery
+// extension of section 9.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mcs"
+	"mcs/internal/core"
+	"mcs/internal/federation"
+	"mcs/internal/gridftp"
+	"mcs/internal/rls"
+)
+
+const scenarioDN = "/O=Grid/OU=Test/CN=scenario"
+
+func TestFigure2Scenario(t *testing.T) {
+	// --- Services. ---
+	srv, err := mcs.NewServer(mcs.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcsHTTP := httptest.NewServer(srv)
+	defer mcsHTTP.Close()
+	catalog := mcs.NewClient(mcsHTTP.URL, scenarioDN)
+
+	lrc := rls.NewLRC("lrc://site")
+	rli := rls.NewRLI()
+	rlsHTTP := httptest.NewServer(rls.NewServer(lrc, rli))
+	defer rlsHTTP.Close()
+	replica := rls.NewClient(rlsHTTP.URL)
+
+	store := gridftp.NewMemStore()
+	ftp := gridftp.NewServer(store)
+	ftpAddr, err := ftp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ftp.Close()
+
+	// --- Publication: data + replica mapping + descriptive metadata. ---
+	if _, err := catalog.DefineAttribute("experiment", mcs.AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := catalog.DefineAttribute("energy", mcs.AttrFloat, "GeV"); err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("event-data;"), 10000)
+	store.Put("cms-run-42.root", content)
+	if err := replica.AddMapping("cms-run-42.root", "gsiftp://"+ftpAddr+"/cms-run-42.root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.SendUpdate("lrc://site", lrc.LFNs(), nil, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := catalog.CreateFile(mcs.FileSpec{
+		Name: "cms-run-42.root", DataType: "binary",
+		Attributes: []mcs.Attribute{
+			{Name: "experiment", Value: mcs.String("cms")},
+			{Name: "energy", Value: mcs.Float(7000)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Steps 1-2: attribute query -> logical names. ---
+	names, err := catalog.RunQuery(mcs.Query{Predicates: []mcs.Predicate{
+		{Attribute: "experiment", Op: mcs.OpEq, Value: mcs.String("cms")},
+		{Attribute: "energy", Op: mcs.OpGe, Value: mcs.Float(5000)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "cms-run-42.root" {
+		t.Fatalf("step 1-2: %v", names)
+	}
+
+	// --- Steps 3-4: RLI -> LRC -> physical locations. ---
+	lrcs, err := replica.QueryRLI(names[0])
+	if err != nil || len(lrcs) != 1 {
+		t.Fatalf("step 3: %v, %v", lrcs, err)
+	}
+	pfns, err := replica.Lookup(names[0])
+	if err != nil || len(pfns) != 1 {
+		t.Fatalf("step 4: %v, %v", pfns, err)
+	}
+
+	// --- Steps 5-6: GridFTP retrieval with parallel streams. ---
+	rest := strings.TrimPrefix(pfns[0], "gsiftp://")
+	slash := strings.IndexByte(rest, '/')
+	got, err := gridftp.NewClient(rest[:slash], 4).Retrieve(rest[slash+1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("step 6: retrieved bytes differ")
+	}
+}
+
+func TestFederatedDiscoveryScenario(t *testing.T) {
+	// Two sites, each a full MCS; an aggregating index screens queries.
+	type site struct {
+		cat *core.Catalog
+		url string
+	}
+	sites := map[string]*site{}
+	for _, name := range []string{"site-east", "site-west"} {
+		cat, err := mcs.OpenCatalog(mcs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		sites[name] = &site{cat: cat, url: ts.URL}
+	}
+	// Publish distinct experiments at each site.
+	for name, exp := range map[string]string{"site-east": "atlas", "site-west": "cms"} {
+		c := mcs.NewClient(sites[name].url, scenarioDN)
+		if _, err := c.DefineAttribute("experiment", mcs.AttrString, ""); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := c.CreateFile(mcs.FileSpec{
+				Name:       fmt.Sprintf("%s-%d.root", exp, i),
+				Attributes: []mcs.Attribute{{Name: "experiment", Value: mcs.String(exp)}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Index the sites via soft-state summaries.
+	ix := federation.NewIndex()
+	for name, s := range sites {
+		sum, err := federation.Summarize(s.cat, name, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Update(sum, time.Minute)
+	}
+	fc := &federation.Client{
+		Index: ix,
+		Dial: func(name string) (federation.Querier, error) {
+			return mcs.NewClient(sites[name].url, scenarioDN), nil
+		},
+	}
+	res, err := fc.Query(mcs.Query{Predicates: []mcs.Predicate{
+		{Attribute: "experiment", Op: mcs.OpEq, Value: mcs.String("cms")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 {
+		t.Fatalf("index did not screen: %+v", res)
+	}
+	if got := res.Merged(); len(got) != 5 || !strings.HasPrefix(got[0], "cms-") {
+		t.Fatalf("merged = %v", got)
+	}
+}

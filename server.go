@@ -1,0 +1,671 @@
+// Package mcs is the public API of the Metadata Catalog Service
+// reproduction: an embeddable catalog engine, a SOAP-over-HTTP server, and a
+// typed client — the Go equivalent of the paper's Tomcat/Axis service and
+// its generated Java client library.
+//
+// Quick start:
+//
+//	srv, _ := mcs.NewServer(mcs.ServerOptions{})
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	go http.Serve(ln, srv)
+//	client := mcs.NewClient("http://"+ln.Addr().String(), "/O=Grid/CN=me")
+//	client.CreateFile(mcs.FileSpec{Name: "run42.dat"})
+package mcs
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mcs/internal/core"
+	"mcs/internal/gsi"
+	"mcs/internal/mcswire"
+	"mcs/internal/soap"
+)
+
+// Re-exported core types, so downstream users only import this package.
+type (
+	// Catalog is the embedded MCS engine (usable without the web service).
+	Catalog = core.Catalog
+	// Options configures an embedded Catalog.
+	Options = core.Options
+	// FileSpec describes a logical file to create.
+	FileSpec = core.FileSpec
+	// CollectionSpec describes a logical collection to create.
+	CollectionSpec = core.CollectionSpec
+	// ViewSpec describes a logical view to create.
+	ViewSpec = core.ViewSpec
+	// File is logical-file static metadata.
+	File = core.File
+	// Collection is logical-collection metadata.
+	Collection = core.Collection
+	// View is logical-view metadata.
+	View = core.View
+	// ViewMember is one element of a view.
+	ViewMember = core.ViewMember
+	// Attribute is a user-defined attribute binding.
+	Attribute = core.Attribute
+	// AttributeDef is a user-defined attribute declaration.
+	AttributeDef = core.AttributeDef
+	// AttrValue is a typed user-defined attribute value.
+	AttrValue = core.AttrValue
+	// AttrType enumerates attribute value types.
+	AttrType = core.AttrType
+	// ObjectType distinguishes files, collections and views.
+	ObjectType = core.ObjectType
+	// Query is an attribute-based discovery request.
+	Query = core.Query
+	// Predicate is one query constraint.
+	Predicate = core.Predicate
+	// Op is a query comparison operator.
+	Op = core.Op
+	// Permission names one right on an object.
+	Permission = core.Permission
+	// Annotation is a free-text note on an object.
+	Annotation = core.Annotation
+	// ProvenanceRecord is one transformation-history entry.
+	ProvenanceRecord = core.ProvenanceRecord
+	// AuditRecord is one audit-log entry.
+	AuditRecord = core.AuditRecord
+	// Writer is a metadata-writer contact record.
+	Writer = core.Writer
+	// ExternalCatalog points at another metadata catalog.
+	ExternalCatalog = core.ExternalCatalog
+	// FileUpdate selects static file attributes to modify.
+	FileUpdate = core.FileUpdate
+	// Stats reports catalog row counts.
+	Stats = core.Stats
+	// QueryResult couples a matched logical name with requested attributes.
+	QueryResult = core.QueryResult
+)
+
+// Attribute value constructors and helpers, re-exported.
+var (
+	String    = core.String
+	Int       = core.Int
+	Float     = core.Float
+	Date      = core.Date
+	TimeOfDay = core.TimeOfDay
+	DateTime  = core.DateTime
+	// ParseAttrValue parses the Render()ed form of an attribute value.
+	ParseAttrValue = core.ParseAttrValue
+)
+
+// Object types, attribute types, operators and permissions.
+const (
+	ObjectFile       = core.ObjectFile
+	ObjectCollection = core.ObjectCollection
+	ObjectView       = core.ObjectView
+	ObjectService    = core.ObjectService
+
+	AttrString   = core.AttrString
+	AttrInt      = core.AttrInt
+	AttrFloat    = core.AttrFloat
+	AttrDate     = core.AttrDate
+	AttrTime     = core.AttrTime
+	AttrDateTime = core.AttrDateTime
+
+	OpEq   = core.OpEq
+	OpNe   = core.OpNe
+	OpLt   = core.OpLt
+	OpLe   = core.OpLe
+	OpGt   = core.OpGt
+	OpGe   = core.OpGe
+	OpLike = core.OpLike
+
+	PermRead     = core.PermRead
+	PermWrite    = core.PermWrite
+	PermCreate   = core.PermCreate
+	PermDelete   = core.PermDelete
+	PermAnnotate = core.PermAnnotate
+)
+
+// Sentinel errors, re-exported.
+var (
+	ErrNotFound      = core.ErrNotFound
+	ErrExists        = core.ErrExists
+	ErrDenied        = core.ErrDenied
+	ErrInvalidInput  = core.ErrInvalidInput
+	ErrCycle         = core.ErrCycle
+	ErrNotEmpty      = core.ErrNotEmpty
+	ErrAmbiguousFile = core.ErrAmbiguousFile
+)
+
+// OpenCatalog creates an embedded catalog engine (no web service).
+func OpenCatalog(opts Options) (*Catalog, error) { return core.Open(opts) }
+
+// RestoreCatalog opens a catalog from a snapshot stream previously written
+// with Catalog.Snapshot (daemon restart durability).
+var RestoreCatalog = core.Restore
+
+// CASIntegration configures Community Authorization Service support — the
+// integration the paper lists as modeled but unimplemented ("we will
+// integrate the MCS with the Community Authorization Service"). A request
+// carrying a valid CAS assertion (header gsi.AssertionHeader) whose subject
+// matches the caller and whose scope and rights cover the operation runs as
+// the community identity, to which the catalog administrator grants the
+// community's coarse-grained rights. Fine-grained per-member policy lives
+// at the CAS, exactly as in the CAS paper's model.
+type CASIntegration struct {
+	// Community is the expected community name of assertions.
+	Community string
+	// Key validates assertion signatures (cas.PublicKey()).
+	Key ed25519.PublicKey
+	// CommunityDN is the catalog identity community operations run as.
+	CommunityDN string
+}
+
+// ServerOptions configures an MCS server.
+type ServerOptions struct {
+	// Catalog embeds an existing catalog; nil opens a fresh one with
+	// CatalogOptions.
+	Catalog *Catalog
+	// CatalogOptions configures the catalog opened when Catalog is nil.
+	CatalogOptions Options
+	// TrustStore enables GSI authentication of requests when non-nil.
+	TrustStore *gsi.TrustStore
+	// CAS enables Community Authorization Service assertions when non-nil.
+	CAS *CASIntegration
+}
+
+// Server is the MCS web service: a SOAP endpoint in front of a Catalog.
+// It implements http.Handler.
+type Server struct {
+	*soap.Server
+	catalog *Catalog
+	cas     *CASIntegration
+}
+
+// Catalog returns the server's underlying catalog engine.
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// caller resolves the effective identity of a request: the authenticated
+// GSI DN when available, otherwise the client-declared identity (the mode
+// the paper's scalability study ran in). When CAS integration is on and
+// the request bears a valid assertion for this caller covering (right,
+// resource), the operation runs as the community identity instead.
+func (s *Server) caller(ctx *soap.Ctx, declared string, right gsi.Right, resource string) string {
+	dn := ctx.DN
+	if dn == "" {
+		dn = declared
+	}
+	if dn == "" {
+		dn = "anonymous"
+	}
+	if s.cas == nil {
+		return dn
+	}
+	encoded := ctx.Header.Get(gsi.AssertionHeader)
+	if encoded == "" {
+		return dn
+	}
+	a, err := gsi.DecodeAssertion(encoded, s.cas.Key)
+	if err != nil || a.Community != s.cas.Community || a.Subject != dn {
+		return dn
+	}
+	if !a.Grants(right, resource, time.Now()) {
+		return dn
+	}
+	return s.cas.CommunityDN
+}
+
+// NewServer builds an MCS server with every catalog operation registered.
+func NewServer(opts ServerOptions) (*Server, error) {
+	cat := opts.Catalog
+	if cat == nil {
+		var err error
+		cat, err = core.Open(opts.CatalogOptions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ss := soap.NewServer("MetadataCatalogService", mcswire.NS)
+	if opts.TrustStore != nil {
+		ss.SetAuthenticator(&gsi.Verifier{Trust: opts.TrustStore})
+	}
+	s := &Server{Server: ss, catalog: cat, cas: opts.CAS}
+	s.register()
+	return s, nil
+}
+
+// ListenAndServe runs the server on addr until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s)
+}
+
+func (s *Server) register() {
+	cat := s.catalog
+
+	soap.Handle(s.Server, "ping", func(ctx *soap.Ctx, req *mcswire.PingRequest) (*mcswire.PingResponse, error) {
+		return &mcswire.PingResponse{DN: ctx.DN}, nil
+	})
+
+	soap.Handle(s.Server, "createFile", func(ctx *soap.Ctx, req *mcswire.CreateFileRequest) (*mcswire.CreateFileResponse, error) {
+		attrs := make([]Attribute, 0, len(req.Attributes))
+		for _, wa := range req.Attributes {
+			a, err := wa.ToCore()
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, a)
+		}
+		f, err := cat.CreateFile(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), FileSpec{
+			Name: req.Name, Version: req.Version, DataType: req.DataType,
+			Collection: req.Collection, ContainerID: req.ContainerID,
+			ContainerService: req.ContainerService, MasterCopy: req.MasterCopy,
+			Audited: req.Audited, Provenance: req.Provenance, Attributes: attrs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.CreateFileResponse{File: mcswire.FileToWire(f)}, nil
+	})
+
+	soap.Handle(s.Server, "getFile", func(ctx *soap.Ctx, req *mcswire.GetFileRequest) (*mcswire.GetFileResponse, error) {
+		f, err := cat.GetFile(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name, req.Version)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.GetFileResponse{File: mcswire.FileToWire(f)}, nil
+	})
+
+	soap.Handle(s.Server, "fileVersions", func(ctx *soap.Ctx, req *mcswire.FileVersionsRequest) (*mcswire.FileVersionsResponse, error) {
+		fs, err := cat.FileVersions(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.FileVersionsResponse{}
+		for _, f := range fs {
+			resp.Files = append(resp.Files, mcswire.FileToWire(f))
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "updateFile", func(ctx *soap.Ctx, req *mcswire.UpdateFileRequest) (*mcswire.UpdateFileResponse, error) {
+		var upd FileUpdate
+		if req.SetDataType {
+			upd.DataType = &req.DataType
+		}
+		if req.SetValid {
+			upd.Valid = &req.Valid
+		}
+		if req.SetContainerID {
+			upd.ContainerID = &req.ContainerID
+		}
+		if req.SetContainerService {
+			upd.ContainerService = &req.ContainerService
+		}
+		if req.SetMasterCopy {
+			upd.MasterCopy = &req.MasterCopy
+		}
+		f, err := cat.UpdateFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, upd)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.UpdateFileResponse{File: mcswire.FileToWire(f)}, nil
+	})
+
+	soap.Handle(s.Server, "deleteFile", func(ctx *soap.Ctx, req *mcswire.DeleteFileRequest) (*mcswire.DeleteFileResponse, error) {
+		if err := cat.DeleteFile(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name, req.Version); err != nil {
+			return nil, err
+		}
+		return &mcswire.DeleteFileResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "moveFile", func(ctx *soap.Ctx, req *mcswire.MoveFileRequest) (*mcswire.MoveFileResponse, error) {
+		if err := cat.MoveFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Collection); err != nil {
+			return nil, err
+		}
+		return &mcswire.MoveFileResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "createCollection", func(ctx *soap.Ctx, req *mcswire.CreateCollectionRequest) (*mcswire.CreateCollectionResponse, error) {
+		attrs := make([]Attribute, 0, len(req.Attributes))
+		for _, wa := range req.Attributes {
+			a, err := wa.ToCore()
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, a)
+		}
+		col, err := cat.CreateCollection(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), CollectionSpec{
+			Name: req.Name, Description: req.Description, Parent: req.Parent,
+			Audited: req.Audited, Attributes: attrs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.CreateCollectionResponse{Collection: mcswire.CollectionToWire(col)}, nil
+	})
+
+	soap.Handle(s.Server, "getCollection", func(ctx *soap.Ctx, req *mcswire.GetCollectionRequest) (*mcswire.GetCollectionResponse, error) {
+		col, err := cat.GetCollection(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.GetCollectionResponse{Collection: mcswire.CollectionToWire(col)}, nil
+	})
+
+	soap.Handle(s.Server, "collectionContents", func(ctx *soap.Ctx, req *mcswire.CollectionContentsRequest) (*mcswire.CollectionContentsResponse, error) {
+		files, subs, err := cat.CollectionContents(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.CollectionContentsResponse{}
+		for _, f := range files {
+			resp.Files = append(resp.Files, mcswire.FileToWire(f))
+		}
+		for _, c := range subs {
+			resp.SubCollections = append(resp.SubCollections, mcswire.CollectionToWire(c))
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "deleteCollection", func(ctx *soap.Ctx, req *mcswire.DeleteCollectionRequest) (*mcswire.DeleteCollectionResponse, error) {
+		if err := cat.DeleteCollection(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name); err != nil {
+			return nil, err
+		}
+		return &mcswire.DeleteCollectionResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "listCollections", func(ctx *soap.Ctx, req *mcswire.ListCollectionsRequest) (*mcswire.ListCollectionsResponse, error) {
+		names, err := cat.ListCollections(s.caller(ctx, req.Caller, gsi.RightRead, ""), req.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.ListCollectionsResponse{Names: names}, nil
+	})
+
+	soap.Handle(s.Server, "createView", func(ctx *soap.Ctx, req *mcswire.CreateViewRequest) (*mcswire.CreateViewResponse, error) {
+		attrs := make([]Attribute, 0, len(req.Attributes))
+		for _, wa := range req.Attributes {
+			a, err := wa.ToCore()
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, a)
+		}
+		v, err := cat.CreateView(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), ViewSpec{
+			Name: req.Name, Description: req.Description, Audited: req.Audited, Attributes: attrs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.CreateViewResponse{View: mcswire.ViewToWire(v)}, nil
+	})
+
+	soap.Handle(s.Server, "addToView", func(ctx *soap.Ctx, req *mcswire.AddToViewRequest) (*mcswire.AddToViewResponse, error) {
+		if err := cat.AddToView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member); err != nil {
+			return nil, err
+		}
+		return &mcswire.AddToViewResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "removeFromView", func(ctx *soap.Ctx, req *mcswire.RemoveFromViewRequest) (*mcswire.RemoveFromViewResponse, error) {
+		if err := cat.RemoveFromView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member); err != nil {
+			return nil, err
+		}
+		return &mcswire.RemoveFromViewResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "viewContents", func(ctx *soap.Ctx, req *mcswire.ViewContentsRequest) (*mcswire.ViewContentsResponse, error) {
+		members, err := cat.ViewContents(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.ViewContentsResponse{}
+		for _, m := range members {
+			resp.Members = append(resp.Members, mcswire.WireViewMember{
+				Type: string(m.Type), ID: m.ID, Name: m.Name,
+			})
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "expandView", func(ctx *soap.Ctx, req *mcswire.ExpandViewRequest) (*mcswire.ExpandViewResponse, error) {
+		names, err := cat.ExpandView(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.ExpandViewResponse{Names: names}, nil
+	})
+
+	soap.Handle(s.Server, "deleteView", func(ctx *soap.Ctx, req *mcswire.DeleteViewRequest) (*mcswire.DeleteViewResponse, error) {
+		if err := cat.DeleteView(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name); err != nil {
+			return nil, err
+		}
+		return &mcswire.DeleteViewResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "defineAttribute", func(ctx *soap.Ctx, req *mcswire.DefineAttributeRequest) (*mcswire.DefineAttributeResponse, error) {
+		def, err := cat.DefineAttribute(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), req.Name, AttrType(req.Type), req.Description)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.DefineAttributeResponse{
+			ID: def.ID, Name: def.Name, Type: string(def.Type), Description: def.Description,
+		}, nil
+	})
+
+	soap.Handle(s.Server, "listAttributeDefs", func(ctx *soap.Ctx, req *mcswire.ListAttributeDefsRequest) (*mcswire.ListAttributeDefsResponse, error) {
+		defs, err := cat.ListAttributeDefs()
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.ListAttributeDefsResponse{}
+		for _, d := range defs {
+			resp.Defs = append(resp.Defs, mcswire.WireAttrDef{
+				ID: d.ID, Name: d.Name, Type: string(d.Type), Description: d.Description,
+			})
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "setAttribute", func(ctx *soap.Ctx, req *mcswire.SetAttributeRequest) (*mcswire.SetAttributeResponse, error) {
+		a, err := req.Attribute.ToCore()
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.SetAttribute(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object, a.Name, a.Value); err != nil {
+			return nil, err
+		}
+		return &mcswire.SetAttributeResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "unsetAttribute", func(ctx *soap.Ctx, req *mcswire.UnsetAttributeRequest) (*mcswire.UnsetAttributeResponse, error) {
+		if err := cat.UnsetAttribute(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object, req.Attribute); err != nil {
+			return nil, err
+		}
+		return &mcswire.UnsetAttributeResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "getAttributes", func(ctx *soap.Ctx, req *mcswire.GetAttributesRequest) (*mcswire.GetAttributesResponse, error) {
+		attrs, err := cat.GetAttributes(s.caller(ctx, req.Caller, gsi.RightRead, req.Object), ObjectType(req.ObjectType), req.Object)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.GetAttributesResponse{}
+		for _, a := range attrs {
+			resp.Attributes = append(resp.Attributes, mcswire.FromCore(a))
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "query", func(ctx *soap.Ctx, req *mcswire.QueryRequest) (*mcswire.QueryResponse, error) {
+		q := Query{Target: ObjectType(req.Target), Limit: req.Limit}
+		for _, wp := range req.Predicates {
+			v, err := core.ParseAttrValue(AttrType(wp.Type), wp.Value)
+			if err != nil {
+				return nil, fmt.Errorf("predicate %q: %w", wp.Attribute, err)
+			}
+			q.Predicates = append(q.Predicates, Predicate{
+				Attribute: wp.Attribute, Op: Op(wp.Op), Value: v,
+			})
+		}
+		names, err := cat.RunQuery(s.caller(ctx, req.Caller, gsi.RightRead, ""), q)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.QueryResponse{Names: names}, nil
+	})
+
+	soap.Handle(s.Server, "queryAttrs", func(ctx *soap.Ctx, req *mcswire.QueryAttrsRequest) (*mcswire.QueryAttrsResponse, error) {
+		q := Query{Target: ObjectType(req.Target), Limit: req.Limit}
+		for _, wp := range req.Predicates {
+			v, err := core.ParseAttrValue(AttrType(wp.Type), wp.Value)
+			if err != nil {
+				return nil, fmt.Errorf("predicate %q: %w", wp.Attribute, err)
+			}
+			q.Predicates = append(q.Predicates, Predicate{
+				Attribute: wp.Attribute, Op: Op(wp.Op), Value: v,
+			})
+		}
+		results, err := cat.RunQueryAttrs(s.caller(ctx, req.Caller, gsi.RightRead, ""), q, req.Return)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.QueryAttrsResponse{}
+		for _, r := range results {
+			wr := mcswire.WireQueryResult{Name: r.Name}
+			for _, a := range r.Attributes {
+				wr.Attributes = append(wr.Attributes, mcswire.FromCore(a))
+			}
+			resp.Results = append(resp.Results, wr)
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "annotate", func(ctx *soap.Ctx, req *mcswire.AnnotateRequest) (*mcswire.AnnotateResponse, error) {
+		a, err := cat.Annotate(s.caller(ctx, req.Caller, gsi.RightAnnotate, req.Object), ObjectType(req.ObjectType), req.Object, req.Text)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.AnnotateResponse{ID: a.ID}, nil
+	})
+
+	soap.Handle(s.Server, "getAnnotations", func(ctx *soap.Ctx, req *mcswire.GetAnnotationsRequest) (*mcswire.GetAnnotationsResponse, error) {
+		anns, err := cat.Annotations(s.caller(ctx, req.Caller, gsi.RightRead, req.Object), ObjectType(req.ObjectType), req.Object)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.GetAnnotationsResponse{}
+		for _, a := range anns {
+			resp.Annotations = append(resp.Annotations, mcswire.WireAnnotation{
+				ID: a.ID, Text: a.Text, Creator: a.Creator, At: a.CreatedAt,
+			})
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "addProvenance", func(ctx *soap.Ctx, req *mcswire.AddProvenanceRequest) (*mcswire.AddProvenanceResponse, error) {
+		if err := cat.AddProvenance(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Description); err != nil {
+			return nil, err
+		}
+		return &mcswire.AddProvenanceResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "getProvenance", func(ctx *soap.Ctx, req *mcswire.GetProvenanceRequest) (*mcswire.GetProvenanceResponse, error) {
+		recs, err := cat.Provenance(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name, req.Version)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.GetProvenanceResponse{}
+		for _, r := range recs {
+			resp.Records = append(resp.Records, mcswire.WireProvenance{
+				ID: r.ID, Description: r.Description, At: r.At,
+			})
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "auditLog", func(ctx *soap.Ctx, req *mcswire.AuditLogRequest) (*mcswire.AuditLogResponse, error) {
+		recs, err := cat.AuditLog(s.caller(ctx, req.Caller, gsi.RightRead, req.Object), ObjectType(req.ObjectType), req.Object)
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.AuditLogResponse{}
+		for _, r := range recs {
+			resp.Records = append(resp.Records, mcswire.WireAudit{
+				ID: r.ID, Action: r.Action, DN: r.DN, Detail: r.Detail, At: r.At,
+			})
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "grant", func(ctx *soap.Ctx, req *mcswire.GrantRequest) (*mcswire.GrantResponse, error) {
+		err := cat.Grant(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object,
+			req.Principal, Permission(req.Permission))
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.GrantResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "revoke", func(ctx *soap.Ctx, req *mcswire.RevokeRequest) (*mcswire.RevokeResponse, error) {
+		err := cat.Revoke(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object,
+			req.Principal, Permission(req.Permission))
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.RevokeResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "registerWriter", func(ctx *soap.Ctx, req *mcswire.RegisterWriterRequest) (*mcswire.RegisterWriterResponse, error) {
+		err := cat.RegisterWriter(s.caller(ctx, req.Caller, gsi.RightWrite, ""), Writer{
+			DN: req.DN, Description: req.Description, Institution: req.Institution,
+			Address: req.Address, Phone: req.Phone, Email: req.Email,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.RegisterWriterResponse{OK: true}, nil
+	})
+
+	soap.Handle(s.Server, "getWriter", func(ctx *soap.Ctx, req *mcswire.GetWriterRequest) (*mcswire.GetWriterResponse, error) {
+		w, err := cat.GetWriter(s.caller(ctx, req.Caller, gsi.RightRead, ""), req.DN)
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.GetWriterResponse{
+			DN: w.DN, Description: w.Description, Institution: w.Institution,
+			Address: w.Address, Phone: w.Phone, Email: w.Email,
+		}, nil
+	})
+
+	soap.Handle(s.Server, "registerExternalCatalog", func(ctx *soap.Ctx, req *mcswire.RegisterExternalCatalogRequest) (*mcswire.RegisterExternalCatalogResponse, error) {
+		ec, err := cat.RegisterExternalCatalog(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), ExternalCatalog{
+			Name: req.Name, Type: req.Type, Host: req.Host, IP: req.IP, Description: req.Description,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.RegisterExternalCatalogResponse{ID: ec.ID}, nil
+	})
+
+	soap.Handle(s.Server, "listExternalCatalogs", func(ctx *soap.Ctx, req *mcswire.ListExternalCatalogsRequest) (*mcswire.ListExternalCatalogsResponse, error) {
+		list, err := cat.ExternalCatalogs(s.caller(ctx, req.Caller, gsi.RightRead, ""))
+		if err != nil {
+			return nil, err
+		}
+		resp := &mcswire.ListExternalCatalogsResponse{}
+		for _, ec := range list {
+			resp.Catalogs = append(resp.Catalogs, mcswire.WireExternalCatalog{
+				ID: ec.ID, Name: ec.Name, Type: ec.Type, Host: ec.Host,
+				IP: ec.IP, Description: ec.Description,
+			})
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "stats", func(ctx *soap.Ctx, req *mcswire.StatsRequest) (*mcswire.StatsResponse, error) {
+		st, err := cat.Stats()
+		if err != nil {
+			return nil, err
+		}
+		return &mcswire.StatsResponse{
+			Files: st.Files, Collections: st.Collections, Views: st.Views,
+			Attributes: st.Attributes, AttrDefs: st.AttrDefs,
+		}, nil
+	})
+}

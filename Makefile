@@ -1,0 +1,31 @@
+# Development targets. `make check` is the pre-merge gate: formatting,
+# static analysis and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test race vet fmt check bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt vet race
+	@echo "check: ok"
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/mcsbench -fig all

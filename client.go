@@ -1,6 +1,7 @@
 package mcs
 
 import (
+	"context"
 	"time"
 
 	"mcs/internal/gsi"
@@ -14,52 +15,119 @@ import (
 // Each Client owns an independent HTTP connection pool, so one Client models
 // one "client host" in the scalability experiments. A Client is safe for
 // concurrent use by multiple goroutines ("client threads").
+//
+// Construction takes functional options:
+//
+//	c := mcs.NewClient(url, dn,
+//		mcs.WithTimeout(2*time.Minute),
+//		mcs.WithCredential(cred))
+//
+// Every operation has two forms: a plain method (GetFile) that runs with
+// context.Background, and a context-aware variant (GetFileCtx) whose
+// deadline and cancellation are honored by the HTTP transport. Each call
+// carries a request correlation ID in the X-MCS-Request-ID header
+// (generated per call); the server echoes it, attaches it to audit records
+// and quotes it in its slow-operation log.
+//
+// Errors returned by the service preserve their identity across the wire:
+// a failed call can be matched with errors.Is against the package sentinels
+// (ErrNotFound, ErrExists, ErrDenied, ErrInvalidInput, ErrCycle,
+// ErrNotEmpty, ErrAmbiguousFile), exactly as if the catalog were embedded.
 type Client struct {
 	soap *soap.Client
 	// dn is the identity declared on unauthenticated deployments. When a
-	// GSI credential is attached with UseCredential, the server derives the
-	// identity from the credential instead.
+	// GSI credential is attached with WithCredential, the server derives
+	// the identity from the credential instead.
 	dn string
 }
 
-// NewClient returns a client for the MCS at endpoint, acting as dn.
-func NewClient(endpoint, dn string) *Client {
-	return &Client{soap: soap.NewClient(endpoint), dn: dn}
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-call HTTP timeout (default 30s). Long-running
+// complex queries against large catalogs may need more on loaded servers;
+// per-call deadlines via the ...Ctx variants compose with (and can be
+// shorter than) this ceiling.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.soap.HTTP.Timeout = d }
 }
 
-// UseCredential attaches a GSI credential: every request is signed and the
+// WithCredential attaches a GSI credential: every request is signed and the
 // server authenticates the chain instead of trusting the declared DN.
-func (c *Client) UseCredential(cred *gsi.Credential) {
-	c.soap.Sign = cred.Sign
+func WithCredential(cred *gsi.Credential) ClientOption {
+	return func(c *Client) { c.soap.Sign = cred.Sign }
 }
 
-// SetTimeout adjusts the per-call HTTP timeout (default 30s). Long-running
-// complex queries against large catalogs may need more on loaded servers.
-func (c *Client) SetTimeout(d time.Duration) {
-	c.soap.HTTP.Timeout = d
-}
-
-// UseAssertion attaches an encoded CAS capability assertion (from
+// WithAssertion attaches an encoded CAS capability assertion (from
 // gsi.EncodeAssertion) to every request, enabling community-authorized
 // operations on servers configured with CASIntegration.
-func (c *Client) UseAssertion(encoded string) {
-	if c.soap.Header == nil {
-		c.soap.Header = make(map[string][]string)
+func WithAssertion(encoded string) ClientOption {
+	return func(c *Client) {
+		if c.soap.Header == nil {
+			c.soap.Header = make(map[string][]string)
+		}
+		c.soap.Header.Set(gsi.AssertionHeader, encoded)
 	}
-	c.soap.Header.Set(gsi.AssertionHeader, encoded)
 }
 
-// Ping checks liveness and returns the DN the server sees for this client.
-func (c *Client) Ping() (string, error) {
+// WithRequestIDHeader renames the header carrying the per-call request
+// correlation ID (default obs.RequestIDHeader, "X-MCS-Request-ID"), for
+// deployments that standardize on another name; "" disables request-ID
+// propagation.
+func WithRequestIDHeader(name string) ClientOption {
+	return func(c *Client) { c.soap.RequestIDHeader = name }
+}
+
+// NewClient returns a client for the MCS at endpoint, acting as dn.
+func NewClient(endpoint, dn string, opts ...ClientOption) *Client {
+	c := &Client{soap: soap.NewClient(endpoint), dn: dn}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// UseCredential attaches a GSI credential.
+//
+// Deprecated: pass WithCredential to NewClient.
+func (c *Client) UseCredential(cred *gsi.Credential) { WithCredential(cred)(c) }
+
+// SetTimeout adjusts the per-call HTTP timeout.
+//
+// Deprecated: pass WithTimeout to NewClient.
+func (c *Client) SetTimeout(d time.Duration) { WithTimeout(d)(c) }
+
+// UseAssertion attaches an encoded CAS capability assertion.
+//
+// Deprecated: pass WithAssertion to NewClient.
+func (c *Client) UseAssertion(encoded string) { WithAssertion(encoded)(c) }
+
+// call performs one SOAP round trip and maps SOAP faults back to the
+// sentinel their fault code names.
+func (c *Client) call(ctx context.Context, action string, req, resp any) error {
+	return mapWireError(c.soap.CallCtx(ctx, action, req, resp))
+}
+
+// Ping checks liveness with context.Background.
+func (c *Client) Ping() (string, error) { return c.PingCtx(context.Background()) }
+
+// PingCtx checks liveness and returns the DN the server sees for this
+// client.
+func (c *Client) PingCtx(ctx context.Context) (string, error) {
 	var resp mcswire.PingResponse
-	if err := c.soap.Call("ping", &mcswire.PingRequest{}, &resp); err != nil {
+	if err := c.call(ctx, "ping", &mcswire.PingRequest{}, &resp); err != nil {
 		return "", err
 	}
 	return resp.DN, nil
 }
 
-// CreateFile registers a logical file with its user-defined attributes.
+// CreateFile registers a logical file with context.Background.
 func (c *Client) CreateFile(spec FileSpec) (File, error) {
+	return c.CreateFileCtx(context.Background(), spec)
+}
+
+// CreateFileCtx registers a logical file with its user-defined attributes.
+func (c *Client) CreateFileCtx(ctx context.Context, spec FileSpec) (File, error) {
 	req := &mcswire.CreateFileRequest{
 		Caller: c.dn, Name: spec.Name, Version: spec.Version, DataType: spec.DataType,
 		Collection: spec.Collection, ContainerID: spec.ContainerID,
@@ -70,26 +138,37 @@ func (c *Client) CreateFile(spec FileSpec) (File, error) {
 		req.Attributes = append(req.Attributes, mcswire.FromCore(a))
 	}
 	var resp mcswire.CreateFileResponse
-	if err := c.soap.Call("createFile", req, &resp); err != nil {
+	if err := c.call(ctx, "createFile", req, &resp); err != nil {
 		return File{}, err
 	}
 	return mcswire.FileFromWire(resp.File), nil
 }
 
-// GetFile fetches static file metadata; version 0 selects the sole version.
+// GetFile fetches file metadata with context.Background.
 func (c *Client) GetFile(name string, version int) (File, error) {
+	return c.GetFileCtx(context.Background(), name, version)
+}
+
+// GetFileCtx fetches static file metadata; version 0 selects the sole
+// version.
+func (c *Client) GetFileCtx(ctx context.Context, name string, version int) (File, error) {
 	var resp mcswire.GetFileResponse
-	err := c.soap.Call("getFile", &mcswire.GetFileRequest{Caller: c.dn, Name: name, Version: version}, &resp)
+	err := c.call(ctx, "getFile", &mcswire.GetFileRequest{Caller: c.dn, Name: name, Version: version}, &resp)
 	if err != nil {
 		return File{}, err
 	}
 	return mcswire.FileFromWire(resp.File), nil
 }
 
-// FileVersions lists every version of a logical name, oldest first.
+// FileVersions lists versions with context.Background.
 func (c *Client) FileVersions(name string) ([]File, error) {
+	return c.FileVersionsCtx(context.Background(), name)
+}
+
+// FileVersionsCtx lists every version of a logical name, oldest first.
+func (c *Client) FileVersionsCtx(ctx context.Context, name string) ([]File, error) {
 	var resp mcswire.FileVersionsResponse
-	if err := c.soap.Call("fileVersions", &mcswire.FileVersionsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+	if err := c.call(ctx, "fileVersions", &mcswire.FileVersionsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
 		return nil, err
 	}
 	files := make([]File, 0, len(resp.Files))
@@ -99,8 +178,13 @@ func (c *Client) FileVersions(name string) ([]File, error) {
 	return files, nil
 }
 
-// UpdateFile modifies static file attributes (nil fields are unchanged).
+// UpdateFile modifies file attributes with context.Background.
 func (c *Client) UpdateFile(name string, version int, upd FileUpdate) (File, error) {
+	return c.UpdateFileCtx(context.Background(), name, version, upd)
+}
+
+// UpdateFileCtx modifies static file attributes (nil fields are unchanged).
+func (c *Client) UpdateFileCtx(ctx context.Context, name string, version int, upd FileUpdate) (File, error) {
 	req := &mcswire.UpdateFileRequest{Caller: c.dn, Name: name, Version: version}
 	if upd.DataType != nil {
 		req.SetDataType, req.DataType = true, *upd.DataType
@@ -118,35 +202,55 @@ func (c *Client) UpdateFile(name string, version int, upd FileUpdate) (File, err
 		req.SetMasterCopy, req.MasterCopy = true, *upd.MasterCopy
 	}
 	var resp mcswire.UpdateFileResponse
-	if err := c.soap.Call("updateFile", req, &resp); err != nil {
+	if err := c.call(ctx, "updateFile", req, &resp); err != nil {
 		return File{}, err
 	}
 	return mcswire.FileFromWire(resp.File), nil
 }
 
-// InvalidateFile clears a file's valid flag.
+// InvalidateFile clears a file's valid flag with context.Background.
 func (c *Client) InvalidateFile(name string, version int) error {
+	return c.InvalidateFileCtx(context.Background(), name, version)
+}
+
+// InvalidateFileCtx clears a file's valid flag.
+func (c *Client) InvalidateFileCtx(ctx context.Context, name string, version int) error {
 	valid := false
-	_, err := c.UpdateFile(name, version, FileUpdate{Valid: &valid})
+	_, err := c.UpdateFileCtx(ctx, name, version, FileUpdate{Valid: &valid})
 	return err
 }
 
-// DeleteFile removes a logical file and its dependent metadata.
+// DeleteFile removes a logical file with context.Background.
 func (c *Client) DeleteFile(name string, version int) error {
-	var resp mcswire.DeleteFileResponse
-	return c.soap.Call("deleteFile", &mcswire.DeleteFileRequest{Caller: c.dn, Name: name, Version: version}, &resp)
+	return c.DeleteFileCtx(context.Background(), name, version)
 }
 
-// MoveFile reassigns a file's logical collection ("" removes it).
+// DeleteFileCtx removes a logical file and its dependent metadata.
+func (c *Client) DeleteFileCtx(ctx context.Context, name string, version int) error {
+	var resp mcswire.DeleteFileResponse
+	return c.call(ctx, "deleteFile", &mcswire.DeleteFileRequest{Caller: c.dn, Name: name, Version: version}, &resp)
+}
+
+// MoveFile reassigns a file's collection with context.Background.
 func (c *Client) MoveFile(name string, version int, collection string) error {
+	return c.MoveFileCtx(context.Background(), name, version, collection)
+}
+
+// MoveFileCtx reassigns a file's logical collection ("" removes it).
+func (c *Client) MoveFileCtx(ctx context.Context, name string, version int, collection string) error {
 	var resp mcswire.MoveFileResponse
-	return c.soap.Call("moveFile", &mcswire.MoveFileRequest{
+	return c.call(ctx, "moveFile", &mcswire.MoveFileRequest{
 		Caller: c.dn, Name: name, Version: version, Collection: collection,
 	}, &resp)
 }
 
-// CreateCollection registers a logical collection.
+// CreateCollection registers a collection with context.Background.
 func (c *Client) CreateCollection(spec CollectionSpec) (Collection, error) {
+	return c.CreateCollectionCtx(context.Background(), spec)
+}
+
+// CreateCollectionCtx registers a logical collection.
+func (c *Client) CreateCollectionCtx(ctx context.Context, spec CollectionSpec) (Collection, error) {
 	req := &mcswire.CreateCollectionRequest{
 		Caller: c.dn, Name: spec.Name, Description: spec.Description,
 		Parent: spec.Parent, Audited: spec.Audited,
@@ -155,25 +259,36 @@ func (c *Client) CreateCollection(spec CollectionSpec) (Collection, error) {
 		req.Attributes = append(req.Attributes, mcswire.FromCore(a))
 	}
 	var resp mcswire.CreateCollectionResponse
-	if err := c.soap.Call("createCollection", req, &resp); err != nil {
+	if err := c.call(ctx, "createCollection", req, &resp); err != nil {
 		return Collection{}, err
 	}
 	return mcswire.CollectionFromWire(resp.Collection), nil
 }
 
-// GetCollection fetches collection metadata by name.
+// GetCollection fetches collection metadata with context.Background.
 func (c *Client) GetCollection(name string) (Collection, error) {
+	return c.GetCollectionCtx(context.Background(), name)
+}
+
+// GetCollectionCtx fetches collection metadata by name.
+func (c *Client) GetCollectionCtx(ctx context.Context, name string) (Collection, error) {
 	var resp mcswire.GetCollectionResponse
-	if err := c.soap.Call("getCollection", &mcswire.GetCollectionRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+	if err := c.call(ctx, "getCollection", &mcswire.GetCollectionRequest{Caller: c.dn, Name: name}, &resp); err != nil {
 		return Collection{}, err
 	}
 	return mcswire.CollectionFromWire(resp.Collection), nil
 }
 
-// CollectionContents lists a collection's direct files and sub-collections.
+// CollectionContents lists a collection with context.Background.
 func (c *Client) CollectionContents(name string) ([]File, []Collection, error) {
+	return c.CollectionContentsCtx(context.Background(), name)
+}
+
+// CollectionContentsCtx lists a collection's direct files and
+// sub-collections.
+func (c *Client) CollectionContentsCtx(ctx context.Context, name string) ([]File, []Collection, error) {
 	var resp mcswire.CollectionContentsResponse
-	if err := c.soap.Call("collectionContents", &mcswire.CollectionContentsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+	if err := c.call(ctx, "collectionContents", &mcswire.CollectionContentsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
 		return nil, nil, err
 	}
 	files := make([]File, 0, len(resp.Files))
@@ -187,23 +302,38 @@ func (c *Client) CollectionContents(name string) ([]File, []Collection, error) {
 	return files, subs, nil
 }
 
-// DeleteCollection removes an empty collection.
+// DeleteCollection removes an empty collection with context.Background.
 func (c *Client) DeleteCollection(name string) error {
-	var resp mcswire.DeleteCollectionResponse
-	return c.soap.Call("deleteCollection", &mcswire.DeleteCollectionRequest{Caller: c.dn, Name: name}, &resp)
+	return c.DeleteCollectionCtx(context.Background(), name)
 }
 
-// ListCollections lists collection names, optionally LIKE-filtered.
+// DeleteCollectionCtx removes an empty collection.
+func (c *Client) DeleteCollectionCtx(ctx context.Context, name string) error {
+	var resp mcswire.DeleteCollectionResponse
+	return c.call(ctx, "deleteCollection", &mcswire.DeleteCollectionRequest{Caller: c.dn, Name: name}, &resp)
+}
+
+// ListCollections lists collection names with context.Background.
 func (c *Client) ListCollections(pattern string) ([]string, error) {
+	return c.ListCollectionsCtx(context.Background(), pattern)
+}
+
+// ListCollectionsCtx lists collection names, optionally LIKE-filtered.
+func (c *Client) ListCollectionsCtx(ctx context.Context, pattern string) ([]string, error) {
 	var resp mcswire.ListCollectionsResponse
-	if err := c.soap.Call("listCollections", &mcswire.ListCollectionsRequest{Caller: c.dn, Pattern: pattern}, &resp); err != nil {
+	if err := c.call(ctx, "listCollections", &mcswire.ListCollectionsRequest{Caller: c.dn, Pattern: pattern}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Names, nil
 }
 
-// CreateView registers a logical view.
+// CreateView registers a logical view with context.Background.
 func (c *Client) CreateView(spec ViewSpec) (View, error) {
+	return c.CreateViewCtx(context.Background(), spec)
+}
+
+// CreateViewCtx registers a logical view.
+func (c *Client) CreateViewCtx(ctx context.Context, spec ViewSpec) (View, error) {
 	req := &mcswire.CreateViewRequest{
 		Caller: c.dn, Name: spec.Name, Description: spec.Description, Audited: spec.Audited,
 	}
@@ -211,7 +341,7 @@ func (c *Client) CreateView(spec ViewSpec) (View, error) {
 		req.Attributes = append(req.Attributes, mcswire.FromCore(a))
 	}
 	var resp mcswire.CreateViewResponse
-	if err := c.soap.Call("createView", req, &resp); err != nil {
+	if err := c.call(ctx, "createView", req, &resp); err != nil {
 		return View{}, err
 	}
 	return View{
@@ -221,26 +351,41 @@ func (c *Client) CreateView(spec ViewSpec) (View, error) {
 	}, nil
 }
 
-// AddToView aggregates an object into a view.
+// AddToView aggregates an object into a view with context.Background.
 func (c *Client) AddToView(view string, objType ObjectType, member string) error {
+	return c.AddToViewCtx(context.Background(), view, objType, member)
+}
+
+// AddToViewCtx aggregates an object into a view.
+func (c *Client) AddToViewCtx(ctx context.Context, view string, objType ObjectType, member string) error {
 	var resp mcswire.AddToViewResponse
-	return c.soap.Call("addToView", &mcswire.AddToViewRequest{
+	return c.call(ctx, "addToView", &mcswire.AddToViewRequest{
 		Caller: c.dn, View: view, ObjectType: string(objType), Member: member,
 	}, &resp)
 }
 
-// RemoveFromView removes a member from a view.
+// RemoveFromView removes a view member with context.Background.
 func (c *Client) RemoveFromView(view string, objType ObjectType, member string) error {
+	return c.RemoveFromViewCtx(context.Background(), view, objType, member)
+}
+
+// RemoveFromViewCtx removes a member from a view.
+func (c *Client) RemoveFromViewCtx(ctx context.Context, view string, objType ObjectType, member string) error {
 	var resp mcswire.RemoveFromViewResponse
-	return c.soap.Call("removeFromView", &mcswire.RemoveFromViewRequest{
+	return c.call(ctx, "removeFromView", &mcswire.RemoveFromViewRequest{
 		Caller: c.dn, View: view, ObjectType: string(objType), Member: member,
 	}, &resp)
 }
 
-// ViewContents lists a view's direct members.
+// ViewContents lists a view's members with context.Background.
 func (c *Client) ViewContents(name string) ([]ViewMember, error) {
+	return c.ViewContentsCtx(context.Background(), name)
+}
+
+// ViewContentsCtx lists a view's direct members.
+func (c *Client) ViewContentsCtx(ctx context.Context, name string) ([]ViewMember, error) {
 	var resp mcswire.ViewContentsResponse
-	if err := c.soap.Call("viewContents", &mcswire.ViewContentsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+	if err := c.call(ctx, "viewContents", &mcswire.ViewContentsRequest{Caller: c.dn, Name: name}, &resp); err != nil {
 		return nil, err
 	}
 	members := make([]ViewMember, 0, len(resp.Members))
@@ -250,25 +395,40 @@ func (c *Client) ViewContents(name string) ([]ViewMember, error) {
 	return members, nil
 }
 
-// ExpandView recursively resolves a view to logical file names.
+// ExpandView resolves a view with context.Background.
 func (c *Client) ExpandView(name string) ([]string, error) {
+	return c.ExpandViewCtx(context.Background(), name)
+}
+
+// ExpandViewCtx recursively resolves a view to logical file names.
+func (c *Client) ExpandViewCtx(ctx context.Context, name string) ([]string, error) {
 	var resp mcswire.ExpandViewResponse
-	if err := c.soap.Call("expandView", &mcswire.ExpandViewRequest{Caller: c.dn, Name: name}, &resp); err != nil {
+	if err := c.call(ctx, "expandView", &mcswire.ExpandViewRequest{Caller: c.dn, Name: name}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Names, nil
 }
 
-// DeleteView removes a view (not its members).
+// DeleteView removes a view with context.Background.
 func (c *Client) DeleteView(name string) error {
-	var resp mcswire.DeleteViewResponse
-	return c.soap.Call("deleteView", &mcswire.DeleteViewRequest{Caller: c.dn, Name: name}, &resp)
+	return c.DeleteViewCtx(context.Background(), name)
 }
 
-// DefineAttribute declares a user-defined attribute.
+// DeleteViewCtx removes a view (not its members).
+func (c *Client) DeleteViewCtx(ctx context.Context, name string) error {
+	var resp mcswire.DeleteViewResponse
+	return c.call(ctx, "deleteView", &mcswire.DeleteViewRequest{Caller: c.dn, Name: name}, &resp)
+}
+
+// DefineAttribute declares an attribute with context.Background.
 func (c *Client) DefineAttribute(name string, typ AttrType, description string) (AttributeDef, error) {
+	return c.DefineAttributeCtx(context.Background(), name, typ, description)
+}
+
+// DefineAttributeCtx declares a user-defined attribute.
+func (c *Client) DefineAttributeCtx(ctx context.Context, name string, typ AttrType, description string) (AttributeDef, error) {
 	var resp mcswire.DefineAttributeResponse
-	err := c.soap.Call("defineAttribute", &mcswire.DefineAttributeRequest{
+	err := c.call(ctx, "defineAttribute", &mcswire.DefineAttributeRequest{
 		Caller: c.dn, Name: name, Type: string(typ), Description: description,
 	}, &resp)
 	if err != nil {
@@ -277,10 +437,15 @@ func (c *Client) DefineAttribute(name string, typ AttrType, description string) 
 	return AttributeDef{ID: resp.ID, Name: resp.Name, Type: AttrType(resp.Type), Description: resp.Description}, nil
 }
 
-// ListAttributeDefs lists every declared user-defined attribute.
+// ListAttributeDefs lists attribute declarations with context.Background.
 func (c *Client) ListAttributeDefs() ([]AttributeDef, error) {
+	return c.ListAttributeDefsCtx(context.Background())
+}
+
+// ListAttributeDefsCtx lists every declared user-defined attribute.
+func (c *Client) ListAttributeDefsCtx(ctx context.Context) ([]AttributeDef, error) {
 	var resp mcswire.ListAttributeDefsResponse
-	if err := c.soap.Call("listAttributeDefs", &mcswire.ListAttributeDefsRequest{Caller: c.dn}, &resp); err != nil {
+	if err := c.call(ctx, "listAttributeDefs", &mcswire.ListAttributeDefsRequest{Caller: c.dn}, &resp); err != nil {
 		return nil, err
 	}
 	defs := make([]AttributeDef, 0, len(resp.Defs))
@@ -290,27 +455,42 @@ func (c *Client) ListAttributeDefs() ([]AttributeDef, error) {
 	return defs, nil
 }
 
-// SetAttribute binds a user-defined attribute value on an object.
+// SetAttribute binds an attribute value with context.Background.
 func (c *Client) SetAttribute(objType ObjectType, object, attr string, v AttrValue) error {
+	return c.SetAttributeCtx(context.Background(), objType, object, attr, v)
+}
+
+// SetAttributeCtx binds a user-defined attribute value on an object.
+func (c *Client) SetAttributeCtx(ctx context.Context, objType ObjectType, object, attr string, v AttrValue) error {
 	var resp mcswire.SetAttributeResponse
-	return c.soap.Call("setAttribute", &mcswire.SetAttributeRequest{
+	return c.call(ctx, "setAttribute", &mcswire.SetAttributeRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object,
 		Attribute: mcswire.FromCore(Attribute{Name: attr, Value: v}),
 	}, &resp)
 }
 
-// UnsetAttribute removes a user-defined attribute from an object.
+// UnsetAttribute removes an attribute binding with context.Background.
 func (c *Client) UnsetAttribute(objType ObjectType, object, attr string) error {
+	return c.UnsetAttributeCtx(context.Background(), objType, object, attr)
+}
+
+// UnsetAttributeCtx removes a user-defined attribute from an object.
+func (c *Client) UnsetAttributeCtx(ctx context.Context, objType ObjectType, object, attr string) error {
 	var resp mcswire.UnsetAttributeResponse
-	return c.soap.Call("unsetAttribute", &mcswire.UnsetAttributeRequest{
+	return c.call(ctx, "unsetAttribute", &mcswire.UnsetAttributeRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object, Attribute: attr,
 	}, &resp)
 }
 
-// GetAttributes lists an object's user-defined attributes.
+// GetAttributes lists an object's attributes with context.Background.
 func (c *Client) GetAttributes(objType ObjectType, object string) ([]Attribute, error) {
+	return c.GetAttributesCtx(context.Background(), objType, object)
+}
+
+// GetAttributesCtx lists an object's user-defined attributes.
+func (c *Client) GetAttributesCtx(ctx context.Context, objType ObjectType, object string) ([]Attribute, error) {
 	var resp mcswire.GetAttributesResponse
-	err := c.soap.Call("getAttributes", &mcswire.GetAttributesRequest{
+	err := c.call(ctx, "getAttributes", &mcswire.GetAttributesRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object,
 	}, &resp)
 	if err != nil {
@@ -327,9 +507,14 @@ func (c *Client) GetAttributes(objType ObjectType, object string) ([]Attribute, 
 	return attrs, nil
 }
 
-// RunQuery executes an attribute-based discovery query, returning matching
-// logical names.
+// RunQuery executes a discovery query with context.Background.
 func (c *Client) RunQuery(q Query) ([]string, error) {
+	return c.RunQueryCtx(context.Background(), q)
+}
+
+// RunQueryCtx executes an attribute-based discovery query, returning
+// matching logical names.
+func (c *Client) RunQueryCtx(ctx context.Context, q Query) ([]string, error) {
 	req := &mcswire.QueryRequest{Caller: c.dn, Target: string(q.Target), Limit: q.Limit}
 	for _, p := range q.Predicates {
 		req.Predicates = append(req.Predicates, mcswire.WirePredicate{
@@ -338,15 +523,21 @@ func (c *Client) RunQuery(q Query) ([]string, error) {
 		})
 	}
 	var resp mcswire.QueryResponse
-	if err := c.soap.Call("query", req, &resp); err != nil {
+	if err := c.call(ctx, "query", req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Names, nil
 }
 
-// RunQueryAttrs executes a discovery query and also returns the values of
-// the named user-defined attributes for every match.
+// RunQueryAttrs executes a query returning attributes with
+// context.Background.
 func (c *Client) RunQueryAttrs(q Query, returnAttrs []string) ([]QueryResult, error) {
+	return c.RunQueryAttrsCtx(context.Background(), q, returnAttrs)
+}
+
+// RunQueryAttrsCtx executes a discovery query and also returns the values
+// of the named user-defined attributes for every match.
+func (c *Client) RunQueryAttrsCtx(ctx context.Context, q Query, returnAttrs []string) ([]QueryResult, error) {
 	req := &mcswire.QueryAttrsRequest{
 		Caller: c.dn, Target: string(q.Target), Limit: q.Limit, Return: returnAttrs,
 	}
@@ -357,7 +548,7 @@ func (c *Client) RunQueryAttrs(q Query, returnAttrs []string) ([]QueryResult, er
 		})
 	}
 	var resp mcswire.QueryAttrsResponse
-	if err := c.soap.Call("queryAttrs", req, &resp); err != nil {
+	if err := c.call(ctx, "queryAttrs", req, &resp); err != nil {
 		return nil, err
 	}
 	results := make([]QueryResult, 0, len(resp.Results))
@@ -375,19 +566,29 @@ func (c *Client) RunQueryAttrs(q Query, returnAttrs []string) ([]QueryResult, er
 	return results, nil
 }
 
-// Annotate attaches a free-text note to an object.
+// Annotate attaches a note with context.Background.
 func (c *Client) Annotate(objType ObjectType, object, text string) (int64, error) {
+	return c.AnnotateCtx(context.Background(), objType, object, text)
+}
+
+// AnnotateCtx attaches a free-text note to an object.
+func (c *Client) AnnotateCtx(ctx context.Context, objType ObjectType, object, text string) (int64, error) {
 	var resp mcswire.AnnotateResponse
-	err := c.soap.Call("annotate", &mcswire.AnnotateRequest{
+	err := c.call(ctx, "annotate", &mcswire.AnnotateRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object, Text: text,
 	}, &resp)
 	return resp.ID, err
 }
 
-// Annotations lists the notes on an object, oldest first.
+// Annotations lists an object's notes with context.Background.
 func (c *Client) Annotations(objType ObjectType, object string) ([]Annotation, error) {
+	return c.AnnotationsCtx(context.Background(), objType, object)
+}
+
+// AnnotationsCtx lists the notes on an object, oldest first.
+func (c *Client) AnnotationsCtx(ctx context.Context, objType ObjectType, object string) ([]Annotation, error) {
 	var resp mcswire.GetAnnotationsResponse
-	err := c.soap.Call("getAnnotations", &mcswire.GetAnnotationsRequest{
+	err := c.call(ctx, "getAnnotations", &mcswire.GetAnnotationsRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object,
 	}, &resp)
 	if err != nil {
@@ -400,18 +601,28 @@ func (c *Client) Annotations(objType ObjectType, object string) ([]Annotation, e
 	return anns, nil
 }
 
-// AddProvenance appends a transformation-history record to a file.
+// AddProvenance appends a history record with context.Background.
 func (c *Client) AddProvenance(name string, version int, description string) error {
+	return c.AddProvenanceCtx(context.Background(), name, version, description)
+}
+
+// AddProvenanceCtx appends a transformation-history record to a file.
+func (c *Client) AddProvenanceCtx(ctx context.Context, name string, version int, description string) error {
 	var resp mcswire.AddProvenanceResponse
-	return c.soap.Call("addProvenance", &mcswire.AddProvenanceRequest{
+	return c.call(ctx, "addProvenance", &mcswire.AddProvenanceRequest{
 		Caller: c.dn, Name: name, Version: version, Description: description,
 	}, &resp)
 }
 
-// Provenance returns a file's transformation history, oldest first.
+// Provenance returns a file's history with context.Background.
 func (c *Client) Provenance(name string, version int) ([]ProvenanceRecord, error) {
+	return c.ProvenanceCtx(context.Background(), name, version)
+}
+
+// ProvenanceCtx returns a file's transformation history, oldest first.
+func (c *Client) ProvenanceCtx(ctx context.Context, name string, version int) ([]ProvenanceRecord, error) {
 	var resp mcswire.GetProvenanceResponse
-	err := c.soap.Call("getProvenance", &mcswire.GetProvenanceRequest{
+	err := c.call(ctx, "getProvenance", &mcswire.GetProvenanceRequest{
 		Caller: c.dn, Name: name, Version: version,
 	}, &resp)
 	if err != nil {
@@ -424,10 +635,17 @@ func (c *Client) Provenance(name string, version int) ([]ProvenanceRecord, error
 	return recs, nil
 }
 
-// AuditLog returns the audit trail of an object, oldest first.
+// AuditLog returns an object's audit trail with context.Background.
 func (c *Client) AuditLog(objType ObjectType, object string) ([]AuditRecord, error) {
+	return c.AuditLogCtx(context.Background(), objType, object)
+}
+
+// AuditLogCtx returns the audit trail of an object, oldest first. Records
+// written through the web service carry the request correlation ID of the
+// call that caused them.
+func (c *Client) AuditLogCtx(ctx context.Context, objType ObjectType, object string) ([]AuditRecord, error) {
 	var resp mcswire.AuditLogResponse
-	err := c.soap.Call("auditLog", &mcswire.AuditLogRequest{
+	err := c.call(ctx, "auditLog", &mcswire.AuditLogRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object,
 	}, &resp)
 	if err != nil {
@@ -435,62 +653,96 @@ func (c *Client) AuditLog(objType ObjectType, object string) ([]AuditRecord, err
 	}
 	recs := make([]AuditRecord, 0, len(resp.Records))
 	for _, r := range resp.Records {
-		recs = append(recs, AuditRecord{ID: r.ID, Action: r.Action, DN: r.DN, Detail: r.Detail, At: r.At})
+		recs = append(recs, AuditRecord{
+			ID: r.ID, Action: r.Action, DN: r.DN, Detail: r.Detail,
+			RequestID: r.RequestID, At: r.At,
+		})
 	}
 	return recs, nil
 }
 
-// Grant gives principal a permission on an object ("" + ObjectService for
-// service-level rights).
+// Grant gives a permission with context.Background.
 func (c *Client) Grant(objType ObjectType, object, principal string, perm Permission) error {
+	return c.GrantCtx(context.Background(), objType, object, principal, perm)
+}
+
+// GrantCtx gives principal a permission on an object ("" + ObjectService
+// for service-level rights).
+func (c *Client) GrantCtx(ctx context.Context, objType ObjectType, object, principal string, perm Permission) error {
 	var resp mcswire.GrantResponse
-	return c.soap.Call("grant", &mcswire.GrantRequest{
+	return c.call(ctx, "grant", &mcswire.GrantRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object,
 		Principal: principal, Permission: string(perm),
 	}, &resp)
 }
 
-// Revoke removes a granted permission.
+// Revoke removes a permission with context.Background.
 func (c *Client) Revoke(objType ObjectType, object, principal string, perm Permission) error {
+	return c.RevokeCtx(context.Background(), objType, object, principal, perm)
+}
+
+// RevokeCtx removes a granted permission.
+func (c *Client) RevokeCtx(ctx context.Context, objType ObjectType, object, principal string, perm Permission) error {
 	var resp mcswire.RevokeResponse
-	return c.soap.Call("revoke", &mcswire.RevokeRequest{
+	return c.call(ctx, "revoke", &mcswire.RevokeRequest{
 		Caller: c.dn, ObjectType: string(objType), Object: object,
 		Principal: principal, Permission: string(perm),
 	}, &resp)
 }
 
-// RegisterWriter stores a metadata-writer contact record.
+// RegisterWriter stores a writer record with context.Background.
 func (c *Client) RegisterWriter(w Writer) error {
+	return c.RegisterWriterCtx(context.Background(), w)
+}
+
+// RegisterWriterCtx stores a metadata-writer contact record.
+func (c *Client) RegisterWriterCtx(ctx context.Context, w Writer) error {
 	var resp mcswire.RegisterWriterResponse
-	return c.soap.Call("registerWriter", &mcswire.RegisterWriterRequest{
+	return c.call(ctx, "registerWriter", &mcswire.RegisterWriterRequest{
 		Caller: c.dn, DN: w.DN, Description: w.Description, Institution: w.Institution,
 		Address: w.Address, Phone: w.Phone, Email: w.Email,
 	}, &resp)
 }
 
-// GetWriter fetches a writer contact record by DN.
+// GetWriter fetches a writer record with context.Background.
 func (c *Client) GetWriter(dn string) (Writer, error) {
+	return c.GetWriterCtx(context.Background(), dn)
+}
+
+// GetWriterCtx fetches a writer contact record by DN.
+func (c *Client) GetWriterCtx(ctx context.Context, dn string) (Writer, error) {
 	var resp mcswire.GetWriterResponse
-	if err := c.soap.Call("getWriter", &mcswire.GetWriterRequest{Caller: c.dn, DN: dn}, &resp); err != nil {
+	if err := c.call(ctx, "getWriter", &mcswire.GetWriterRequest{Caller: c.dn, DN: dn}, &resp); err != nil {
 		return Writer{}, err
 	}
 	return Writer{DN: resp.DN, Description: resp.Description, Institution: resp.Institution,
 		Address: resp.Address, Phone: resp.Phone, Email: resp.Email}, nil
 }
 
-// RegisterExternalCatalog records a pointer to another metadata catalog.
+// RegisterExternalCatalog records a catalog pointer with
+// context.Background.
 func (c *Client) RegisterExternalCatalog(ec ExternalCatalog) (int64, error) {
+	return c.RegisterExternalCatalogCtx(context.Background(), ec)
+}
+
+// RegisterExternalCatalogCtx records a pointer to another metadata catalog.
+func (c *Client) RegisterExternalCatalogCtx(ctx context.Context, ec ExternalCatalog) (int64, error) {
 	var resp mcswire.RegisterExternalCatalogResponse
-	err := c.soap.Call("registerExternalCatalog", &mcswire.RegisterExternalCatalogRequest{
+	err := c.call(ctx, "registerExternalCatalog", &mcswire.RegisterExternalCatalogRequest{
 		Caller: c.dn, Name: ec.Name, Type: ec.Type, Host: ec.Host, IP: ec.IP, Description: ec.Description,
 	}, &resp)
 	return resp.ID, err
 }
 
-// ListExternalCatalogs lists the registered external catalogs.
+// ListExternalCatalogs lists external catalogs with context.Background.
 func (c *Client) ListExternalCatalogs() ([]ExternalCatalog, error) {
+	return c.ListExternalCatalogsCtx(context.Background())
+}
+
+// ListExternalCatalogsCtx lists the registered external catalogs.
+func (c *Client) ListExternalCatalogsCtx(ctx context.Context) ([]ExternalCatalog, error) {
 	var resp mcswire.ListExternalCatalogsResponse
-	if err := c.soap.Call("listExternalCatalogs", &mcswire.ListExternalCatalogsRequest{Caller: c.dn}, &resp); err != nil {
+	if err := c.call(ctx, "listExternalCatalogs", &mcswire.ListExternalCatalogsRequest{Caller: c.dn}, &resp); err != nil {
 		return nil, err
 	}
 	list := make([]ExternalCatalog, 0, len(resp.Catalogs))
@@ -502,10 +754,13 @@ func (c *Client) ListExternalCatalogs() ([]ExternalCatalog, error) {
 	return list, nil
 }
 
-// Stats returns catalog row counts.
-func (c *Client) Stats() (Stats, error) {
+// Stats returns catalog row counts with context.Background.
+func (c *Client) Stats() (Stats, error) { return c.StatsCtx(context.Background()) }
+
+// StatsCtx returns catalog row counts.
+func (c *Client) StatsCtx(ctx context.Context) (Stats, error) {
 	var resp mcswire.StatsResponse
-	if err := c.soap.Call("stats", &mcswire.StatsRequest{Caller: c.dn}, &resp); err != nil {
+	if err := c.call(ctx, "stats", &mcswire.StatsRequest{Caller: c.dn}, &resp); err != nil {
 		return Stats{}, err
 	}
 	return Stats{

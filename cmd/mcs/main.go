@@ -313,7 +313,11 @@ func main() {
 			fatal(err)
 		}
 		for _, r := range recs {
-			fmt.Printf("[%s] %s %s %s\n", r.At.Format("2006-01-02 15:04"), r.DN, r.Action, r.Detail)
+			req := ""
+			if r.RequestID != "" {
+				req = " req=" + r.RequestID
+			}
+			fmt.Printf("[%s] %s %s %s%s\n", r.At.Format("2006-01-02 15:04"), r.DN, r.Action, r.Detail, req)
 		}
 	case "stats":
 		st, err := c.Stats()

@@ -8,6 +8,7 @@
 //	mcsbench -fig 6                        # one figure, default settings
 //	mcsbench -fig all -sizes 10000,50000   # every figure at chosen sizes
 //	mcsbench -fig 11 -duration 5s          # longer measurement windows
+//	mcsbench -fig 6 -latency               # p50/p95/p99 per data point
 //
 // The paper's full-scale databases (100k/1M/5M files) are reachable with
 // -sizes 100000,1000000,5000000 given enough memory and patience; the
@@ -61,11 +62,9 @@ func env() bench.Env {
 			return ts.URL, ts.Close, nil
 		},
 		NewClient: func(url string) bench.SOAPClient {
-			c := mcs.NewClient(url, bench.LoaderDN)
 			// Complex queries over the largest database can exceed the
 			// default timeout when many simulated hosts share few cores.
-			c.SetTimeout(10 * time.Minute)
-			return c
+			return mcs.NewClient(url, bench.LoaderDN, mcs.WithTimeout(10*time.Minute))
 		},
 	}
 }
@@ -79,6 +78,7 @@ func main() {
 	threadsPerHost := flag.Int("threads-per-host", 4, "threads per host for figures 8-10")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per data point")
 	attrSweep := flag.String("attr-sweep", "1,2,4,6,8,10", "attribute counts for figure 11")
+	latency := flag.Bool("latency", false, "also report per-operation latency (p50/p95/p99) per data point")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
 
@@ -101,7 +101,7 @@ func main() {
 	opt := bench.FigureOptions{
 		Sizes: szs, Threads: thr, Hosts: hst,
 		ThreadsPerHost: *threadsPerHost, Duration: *duration,
-		AttrSweep: swp, Env: env(),
+		AttrSweep: swp, Latency: *latency, Env: env(),
 	}
 
 	var figs []int

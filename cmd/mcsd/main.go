@@ -7,6 +7,10 @@
 //	mcsd -addr :8080
 //	mcsd -addr :8080 -owner "/O=Grid/CN=Admin" -authz
 //	mcsd -addr :8080 -preload 100000   # benchmark dataset preloaded
+//	mcsd -addr :8080 -slow-op 250ms    # log operations slower than 250ms
+//
+// Unless -metrics=false, the server also exposes /metrics (Prometheus text,
+// or JSON with ?format=json), /healthz and /statz beside the SOAP endpoint.
 package main
 
 import (
@@ -70,13 +74,28 @@ func main() {
 	preload := flag.Int("preload", 0, "preload this many benchmark files before serving")
 	snapshot := flag.String("snapshot", "", "snapshot file for restart durability")
 	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "interval between periodic snapshots")
+	metrics := flag.Bool("metrics", true, "expose the /metrics, /healthz and /statz operational endpoints")
+	slowOp := flag.Duration("slow-op", 0, "log operations slower than this threshold, with request ID and DN (0 disables)")
+	slowOpLog := flag.String("slow-op-log", "", "file receiving slow-op lines (default stderr)")
 	flag.Parse()
 
 	catalog, err := restoreOrOpen(*snapshot, mcs.Options{Owner: *owner, EnforceAuthz: *authz})
 	if err != nil {
 		log.Fatalf("mcsd: %v", err)
 	}
-	srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: catalog})
+	obsOpts := mcs.ObsOptions{
+		DisableEndpoints: !*metrics,
+		SlowOpThreshold:  *slowOp,
+	}
+	if *slowOpLog != "" {
+		f, err := os.OpenFile(*slowOpLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("mcsd: slow-op log: %v", err)
+		}
+		defer f.Close()
+		obsOpts.SlowOpLogger = log.New(f, "", log.LstdFlags|log.LUTC)
+	}
+	srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: catalog, Obs: obsOpts})
 	if err != nil {
 		log.Fatalf("mcsd: %v", err)
 	}
@@ -99,7 +118,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("mcsd: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "mcsd: Metadata Catalog Service listening on http://%s (WSDL at /?wsdl)\n",
-		ln.Addr())
+	extra := ""
+	if *metrics {
+		extra = ", metrics at /metrics"
+	}
+	fmt.Fprintf(os.Stderr, "mcsd: Metadata Catalog Service listening on http://%s (WSDL at /?wsdl%s)\n",
+		ln.Addr(), extra)
 	log.Fatal(http.Serve(ln, srv))
 }

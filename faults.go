@@ -1,0 +1,85 @@
+package mcs
+
+import (
+	"errors"
+	"strings"
+
+	"mcs/internal/core"
+	"mcs/internal/soap"
+)
+
+// faultSentinels is the exhaustive, symmetric mapping between the catalog's
+// sentinel errors and SOAP fault code suffixes. The server encodes a
+// handler error as faultcode soapenv:Server.<Code>; the client decodes the
+// code back to the same sentinel, so errors.Is works identically on both
+// sides of the wire. Every core.Err* sentinel must appear here exactly once
+// (TestFaultSentinelTableExhaustive enforces it).
+var faultSentinels = []struct {
+	Code string
+	Err  error
+}{
+	{"NotFound", core.ErrNotFound},
+	{"Exists", core.ErrExists},
+	{"Denied", core.ErrDenied},
+	{"InvalidInput", core.ErrInvalidInput},
+	{"Cycle", core.ErrCycle},
+	{"NotEmpty", core.ErrNotEmpty},
+	{"AmbiguousFile", core.ErrAmbiguousFile},
+}
+
+// faultCodeFor maps a handler error to its fault code suffix ("" when the
+// error wraps no known sentinel).
+func faultCodeFor(err error) string {
+	for _, fs := range faultSentinels {
+		if errors.Is(err, fs.Err) {
+			return fs.Code
+		}
+	}
+	return ""
+}
+
+// sentinelForFault maps a wire fault code (e.g. "soapenv:Server.NotFound")
+// back to its sentinel, or nil for unrecognized codes.
+func sentinelForFault(code string) error {
+	i := strings.LastIndex(code, ".")
+	if i < 0 {
+		return nil
+	}
+	suffix := code[i+1:]
+	for _, fs := range faultSentinels {
+		if fs.Code == suffix {
+			return fs.Err
+		}
+	}
+	return nil
+}
+
+// wireError couples the SOAP fault a call returned with the sentinel its
+// fault code names, so callers can both read the server's message and match
+// with errors.Is(err, mcs.ErrNotFound) etc.
+type wireError struct {
+	fault    *soap.Fault
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.fault.Error() }
+
+// Unwrap exposes both the fault (for errors.As(*soap.Fault)) and the
+// sentinel (for errors.Is).
+func (e *wireError) Unwrap() []error { return []error{e.fault, e.sentinel} }
+
+// mapWireError decorates SOAP faults with their sentinel; other errors
+// (transport failures, context cancellation) pass through unchanged.
+func mapWireError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var fault *soap.Fault
+	if !errors.As(err, &fault) {
+		return err
+	}
+	if sentinel := sentinelForFault(fault.Code); sentinel != nil {
+		return &wireError{fault: fault, sentinel: sentinel}
+	}
+	return err
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"mcs/internal/core"
+	"mcs/internal/obs"
 )
 
 // LoaderDN is the identity used to populate and exercise the catalog.
@@ -244,6 +245,15 @@ const (
 // given duration and returns the aggregate operation rate per second.
 // attrK is the predicate count for OpComplexQuery (the paper uses 10).
 func RunRate(targets []Target, threadsPerHost int, d time.Duration, op Op, cfg Config, attrK int) float64 {
+	return RunRateHist(targets, threadsPerHost, d, op, cfg, attrK, nil)
+}
+
+// RunRateHist is RunRate with per-operation latency recording: every
+// completed operation's wall time is observed into hist (the same
+// fixed-bucket histogram the server's /metrics endpoint uses, so client-side
+// p50/p95/p99 are directly comparable with server-side numbers). A nil hist
+// disables recording.
+func RunRateHist(targets []Target, threadsPerHost int, d time.Duration, op Op, cfg Config, attrK int, hist *obs.Histogram) float64 {
 	var total atomic.Int64
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -261,6 +271,7 @@ func RunRate(targets []Target, threadsPerHost int, d time.Duration, op Op, cfg C
 					}
 					iter++
 					var err error
+					opStart := time.Now()
 					switch op {
 					case OpAdd:
 						name := fmt.Sprintf("bench-add-h%02d-t%02d-%08d", h, t, iter)
@@ -269,6 +280,9 @@ func RunRate(targets []Target, threadsPerHost int, d time.Duration, op Op, cfg C
 						err = tgt.SimpleQuery(FileName((h*31 + t*17 + iter*7919) % cfg.Files))
 					case OpComplexQuery:
 						err = tgt.AttrQuery(Predicates(attrK, (h+t+iter)%valueGroups))
+					}
+					if hist != nil {
+						hist.Observe(time.Since(opStart))
 					}
 					if err != nil {
 						// Benchmark operations are designed not to fail;

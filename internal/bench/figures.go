@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mcs/internal/core"
+	"mcs/internal/obs"
 )
 
 // Env supplies the web-service plumbing without importing the root package
@@ -20,9 +21,12 @@ type Env struct {
 }
 
 // Point is one measurement: X is the swept parameter, Y the rate (ops/s).
+// Hist carries the per-operation latency distribution of the measurement
+// window when FigureOptions.Latency is set (nil otherwise).
 type Point struct {
-	X int
-	Y float64
+	X    int
+	Y    float64
+	Hist *obs.Histogram
 }
 
 // Series is one line of a figure.
@@ -49,6 +53,9 @@ type FigureOptions struct {
 	AttrK int
 	// AttrSweep is the Fig. 11 attribute-count sweep.
 	AttrSweep []int
+	// Latency also records a per-operation latency histogram per data point
+	// (rendered as p50/p95/p99 below the rate table).
+	Latency bool
 	// Env provides the web-service plumbing.
 	Env Env
 	// Catalogs supplies preloaded databases keyed by size; Figure loads any
@@ -143,13 +150,13 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	}
 	var out []Series
 
-	measure := func(cat *core.Catalog, size, hosts, threads int, web bool, attrK int) (float64, error) {
+	measure := func(cat *core.Catalog, size, hosts, threads int, web bool, attrK int) (float64, *obs.Histogram, error) {
 		cfg := DefaultConfig(size)
 		targets := make([]Target, hosts)
 		if web {
 			url, stop, err := opt.Env.StartServer(cat)
 			if err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 			defer stop()
 			for h := range targets {
@@ -160,7 +167,11 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 				targets[h] = Direct{Catalog: cat}
 			}
 		}
-		return RunRate(targets, threads, opt.Duration, op, cfg, attrK), nil
+		var hist *obs.Histogram
+		if opt.Latency {
+			hist = &obs.Histogram{}
+		}
+		return RunRateHist(targets, threads, opt.Duration, op, cfg, attrK, hist), hist, nil
 	}
 
 	switch fig {
@@ -174,11 +185,11 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 				}
 				s := Series{Label: label}
 				for _, threads := range opt.Threads {
-					rate, err := measure(cats[size], size, 1, threads, web, opt.AttrK)
+					rate, hist, err := measure(cats[size], size, 1, threads, web, opt.AttrK)
 					if err != nil {
 						return nil, err
 					}
-					s.Points = append(s.Points, Point{X: threads, Y: rate})
+					s.Points = append(s.Points, Point{X: threads, Y: rate, Hist: hist})
 				}
 				out = append(out, s)
 			}
@@ -193,11 +204,11 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 				}
 				s := Series{Label: label}
 				for _, hosts := range opt.Hosts {
-					rate, err := measure(cats[size], size, hosts, opt.ThreadsPerHost, web, opt.AttrK)
+					rate, hist, err := measure(cats[size], size, hosts, opt.ThreadsPerHost, web, opt.AttrK)
 					if err != nil {
 						return nil, err
 					}
-					s.Points = append(s.Points, Point{X: hosts, Y: rate})
+					s.Points = append(s.Points, Point{X: hosts, Y: rate, Hist: hist})
 				}
 				out = append(out, s)
 			}
@@ -207,11 +218,11 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 		for _, size := range opt.Sizes {
 			s := Series{Label: sizeLabel(size) + " database"}
 			for _, k := range opt.AttrSweep {
-				rate, err := measure(cats[size], size, 1, 4, false, k)
+				rate, hist, err := measure(cats[size], size, 1, 4, false, k)
 				if err != nil {
 					return nil, err
 				}
-				s.Points = append(s.Points, Point{X: k, Y: rate})
+				s.Points = append(s.Points, Point{X: k, Y: rate, Hist: hist})
 			}
 			out = append(out, s)
 		}
@@ -286,6 +297,27 @@ func Render(fig int, series []Series) string {
 			fmt.Fprintf(&b, "  %28s", val)
 		}
 		b.WriteString("\n")
+	}
+
+	// Latency summaries, when the run recorded them (FigureOptions.Latency).
+	withLat := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Hist != nil && p.Hist.Count() > 0 {
+				withLat = true
+			}
+		}
+	}
+	if withLat {
+		b.WriteString("\nper-operation latency:\n")
+		for _, s := range series {
+			for _, p := range s.Points {
+				if p.Hist == nil || p.Hist.Count() == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "  %-40s %s=%-4d %s\n", s.Label, xAxis(fig), p.X, p.Hist.Summary())
+			}
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+// Audited writes must carry the caller's request correlation ID into the
+// audit log when one is supplied, and leave it empty otherwise.
+func TestAuditRecordsCarryRequestID(t *testing.T) {
+	c, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn := "/CN=auditor"
+
+	if _, err := c.CreateFile(dn, FileSpec{Name: "f1", Audited: true}, WithRequestID("req-create")); err != nil {
+		t.Fatal(err)
+	}
+	valid := false
+	if _, err := c.UpdateFile(dn, "f1", 0, FileUpdate{Valid: &valid}, WithRequestID("req-update")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.AuditLog(dn, ObjectFile, "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("audit records = %d", len(recs))
+	}
+	if recs[0].Action != "create" || recs[0].RequestID != "req-create" {
+		t.Fatalf("create record = %+v", recs[0])
+	}
+	if recs[1].Action != "update" || recs[1].RequestID != "req-update" {
+		t.Fatalf("update record = %+v", recs[1])
+	}
+
+	// Without the option the field stays empty (embedded use).
+	if _, err := c.CreateFile(dn, FileSpec{Name: "f2", Audited: true}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = c.AuditLog(dn, ObjectFile, "f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].RequestID != "" {
+		t.Fatalf("records = %+v", recs)
+	}
+
+	// Collections and views thread the ID too.
+	if _, err := c.CreateCollection(dn, CollectionSpec{Name: "coll", Audited: true}, WithRequestID("req-coll")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = c.AuditLog(dn, ObjectCollection, "coll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].RequestID != "req-coll" {
+		t.Fatalf("collection records = %+v", recs)
+	}
+	if _, err := c.CreateView(dn, ViewSpec{Name: "v", Audited: true}, WithRequestID("req-view")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddToView(dn, "v", ObjectFile, "f1", WithRequestID("req-member")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = c.AuditLog(dn, ObjectView, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].RequestID != "req-view" || recs[1].RequestID != "req-member" {
+		t.Fatalf("view records = %+v", recs)
+	}
+}

@@ -86,7 +86,8 @@ type FileSpec struct {
 
 // CreateFile registers a logical file and its user-defined attributes as one
 // atomic operation, returning the stored static metadata.
-func (c *Catalog) CreateFile(dn string, spec FileSpec) (File, error) {
+func (c *Catalog) CreateFile(dn string, spec FileSpec, opts ...OpOption) (File, error) {
+	op := applyOpOptions(opts)
 	if spec.Name == "" {
 		return File{}, fmt.Errorf("%w: file name required", ErrInvalidInput)
 	}
@@ -173,7 +174,7 @@ func (c *Catalog) CreateFile(dn string, spec FileSpec) (File, error) {
 			}
 		}
 		if spec.Audited {
-			if err := c.auditTx(tx, ObjectFile, fileID, "create", dn, spec.Name); err != nil {
+			if err := c.auditTx(tx, ObjectFile, fileID, "create", dn, spec.Name, op.requestID); err != nil {
 				return err
 			}
 		}
@@ -288,7 +289,8 @@ type FileUpdate struct {
 }
 
 // UpdateFile modifies static attributes of a file.
-func (c *Catalog) UpdateFile(dn, name string, version int, upd FileUpdate) (File, error) {
+func (c *Catalog) UpdateFile(dn, name string, version int, upd FileUpdate, opts ...OpOption) (File, error) {
+	op := applyOpOptions(opts)
 	f, err := c.GetFile(dn, name, version)
 	if err != nil {
 		return File{}, err
@@ -339,7 +341,7 @@ func (c *Catalog) UpdateFile(dn, name string, version int, upd FileUpdate) (File
 			return err
 		}
 		if f.Audited {
-			return c.auditTx(tx, ObjectFile, f.ID, "update", dn, "static attributes")
+			return c.auditTx(tx, ObjectFile, f.ID, "update", dn, "static attributes", op.requestID)
 		}
 		return nil
 	})
@@ -360,7 +362,8 @@ func (c *Catalog) InvalidateFile(dn, name string, version int) error {
 // DeleteFile removes a logical file and everything hanging off it:
 // user-defined attributes, annotations, provenance, ACL entries and view
 // memberships.
-func (c *Catalog) DeleteFile(dn, name string, version int) error {
+func (c *Catalog) DeleteFile(dn, name string, version int, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	f, err := c.GetFile(dn, name, version)
 	if err != nil {
 		return err
@@ -388,7 +391,7 @@ func (c *Catalog) DeleteFile(dn, name string, version int) error {
 			return err
 		}
 		if f.Audited {
-			return c.auditTx(tx, ObjectFile, f.ID, "delete", dn, f.Name)
+			return c.auditTx(tx, ObjectFile, f.ID, "delete", dn, f.Name, op.requestID)
 		}
 		return nil
 	})

@@ -37,7 +37,8 @@ type CollectionSpec struct {
 
 // CreateCollection registers a logical collection. Collections form an
 // acyclic tree: each has at most one parent.
-func (c *Catalog) CreateCollection(dn string, spec CollectionSpec) (Collection, error) {
+func (c *Catalog) CreateCollection(dn string, spec CollectionSpec, opts ...OpOption) (Collection, error) {
+	op := applyOpOptions(opts)
 	if spec.Name == "" {
 		return Collection{}, fmt.Errorf("%w: collection name required", ErrInvalidInput)
 	}
@@ -92,7 +93,7 @@ func (c *Catalog) CreateCollection(dn string, spec CollectionSpec) (Collection, 
 			}
 		}
 		if spec.Audited {
-			if err := c.auditTx(tx, ObjectCollection, id, "create", dn, spec.Name); err != nil {
+			if err := c.auditTx(tx, ObjectCollection, id, "create", dn, spec.Name, op.requestID); err != nil {
 				return err
 			}
 		}
@@ -207,7 +208,8 @@ func (c *Catalog) SetCollectionParent(dn, name, parent string) error {
 }
 
 // DeleteCollection removes an empty logical collection.
-func (c *Catalog) DeleteCollection(dn, name string) error {
+func (c *Catalog) DeleteCollection(dn, name string, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	col, err := c.GetCollection(dn, name)
 	if err != nil {
 		return err
@@ -244,7 +246,7 @@ func (c *Catalog) DeleteCollection(dn, name string) error {
 			}
 		}
 		if col.Audited {
-			return c.auditTx(tx, ObjectCollection, col.ID, "delete", dn, col.Name)
+			return c.auditTx(tx, ObjectCollection, col.ID, "delete", dn, col.Name, op.requestID)
 		}
 		return nil
 	})

@@ -6,12 +6,22 @@ import (
 	"mcs/internal/sqldb"
 )
 
-// auditTx appends an audit record inside an existing transaction.
-func (c *Catalog) auditTx(tx *sqldb.Tx, objType ObjectType, id int64, action, dn, detail string) error {
+// auditTx appends an audit record inside an existing transaction. requestID
+// is the correlation ID of the call that caused the write ("" when the
+// operation was not requested over the instrumented transport).
+func (c *Catalog) auditTx(tx *sqldb.Tx, objType ObjectType, id int64, action, dn, detail, requestID string) error {
 	_, err := tx.Exec(
-		"INSERT INTO audit_log (object_type, object_id, action, dn, detail, at) VALUES (?, ?, ?, ?, ?, ?)",
+		"INSERT INTO audit_log (object_type, object_id, action, dn, detail, request_id, at) VALUES (?, ?, ?, ?, ?, ?, ?)",
 		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(action),
-		sqldb.Text(dn), sqldb.Text(detail), c.now())
+		sqldb.Text(dn), sqldb.Text(detail), sqldb.Text(requestID), c.now())
+	if err != nil {
+		// Catalogs restored from snapshots taken before the request_id
+		// column existed keep working; those records just lack the ID.
+		_, err = tx.Exec(
+			"INSERT INTO audit_log (object_type, object_id, action, dn, detail, at) VALUES (?, ?, ?, ?, ?, ?)",
+			sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(action),
+			sqldb.Text(dn), sqldb.Text(detail), c.now())
+	}
 	return err
 }
 
@@ -25,6 +35,21 @@ func (c *Catalog) AuditLog(dn string, objType ObjectType, objectName string) ([]
 		return nil, err
 	}
 	rows, err := c.db.Query(
+		`SELECT id, object_type, object_id, action, dn, detail, request_id, at FROM audit_log
+		 WHERE object_type = ? AND object_id = ? ORDER BY id`,
+		sqldb.Text(string(objType)), sqldb.Int(id))
+	if err == nil {
+		recs := make([]AuditRecord, 0, len(rows.Data))
+		for _, r := range rows.Data {
+			recs = append(recs, AuditRecord{
+				ID: r[0].I, Object: ObjectType(r[1].S), ObjectID: r[2].I,
+				Action: r[3].S, DN: r[4].S, Detail: r[5].S, RequestID: r[6].S, At: r[7].M,
+			})
+		}
+		return recs, nil
+	}
+	// Legacy-snapshot schema without the request_id column.
+	rows, err = c.db.Query(
 		`SELECT id, object_type, object_id, action, dn, detail, at FROM audit_log
 		 WHERE object_type = ? AND object_id = ? ORDER BY id`,
 		sqldb.Text(string(objType)), sqldb.Int(id))

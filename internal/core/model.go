@@ -274,7 +274,10 @@ type AuditRecord struct {
 	Action   string
 	DN       string
 	Detail   string
-	At       time.Time
+	// RequestID correlates the record with the request that caused it
+	// (see WithRequestID); "" for embedded or legacy writes.
+	RequestID string
+	At        time.Time
 }
 
 // Writer is the user (metadata-writer) contact record of the MCS schema.

@@ -1,0 +1,28 @@
+package core
+
+// OpOption tunes a single catalog operation. The audited write operations
+// accept options so transport layers can attach correlation metadata (the
+// SOAP dispatch loop passes the per-call request ID) without widening every
+// core signature; plain embedded use passes none.
+type OpOption func(*opSettings)
+
+// opSettings collects the effective per-operation options.
+type opSettings struct {
+	requestID string
+}
+
+// WithRequestID attaches a request correlation ID to any audit record the
+// operation writes, so a slow or suspect call found in the slow-op log or
+// in client traces can be matched to its audit-trail entry.
+func WithRequestID(id string) OpOption {
+	return func(o *opSettings) { o.requestID = id }
+}
+
+// applyOpOptions folds opts into a settings value.
+func applyOpOptions(opts []OpOption) opSettings {
+	var s opSettings
+	for _, fn := range opts {
+		fn(&s)
+	}
+	return s
+}

@@ -110,6 +110,7 @@ var ddl = []string{
 		action TEXT NOT NULL,
 		dn TEXT NOT NULL,
 		detail TEXT,
+		request_id TEXT,
 		at DATETIME NOT NULL
 	)`,
 	`CREATE INDEX audit_object ON audit_log (object_type, object_id)`,

@@ -32,7 +32,8 @@ type ViewSpec struct {
 // CreateView registers a logical view: a free-form, non-authorizing
 // aggregation of files, collections and other views ("loosely analogous to
 // creating a symbolic link", per the paper).
-func (c *Catalog) CreateView(dn string, spec ViewSpec) (View, error) {
+func (c *Catalog) CreateView(dn string, spec ViewSpec, opts ...OpOption) (View, error) {
+	op := applyOpOptions(opts)
 	if spec.Name == "" {
 		return View{}, fmt.Errorf("%w: view name required", ErrInvalidInput)
 	}
@@ -51,7 +52,7 @@ func (c *Catalog) CreateView(dn string, spec ViewSpec) (View, error) {
 			return err
 		}
 		if spec.Audited {
-			if err := c.auditTx(tx, ObjectView, res.LastInsertID, "create", dn, spec.Name); err != nil {
+			if err := c.auditTx(tx, ObjectView, res.LastInsertID, "create", dn, spec.Name, op.requestID); err != nil {
 				return err
 			}
 		}
@@ -133,7 +134,8 @@ func (c *Catalog) viewReaches(fromID, targetID int64) (bool, error) {
 
 // AddToView aggregates an object into a view. Files and collections may
 // belong to many views; view-in-view membership must stay acyclic.
-func (c *Catalog) AddToView(dn, viewName string, objType ObjectType, memberName string) error {
+func (c *Catalog) AddToView(dn, viewName string, objType ObjectType, memberName string, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	v, err := c.GetView(dn, viewName)
 	if err != nil {
 		return err
@@ -171,7 +173,7 @@ func (c *Catalog) AddToView(dn, viewName string, objType ObjectType, memberName 
 		}
 		if v.Audited {
 			return c.auditTx(tx, ObjectView, v.ID, "add-member", dn,
-				fmt.Sprintf("%s %s", objType, memberName))
+				fmt.Sprintf("%s %s", objType, memberName), op.requestID)
 		}
 		return nil
 	})
@@ -304,7 +306,8 @@ func (c *Catalog) ExpandView(dn, viewName string) ([]string, error) {
 }
 
 // DeleteView removes a view and its membership records (not its members).
-func (c *Catalog) DeleteView(dn, name string) error {
+func (c *Catalog) DeleteView(dn, name string, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	v, err := c.GetView(dn, name)
 	if err != nil {
 		return err
@@ -332,7 +335,7 @@ func (c *Catalog) DeleteView(dn, name string) error {
 			}
 		}
 		if v.Audited {
-			return c.auditTx(tx, ObjectView, v.ID, "delete", dn, v.Name)
+			return c.auditTx(tx, ObjectView, v.ID, "delete", dn, v.Name, op.requestID)
 		}
 		return nil
 	})

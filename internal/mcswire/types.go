@@ -612,11 +612,12 @@ type GetProvenanceResponse struct {
 
 // WireAudit is one audit record on the wire.
 type WireAudit struct {
-	ID     int64     `xml:"id"`
-	Action string    `xml:"action"`
-	DN     string    `xml:"dn"`
-	Detail string    `xml:"detail"`
-	At     time.Time `xml:"at"`
+	ID        int64     `xml:"id"`
+	Action    string    `xml:"action"`
+	DN        string    `xml:"dn"`
+	Detail    string    `xml:"detail"`
+	RequestID string    `xml:"requestId,omitempty"`
+	At        time.Time `xml:"at"`
 }
 
 // AuditLogRequest lists the audit trail of an object.

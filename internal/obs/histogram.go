@@ -1,0 +1,131 @@
+// Package obs is the observability layer of the MCS reproduction: latency
+// histograms, per-operation request/error/in-flight metrics, request-ID
+// correlation and a slow-operation log, all stdlib-only and safe for
+// concurrent use on the hot path.
+//
+// The paper's evaluation (Figs. 3–6 of the SC'03 paper; reproduced here as
+// Figures 5–11) is a latency/throughput study under concurrent clients.
+// This package makes the same quantities observable on a live server: the
+// SOAP dispatch loop records every operation into a Registry, which the
+// server exposes at /metrics in both expvar-style JSON and Prometheus text
+// format. The benchmark harness (internal/bench) records into the same
+// Histogram type, so offline percentiles and live percentiles come from one
+// implementation.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: exponential, factor 2, from 64µs up. The span
+// covers sub-millisecond in-memory catalog hits through multi-minute
+// complex queries on loaded servers; the last bucket is +Inf.
+const (
+	// NumBuckets is the number of finite histogram buckets.
+	NumBuckets = 24
+	// bucket0 is the upper bound of the first bucket.
+	bucket0 = 64 * time.Microsecond
+)
+
+// BucketBound returns the inclusive upper bound of bucket i; the final
+// bucket (i == NumBuckets) is unbounded and reports a negative duration.
+func BucketBound(i int) time.Duration {
+	if i >= NumBuckets {
+		return -1 // +Inf
+	}
+	return bucket0 << uint(i)
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	bound := bucket0
+	for i := 0; i < NumBuckets; i++ {
+		if d <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return NumBuckets
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation without locks. The zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets + 1]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all recorded samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts,
+// reporting the upper bound of the bucket containing it. With no samples it
+// returns 0. Samples beyond the last finite bucket report that bucket's
+// bound (the histogram cannot resolve further).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i <= NumBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i == NumBuckets {
+				return BucketBound(NumBuckets - 1)
+			}
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// Buckets returns a snapshot of the cumulative bucket counts, Prometheus
+// style: Buckets()[i] counts samples <= BucketBound(i), and the final entry
+// is the total count (+Inf bucket).
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, NumBuckets+1)
+	var cum int64
+	for i := 0; i <= NumBuckets; i++ {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Summary renders the histogram as a one-line p50/p95/p99 summary.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}

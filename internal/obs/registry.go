@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpMetrics holds the counters of one operation. All fields are updated
+// atomically; a single OpMetrics is shared by every request dispatching the
+// operation.
+type OpMetrics struct {
+	name     string
+	requests atomic.Int64
+	errors   atomic.Int64
+	inflight atomic.Int64
+	latency  Histogram
+}
+
+// Name returns the operation name.
+func (m *OpMetrics) Name() string { return m.name }
+
+// Requests returns the number of dispatches (including failed ones).
+func (m *OpMetrics) Requests() int64 { return m.requests.Load() }
+
+// Errors returns the number of dispatches that returned an error.
+func (m *OpMetrics) Errors() int64 { return m.errors.Load() }
+
+// InFlight returns the number of dispatches currently executing.
+func (m *OpMetrics) InFlight() int64 { return m.inflight.Load() }
+
+// Latency returns the operation's latency histogram.
+func (m *OpMetrics) Latency() *Histogram { return &m.latency }
+
+// Begin marks a dispatch as started. Pair with End.
+func (m *OpMetrics) Begin() { m.inflight.Add(1) }
+
+// End marks a dispatch as finished, recording its duration and outcome.
+func (m *OpMetrics) End(d time.Duration, err error) {
+	m.inflight.Add(-1)
+	m.requests.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+	}
+	m.latency.Observe(d)
+}
+
+// Registry tracks per-operation metrics plus service-wide counters. The
+// zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu  sync.RWMutex
+	ops map[string]*OpMetrics
+	// Malformed counts requests rejected before dispatch (bad envelope,
+	// unknown operation, failed authentication).
+	malformed atomic.Int64
+	start     time.Time
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{ops: make(map[string]*OpMetrics), start: time.Now()}
+}
+
+// Op returns the metrics of the named operation, creating them on first use.
+func (r *Registry) Op(name string) *OpMetrics {
+	r.mu.RLock()
+	m, ok := r.ops[name]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.ops[name]; ok {
+		return m
+	}
+	m = &OpMetrics{name: name}
+	r.ops[name] = m
+	return m
+}
+
+// Malformed counts one pre-dispatch rejection.
+func (r *Registry) Malformed() { r.malformed.Add(1) }
+
+// MalformedCount returns the number of pre-dispatch rejections.
+func (r *Registry) MalformedCount() int64 { return r.malformed.Load() }
+
+// Ops returns the recorded operations sorted by name.
+func (r *Registry) Ops() []*OpMetrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*OpMetrics, 0, len(r.ops))
+	for _, m := range r.ops {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// opSnapshot is the JSON shape of one operation's metrics.
+type opSnapshot struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	InFlight int64   `json:"in_flight"`
+	MeanUS   int64   `json:"mean_us"`
+	P50US    int64   `json:"p50_us"`
+	P95US    int64   `json:"p95_us"`
+	P99US    int64   `json:"p99_us"`
+	Buckets  []int64 `json:"buckets"`
+}
+
+// WriteJSON renders the registry expvar-style: one JSON object keyed by
+// operation name, with latency quantiles in microseconds.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	body := struct {
+		UptimeSeconds int64                 `json:"uptime_seconds"`
+		Malformed     int64                 `json:"malformed_requests"`
+		Operations    map[string]opSnapshot `json:"operations"`
+	}{
+		UptimeSeconds: int64(time.Since(r.start).Seconds()),
+		Malformed:     r.malformed.Load(),
+		Operations:    make(map[string]opSnapshot),
+	}
+	for _, m := range r.Ops() {
+		body.Operations[m.name] = opSnapshot{
+			Requests: m.Requests(),
+			Errors:   m.Errors(),
+			InFlight: m.InFlight(),
+			MeanUS:   m.latency.Mean().Microseconds(),
+			P50US:    m.latency.Quantile(0.50).Microseconds(),
+			P95US:    m.latency.Quantile(0.95).Microseconds(),
+			P99US:    m.latency.Quantile(0.99).Microseconds(),
+			Buckets:  m.latency.Buckets(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(body)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (counters, gauges and cumulative histograms).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP mcs_requests_total SOAP operations dispatched.\n# TYPE mcs_requests_total counter\n")
+	for _, m := range r.Ops() {
+		p("mcs_requests_total{op=%q} %d\n", m.name, m.Requests())
+	}
+	p("# HELP mcs_errors_total SOAP operations that returned an error.\n# TYPE mcs_errors_total counter\n")
+	for _, m := range r.Ops() {
+		p("mcs_errors_total{op=%q} %d\n", m.name, m.Errors())
+	}
+	p("# HELP mcs_in_flight SOAP operations currently executing.\n# TYPE mcs_in_flight gauge\n")
+	for _, m := range r.Ops() {
+		p("mcs_in_flight{op=%q} %d\n", m.name, m.InFlight())
+	}
+	p("# HELP mcs_malformed_requests_total Requests rejected before dispatch.\n# TYPE mcs_malformed_requests_total counter\n")
+	p("mcs_malformed_requests_total %d\n", r.malformed.Load())
+	p("# HELP mcs_latency_seconds Operation latency.\n# TYPE mcs_latency_seconds histogram\n")
+	for _, m := range r.Ops() {
+		cum := m.latency.Buckets()
+		for i := 0; i < NumBuckets; i++ {
+			p("mcs_latency_seconds_bucket{op=%q,le=\"%g\"} %d\n",
+				m.name, BucketBound(i).Seconds(), cum[i])
+		}
+		p("mcs_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", m.name, cum[NumBuckets])
+		p("mcs_latency_seconds_sum{op=%q} %g\n", m.name, m.latency.Sum().Seconds())
+		p("mcs_latency_seconds_count{op=%q} %d\n", m.name, m.latency.Count())
+	}
+	return err
+}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header carrying the request correlation ID.
+// Clients set it per call (generating an ID when the caller supplied none);
+// the server accepts an incoming value or generates its own, echoes it in
+// the response, and attaches it to audit records and the slow-op log.
+const RequestIDHeader = "X-MCS-Request-ID"
+
+// reqCounter disambiguates IDs if the random source ever fails.
+var reqCounter atomic.Int64
+
+// NewRequestID returns a fresh correlation ID: 16 hex characters of
+// cryptographic randomness, falling back to a process-local counter when
+// the random source is unavailable.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("mcs-%016x", reqCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"log"
+	"sync/atomic"
+	"time"
+)
+
+// SlowOpLog logs operations whose latency exceeds a threshold, with enough
+// correlation (operation, request ID, caller DN) to chase an individual
+// slow request through the audit trail. It is safe for concurrent use.
+type SlowOpLog struct {
+	// Threshold is the latency above which an operation is logged.
+	// A zero or negative threshold disables logging.
+	Threshold time.Duration
+	// Logger receives slow-op lines; nil uses log.Default().
+	Logger *log.Logger
+
+	count atomic.Int64
+}
+
+// NewSlowOpLog returns a slow-op log with the given threshold writing to
+// logger (nil for the process default).
+func NewSlowOpLog(threshold time.Duration, logger *log.Logger) *SlowOpLog {
+	return &SlowOpLog{Threshold: threshold, Logger: logger}
+}
+
+// Record logs the operation if it exceeded the threshold and returns
+// whether it was logged.
+func (s *SlowOpLog) Record(op, requestID, dn string, d time.Duration, err error) bool {
+	if s == nil || s.Threshold <= 0 || d < s.Threshold {
+		return false
+	}
+	s.count.Add(1)
+	lg := s.Logger
+	if lg == nil {
+		lg = log.Default()
+	}
+	status := "ok"
+	if err != nil {
+		status = "error: " + err.Error()
+	}
+	if dn == "" {
+		dn = "-"
+	}
+	lg.Printf("slow-op op=%s req=%s dn=%q took=%s threshold=%s status=%s",
+		op, requestID, dn, d.Round(time.Microsecond), s.Threshold, status)
+	return true
+}
+
+// Count returns the number of operations logged so far.
+func (s *SlowOpLog) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}

@@ -2,10 +2,13 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
+
+	"mcs/internal/obs"
 )
 
 // Client issues SOAP calls to a single endpoint over HTTP.
@@ -22,6 +25,13 @@ type Client struct {
 	// Header holds extra headers attached to every request (e.g. CAS
 	// capability assertions).
 	Header http.Header
+	// RequestIDHeader names the header carrying the per-call correlation
+	// ID (default obs.RequestIDHeader). Set it to "" to disable request-ID
+	// propagation entirely.
+	RequestIDHeader string
+	// NewRequestID generates a correlation ID for calls that do not carry
+	// one already; nil uses obs.NewRequestID.
+	NewRequestID func() string
 }
 
 // NewClient returns a client for endpoint with a dedicated connection pool.
@@ -35,19 +45,33 @@ func NewClient(endpoint string) *Client {
 				MaxIdleConnsPerHost: 64,
 			},
 		},
+		RequestIDHeader: obs.RequestIDHeader,
 	}
 }
 
-// Call performs one SOAP request/response round trip. action names the
+// Call performs one SOAP round trip with no deadline beyond the client's
+// HTTP timeout. See CallCtx.
+func (c *Client) Call(action string, req, resp any) error {
+	return c.CallCtx(context.Background(), action, req, resp)
+}
+
+// CallCtx performs one SOAP request/response round trip. action names the
 // operation (sent as the SOAPAction header), req is marshalled as the Body
 // payload and the reply payload is unmarshalled into resp. A SOAP fault is
 // returned as a *Fault error.
-func (c *Client) Call(action string, req, resp any) error {
+//
+// The context's deadline and cancellation are honored by the HTTP
+// transport: an expired or canceled ctx aborts the request (including any
+// in-flight response read) and surfaces ctx.Err in the returned error
+// chain. Every call also carries a request correlation ID in the
+// RequestIDHeader header, generated per call unless the header is already
+// present in c.Header.
+func (c *Client) CallCtx(ctx context.Context, action string, req, resp any) error {
 	payload, err := Marshal(req)
 	if err != nil {
 		return err
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, c.Endpoint, bytes.NewReader(payload))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("soap: build request: %w", err)
 	}
@@ -57,6 +81,13 @@ func (c *Client) Call(action string, req, resp any) error {
 		for _, v := range vals {
 			httpReq.Header.Add(k, v)
 		}
+	}
+	if c.RequestIDHeader != "" && httpReq.Header.Get(c.RequestIDHeader) == "" {
+		gen := c.NewRequestID
+		if gen == nil {
+			gen = obs.NewRequestID
+		}
+		httpReq.Header.Set(c.RequestIDHeader, gen())
 	}
 	if c.Sign != nil {
 		if err := c.Sign(httpReq, payload); err != nil {

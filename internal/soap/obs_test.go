@@ -1,0 +1,218 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mcs/internal/obs"
+)
+
+// Observability behavior of the transport layer: dispatch instrumentation,
+// request-ID correlation, slow-op logging, context handling and typed fault
+// codes.
+
+func TestDispatchMetrics(t *testing.T) {
+	s, ts := newEchoServer(t)
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+	c := NewClient(ts.URL)
+
+	var resp echoResponse
+	for i := 0; i < 3; i++ {
+		if err := c.Call("echo", &echoRequest{Message: "hi"}, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Call("echo", &echoRequest{Message: "boom"}, &resp); err == nil {
+		t.Fatal("boom succeeded")
+	}
+	m := reg.Op("echo")
+	if m.Requests() != 4 || m.Errors() != 1 || m.InFlight() != 0 {
+		t.Fatalf("requests=%d errors=%d inflight=%d", m.Requests(), m.Errors(), m.InFlight())
+	}
+	if m.Latency().Count() != 4 {
+		t.Fatalf("latency samples = %d", m.Latency().Count())
+	}
+
+	// Unknown operations and garbage count as malformed, not per-op.
+	type otherReq struct {
+		XMLName struct{} `xml:"urn:test nosuch"`
+	}
+	_ = c.Call("nosuch", &otherReq{}, &resp)
+	http.Post(ts.URL, "text/xml", strings.NewReader("junk")) //nolint:errcheck
+	if reg.MalformedCount() != 2 {
+		t.Fatalf("malformed = %d", reg.MalformedCount())
+	}
+}
+
+func TestDispatchMetricsConcurrent(t *testing.T) {
+	s, ts := newEchoServer(t)
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			var resp echoResponse
+			for i := 0; i < per; i++ {
+				if err := c.Call("echo", &echoRequest{Message: "x", N: i}, &resp); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	m := reg.Op("echo")
+	if m.Requests() != workers*per || m.Errors() != 0 || m.InFlight() != 0 {
+		t.Fatalf("requests=%d errors=%d inflight=%d", m.Requests(), m.Errors(), m.InFlight())
+	}
+}
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	s := NewServer("TestService", "urn:test")
+	var seen []string
+	Handle(s, "echo", func(ctx *Ctx, req *echoRequest) (*echoResponse, error) {
+		seen = append(seen, ctx.RequestID)
+		return &echoResponse{Message: req.Message}, nil
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// The client generates a fresh ID per call...
+	c := NewClient(ts.URL)
+	var resp echoResponse
+	if err := c.Call("echo", &echoRequest{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("echo", &echoRequest{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] == "" || seen[0] == seen[1] {
+		t.Fatalf("request IDs = %v", seen)
+	}
+
+	// ...and a caller-supplied header value wins and is echoed back.
+	c.Header = http.Header{}
+	c.Header.Set(obs.RequestIDHeader, "my-trace-42")
+	payload, err := Marshal(&echoRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, _ := http.NewRequest(http.MethodPost, ts.URL, bytes.NewReader(payload))
+	httpReq.Header.Set(obs.RequestIDHeader, "my-trace-42")
+	httpResp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if got := httpResp.Header.Get(obs.RequestIDHeader); got != "my-trace-42" {
+		t.Fatalf("echoed request ID = %q", got)
+	}
+	if seen[len(seen)-1] != "my-trace-42" {
+		t.Fatalf("handler saw %q", seen[len(seen)-1])
+	}
+}
+
+func TestSlowOpLogged(t *testing.T) {
+	s := NewServer("TestService", "urn:test")
+	Handle(s, "echo", func(ctx *Ctx, req *echoRequest) (*echoResponse, error) {
+		time.Sleep(5 * time.Millisecond)
+		return &echoResponse{}, nil
+	})
+	var buf bytes.Buffer
+	slow := obs.NewSlowOpLog(time.Millisecond, log.New(&buf, "", 0))
+	s.SetSlowOpLog(slow)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	var resp echoResponse
+	if err := c.Call("echo", &echoRequest{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if slow.Count() != 1 {
+		t.Fatalf("slow count = %d", slow.Count())
+	}
+	if text := buf.String(); !strings.Contains(text, "op=echo") || !strings.Contains(text, "req=") {
+		t.Fatalf("slow log = %q", text)
+	}
+}
+
+func TestCallCtxCancellation(t *testing.T) {
+	block := make(chan struct{})
+	s := NewServer("TestService", "urn:test")
+	Handle(s, "echo", func(ctx *Ctx, req *echoRequest) (*echoResponse, error) {
+		<-block
+		return &echoResponse{}, nil
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer close(block)
+
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var resp echoResponse
+	start := time.Now()
+	err := c.CallCtx(ctx, "echo", &echoRequest{}, &resp)
+	if err == nil {
+		t.Fatal("call with expired deadline succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not abort the call promptly")
+	}
+}
+
+func TestCallCtxAlreadyCanceled(t *testing.T) {
+	_, ts := newEchoServer(t)
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var resp echoResponse
+	if err := c.CallCtx(ctx, "echo", &echoRequest{}, &resp); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled in chain", err)
+	}
+}
+
+func TestErrorCodeHook(t *testing.T) {
+	sentinel := errors.New("special failure")
+	s := NewServer("TestService", "urn:test")
+	Handle(s, "echo", func(ctx *Ctx, req *echoRequest) (*echoResponse, error) {
+		return nil, sentinel
+	})
+	s.SetErrorCode(func(err error) string {
+		if errors.Is(err, sentinel) {
+			return "Special"
+		}
+		return ""
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	var resp echoResponse
+	err := c.Call("echo", &echoRequest{}, &resp)
+	var fault *Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v", err)
+	}
+	if fault.Code != "soapenv:Server.Special" {
+		t.Fatalf("fault code = %q", fault.Code)
+	}
+}

@@ -8,6 +8,9 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
+
+	"mcs/internal/obs"
 )
 
 // Ctx carries per-request context into operation handlers.
@@ -19,6 +22,11 @@ type Ctx struct {
 	RemoteAddr string
 	// Header exposes the raw request headers (capability assertions etc.).
 	Header http.Header
+	// RequestID is the correlation ID of this call: taken from the
+	// X-MCS-Request-ID request header when present, generated otherwise.
+	// It is echoed in the response and attached to audit records and the
+	// slow-operation log.
+	RequestID string
 }
 
 // Authenticator verifies a request before dispatch and returns the caller's
@@ -39,6 +47,13 @@ type Server struct {
 	// ServiceName and Namespace feed the generated WSDL.
 	ServiceName string
 	Namespace   string
+
+	metrics *obs.Registry
+	slow    *obs.SlowOpLog
+	// errorCode, when set, maps a handler error to a SOAP fault code suffix
+	// (e.g. "NotFound" → faultcode soapenv:Server.NotFound), letting typed
+	// errors round-trip to clients. An empty return means plain "Server".
+	errorCode func(error) string
 }
 
 // NewServer returns a server with no registered operations.
@@ -55,6 +70,36 @@ func (s *Server) SetAuthenticator(a Authenticator) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.auth = a
+}
+
+// SetMetrics installs a metrics registry recording every dispatch; nil
+// disables instrumentation.
+func (s *Server) SetMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = r
+}
+
+// Metrics returns the installed metrics registry (nil when disabled).
+func (s *Server) Metrics() *obs.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.metrics
+}
+
+// SetSlowOpLog installs a slow-operation log; nil disables it.
+func (s *Server) SetSlowOpLog(l *obs.SlowOpLog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slow = l
+}
+
+// SetErrorCode installs the error→fault-code mapping used when handlers
+// fail; nil restores the plain "Server" fault code.
+func (s *Server) SetErrorCode(fn func(error) string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errorCode = fn
 }
 
 // Handle registers a typed operation handler. The request element's local
@@ -87,6 +132,13 @@ func (s *Server) Operations() []string {
 	return names
 }
 
+// malformed counts one pre-dispatch rejection when metrics are enabled.
+func (s *Server) malformed(m *obs.Registry) {
+	if m != nil {
+		m.Malformed()
+	}
+}
+
 // ServeHTTP implements http.Handler: POST with a SOAP envelope dispatches an
 // operation; GET with ?wsdl returns the service description.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -103,19 +155,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+
+	s.mu.RLock()
+	auth, metrics, slow := s.auth, s.metrics, s.slow
+	s.mu.RUnlock()
+
+	// Correlate the call: accept the client's request ID or mint one, and
+	// echo it so the caller can quote it when chasing a slow or failed op.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+
 	raw, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
+		s.malformed(metrics)
 		s.writeFault(w, "Client", fmt.Sprintf("read request: %v", err))
 		return
 	}
-	ctx := &Ctx{RemoteAddr: r.RemoteAddr, Header: r.Header}
+	ctx := &Ctx{RemoteAddr: r.RemoteAddr, Header: r.Header, RequestID: reqID}
 
-	s.mu.RLock()
-	auth := s.auth
-	s.mu.RUnlock()
 	if auth != nil {
 		dn, err := auth.Authenticate(r, raw)
 		if err != nil {
+			s.malformed(metrics)
 			s.writeFault(w, "Client.Authentication", err.Error())
 			return
 		}
@@ -124,6 +188,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	name, inner, err := bodyElement(raw)
 	if err != nil {
+		s.malformed(metrics)
 		s.writeFault(w, "Client", err.Error())
 		return
 	}
@@ -131,12 +196,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	fn, ok := s.ops[name.Local]
 	s.mu.RUnlock()
 	if !ok {
+		s.malformed(metrics)
 		s.writeFault(w, "Client", fmt.Sprintf("unknown operation %q", name.Local))
 		return
 	}
+
+	// Instrumented dispatch: in-flight gauge around the handler, then
+	// request/error counters and the latency histogram on completion.
+	var om *obs.OpMetrics
+	if metrics != nil {
+		om = metrics.Op(name.Local)
+		om.Begin()
+	}
+	start := time.Now()
 	resp, err := fn(ctx, operationElement(inner, name))
+	elapsed := time.Since(start)
+	if om != nil {
+		om.End(elapsed, err)
+	}
+	slow.Record(name.Local, reqID, ctx.DN, elapsed, err)
+
 	if err != nil {
-		s.writeFault(w, "Server", err.Error())
+		s.writeFault(w, s.faultCode(err), err.Error())
 		return
 	}
 	out, err := Marshal(resp)
@@ -146,6 +227,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	w.Write(out) //nolint:errcheck // best-effort response write
+}
+
+// faultCode renders the fault code for a handler error, consulting the
+// installed error→code mapping.
+func (s *Server) faultCode(err error) string {
+	s.mu.RLock()
+	fn := s.errorCode
+	s.mu.RUnlock()
+	if fn != nil {
+		if suffix := fn(err); suffix != "" {
+			return "Server." + suffix
+		}
+	}
+	return "Server"
 }
 
 // operationElement returns the bytes of the element named name within body

@@ -14,13 +14,17 @@ package mcs
 
 import (
 	"crypto/ed25519"
+	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"time"
 
 	"mcs/internal/core"
 	"mcs/internal/gsi"
 	"mcs/internal/mcswire"
+	"mcs/internal/obs"
 	"mcs/internal/soap"
 )
 
@@ -156,6 +160,23 @@ type CASIntegration struct {
 	CommunityDN string
 }
 
+// ObsOptions configures the server's observability layer. The zero value
+// enables dispatch instrumentation and the /metrics, /healthz and /statz
+// endpoints, with the slow-operation log off.
+type ObsOptions struct {
+	// DisableMetrics turns off per-operation dispatch instrumentation.
+	DisableMetrics bool
+	// DisableEndpoints removes the /metrics, /healthz and /statz HTTP
+	// endpoints, leaving only the SOAP endpoint.
+	DisableEndpoints bool
+	// SlowOpThreshold logs operations slower than this, with their request
+	// ID and caller DN, to SlowOpLogger. Zero disables the slow-op log.
+	SlowOpThreshold time.Duration
+	// SlowOpLogger receives slow-op lines; nil uses the process default
+	// logger.
+	SlowOpLogger *log.Logger
+}
+
 // ServerOptions configures an MCS server.
 type ServerOptions struct {
 	// Catalog embeds an existing catalog; nil opens a fresh one with
@@ -167,18 +188,39 @@ type ServerOptions struct {
 	TrustStore *gsi.TrustStore
 	// CAS enables Community Authorization Service assertions when non-nil.
 	CAS *CASIntegration
+	// Obs configures metrics, diagnostic endpoints and the slow-op log.
+	Obs ObsOptions
 }
 
 // Server is the MCS web service: a SOAP endpoint in front of a Catalog.
 // It implements http.Handler.
+//
+// Unless disabled via ObsOptions, the handler also serves:
+//
+//	/metrics — per-operation request/error counts, in-flight gauges and
+//	           latency histograms; Prometheus text format by default,
+//	           expvar-style JSON with ?format=json
+//	/healthz — liveness probe (checks the catalog answers queries)
+//	/statz   — catalog row counts (Catalog.Stats) as JSON
 type Server struct {
 	*soap.Server
-	catalog *Catalog
-	cas     *CASIntegration
+	catalog   *Catalog
+	cas       *CASIntegration
+	metrics   *obs.Registry
+	slow      *obs.SlowOpLog
+	endpoints bool
+	started   time.Time
 }
 
 // Catalog returns the server's underlying catalog engine.
 func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// Metrics returns the server's metrics registry, or nil when dispatch
+// instrumentation is disabled.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// SlowOps returns the server's slow-operation log, or nil when disabled.
+func (s *Server) SlowOps() *obs.SlowOpLog { return s.slow }
 
 // caller resolves the effective identity of a request: the authenticated
 // GSI DN when available, otherwise the client-declared identity (the mode
@@ -224,7 +266,20 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	if opts.TrustStore != nil {
 		ss.SetAuthenticator(&gsi.Verifier{Trust: opts.TrustStore})
 	}
-	s := &Server{Server: ss, catalog: cat, cas: opts.CAS}
+	s := &Server{
+		Server: ss, catalog: cat, cas: opts.CAS,
+		endpoints: !opts.Obs.DisableEndpoints,
+		started:   time.Now(),
+	}
+	if !opts.Obs.DisableMetrics {
+		s.metrics = obs.NewRegistry()
+		ss.SetMetrics(s.metrics)
+	}
+	if opts.Obs.SlowOpThreshold > 0 {
+		s.slow = obs.NewSlowOpLog(opts.Obs.SlowOpThreshold, opts.Obs.SlowOpLogger)
+		ss.SetSlowOpLog(s.slow)
+	}
+	ss.SetErrorCode(faultCodeFor)
 	s.register()
 	return s, nil
 }
@@ -232,6 +287,76 @@ func NewServer(opts ServerOptions) (*Server, error) {
 // ListenAndServe runs the server on addr until the listener fails.
 func (s *Server) ListenAndServe(addr string) error {
 	return http.ListenAndServe(addr, s)
+}
+
+// ServeHTTP routes the diagnostic endpoints when enabled and hands
+// everything else to the SOAP dispatcher.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.endpoints {
+		switch r.URL.Path {
+		case "/metrics":
+			s.serveMetrics(w, r)
+			return
+		case "/healthz":
+			s.serveHealthz(w, r)
+			return
+		case "/statz":
+			s.serveStatz(w, r)
+			return
+		}
+	}
+	s.Server.ServeHTTP(w, r)
+}
+
+// serveMetrics renders the registry: Prometheus text exposition format by
+// default (the conventional /metrics contract), expvar-style JSON with
+// ?format=json.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.metrics.WriteJSON(w) //nolint:errcheck // best-effort response write
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w) //nolint:errcheck // best-effort response write
+}
+
+// serveHealthz reports liveness: 200 when the catalog answers queries.
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	if _, err := s.catalog.Stats(); err != nil {
+		http.Error(w, fmt.Sprintf("catalog unhealthy: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n") //nolint:errcheck // best-effort response write
+}
+
+// serveStatz reports catalog row counts as JSON.
+func (s *Server) serveStatz(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.catalog.Stats()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct { //nolint:errcheck // best-effort response write
+		UptimeSeconds int64 `json:"uptime_seconds"`
+		Files         int   `json:"files"`
+		Collections   int   `json:"collections"`
+		Views         int   `json:"views"`
+		Attributes    int   `json:"attributes"`
+		AttrDefs      int   `json:"attr_defs"`
+	}{
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Files:         st.Files, Collections: st.Collections, Views: st.Views,
+		Attributes: st.Attributes, AttrDefs: st.AttrDefs,
+	})
 }
 
 func (s *Server) register() {
@@ -255,7 +380,7 @@ func (s *Server) register() {
 			Collection: req.Collection, ContainerID: req.ContainerID,
 			ContainerService: req.ContainerService, MasterCopy: req.MasterCopy,
 			Audited: req.Audited, Provenance: req.Provenance, Attributes: attrs,
-		})
+		}, core.WithRequestID(ctx.RequestID))
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +424,8 @@ func (s *Server) register() {
 		if req.SetMasterCopy {
 			upd.MasterCopy = &req.MasterCopy
 		}
-		f, err := cat.UpdateFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, upd)
+		f, err := cat.UpdateFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, upd,
+			core.WithRequestID(ctx.RequestID))
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +433,8 @@ func (s *Server) register() {
 	})
 
 	soap.Handle(s.Server, "deleteFile", func(ctx *soap.Ctx, req *mcswire.DeleteFileRequest) (*mcswire.DeleteFileResponse, error) {
-		if err := cat.DeleteFile(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name, req.Version); err != nil {
+		if err := cat.DeleteFile(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name, req.Version,
+			core.WithRequestID(ctx.RequestID)); err != nil {
 			return nil, err
 		}
 		return &mcswire.DeleteFileResponse{OK: true}, nil
@@ -332,7 +459,7 @@ func (s *Server) register() {
 		col, err := cat.CreateCollection(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), CollectionSpec{
 			Name: req.Name, Description: req.Description, Parent: req.Parent,
 			Audited: req.Audited, Attributes: attrs,
-		})
+		}, core.WithRequestID(ctx.RequestID))
 		if err != nil {
 			return nil, err
 		}
@@ -363,7 +490,8 @@ func (s *Server) register() {
 	})
 
 	soap.Handle(s.Server, "deleteCollection", func(ctx *soap.Ctx, req *mcswire.DeleteCollectionRequest) (*mcswire.DeleteCollectionResponse, error) {
-		if err := cat.DeleteCollection(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name); err != nil {
+		if err := cat.DeleteCollection(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name,
+			core.WithRequestID(ctx.RequestID)); err != nil {
 			return nil, err
 		}
 		return &mcswire.DeleteCollectionResponse{OK: true}, nil
@@ -388,7 +516,7 @@ func (s *Server) register() {
 		}
 		v, err := cat.CreateView(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), ViewSpec{
 			Name: req.Name, Description: req.Description, Audited: req.Audited, Attributes: attrs,
-		})
+		}, core.WithRequestID(ctx.RequestID))
 		if err != nil {
 			return nil, err
 		}
@@ -396,7 +524,8 @@ func (s *Server) register() {
 	})
 
 	soap.Handle(s.Server, "addToView", func(ctx *soap.Ctx, req *mcswire.AddToViewRequest) (*mcswire.AddToViewResponse, error) {
-		if err := cat.AddToView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member); err != nil {
+		if err := cat.AddToView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member,
+			core.WithRequestID(ctx.RequestID)); err != nil {
 			return nil, err
 		}
 		return &mcswire.AddToViewResponse{OK: true}, nil
@@ -432,7 +561,8 @@ func (s *Server) register() {
 	})
 
 	soap.Handle(s.Server, "deleteView", func(ctx *soap.Ctx, req *mcswire.DeleteViewRequest) (*mcswire.DeleteViewResponse, error) {
-		if err := cat.DeleteView(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name); err != nil {
+		if err := cat.DeleteView(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name,
+			core.WithRequestID(ctx.RequestID)); err != nil {
 			return nil, err
 		}
 		return &mcswire.DeleteViewResponse{OK: true}, nil
@@ -587,7 +717,8 @@ func (s *Server) register() {
 		resp := &mcswire.AuditLogResponse{}
 		for _, r := range recs {
 			resp.Records = append(resp.Records, mcswire.WireAudit{
-				ID: r.ID, Action: r.Action, DN: r.DN, Detail: r.Detail, At: r.At,
+				ID: r.ID, Action: r.Action, DN: r.DN, Detail: r.Detail,
+				RequestID: r.RequestID, At: r.At,
 			})
 		}
 		return resp, nil

@@ -1,0 +1,275 @@
+package mcs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// End-to-end coverage of the batched-write and paginated-query API over the
+// SOAP stack: compact acks, quiet batches, all-or-nothing semantics across
+// the wire, and page/token round trips.
+
+func TestBatchWriteEndToEnd(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	if _, err := c.DefineAttribute("run", AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	dt := "binary"
+	results, err := c.BatchWrite(NewBatch().
+		CreateFile(FileSpec{Name: "bw-1"}).
+		CreateFile(FileSpec{Name: "bw-2"}).
+		UpdateFile("bw-1", 0, FileUpdate{DataType: &dt}).
+		SetAttribute(ObjectFile, "bw-2", Attribute{Name: "run", Value: String("S2")}).
+		Annotate(ObjectFile, "bw-1", "batched note").
+		DeleteFile("bw-2", 0).
+		Ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantActions := []string{"createFile", "createFile", "updateFile", "setAttribute", "annotate", "deleteFile"}
+	if len(results) != len(wantActions) {
+		t.Fatalf("got %d results, want %d", len(results), len(wantActions))
+	}
+	for i, r := range results {
+		if r.Action != wantActions[i] {
+			t.Fatalf("result %d action = %q, want %q", i, r.Action, wantActions[i])
+		}
+	}
+	// Acks are compact: action, id and version — no file echo over the wire.
+	if results[0].ID == 0 || results[0].Version != 1 || results[0].File != nil {
+		t.Fatalf("create ack = %+v", results[0])
+	}
+	f, err := c.GetFile("bw-1", 0)
+	if err != nil || f.DataType != "binary" {
+		t.Fatalf("bw-1 = %+v, %v", f, err)
+	}
+	if f.ID != results[0].ID {
+		t.Fatalf("ack id %d != file id %d", results[0].ID, f.ID)
+	}
+	if _, err := c.GetFile("bw-2", 0); err == nil {
+		t.Fatal("bw-2 should be deleted")
+	}
+}
+
+func TestBatchWriteQuietEndToEnd(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	b := NewBatch()
+	for i := 0; i < 25; i++ {
+		b.CreateFile(FileSpec{Name: fmt.Sprintf("quiet-%03d", i)})
+	}
+	n, err := c.BatchWriteQuiet(b.Ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("quiet batch count = %d, want 25", n)
+	}
+	st, err := c.Stats()
+	if err != nil || st.Files != 25 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+	// Quiet batches keep the same all-or-nothing contract.
+	if _, err := c.BatchWriteQuiet(NewBatch().
+		CreateFile(FileSpec{Name: "quiet-ok"}).
+		DeleteFile("no-such-file", 0).
+		Ops()); err == nil {
+		t.Fatal("quiet batch with bad op committed")
+	}
+	if _, err := c.GetFile("quiet-ok", 0); err == nil {
+		t.Fatal("quiet-ok survived a failed quiet batch")
+	}
+}
+
+func TestBatchWriteAtomicOverSOAP(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	_, err := c.BatchWrite(NewBatch().
+		CreateFile(FileSpec{Name: "soap-atomic-1"}).
+		CreateFile(FileSpec{Name: "soap-atomic-2"}).
+		CreateFile(FileSpec{Name: "soap-atomic-1"}). // dup in-batch: version 2, fine
+		DeleteFile("never-existed", 0).              // op 3 fails
+		Ops())
+	if err == nil {
+		t.Fatal("batch with failing op committed")
+	}
+	if !strings.Contains(err.Error(), "batch op 3") {
+		t.Fatalf("fault does not name failing op index: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 0 {
+		t.Fatalf("%d files survived a failed batch, want 0", st.Files)
+	}
+	for _, name := range []string{"soap-atomic-1", "soap-atomic-2"} {
+		if _, err := c.GetFile(name, 0); err == nil {
+			t.Fatalf("%s exists after failed batch", name)
+		}
+	}
+}
+
+func TestQueryPaginationRoundTrip(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	if _, err := c.DefineAttribute("group", AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch()
+	for i := 0; i < 25; i++ {
+		b.CreateFile(FileSpec{Name: fmt.Sprintf("page-%03d", i),
+			Attributes: []Attribute{{Name: "group", Value: String("g1")}}})
+	}
+	if _, err := c.BatchWriteQuiet(b.Ops()); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Predicates: []Predicate{{Attribute: "group", Op: OpEq, Value: String("g1")}}}
+
+	// Manual page walk: tokens must partition the result set exactly.
+	var paged []string
+	token := ""
+	pages := 0
+	for {
+		names, next, err := c.RunQueryPage(q, 10, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) > 10 {
+			t.Fatalf("page of %d names exceeds page size 10", len(names))
+		}
+		paged = append(paged, names...)
+		pages++
+		if next == "" {
+			break
+		}
+		token = next
+	}
+	if pages < 3 {
+		t.Fatalf("25 results in %d pages of 10, want >= 3", pages)
+	}
+	all, err := c.RunQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paged)
+	sort.Strings(all)
+	if len(paged) != 25 || fmt.Sprint(paged) != fmt.Sprint(all) {
+		t.Fatalf("paged walk = %d names, unpaginated = %d; sets differ", len(paged), len(all))
+	}
+
+	// The auto-paginating iterator sees the same set, and stops early on
+	// a callback error.
+	var streamed []string
+	if err := c.QueryEachCtx(context.Background(), q, 7, func(name string) error {
+		streamed = append(streamed, name)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != 25 {
+		t.Fatalf("QueryEachCtx streamed %d names, want 25", len(streamed))
+	}
+	stopErr := fmt.Errorf("stop here")
+	count := 0
+	err = c.QueryEachCtx(context.Background(), q, 7, func(string) error {
+		count++
+		if count == 3 {
+			return stopErr
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "stop here") || count != 3 {
+		t.Fatalf("early stop: err = %v, count = %d", err, count)
+	}
+}
+
+func TestCollectionContentsPaginationRoundTrip(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	if _, err := c.CreateCollection(CollectionSpec{Name: "top"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.CreateCollection(CollectionSpec{
+			Name: fmt.Sprintf("sub-%d", i), Parent: "top"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := NewBatch()
+	for i := 0; i < 8; i++ {
+		b.CreateFile(FileSpec{Name: fmt.Sprintf("cc-%02d", i), Collection: "top"})
+	}
+	// Two extra versions of one name: the continuation token must keep
+	// name+version boundaries apart, not just names.
+	b.CreateFile(FileSpec{Name: "cc-03", Collection: "top"})
+	b.CreateFile(FileSpec{Name: "cc-03", Collection: "top"})
+	if _, err := c.BatchWriteQuiet(b.Ops()); err != nil {
+		t.Fatal(err)
+	}
+
+	allFiles, allSubs, err := c.CollectionContents("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allFiles) != 10 || len(allSubs) != 3 {
+		t.Fatalf("contents = %d files, %d subs; want 10, 3", len(allFiles), len(allSubs))
+	}
+
+	key := func(f File) string { return fmt.Sprintf("%s|v%d", f.Name, f.Version) }
+	var pagedFiles, pagedSubs []string
+	token := ""
+	for {
+		files, subs, next, err := c.CollectionContentsPage("top", 3, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files)+len(subs) > 3 {
+			t.Fatalf("page holds %d members, page size 3", len(files)+len(subs))
+		}
+		for _, f := range files {
+			pagedFiles = append(pagedFiles, key(f))
+		}
+		for _, s := range subs {
+			pagedSubs = append(pagedSubs, s.Name)
+		}
+		if next == "" {
+			break
+		}
+		token = next
+	}
+	var want []string
+	for _, f := range allFiles {
+		want = append(want, key(f))
+	}
+	sort.Strings(want)
+	sort.Strings(pagedFiles)
+	if fmt.Sprint(pagedFiles) != fmt.Sprint(want) {
+		t.Fatalf("paged files %v != full listing %v", pagedFiles, want)
+	}
+	if len(pagedSubs) != 3 {
+		t.Fatalf("paged subs = %v, want 3", pagedSubs)
+	}
+	seen := map[string]bool{}
+	for _, k := range pagedFiles {
+		if seen[k] {
+			t.Fatalf("duplicate member %s across pages", k)
+		}
+		seen[k] = true
+	}
+
+	// Streaming helper walks the same membership.
+	var streamed int
+	if err := c.CollectionContentsEachCtx(context.Background(), "top", 4,
+		func(File) error { streamed++; return nil },
+		func(Collection) error { streamed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 13 {
+		t.Fatalf("streamed %d members, want 13", streamed)
+	}
+}

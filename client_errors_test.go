@@ -43,6 +43,48 @@ func TestClientNonSOAPResponder(t *testing.T) {
 	}
 }
 
+func TestClientNon2xxQuotesStatusAndBody(t *testing.T) {
+	// An intermediary's error page (a proxy 502, a load balancer's HTML)
+	// must not reach the XML decoder as if it were a SOAP reply: the error
+	// quotes the HTTP status and a prefix of the body so the operator can
+	// see what actually answered.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusBadGateway)
+		io.WriteString(w, "<html><body>upstream connect error</body></html>")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, "/CN=x")
+	_, err := c.Ping()
+	if err == nil {
+		t.Fatal("502 HTML response accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "502") {
+		t.Fatalf("error does not quote the HTTP status: %v", err)
+	}
+	if !strings.Contains(msg, "upstream connect error") {
+		t.Fatalf("error does not quote the body: %v", err)
+	}
+}
+
+func TestClientFaultOn500StillFault(t *testing.T) {
+	// Real SOAP faults arrive with HTTP 500 (SOAP 1.1 binding) and must
+	// keep surfacing as faults, not as opaque status errors.
+	_, url := startServer(t, ServerOptions{})
+	c := NewClient(url, testAlice)
+	_, err := c.GetFile("no-such-file", 0)
+	if err == nil {
+		t.Fatal("missing file lookup succeeded")
+	}
+	if strings.Contains(err.Error(), "server returned") {
+		t.Fatalf("fault degraded to a status error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("fault message lost: %v", err)
+	}
+}
+
 func TestServerRejectsBadAttributeOnWire(t *testing.T) {
 	_, url := startServer(t, ServerOptions{})
 	c := NewClient(url, testAlice)

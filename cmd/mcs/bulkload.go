@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mcs"
+)
+
+// bulkLoad registers many files in batched transactions. Input is one file
+// per line — "name [attr=type:value ...]" — read from the named file or
+// stdin. Lines are shipped in batchWrite calls of -batch ops each, so a
+// million-file registration costs thousands, not millions, of round trips.
+func bulkLoad(c *mcs.Client, args []string) error {
+	fs := flag.NewFlagSet("bulk-load", flag.ContinueOnError)
+	batchSize := fs.Int("batch", 100, "files per batchWrite call")
+	collection := fs.String("collection", "", "register every file into this collection")
+	quiet := fs.Bool("q", false, "suppress the progress summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batchSize < 1 {
+		return fmt.Errorf("bulk-load: -batch must be positive")
+	}
+	in := io.Reader(os.Stdin)
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("bulk-load: at most one input file")
+	}
+
+	batch := mcs.NewBatch()
+	loaded, lineNo := 0, 0
+	flush := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		if _, err := c.BatchWriteQuiet(batch.Ops()); err != nil {
+			return err
+		}
+		loaded += batch.Len()
+		batch = mcs.NewBatch()
+		return nil
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		spec := mcs.FileSpec{Name: fields[0], Collection: *collection}
+		for _, s := range fields[1:] {
+			a, err := parseAttr(s)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			spec.Attributes = append(spec.Attributes, a)
+		}
+		batch.CreateFile(spec)
+		if batch.Len() >= *batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("loaded %d files\n", loaded)
+	}
+	return nil
+}

@@ -8,6 +8,9 @@
 // Commands:
 //
 //	create-file <name> [attr=type:value ...]     register a logical file
+//	bulk-load [-batch N] [-collection C] [file]  batch-register files from a
+//	                                             listing (one "name [attr=type:value ...]"
+//	                                             per line; default stdin, batches of 100)
 //	get-file <name>                              show static metadata
 //	delete-file <name>                           remove a logical file
 //	versions <name>                              list all versions
@@ -130,6 +133,10 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("created %s version %d (id %d)\n", f.Name, f.Version, f.ID)
+	case "bulk-load":
+		if err := bulkLoad(c, args); err != nil {
+			fatal(err)
+		}
 	case "get-file":
 		if len(args) != 1 {
 			usage()

@@ -1,7 +1,9 @@
 // Command mcsbench regenerates the evaluation figures of the MCS paper
 // (SC'03, Figures 5–11): add, simple-query and complex-query rates against
 // the catalog directly and through the SOAP web service, swept over client
-// threads, client hosts, database sizes and attribute counts.
+// threads, client hosts, database sizes and attribute counts. Figure 12
+// extends the evaluation with a batchWrite batch-size sweep: bulk
+// registration throughput at 1, 10, 100 and 1000 files per call.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	mcsbench -fig all -sizes 10000,50000   # every figure at chosen sizes
 //	mcsbench -fig 11 -duration 5s          # longer measurement windows
 //	mcsbench -fig 6 -latency               # p50/p95/p99 per data point
+//	mcsbench -fig 12 -batch-sizes 1,100    # batch sweep at chosen sizes
 //
 // The paper's full-scale databases (100k/1M/5M files) are reachable with
 // -sizes 100000,1000000,5000000 given enough memory and patience; the
@@ -71,13 +74,14 @@ func env() bench.Env {
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", `figure to regenerate: 5..11 or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 5..12 or "all"`)
 	sizes := flag.String("sizes", "10000,50000,100000", "database sizes (files), comma-separated")
 	threads := flag.String("threads", "1,2,4,8,12,16", "thread sweep for figures 5-7")
 	hosts := flag.String("hosts", "1,2,4,6,8,10", "host sweep for figures 8-10")
 	threadsPerHost := flag.Int("threads-per-host", 4, "threads per host for figures 8-10")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per data point")
 	attrSweep := flag.String("attr-sweep", "1,2,4,6,8,10", "attribute counts for figure 11")
+	batchSizes := flag.String("batch-sizes", "1,10,100,1000", "batch-size sweep for figure 12")
 	latency := flag.Bool("latency", false, "also report per-operation latency (p50/p95/p99) per data point")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
@@ -98,15 +102,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("mcsbench: %v", err)
 	}
+	bsz, err := parseInts(*batchSizes)
+	if err != nil {
+		log.Fatalf("mcsbench: %v", err)
+	}
 	opt := bench.FigureOptions{
 		Sizes: szs, Threads: thr, Hosts: hst,
 		ThreadsPerHost: *threadsPerHost, Duration: *duration,
-		AttrSweep: swp, Latency: *latency, Env: env(),
+		AttrSweep: swp, BatchSizes: bsz, Latency: *latency, Env: env(),
 	}
 
 	var figs []int
 	if *fig == "all" {
-		figs = []int{5, 6, 7, 8, 9, 10, 11}
+		figs = []int{5, 6, 7, 8, 9, 10, 11, 12}
 	} else {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
@@ -115,14 +123,24 @@ func main() {
 		figs = []int{n}
 	}
 
-	fmt.Fprintf(os.Stderr, "mcsbench: loading databases %v...\n", szs)
-	loadStart := time.Now()
-	cats, err := bench.LoadAll(szs)
-	if err != nil {
-		log.Fatalf("mcsbench: load: %v", err)
+	// Figure 12 builds its own fresh catalogs per point; preloaded databases
+	// are only needed for figures 5–11.
+	needLoad := false
+	for _, f := range figs {
+		if f != 12 {
+			needLoad = true
+		}
 	}
-	opt.Catalogs = cats
-	fmt.Fprintf(os.Stderr, "mcsbench: databases loaded in %s\n", time.Since(loadStart).Round(time.Second))
+	if needLoad {
+		fmt.Fprintf(os.Stderr, "mcsbench: loading databases %v...\n", szs)
+		loadStart := time.Now()
+		cats, err := bench.LoadAll(szs)
+		if err != nil {
+			log.Fatalf("mcsbench: load: %v", err)
+		}
+		opt.Catalogs = cats
+		fmt.Fprintf(os.Stderr, "mcsbench: databases loaded in %s\n", time.Since(loadStart).Round(time.Second))
+	}
 
 	for _, f := range figs {
 		fmt.Fprintf(os.Stderr, "mcsbench: running figure %d (sizes %v, window %s)...\n", f, szs, *duration)

@@ -11,15 +11,24 @@
 //
 // Unless -metrics=false, the server also exposes /metrics (Prometheus text,
 // or JSON with ?format=json), /healthz and /statz beside the SOAP endpoint.
+//
+// With -snapshot, the daemon restores existing state at startup, writes the
+// catalog to disk every -snapshot-interval, and — on SIGINT/SIGTERM —
+// drains in-flight requests and writes a final snapshot before exiting, so
+// a graceful shutdown never loses committed writes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"mcs"
@@ -27,28 +36,35 @@ import (
 )
 
 // restoreOrOpen loads the catalog from an existing snapshot file, or opens
-// a fresh one when the file does not exist yet.
-func restoreOrOpen(path string, opts mcs.Options) (*mcs.Catalog, error) {
+// a fresh one when the file does not exist yet. restored reports whether
+// state actually came from the snapshot — callers must not re-run initial
+// data loads in that case.
+func restoreOrOpen(path string, opts mcs.Options) (cat *mcs.Catalog, restored bool, err error) {
 	if path == "" {
-		return mcs.OpenCatalog(opts)
+		cat, err = mcs.OpenCatalog(opts)
+		return cat, false, err
 	}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return mcs.OpenCatalog(opts)
+		cat, err = mcs.OpenCatalog(opts)
+		return cat, false, err
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer f.Close()
-	cat, err := mcs.RestoreCatalog(opts, f)
+	cat, err = mcs.RestoreCatalog(opts, f)
 	if err != nil {
-		return nil, fmt.Errorf("restore %s: %w", path, err)
+		return nil, false, fmt.Errorf("restore %s: %w", path, err)
 	}
 	log.Printf("mcsd: restored catalog from %s", path)
-	return cat, nil
+	return cat, true, nil
 }
 
-// snapshotTo writes the catalog atomically (temp file + rename).
+// snapshotTo writes the catalog atomically and durably: temp file, fsync,
+// rename, then fsync of the parent directory. Without the file sync a crash
+// shortly after the rename can leave a truncated "complete" snapshot;
+// without the directory sync the rename itself may not have reached disk.
 func snapshotTo(cat *mcs.Catalog, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -60,69 +76,158 @@ func snapshotTo(cat *mcs.Catalog, path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
 }
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	owner := flag.String("owner", "", "DN bootstrapped with service-level rights")
-	authz := flag.Bool("authz", false, "enforce authorization (requires -owner)")
-	preload := flag.Int("preload", 0, "preload this many benchmark files before serving")
-	snapshot := flag.String("snapshot", "", "snapshot file for restart durability")
-	snapshotEvery := flag.Duration("snapshot-interval", time.Minute, "interval between periodic snapshots")
-	metrics := flag.Bool("metrics", true, "expose the /metrics, /healthz and /statz operational endpoints")
-	slowOp := flag.Duration("slow-op", 0, "log operations slower than this threshold, with request ID and DN (0 disables)")
-	slowOpLog := flag.String("slow-op-log", "", "file receiving slow-op lines (default stderr)")
-	flag.Parse()
-
-	catalog, err := restoreOrOpen(*snapshot, mcs.Options{Owner: *owner, EnforceAuthz: *authz})
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
-		log.Fatalf("mcsd: %v", err)
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// config carries mcsd's parsed flags.
+type config struct {
+	addr          string
+	owner         string
+	authz         bool
+	preload       int
+	snapshot      string
+	snapshotEvery time.Duration
+	metrics       bool
+	slowOp        time.Duration
+	slowOpLog     string
+	// drainTimeout bounds the graceful-shutdown drain.
+	drainTimeout time.Duration
+}
+
+// run starts the daemon and serves until stop delivers a signal (graceful
+// shutdown: drain in-flight requests, write a final snapshot) or the
+// listener fails. When ready is non-nil, the bound address is sent on it
+// once the server is accepting connections.
+func run(cfg config, stop <-chan os.Signal, ready chan<- net.Addr) error {
+	catalog, restored, err := restoreOrOpen(cfg.snapshot, mcs.Options{Owner: cfg.owner, EnforceAuthz: cfg.authz})
+	if err != nil {
+		return err
 	}
 	obsOpts := mcs.ObsOptions{
-		DisableEndpoints: !*metrics,
-		SlowOpThreshold:  *slowOp,
+		DisableEndpoints: !cfg.metrics,
+		SlowOpThreshold:  cfg.slowOp,
 	}
-	if *slowOpLog != "" {
-		f, err := os.OpenFile(*slowOpLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if cfg.slowOpLog != "" {
+		f, err := os.OpenFile(cfg.slowOpLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			log.Fatalf("mcsd: slow-op log: %v", err)
+			return fmt.Errorf("slow-op log: %w", err)
 		}
 		defer f.Close()
 		obsOpts.SlowOpLogger = log.New(f, "", log.LstdFlags|log.LUTC)
 	}
 	srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: catalog, Obs: obsOpts})
 	if err != nil {
-		log.Fatalf("mcsd: %v", err)
+		return err
 	}
-	if *snapshot != "" {
+	if cfg.preload > 0 {
+		if restored {
+			// The snapshot already holds the dataset; loading again would
+			// fail on the existing names.
+			log.Printf("mcsd: catalog restored from %s, skipping -preload %d", cfg.snapshot, cfg.preload)
+		} else {
+			log.Printf("mcsd: preloading %d files (collections of 1000, 10 attributes each)", cfg.preload)
+			if err := bench.LoadInto(srv.Catalog(), bench.DefaultConfig(cfg.preload)); err != nil {
+				return fmt.Errorf("preload: %w", err)
+			}
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.snapshot != "" && cfg.snapshotEvery > 0 {
+		ticker := time.NewTicker(cfg.snapshotEvery)
+		tickerDone := make(chan struct{})
+		defer close(tickerDone)
 		go func() {
-			for range time.Tick(*snapshotEvery) {
-				if err := snapshotTo(catalog, *snapshot); err != nil {
-					log.Printf("mcsd: snapshot: %v", err)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := snapshotTo(catalog, cfg.snapshot); err != nil {
+						log.Printf("mcsd: snapshot: %v", err)
+					}
+				case <-tickerDone:
+					return
 				}
 			}
 		}()
 	}
-	if *preload > 0 {
-		log.Printf("mcsd: preloading %d files (collections of 1000, 10 attributes each)", *preload)
-		if err := bench.LoadInto(srv.Catalog(), bench.DefaultConfig(*preload)); err != nil {
-			log.Fatalf("mcsd: preload: %v", err)
-		}
-	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("mcsd: %v", err)
-	}
 	extra := ""
-	if *metrics {
+	if cfg.metrics {
 		extra = ", metrics at /metrics"
 	}
 	fmt.Fprintf(os.Stderr, "mcsd: Metadata Catalog Service listening on http://%s (WSDL at /?wsdl%s)\n",
 		ln.Addr(), extra)
-	log.Fatal(http.Serve(ln, srv))
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-stop:
+		log.Printf("mcsd: %v: draining requests", sig)
+	}
+	drain := cfg.drainTimeout
+	if drain <= 0 {
+		drain = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("mcsd: drain: %v", err)
+	}
+	if cfg.snapshot != "" {
+		if err := snapshotTo(catalog, cfg.snapshot); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("mcsd: final snapshot written to %s", cfg.snapshot)
+	}
+	return nil
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.StringVar(&cfg.owner, "owner", "", "DN bootstrapped with service-level rights")
+	flag.BoolVar(&cfg.authz, "authz", false, "enforce authorization (requires -owner)")
+	flag.IntVar(&cfg.preload, "preload", 0, "preload this many benchmark files before serving")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "snapshot file for restart durability")
+	flag.DurationVar(&cfg.snapshotEvery, "snapshot-interval", time.Minute, "interval between periodic snapshots")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "expose the /metrics, /healthz and /statz operational endpoints")
+	flag.DurationVar(&cfg.slowOp, "slow-op", 0, "log operations slower than this threshold, with request ID and DN (0 disables)")
+	flag.StringVar(&cfg.slowOpLog, "slow-op-log", "", "file receiving slow-op lines (default stderr)")
+	flag.Parse()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(cfg, stop, nil); err != nil {
+		log.Fatalf("mcsd: %v", err)
+	}
 }

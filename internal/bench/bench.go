@@ -202,6 +202,8 @@ type SOAPClient interface {
 	CreateFile(spec core.FileSpec) (core.File, error)
 	DeleteFile(name string, version int) error
 	RunQuery(q core.Query) ([]string, error)
+	BatchWrite(ops []core.BatchOp) ([]core.BatchResult, error)
+	BatchWriteQuiet(ops []core.BatchOp) (int, error)
 }
 
 // SOAP runs operations through the web-service stack.
@@ -300,4 +302,53 @@ func RunRateHist(targets []Target, threadsPerHost int, d time.Duration, op Op, c
 	wg.Wait()
 	elapsed := time.Since(start)
 	return float64(total.Load()) / elapsed.Seconds()
+}
+
+// BatchRegistrationAttrs is the attribute count of the Fig. 12 bulk-
+// registration workload: bare logical names, no attributes. Bulk loads
+// register names first and attach rich metadata later (the POOL catalog's
+// bulk registration works the same way), so the sweep isolates per-call
+// transport overhead — the quantity batching amortizes.
+const BatchRegistrationAttrs = 0
+
+// RunBatchRate measures bulk-registration throughput (files created per
+// second) through the web-service stack at a given batch size, on one
+// client thread — the per-call-overhead-bound regime of Fig. 5. Batch size
+// 1 is the baseline: one createFile call per file, the only option before
+// batchWrite existed. Batches use the quiet form, as a bulk loader would:
+// the per-op acks are never read. The catalog grows for the duration of
+// the window; callers give each measurement a fresh catalog.
+func RunBatchRate(client SOAPClient, batchSize int, d time.Duration, attrsPerFile int) float64 {
+	var files int64
+	iter := 0
+	start := time.Now()
+	deadline := start.Add(d)
+	for time.Now().Before(deadline) {
+		if batchSize <= 1 {
+			iter++
+			_, err := client.CreateFile(core.FileSpec{
+				Name:       fmt.Sprintf("bench-batch-%09d", iter),
+				Attributes: FileAttributes(iter, attrsPerFile),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: batch size 1: %v", err))
+			}
+			files++
+			continue
+		}
+		ops := make([]core.BatchOp, batchSize)
+		for k := range ops {
+			iter++
+			spec := core.FileSpec{
+				Name:       fmt.Sprintf("bench-batch-%09d", iter),
+				Attributes: FileAttributes(iter, attrsPerFile),
+			}
+			ops[k] = core.BatchOp{CreateFile: &spec}
+		}
+		if _, err := client.BatchWriteQuiet(ops); err != nil {
+			panic(fmt.Sprintf("bench: batch size %d: %v", batchSize, err))
+		}
+		files += int64(batchSize)
+	}
+	return float64(files) / time.Since(start).Seconds()
 }

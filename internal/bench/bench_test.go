@@ -143,9 +143,10 @@ func TestFigureSmoke(t *testing.T) {
 		ThreadsPerHost: 1,
 		Duration:       50 * time.Millisecond,
 		AttrSweep:      []int{1, 3},
+		BatchSizes:     []int{1, 2},
 		Env:            testEnv(t),
 	}
-	for _, fig := range []int{5, 6, 7, 8, 9, 10, 11} {
+	for _, fig := range []int{5, 6, 7, 8, 9, 10, 11, 12} {
 		series, err := bench.Figure(fig, opt)
 		if err != nil {
 			t.Fatalf("figure %d: %v", fig, err)
@@ -168,7 +169,7 @@ func TestFigureSmoke(t *testing.T) {
 }
 
 func TestFigureUnknown(t *testing.T) {
-	if _, err := bench.Figure(12, bench.FigureOptions{Env: testEnv(t)}); err == nil {
+	if _, err := bench.Figure(13, bench.FigureOptions{Env: testEnv(t)}); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }

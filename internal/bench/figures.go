@@ -53,6 +53,8 @@ type FigureOptions struct {
 	AttrK int
 	// AttrSweep is the Fig. 11 attribute-count sweep.
 	AttrSweep []int
+	// BatchSizes is the Fig. 12 batch-size sweep.
+	BatchSizes []int
 	// Latency also records a per-operation latency histogram per data point
 	// (rendered as p50/p95/p99 below the rate table).
 	Latency bool
@@ -90,6 +92,9 @@ func (o FigureOptions) Defaults() FigureOptions {
 	}
 	if len(o.AttrSweep) == 0 {
 		o.AttrSweep = []int{1, 2, 4, 6, 8, 10}
+	}
+	if len(o.BatchSizes) == 0 {
+		o.BatchSizes = []int{1, 10, 100, 1000}
 	}
 	return o
 }
@@ -137,9 +142,13 @@ func opForFigure(fig int) (Op, error) {
 	return 0, fmt.Errorf("bench: no figure %d in the paper's evaluation", fig)
 }
 
-// Figure regenerates one of the paper's Figures 5–11 and returns its series.
+// Figure regenerates one of the paper's Figures 5–11, or the follow-on
+// Fig. 12 batch-size sweep, and returns its series.
 func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	opt = opt.Defaults()
+	if fig == 12 {
+		return batchFigure(opt)
+	}
 	op, err := opForFigure(fig)
 	if err != nil {
 		return nil, err
@@ -230,6 +239,30 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	return out, nil
 }
 
+// batchFigure measures Fig. 12: bulk-registration throughput through the web
+// service as the write batch size grows. Each point starts from a fresh,
+// empty catalog (bulk registration populates an empty database) and runs one
+// client thread, the regime where per-call overhead dominates in Fig. 5.
+// Batch size 1 means one createFile call per file — the pre-batchWrite
+// baseline the sweep is measured against.
+func batchFigure(opt FigureOptions) ([]Series, error) {
+	s := Series{Label: "bulk registration, with web service"}
+	for _, bs := range opt.BatchSizes {
+		cat, err := Load(DefaultConfig(0))
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig 12 setup: %w", err)
+		}
+		url, stop, err := opt.Env.StartServer(cat)
+		if err != nil {
+			return nil, err
+		}
+		rate := RunBatchRate(opt.Env.NewClient(url), bs, opt.Duration, BatchRegistrationAttrs)
+		stop()
+		s.Points = append(s.Points, Point{X: bs, Y: rate})
+	}
+	return []Series{s}, nil
+}
+
 // FigureTitle returns the caption of a figure.
 func FigureTitle(fig int) string {
 	switch fig {
@@ -247,6 +280,8 @@ func FigureTitle(fig int) string {
 		return "Fig. 10: Complex query rate with varying client hosts (queries/s)"
 	case 11:
 		return "Fig. 11: Complex query rate vs number of attributes, database only (queries/s)"
+	case 12:
+		return "Fig. 12: Bulk-registration rate vs write batch size, single client thread (adds/s)"
 	}
 	return fmt.Sprintf("unknown figure %d", fig)
 }
@@ -258,6 +293,8 @@ func xAxis(fig int) string {
 		return "threads"
 	case 8, 9, 10:
 		return "hosts"
+	case 12:
+		return "batch"
 	default:
 		return "attributes"
 	}

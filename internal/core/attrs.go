@@ -38,7 +38,12 @@ func (c *Catalog) DefineAttribute(dn, name string, typ AttrType, description str
 
 // GetAttributeDef looks up a user-defined attribute declaration by name.
 func (c *Catalog) GetAttributeDef(name string) (AttributeDef, error) {
-	rows, err := c.db.Query(
+	return c.getAttributeDefQ(c.db, name)
+}
+
+// getAttributeDefQ is GetAttributeDef reading through q.
+func (c *Catalog) getAttributeDefQ(q querier, name string) (AttributeDef, error) {
+	rows, err := q.Query(
 		"SELECT id, name, type, description, creator, created FROM attribute_def WHERE name = ?",
 		sqldb.Text(name))
 	if err != nil {
@@ -72,6 +77,23 @@ func (c *Catalog) ListAttributeDefs() ([]AttributeDef, error) {
 	return defs, nil
 }
 
+// attrDef resolves an attribute definition through q, memoizing in cache
+// when one is supplied. BatchWrite passes a per-batch cache so a thousand
+// creates with the same ten attributes cost ten definition lookups, not ten
+// thousand.
+func (c *Catalog) attrDef(q querier, cache map[string]AttributeDef, name string) (AttributeDef, error) {
+	if cache != nil {
+		if def, ok := cache[name]; ok {
+			return def, nil
+		}
+	}
+	def, err := c.getAttributeDefQ(q, name)
+	if err == nil && cache != nil {
+		cache[name] = def
+	}
+	return def, err
+}
+
 // resolveObject maps (type, name) to the object's ID, with a read check.
 func (c *Catalog) resolveObject(dn string, objType ObjectType, name string) (int64, error) {
 	return c.resolveMember(dn, objType, name)
@@ -81,32 +103,38 @@ func (c *Catalog) resolveObject(dn string, objType ObjectType, name string) (int
 // object. Replacement semantics: a second Set with the same attribute name
 // overwrites the previous value.
 func (c *Catalog) SetAttribute(dn string, objType ObjectType, objectName, attrName string, v AttrValue) error {
-	def, err := c.GetAttributeDef(attrName)
+	return c.db.Update(func(tx *sqldb.Tx) error {
+		return c.setAttributeTx(tx, dn, objType, objectName, attrName, v, nil)
+	})
+}
+
+// setAttributeTx is SetAttribute inside an existing transaction; defs, when
+// non-nil, memoizes attribute definitions across a batch.
+func (c *Catalog) setAttributeTx(tx *sqldb.Tx, dn string, objType ObjectType, objectName, attrName string, v AttrValue, defs map[string]AttributeDef) error {
+	def, err := c.attrDef(tx, defs, attrName)
 	if err != nil {
 		return err
 	}
 	if def.Type != v.Type {
 		return fmt.Errorf("%w: attribute %q is %s, value is %s", ErrInvalidInput, attrName, def.Type, v.Type)
 	}
-	id, err := c.resolveObject(dn, objType, objectName)
+	id, err := c.resolveMemberQ(tx, dn, objType, objectName)
 	if err != nil {
 		return err
 	}
-	if err := c.requireObject(dn, objType, id, PermWrite); err != nil {
+	if err := c.requireObjectQ(tx, dn, objType, id, PermWrite); err != nil {
 		return err
 	}
-	return c.db.Update(func(tx *sqldb.Tx) error {
-		if _, err := tx.Exec(
-			"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ? AND attr_id = ?",
-			sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID)); err != nil {
-			return err
-		}
-		_, err := tx.Exec(fmt.Sprintf(
-			"INSERT INTO user_attribute (object_type, object_id, attr_id, %s) VALUES (?, ?, ?, ?)",
-			def.Type.storageColumn()),
-			sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID), v.sqlValue())
+	if _, err := tx.Exec(
+		"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ? AND attr_id = ?",
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID)); err != nil {
 		return err
-	})
+	}
+	_, err = tx.Exec(fmt.Sprintf(
+		"INSERT INTO user_attribute (object_type, object_id, attr_id, %s) VALUES (?, ?, ?, ?)",
+		def.Type.storageColumn()),
+		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID), v.sqlValue())
+	return err
 }
 
 // UnsetAttribute removes a user-defined attribute from an object.

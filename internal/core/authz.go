@@ -96,9 +96,9 @@ func (c *Catalog) Permissions(dn string, objType ObjectType, objectName string) 
 	return out, nil
 }
 
-// hasDirectGrant checks the ACL table for one (object, principal, perm) row.
-func (c *Catalog) hasDirectGrant(objType ObjectType, id int64, dn string, perm Permission) (bool, error) {
-	rows, err := c.db.Query(
+// hasDirectGrantQ checks the ACL table for one (object, principal, perm) row.
+func (c *Catalog) hasDirectGrantQ(q querier, objType ObjectType, id int64, dn string, perm Permission) (bool, error) {
+	rows, err := q.Query(
 		"SELECT id FROM acl WHERE object_type = ? AND object_id = ? AND principal = ? AND permission = ? LIMIT 1",
 		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(dn), sqldb.Text(string(perm)))
 	if err != nil {
@@ -107,8 +107,8 @@ func (c *Catalog) hasDirectGrant(objType ObjectType, id int64, dn string, perm P
 	return len(rows.Data) > 0, nil
 }
 
-// creatorOf returns the creator DN of an object.
-func (c *Catalog) creatorOf(objType ObjectType, id int64) (string, error) {
+// creatorOfQ returns the creator DN of an object.
+func (c *Catalog) creatorOfQ(q querier, objType ObjectType, id int64) (string, error) {
 	var table string
 	switch objType {
 	case ObjectFile:
@@ -120,7 +120,7 @@ func (c *Catalog) creatorOf(objType ObjectType, id int64) (string, error) {
 	default:
 		return "", nil
 	}
-	rows, err := c.db.Query("SELECT creator FROM "+table+" WHERE id = ?", sqldb.Int(id))
+	rows, err := q.Query("SELECT creator FROM "+table+" WHERE id = ?", sqldb.Int(id))
 	if err != nil || len(rows.Data) == 0 {
 		return "", err
 	}
@@ -129,6 +129,12 @@ func (c *Catalog) creatorOf(objType ObjectType, id int64) (string, error) {
 
 // allowed computes the effective permission check for dn on an object.
 func (c *Catalog) allowed(dn string, objType ObjectType, id int64, perm Permission) (bool, error) {
+	return c.allowedQ(c.db, dn, objType, id, perm)
+}
+
+// allowedQ is allowed reading through q (the open transaction during batch
+// application, the database otherwise).
+func (c *Catalog) allowedQ(q querier, dn string, objType ObjectType, id int64, perm Permission) (bool, error) {
 	if !c.authz {
 		return true, nil
 	}
@@ -136,25 +142,25 @@ func (c *Catalog) allowed(dn string, objType ObjectType, id int64, perm Permissi
 		return true, nil
 	}
 	// Service-level grants apply everywhere (the owner bootstrap rows).
-	if ok, err := c.hasDirectGrant(ObjectService, 0, dn, perm); err != nil || ok {
+	if ok, err := c.hasDirectGrantQ(q, ObjectService, 0, dn, perm); err != nil || ok {
 		return ok, err
 	}
 	if objType == ObjectService {
 		return false, nil
 	}
-	if creator, err := c.creatorOf(objType, id); err != nil {
+	if creator, err := c.creatorOfQ(q, objType, id); err != nil {
 		return false, err
 	} else if creator == dn {
 		return true, nil
 	}
-	if ok, err := c.hasDirectGrant(objType, id, dn, perm); err != nil || ok {
+	if ok, err := c.hasDirectGrantQ(q, objType, id, dn, perm); err != nil || ok {
 		return ok, err
 	}
 	// Union with the collection hierarchy for files and sub-collections.
 	var startCollection int64
 	switch objType {
 	case ObjectFile:
-		rows, err := c.db.Query("SELECT collection_id FROM logical_file WHERE id = ?", sqldb.Int(id))
+		rows, err := q.Query("SELECT collection_id FROM logical_file WHERE id = ?", sqldb.Int(id))
 		if err != nil {
 			return false, err
 		}
@@ -162,7 +168,7 @@ func (c *Catalog) allowed(dn string, objType ObjectType, id int64, perm Permissi
 			startCollection = rows.Data[0][0].I
 		}
 	case ObjectCollection:
-		rows, err := c.db.Query("SELECT parent_id FROM logical_collection WHERE id = ?", sqldb.Int(id))
+		rows, err := q.Query("SELECT parent_id FROM logical_collection WHERE id = ?", sqldb.Int(id))
 		if err != nil {
 			return false, err
 		}
@@ -173,17 +179,17 @@ func (c *Catalog) allowed(dn string, objType ObjectType, id int64, perm Permissi
 	if startCollection == 0 {
 		return false, nil
 	}
-	chain, err := c.collectionChain(startCollection)
+	chain, err := c.collectionChainQ(q, startCollection)
 	if err != nil {
 		return false, err
 	}
 	for _, cid := range chain {
-		if creator, err := c.creatorOf(ObjectCollection, cid); err != nil {
+		if creator, err := c.creatorOfQ(q, ObjectCollection, cid); err != nil {
 			return false, err
 		} else if creator == dn {
 			return true, nil
 		}
-		if ok, err := c.hasDirectGrant(ObjectCollection, cid, dn, perm); err != nil || ok {
+		if ok, err := c.hasDirectGrantQ(q, ObjectCollection, cid, dn, perm); err != nil || ok {
 			return ok, err
 		}
 	}
@@ -192,7 +198,12 @@ func (c *Catalog) allowed(dn string, objType ObjectType, id int64, perm Permissi
 
 // requireService enforces a service-level permission.
 func (c *Catalog) requireService(dn string, perm Permission) error {
-	ok, err := c.allowed(dn, ObjectService, 0, perm)
+	return c.requireServiceQ(c.db, dn, perm)
+}
+
+// requireServiceQ is requireService reading through q.
+func (c *Catalog) requireServiceQ(q querier, dn string, perm Permission) error {
+	ok, err := c.allowedQ(q, dn, ObjectService, 0, perm)
 	if err != nil {
 		return err
 	}
@@ -204,7 +215,12 @@ func (c *Catalog) requireService(dn string, perm Permission) error {
 
 // requireObject enforces a permission on a specific object.
 func (c *Catalog) requireObject(dn string, objType ObjectType, id int64, perm Permission) error {
-	ok, err := c.allowed(dn, objType, id, perm)
+	return c.requireObjectQ(c.db, dn, objType, id, perm)
+}
+
+// requireObjectQ is requireObject reading through q.
+func (c *Catalog) requireObjectQ(q querier, dn string, objType ObjectType, id int64, perm Permission) error {
+	ok, err := c.allowedQ(q, dn, objType, id, perm)
 	if err != nil {
 		return err
 	}
@@ -217,4 +233,9 @@ func (c *Catalog) requireObject(dn string, objType ObjectType, id int64, perm Pe
 // requireFile enforces a permission on an already-loaded file.
 func (c *Catalog) requireFile(dn string, f *File, perm Permission) error {
 	return c.requireObject(dn, ObjectFile, f.ID, perm)
+}
+
+// requireFileQ is requireFile reading through q.
+func (c *Catalog) requireFileQ(q querier, dn string, f *File, perm Permission) error {
+	return c.requireObjectQ(q, dn, ObjectFile, f.ID, perm)
 }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// rowCount returns the number of rows currently in table.
+func rowCount(t *testing.T, c *Catalog, table string) int {
+	t.Helper()
+	rows, err := c.db.Query("SELECT id FROM " + table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(rows.Data)
+}
+
+func TestBatchWriteMixedOps(t *testing.T) {
+	c := openCatalog(t)
+	if _, err := c.DefineAttribute(alice, "color", AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	dt := "binary"
+	results, err := c.BatchWrite(alice, []BatchOp{
+		{CreateFile: &FileSpec{Name: "b1"}},
+		{CreateFile: &FileSpec{Name: "b2"}},
+		{UpdateFile: &BatchFileUpdate{Name: "b1", Update: FileUpdate{DataType: &dt}}},
+		{SetAttribute: &BatchSetAttribute{Object: ObjectFile, Name: "b2",
+			Attribute: Attribute{Name: "color", Value: String("red")}}},
+		{Annotate: &BatchAnnotation{Object: ObjectFile, Name: "b1", Text: "note"}},
+		{DeleteFile: &BatchFileRef{Name: "b2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantActions := []string{"createFile", "createFile", "updateFile", "setAttribute", "annotate", "deleteFile"}
+	if len(results) != len(wantActions) {
+		t.Fatalf("got %d results, want %d", len(results), len(wantActions))
+	}
+	for i, r := range results {
+		if r.Action != wantActions[i] {
+			t.Fatalf("result %d action = %q, want %q", i, r.Action, wantActions[i])
+		}
+	}
+	if results[0].ID == 0 || results[0].Version != 1 || results[0].File == nil {
+		t.Fatalf("create result = %+v", results[0])
+	}
+	if results[2].Version != 1 || results[2].File == nil || results[2].File.DataType != "binary" {
+		t.Fatalf("update result = %+v", results[2])
+	}
+	f, err := c.GetFile(alice, "b1", 0)
+	if err != nil || f.DataType != "binary" {
+		t.Fatalf("b1 after batch = %+v, %v", f, err)
+	}
+	if _, err := c.GetFile(alice, "b2", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("b2 should be deleted, err = %v", err)
+	}
+	anns, err := c.Annotations(alice, ObjectFile, "b1")
+	if err != nil || len(anns) != 1 || anns[0].Text != "note" {
+		t.Fatalf("annotations = %+v, %v", anns, err)
+	}
+}
+
+func TestBatchWriteAtomicMidBatchFailure(t *testing.T) {
+	c := openCatalog(t)
+	if _, err := c.DefineAttribute(alice, "color", AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	files0 := rowCount(t, c, "logical_file")
+	attrs0 := rowCount(t, c, "user_attribute")
+	audit0 := rowCount(t, c, "audit_log")
+	anns0 := rowCount(t, c, "annotation")
+
+	// Three ops succeed — an audited create, an attribute bind and an
+	// annotation, each of which writes rows — then op 3 references an
+	// undefined attribute and must roll everything back.
+	_, err := c.BatchWrite(alice, []BatchOp{
+		{CreateFile: &FileSpec{Name: "atomic-1", Audited: true}},
+		{SetAttribute: &BatchSetAttribute{Object: ObjectFile, Name: "atomic-1",
+			Attribute: Attribute{Name: "color", Value: String("blue")}}},
+		{Annotate: &BatchAnnotation{Object: ObjectFile, Name: "atomic-1", Text: "doomed"}},
+		{CreateFile: &FileSpec{Name: "atomic-2", Attributes: []Attribute{
+			{Name: "undefined-attr", Value: String("x")}}}},
+	})
+	if err == nil {
+		t.Fatal("batch with bad op committed")
+	}
+	if !strings.Contains(err.Error(), "batch op 3") {
+		t.Fatalf("error does not name the failing op: %v", err)
+	}
+	if _, err := c.GetFile(alice, "atomic-1", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("atomic-1 survived a failed batch, err = %v", err)
+	}
+	for table, before := range map[string]int{
+		"logical_file": files0, "user_attribute": attrs0,
+		"audit_log": audit0, "annotation": anns0,
+	} {
+		if n := rowCount(t, c, table); n != before {
+			t.Fatalf("%s has %d rows after failed batch, want %d", table, n, before)
+		}
+	}
+}
+
+func TestBatchWriteValidation(t *testing.T) {
+	c := openCatalog(t)
+	if _, err := c.BatchWrite(alice, nil); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("empty batch err = %v", err)
+	}
+	// An op that sets no operation (or two) is rejected and nothing commits.
+	_, err := c.BatchWrite(alice, []BatchOp{
+		{CreateFile: &FileSpec{Name: "v1"}},
+		{},
+	})
+	if !errors.Is(err, ErrInvalidInput) || !strings.Contains(err.Error(), "batch op 1") {
+		t.Fatalf("zero-op batch err = %v", err)
+	}
+	if _, err := c.GetFile(alice, "v1", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("v1 created despite invalid batch, err = %v", err)
+	}
+}
+
+func TestBatchWriteAuthzAtomic(t *testing.T) {
+	c := openAuthzCatalog(t)
+	// Bob has no create rights: a batch mixing an allowed caller's shape
+	// with a denied op must leave nothing behind.
+	_, err := c.BatchWrite(bob, []BatchOp{
+		{CreateFile: &FileSpec{Name: "denied-1"}},
+	})
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("err = %v, want ErrDenied", err)
+	}
+	if _, err := c.GetFile(admin, "denied-1", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("denied-1 exists, err = %v", err)
+	}
+}

@@ -88,24 +88,39 @@ type FileSpec struct {
 // atomic operation, returning the stored static metadata.
 func (c *Catalog) CreateFile(dn string, spec FileSpec, opts ...OpOption) (File, error) {
 	op := applyOpOptions(opts)
+	var out File
+	err := c.db.Update(func(tx *sqldb.Tx) error {
+		var err error
+		out, err = c.createFileTx(tx, dn, spec, op, nil)
+		return err
+	})
+	if err != nil {
+		return File{}, err
+	}
+	return out, nil
+}
+
+// createFileTx applies a file creation inside an open transaction. All reads
+// go through the transaction (the database write lock is already held).
+// defs, when non-nil, memoizes attribute definitions across a batch.
+func (c *Catalog) createFileTx(tx *sqldb.Tx, dn string, spec FileSpec, op opSettings, defs map[string]AttributeDef) (File, error) {
 	if spec.Name == "" {
 		return File{}, fmt.Errorf("%w: file name required", ErrInvalidInput)
 	}
-	if err := c.requireService(dn, PermCreate); err != nil {
+	if err := c.requireServiceQ(tx, dn, PermCreate); err != nil {
 		return File{}, err
 	}
 	var collectionID int64
 	if spec.Collection != "" {
-		col, err := c.GetCollection(dn, spec.Collection)
+		col, err := c.getCollectionQ(tx, dn, spec.Collection)
 		if err != nil {
 			return File{}, fmt.Errorf("collection %q: %w", spec.Collection, err)
 		}
-		if err := c.requireObject(dn, ObjectCollection, col.ID, PermWrite); err != nil {
+		if err := c.requireObjectQ(tx, dn, ObjectCollection, col.ID, PermWrite); err != nil {
 			return File{}, err
 		}
 		collectionID = col.ID
 	}
-	// Resolve attribute definitions up front (read path, outside the tx).
 	type resolved struct {
 		attrID int64
 		col    string
@@ -113,7 +128,7 @@ func (c *Catalog) CreateFile(dn string, spec FileSpec, opts ...OpOption) (File, 
 	}
 	attrs := make([]resolved, 0, len(spec.Attributes))
 	for _, a := range spec.Attributes {
-		def, err := c.GetAttributeDef(a.Name)
+		def, err := c.attrDef(tx, defs, a.Name)
 		if err != nil {
 			return File{}, fmt.Errorf("attribute %q: %w", a.Name, err)
 		}
@@ -124,73 +139,65 @@ func (c *Catalog) CreateFile(dn string, spec FileSpec, opts ...OpOption) (File, 
 		attrs = append(attrs, resolved{attrID: def.ID, col: def.Type.storageColumn(), val: a.Value.sqlValue()})
 	}
 
-	var out File
-	err := c.db.Update(func(tx *sqldb.Tx) error {
-		version := spec.Version
-		rows, err := tx.Query("SELECT version FROM logical_file WHERE name = ? ORDER BY version DESC LIMIT 1",
-			sqldb.Text(spec.Name))
-		if err != nil {
-			return err
-		}
-		if version == 0 {
-			version = 1
-			if len(rows.Data) > 0 {
-				version = int(rows.Data[0][0].I) + 1
-			}
-		} else {
-			dup, err := tx.Query("SELECT id FROM logical_file WHERE name = ? AND version = ?",
-				sqldb.Text(spec.Name), sqldb.Int(int64(version)))
-			if err != nil {
-				return err
-			}
-			if len(dup.Data) > 0 {
-				return fmt.Errorf("%w: file %q version %d", ErrExists, spec.Name, version)
-			}
-		}
-		now := c.now()
-		res, err := tx.Exec(`INSERT INTO logical_file
-			(name, version, data_type, valid, collection_id, container_id,
-			 container_service, master_copy, creator, last_modifier, created, modified, audited)
-			VALUES (?, ?, ?, TRUE, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
-			sqldb.Text(spec.Name), sqldb.Int(int64(version)), sqldb.Text(spec.DataType),
-			nullableID(collectionID), sqldb.Text(spec.ContainerID),
-			sqldb.Text(spec.ContainerService), sqldb.Text(spec.MasterCopy),
-			sqldb.Text(dn), sqldb.Text(dn), now, now, sqldb.Bool(spec.Audited))
-		if err != nil {
-			return err
-		}
-		fileID := res.LastInsertID
-		for _, a := range attrs {
-			if _, err := tx.Exec(fmt.Sprintf(
-				"INSERT INTO user_attribute (object_type, object_id, attr_id, %s) VALUES (?, ?, ?, ?)", a.col),
-				sqldb.Text(string(ObjectFile)), sqldb.Int(fileID), sqldb.Int(a.attrID), a.val); err != nil {
-				return err
-			}
-		}
-		if spec.Provenance != "" {
-			if _, err := tx.Exec("INSERT INTO provenance (file_id, description, at) VALUES (?, ?, ?)",
-				sqldb.Int(fileID), sqldb.Text(spec.Provenance), now); err != nil {
-				return err
-			}
-		}
-		if spec.Audited {
-			if err := c.auditTx(tx, ObjectFile, fileID, "create", dn, spec.Name, op.requestID); err != nil {
-				return err
-			}
-		}
-		out = File{
-			ID: fileID, Name: spec.Name, Version: version, DataType: spec.DataType,
-			Valid: true, CollectionID: collectionID, ContainerID: spec.ContainerID,
-			ContainerService: spec.ContainerService, MasterCopy: spec.MasterCopy,
-			Creator: dn, LastModifier: dn,
-			Created: now.M, Modified: now.M, Audited: spec.Audited,
-		}
-		return nil
-	})
+	version := spec.Version
+	rows, err := tx.Query("SELECT version FROM logical_file WHERE name = ? ORDER BY version DESC LIMIT 1",
+		sqldb.Text(spec.Name))
 	if err != nil {
 		return File{}, err
 	}
-	return out, nil
+	if version == 0 {
+		version = 1
+		if len(rows.Data) > 0 {
+			version = int(rows.Data[0][0].I) + 1
+		}
+	} else {
+		dup, err := tx.Query("SELECT id FROM logical_file WHERE name = ? AND version = ?",
+			sqldb.Text(spec.Name), sqldb.Int(int64(version)))
+		if err != nil {
+			return File{}, err
+		}
+		if len(dup.Data) > 0 {
+			return File{}, fmt.Errorf("%w: file %q version %d", ErrExists, spec.Name, version)
+		}
+	}
+	now := c.now()
+	res, err := tx.Exec(`INSERT INTO logical_file
+		(name, version, data_type, valid, collection_id, container_id,
+		 container_service, master_copy, creator, last_modifier, created, modified, audited)
+		VALUES (?, ?, ?, TRUE, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+		sqldb.Text(spec.Name), sqldb.Int(int64(version)), sqldb.Text(spec.DataType),
+		nullableID(collectionID), sqldb.Text(spec.ContainerID),
+		sqldb.Text(spec.ContainerService), sqldb.Text(spec.MasterCopy),
+		sqldb.Text(dn), sqldb.Text(dn), now, now, sqldb.Bool(spec.Audited))
+	if err != nil {
+		return File{}, err
+	}
+	fileID := res.LastInsertID
+	for _, a := range attrs {
+		if _, err := tx.Exec(fmt.Sprintf(
+			"INSERT INTO user_attribute (object_type, object_id, attr_id, %s) VALUES (?, ?, ?, ?)", a.col),
+			sqldb.Text(string(ObjectFile)), sqldb.Int(fileID), sqldb.Int(a.attrID), a.val); err != nil {
+			return File{}, err
+		}
+	}
+	if spec.Provenance != "" {
+		if _, err := tx.Exec("INSERT INTO provenance (file_id, description, at) VALUES (?, ?, ?)",
+			sqldb.Int(fileID), sqldb.Text(spec.Provenance), now); err != nil {
+			return File{}, err
+		}
+	}
+	if spec.Audited {
+		if err := c.auditTx(tx, ObjectFile, fileID, "create", dn, spec.Name, op.requestID); err != nil {
+			return File{}, err
+		}
+	}
+	return File{
+		ID: fileID, Name: spec.Name, Version: version, DataType: spec.DataType,
+		Valid: true, CollectionID: collectionID, ContainerID: spec.ContainerID,
+		ContainerService: spec.ContainerService, MasterCopy: spec.MasterCopy,
+		Creator: dn, LastModifier: dn,
+		Created: now.M, Modified: now.M, Audited: spec.Audited,
+	}, nil
 }
 
 // nullableID renders 0 as NULL for optional foreign keys.
@@ -232,13 +239,18 @@ func scanFile(row []sqldb.Value) File {
 // matching the paper's rule that name and version together identify the
 // item once multiple versions exist.
 func (c *Catalog) GetFile(dn, name string, version int) (File, error) {
+	return c.getFileQ(c.db, dn, name, version)
+}
+
+// getFileQ is GetFile reading through q.
+func (c *Catalog) getFileQ(q querier, dn, name string, version int) (File, error) {
 	var rows *sqldb.Rows
 	var err error
 	if version == 0 {
-		rows, err = c.db.Query("SELECT "+fileColumns+" FROM logical_file WHERE name = ?",
+		rows, err = q.Query("SELECT "+fileColumns+" FROM logical_file WHERE name = ?",
 			sqldb.Text(name))
 	} else {
-		rows, err = c.db.Query("SELECT "+fileColumns+" FROM logical_file WHERE name = ? AND version = ?",
+		rows, err = q.Query("SELECT "+fileColumns+" FROM logical_file WHERE name = ? AND version = ?",
 			sqldb.Text(name), sqldb.Int(int64(version)))
 	}
 	if err != nil {
@@ -251,7 +263,7 @@ func (c *Catalog) GetFile(dn, name string, version int) (File, error) {
 		return File{}, fmt.Errorf("%w: file %q has %d versions", ErrAmbiguousFile, name, len(rows.Data))
 	}
 	f := scanFile(rows.Data[0])
-	if err := c.requireFile(dn, &f, PermRead); err != nil {
+	if err := c.requireFileQ(q, dn, &f, PermRead); err != nil {
 		return File{}, err
 	}
 	return f, nil
@@ -291,11 +303,25 @@ type FileUpdate struct {
 // UpdateFile modifies static attributes of a file.
 func (c *Catalog) UpdateFile(dn, name string, version int, upd FileUpdate, opts ...OpOption) (File, error) {
 	op := applyOpOptions(opts)
-	f, err := c.GetFile(dn, name, version)
+	var out File
+	err := c.db.Update(func(tx *sqldb.Tx) error {
+		var err error
+		out, err = c.updateFileTx(tx, dn, name, version, upd, op)
+		return err
+	})
 	if err != nil {
 		return File{}, err
 	}
-	if err := c.requireFile(dn, &f, PermWrite); err != nil {
+	return out, nil
+}
+
+// updateFileTx applies a static-attribute update inside an open transaction.
+func (c *Catalog) updateFileTx(tx *sqldb.Tx, dn, name string, version int, upd FileUpdate, op opSettings) (File, error) {
+	f, err := c.getFileQ(tx, dn, name, version)
+	if err != nil {
+		return File{}, err
+	}
+	if err := c.requireFileQ(tx, dn, &f, PermWrite); err != nil {
 		return File{}, err
 	}
 	set := ""
@@ -336,17 +362,13 @@ func (c *Catalog) UpdateFile(dn, name string, version int, upd FileUpdate, opts 
 	f.LastModifier = dn
 	f.Modified = now.M
 	args = append(args, sqldb.Int(f.ID))
-	err = c.db.Update(func(tx *sqldb.Tx) error {
-		if _, err := tx.Exec("UPDATE logical_file SET "+set+" WHERE id = ?", args...); err != nil {
-			return err
-		}
-		if f.Audited {
-			return c.auditTx(tx, ObjectFile, f.ID, "update", dn, "static attributes", op.requestID)
-		}
-		return nil
-	})
-	if err != nil {
+	if _, err := tx.Exec("UPDATE logical_file SET "+set+" WHERE id = ?", args...); err != nil {
 		return File{}, err
+	}
+	if f.Audited {
+		if err := c.auditTx(tx, ObjectFile, f.ID, "update", dn, "static attributes", op.requestID); err != nil {
+			return File{}, err
+		}
 	}
 	return f, nil
 }
@@ -364,37 +386,46 @@ func (c *Catalog) InvalidateFile(dn, name string, version int) error {
 // memberships.
 func (c *Catalog) DeleteFile(dn, name string, version int, opts ...OpOption) error {
 	op := applyOpOptions(opts)
-	f, err := c.GetFile(dn, name, version)
-	if err != nil {
-		return err
-	}
-	if err := c.requireFile(dn, &f, PermDelete); err != nil {
-		return err
-	}
 	return c.db.Update(func(tx *sqldb.Tx) error {
-		id := sqldb.Int(f.ID)
-		ft := sqldb.Text(string(ObjectFile))
-		if _, err := tx.Exec("DELETE FROM logical_file WHERE id = ?", id); err != nil {
-			return err
-		}
-		for _, stmt := range []string{
-			"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ?",
-			"DELETE FROM annotation WHERE object_type = ? AND object_id = ?",
-			"DELETE FROM acl WHERE object_type = ? AND object_id = ?",
-			"DELETE FROM view_member WHERE object_type = ? AND object_id = ?",
-		} {
-			if _, err := tx.Exec(stmt, ft, id); err != nil {
-				return err
-			}
-		}
-		if _, err := tx.Exec("DELETE FROM provenance WHERE file_id = ?", id); err != nil {
-			return err
-		}
-		if f.Audited {
-			return c.auditTx(tx, ObjectFile, f.ID, "delete", dn, f.Name, op.requestID)
-		}
-		return nil
+		_, err := c.deleteFileTx(tx, dn, name, version, op)
+		return err
 	})
+}
+
+// deleteFileTx applies a file delete inside an open transaction and returns
+// the deleted file's ID.
+func (c *Catalog) deleteFileTx(tx *sqldb.Tx, dn, name string, version int, op opSettings) (int64, error) {
+	f, err := c.getFileQ(tx, dn, name, version)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.requireFileQ(tx, dn, &f, PermDelete); err != nil {
+		return 0, err
+	}
+	id := sqldb.Int(f.ID)
+	ft := sqldb.Text(string(ObjectFile))
+	if _, err := tx.Exec("DELETE FROM logical_file WHERE id = ?", id); err != nil {
+		return 0, err
+	}
+	for _, stmt := range []string{
+		"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ?",
+		"DELETE FROM annotation WHERE object_type = ? AND object_id = ?",
+		"DELETE FROM acl WHERE object_type = ? AND object_id = ?",
+		"DELETE FROM view_member WHERE object_type = ? AND object_id = ?",
+	} {
+		if _, err := tx.Exec(stmt, ft, id); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := tx.Exec("DELETE FROM provenance WHERE file_id = ?", id); err != nil {
+		return 0, err
+	}
+	if f.Audited {
+		if err := c.auditTx(tx, ObjectFile, f.ID, "delete", dn, f.Name, op.requestID); err != nil {
+			return 0, err
+		}
+	}
+	return f.ID, nil
 }
 
 // MoveFile reassigns a file to a different logical collection ("" removes it

@@ -111,7 +111,12 @@ func (c *Catalog) CreateCollection(dn string, spec CollectionSpec, opts ...OpOpt
 
 // GetCollection fetches a logical collection by name.
 func (c *Catalog) GetCollection(dn, name string) (Collection, error) {
-	rows, err := c.db.Query("SELECT "+collectionColumns+" FROM logical_collection WHERE name = ?",
+	return c.getCollectionQ(c.db, dn, name)
+}
+
+// getCollectionQ is GetCollection reading through q.
+func (c *Catalog) getCollectionQ(q querier, dn, name string) (Collection, error) {
+	rows, err := q.Query("SELECT "+collectionColumns+" FROM logical_collection WHERE name = ?",
 		sqldb.Text(name))
 	if err != nil {
 		return Collection{}, err
@@ -120,7 +125,7 @@ func (c *Catalog) GetCollection(dn, name string) (Collection, error) {
 		return Collection{}, fmt.Errorf("%w: collection %q", ErrNotFound, name)
 	}
 	col := scanCollection(rows.Data[0])
-	if err := c.requireObject(dn, ObjectCollection, col.ID, PermRead); err != nil {
+	if err := c.requireObjectQ(q, dn, ObjectCollection, col.ID, PermRead); err != nil {
 		return Collection{}, err
 	}
 	return col, nil
@@ -155,6 +160,11 @@ func (c *Catalog) CollectionContents(dn, name string) (files []File, subs []Coll
 // collectionChain returns the IDs of the collection and all its ancestors,
 // guarding against malformed parent cycles.
 func (c *Catalog) collectionChain(id int64) ([]int64, error) {
+	return c.collectionChainQ(c.db, id)
+}
+
+// collectionChainQ is collectionChain reading through q.
+func (c *Catalog) collectionChainQ(q querier, id int64) ([]int64, error) {
 	var chain []int64
 	seen := map[int64]bool{}
 	for id != 0 {
@@ -163,7 +173,7 @@ func (c *Catalog) collectionChain(id int64) ([]int64, error) {
 		}
 		seen[id] = true
 		chain = append(chain, id)
-		rows, err := c.db.Query("SELECT parent_id FROM logical_collection WHERE id = ?", sqldb.Int(id))
+		rows, err := q.Query("SELECT parent_id FROM logical_collection WHERE id = ?", sqldb.Int(id))
 		if err != nil {
 			return nil, err
 		}

@@ -68,18 +68,32 @@ func (c *Catalog) AuditLog(dn string, objType ObjectType, objectName string) ([]
 
 // Annotate attaches a free-text annotation to a file, collection or view.
 func (c *Catalog) Annotate(dn string, objType ObjectType, objectName, text string) (Annotation, error) {
-	if text == "" {
-		return Annotation{}, fmt.Errorf("%w: empty annotation", ErrInvalidInput)
-	}
-	id, err := c.resolveObject(dn, objType, objectName)
+	var out Annotation
+	err := c.db.Update(func(tx *sqldb.Tx) error {
+		var err error
+		out, err = c.annotateTx(tx, dn, objType, objectName, text)
+		return err
+	})
 	if err != nil {
 		return Annotation{}, err
 	}
-	if err := c.requireObject(dn, objType, id, PermAnnotate); err != nil {
+	return out, nil
+}
+
+// annotateTx is Annotate inside an existing transaction.
+func (c *Catalog) annotateTx(tx *sqldb.Tx, dn string, objType ObjectType, objectName, text string) (Annotation, error) {
+	if text == "" {
+		return Annotation{}, fmt.Errorf("%w: empty annotation", ErrInvalidInput)
+	}
+	id, err := c.resolveMemberQ(tx, dn, objType, objectName)
+	if err != nil {
+		return Annotation{}, err
+	}
+	if err := c.requireObjectQ(tx, dn, objType, id, PermAnnotate); err != nil {
 		return Annotation{}, err
 	}
 	now := c.now()
-	res, err := c.db.Exec(
+	res, err := tx.Exec(
 		"INSERT INTO annotation (object_type, object_id, annotation, dn, at) VALUES (?, ?, ?, ?, ?)",
 		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Text(text), sqldb.Text(dn), now)
 	if err != nil {

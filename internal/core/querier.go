@@ -1,0 +1,18 @@
+package core
+
+import "mcs/internal/sqldb"
+
+// querier is the read interface shared by *sqldb.DB and *sqldb.Tx. Catalog
+// read helpers are written against it so the same lookup code serves two
+// regimes: ordinary operations read through the database (shared read lock),
+// while BatchWrite reads through its open transaction — the database's write
+// lock is held for the whole batch and is not reentrant, so any read through
+// c.db.Query from inside the transaction would deadlock.
+type querier interface {
+	Query(sql string, args ...sqldb.Value) (*sqldb.Rows, error)
+}
+
+var (
+	_ querier = (*sqldb.DB)(nil)
+	_ querier = (*sqldb.Tx)(nil)
+)

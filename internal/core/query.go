@@ -83,6 +83,14 @@ func sqlOp(op Op) (string, error) {
 
 // compileQuery translates a Query into SQL and its parameters.
 func (c *Catalog) compileQuery(q Query) (string, []sqldb.Value, error) {
+	return c.compileQueryEx(q, "", 0)
+}
+
+// compileQueryEx is compileQuery with an optional pagination window: when
+// pageSize > 0 the result is restricted to names strictly after `after`,
+// ordered by name, at most pageSize rows — the stateless cursor behind
+// RunQueryPage.
+func (c *Catalog) compileQueryEx(q Query, after string, pageSize int) (string, []sqldb.Value, error) {
 	target := q.Target
 	if target == "" {
 		target = ObjectFile
@@ -130,6 +138,11 @@ func (c *Catalog) compileQuery(q Query) (string, []sqldb.Value, error) {
 		userPreds = append(userPreds, userPred{def: def, op: op, val: p.Value.sqlValue()})
 	}
 
+	if pageSize > 0 && after != "" {
+		staticConds = append(staticConds, "t.name > ?")
+		staticArgs = append(staticArgs, sqldb.Text(after))
+	}
+
 	var sb strings.Builder
 	var args []sqldb.Value
 	if len(userPreds) == 0 {
@@ -160,7 +173,9 @@ func (c *Catalog) compileQuery(q Query) (string, []sqldb.Value, error) {
 		args = append(args, staticArgs...)
 		sb.WriteString(" WHERE " + strings.Join(conds, " AND "))
 	}
-	if q.Limit > 0 {
+	if pageSize > 0 {
+		fmt.Fprintf(&sb, " ORDER BY t.name LIMIT %d", pageSize)
+	} else if q.Limit > 0 {
 		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
 	}
 	return sb.String(), args, nil

@@ -75,7 +75,12 @@ func (c *Catalog) CreateView(dn string, spec ViewSpec, opts ...OpOption) (View, 
 
 // GetView fetches a logical view by name.
 func (c *Catalog) GetView(dn, name string) (View, error) {
-	rows, err := c.db.Query("SELECT "+viewColumns+" FROM logical_view WHERE name = ?", sqldb.Text(name))
+	return c.getViewQ(c.db, dn, name)
+}
+
+// getViewQ is GetView reading through q.
+func (c *Catalog) getViewQ(q querier, dn, name string) (View, error) {
+	rows, err := q.Query("SELECT "+viewColumns+" FROM logical_view WHERE name = ?", sqldb.Text(name))
 	if err != nil {
 		return View{}, err
 	}
@@ -88,21 +93,26 @@ func (c *Catalog) GetView(dn, name string) (View, error) {
 // resolveMember maps an (objectType, name) pair to the member's numeric ID.
 // Views may aggregate files, collections and other views.
 func (c *Catalog) resolveMember(dn string, objType ObjectType, name string) (int64, error) {
+	return c.resolveMemberQ(c.db, dn, objType, name)
+}
+
+// resolveMemberQ is resolveMember reading through q.
+func (c *Catalog) resolveMemberQ(q querier, dn string, objType ObjectType, name string) (int64, error) {
 	switch objType {
 	case ObjectFile:
-		f, err := c.GetFile(dn, name, 0)
+		f, err := c.getFileQ(q, dn, name, 0)
 		if err != nil {
 			return 0, err
 		}
 		return f.ID, nil
 	case ObjectCollection:
-		col, err := c.GetCollection(dn, name)
+		col, err := c.getCollectionQ(q, dn, name)
 		if err != nil {
 			return 0, err
 		}
 		return col.ID, nil
 	case ObjectView:
-		v, err := c.GetView(dn, name)
+		v, err := c.getViewQ(q, dn, name)
 		if err != nil {
 			return 0, err
 		}

@@ -49,6 +49,44 @@ func (m *OpMetrics) End(d time.Duration, err error) {
 	m.latency.Observe(d)
 }
 
+// SizeDist tracks a distribution of sizes (ops per batch, names per page)
+// as count/sum/max. All fields are updated atomically.
+type SizeDist struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe records one size sample.
+func (d *SizeDist) Observe(n int) {
+	d.count.Add(1)
+	d.sum.Add(int64(n))
+	for {
+		cur := d.max.Load()
+		if int64(n) <= cur || d.max.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (d *SizeDist) Count() int64 { return d.count.Load() }
+
+// Sum returns the total of all samples.
+func (d *SizeDist) Sum() int64 { return d.sum.Load() }
+
+// Max returns the largest sample seen.
+func (d *SizeDist) Max() int64 { return d.max.Load() }
+
+// Mean returns the average sample, 0 when empty.
+func (d *SizeDist) Mean() float64 {
+	n := d.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.sum.Load()) / float64(n)
+}
+
 // Registry tracks per-operation metrics plus service-wide counters. The
 // zero value is not usable; construct with NewRegistry.
 type Registry struct {
@@ -57,13 +95,29 @@ type Registry struct {
 	// Malformed counts requests rejected before dispatch (bad envelope,
 	// unknown operation, failed authentication).
 	malformed atomic.Int64
-	start     time.Time
+	// batchSizes records ops per batchWrite; pageSizes records entries
+	// returned per paged query/listing.
+	batchSizes SizeDist
+	pageSizes  SizeDist
+	start      time.Time
 }
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry {
 	return &Registry{ops: make(map[string]*OpMetrics), start: time.Now()}
 }
+
+// ObserveBatchSize records the op count of one batchWrite.
+func (r *Registry) ObserveBatchSize(n int) { r.batchSizes.Observe(n) }
+
+// ObservePageSize records the entry count of one returned page.
+func (r *Registry) ObservePageSize(n int) { r.pageSizes.Observe(n) }
+
+// BatchSizes returns the distribution of ops per batch.
+func (r *Registry) BatchSizes() *SizeDist { return &r.batchSizes }
+
+// PageSizes returns the distribution of entries per page.
+func (r *Registry) PageSizes() *SizeDist { return &r.pageSizes }
 
 // Op returns the metrics of the named operation, creating them on first use.
 func (r *Registry) Op(name string) *OpMetrics {
@@ -113,16 +167,32 @@ type opSnapshot struct {
 	Buckets  []int64 `json:"buckets"`
 }
 
+// sizeSnapshot is the JSON shape of a size distribution.
+type sizeSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+func snapshotDist(d *SizeDist) sizeSnapshot {
+	return sizeSnapshot{Count: d.Count(), Sum: d.Sum(), Max: d.Max(), Mean: d.Mean()}
+}
+
 // WriteJSON renders the registry expvar-style: one JSON object keyed by
 // operation name, with latency quantiles in microseconds.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	body := struct {
 		UptimeSeconds int64                 `json:"uptime_seconds"`
 		Malformed     int64                 `json:"malformed_requests"`
+		BatchSizes    sizeSnapshot          `json:"batch_sizes"`
+		PageSizes     sizeSnapshot          `json:"page_sizes"`
 		Operations    map[string]opSnapshot `json:"operations"`
 	}{
 		UptimeSeconds: int64(time.Since(r.start).Seconds()),
 		Malformed:     r.malformed.Load(),
+		BatchSizes:    snapshotDist(&r.batchSizes),
+		PageSizes:     snapshotDist(&r.pageSizes),
 		Operations:    make(map[string]opSnapshot),
 	}
 	for _, m := range r.Ops() {
@@ -165,6 +235,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	p("# HELP mcs_malformed_requests_total Requests rejected before dispatch.\n# TYPE mcs_malformed_requests_total counter\n")
 	p("mcs_malformed_requests_total %d\n", r.malformed.Load())
+	p("# HELP mcs_batch_ops Operations carried per batchWrite request.\n# TYPE mcs_batch_ops summary\n")
+	p("mcs_batch_ops_sum %d\nmcs_batch_ops_count %d\n", r.batchSizes.Sum(), r.batchSizes.Count())
+	p("# HELP mcs_page_entries Entries returned per result page.\n# TYPE mcs_page_entries summary\n")
+	p("mcs_page_entries_sum %d\nmcs_page_entries_count %d\n", r.pageSizes.Sum(), r.pageSizes.Count())
 	p("# HELP mcs_latency_seconds Operation latency.\n# TYPE mcs_latency_seconds histogram\n")
 	for _, m := range r.Ops() {
 		cum := m.latency.Buckets()

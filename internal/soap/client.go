@@ -103,8 +103,32 @@ func (c *Client) CallCtx(ctx context.Context, action string, req, resp any) erro
 	if err != nil {
 		return fmt.Errorf("soap: read response: %w", err)
 	}
+	if httpResp.StatusCode < 200 || httpResp.StatusCode > 299 {
+		// Servers report SOAP faults with an error status (HTTP 500 per the
+		// SOAP 1.1 binding) — surface those as *Fault. Anything else —
+		// typically an intermediary's error page — must not reach the XML
+		// decoder as if it were a reply, so quote the status and a body
+		// prefix instead of an opaque parse error.
+		if err := Unmarshal(raw, resp); err != nil {
+			if _, ok := err.(*Fault); ok {
+				return err
+			}
+		}
+		return fmt.Errorf("soap: call %s: server returned %s: %q",
+			action, httpResp.Status, bodyPrefix(raw))
+	}
 	if err := Unmarshal(raw, resp); err != nil {
 		return err
 	}
 	return nil
+}
+
+// bodyPrefix returns the leading bytes of a response body for error
+// messages, truncating long bodies.
+func bodyPrefix(raw []byte) string {
+	const max = 256
+	if len(raw) > max {
+		return string(raw[:max]) + "..."
+	}
+	return string(raw)
 }

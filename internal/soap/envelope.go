@@ -56,24 +56,44 @@ func Marshal(payload any) ([]byte, error) {
 	return append([]byte(xml.Header), out...), nil
 }
 
-// bodyElement extracts the name of the first element inside the Body and the
-// raw bytes of the Body content.
-func bodyElement(raw []byte) (xml.Name, []byte, error) {
-	var env envelope
-	if err := xml.Unmarshal(raw, &env); err != nil {
-		return xml.Name{}, nil, fmt.Errorf("soap: parse envelope: %w", err)
-	}
-	dec := xml.NewDecoder(bytes.NewReader(env.Body.Inner))
+// decodeBody advances dec to the first element inside the SOAP Body and
+// returns its start element, leaving the decoder positioned so that
+// DecodeElement consumes exactly that element. Streaming to the payload in
+// one pass matters: the envelope used to be tokenized once to slice out the
+// Body and a second time to unmarshal it, which doubled the XML cost of
+// every call — and of every operation inside a large batchWrite body.
+func decodeBody(dec *xml.Decoder) (xml.StartElement, error) {
+	depth := 0
+	inBody := false
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
-			return xml.Name{}, nil, fmt.Errorf("soap: empty Body")
+			if inBody {
+				return xml.StartElement{}, fmt.Errorf("soap: empty Body")
+			}
+			return xml.StartElement{}, fmt.Errorf("soap: no Body element")
 		}
 		if err != nil {
-			return xml.Name{}, nil, fmt.Errorf("soap: parse body: %w", err)
+			return xml.StartElement{}, fmt.Errorf("soap: parse envelope: %w", err)
 		}
-		if se, ok := tok.(xml.StartElement); ok {
-			return se.Name, env.Body.Inner, nil
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if inBody {
+				return t, nil
+			}
+			if depth == 1 && (t.Name.Space != EnvelopeNS || t.Name.Local != "Envelope") {
+				return xml.StartElement{}, fmt.Errorf("soap: parse envelope: unexpected root element <%s>", t.Name.Local)
+			}
+			if depth == 2 && t.Name.Space == EnvelopeNS && t.Name.Local == "Body" {
+				inBody = true
+			}
+		case xml.EndElement:
+			depth--
+			if inBody {
+				// Leaving the Body without seeing a payload element.
+				return xml.StartElement{}, fmt.Errorf("soap: empty Body")
+			}
 		}
 	}
 }
@@ -81,19 +101,20 @@ func bodyElement(raw []byte) (xml.Name, []byte, error) {
 // Unmarshal extracts the first Body element of a SOAP message into v.
 // If the body is a Fault, it is returned as the error.
 func Unmarshal(raw []byte, v any) error {
-	name, inner, err := bodyElement(raw)
+	dec := xml.NewDecoder(bytes.NewReader(raw))
+	se, err := decodeBody(dec)
 	if err != nil {
 		return err
 	}
-	if name.Local == "Fault" {
+	if se.Name.Local == "Fault" {
 		var f Fault
-		if err := xml.Unmarshal(inner, &f); err != nil {
+		if err := dec.DecodeElement(&f, &se); err != nil {
 			return fmt.Errorf("soap: parse fault: %w", err)
 		}
 		return &f
 	}
-	if err := xml.Unmarshal(inner, v); err != nil {
-		return fmt.Errorf("soap: unmarshal %s: %w", name.Local, err)
+	if err := dec.DecodeElement(v, &se); err != nil {
+		return fmt.Errorf("soap: unmarshal %s: %w", se.Name.Local, err)
 	}
 	return nil
 }

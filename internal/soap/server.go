@@ -35,8 +35,9 @@ type Authenticator interface {
 	Authenticate(r *http.Request, body []byte) (dn string, err error)
 }
 
-// handlerFunc is the internal type-erased operation handler.
-type handlerFunc func(ctx *Ctx, bodyXML []byte) (any, error)
+// handlerFunc is the internal type-erased operation handler. It decodes the
+// operation element from dec (positioned at start) and executes the call.
+type handlerFunc func(ctx *Ctx, dec *xml.Decoder, start *xml.StartElement) (any, error)
 
 // Server dispatches SOAP requests to registered operations by the local
 // name of the first Body element.
@@ -111,9 +112,9 @@ func Handle[Req, Resp any](s *Server, name string, fn func(ctx *Ctx, req *Req) (
 	if _, dup := s.ops[name]; dup {
 		panic(fmt.Sprintf("soap: operation %q registered twice", name))
 	}
-	s.ops[name] = func(ctx *Ctx, bodyXML []byte) (any, error) {
+	s.ops[name] = func(ctx *Ctx, dec *xml.Decoder, start *xml.StartElement) (any, error) {
 		var req Req
-		if err := xml.Unmarshal(bodyXML, &req); err != nil {
+		if err := dec.DecodeElement(&req, start); err != nil {
 			return nil, fmt.Errorf("decode %s request: %w", name, err)
 		}
 		return fn(ctx, &req)
@@ -186,18 +187,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		ctx.DN = dn
 	}
 
-	name, inner, err := bodyElement(raw)
+	dec := xml.NewDecoder(bytes.NewReader(raw))
+	se, err := decodeBody(dec)
 	if err != nil {
 		s.malformed(metrics)
 		s.writeFault(w, "Client", err.Error())
 		return
 	}
 	s.mu.RLock()
-	fn, ok := s.ops[name.Local]
+	fn, ok := s.ops[se.Name.Local]
 	s.mu.RUnlock()
 	if !ok {
 		s.malformed(metrics)
-		s.writeFault(w, "Client", fmt.Sprintf("unknown operation %q", name.Local))
+		s.writeFault(w, "Client", fmt.Sprintf("unknown operation %q", se.Name.Local))
 		return
 	}
 
@@ -205,16 +207,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// request/error counters and the latency histogram on completion.
 	var om *obs.OpMetrics
 	if metrics != nil {
-		om = metrics.Op(name.Local)
+		om = metrics.Op(se.Name.Local)
 		om.Begin()
 	}
 	start := time.Now()
-	resp, err := fn(ctx, operationElement(inner, name))
+	resp, err := fn(ctx, dec, &se)
 	elapsed := time.Since(start)
 	if om != nil {
 		om.End(elapsed, err)
 	}
-	slow.Record(name.Local, reqID, ctx.DN, elapsed, err)
+	slow.Record(se.Name.Local, reqID, ctx.DN, elapsed, err)
 
 	if err != nil {
 		s.writeFault(w, s.faultCode(err), err.Error())
@@ -241,16 +243,6 @@ func (s *Server) faultCode(err error) string {
 		}
 	}
 	return "Server"
-}
-
-// operationElement returns the bytes of the element named name within body
-// content (which may contain surrounding whitespace).
-func operationElement(inner []byte, name xml.Name) []byte {
-	// The first start element is the operation; body content before it is
-	// whitespace only. Unmarshalling the whole inner content works because
-	// encoding/xml unmarshals the first matching element.
-	_ = name
-	return bytes.TrimSpace(inner)
 }
 
 func (s *Server) writeFault(w http.ResponseWriter, code, msg string) {

@@ -369,16 +369,40 @@ func (db *DB) execInsert(s *InsertStmt, args []Value, undo *[]undoEntry) (Result
 		}
 	}
 	for _, exprRow := range s.Rows {
-		vals := make([]Value, len(exprRow))
-		for i, ex := range exprRow {
-			v, err := eval(ex, ev)
-			if err != nil {
-				return res, err
+		// Evaluate directly into the full-width row: inserts are the hottest
+		// write path, and a separate values slice per row doubled its
+		// allocations.
+		row := make(Row, len(t.cols))
+		if s.Columns == nil {
+			if len(exprRow) != len(t.cols) {
+				return res, fmt.Errorf("sqldb: INSERT into %q has %d values, table has %d columns",
+					t.name, len(exprRow), len(t.cols))
 			}
-			vals[i] = v
+			for i, ex := range exprRow {
+				v, err := eval(ex, ev)
+				if err != nil {
+					return res, err
+				}
+				row[i] = v
+			}
+		} else {
+			if len(s.Columns) != len(exprRow) {
+				return res, fmt.Errorf("sqldb: INSERT into %q names %d columns but supplies %d values",
+					t.name, len(s.Columns), len(exprRow))
+			}
+			for i, n := range s.Columns {
+				p, err := t.columnPos(n)
+				if err != nil {
+					return res, err
+				}
+				v, err := eval(exprRow[i], ev)
+				if err != nil {
+					return res, err
+				}
+				row[p] = v
+			}
 		}
-		row, err := t.prepareRow(s.Columns, vals)
-		if err != nil {
+		if err := t.completeRow(row); err != nil {
 			return res, err
 		}
 		rowid, err := t.insert(row)

@@ -17,27 +17,60 @@ func (r Row) clone() Row {
 }
 
 // indexKey orders index entries by column values, then by rowid so that
-// duplicate values coexist and each row has a unique entry.
+// duplicate values coexist and each row has a unique entry. The first two
+// columns — the full width of every index in practice — live inline, so
+// building a key for an index insert, delete or probe allocates nothing;
+// wider keys spill the remainder into a slice.
 type indexKey struct {
-	vals  []Value
-	rowid int64
+	v0, v1 Value
+	more   []Value // columns beyond the first two
+	n      int
+	rowid  int64
+}
+
+// col returns the i'th key column.
+func (k *indexKey) col(i int) Value {
+	switch i {
+	case 0:
+		return k.v0
+	case 1:
+		return k.v1
+	default:
+		return k.more[i-2]
+	}
+}
+
+// keyFromVals builds an indexKey from column values in order.
+func keyFromVals(vals []Value, rowid int64) indexKey {
+	k := indexKey{n: len(vals), rowid: rowid}
+	for i, v := range vals {
+		switch i {
+		case 0:
+			k.v0 = v
+		case 1:
+			k.v1 = v
+		default:
+			k.more = append(k.more, v)
+		}
+	}
+	return k
 }
 
 func indexKeyLess(a, b indexKey) bool {
-	n := len(a.vals)
-	if len(b.vals) < n {
-		n = len(b.vals)
+	n := a.n
+	if b.n < n {
+		n = b.n
 	}
 	for i := 0; i < n; i++ {
-		switch Compare(a.vals[i], b.vals[i]) {
+		switch Compare(a.col(i), b.col(i)) {
 		case -1:
 			return true
 		case 1:
 			return false
 		}
 	}
-	if len(a.vals) != len(b.vals) {
-		return len(a.vals) < len(b.vals)
+	if a.n != b.n {
+		return a.n < b.n
 	}
 	return a.rowid < b.rowid
 }
@@ -62,11 +95,18 @@ func newIndex(name string, t *table, cols []int, unique bool) *index {
 }
 
 func (ix *index) keyFor(rowid int64, row Row) indexKey {
-	vals := make([]Value, len(ix.cols))
+	k := indexKey{n: len(ix.cols), rowid: rowid}
 	for i, c := range ix.cols {
-		vals[i] = row[c]
+		switch i {
+		case 0:
+			k.v0 = row[c]
+		case 1:
+			k.v1 = row[c]
+		default:
+			k.more = append(k.more, row[c])
+		}
 	}
-	return indexKey{vals: vals, rowid: rowid}
+	return k
 }
 
 // checkUnique reports a constraint violation if another row already holds
@@ -76,13 +116,13 @@ func (ix *index) checkUnique(rowid int64, row Row) error {
 		return nil
 	}
 	key := ix.keyFor(rowid, row)
-	for _, v := range key.vals {
-		if v.IsNull() {
+	for i := 0; i < key.n; i++ {
+		if key.col(i).IsNull() {
 			return nil
 		}
 	}
 	dup := false
-	ix.scanEqual(key.vals, func(other int64) bool {
+	ix.scanEqualKey(key, func(other int64) bool {
 		if other != rowid {
 			dup = true
 			return false
@@ -106,10 +146,16 @@ func (ix *index) remove(rowid int64, row Row) {
 // scanEqual calls fn with the rowid of every entry whose leading columns
 // equal prefix, in index order, until fn returns false.
 func (ix *index) scanEqual(prefix []Value, fn func(rowid int64) bool) {
-	start := indexKey{vals: prefix, rowid: math.MinInt64}
+	ix.scanEqualKey(keyFromVals(prefix, math.MinInt64), fn)
+}
+
+// scanEqualKey is scanEqual with a prebuilt prefix key of start.n columns
+// (start.rowid is overridden to scan from the first matching entry).
+func (ix *index) scanEqualKey(start indexKey, fn func(rowid int64) bool) {
+	start.rowid = math.MinInt64
 	ix.tree.AscendGE(start, func(k indexKey, _ struct{}) bool {
-		for i := range prefix {
-			if Compare(k.vals[i], prefix[i]) != 0 {
+		for i := 0; i < start.n; i++ {
+			if Compare(k.col(i), start.col(i)) != 0 {
 				return false
 			}
 		}
@@ -121,7 +167,7 @@ func (ix *index) scanEqual(prefix []Value, fn func(rowid int64) bool) {
 // described by lo/hi (nil means unbounded) with the given inclusivity.
 func (ix *index) scanRange(lo, hi *Value, loInc, hiInc bool, fn func(rowid int64) bool) {
 	visit := func(k indexKey, _ struct{}) bool {
-		v := k.vals[0]
+		v := k.v0
 		if lo != nil {
 			c := Compare(v, *lo)
 			if c < 0 || (c == 0 && !loInc) {
@@ -137,7 +183,7 @@ func (ix *index) scanRange(lo, hi *Value, loInc, hiInc bool, fn func(rowid int64
 		return fn(k.rowid)
 	}
 	if lo != nil {
-		ix.tree.AscendGE(indexKey{vals: []Value{*lo}, rowid: math.MinInt64}, visit)
+		ix.tree.AscendGE(indexKey{v0: *lo, n: 1, rowid: math.MinInt64}, visit)
 	} else {
 		ix.tree.Ascend(visit)
 	}
@@ -184,31 +230,10 @@ func (t *table) columnPos(name string) (int, error) {
 	return 0, fmt.Errorf("sqldb: no column %q in table %q", name, t.name)
 }
 
-// prepareRow builds a full-width row from named insert values, applying
-// autoincrement, NOT NULL checks and type coercion.
-func (t *table) prepareRow(names []string, vals []Value) (Row, error) {
-	row := make(Row, len(t.cols))
-	if names == nil {
-		if len(vals) != len(t.cols) {
-			return nil, fmt.Errorf("sqldb: INSERT into %q has %d values, table has %d columns",
-				t.name, len(vals), len(t.cols))
-		}
-		for i, v := range vals {
-			row[i] = v
-		}
-	} else {
-		if len(names) != len(vals) {
-			return nil, fmt.Errorf("sqldb: INSERT into %q names %d columns but supplies %d values",
-				t.name, len(names), len(vals))
-		}
-		for i, n := range names {
-			p, err := t.columnPos(n)
-			if err != nil {
-				return nil, err
-			}
-			row[p] = vals[i]
-		}
-	}
+// completeRow finalizes a full-width row in place, applying autoincrement,
+// NOT NULL checks and type coercion. Callers fill the row's known columns
+// and leave the rest NULL (the Value zero value).
+func (t *table) completeRow(row Row) error {
 	for i, c := range t.cols {
 		if row[i].IsNull() && c.AutoIncrement {
 			t.autoInc++
@@ -217,20 +242,20 @@ func (t *table) prepareRow(names []string, vals []Value) (Row, error) {
 		}
 		if row[i].IsNull() {
 			if c.NotNull {
-				return nil, fmt.Errorf("sqldb: NOT NULL constraint on %s.%s", t.name, c.Name)
+				return fmt.Errorf("sqldb: NOT NULL constraint on %s.%s", t.name, c.Name)
 			}
 			continue
 		}
 		cv, err := coerce(row[i], c.Type)
 		if err != nil {
-			return nil, fmt.Errorf("%w (column %s.%s)", err, t.name, c.Name)
+			return fmt.Errorf("%w (column %s.%s)", err, t.name, c.Name)
 		}
 		row[i] = cv
 		if c.AutoIncrement && cv.I > t.autoInc {
 			t.autoInc = cv.I
 		}
 	}
-	return row, nil
+	return nil
 }
 
 // insert stores row and updates indexes, returning the new rowid.

@@ -78,6 +78,18 @@ type (
 	ExternalCatalog = core.ExternalCatalog
 	// FileUpdate selects static file attributes to modify.
 	FileUpdate = core.FileUpdate
+	// BatchOp is one mutation inside a BatchWrite.
+	BatchOp = core.BatchOp
+	// BatchFileUpdate is a batched file update (name + FileUpdate).
+	BatchFileUpdate = core.BatchFileUpdate
+	// BatchFileRef identifies a file version for a batched delete.
+	BatchFileRef = core.BatchFileRef
+	// BatchSetAttribute is a batched attribute binding.
+	BatchSetAttribute = core.BatchSetAttribute
+	// BatchAnnotation is a batched annotation.
+	BatchAnnotation = core.BatchAnnotation
+	// BatchResult reports one op's outcome in a committed batch.
+	BatchResult = core.BatchResult
 	// Stats reports catalog row counts.
 	Stats = core.Stats
 	// QueryResult couples a matched logical name with requested attributes.
@@ -447,6 +459,36 @@ func (s *Server) register() {
 		return &mcswire.MoveFileResponse{OK: true}, nil
 	})
 
+	soap.Handle(s.Server, "batchWrite", func(ctx *soap.Ctx, req *mcswire.BatchWriteRequest) (*mcswire.BatchWriteResponse, error) {
+		ops := make([]BatchOp, 0, len(req.Ops))
+		for i, wo := range req.Ops {
+			op, err := mcswire.BatchOpFromWire(wo)
+			if err != nil {
+				return nil, fmt.Errorf("%w: batch op %d: %v", ErrInvalidInput, i, err)
+			}
+			ops = append(ops, op)
+		}
+		// Per-object authorization happens per op inside the transaction;
+		// the transport-level CAS check covers the batch as one write.
+		results, err := cat.BatchWrite(s.caller(ctx, req.Caller, gsi.RightWrite, ""), ops,
+			core.WithRequestID(ctx.RequestID))
+		if err != nil {
+			return nil, err
+		}
+		if s.metrics != nil {
+			s.metrics.ObserveBatchSize(len(ops))
+		}
+		resp := &mcswire.BatchWriteResponse{Count: len(results)}
+		if !req.Quiet {
+			for _, r := range results {
+				resp.Results = append(resp.Results, mcswire.WireBatchResult{
+					Action: r.Action, ID: r.ID, Version: r.Version,
+				})
+			}
+		}
+		return resp, nil
+	})
+
 	soap.Handle(s.Server, "createCollection", func(ctx *soap.Ctx, req *mcswire.CreateCollectionRequest) (*mcswire.CreateCollectionResponse, error) {
 		attrs := make([]Attribute, 0, len(req.Attributes))
 		for _, wa := range req.Attributes {
@@ -480,6 +522,25 @@ func (s *Server) register() {
 			return nil, err
 		}
 		resp := &mcswire.CollectionContentsResponse{}
+		for _, f := range files {
+			resp.Files = append(resp.Files, mcswire.FileToWire(f))
+		}
+		for _, c := range subs {
+			resp.SubCollections = append(resp.SubCollections, mcswire.CollectionToWire(c))
+		}
+		return resp, nil
+	})
+
+	soap.Handle(s.Server, "collectionContentsPage", func(ctx *soap.Ctx, req *mcswire.CollectionContentsPageRequest) (*mcswire.CollectionContentsPageResponse, error) {
+		files, subs, next, err := cat.CollectionContentsPage(
+			s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name, req.PageSize, req.Token)
+		if err != nil {
+			return nil, err
+		}
+		if s.metrics != nil {
+			s.metrics.ObservePageSize(len(files) + len(subs))
+		}
+		resp := &mcswire.CollectionContentsPageResponse{Next: next}
 		for _, f := range files {
 			resp.Files = append(resp.Files, mcswire.FileToWire(f))
 		}
@@ -638,6 +699,27 @@ func (s *Server) register() {
 			return nil, err
 		}
 		return &mcswire.QueryResponse{Names: names}, nil
+	})
+
+	soap.Handle(s.Server, "queryPage", func(ctx *soap.Ctx, req *mcswire.QueryPageRequest) (*mcswire.QueryPageResponse, error) {
+		q := Query{Target: ObjectType(req.Target)}
+		for _, wp := range req.Predicates {
+			v, err := core.ParseAttrValue(AttrType(wp.Type), wp.Value)
+			if err != nil {
+				return nil, fmt.Errorf("predicate %q: %w", wp.Attribute, err)
+			}
+			q.Predicates = append(q.Predicates, Predicate{
+				Attribute: wp.Attribute, Op: Op(wp.Op), Value: v,
+			})
+		}
+		names, next, err := cat.RunQueryPage(s.caller(ctx, req.Caller, gsi.RightRead, ""), q, req.PageSize, req.Token)
+		if err != nil {
+			return nil, err
+		}
+		if s.metrics != nil {
+			s.metrics.ObservePageSize(len(names))
+		}
+		return &mcswire.QueryPageResponse{Names: names, Next: next}, nil
 	})
 
 	soap.Handle(s.Server, "queryAttrs", func(ctx *soap.Ctx, req *mcswire.QueryAttrsRequest) (*mcswire.QueryAttrsResponse, error) {

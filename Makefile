@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench figures
+.PHONY: build test race vet fmt check chaos bench figures
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ fmt:
 
 check: fmt vet race
 	@echo "check: ok"
+
+# The fault-injection suite under fixed seeds (override with
+# MCS_CHAOS_SEEDS=...): fault matrix, retry tests, soak.
+chaos:
+	MCS_CHAOS_SEEDS=$${MCS_CHAOS_SEEDS:-1,7,42} \
+		$(GO) test -race -timeout 5m -run 'TestChaos|TestRetry|TestBatchWriteAtomicVisibility|TestPaginationTokenSurvivesRestart' -v .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -2,6 +2,8 @@ package mcs
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcs/internal/gsi"
@@ -32,13 +34,28 @@ import (
 // Errors returned by the service preserve their identity across the wire:
 // a failed call can be matched with errors.Is against the package sentinels
 // (ErrNotFound, ErrExists, ErrDenied, ErrInvalidInput, ErrCycle,
-// ErrNotEmpty, ErrAmbiguousFile), exactly as if the catalog were embedded.
+// ErrNotEmpty, ErrAmbiguousFile, ErrUnavailable), exactly as if the catalog
+// were embedded. Calls that fail without a decodable reply match
+// ErrTransport; WithRetry makes the client retry those (and ErrUnavailable)
+// automatically with idempotency keys on mutating operations.
 type Client struct {
 	soap *soap.Client
 	// dn is the identity declared on unauthenticated deployments. When a
 	// GSI credential is attached with WithCredential, the server derives
 	// the identity from the credential instead.
 	dn string
+
+	// Retry policy (off unless WithRetry raises retryAttempts above 1).
+	retryAttempts int
+	backoffBase   time.Duration
+	backoffMax    time.Duration
+	// sleep pauses between attempts; tests substitute a recorder.
+	sleep func(ctx context.Context, d time.Duration) error
+	// rngState drives backoff jitter (splitmix64; cheap, no global lock).
+	rngMu    sync.Mutex
+	rngState uint64
+	attempts atomic.Int64
+	retries  atomic.Int64
 }
 
 // ClientOption configures a Client at construction.
@@ -70,6 +87,35 @@ func WithAssertion(encoded string) ClientOption {
 	}
 }
 
+// WithRetry enables automatic retry of failed calls: each logical call makes
+// up to attempts HTTP round trips (attempts <= 1 disables retry, the
+// default). Only transient failures are retried — server-declared
+// unavailability (ErrUnavailable) and transport failures with no decodable
+// reply (ErrTransport); catalog verdicts like ErrNotFound or ErrDenied are
+// returned immediately. Every attempt of a logical call repeats the same
+// request correlation ID, and mutating calls also carry a pinned idempotency
+// key, so a server that already applied the operation answers the replay
+// from its replay cache instead of applying it twice: with retries on, every
+// mutation is applied exactly once even when replies are lost mid-flight.
+func WithRetry(attempts int) ClientOption {
+	return func(c *Client) { c.retryAttempts = attempts }
+}
+
+// WithBackoff tunes the pause between retry attempts (default 25ms base,
+// 1s cap): attempt n waits base*2^(n-1) capped at max, jittered down by up
+// to half so concurrent clients do not retry in lockstep. Only meaningful
+// together with WithRetry.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
 // WithRequestIDHeader renames the header carrying the per-call request
 // correlation ID (default obs.RequestIDHeader, "X-MCS-Request-ID"), for
 // deployments that standardize on another name; "" disables request-ID
@@ -80,7 +126,14 @@ func WithRequestIDHeader(name string) ClientOption {
 
 // NewClient returns a client for the MCS at endpoint, acting as dn.
 func NewClient(endpoint, dn string, opts ...ClientOption) *Client {
-	c := &Client{soap: soap.NewClient(endpoint), dn: dn}
+	c := &Client{
+		soap:        soap.NewClient(endpoint),
+		dn:          dn,
+		backoffBase: 25 * time.Millisecond,
+		backoffMax:  time.Second,
+		sleep:       ctxSleep,
+		rngState:    seedRNG(),
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -102,10 +155,14 @@ func (c *Client) SetTimeout(d time.Duration) { WithTimeout(d)(c) }
 // Deprecated: pass WithAssertion to NewClient.
 func (c *Client) UseAssertion(encoded string) { WithAssertion(encoded)(c) }
 
-// call performs one SOAP round trip and maps SOAP faults back to the
+// call performs one logical call — a single SOAP round trip, or a retry
+// loop when WithRetry is configured — and maps SOAP faults back to the
 // sentinel their fault code names.
 func (c *Client) call(ctx context.Context, action string, req, resp any) error {
-	return mapWireError(c.soap.CallCtx(ctx, action, req, resp))
+	if c.retryAttempts <= 1 {
+		return mapWireError(c.soap.CallCtx(ctx, action, req, resp))
+	}
+	return c.callRetry(ctx, action, req, resp)
 }
 
 // Ping checks liveness with context.Background.

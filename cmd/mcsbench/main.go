@@ -3,7 +3,10 @@
 // the catalog directly and through the SOAP web service, swept over client
 // threads, client hosts, database sizes and attribute counts. Figure 12
 // extends the evaluation with a batchWrite batch-size sweep: bulk
-// registration throughput at 1, 10, 100 and 1000 files per call.
+// registration throughput at 1, 10, 100 and 1000 files per call. Figure 13
+// compares add rate and latency on a healthy server against a degraded one
+// (injected dispatch errors and dropped replies) reached by a client with
+// retries and idempotency keys — the cost of riding out failures.
 //
 // Usage:
 //
@@ -69,12 +72,35 @@ func env() bench.Env {
 			// default timeout when many simulated hosts share few cores.
 			return mcs.NewClient(url, bench.LoaderDN, mcs.WithTimeout(10*time.Minute))
 		},
+		StartDegradedServer: func(cat *core.Catalog) (string, func(), error) {
+			// Periodic (not probabilistic) rules keep the bench workers
+			// deterministic: the retry that follows an injected failure lands
+			// on the next call number and succeeds, so every logical add
+			// completes and the measured cost is pure retry overhead.
+			inj := mcs.NewFaultInjector(1,
+				mcs.FaultRule{Site: mcs.FaultSiteDispatch, Kind: mcs.FaultKindError, Every: 7},
+				mcs.FaultRule{Site: mcs.FaultSiteTransport, Kind: mcs.FaultKindDrop, Every: 13},
+			)
+			srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat, FaultInjector: inj})
+			if err != nil {
+				return "", nil, err
+			}
+			ts := httptest.NewUnstartedServer(srv)
+			ts.Start()
+			return ts.URL, ts.Close, nil
+		},
+		NewRetryClient: func(url string) bench.SOAPClient {
+			return mcs.NewClient(url, bench.LoaderDN,
+				mcs.WithTimeout(10*time.Minute),
+				mcs.WithRetry(5),
+				mcs.WithBackoff(time.Millisecond, 20*time.Millisecond))
+		},
 	}
 }
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", `figure to regenerate: 5..12 or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 5..13 or "all"`)
 	sizes := flag.String("sizes", "10000,50000,100000", "database sizes (files), comma-separated")
 	threads := flag.String("threads", "1,2,4,8,12,16", "thread sweep for figures 5-7")
 	hosts := flag.String("hosts", "1,2,4,6,8,10", "host sweep for figures 8-10")
@@ -114,7 +140,7 @@ func main() {
 
 	var figs []int
 	if *fig == "all" {
-		figs = []int{5, 6, 7, 8, 9, 10, 11, 12}
+		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13}
 	} else {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {

@@ -8,6 +8,7 @@
 //	mcsd -addr :8080 -owner "/O=Grid/CN=Admin" -authz
 //	mcsd -addr :8080 -preload 100000   # benchmark dataset preloaded
 //	mcsd -addr :8080 -slow-op 250ms    # log operations slower than 250ms
+//	mcsd -addr :8080 -fault-spec "site=dispatch,kind=error,every=10"  # chaos testing
 //
 // Unless -metrics=false, the server also exposes /metrics (Prometheus text,
 // or JSON with ?format=json), /healthz and /statz beside the SOAP endpoint.
@@ -115,6 +116,10 @@ type config struct {
 	slowOpLog     string
 	// drainTimeout bounds the graceful-shutdown drain.
 	drainTimeout time.Duration
+	// faultSpec/faultSeed configure deterministic fault injection — chaos
+	// and resilience testing against a real daemon.
+	faultSpec string
+	faultSeed uint64
 }
 
 // run starts the daemon and serves until stop delivers a signal (graceful
@@ -138,7 +143,16 @@ func run(cfg config, stop <-chan os.Signal, ready chan<- net.Addr) error {
 		defer f.Close()
 		obsOpts.SlowOpLogger = log.New(f, "", log.LstdFlags|log.LUTC)
 	}
-	srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: catalog, Obs: obsOpts})
+	srvOpts := mcs.ServerOptions{Catalog: catalog, Obs: obsOpts}
+	if cfg.faultSpec != "" {
+		rules, err := mcs.ParseFaultSpec(cfg.faultSpec)
+		if err != nil {
+			return fmt.Errorf("-fault-spec: %w", err)
+		}
+		srvOpts.FaultInjector = mcs.NewFaultInjector(cfg.faultSeed, rules...)
+		log.Printf("mcsd: FAULT INJECTION ACTIVE: %d rule(s), seed %d — not for production", len(rules), cfg.faultSeed)
+	}
+	srv, err := mcs.NewServer(srvOpts)
 	if err != nil {
 		return err
 	}
@@ -223,6 +237,8 @@ func main() {
 	flag.BoolVar(&cfg.metrics, "metrics", true, "expose the /metrics, /healthz and /statz operational endpoints")
 	flag.DurationVar(&cfg.slowOp, "slow-op", 0, "log operations slower than this threshold, with request ID and DN (0 disables)")
 	flag.StringVar(&cfg.slowOpLog, "slow-op-log", "", "file receiving slow-op lines (default stderr)")
+	flag.StringVar(&cfg.faultSpec, "fault-spec", "", "inject deterministic faults, e.g. \"site=dispatch,kind=error,op=createFile,every=10\"; rules separated by ';' (testing only)")
+	flag.Uint64Var(&cfg.faultSeed, "fault-seed", 1, "seed for probabilistic fault rules (same seed = same fault sequence)")
 	flag.Parse()
 
 	stop := make(chan os.Signal, 1)

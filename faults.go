@@ -25,7 +25,27 @@ var faultSentinels = []struct {
 	{"Cycle", core.ErrCycle},
 	{"NotEmpty", core.ErrNotEmpty},
 	{"AmbiguousFile", core.ErrAmbiguousFile},
+	{"Unavailable", core.ErrUnavailable},
 }
+
+// ErrTransport marks calls that failed without a decodable SOAP reply: the
+// request never completed, the connection dropped mid-body, or a non-SOAP
+// intermediary answered. The server may or may not have applied the
+// operation, which is exactly why mutating calls carry idempotency keys;
+// with retries enabled the client re-sends these automatically.
+var ErrTransport = errors.New("mcs: transport failure")
+
+// transportError couples a transport failure with the ErrTransport sentinel
+// while keeping the underlying chain (url.Error, context errors, io
+// errors) reachable for errors.Is/As.
+type transportError struct {
+	inner error
+}
+
+func (e *transportError) Error() string { return e.inner.Error() }
+
+// Unwrap exposes the cause and the sentinel.
+func (e *transportError) Unwrap() []error { return []error{e.inner, ErrTransport} }
 
 // faultCodeFor maps a handler error to its fault code suffix ("" when the
 // error wraps no known sentinel).
@@ -68,18 +88,23 @@ func (e *wireError) Error() string { return e.fault.Error() }
 // sentinel (for errors.Is).
 func (e *wireError) Unwrap() []error { return []error{e.fault, e.sentinel} }
 
-// mapWireError decorates SOAP faults with their sentinel; other errors
-// (transport failures, context cancellation) pass through unchanged.
+// mapWireError decorates SOAP faults with their sentinel and transport
+// failures with ErrTransport; other errors (marshal problems, context
+// cancellation before send) pass through unchanged.
 func mapWireError(err error) error {
 	if err == nil {
 		return nil
 	}
 	var fault *soap.Fault
-	if !errors.As(err, &fault) {
+	if errors.As(err, &fault) {
+		if sentinel := sentinelForFault(fault.Code); sentinel != nil {
+			return &wireError{fault: fault, sentinel: sentinel}
+		}
 		return err
 	}
-	if sentinel := sentinelForFault(fault.Code); sentinel != nil {
-		return &wireError{fault: fault, sentinel: sentinel}
+	var te *soap.TransportError
+	if errors.As(err, &te) {
+		return &transportError{inner: err}
 	}
 	return err
 }

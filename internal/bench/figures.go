@@ -18,6 +18,13 @@ type Env struct {
 	StartServer func(cat *core.Catalog) (url string, stop func(), err error)
 	// NewClient returns an independent SOAP client ("client host") for url.
 	NewClient func(url string) SOAPClient
+	// StartDegradedServer serves cat with deterministic fault injection
+	// enabled (periodic dispatch errors and dropped replies); used by the
+	// Fig. 13 degraded-mode comparison. Optional — only Figure 13 needs it.
+	StartDegradedServer func(cat *core.Catalog) (url string, stop func(), err error)
+	// NewRetryClient returns a client with retries, backoff and idempotency
+	// keys enabled, matching the degraded server. Optional — Figure 13 only.
+	NewRetryClient func(url string) SOAPClient
 }
 
 // Point is one measurement: X is the swept parameter, Y the rate (ops/s).
@@ -149,6 +156,9 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	if fig == 12 {
 		return batchFigure(opt)
 	}
+	if fig == 13 {
+		return degradedFigure(opt)
+	}
 	op, err := opForFigure(fig)
 	if err != nil {
 		return nil, err
@@ -263,6 +273,58 @@ func batchFigure(opt FigureOptions) ([]Series, error) {
 	return []Series{s}, nil
 }
 
+// degradedFigure measures Fig. 13: add rate and latency through the web
+// service on a healthy server versus a degraded one — periodic injected
+// dispatch errors and dropped replies — reached by a client with retries,
+// backoff and idempotency keys. The gap between the two series is the price
+// of riding out the failures; the paper's evaluation assumes a healthy
+// service, so this is a follow-on figure. Uses the smallest configured
+// database and always records latency (the degraded tail is the point).
+func degradedFigure(opt FigureOptions) ([]Series, error) {
+	if opt.Env.StartDegradedServer == nil || opt.Env.NewRetryClient == nil {
+		return nil, fmt.Errorf("bench: figure 13 requires Env.StartDegradedServer and Env.NewRetryClient")
+	}
+	size := opt.Sizes[0]
+	for _, s := range opt.Sizes[1:] {
+		if s < size {
+			size = s
+		}
+	}
+	cats, err := loadAll([]int{size}, opt.Catalogs)
+	if err != nil {
+		return nil, err
+	}
+	cat := cats[size]
+	cfg := DefaultConfig(size)
+
+	measure := func(start func(*core.Catalog) (string, func(), error), newClient func(string) SOAPClient, threads int) (float64, *obs.Histogram, error) {
+		url, stop, err := start(cat)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer stop()
+		targets := []Target{SOAP{Client: newClient(url)}}
+		hist := &obs.Histogram{}
+		return RunRateHist(targets, threads, opt.Duration, OpAdd, cfg, opt.AttrK, hist), hist, nil
+	}
+
+	healthy := Series{Label: sizeLabel(size) + " database, healthy"}
+	degraded := Series{Label: sizeLabel(size) + " database, degraded + retry"}
+	for _, threads := range opt.Threads {
+		rate, hist, err := measure(opt.Env.StartServer, opt.Env.NewClient, threads)
+		if err != nil {
+			return nil, err
+		}
+		healthy.Points = append(healthy.Points, Point{X: threads, Y: rate, Hist: hist})
+		rate, hist, err = measure(opt.Env.StartDegradedServer, opt.Env.NewRetryClient, threads)
+		if err != nil {
+			return nil, err
+		}
+		degraded.Points = append(degraded.Points, Point{X: threads, Y: rate, Hist: hist})
+	}
+	return []Series{healthy, degraded}, nil
+}
+
 // FigureTitle returns the caption of a figure.
 func FigureTitle(fig int) string {
 	switch fig {
@@ -282,6 +344,8 @@ func FigureTitle(fig int) string {
 		return "Fig. 11: Complex query rate vs number of attributes, database only (queries/s)"
 	case 12:
 		return "Fig. 12: Bulk-registration rate vs write batch size, single client thread (adds/s)"
+	case 13:
+		return "Fig. 13: Add rate and latency under injected faults, healthy vs degraded-with-retry (adds/s)"
 	}
 	return fmt.Sprintf("unknown figure %d", fig)
 }
@@ -289,7 +353,7 @@ func FigureTitle(fig int) string {
 // xAxis returns the swept-parameter label of a figure.
 func xAxis(fig int) string {
 	switch fig {
-	case 5, 6, 7:
+	case 5, 6, 7, 13:
 		return "threads"
 	case 8, 9, 10:
 		return "hosts"

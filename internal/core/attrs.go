@@ -10,7 +10,8 @@ import (
 // DefineAttribute declares a new user-defined attribute usable on files,
 // collections and views. This is the paper's extensibility mechanism for
 // domain-specific, virtual-organization and user metadata ontologies.
-func (c *Catalog) DefineAttribute(dn, name string, typ AttrType, description string) (AttributeDef, error) {
+func (c *Catalog) DefineAttribute(dn, name string, typ AttrType, description string, opts ...OpOption) (AttributeDef, error) {
+	op := applyOpOptions(opts)
 	if name == "" {
 		return AttributeDef{}, fmt.Errorf("%w: attribute name required", ErrInvalidInput)
 	}
@@ -23,17 +24,25 @@ func (c *Catalog) DefineAttribute(dn, name string, typ AttrType, description str
 	if err := c.requireService(dn, PermCreate); err != nil {
 		return AttributeDef{}, err
 	}
-	now := c.now()
-	res, err := c.db.Exec(
-		"INSERT INTO attribute_def (name, type, description, creator, created) VALUES (?, ?, ?, ?, ?)",
-		sqldb.Text(name), sqldb.Text(string(typ)), sqldb.Text(description), sqldb.Text(dn), now)
+	var out AttributeDef
+	err := c.withReplay(op, "defineAttribute", &out, func(tx *sqldb.Tx) error {
+		now := c.now()
+		res, err := tx.Exec(
+			"INSERT INTO attribute_def (name, type, description, creator, created) VALUES (?, ?, ?, ?, ?)",
+			sqldb.Text(name), sqldb.Text(string(typ)), sqldb.Text(description), sqldb.Text(dn), now)
+		if err != nil {
+			return fmt.Errorf("%w: attribute %q", ErrExists, name)
+		}
+		out = AttributeDef{
+			ID: res.LastInsertID, Name: name, Type: typ,
+			Description: description, Creator: dn, Created: now.M,
+		}
+		return nil
+	})
 	if err != nil {
-		return AttributeDef{}, fmt.Errorf("%w: attribute %q", ErrExists, name)
+		return AttributeDef{}, err
 	}
-	return AttributeDef{
-		ID: res.LastInsertID, Name: name, Type: typ,
-		Description: description, Creator: dn, Created: now.M,
-	}, nil
+	return out, nil
 }
 
 // GetAttributeDef looks up a user-defined attribute declaration by name.
@@ -102,8 +111,9 @@ func (c *Catalog) resolveObject(dn string, objType ObjectType, name string) (int
 // SetAttribute binds (or rebinds) a user-defined attribute value on an
 // object. Replacement semantics: a second Set with the same attribute name
 // overwrites the previous value.
-func (c *Catalog) SetAttribute(dn string, objType ObjectType, objectName, attrName string, v AttrValue) error {
-	return c.db.Update(func(tx *sqldb.Tx) error {
+func (c *Catalog) SetAttribute(dn string, objType ObjectType, objectName, attrName string, v AttrValue, opts ...OpOption) error {
+	op := applyOpOptions(opts)
+	return c.withReplay(op, "setAttribute", nil, func(tx *sqldb.Tx) error {
 		return c.setAttributeTx(tx, dn, objType, objectName, attrName, v, nil)
 	})
 }
@@ -138,7 +148,8 @@ func (c *Catalog) setAttributeTx(tx *sqldb.Tx, dn string, objType ObjectType, ob
 }
 
 // UnsetAttribute removes a user-defined attribute from an object.
-func (c *Catalog) UnsetAttribute(dn string, objType ObjectType, objectName, attrName string) error {
+func (c *Catalog) UnsetAttribute(dn string, objType ObjectType, objectName, attrName string, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	def, err := c.GetAttributeDef(attrName)
 	if err != nil {
 		return err
@@ -150,16 +161,18 @@ func (c *Catalog) UnsetAttribute(dn string, objType ObjectType, objectName, attr
 	if err := c.requireObject(dn, objType, id, PermWrite); err != nil {
 		return err
 	}
-	res, err := c.db.Exec(
-		"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ? AND attr_id = ?",
-		sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID))
-	if err != nil {
-		return err
-	}
-	if res.RowsAffected == 0 {
-		return fmt.Errorf("%w: attribute %q on %s %q", ErrNotFound, attrName, objType, objectName)
-	}
-	return nil
+	return c.withReplay(op, "unsetAttribute", nil, func(tx *sqldb.Tx) error {
+		res, err := tx.Exec(
+			"DELETE FROM user_attribute WHERE object_type = ? AND object_id = ? AND attr_id = ?",
+			sqldb.Text(string(objType)), sqldb.Int(id), sqldb.Int(def.ID))
+		if err != nil {
+			return err
+		}
+		if res.RowsAffected == 0 {
+			return fmt.Errorf("%w: attribute %q on %s %q", ErrNotFound, attrName, objType, objectName)
+		}
+		return nil
+	})
 }
 
 // GetAttributes returns every user-defined attribute bound to an object,

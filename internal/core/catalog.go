@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mcs/internal/sqldb"
@@ -17,6 +18,10 @@ var (
 	ErrCycle         = errors.New("mcs: operation would create a cycle")
 	ErrNotEmpty      = errors.New("mcs: collection not empty")
 	ErrAmbiguousFile = errors.New("mcs: multiple versions exist; specify a version")
+	// ErrUnavailable marks transient server-side failures (injected faults,
+	// overload) that are safe to retry; the SOAP layer maps it to the
+	// "Unavailable" fault code.
+	ErrUnavailable = errors.New("mcs: temporarily unavailable")
 )
 
 // Options configures a Catalog.
@@ -37,6 +42,9 @@ type Catalog struct {
 	db    *sqldb.DB
 	opts  Options
 	authz bool
+	// replayHits counts mutations answered from the replay cache instead
+	// of re-applied (see withReplay).
+	replayHits atomic.Int64
 }
 
 // Open creates a fresh in-memory catalog with the MCS schema applied.
@@ -89,7 +97,7 @@ type FileSpec struct {
 func (c *Catalog) CreateFile(dn string, spec FileSpec, opts ...OpOption) (File, error) {
 	op := applyOpOptions(opts)
 	var out File
-	err := c.db.Update(func(tx *sqldb.Tx) error {
+	err := c.withReplay(op, "createFile", &out, func(tx *sqldb.Tx) error {
 		var err error
 		out, err = c.createFileTx(tx, dn, spec, op, nil)
 		return err
@@ -304,7 +312,7 @@ type FileUpdate struct {
 func (c *Catalog) UpdateFile(dn, name string, version int, upd FileUpdate, opts ...OpOption) (File, error) {
 	op := applyOpOptions(opts)
 	var out File
-	err := c.db.Update(func(tx *sqldb.Tx) error {
+	err := c.withReplay(op, "updateFile", &out, func(tx *sqldb.Tx) error {
 		var err error
 		out, err = c.updateFileTx(tx, dn, name, version, upd, op)
 		return err
@@ -386,7 +394,7 @@ func (c *Catalog) InvalidateFile(dn, name string, version int) error {
 // memberships.
 func (c *Catalog) DeleteFile(dn, name string, version int, opts ...OpOption) error {
 	op := applyOpOptions(opts)
-	return c.db.Update(func(tx *sqldb.Tx) error {
+	return c.withReplay(op, "deleteFile", nil, func(tx *sqldb.Tx) error {
 		_, err := c.deleteFileTx(tx, dn, name, version, op)
 		return err
 	})
@@ -430,7 +438,8 @@ func (c *Catalog) deleteFileTx(tx *sqldb.Tx, dn, name string, version int, op op
 
 // MoveFile reassigns a file to a different logical collection ("" removes it
 // from its collection). The paper's single-collection rule is preserved.
-func (c *Catalog) MoveFile(dn, name string, version int, collection string) error {
+func (c *Catalog) MoveFile(dn, name string, version int, collection string, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	f, err := c.GetFile(dn, name, version)
 	if err != nil {
 		return err
@@ -449,7 +458,9 @@ func (c *Catalog) MoveFile(dn, name string, version int, collection string) erro
 		}
 		newID = col.ID
 	}
-	_, err = c.db.Exec("UPDATE logical_file SET collection_id = ?, last_modifier = ?, modified = ? WHERE id = ?",
-		nullableID(newID), sqldb.Text(dn), c.now(), sqldb.Int(f.ID))
-	return err
+	return c.withReplay(op, "moveFile", nil, func(tx *sqldb.Tx) error {
+		_, err := tx.Exec("UPDATE logical_file SET collection_id = ?, last_modifier = ?, modified = ? WHERE id = ?",
+			nullableID(newID), sqldb.Text(dn), c.now(), sqldb.Int(f.ID))
+		return err
+	})
 }

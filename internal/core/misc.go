@@ -67,9 +67,10 @@ func (c *Catalog) AuditLog(dn string, objType ObjectType, objectName string) ([]
 }
 
 // Annotate attaches a free-text annotation to a file, collection or view.
-func (c *Catalog) Annotate(dn string, objType ObjectType, objectName, text string) (Annotation, error) {
+func (c *Catalog) Annotate(dn string, objType ObjectType, objectName, text string, opts ...OpOption) (Annotation, error) {
+	op := applyOpOptions(opts)
 	var out Annotation
-	err := c.db.Update(func(tx *sqldb.Tx) error {
+	err := c.withReplay(op, "annotate", &out, func(tx *sqldb.Tx) error {
 		var err error
 		out, err = c.annotateTx(tx, dn, objType, objectName, text)
 		return err
@@ -132,7 +133,8 @@ func (c *Catalog) Annotations(dn string, objType ObjectType, objectName string) 
 }
 
 // AddProvenance appends a creation/transformation history record to a file.
-func (c *Catalog) AddProvenance(dn, fileName string, version int, description string) error {
+func (c *Catalog) AddProvenance(dn, fileName string, version int, description string, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	f, err := c.GetFile(dn, fileName, version)
 	if err != nil {
 		return err
@@ -140,9 +142,11 @@ func (c *Catalog) AddProvenance(dn, fileName string, version int, description st
 	if err := c.requireFile(dn, &f, PermWrite); err != nil {
 		return err
 	}
-	_, err = c.db.Exec("INSERT INTO provenance (file_id, description, at) VALUES (?, ?, ?)",
-		sqldb.Int(f.ID), sqldb.Text(description), c.now())
-	return err
+	return c.withReplay(op, "addProvenance", nil, func(tx *sqldb.Tx) error {
+		_, err := tx.Exec("INSERT INTO provenance (file_id, description, at) VALUES (?, ?, ?)",
+			sqldb.Int(f.ID), sqldb.Text(description), c.now())
+		return err
+	})
 }
 
 // Provenance returns a file's transformation history, oldest first.
@@ -166,11 +170,12 @@ func (c *Catalog) Provenance(dn, fileName string, version int) ([]ProvenanceReco
 
 // RegisterWriter stores (or updates) the contact record of a metadata
 // writer.
-func (c *Catalog) RegisterWriter(dn string, w Writer) error {
+func (c *Catalog) RegisterWriter(dn string, w Writer, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	if w.DN == "" {
 		return fmt.Errorf("%w: writer DN required", ErrInvalidInput)
 	}
-	return c.db.Update(func(tx *sqldb.Tx) error {
+	return c.withReplay(op, "registerWriter", nil, func(tx *sqldb.Tx) error {
 		if _, err := tx.Exec("DELETE FROM writer WHERE dn = ?", sqldb.Text(w.DN)); err != nil {
 			return err
 		}
@@ -199,21 +204,28 @@ func (c *Catalog) GetWriter(dn, writerDN string) (Writer, error) {
 }
 
 // RegisterExternalCatalog records a pointer to another metadata catalog.
-func (c *Catalog) RegisterExternalCatalog(dn string, ec ExternalCatalog) (ExternalCatalog, error) {
+func (c *Catalog) RegisterExternalCatalog(dn string, ec ExternalCatalog, opts ...OpOption) (ExternalCatalog, error) {
+	op := applyOpOptions(opts)
 	if ec.Name == "" {
 		return ExternalCatalog{}, fmt.Errorf("%w: external catalog name required", ErrInvalidInput)
 	}
 	if err := c.requireService(dn, PermCreate); err != nil {
 		return ExternalCatalog{}, err
 	}
-	res, err := c.db.Exec(
-		"INSERT INTO external_catalog (name, type, host, ip, description) VALUES (?, ?, ?, ?, ?)",
-		sqldb.Text(ec.Name), sqldb.Text(ec.Type), sqldb.Text(ec.Host),
-		sqldb.Text(ec.IP), sqldb.Text(ec.Description))
+	err := c.withReplay(op, "registerExternalCatalog", &ec, func(tx *sqldb.Tx) error {
+		res, err := tx.Exec(
+			"INSERT INTO external_catalog (name, type, host, ip, description) VALUES (?, ?, ?, ?, ?)",
+			sqldb.Text(ec.Name), sqldb.Text(ec.Type), sqldb.Text(ec.Host),
+			sqldb.Text(ec.IP), sqldb.Text(ec.Description))
+		if err != nil {
+			return fmt.Errorf("%w: external catalog %q", ErrExists, ec.Name)
+		}
+		ec.ID = res.LastInsertID
+		return nil
+	})
 	if err != nil {
-		return ExternalCatalog{}, fmt.Errorf("%w: external catalog %q", ErrExists, ec.Name)
+		return ExternalCatalog{}, err
 	}
-	ec.ID = res.LastInsertID
 	return ec, nil
 }
 

@@ -9,6 +9,7 @@ type OpOption func(*opSettings)
 // opSettings collects the effective per-operation options.
 type opSettings struct {
 	requestID string
+	idemKey   string
 }
 
 // WithRequestID attaches a request correlation ID to any audit record the
@@ -16,6 +17,17 @@ type opSettings struct {
 // in client traces can be matched to its audit-trail entry.
 func WithRequestID(id string) OpOption {
 	return func(o *opSettings) { o.requestID = id }
+}
+
+// WithIdempotencyKey attaches a client-chosen deduplication key to a
+// mutating operation. The first call with a given key applies the write and
+// records its result; any repeat of the same key (a retry whose original
+// attempt did commit but whose reply was lost) returns the recorded result
+// without re-applying — including audit records, which belong to the same
+// transaction. Keys live in a bounded replay cache (see ReplayCacheBound);
+// the empty key disables replay protection.
+func WithIdempotencyKey(key string) OpOption {
+	return func(o *opSettings) { o.idemKey = key }
 }
 
 // applyOpOptions folds opts into a settings value.

@@ -151,6 +151,8 @@ var ddl = []string{
 		ip TEXT,
 		description TEXT
 	)`,
+
+	replayTableDDL,
 }
 
 // staticFileColumns maps queryable predefined logical-file attribute names

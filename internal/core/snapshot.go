@@ -35,5 +35,10 @@ func Restore(opts Options, r io.Reader) (*Catalog, error) {
 			return nil, fmt.Errorf("mcs: snapshot lacks table %q: %w", required, err)
 		}
 	}
+	// Snapshots taken before the replay cache existed gain the (empty)
+	// table here, so idempotent retry keeps working across the upgrade.
+	if _, err := db.Exec(replayTableDDL); err != nil {
+		return nil, err
+	}
 	return &Catalog{db: db, opts: opts, authz: opts.EnforceAuthz}, nil
 }

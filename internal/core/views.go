@@ -41,7 +41,7 @@ func (c *Catalog) CreateView(dn string, spec ViewSpec, opts ...OpOption) (View, 
 		return View{}, err
 	}
 	var out View
-	err := c.db.Update(func(tx *sqldb.Tx) error {
+	err := c.withReplay(op, "createView", &out, func(tx *sqldb.Tx) error {
 		now := c.now()
 		res, err := tx.Exec(`INSERT INTO logical_view
 			(name, description, creator, last_modifier, created, modified, audited)
@@ -166,16 +166,19 @@ func (c *Catalog) AddToView(dn, viewName string, objType ObjectType, memberName 
 			return fmt.Errorf("%w: adding view %q to %q", ErrCycle, memberName, viewName)
 		}
 	}
-	dup, err := c.db.Query(
-		"SELECT id FROM view_member WHERE view_id = ? AND object_type = ? AND object_id = ?",
-		sqldb.Int(v.ID), sqldb.Text(string(objType)), sqldb.Int(memberID))
-	if err != nil {
-		return err
-	}
-	if len(dup.Data) > 0 {
-		return fmt.Errorf("%w: %s %q already in view %q", ErrExists, objType, memberName, viewName)
-	}
-	return c.db.Update(func(tx *sqldb.Tx) error {
+	// The duplicate check runs inside the transaction, after the replay
+	// lookup: a retried addToView whose first attempt committed must be
+	// answered from the replay cache, not rejected as ErrExists.
+	return c.withReplay(op, "addToView", nil, func(tx *sqldb.Tx) error {
+		dup, err := tx.Query(
+			"SELECT id FROM view_member WHERE view_id = ? AND object_type = ? AND object_id = ?",
+			sqldb.Int(v.ID), sqldb.Text(string(objType)), sqldb.Int(memberID))
+		if err != nil {
+			return err
+		}
+		if len(dup.Data) > 0 {
+			return fmt.Errorf("%w: %s %q already in view %q", ErrExists, objType, memberName, viewName)
+		}
 		if _, err := tx.Exec(
 			"INSERT INTO view_member (view_id, object_type, object_id) VALUES (?, ?, ?)",
 			sqldb.Int(v.ID), sqldb.Text(string(objType)), sqldb.Int(memberID)); err != nil {
@@ -190,7 +193,8 @@ func (c *Catalog) AddToView(dn, viewName string, objType ObjectType, memberName 
 }
 
 // RemoveFromView removes a member from a view.
-func (c *Catalog) RemoveFromView(dn, viewName string, objType ObjectType, memberName string) error {
+func (c *Catalog) RemoveFromView(dn, viewName string, objType ObjectType, memberName string, opts ...OpOption) error {
+	op := applyOpOptions(opts)
 	v, err := c.GetView(dn, viewName)
 	if err != nil {
 		return err
@@ -202,16 +206,18 @@ func (c *Catalog) RemoveFromView(dn, viewName string, objType ObjectType, member
 	if err != nil {
 		return err
 	}
-	res, err := c.db.Exec(
-		"DELETE FROM view_member WHERE view_id = ? AND object_type = ? AND object_id = ?",
-		sqldb.Int(v.ID), sqldb.Text(string(objType)), sqldb.Int(memberID))
-	if err != nil {
-		return err
-	}
-	if res.RowsAffected == 0 {
-		return fmt.Errorf("%w: %s %q in view %q", ErrNotFound, objType, memberName, viewName)
-	}
-	return nil
+	return c.withReplay(op, "removeFromView", nil, func(tx *sqldb.Tx) error {
+		res, err := tx.Exec(
+			"DELETE FROM view_member WHERE view_id = ? AND object_type = ? AND object_id = ?",
+			sqldb.Int(v.ID), sqldb.Text(string(objType)), sqldb.Int(memberID))
+		if err != nil {
+			return err
+		}
+		if res.RowsAffected == 0 {
+			return fmt.Errorf("%w: %s %q in view %q", ErrNotFound, objType, memberName, viewName)
+		}
+		return nil
+	})
 }
 
 // ViewContents lists the direct members of a view with their names.
@@ -318,6 +324,9 @@ func (c *Catalog) ExpandView(dn, viewName string) ([]string, error) {
 // DeleteView removes a view and its membership records (not its members).
 func (c *Catalog) DeleteView(dn, name string, opts ...OpOption) error {
 	op := applyOpOptions(opts)
+	if hit, err := c.replayedEarly(op, "deleteView", nil); hit || err != nil {
+		return err
+	}
 	v, err := c.GetView(dn, name)
 	if err != nil {
 		return err
@@ -325,7 +334,7 @@ func (c *Catalog) DeleteView(dn, name string, opts ...OpOption) error {
 	if err := c.requireObject(dn, ObjectView, v.ID, PermDelete); err != nil {
 		return err
 	}
-	return c.db.Update(func(tx *sqldb.Tx) error {
+	return c.withReplay(op, "deleteView", nil, func(tx *sqldb.Tx) error {
 		id := sqldb.Int(v.ID)
 		vt := sqldb.Text(string(ObjectView))
 		if _, err := tx.Exec("DELETE FROM logical_view WHERE id = ?", id); err != nil {

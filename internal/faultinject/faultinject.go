@@ -1,0 +1,272 @@
+// Package faultinject is a deterministic, seedable fault-injection layer
+// for chaos-testing the metadata catalog service. Injection points ("sites")
+// are threaded into the SOAP server dispatch path, the HTTP response
+// transport, and the sqldb engine; each site asks an Injector whether the
+// current call should fail, and how.
+//
+// Every decision is a pure function of the injector's seed, the rule set,
+// and per-(site, op) call counters — no wall clock, no global rand — so a
+// failure schedule observed once can be replayed exactly by re-running with
+// the same seed.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Site names an injection point in the server stack.
+type Site string
+
+// Injection sites, in request order.
+const (
+	// SiteDispatch fires after the operation is decoded and resolved but
+	// before its handler runs: the request fails without any effect.
+	SiteDispatch Site = "dispatch"
+	// SiteAfter fires after the handler has run (and committed) but before
+	// the response is written: the effect is applied, the reply is lost.
+	// This is the site that exercises idempotent retry.
+	SiteAfter Site = "after"
+	// SiteTransport fires while the response is being written: the
+	// connection drops cleanly (drop) or mid-body (partial).
+	SiteTransport Site = "transport"
+	// SiteDB fires inside the database engine, once per statement; the op
+	// name seen by rules is the statement verb ("select", "insert",
+	// "update", "delete", "ddl"). A db fault aborts the statement and
+	// rolls back any enclosing transaction.
+	SiteDB Site = "db"
+)
+
+// Kind selects how an injected fault manifests.
+type Kind string
+
+// Fault kinds.
+const (
+	// KindError fails the call with the rule's Err (or the injector's
+	// DefaultErr), surfaced to SOAP clients as an Unavailable fault.
+	KindError Kind = "error"
+	// KindLatency delays the call by the rule's Delay and then lets it
+	// proceed normally.
+	KindLatency Kind = "latency"
+	// KindDrop severs the connection without writing a response.
+	KindDrop Kind = "drop"
+	// KindPartial writes a truncated response body under a full
+	// Content-Length, then severs the connection (transport site only;
+	// elsewhere it degrades to KindError).
+	KindPartial Kind = "partial"
+)
+
+// Rule matches a subset of calls at one site and describes the fault to
+// inject there. Zero-valued selectors match everything; Calls, Every and
+// Prob additionally gate which of the matching calls actually fault (a call
+// faults if ANY configured gate selects it; with no gates, every match
+// faults).
+type Rule struct {
+	Site      Site   // required
+	Op        string // op name (or db statement verb); "" matches any
+	RequestID string // exact request ID; "" matches any
+
+	Kind Kind // required
+
+	Calls []uint64 // specific 1-based call numbers per (site, op)
+	Every uint64   // every Nth call (0 = off)
+	Prob  float64  // per-call probability in [0,1], seeded hash (0 = off)
+	Times uint64   // stop after this many injections from this rule (0 = unlimited)
+
+	Delay      time.Duration // latency to add (KindLatency, or extra on any kind)
+	TruncateAt int           // bytes of response to keep for KindPartial (0 = half)
+	Err        error         // error for KindError (nil = Injector.DefaultErr)
+}
+
+// Fault is one injection decision returned by Eval.
+type Fault struct {
+	Site       Site
+	Op         string
+	Kind       Kind
+	Delay      time.Duration
+	TruncateAt int
+	Err        error
+	Call       uint64 // 1-based call number at (Site, Op) that faulted
+}
+
+// Injector evaluates fault rules. It is safe for concurrent use.
+type Injector struct {
+	// DefaultErr backs KindError rules whose Err is nil. The server wires
+	// this to its Unavailable sentinel so injected errors are retryable.
+	DefaultErr error
+
+	mu       sync.Mutex
+	seed     uint64
+	rules    []Rule
+	fired    []uint64 // per-rule injection counts (Times enforcement)
+	calls    map[string]uint64
+	injected map[Site]uint64
+	total    uint64
+	enabled  bool
+	sleep    func(time.Duration)
+}
+
+// New returns an enabled Injector with the given seed and rules.
+func New(seed uint64, rules ...Rule) *Injector {
+	return &Injector{
+		seed:     seed,
+		rules:    rules,
+		fired:    make([]uint64, len(rules)),
+		calls:    make(map[string]uint64),
+		injected: make(map[Site]uint64),
+		enabled:  true,
+	}
+}
+
+// SetEnabled turns evaluation on or off. While disabled, Eval returns nil
+// without counting the call — test fixtures disable the injector during
+// setup and verification so those calls don't consume the fault schedule.
+func (in *Injector) SetEnabled(v bool) {
+	in.mu.Lock()
+	in.enabled = v
+	in.mu.Unlock()
+}
+
+// SetSleep overrides how latency faults wait (tests substitute a recorder
+// for time.Sleep).
+func (in *Injector) SetSleep(fn func(time.Duration)) {
+	in.mu.Lock()
+	in.sleep = fn
+	in.mu.Unlock()
+}
+
+// Sleep waits for d using the configured sleep function.
+func (in *Injector) Sleep(d time.Duration) {
+	in.mu.Lock()
+	fn := in.sleep
+	in.mu.Unlock()
+	if fn == nil {
+		fn = time.Sleep
+	}
+	fn(d)
+}
+
+// Eval records one call at (site, op) and returns the fault to inject, or
+// nil to proceed normally. The first matching rule wins. Safe on a nil
+// receiver (returns nil), so call sites don't need injector presence checks.
+func (in *Injector) Eval(site Site, op, requestID string) *Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.enabled {
+		return nil
+	}
+	key := string(site) + "|" + op
+	in.calls[key]++
+	n := in.calls[key]
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Site != site || (r.Op != "" && r.Op != op) || (r.RequestID != "" && r.RequestID != requestID) {
+			continue
+		}
+		if r.Times > 0 && in.fired[i] >= r.Times {
+			continue
+		}
+		if !in.selects(r, key, n) {
+			continue
+		}
+		in.fired[i]++
+		in.injected[site]++
+		in.total++
+		f := &Fault{
+			Site: site, Op: op, Kind: r.Kind,
+			Delay: r.Delay, TruncateAt: r.TruncateAt, Err: r.Err, Call: n,
+		}
+		if f.Err == nil {
+			f.Err = in.DefaultErr
+		}
+		if f.Err == nil {
+			f.Err = fmt.Errorf("faultinject: injected %s fault at %s/%s call %d", r.Kind, site, op, n)
+		}
+		return f
+	}
+	return nil
+}
+
+// selects reports whether rule r gates in call n of counter key. Called
+// with in.mu held.
+func (in *Injector) selects(r *Rule, key string, n uint64) bool {
+	if len(r.Calls) == 0 && r.Every == 0 && r.Prob == 0 {
+		return true
+	}
+	for _, c := range r.Calls {
+		if c == n {
+			return true
+		}
+	}
+	if r.Every > 0 && n%r.Every == 0 {
+		return true
+	}
+	if r.Prob > 0 && unitFloat(in.seed^fnv64(key)^n) < r.Prob {
+		return true
+	}
+	return false
+}
+
+// Total returns the number of faults injected so far.
+func (in *Injector) Total() uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// Injected returns the number of faults injected at one site.
+func (in *Injector) Injected(site Site) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected[site]
+}
+
+// CallCount returns how many calls have been evaluated at (site, op).
+func (in *Injector) CallCount(site Site, op string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[string(site)+"|"+op]
+}
+
+// Reset zeroes all counters, restarting the fault schedule with the same
+// seed and rules.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls = make(map[string]uint64)
+	in.injected = make(map[Site]uint64)
+	in.fired = make([]uint64, len(in.rules))
+	in.total = 0
+}
+
+// fnv64 is the FNV-1a hash of s.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unitFloat maps x through a splitmix64 finalizer onto [0, 1).
+func unitFloat(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,198 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func schedule(in *Injector, site Site, op string, n int) []uint64 {
+	var hits []uint64
+	for i := 0; i < n; i++ {
+		if f := in.Eval(site, op, ""); f != nil {
+			hits = append(hits, f.Call)
+		}
+	}
+	return hits
+}
+
+func TestCallsRuleDeterministic(t *testing.T) {
+	in := New(1, Rule{Site: SiteDispatch, Op: "createFile", Kind: Kind("error"), Calls: []uint64{1, 2, 3}})
+	got := schedule(in, SiteDispatch, "createFile", 10)
+	want := []uint64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("faulted calls %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("faulted calls %v, want %v", got, want)
+		}
+	}
+	if in.Total() != 3 || in.Injected(SiteDispatch) != 3 {
+		t.Fatalf("Total=%d Injected=%d, want 3/3", in.Total(), in.Injected(SiteDispatch))
+	}
+	if in.CallCount(SiteDispatch, "createFile") != 10 {
+		t.Fatalf("CallCount = %d, want 10", in.CallCount(SiteDispatch, "createFile"))
+	}
+}
+
+func TestOpAndSiteFiltering(t *testing.T) {
+	in := New(1, Rule{Site: SiteDB, Op: "insert", Kind: KindError})
+	if f := in.Eval(SiteDB, "select", ""); f != nil {
+		t.Fatalf("op filter leaked: %+v", f)
+	}
+	if f := in.Eval(SiteDispatch, "insert", ""); f != nil {
+		t.Fatalf("site filter leaked: %+v", f)
+	}
+	if f := in.Eval(SiteDB, "insert", ""); f == nil {
+		t.Fatal("matching call did not fault")
+	}
+}
+
+func TestRequestIDFilter(t *testing.T) {
+	in := New(1, Rule{Site: SiteDispatch, RequestID: "req-7", Kind: KindDrop})
+	if f := in.Eval(SiteDispatch, "ping", "req-6"); f != nil {
+		t.Fatalf("request-ID filter leaked: %+v", f)
+	}
+	f := in.Eval(SiteDispatch, "ping", "req-7")
+	if f == nil || f.Kind != KindDrop {
+		t.Fatalf("got %+v, want drop fault", f)
+	}
+}
+
+func TestEveryAndTimes(t *testing.T) {
+	in := New(1, Rule{Site: SiteTransport, Kind: KindDrop, Every: 3, Times: 2})
+	got := schedule(in, SiteTransport, "query", 12)
+	if len(got) != 2 || got[0] != 3 || got[1] != 6 {
+		t.Fatalf("faulted calls %v, want [3 6]", got)
+	}
+}
+
+func TestProbSeededAndReproducible(t *testing.T) {
+	mk := func(seed uint64) []uint64 {
+		in := New(seed, Rule{Site: SiteDispatch, Kind: KindError, Prob: 0.3})
+		return schedule(in, SiteDispatch, "ping", 200)
+	}
+	a, b := mk(42), mk(42)
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 faulted %d/200 calls", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fault %d: call %d vs %d", i, a[i], b[i])
+		}
+	}
+	if c := mk(43); len(c) == len(a) && func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seeds produced an identical 200-call schedule")
+	}
+}
+
+func TestDefaultErrAndRuleErr(t *testing.T) {
+	sentinel := errors.New("unavailable")
+	ruleErr := errors.New("disk on fire")
+	in := New(1,
+		Rule{Site: SiteDispatch, Op: "a", Kind: KindError},
+		Rule{Site: SiteDispatch, Op: "b", Kind: KindError, Err: ruleErr},
+	)
+	in.DefaultErr = sentinel
+	if f := in.Eval(SiteDispatch, "a", ""); !errors.Is(f.Err, sentinel) {
+		t.Fatalf("default err = %v, want %v", f.Err, sentinel)
+	}
+	if f := in.Eval(SiteDispatch, "b", ""); !errors.Is(f.Err, ruleErr) {
+		t.Fatalf("rule err = %v, want %v", f.Err, ruleErr)
+	}
+}
+
+func TestSetEnabledSkipsCounting(t *testing.T) {
+	in := New(1, Rule{Site: SiteDispatch, Kind: KindError, Calls: []uint64{1}})
+	in.SetEnabled(false)
+	for i := 0; i < 5; i++ {
+		if f := in.Eval(SiteDispatch, "ping", ""); f != nil {
+			t.Fatalf("disabled injector faulted: %+v", f)
+		}
+	}
+	if in.CallCount(SiteDispatch, "ping") != 0 {
+		t.Fatal("disabled injector counted calls")
+	}
+	in.SetEnabled(true)
+	if f := in.Eval(SiteDispatch, "ping", ""); f == nil {
+		t.Fatal("call 1 after enable did not fault")
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var in *Injector
+	if in.Eval(SiteDispatch, "ping", "") != nil || in.Total() != 0 || in.Injected(SiteDB) != 0 {
+		t.Fatal("nil injector misbehaved")
+	}
+}
+
+func TestSleepHook(t *testing.T) {
+	in := New(1)
+	var got time.Duration
+	in.SetSleep(func(d time.Duration) { got = d })
+	in.Sleep(42 * time.Millisecond)
+	if got != 42*time.Millisecond {
+		t.Fatalf("sleep hook got %v", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec(
+		"site=dispatch,op=createFile,kind=error,calls=1-3;" +
+			" site=transport,kind=partial,every=13,truncate=12 ;" +
+			"site=db,op=insert,kind=latency,delay=5ms,prob=0.25,times=100,reqid=r9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	r := rules[0]
+	if r.Site != SiteDispatch || r.Op != "createFile" || r.Kind != KindError || len(r.Calls) != 3 || r.Calls[2] != 3 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Site != SiteTransport || r.Kind != KindPartial || r.Every != 13 || r.TruncateAt != 12 {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = rules[2]
+	if r.Site != SiteDB || r.Op != "insert" || r.Kind != KindLatency ||
+		r.Delay != 5*time.Millisecond || r.Prob != 0.25 || r.Times != 100 || r.RequestID != "r9" {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"kind=error",                       // missing site
+		"site=dispatch",                    // missing kind
+		"site=bogus,kind=error",            // bad site
+		"site=db,kind=bogus",               // bad kind
+		"site=db,kind=error,calls=0",       // calls are 1-based
+		"site=db,kind=error,calls=5-2",     // inverted range
+		"site=db,kind=error,prob=1.5",      // prob out of range
+		"site=db,kind=error,delay=fast",    // bad duration
+		"site=db,kind=error,banana=1",      // unknown field
+		"site=db,kind=error,calls",         // not k=v
+		"site=db,kind=error,calls=1-99999", // absurd range
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+	rules, err := ParseSpec(" ; ;")
+	if err != nil || len(rules) != 0 {
+		t.Fatalf("empty spec: rules=%v err=%v", rules, err)
+	}
+}

@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses a textual fault schedule into rules. The grammar is a
+// semicolon-separated list of rules, each a comma-separated list of k=v
+// fields:
+//
+//	site=dispatch,op=createFile,kind=error,calls=1-3
+//	site=transport,kind=drop,every=13;site=db,op=insert,kind=latency,delay=5ms,prob=0.1,times=100
+//
+// Fields:
+//
+//	site     dispatch | after | transport | db   (required)
+//	kind     error | latency | drop | partial    (required)
+//	op       op name, or statement verb for site=db ("" = any)
+//	reqid    exact request ID ("" = any)
+//	calls    N or N-M: specific 1-based call numbers at (site, op)
+//	every    fault every Nth call
+//	prob     per-call probability in [0, 1]
+//	times    stop after N injections from this rule
+//	delay    Go duration (latency kind, or extra delay on any kind)
+//	truncate bytes of response body to keep for kind=partial
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		var r Rule
+		for _, field := range strings.Split(rs, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: field %q is not k=v", field)
+			}
+			var err error
+			switch k {
+			case "site":
+				switch Site(v) {
+				case SiteDispatch, SiteAfter, SiteTransport, SiteDB:
+					r.Site = Site(v)
+				default:
+					err = fmt.Errorf("unknown site %q", v)
+				}
+			case "kind":
+				switch Kind(v) {
+				case KindError, KindLatency, KindDrop, KindPartial:
+					r.Kind = Kind(v)
+				default:
+					err = fmt.Errorf("unknown kind %q", v)
+				}
+			case "op":
+				r.Op = v
+			case "reqid":
+				r.RequestID = v
+			case "calls":
+				r.Calls, err = parseCalls(v)
+			case "every":
+				r.Every, err = strconv.ParseUint(v, 10, 64)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(v, 64)
+				if err == nil && (r.Prob < 0 || r.Prob > 1) {
+					err = fmt.Errorf("prob %v out of [0, 1]", r.Prob)
+				}
+			case "times":
+				r.Times, err = strconv.ParseUint(v, 10, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(v)
+			case "truncate":
+				r.TruncateAt, err = strconv.Atoi(v)
+			default:
+				err = fmt.Errorf("unknown field %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: rule %q: %v", rs, err)
+			}
+		}
+		if r.Site == "" || r.Kind == "" {
+			return nil, fmt.Errorf("faultinject: rule %q needs site= and kind=", rs)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// parseCalls parses "N" or "N-M" into an explicit call-number list.
+func parseCalls(v string) ([]uint64, error) {
+	lo, hi, isRange := strings.Cut(v, "-")
+	a, err := strconv.ParseUint(lo, 10, 64)
+	if err != nil || a == 0 {
+		return nil, fmt.Errorf("bad calls value %q (1-based)", v)
+	}
+	b := a
+	if isRange {
+		b, err = strconv.ParseUint(hi, 10, 64)
+		if err != nil || b < a {
+			return nil, fmt.Errorf("bad calls range %q", v)
+		}
+	}
+	if b-a > 10000 {
+		return nil, fmt.Errorf("calls range %q too wide", v)
+	}
+	out := make([]uint64, 0, b-a+1)
+	for n := a; n <= b; n++ {
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -99,7 +99,11 @@ type Registry struct {
 	// returned per paged query/listing.
 	batchSizes SizeDist
 	pageSizes  SizeDist
-	start      time.Time
+	// faults counts injected faults by site (non-zero only in chaos runs
+	// with a fault injector configured).
+	faultMu sync.Mutex
+	faults  map[string]int64
+	start   time.Time
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -135,6 +139,27 @@ func (r *Registry) Op(name string) *OpMetrics {
 	m = &OpMetrics{name: name}
 	r.ops[name] = m
 	return m
+}
+
+// FaultInjected counts one injected fault at the named site.
+func (r *Registry) FaultInjected(site string) {
+	r.faultMu.Lock()
+	if r.faults == nil {
+		r.faults = make(map[string]int64)
+	}
+	r.faults[site]++
+	r.faultMu.Unlock()
+}
+
+// FaultsInjected returns a copy of the per-site injected-fault counts.
+func (r *Registry) FaultsInjected() map[string]int64 {
+	r.faultMu.Lock()
+	defer r.faultMu.Unlock()
+	out := make(map[string]int64, len(r.faults))
+	for k, v := range r.faults {
+		out[k] = v
+	}
+	return out
 }
 
 // Malformed counts one pre-dispatch rejection.
@@ -187,12 +212,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		Malformed     int64                 `json:"malformed_requests"`
 		BatchSizes    sizeSnapshot          `json:"batch_sizes"`
 		PageSizes     sizeSnapshot          `json:"page_sizes"`
+		Faults        map[string]int64      `json:"faults_injected"`
 		Operations    map[string]opSnapshot `json:"operations"`
 	}{
 		UptimeSeconds: int64(time.Since(r.start).Seconds()),
 		Malformed:     r.malformed.Load(),
 		BatchSizes:    snapshotDist(&r.batchSizes),
 		PageSizes:     snapshotDist(&r.pageSizes),
+		Faults:        r.FaultsInjected(),
 		Operations:    make(map[string]opSnapshot),
 	}
 	for _, m := range r.Ops() {
@@ -235,6 +262,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	p("# HELP mcs_malformed_requests_total Requests rejected before dispatch.\n# TYPE mcs_malformed_requests_total counter\n")
 	p("mcs_malformed_requests_total %d\n", r.malformed.Load())
+	p("# HELP mcs_faults_injected_total Faults injected by the chaos harness.\n# TYPE mcs_faults_injected_total counter\n")
+	faults := r.FaultsInjected()
+	sites := make([]string, 0, len(faults))
+	for site := range faults {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		p("mcs_faults_injected_total{site=%q} %d\n", site, faults[site])
+	}
 	p("# HELP mcs_batch_ops Operations carried per batchWrite request.\n# TYPE mcs_batch_ops summary\n")
 	p("mcs_batch_ops_sum %d\nmcs_batch_ops_count %d\n", r.batchSizes.Sum(), r.batchSizes.Count())
 	p("# HELP mcs_page_entries Entries returned per result page.\n# TYPE mcs_page_entries summary\n")

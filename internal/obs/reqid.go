@@ -13,6 +13,12 @@ import (
 // the response, and attaches it to audit records and the slow-op log.
 const RequestIDHeader = "X-MCS-Request-ID"
 
+// IdempotencyKeyHeader carries the client-chosen deduplication key of a
+// mutating call. Every retry of one logical call repeats the same key; the
+// server answers replays from its bounded replay cache instead of applying
+// the write twice. Reads never send it.
+const IdempotencyKeyHeader = "X-MCS-Idempotency-Key"
+
 // reqCounter disambiguates IDs if the random source ever fails.
 var reqCounter atomic.Int64
 

@@ -55,6 +55,35 @@ func (c *Client) Call(action string, req, resp any) error {
 	return c.CallCtx(context.Background(), action, req, resp)
 }
 
+// TransportError reports a SOAP call that failed without a decodable SOAP
+// reply: the request never completed, the connection dropped mid-body, or a
+// non-SOAP intermediary answered. Status and Body carry whatever did arrive
+// — a connection cut while streaming the response still yields the HTTP
+// status line and the received body prefix, not just a bare read error.
+type TransportError struct {
+	Action string
+	Status string // HTTP status line; "" when no response arrived at all
+	Body   string // prefix of the (possibly partial) body
+	Err    error  // underlying cause; nil for a clean non-2xx reply
+}
+
+// Error renders the most specific description the available evidence
+// allows.
+func (e *TransportError) Error() string {
+	switch {
+	case e.Err == nil:
+		return fmt.Sprintf("soap: call %s: server returned %s: %q", e.Action, e.Status, e.Body)
+	case e.Status != "":
+		return fmt.Sprintf("soap: call %s: response truncated after %s: %v (partial body %q)",
+			e.Action, e.Status, e.Err, e.Body)
+	default:
+		return fmt.Sprintf("soap: call %s: %v", e.Action, e.Err)
+	}
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
 // CallCtx performs one SOAP request/response round trip. action names the
 // operation (sent as the SOAPAction header), req is marshalled as the Body
 // payload and the reply payload is unmarshalled into resp. A SOAP fault is
@@ -67,6 +96,14 @@ func (c *Client) Call(action string, req, resp any) error {
 // RequestIDHeader header, generated per call unless the header is already
 // present in c.Header.
 func (c *Client) CallCtx(ctx context.Context, action string, req, resp any) error {
+	return c.CallHdrCtx(ctx, action, nil, req, resp)
+}
+
+// CallHdrCtx is CallCtx with extra per-call headers, applied before the
+// automatic request-ID generation so a pinned ID suppresses it. Retry
+// layers use extra to repeat one request ID and idempotency key across
+// every attempt of a logical call.
+func (c *Client) CallHdrCtx(ctx context.Context, action string, extra http.Header, req, resp any) error {
 	payload, err := Marshal(req)
 	if err != nil {
 		return err
@@ -78,6 +115,12 @@ func (c *Client) CallCtx(ctx context.Context, action string, req, resp any) erro
 	httpReq.Header.Set("Content-Type", "text/xml; charset=utf-8")
 	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
 	for k, vals := range c.Header {
+		for _, v := range vals {
+			httpReq.Header.Add(k, v)
+		}
+	}
+	for k, vals := range extra {
+		httpReq.Header.Del(k)
 		for _, v := range vals {
 			httpReq.Header.Add(k, v)
 		}
@@ -96,12 +139,16 @@ func (c *Client) CallCtx(ctx context.Context, action string, req, resp any) erro
 	}
 	httpResp, err := c.HTTP.Do(httpReq)
 	if err != nil {
-		return fmt.Errorf("soap: call %s: %w", action, err)
+		return &TransportError{Action: action, Err: err}
 	}
 	defer httpResp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
 	if err != nil {
-		return fmt.Errorf("soap: read response: %w", err)
+		// The connection dropped mid-body. The status line and whatever
+		// bytes did arrive are still diagnostic gold, so carry them.
+		return &TransportError{
+			Action: action, Status: httpResp.Status, Body: bodyPrefix(raw), Err: err,
+		}
 	}
 	if httpResp.StatusCode < 200 || httpResp.StatusCode > 299 {
 		// Servers report SOAP faults with an error status (HTTP 500 per the
@@ -114,8 +161,7 @@ func (c *Client) CallCtx(ctx context.Context, action string, req, resp any) erro
 				return err
 			}
 		}
-		return fmt.Errorf("soap: call %s: server returned %s: %q",
-			action, httpResp.Status, bodyPrefix(raw))
+		return &TransportError{Action: action, Status: httpResp.Status, Body: bodyPrefix(raw)}
 	}
 	if err := Unmarshal(raw, resp); err != nil {
 		return err

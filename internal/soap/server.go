@@ -7,9 +7,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"mcs/internal/faultinject"
 	"mcs/internal/obs"
 )
 
@@ -27,6 +29,11 @@ type Ctx struct {
 	// It is echoed in the response and attached to audit records and the
 	// slow-operation log.
 	RequestID string
+	// IdempotencyKey is the client's deduplication key for a mutating
+	// call (the X-MCS-Idempotency-Key request header), "" when absent.
+	// Handlers forward it to the catalog's replay cache so a retried
+	// write applies exactly once.
+	IdempotencyKey string
 }
 
 // Authenticator verifies a request before dispatch and returns the caller's
@@ -51,6 +58,7 @@ type Server struct {
 
 	metrics *obs.Registry
 	slow    *obs.SlowOpLog
+	faults  *faultinject.Injector
 	// errorCode, when set, maps a handler error to a SOAP fault code suffix
 	// (e.g. "NotFound" → faultcode soapenv:Server.NotFound), letting typed
 	// errors round-trip to clients. An empty return means plain "Server".
@@ -93,6 +101,15 @@ func (s *Server) SetSlowOpLog(l *obs.SlowOpLog) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.slow = l
+}
+
+// SetFaultInjector installs a chaos fault injector evaluated at the
+// dispatch, after and transport sites of every call; nil (the default)
+// disables injection.
+func (s *Server) SetFaultInjector(in *faultinject.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = in
 }
 
 // SetErrorCode installs the error→fault-code mapping used when handlers
@@ -158,7 +175,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.RLock()
-	auth, metrics, slow := s.auth, s.metrics, s.slow
+	auth, metrics, slow, inj := s.auth, s.metrics, s.slow, s.faults
 	s.mu.RUnlock()
 
 	// Correlate the call: accept the client's request ID or mint one, and
@@ -175,7 +192,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.writeFault(w, "Client", fmt.Sprintf("read request: %v", err))
 		return
 	}
-	ctx := &Ctx{RemoteAddr: r.RemoteAddr, Header: r.Header, RequestID: reqID}
+	ctx := &Ctx{
+		RemoteAddr:     r.RemoteAddr,
+		Header:         r.Header,
+		RequestID:      reqID,
+		IdempotencyKey: r.Header.Get(obs.IdempotencyKeyHeader),
+	}
 
 	if auth != nil {
 		dn, err := auth.Authenticate(r, raw)
@@ -203,6 +225,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Dispatch-site injection: the call fails before its handler runs, so
+	// it has no effect to deduplicate — the plainest retryable failure.
+	if f := s.inject(inj, metrics, faultinject.SiteDispatch, se.Name.Local, reqID); f != nil {
+		switch f.Kind {
+		case faultinject.KindLatency:
+			// Slow dispatch only; the handler still runs below.
+		case faultinject.KindDrop:
+			panic(http.ErrAbortHandler)
+		default:
+			s.writeFault(w, s.faultCode(f.Err),
+				fmt.Sprintf("injected %s fault before %s: %v", f.Kind, se.Name.Local, f.Err))
+			return
+		}
+	}
+
 	// Instrumented dispatch: in-flight gauge around the handler, then
 	// request/error counters and the latency histogram on completion.
 	var om *obs.OpMetrics
@@ -222,13 +259,72 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.writeFault(w, s.faultCode(err), err.Error())
 		return
 	}
+
+	// After-site injection: the handler has run (and committed) but the
+	// reply is lost. Only an idempotent retry recovers from this one.
+	if f := s.inject(inj, metrics, faultinject.SiteAfter, se.Name.Local, reqID); f != nil {
+		switch f.Kind {
+		case faultinject.KindLatency:
+		case faultinject.KindDrop:
+			panic(http.ErrAbortHandler)
+		default:
+			s.writeFault(w, s.faultCode(f.Err),
+				fmt.Sprintf("injected %s fault after %s: %v", f.Kind, se.Name.Local, f.Err))
+			return
+		}
+	}
+
 	out, err := Marshal(resp)
 	if err != nil {
 		s.writeFault(w, "Server", err.Error())
 		return
 	}
+
+	// Transport-site injection: the response write itself misbehaves.
+	if f := s.inject(inj, metrics, faultinject.SiteTransport, se.Name.Local, reqID); f != nil {
+		switch f.Kind {
+		case faultinject.KindDrop:
+			panic(http.ErrAbortHandler)
+		case faultinject.KindPartial:
+			// Advertise the full length, deliver a prefix, sever the
+			// connection: the client's body read fails mid-stream with
+			// the status line already in hand.
+			n := f.TruncateAt
+			if n <= 0 || n >= len(out) {
+				n = len(out) / 2
+			}
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+			w.Write(out[:n]) //nolint:errcheck // deliberately truncated write
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		case faultinject.KindError:
+			s.writeFault(w, s.faultCode(f.Err),
+				fmt.Sprintf("injected error fault writing %s reply: %v", se.Name.Local, f.Err))
+			return
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	w.Write(out) //nolint:errcheck // best-effort response write
+}
+
+// inject evaluates one fault site, counting the injection and applying any
+// latency component; the caller applies the fault's visible effect.
+func (s *Server) inject(inj *faultinject.Injector, m *obs.Registry, site faultinject.Site, op, reqID string) *faultinject.Fault {
+	f := inj.Eval(site, op, reqID)
+	if f == nil {
+		return nil
+	}
+	if m != nil {
+		m.FaultInjected(string(site))
+	}
+	if f.Delay > 0 {
+		inj.Sleep(f.Delay)
+	}
+	return f
 }
 
 // faultCode renders the fault code for a handler error, consulting the

@@ -1,0 +1,68 @@
+package soap
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// A connection cut mid-body must still surface the HTTP status line and the
+// received body prefix — the bytes that did arrive are the only diagnostic
+// evidence of what the server was saying when the connection died.
+func TestClientMidBodyDropReportsStatusAndPrefix(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Promise a full body, deliver a fragment, then sever the
+		// connection without completing the response.
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Header().Set("Content-Length", "1000")
+		io.WriteString(w, "<soapenv:Envelope><partial-reply") //nolint:errcheck
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	var resp echoResponse
+	err := c.Call("echo", &echoRequest{Message: "hi"}, &resp)
+	if err == nil {
+		t.Fatal("expected an error from a truncated response")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("error = %T %v, want *TransportError", err, err)
+	}
+	if !strings.Contains(te.Status, "200") {
+		t.Errorf("Status = %q, want the 200 status line that arrived", te.Status)
+	}
+	if !strings.Contains(te.Body, "partial-reply") {
+		t.Errorf("Body = %q, want the received prefix", te.Body)
+	}
+	if te.Err == nil {
+		t.Error("Err = nil, want the underlying read error")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "truncated") || !strings.Contains(msg, "200") {
+		t.Errorf("Error() = %q, want status and truncation mentioned", msg)
+	}
+}
+
+// A clean refusal with no response at all keeps the bare-cause rendering and
+// unwraps to the underlying error.
+func TestClientConnectionRefusedIsTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens here anymore
+
+	c := NewClient(url)
+	var resp echoResponse
+	err := c.Call("echo", &echoRequest{Message: "hi"}, &resp)
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("error = %T %v, want *TransportError", err, err)
+	}
+	if te.Status != "" || te.Err == nil {
+		t.Errorf("TransportError = %+v, want no status and a cause", te)
+	}
+}

@@ -18,6 +18,49 @@ type DB struct {
 	// never cached (it is rare and self-invalidating).
 	stmtMu    sync.RWMutex
 	stmtCache map[string]Statement
+
+	// faultHook, when set, runs once per statement with the statement's
+	// verb ("select", "insert", "update", "delete", "ddl") before any lock
+	// is taken; a non-nil return aborts the statement with that error (and
+	// rolls back an enclosing transaction). Installed only by the chaos
+	// fault-injection harness.
+	hookMu    sync.RWMutex
+	faultHook func(verb string) error
+}
+
+// SetFaultHook installs (or, with nil, removes) the per-statement fault
+// hook. See the faultHook field for semantics.
+func (db *DB) SetFaultHook(fn func(verb string) error) {
+	db.hookMu.Lock()
+	db.faultHook = fn
+	db.hookMu.Unlock()
+}
+
+// checkFault consults the fault hook for a parsed statement.
+func (db *DB) checkFault(st Statement) error {
+	db.hookMu.RLock()
+	fn := db.faultHook
+	db.hookMu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(stmtVerb(st))
+}
+
+// stmtVerb names a statement class for the fault hook.
+func stmtVerb(st Statement) string {
+	switch st.(type) {
+	case *SelectStmt:
+		return "select"
+	case *InsertStmt:
+		return "insert"
+	case *UpdateStmt:
+		return "update"
+	case *DeleteStmt:
+		return "delete"
+	default:
+		return "ddl"
+	}
 }
 
 // maxCachedStatements bounds the parse cache; beyond it the cache resets
@@ -77,6 +120,9 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if err := db.checkFault(st); err != nil {
+		return Result{}, err
+	}
 	if sel, ok := st.(*SelectStmt); ok {
 		// Permit Exec of SELECT for convenience; discard rows.
 		db.mu.RLock()
@@ -98,6 +144,9 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	sel, ok := st.(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := db.checkFault(st); err != nil {
+		return nil, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -121,6 +170,9 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 
 // Exec runs a prepared mutating statement.
 func (s *Stmt) Exec(args ...Value) (Result, error) {
+	if err := s.db.checkFault(s.st); err != nil {
+		return Result{}, err
+	}
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
 	return s.db.execLocked(s.st, args, nil)
@@ -131,6 +183,9 @@ func (s *Stmt) Query(args ...Value) (*Rows, error) {
 	sel, ok := s.st.(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := s.db.checkFault(s.st); err != nil {
+		return nil, err
 	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
@@ -173,6 +228,9 @@ func (tx *Tx) Exec(sql string, args ...Value) (Result, error) {
 	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt, *DropIndexStmt:
 		return Result{}, fmt.Errorf("sqldb: DDL is not allowed inside a transaction")
 	}
+	if err := tx.db.checkFault(st); err != nil {
+		return Result{}, err
+	}
 	return tx.db.execLocked(st, args, &tx.undo)
 }
 
@@ -188,6 +246,9 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 	sel, ok := st.(*SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := tx.db.checkFault(st); err != nil {
+		return nil, err
 	}
 	return tx.db.executeSelect(sel, args)
 }

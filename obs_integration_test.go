@@ -404,7 +404,10 @@ func TestFaultSentinelTableExhaustive(t *testing.T) {
 		"ErrCycle":         ErrCycle,
 		"ErrNotEmpty":      ErrNotEmpty,
 		"ErrAmbiguousFile": ErrAmbiguousFile,
+		"ErrUnavailable":   ErrUnavailable,
 	}
+	// ErrTransport is deliberately absent: it is a client-side diagnosis
+	// (no decodable reply), never a wire fault code.
 	if len(faultSentinels) != len(all) {
 		t.Fatalf("faultSentinels has %d entries, package exports %d sentinels",
 			len(faultSentinels), len(all))

@@ -1,0 +1,139 @@
+package mcs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// Continuation tokens are stateless cursors, so a token handed out by one
+// server process must resume exactly — no duplicates, no gaps — against a
+// new process restored from a snapshot (satellite: pagination across
+// restart).
+func TestPaginationTokenSurvivesRestart(t *testing.T) {
+	const total, pageSize = 25, 10
+	srv1, url1 := startServer(t, ServerOptions{})
+	admin := NewClient(url1, testAlice)
+	if _, err := admin.DefineAttribute("pg", AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, total)
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("pg-%02d.dat", i)
+		want = append(want, name)
+		_, err := admin.CreateFile(FileSpec{
+			Name:       name,
+			Attributes: []Attribute{{Name: "pg", Value: String("1")}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Query{Target: ObjectFile, Predicates: []Predicate{
+		{Attribute: "pg", Op: OpEq, Value: String("1")},
+	}}
+
+	got, token, err := admin.RunQueryPage(q, pageSize, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != pageSize || token == "" {
+		t.Fatalf("first page = %d names, token %q; want a full page and a token", len(got), token)
+	}
+
+	// Snapshot the catalog mid-walk and bring up a fresh server on the
+	// restored copy — the moral equivalent of a daemon restart.
+	var buf bytes.Buffer
+	if err := srv1.Catalog().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := RestoreCatalog(Options{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, url2 := startServer(t, ServerOptions{Catalog: cat2})
+	c2 := NewClient(url2, testAlice)
+
+	for token != "" {
+		var page []string
+		page, token, err = c2.RunQueryPage(q, pageSize, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+	}
+	sort.Strings(got)
+	if len(got) != total {
+		t.Fatalf("walk across restart returned %d names, want %d: %v", len(got), total, got)
+	}
+	for i, name := range got {
+		if name != want[i] {
+			t.Fatalf("walk across restart diverged at %d: got %q, want %q (dup or gap)", i, name, want[i])
+		}
+	}
+
+	// A corrupted token is an input error, not a server crash.
+	if _, _, err := c2.RunQueryPage(q, pageSize, "!!!not-base64!!!"); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("malformed token err = %v, want ErrInvalidInput", err)
+	}
+}
+
+// A BatchWrite is atomic to concurrent readers: a paginating query that
+// races the batch sees either none of its files or all of them, never a
+// partial batch (satellite: batch vs. query visibility under -race).
+func TestBatchWriteAtomicVisibility(t *testing.T) {
+	const rounds, batchSize = 10, 6
+	_, url := startServer(t, ServerOptions{})
+	admin := NewClient(url, testAlice)
+	if _, err := admin.DefineAttribute("vis", AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	writer := NewClient(url, testAlice)
+	reader := NewClient(url, testAlice)
+
+	for r := 0; r < rounds; r++ {
+		round := fmt.Sprintf("r%d", r)
+		var ops []BatchOp
+		for f := 0; f < batchSize; f++ {
+			ops = append(ops, BatchOp{CreateFile: &FileSpec{
+				Name:       fmt.Sprintf("vis-%s-f%d.dat", round, f),
+				Attributes: []Attribute{{Name: "vis", Value: String(round)}},
+			}})
+		}
+		q := Query{Target: ObjectFile, Predicates: []Predicate{
+			{Attribute: "vis", Op: OpEq, Value: String(round)},
+		}}
+
+		done := make(chan error, 1)
+		go func() {
+			_, err := writer.BatchWrite(ops)
+			done <- err
+		}()
+		// Observe as often as possible while the batch is in flight; every
+		// observation must be all-or-nothing.
+		for committed := false; !committed; {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("round %s: batch write = %v", round, err)
+				}
+				committed = true
+			default:
+			}
+			names, _, err := reader.RunQueryPage(q, batchSize+1, "")
+			if err != nil {
+				t.Fatalf("round %s: query = %v", round, err)
+			}
+			if n := len(names); n != 0 && n != batchSize {
+				t.Fatalf("round %s: observed %d/%d files — batch visibility must be all-or-nothing", round, n, batchSize)
+			}
+		}
+		// After the ack, the whole batch is visible.
+		names, _, err := reader.RunQueryPage(q, batchSize+1, "")
+		if err != nil || len(names) != batchSize {
+			t.Fatalf("round %s: post-commit query = %d names, %v; want %d", round, len(names), err, batchSize)
+		}
+	}
+}

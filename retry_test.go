@@ -1,0 +1,179 @@
+package mcs
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcs/internal/mcswire"
+	"mcs/internal/obs"
+	"mcs/internal/soap"
+)
+
+// The backoff schedule is exponential with jitter: attempt n waits a
+// duration drawn uniformly from [d/2, d) where d doubles from the base up
+// to the cap. Two injected failures make the schedule observable through a
+// recorded sleep hook.
+func TestRetryBackoffScheduleAndStats(t *testing.T) {
+	inj := NewFaultInjector(1, FaultRule{
+		Site: FaultSiteDispatch, Op: "createFile", Kind: FaultKindError, Calls: []uint64{1, 2},
+	})
+	_, url := startServer(t, ServerOptions{FaultInjector: inj})
+
+	const base = 8 * time.Millisecond
+	c := NewClient(url, testAlice, WithRetry(4), WithBackoff(base, time.Second))
+	var sleeps []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		sleeps = append(sleeps, d)
+		return nil // don't actually wait; the schedule is what's under test
+	}
+
+	if _, err := c.CreateFile(FileSpec{Name: "bo.dat"}); err != nil {
+		t.Fatalf("create = %v, want success on attempt 3", err)
+	}
+	if st := c.RetryStats(); st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 attempts / 2 retries", st)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want one per retry", sleeps)
+	}
+	for i, want := range []time.Duration{base, 2 * base} {
+		if lo, hi := want/2, want; sleeps[i] < lo || sleeps[i] >= hi {
+			t.Errorf("sleep %d = %v, want jittered within [%v, %v)", i+1, sleeps[i], lo, hi)
+		}
+	}
+}
+
+// The cap bounds the exponential: far attempts all draw from [max/2, max).
+func TestRetryBackoffCapped(t *testing.T) {
+	c := NewClient("http://unused", testAlice, WithBackoff(time.Millisecond, 4*time.Millisecond))
+	for attempt := 3; attempt < 10; attempt++ {
+		d := c.backoffFor(attempt)
+		if d < 2*time.Millisecond || d >= 4*time.Millisecond {
+			t.Fatalf("backoffFor(%d) = %v, want within [2ms, 4ms)", attempt, d)
+		}
+	}
+}
+
+// Catalog verdicts are final: a NotFound must not burn retry attempts.
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	_, url := startServer(t, ServerOptions{})
+	c := retryClient(url)
+	_, err := c.GetFile("absent.dat", 0)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if st := c.RetryStats(); st.Attempts != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want a single attempt and no retries", st)
+	}
+}
+
+// A canceled context stops the retry loop immediately, keeping the last
+// attempt's error rather than masking it.
+func TestRetryStopsOnCanceledContext(t *testing.T) {
+	inj := NewFaultInjector(1, FaultRule{Site: FaultSiteDispatch, Kind: FaultKindError})
+	_, url := startServer(t, ServerOptions{FaultInjector: inj})
+	c := retryClient(url)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.CreateFileCtx(ctx, FileSpec{Name: "cx.dat"})
+	if err == nil {
+		t.Fatal("expected an error with a canceled context")
+	}
+	if st := c.RetryStats(); st.Retries != 0 {
+		t.Fatalf("stats = %+v, want no retries after cancellation", st)
+	}
+}
+
+// Regression: a failed attempt can partially decode into the response
+// struct (XML decoding appends to slices; a non-2xx body is sniffed for
+// faults). The retry must decode into a fresh struct, or the caller sees
+// doubled slice elements. This server answers first with HTTP 503 carrying
+// a well-formed fileVersions reply, then with the same reply and HTTP 200 —
+// without the fresh-struct guard the final result holds two files.
+func TestRetryDoesNotDoubleDecodeResponse(t *testing.T) {
+	body, err := soap.Marshal(&mcswire.FileVersionsResponse{
+		Files: []mcswire.WireFile{{ID: 1, Name: "dd.dat", Version: 1, Valid: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		w.Write(body) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, testAlice, WithRetry(3), WithBackoff(time.Millisecond, time.Millisecond))
+	vs, err := c.FileVersions("dd.dat")
+	if err != nil {
+		t.Fatalf("versions = %v, want success on retry", err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("versions = %+v, want exactly one (no double decode)", vs)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// Retried attempts of one logical call repeat the same request ID and (for
+// mutating ops) the same idempotency key; distinct logical calls get
+// distinct keys.
+func TestRetryPinsRequestIDAndIdempotencyKey(t *testing.T) {
+	type seen struct{ reqID, idemKey string }
+	var mu sync.Mutex
+	var attempts []seen
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts = append(attempts, seen{r.Header.Get(obs.RequestIDHeader), r.Header.Get(obs.IdempotencyKeyHeader)})
+		mu.Unlock()
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("catalog restarting")) //nolint:errcheck
+			return
+		}
+		body, _ := soap.Marshal(&mcswire.CreateFileResponse{File: mcswire.WireFile{ID: 1, Name: "p.dat", Version: 1}})
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(body) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, testAlice, WithRetry(3), WithBackoff(time.Millisecond, time.Millisecond))
+	if _, err := c.CreateFile(FileSpec{Name: "p.dat"}); err != nil {
+		t.Fatalf("create = %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(attempts) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(attempts))
+	}
+	if attempts[0].reqID == "" || attempts[0].idemKey == "" {
+		t.Fatalf("first attempt missing correlation headers: %+v", attempts[0])
+	}
+	if attempts[0] != attempts[1] {
+		t.Fatalf("attempts carried different identities: %+v vs %+v", attempts[0], attempts[1])
+	}
+
+	// A second logical call must not reuse the first call's key.
+	mu.Unlock()
+	_, err := c.CreateFile(FileSpec{Name: "p2.dat"})
+	mu.Lock()
+	if err != nil {
+		t.Fatalf("second create = %v", err)
+	}
+	if last := attempts[len(attempts)-1]; last.idemKey == attempts[0].idemKey {
+		t.Fatal("distinct logical calls shared an idempotency key")
+	}
+}

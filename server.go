@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"mcs/internal/core"
+	"mcs/internal/faultinject"
 	"mcs/internal/gsi"
 	"mcs/internal/mcswire"
 	"mcs/internal/obs"
@@ -146,7 +147,47 @@ var (
 	ErrCycle         = core.ErrCycle
 	ErrNotEmpty      = core.ErrNotEmpty
 	ErrAmbiguousFile = core.ErrAmbiguousFile
+	ErrUnavailable   = core.ErrUnavailable
 )
+
+// Fault-injection surface, re-exported so chaos harnesses and operators only
+// import this package. A FaultInjector built from rules (literal or parsed
+// from a -fault-spec string) is handed to ServerOptions.FaultInjector; the
+// server then injects deterministic, seed-reproducible failures at four
+// sites: SOAP dispatch, post-handler (reply lost after commit — the case
+// idempotency keys exist for), the HTTP transport, and individual database
+// statements.
+type (
+	// FaultInjector decides, deterministically per (site, op, call), whether
+	// a request suffers an injected fault.
+	FaultInjector = faultinject.Injector
+	// FaultRule is one injection rule (site, kind, and selection gates).
+	FaultRule = faultinject.Rule
+	// FaultSite names a code location faults can be injected at.
+	FaultSite = faultinject.Site
+	// FaultKind names a failure mode (error, latency, drop, partial).
+	FaultKind = faultinject.Kind
+)
+
+// Fault sites and kinds, re-exported.
+const (
+	FaultSiteDispatch  = faultinject.SiteDispatch
+	FaultSiteAfter     = faultinject.SiteAfter
+	FaultSiteTransport = faultinject.SiteTransport
+	FaultSiteDB        = faultinject.SiteDB
+
+	FaultKindError   = faultinject.KindError
+	FaultKindLatency = faultinject.KindLatency
+	FaultKindDrop    = faultinject.KindDrop
+	FaultKindPartial = faultinject.KindPartial
+)
+
+// NewFaultInjector builds a deterministic injector from a seed and rules.
+var NewFaultInjector = faultinject.New
+
+// ParseFaultSpec parses the -fault-spec rule syntax, e.g.
+// "site=dispatch,kind=error,op=createFile,calls=1-3".
+var ParseFaultSpec = faultinject.ParseSpec
 
 // OpenCatalog creates an embedded catalog engine (no web service).
 func OpenCatalog(opts Options) (*Catalog, error) { return core.Open(opts) }
@@ -202,6 +243,11 @@ type ServerOptions struct {
 	CAS *CASIntegration
 	// Obs configures metrics, diagnostic endpoints and the slow-op log.
 	Obs ObsOptions
+	// FaultInjector, when non-nil, injects deterministic failures into
+	// dispatch, reply writing, the HTTP transport and database statements —
+	// the chaos-testing harness. Production servers leave it nil; there is
+	// no injection code on any hot path when disabled.
+	FaultInjector *FaultInjector
 }
 
 // Server is the MCS web service: a SOAP endpoint in front of a Catalog.
@@ -220,9 +266,14 @@ type Server struct {
 	cas       *CASIntegration
 	metrics   *obs.Registry
 	slow      *obs.SlowOpLog
+	faults    *faultinject.Injector
 	endpoints bool
 	started   time.Time
 }
+
+// FaultInjector returns the server's fault injector, or nil when chaos
+// testing is not configured.
+func (s *Server) FaultInjector() *FaultInjector { return s.faults }
 
 // Catalog returns the server's underlying catalog engine.
 func (s *Server) Catalog() *Catalog { return s.catalog }
@@ -291,6 +342,29 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		s.slow = obs.NewSlowOpLog(opts.Obs.SlowOpThreshold, opts.Obs.SlowOpLogger)
 		ss.SetSlowOpLog(s.slow)
 	}
+	if inj := opts.FaultInjector; inj != nil {
+		if inj.DefaultErr == nil {
+			inj.DefaultErr = core.ErrUnavailable
+		}
+		s.faults = inj
+		ss.SetFaultInjector(inj)
+		cat.DB().SetFaultHook(func(verb string) error {
+			f := inj.Eval(faultinject.SiteDB, verb, "")
+			if f == nil {
+				return nil
+			}
+			if s.metrics != nil {
+				s.metrics.FaultInjected(string(faultinject.SiteDB))
+			}
+			if f.Delay > 0 {
+				inj.Sleep(f.Delay)
+			}
+			if f.Kind == faultinject.KindLatency {
+				return nil
+			}
+			return fmt.Errorf("%w: injected %s fault on db %s", f.Err, f.Kind, verb)
+		})
+	}
 	ss.SetErrorCode(faultCodeFor)
 	s.register()
 	return s, nil
@@ -357,22 +431,40 @@ func (s *Server) serveStatz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	var faultsInjected int64
+	if s.faults != nil {
+		faultsInjected = int64(s.faults.Total())
+	}
 	enc.Encode(struct { //nolint:errcheck // best-effort response write
-		UptimeSeconds int64 `json:"uptime_seconds"`
-		Files         int   `json:"files"`
-		Collections   int   `json:"collections"`
-		Views         int   `json:"views"`
-		Attributes    int   `json:"attributes"`
-		AttrDefs      int   `json:"attr_defs"`
+		UptimeSeconds  int64 `json:"uptime_seconds"`
+		Files          int   `json:"files"`
+		Collections    int   `json:"collections"`
+		Views          int   `json:"views"`
+		Attributes     int   `json:"attributes"`
+		AttrDefs       int   `json:"attr_defs"`
+		FaultsInjected int64 `json:"faults_injected"`
+		ReplayedWrites int64 `json:"replayed_writes"`
 	}{
 		UptimeSeconds: int64(time.Since(s.started).Seconds()),
 		Files:         st.Files, Collections: st.Collections, Views: st.Views,
 		Attributes: st.Attributes, AttrDefs: st.AttrDefs,
+		FaultsInjected: faultsInjected,
+		ReplayedWrites: s.catalog.ReplayHits(),
 	})
 }
 
 func (s *Server) register() {
 	cat := s.catalog
+
+	// opOpts threads per-request correlation into every mutating catalog
+	// call: the request ID (audit trail, slow-op log) and the idempotency
+	// key (replay detection for retried writes).
+	opOpts := func(ctx *soap.Ctx) []core.OpOption {
+		return []core.OpOption{
+			core.WithRequestID(ctx.RequestID),
+			core.WithIdempotencyKey(ctx.IdempotencyKey),
+		}
+	}
 
 	soap.Handle(s.Server, "ping", func(ctx *soap.Ctx, req *mcswire.PingRequest) (*mcswire.PingResponse, error) {
 		return &mcswire.PingResponse{DN: ctx.DN}, nil
@@ -392,7 +484,7 @@ func (s *Server) register() {
 			Collection: req.Collection, ContainerID: req.ContainerID,
 			ContainerService: req.ContainerService, MasterCopy: req.MasterCopy,
 			Audited: req.Audited, Provenance: req.Provenance, Attributes: attrs,
-		}, core.WithRequestID(ctx.RequestID))
+		}, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -437,7 +529,7 @@ func (s *Server) register() {
 			upd.MasterCopy = &req.MasterCopy
 		}
 		f, err := cat.UpdateFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, upd,
-			core.WithRequestID(ctx.RequestID))
+			opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -446,14 +538,14 @@ func (s *Server) register() {
 
 	soap.Handle(s.Server, "deleteFile", func(ctx *soap.Ctx, req *mcswire.DeleteFileRequest) (*mcswire.DeleteFileResponse, error) {
 		if err := cat.DeleteFile(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name, req.Version,
-			core.WithRequestID(ctx.RequestID)); err != nil {
+			opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.DeleteFileResponse{OK: true}, nil
 	})
 
 	soap.Handle(s.Server, "moveFile", func(ctx *soap.Ctx, req *mcswire.MoveFileRequest) (*mcswire.MoveFileResponse, error) {
-		if err := cat.MoveFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Collection); err != nil {
+		if err := cat.MoveFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Collection, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.MoveFileResponse{OK: true}, nil
@@ -471,7 +563,7 @@ func (s *Server) register() {
 		// Per-object authorization happens per op inside the transaction;
 		// the transport-level CAS check covers the batch as one write.
 		results, err := cat.BatchWrite(s.caller(ctx, req.Caller, gsi.RightWrite, ""), ops,
-			core.WithRequestID(ctx.RequestID))
+			opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -501,7 +593,7 @@ func (s *Server) register() {
 		col, err := cat.CreateCollection(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), CollectionSpec{
 			Name: req.Name, Description: req.Description, Parent: req.Parent,
 			Audited: req.Audited, Attributes: attrs,
-		}, core.WithRequestID(ctx.RequestID))
+		}, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -552,7 +644,7 @@ func (s *Server) register() {
 
 	soap.Handle(s.Server, "deleteCollection", func(ctx *soap.Ctx, req *mcswire.DeleteCollectionRequest) (*mcswire.DeleteCollectionResponse, error) {
 		if err := cat.DeleteCollection(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name,
-			core.WithRequestID(ctx.RequestID)); err != nil {
+			opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.DeleteCollectionResponse{OK: true}, nil
@@ -577,7 +669,7 @@ func (s *Server) register() {
 		}
 		v, err := cat.CreateView(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), ViewSpec{
 			Name: req.Name, Description: req.Description, Audited: req.Audited, Attributes: attrs,
-		}, core.WithRequestID(ctx.RequestID))
+		}, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -586,14 +678,14 @@ func (s *Server) register() {
 
 	soap.Handle(s.Server, "addToView", func(ctx *soap.Ctx, req *mcswire.AddToViewRequest) (*mcswire.AddToViewResponse, error) {
 		if err := cat.AddToView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member,
-			core.WithRequestID(ctx.RequestID)); err != nil {
+			opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.AddToViewResponse{OK: true}, nil
 	})
 
 	soap.Handle(s.Server, "removeFromView", func(ctx *soap.Ctx, req *mcswire.RemoveFromViewRequest) (*mcswire.RemoveFromViewResponse, error) {
-		if err := cat.RemoveFromView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member); err != nil {
+		if err := cat.RemoveFromView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.RemoveFromViewResponse{OK: true}, nil
@@ -623,14 +715,14 @@ func (s *Server) register() {
 
 	soap.Handle(s.Server, "deleteView", func(ctx *soap.Ctx, req *mcswire.DeleteViewRequest) (*mcswire.DeleteViewResponse, error) {
 		if err := cat.DeleteView(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name,
-			core.WithRequestID(ctx.RequestID)); err != nil {
+			opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.DeleteViewResponse{OK: true}, nil
 	})
 
 	soap.Handle(s.Server, "defineAttribute", func(ctx *soap.Ctx, req *mcswire.DefineAttributeRequest) (*mcswire.DefineAttributeResponse, error) {
-		def, err := cat.DefineAttribute(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), req.Name, AttrType(req.Type), req.Description)
+		def, err := cat.DefineAttribute(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), req.Name, AttrType(req.Type), req.Description, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -658,14 +750,14 @@ func (s *Server) register() {
 		if err != nil {
 			return nil, err
 		}
-		if err := cat.SetAttribute(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object, a.Name, a.Value); err != nil {
+		if err := cat.SetAttribute(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object, a.Name, a.Value, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.SetAttributeResponse{OK: true}, nil
 	})
 
 	soap.Handle(s.Server, "unsetAttribute", func(ctx *soap.Ctx, req *mcswire.UnsetAttributeRequest) (*mcswire.UnsetAttributeResponse, error) {
-		if err := cat.UnsetAttribute(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object, req.Attribute); err != nil {
+		if err := cat.UnsetAttribute(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object, req.Attribute, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.UnsetAttributeResponse{OK: true}, nil
@@ -749,7 +841,7 @@ func (s *Server) register() {
 	})
 
 	soap.Handle(s.Server, "annotate", func(ctx *soap.Ctx, req *mcswire.AnnotateRequest) (*mcswire.AnnotateResponse, error) {
-		a, err := cat.Annotate(s.caller(ctx, req.Caller, gsi.RightAnnotate, req.Object), ObjectType(req.ObjectType), req.Object, req.Text)
+		a, err := cat.Annotate(s.caller(ctx, req.Caller, gsi.RightAnnotate, req.Object), ObjectType(req.ObjectType), req.Object, req.Text, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -771,7 +863,7 @@ func (s *Server) register() {
 	})
 
 	soap.Handle(s.Server, "addProvenance", func(ctx *soap.Ctx, req *mcswire.AddProvenanceRequest) (*mcswire.AddProvenanceResponse, error) {
-		if err := cat.AddProvenance(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Description); err != nil {
+		if err := cat.AddProvenance(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Description, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.AddProvenanceResponse{OK: true}, nil
@@ -828,7 +920,7 @@ func (s *Server) register() {
 		err := cat.RegisterWriter(s.caller(ctx, req.Caller, gsi.RightWrite, ""), Writer{
 			DN: req.DN, Description: req.Description, Institution: req.Institution,
 			Address: req.Address, Phone: req.Phone, Email: req.Email,
-		})
+		}, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}
@@ -849,7 +941,7 @@ func (s *Server) register() {
 	soap.Handle(s.Server, "registerExternalCatalog", func(ctx *soap.Ctx, req *mcswire.RegisterExternalCatalogRequest) (*mcswire.RegisterExternalCatalogResponse, error) {
 		ec, err := cat.RegisterExternalCatalog(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), ExternalCatalog{
 			Name: req.Name, Type: req.Type, Host: req.Host, IP: req.IP, Description: req.Description,
-		})
+		}, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
 		}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check chaos bench figures
+.PHONY: build test race vet fmt check chaos bench figures readpath
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,11 @@ bench:
 
 figures:
 	$(GO) run ./cmd/mcsbench -fig all
+
+# The MVCC read-path sweep (Fig. 14): one writer plus 1/2/4/8 reader
+# threads on one catalog, emitted as BENCH_readpath.json. Override the
+# window or size for a quick smoke run, e.g.
+# `make readpath READPATH_FLAGS="-duration 200ms -sizes 1000"`.
+readpath:
+	$(GO) run ./cmd/mcsbench -fig 14 -threads 1,2,4,8 -sizes 10000 \
+		-json BENCH_readpath.json $(READPATH_FLAGS)

@@ -16,6 +16,12 @@
 //	mcsbench -fig 6 -latency               # p50/p95/p99 per data point
 //	mcsbench -fig 12 -batch-sizes 1,100    # batch sweep at chosen sizes
 //
+// Figure 14 is the MVCC read-path sweep: query and add rates with one
+// writer thread plus a growing pool of reader threads on one catalog —
+// the workload the lock-free snapshot read path is built for. With
+// -json FILE the fig 14 points are also written as machine-readable JSON
+// (BENCH_readpath.json in CI).
+//
 // The paper's full-scale databases (100k/1M/5M files) are reachable with
 // -sizes 100000,1000000,5000000 given enough memory and patience; the
 // defaults are scaled so a laptop run finishes in minutes while preserving
@@ -23,12 +29,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +45,40 @@ import (
 	"mcs/internal/bench"
 	"mcs/internal/core"
 )
+
+// readPathReport is the machine-readable form of the Fig. 14 sweep.
+type readPathReport struct {
+	Bench       string             `json:"bench"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
+	DBFiles     int                `json:"db_files"`
+	DurationSec float64            `json:"duration_sec"`
+	Points      []bench.MixedPoint `json:"points"`
+	// QuerySpeedup is the aggregate query rate at the largest thread count
+	// divided by the rate at the smallest — the multi-client scaling figure
+	// of merit (meaningful only when GOMAXPROCS spans the thread counts).
+	QuerySpeedup float64 `json:"query_speedup"`
+}
+
+// writeReadPathJSON emits the Fig. 14 points to path.
+func writeReadPathJSON(path string, size int, d time.Duration, points []bench.MixedPoint) error {
+	rep := readPathReport{
+		Bench:       "readpath",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		DBFiles:     size,
+		DurationSec: d.Seconds(),
+		Points:      points,
+	}
+	if len(points) > 1 && points[0].QueryOps > 0 {
+		rep.QuerySpeedup = points[len(points)-1].QueryOps / points[0].QueryOps
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func parseSizes(s string) ([]int, error) {
 	var out []int
@@ -100,7 +142,7 @@ func env() bench.Env {
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", `figure to regenerate: 5..13 or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 5..14 or "all"`)
 	sizes := flag.String("sizes", "10000,50000,100000", "database sizes (files), comma-separated")
 	threads := flag.String("threads", "1,2,4,8,12,16", "thread sweep for figures 5-7")
 	hosts := flag.String("hosts", "1,2,4,6,8,10", "host sweep for figures 8-10")
@@ -109,6 +151,7 @@ func main() {
 	attrSweep := flag.String("attr-sweep", "1,2,4,6,8,10", "attribute counts for figure 11")
 	batchSizes := flag.String("batch-sizes", "1,10,100,1000", "batch-size sweep for figure 12")
 	latency := flag.Bool("latency", false, "also report per-operation latency (p50/p95/p99) per data point")
+	jsonOut := flag.String("json", "", "write figure 14 points as JSON to this path (e.g. BENCH_readpath.json)")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
 
@@ -140,7 +183,7 @@ func main() {
 
 	var figs []int
 	if *fig == "all" {
-		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13}
+		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
 	} else {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
@@ -171,11 +214,30 @@ func main() {
 	for _, f := range figs {
 		fmt.Fprintf(os.Stderr, "mcsbench: running figure %d (sizes %v, window %s)...\n", f, szs, *duration)
 		start := time.Now()
-		series, err := bench.Figure(f, opt)
-		if err != nil {
-			log.Fatalf("mcsbench: figure %d: %v", f, err)
+		if f == 14 {
+			// Run the sweep once and feed both the rendered table and the
+			// optional JSON report from the same points.
+			size := szs[0]
+			for _, s := range szs[1:] {
+				if s < size {
+					size = s
+				}
+			}
+			points := bench.ReadPathSweep(opt.Catalogs[size], thr, *duration, bench.DefaultConfig(size))
+			fmt.Println(bench.Render(14, bench.MixedPointSeries(size, points)))
+			if *jsonOut != "" {
+				if err := writeReadPathJSON(*jsonOut, size, *duration, points); err != nil {
+					log.Fatalf("mcsbench: write %s: %v", *jsonOut, err)
+				}
+				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *jsonOut)
+			}
+		} else {
+			series, err := bench.Figure(f, opt)
+			if err != nil {
+				log.Fatalf("mcsbench: figure %d: %v", f, err)
+			}
+			fmt.Println(bench.Render(f, series))
 		}
-		fmt.Println(bench.Render(f, series))
 		fmt.Fprintf(os.Stderr, "mcsbench: figure %d done in %s\n\n", f, time.Since(start).Round(time.Second))
 	}
 }

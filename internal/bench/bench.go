@@ -304,6 +304,84 @@ func RunRateHist(targets []Target, threadsPerHost int, d time.Duration, op Op, c
 	return float64(total.Load()) / elapsed.Seconds()
 }
 
+// MixedPoint is one measurement of the read-path sweep (Fig. 14): Threads
+// reader threads running simple queries concurrently with one writer thread
+// doing add/delete cycles against the same catalog.
+type MixedPoint struct {
+	Threads  int     `json:"threads"`
+	QueryOps float64 `json:"query_ops_per_sec"`
+	WriteOps float64 `json:"write_ops_per_sec"`
+}
+
+// RunMixedRate measures the mixed read/write workload directly against the
+// catalog engine: one writer thread cycling add/delete plus threads reader
+// threads issuing simple queries, all for duration d. Under the MVCC read
+// path the queries are wait-free snapshot reads of the last committed root,
+// so the aggregate query rate should scale with reader threads instead of
+// serializing behind the writer.
+func RunMixedRate(cat *core.Catalog, threads int, d time.Duration, cfg Config) MixedPoint {
+	var reads, writes atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	tgt := Direct{Catalog: cat}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		iter := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			iter++
+			name := fmt.Sprintf("bench-mixed-%08d", iter)
+			if err := tgt.AddAndDelete(name, FileAttributes(iter, cfg.AttrsPerFile)); err != nil {
+				panic(fmt.Sprintf("bench: mixed writer: %v", err))
+			}
+			writes.Add(1)
+		}
+	}()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			iter := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				iter++
+				if err := tgt.SimpleQuery(FileName((t*17 + iter*7919) % cfg.Files)); err != nil {
+					panic(fmt.Sprintf("bench: mixed reader t=%d: %v", t, err))
+				}
+				reads.Add(1)
+			}
+		}(t)
+	}
+	start := time.Now()
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return MixedPoint{
+		Threads:  threads,
+		QueryOps: float64(reads.Load()) / elapsed,
+		WriteOps: float64(writes.Load()) / elapsed,
+	}
+}
+
+// ReadPathSweep runs RunMixedRate at each reader thread count.
+func ReadPathSweep(cat *core.Catalog, threads []int, d time.Duration, cfg Config) []MixedPoint {
+	points := make([]MixedPoint, 0, len(threads))
+	for _, t := range threads {
+		points = append(points, RunMixedRate(cat, t, d, cfg))
+	}
+	return points
+}
+
 // BatchRegistrationAttrs is the attribute count of the Fig. 12 bulk-
 // registration workload: bare logical names, no attributes. Bulk loads
 // register names first and attach rich metadata later (the POOL catalog's

@@ -134,6 +134,25 @@ func TestRunRateCounts(t *testing.T) {
 	}
 }
 
+func TestRunMixedRateCounts(t *testing.T) {
+	cat, err := bench.Load(bench.Config{Files: 200, FilesPerCollection: 100, AttrsPerFile: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := bench.ReadPathSweep(cat, []int{1, 2}, 100*time.Millisecond, bench.DefaultConfig(200))
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.QueryOps <= 0 {
+			t.Fatalf("threads=%d: query rate %f", p.Threads, p.QueryOps)
+		}
+		if p.WriteOps <= 0 {
+			t.Fatalf("threads=%d: write rate %f (writer starved)", p.Threads, p.WriteOps)
+		}
+	}
+}
+
 func TestFigureSmoke(t *testing.T) {
 	// A miniature end-to-end run of each figure to prove the harness works.
 	opt := bench.FigureOptions{
@@ -146,7 +165,7 @@ func TestFigureSmoke(t *testing.T) {
 		BatchSizes:     []int{1, 2},
 		Env:            testEnv(t),
 	}
-	for _, fig := range []int{5, 6, 7, 8, 9, 10, 11, 12} {
+	for _, fig := range []int{5, 6, 7, 8, 9, 10, 11, 12, 14} {
 		series, err := bench.Figure(fig, opt)
 		if err != nil {
 			t.Fatalf("figure %d: %v", fig, err)

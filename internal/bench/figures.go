@@ -159,6 +159,9 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	if fig == 13 {
 		return degradedFigure(opt)
 	}
+	if fig == 14 {
+		return mixedFigure(opt)
+	}
 	op, err := opForFigure(fig)
 	if err != nil {
 		return nil, err
@@ -325,6 +328,39 @@ func degradedFigure(opt FigureOptions) ([]Series, error) {
 	return []Series{healthy, degraded}, nil
 }
 
+// mixedFigure measures Fig. 14: the MVCC read-path sweep. One writer thread
+// cycles add/delete while 1..N reader threads run simple queries against the
+// same catalog (the smallest configured size, directly, no web service).
+// Before MVCC the readers serialized behind the writer's lock; now they read
+// the last committed root wait-free, so the query series should scale with
+// reader threads on a multicore host while the writer keeps committing.
+func mixedFigure(opt FigureOptions) ([]Series, error) {
+	size := opt.Sizes[0]
+	for _, s := range opt.Sizes[1:] {
+		if s < size {
+			size = s
+		}
+	}
+	cats, err := loadAll([]int{size}, opt.Catalogs)
+	if err != nil {
+		return nil, err
+	}
+	points := ReadPathSweep(cats[size], opt.Threads, opt.Duration, DefaultConfig(size))
+	return MixedPointSeries(size, points), nil
+}
+
+// MixedPointSeries renders read-path sweep points as figure series (queries
+// and writes as separate lines over the reader-thread axis).
+func MixedPointSeries(size int, points []MixedPoint) []Series {
+	queries := Series{Label: sizeLabel(size) + " database, queries (readers)"}
+	writes := Series{Label: sizeLabel(size) + " database, adds (1 writer)"}
+	for _, p := range points {
+		queries.Points = append(queries.Points, Point{X: p.Threads, Y: p.QueryOps})
+		writes.Points = append(writes.Points, Point{X: p.Threads, Y: p.WriteOps})
+	}
+	return []Series{queries, writes}
+}
+
 // FigureTitle returns the caption of a figure.
 func FigureTitle(fig int) string {
 	switch fig {
@@ -346,6 +382,8 @@ func FigureTitle(fig int) string {
 		return "Fig. 12: Bulk-registration rate vs write batch size, single client thread (adds/s)"
 	case 13:
 		return "Fig. 13: Add rate and latency under injected faults, healthy vs degraded-with-retry (adds/s)"
+	case 14:
+		return "Fig. 14: Mixed read/write rate, 1 writer + varying reader threads, database only (ops/s)"
 	}
 	return fmt.Sprintf("unknown figure %d", fig)
 }
@@ -353,7 +391,7 @@ func FigureTitle(fig int) string {
 // xAxis returns the swept-parameter label of a figure.
 func xAxis(fig int) string {
 	switch fig {
-	case 5, 6, 7, 13:
+	case 5, 6, 7, 13, 14:
 		return "threads"
 	case 8, 9, 10:
 		return "hosts"

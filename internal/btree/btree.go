@@ -1,9 +1,16 @@
-// Package btree implements an in-memory B-tree with user-supplied ordering.
+// Package btree implements an in-memory B-tree with user-supplied ordering
+// and O(1) copy-on-write cloning.
 //
-// It is the storage structure behind sqldb's primary and secondary indexes.
-// Keys are kept in sorted order, so equality lookups, range scans and ordered
-// iteration are all O(log n + k). The tree is not safe for concurrent
-// mutation; sqldb serializes writers above this layer.
+// It is the storage structure behind sqldb's tables and indexes. Keys are
+// kept in sorted order, so equality lookups, range scans and ordered
+// iteration are all O(log n + k). Clone returns a new tree sharing all nodes
+// with the original; each tree copies a node the first time it mutates it,
+// so a clone costs O(1) and mutations cost an extra O(log n) node copies
+// amortized. A single tree is not safe for concurrent mutation (sqldb
+// serializes writers above this layer), but any number of goroutines may
+// read a tree concurrently with mutations of its clones, provided the tree
+// itself is no longer mutated after cloning — the discipline sqldb's MVCC
+// roots follow.
 package btree
 
 // degree is the minimum number of children of an internal node. Nodes hold
@@ -16,12 +23,18 @@ const (
 	minItems = degree - 1
 )
 
+// cow is a copy-on-write ownership token. Every node records the token of
+// the tree that created (or last copied) it; a tree may mutate a node in
+// place only when the tokens match, otherwise it works on a private copy.
+type cow struct{ _ byte }
+
 // Tree is a B-tree mapping keys of type K to values of type V.
 // The zero value is not usable; construct with New.
 type Tree[K, V any] struct {
 	less func(a, b K) bool
 	root *node[K, V]
 	size int
+	cow  *cow
 }
 
 type item[K, V any] struct {
@@ -30,13 +43,40 @@ type item[K, V any] struct {
 }
 
 type node[K, V any] struct {
+	cow      *cow
 	items    []item[K, V]
 	children []*node[K, V] // nil for leaves
 }
 
 // New returns an empty tree ordered by less.
 func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
-	return &Tree[K, V]{less: less, root: &node[K, V]{}}
+	c := &cow{}
+	return &Tree[K, V]{less: less, root: &node[K, V]{cow: c}, cow: c}
+}
+
+// Clone returns a copy of the tree in O(1): both trees share every node
+// until one of them writes. The clone carries a fresh ownership token, so
+// its first mutation along any path copies the shared nodes it touches.
+// After Clone, the original must not be mutated if the clone (or readers of
+// the original) are still live; sqldb guarantees this by never mutating a
+// committed root.
+func (t *Tree[K, V]) Clone() *Tree[K, V] {
+	return &Tree[K, V]{less: t.less, root: t.root, size: t.size, cow: &cow{}}
+}
+
+// mutable returns n if this tree owns it, otherwise a private copy stamped
+// with this tree's token. Callers must store the result back into the
+// parent (or the root) before mutating it.
+func (t *Tree[K, V]) mutable(n *node[K, V]) *node[K, V] {
+	if n.cow == t.cow {
+		return n
+	}
+	cp := &node[K, V]{cow: t.cow}
+	cp.items = append(make([]item[K, V], 0, cap(n.items)), n.items...)
+	if !n.leaf() {
+		cp.children = append(make([]*node[K, V], 0, cap(n.children)), n.children...)
+	}
+	return cp
 }
 
 // Len reports the number of items stored in the tree.
@@ -81,9 +121,10 @@ func (t *Tree[K, V]) Get(key K) (V, bool) {
 // Set inserts key/val, replacing any existing value under an equal key.
 // It reports whether an existing value was replaced.
 func (t *Tree[K, V]) Set(key K, val V) bool {
+	t.root = t.mutable(t.root)
 	if len(t.root.items) == maxItems {
 		old := t.root
-		t.root = &node[K, V]{children: []*node[K, V]{old}}
+		t.root = &node[K, V]{cow: t.cow, children: []*node[K, V]{old}}
 		t.splitChild(t.root, 0)
 	}
 	replaced := t.insertNonFull(t.root, key, val)
@@ -93,6 +134,8 @@ func (t *Tree[K, V]) Set(key K, val V) bool {
 	return replaced
 }
 
+// insertNonFull descends from n (which the caller has made mutable and
+// non-full) to a leaf, copying shared nodes along the way.
 func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) bool {
 	for {
 		i, ok := t.find(n, key)
@@ -117,18 +160,20 @@ func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) bool {
 				i++
 			}
 		}
+		n.children[i] = t.mutable(n.children[i])
 		n = n.children[i]
 	}
 }
 
 // splitChild splits the full child at index i of n, promoting its median
-// item into n.
+// item into n. n must be mutable.
 func (t *Tree[K, V]) splitChild(n *node[K, V], i int) {
+	n.children[i] = t.mutable(n.children[i])
 	child := n.children[i]
 	mid := maxItems / 2
 	median := child.items[mid]
 
-	right := &node[K, V]{}
+	right := &node[K, V]{cow: t.cow}
 	right.items = append(right.items, child.items[mid+1:]...)
 	child.items = child.items[:mid]
 	if !child.leaf() {
@@ -146,6 +191,7 @@ func (t *Tree[K, V]) splitChild(n *node[K, V], i int) {
 
 // Delete removes key from the tree and reports whether it was present.
 func (t *Tree[K, V]) Delete(key K) bool {
+	t.root = t.mutable(t.root)
 	deleted := t.delete(t.root, key)
 	if len(t.root.items) == 0 && !t.root.leaf() {
 		t.root = t.root.children[0]
@@ -156,6 +202,7 @@ func (t *Tree[K, V]) Delete(key K) bool {
 	return deleted
 }
 
+// delete removes key from the subtree rooted at n; n must be mutable.
 func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
 	i, found := t.find(n, key)
 	if n.leaf() {
@@ -167,28 +214,27 @@ func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
 	}
 	if found {
 		// Replace with predecessor from the left subtree, then delete it there.
-		left := n.children[i]
-		if len(left.items) > minItems {
+		if left := n.children[i]; len(left.items) > minItems {
 			pred := t.max(left)
 			n.items[i] = pred
-			return t.delete(left, pred.key)
+			n.children[i] = t.mutable(left)
+			return t.delete(n.children[i], pred.key)
 		}
-		right := n.children[i+1]
-		if len(right.items) > minItems {
+		if right := n.children[i+1]; len(right.items) > minItems {
 			succ := t.min(right)
 			n.items[i] = succ
-			return t.delete(right, succ.key)
+			n.children[i+1] = t.mutable(right)
+			return t.delete(n.children[i+1], succ.key)
 		}
 		t.mergeChildren(n, i)
-		return t.delete(left, key)
+		return t.delete(n.children[i], key)
 	}
 	// Descend, topping up the child if it is minimal.
-	child := n.children[i]
-	if len(child.items) == minItems {
+	if len(n.children[i].items) == minItems {
 		i = t.fixChild(n, i)
-		child = n.children[i]
 	}
-	return t.delete(child, key)
+	n.children[i] = t.mutable(n.children[i])
+	return t.delete(n.children[i], key)
 }
 
 func (t *Tree[K, V]) max(n *node[K, V]) item[K, V] {
@@ -207,10 +253,13 @@ func (t *Tree[K, V]) min(n *node[K, V]) item[K, V] {
 
 // fixChild ensures n.children[i] has more than minItems items, borrowing
 // from a sibling or merging. It returns the (possibly shifted) child index.
+// n must be mutable; the child and any touched sibling are made mutable.
 func (t *Tree[K, V]) fixChild(n *node[K, V], i int) int {
+	n.children[i] = t.mutable(n.children[i])
 	child := n.children[i]
 	if i > 0 && len(n.children[i-1].items) > minItems {
 		// Rotate right: left sibling's last item -> separator -> child front.
+		n.children[i-1] = t.mutable(n.children[i-1])
 		left := n.children[i-1]
 		child.items = append(child.items, item[K, V]{})
 		copy(child.items[1:], child.items)
@@ -227,6 +276,7 @@ func (t *Tree[K, V]) fixChild(n *node[K, V], i int) int {
 	}
 	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
 		// Rotate left.
+		n.children[i+1] = t.mutable(n.children[i+1])
 		right := n.children[i+1]
 		child.items = append(child.items, n.items[i])
 		n.items[i] = right.items[0]
@@ -245,7 +295,9 @@ func (t *Tree[K, V]) fixChild(n *node[K, V], i int) int {
 }
 
 // mergeChildren merges child i, separator i and child i+1 into child i.
+// n must be mutable; the left child is made mutable (the right is only read).
 func (t *Tree[K, V]) mergeChildren(n *node[K, V], i int) {
+	n.children[i] = t.mutable(n.children[i])
 	left, right := n.children[i], n.children[i+1]
 	left.items = append(left.items, n.items[i])
 	left.items = append(left.items, right.items...)

@@ -3,6 +3,7 @@ package btree
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -280,6 +281,144 @@ func TestQuickInsertDeleteAll(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 3000; i++ {
+		tr.Set(i, "orig")
+	}
+	cl := tr.Clone()
+	for i := 0; i < 3000; i += 2 {
+		cl.Delete(i)
+	}
+	for i := 3000; i < 4000; i++ {
+		cl.Set(i, "new")
+	}
+	for i := 1; i < 3000; i += 3 {
+		cl.Set(i, "changed")
+	}
+	// The original is untouched.
+	if tr.Len() != 3000 {
+		t.Fatalf("original Len() = %d, want 3000", tr.Len())
+	}
+	for i := 0; i < 3000; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != "orig" {
+			t.Fatalf("original Get(%d) = %q, %v; want orig, true", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(3500); ok {
+		t.Fatal("original sees key inserted into clone")
+	}
+	// The clone sees its own mutations: 1500 odd survivors, 1000 new keys,
+	// and 500 even keys re-inserted by the "changed" loop (i = 4 mod 6).
+	if cl.Len() != 3000 {
+		t.Fatalf("clone Len() = %d, want 3000", cl.Len())
+	}
+	if _, ok := cl.Get(102); ok {
+		t.Fatal("clone still has deleted key 102")
+	}
+	if v, _ := cl.Get(3500); v != "new" {
+		t.Fatalf("clone Get(3500) = %q, want new", v)
+	}
+}
+
+// Generations of clones: each frozen generation keeps matching the reference
+// snapshot taken when it was cloned, while later generations diverge.
+func TestCloneGenerations(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cur := intTree()
+	ref := map[int]string{}
+	type gen struct {
+		tree *Tree[int, string]
+		snap map[int]string
+	}
+	var frozen []gen
+	for g := 0; g < 6; g++ {
+		for op := 0; op < 800; op++ {
+			k := rng.Intn(500)
+			if rng.Intn(3) == 0 {
+				cur.Delete(k)
+				delete(ref, k)
+			} else {
+				cur.Set(k, "g"+string(rune('0'+g)))
+				ref[k] = "g" + string(rune('0'+g))
+			}
+		}
+		snap := make(map[int]string, len(ref))
+		for k, v := range ref {
+			snap[k] = v
+		}
+		frozen = append(frozen, gen{cur, snap})
+		cur = cur.Clone() // freeze this generation; mutate only the clone
+	}
+	for gi, g := range frozen {
+		if g.tree.Len() != len(g.snap) {
+			t.Fatalf("gen %d: Len() = %d, want %d", gi, g.tree.Len(), len(g.snap))
+		}
+		for k, want := range g.snap {
+			got, ok := g.tree.Get(k)
+			if !ok || got != want {
+				t.Fatalf("gen %d: Get(%d) = %q, %v; want %q", gi, k, got, ok, want)
+			}
+		}
+		count := 0
+		g.tree.Ascend(func(k int, v string) bool {
+			if g.snap[k] != v {
+				t.Fatalf("gen %d: Ascend saw %d=%q, want %q", gi, k, v, g.snap[k])
+			}
+			count++
+			return true
+		})
+		if count != len(g.snap) {
+			t.Fatalf("gen %d: Ascend visited %d, want %d", gi, count, len(g.snap))
+		}
+	}
+}
+
+// Readers of a frozen tree race against mutation of its clone; run with
+// -race to prove node sharing never lets a clone write into a frozen node.
+func TestCloneConcurrentReaders(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 5000; i++ {
+		tr.Set(i, "v")
+	}
+	cl := tr.Clone()
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, ok := tr.Get(rng.Intn(5000)); !ok {
+					t.Error("frozen tree lost a key during clone mutation")
+					return
+				}
+				n := 0
+				tr.AscendGE(rng.Intn(5000), func(int, string) bool {
+					n++
+					return n < 50
+				})
+			}
+		}(int64(r))
+	}
+	for i := 0; i < 5000; i++ {
+		cl.Set(rand.Intn(10000), "w")
+		cl.Delete(rand.Intn(10000))
+	}
+	close(done)
+	readers.Wait()
+	if tr.Len() != 5000 {
+		t.Fatalf("frozen tree Len() = %d, want 5000", tr.Len())
 	}
 }
 

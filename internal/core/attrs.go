@@ -194,24 +194,34 @@ func (c *Catalog) GetAttributes(dn string, objType ObjectType, objectName string
 	}
 	attrs := make([]Attribute, 0, len(rows.Data))
 	for _, r := range rows.Data {
-		typ := AttrType(r[1].S)
-		var v AttrValue
-		switch typ {
-		case AttrString:
-			v = String(r[2].S)
-		case AttrInt:
-			v = Int(r[3].I)
-		case AttrFloat:
-			v = Float(r[4].F)
-		case AttrDate:
-			v = AttrValue{Type: AttrDate, T: r[5].M}
-		case AttrTime:
-			v = AttrValue{Type: AttrTime, T: r[5].M}
-		default:
-			v = AttrValue{Type: AttrDateTime, T: r[5].M}
-		}
-		attrs = append(attrs, Attribute{Name: r[0].S, Value: v})
+		attrs = append(attrs, decodeAttrRow(r))
 	}
-	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	sortAttrs(attrs)
 	return attrs, nil
+}
+
+// decodeAttrRow turns a (d.name, d.type, ua.sval, ua.ival, ua.fval, ua.tval)
+// result row into an Attribute.
+func decodeAttrRow(r []sqldb.Value) Attribute {
+	typ := AttrType(r[1].S)
+	var v AttrValue
+	switch typ {
+	case AttrString:
+		v = String(r[2].S)
+	case AttrInt:
+		v = Int(r[3].I)
+	case AttrFloat:
+		v = Float(r[4].F)
+	case AttrDate:
+		v = AttrValue{Type: AttrDate, T: r[5].M}
+	case AttrTime:
+		v = AttrValue{Type: AttrTime, T: r[5].M}
+	default:
+		v = AttrValue{Type: AttrDateTime, T: r[5].M}
+	}
+	return Attribute{Name: r[0].S, Value: v}
+}
+
+func sortAttrs(attrs []Attribute) {
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
 }

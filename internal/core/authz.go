@@ -133,7 +133,9 @@ func (c *Catalog) allowed(dn string, objType ObjectType, id int64, perm Permissi
 }
 
 // allowedQ is allowed reading through q (the open transaction during batch
-// application, the database otherwise).
+// application, the database otherwise). Database-path decisions are
+// memoized per commit epoch: a grant, revoke or ownership change commits a
+// write, bumps the epoch and thereby drops every cached decision.
 func (c *Catalog) allowedQ(q querier, dn string, objType ObjectType, id int64, perm Permission) (bool, error) {
 	if !c.authz {
 		return true, nil
@@ -141,6 +143,22 @@ func (c *Catalog) allowedQ(q querier, dn string, objType ObjectType, id int64, p
 	if dn == c.opts.Owner && c.opts.Owner != "" {
 		return true, nil
 	}
+	epoch, cacheable := c.cacheEpoch(q)
+	key := authzCacheKey{dn: dn, typ: objType, id: id, perm: perm}
+	if cacheable {
+		if ok, hit := c.authzCache.get(epoch, key); hit {
+			return ok, nil
+		}
+	}
+	ok, err := c.allowedUncachedQ(q, dn, objType, id, perm)
+	if err == nil && cacheable {
+		c.authzCache.put(epoch, key, ok)
+	}
+	return ok, err
+}
+
+// allowedUncachedQ evaluates the effective-permission rules against q.
+func (c *Catalog) allowedUncachedQ(q querier, dn string, objType ObjectType, id int64, perm Permission) (bool, error) {
 	// Service-level grants apply everywhere (the owner bootstrap rows).
 	if ok, err := c.hasDirectGrantQ(q, ObjectService, 0, dn, perm); err != nil || ok {
 		return ok, err
@@ -183,17 +201,32 @@ func (c *Catalog) allowedQ(q querier, dn string, objType ObjectType, id int64, p
 	if err != nil {
 		return false, err
 	}
-	for _, cid := range chain {
-		if creator, err := c.creatorOfQ(q, ObjectCollection, cid); err != nil {
-			return false, err
-		} else if creator == dn {
+	// One IN-list statement per check across the whole ancestor chain,
+	// instead of the former two statements per hierarchy level.
+	ids := make([]sqldb.Value, len(chain))
+	for i, cid := range chain {
+		ids[i] = sqldb.Int(cid)
+	}
+	crows, err := q.Query(
+		"SELECT creator FROM logical_collection WHERE id IN ("+placeholders(len(ids))+")", ids...)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range crows.Data {
+		if r[0].S == dn {
 			return true, nil
 		}
-		if ok, err := c.hasDirectGrantQ(q, ObjectCollection, cid, dn, perm); err != nil || ok {
-			return ok, err
-		}
 	}
-	return false, nil
+	args := append([]sqldb.Value{
+		sqldb.Text(string(ObjectCollection)), sqldb.Text(dn), sqldb.Text(string(perm)),
+	}, ids...)
+	grows, err := q.Query(
+		"SELECT id FROM acl WHERE object_type = ? AND principal = ? AND permission = ? AND object_id IN ("+
+			placeholders(len(ids))+") LIMIT 1", args...)
+	if err != nil {
+		return false, err
+	}
+	return len(grows.Data) > 0, nil
 }
 
 // requireService enforces a service-level permission.

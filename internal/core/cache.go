@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+
+	"mcs/internal/sqldb"
+)
+
+// Epoch-versioned hot-path caches.
+//
+// The sqldb engine bumps a commit epoch exactly once per committed write
+// (DML, DDL, snapshot load) and never on reads or rollbacks, so a value
+// derived from committed state is valid for as long as the epoch stands.
+// Catalog memoizes three read-path computations on that basis: the
+// collection parent map (the authorization hierarchy walk), individual
+// authorization decisions, and file-by-name lookups.
+//
+// The protocol: capture the epoch BEFORE issuing the underlying query,
+// then store the result under that epoch. If a commit lands in between,
+// the query may observe the newer root and the entry holds data fresher
+// than its epoch tag — equivalent to the uncached read racing the commit
+// and landing after it, so still correct. The reverse (stale data under a
+// fresh tag) cannot happen: queries never observe roots older than a
+// previously loaded epoch.
+//
+// Caches apply only to reads through the database itself. Reads through an
+// open transaction must see the transaction's own uncommitted writes and
+// therefore always bypass the caches (see cacheEpoch).
+
+// cacheMaxEntries bounds each cache's footprint; one arbitrary entry is
+// evicted on overflow (the same single-victim policy as the statement
+// cache — epoch bumps clear everything anyway on the next write).
+const cacheMaxEntries = 8192
+
+// epochCache is a mutex-protected memo valid for exactly one commit epoch.
+// A lookup or store tagged with a different epoch than the cache currently
+// holds discards the generation wholesale.
+type epochCache[K comparable, V any] struct {
+	mu    sync.Mutex
+	epoch uint64
+	m     map[K]V
+}
+
+func (ec *epochCache[K, V]) get(epoch uint64, k K) (V, bool) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if ec.m == nil || ec.epoch != epoch {
+		var zero V
+		return zero, false
+	}
+	v, ok := ec.m[k]
+	return v, ok
+}
+
+func (ec *epochCache[K, V]) put(epoch uint64, k K, v V) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if ec.m == nil || ec.epoch != epoch {
+		if epoch < ec.epoch {
+			return // a reader that began before the last commit; ignore
+		}
+		ec.epoch = epoch
+		ec.m = make(map[K]V)
+	}
+	if len(ec.m) >= cacheMaxEntries {
+		for old := range ec.m {
+			delete(ec.m, old)
+			break
+		}
+	}
+	ec.m[k] = v
+}
+
+// authzCacheKey identifies one authorization decision.
+type authzCacheKey struct {
+	dn   string
+	typ  ObjectType
+	id   int64
+	perm Permission
+}
+
+// fileCacheKey identifies one file lookup; version 0 is the "sole version"
+// resolution, cached only when it succeeds (so a cached entry is known
+// unambiguous at its epoch).
+type fileCacheKey struct {
+	name    string
+	version int
+}
+
+// cacheEpoch reports whether reads through q may consult the epoch caches,
+// and at which epoch. Only direct database reads qualify: a transaction
+// must observe its own uncommitted writes, which no committed-state cache
+// can reflect.
+func (c *Catalog) cacheEpoch(q querier) (uint64, bool) {
+	if db, ok := q.(*sqldb.DB); ok && db == c.db {
+		return db.Epoch(), true
+	}
+	return 0, false
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// countStatements runs fn with a fault hook that tallies statements per
+// verb, returning the tally. The hook is removed afterwards.
+func countStatements(c *Catalog, fn func()) map[string]int {
+	var selects, writes atomic.Int64
+	c.db.SetFaultHook(func(verb string) error {
+		if verb == "select" {
+			selects.Add(1)
+		} else {
+			writes.Add(1)
+		}
+		return nil
+	})
+	defer c.db.SetFaultHook(nil)
+	fn()
+	return map[string]int{"select": int(selects.Load()), "other": int(writes.Load())}
+}
+
+// deepCatalog builds a collection chain root -> c1 -> ... -> c<depth> with
+// one file in the deepest collection, owned by admin, and grants bob read
+// on the root so authorization must walk the entire chain.
+func deepCatalog(t *testing.T, depth int) (*Catalog, string) {
+	t.Helper()
+	c := openAuthzCatalog(t)
+	parent := ""
+	for i := 0; i <= depth; i++ {
+		name := fmt.Sprintf("c%d", i)
+		if _, err := c.CreateCollection(admin, CollectionSpec{Name: name, Parent: parent}); err != nil {
+			t.Fatal(err)
+		}
+		parent = name
+	}
+	if _, err := c.CreateFile(admin, FileSpec{Name: "deep.dat", Collection: parent}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Grant(admin, ObjectCollection, "c0", bob, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	return c, "deep.dat"
+}
+
+// TestAuthzChainStatementCountIsDepthIndependent asserts the satellite fix
+// for the authorization N+1: resolving a read through an inherited grant on
+// the hierarchy root must issue the same number of statements regardless of
+// how deep the hierarchy is (the old walk issued three per level: the
+// parent lookup, the creator lookup and the grant probe).
+func TestAuthzChainStatementCountIsDepthIndependent(t *testing.T) {
+	counts := make([]int, 0, 2)
+	for _, depth := range []int{3, 12} {
+		c, name := deepCatalog(t, depth)
+		stmts := countStatements(c, func() {
+			if _, err := c.GetFile(bob, name, 1); err != nil {
+				t.Fatalf("depth %d: %v", depth, err)
+			}
+		})
+		if stmts["other"] != 0 {
+			t.Fatalf("depth %d: read issued %d write statements", depth, stmts["other"])
+		}
+		counts = append(counts, stmts["select"])
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("statement count grows with hierarchy depth: depth 3 = %d, depth 12 = %d",
+			counts[0], counts[1])
+	}
+	if counts[0] == 0 {
+		t.Fatal("fault hook observed no statements")
+	}
+}
+
+// TestEpochCachesAnswerRepeatReads asserts that a repeated read at the same
+// commit epoch is answered entirely from the file and authorization caches:
+// zero statements reach the engine.
+func TestEpochCachesAnswerRepeatReads(t *testing.T) {
+	c, name := deepCatalog(t, 4)
+	if _, err := c.GetFile(bob, name, 1); err != nil { // warm the caches
+		t.Fatal(err)
+	}
+	stmts := countStatements(c, func() {
+		f, err := c.GetFile(bob, name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Name != name {
+			t.Fatalf("cached file = %+v", f)
+		}
+	})
+	if stmts["select"] != 0 {
+		t.Fatalf("repeat read issued %d statements, want 0 (cache hit)", stmts["select"])
+	}
+}
+
+// TestEpochCachesInvalidatedByCommit asserts that cached decisions never
+// outlive the epoch they were computed at: a revoke (one committed write)
+// must be visible to the very next read.
+func TestEpochCachesInvalidatedByCommit(t *testing.T) {
+	c, name := deepCatalog(t, 4)
+	if _, err := c.GetFile(bob, name, 1); err != nil {
+		t.Fatal(err) // caches now hold "bob may read" at the current epoch
+	}
+	if err := c.Revoke(admin, ObjectCollection, "c0", bob, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile(bob, name, 1); !errors.Is(err, ErrDenied) {
+		t.Fatalf("read after revoke = %v, want ErrDenied", err)
+	}
+	// And the reverse: a fresh grant is visible immediately too.
+	if err := c.Grant(admin, ObjectCollection, "c2", bob, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile(bob, name, 1); err != nil {
+		t.Fatalf("read after re-grant: %v", err)
+	}
+}
+
+// TestFileCacheSeesUpdates asserts the file-by-name cache never serves
+// pre-update metadata after a committed UpdateFile.
+func TestFileCacheSeesUpdates(t *testing.T) {
+	c := openCatalog(t)
+	if _, err := c.CreateFile(alice, FileSpec{Name: "f", DataType: "binary"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetFile(alice, "f", 0); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	newType := "hdf5"
+	if _, err := c.UpdateFile(alice, "f", 0, FileUpdate{DataType: &newType}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.GetFile(alice, "f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DataType != "hdf5" {
+		t.Fatalf("DataType after update = %q, cache served stale metadata", f.DataType)
+	}
+}
+
+// TestRunQueryAttrsStatementCountIsResultIndependent asserts the hydration
+// batching: returning attributes for N matches must cost the same number of
+// statements for any N (the old path ran GetAttributes once per match).
+func TestRunQueryAttrsStatementCountIsResultIndependent(t *testing.T) {
+	counts := make([]int, 0, 2)
+	for _, n := range []int{4, 16} {
+		c := openCatalog(t)
+		if _, err := c.DefineAttribute(alice, "experiment", AttrString, ""); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			_, err := c.CreateFile(alice, FileSpec{
+				Name:       fmt.Sprintf("file%02d", i),
+				DataType:   "gwf",
+				Attributes: []Attribute{{Name: "experiment", Value: String("ligo")}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := Query{Predicates: []Predicate{{Attribute: "experiment", Op: OpEq, Value: String("ligo")}}}
+		stmts := countStatements(c, func() {
+			res, err := c.RunQueryAttrs(alice, q, []string{"experiment"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res) != n {
+				t.Fatalf("results = %d, want %d", len(res), n)
+			}
+			for _, r := range res {
+				if len(r.Attributes) != 1 || r.Attributes[0].Value.S != "ligo" {
+					t.Fatalf("hydrated %q = %+v", r.Name, r.Attributes)
+				}
+			}
+		})
+		counts = append(counts, stmts["select"])
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("statement count grows with result size: n=4 -> %d, n=16 -> %d",
+			counts[0], counts[1])
+	}
+}
+
+// TestQueryFilesStatementCountIsResultIndependent does the same for the
+// full-metadata QueryFiles path (formerly one FileVersions per match).
+func TestQueryFilesStatementCountIsResultIndependent(t *testing.T) {
+	counts := make([]int, 0, 2)
+	for _, n := range []int{4, 16} {
+		c := openCatalog(t)
+		for i := 0; i < n; i++ {
+			if _, err := c.CreateFile(alice, FileSpec{Name: fmt.Sprintf("file%02d", i), DataType: "gwf"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := Query{Predicates: []Predicate{{Attribute: "dataType", Op: OpEq, Value: String("gwf")}}}
+		stmts := countStatements(c, func() {
+			files, err := c.QueryFiles(alice, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(files) != n {
+				t.Fatalf("files = %d, want %d", len(files), n)
+			}
+		})
+		counts = append(counts, stmts["select"])
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("statement count grows with result size: n=4 -> %d, n=16 -> %d",
+			counts[0], counts[1])
+	}
+}
+
+// TestRunQueryAuthzFilterBatched: with authorization on, the post-query
+// visibility filter must not issue one resolve per matched name. The
+// per-name authorization decisions themselves are epoch-cached, so a
+// repeated query costs only the resolve batch plus the match query.
+func TestRunQueryAuthzFilterBatched(t *testing.T) {
+	c := openAuthzCatalog(t)
+	if err := c.Grant(admin, ObjectService, "", alice, PermCreate); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := c.CreateFile(alice, FileSpec{Name: fmt.Sprintf("file%02d", i), DataType: "gwf"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Query{Predicates: []Predicate{{Attribute: "dataType", Op: OpEq, Value: String("gwf")}}}
+	first, err := c.RunQuery(alice, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 12 {
+		t.Fatalf("visible = %d, want 12", len(first))
+	}
+	stmts := countStatements(c, func() {
+		again, err := c.RunQuery(alice, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != 12 {
+			t.Fatalf("visible on repeat = %d, want 12", len(again))
+		}
+	})
+	// Match query + one resolve chunk; every allowed() decision is a cache
+	// hit from the first run.
+	if stmts["select"] > 2 {
+		t.Fatalf("repeat authz-filtered query issued %d statements, want <= 2", stmts["select"])
+	}
+}

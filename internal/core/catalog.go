@@ -45,6 +45,10 @@ type Catalog struct {
 	// replayHits counts mutations answered from the replay cache instead
 	// of re-applied (see withReplay).
 	replayHits atomic.Int64
+	// Epoch-versioned read caches, invalidated by commit epoch (cache.go).
+	hierCache  epochCache[struct{}, map[int64]int64]
+	authzCache epochCache[authzCacheKey, bool]
+	fileCache  epochCache[fileCacheKey, File]
 }
 
 // Open creates a fresh in-memory catalog with the MCS schema applied.
@@ -250,8 +254,20 @@ func (c *Catalog) GetFile(dn, name string, version int) (File, error) {
 	return c.getFileQ(c.db, dn, name, version)
 }
 
-// getFileQ is GetFile reading through q.
+// getFileQ is GetFile reading through q. Database reads memoize the lookup
+// in the epoch-versioned file cache; the authorization check always runs
+// (it has its own cache) so a hit never widens access.
 func (c *Catalog) getFileQ(q querier, dn, name string, version int) (File, error) {
+	epoch, cacheable := c.cacheEpoch(q)
+	key := fileCacheKey{name: name, version: version}
+	if cacheable {
+		if f, ok := c.fileCache.get(epoch, key); ok {
+			if err := c.requireFileQ(q, dn, &f, PermRead); err != nil {
+				return File{}, err
+			}
+			return f, nil
+		}
+	}
 	var rows *sqldb.Rows
 	var err error
 	if version == 0 {
@@ -271,6 +287,9 @@ func (c *Catalog) getFileQ(q querier, dn, name string, version int) (File, error
 		return File{}, fmt.Errorf("%w: file %q has %d versions", ErrAmbiguousFile, name, len(rows.Data))
 	}
 	f := scanFile(rows.Data[0])
+	if cacheable {
+		c.fileCache.put(epoch, key, f)
+	}
 	if err := c.requireFileQ(q, dn, &f, PermRead); err != nil {
 		return File{}, err
 	}

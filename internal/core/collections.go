@@ -163,8 +163,16 @@ func (c *Catalog) collectionChain(id int64) ([]int64, error) {
 	return c.collectionChainQ(c.db, id)
 }
 
-// collectionChainQ is collectionChain reading through q.
+// collectionChainQ is collectionChain reading through q. The old
+// implementation issued one SELECT per hierarchy level; the walk now runs
+// in memory over the parent map, fetched in a single statement (and served
+// from the epoch-versioned hierarchy cache on the database read path), so
+// statement count no longer grows with hierarchy depth.
 func (c *Catalog) collectionChainQ(q querier, id int64) ([]int64, error) {
+	parents, err := c.collectionParentsQ(q)
+	if err != nil {
+		return nil, err
+	}
 	var chain []int64
 	seen := map[int64]bool{}
 	for id != 0 {
@@ -173,16 +181,37 @@ func (c *Catalog) collectionChainQ(q querier, id int64) ([]int64, error) {
 		}
 		seen[id] = true
 		chain = append(chain, id)
-		rows, err := q.Query("SELECT parent_id FROM logical_collection WHERE id = ?", sqldb.Int(id))
-		if err != nil {
-			return nil, err
-		}
-		if len(rows.Data) == 0 || rows.Data[0][0].IsNull() {
-			break
-		}
-		id = rows.Data[0][0].I
+		id = parents[id] // 0 when the parent is NULL or id is dangling
 	}
 	return chain, nil
+}
+
+// collectionParentsQ returns the collection id -> parent id map (0 for
+// roots) in one statement, cached per commit epoch for database reads.
+// Callers must treat the returned map as read-only: cache hits share it.
+func (c *Catalog) collectionParentsQ(q querier) (map[int64]int64, error) {
+	epoch, cacheable := c.cacheEpoch(q)
+	if cacheable {
+		if m, ok := c.hierCache.get(epoch, struct{}{}); ok {
+			return m, nil
+		}
+	}
+	rows, err := q.Query("SELECT id, parent_id FROM logical_collection")
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[int64]int64, len(rows.Data))
+	for _, r := range rows.Data {
+		if r[1].IsNull() {
+			m[r[0].I] = 0
+		} else {
+			m[r[0].I] = r[1].I
+		}
+	}
+	if cacheable {
+		c.hierCache.put(epoch, struct{}{}, m)
+	}
+	return m, nil
 }
 
 // SetCollectionParent re-parents a collection ("" makes it a root),

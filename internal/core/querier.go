@@ -4,10 +4,12 @@ import "mcs/internal/sqldb"
 
 // querier is the read interface shared by *sqldb.DB and *sqldb.Tx. Catalog
 // read helpers are written against it so the same lookup code serves two
-// regimes: ordinary operations read through the database (shared read lock),
-// while BatchWrite reads through its open transaction — the database's write
-// lock is held for the whole batch and is not reentrant, so any read through
-// c.db.Query from inside the transaction would deadlock.
+// regimes: ordinary operations read the last committed MVCC root through
+// the database (wait-free, and eligible for the epoch-versioned caches in
+// cache.go), while BatchWrite reads through its open transaction — not for
+// locking, since database reads never block behind a writer anymore, but
+// because the batch must observe its own uncommitted writes, which only
+// the transaction's shadow root holds.
 type querier interface {
 	Query(sql string, args ...sqldb.Value) (*sqldb.Rows, error)
 }

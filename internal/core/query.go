@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"mcs/internal/sqldb"
@@ -204,13 +205,27 @@ func (c *Catalog) RunQuery(dn string, q Query) ([]string, error) {
 	if target == "" {
 		target = ObjectFile
 	}
+	table, err := targetTable(target)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve every matched name with IN-list batches instead of one lookup
+	// per name; the per-object permission checks that follow are memoized in
+	// the epoch-versioned authorization cache.
+	idsByName, err := c.objectIDsByName(table, names)
+	if err != nil {
+		return nil, err
+	}
 	visible := names[:0]
 	for _, name := range names {
-		id, err := c.resolveObject(dn, target, name)
-		if err != nil {
+		ids := idsByName[name]
+		// Zero ids: the name vanished since the match. Several ids: a file
+		// name with multiple versions, unresolvable without an explicit
+		// version. Both were skipped by the per-name path too.
+		if len(ids) != 1 {
 			continue
 		}
-		ok, err := c.allowed(dn, target, id, PermRead)
+		ok, err := c.allowed(dn, target, ids[0], PermRead)
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +234,113 @@ func (c *Catalog) RunQuery(dn string, q Query) ([]string, error) {
 		}
 	}
 	return visible, nil
+}
+
+// inChunkMax caps the width of one IN-list batch statement.
+const inChunkMax = 1024
+
+// inChunks invokes fn over items in IN-list-sized chunks, each padded to a
+// power-of-two length by repeating the last element, so the engine's
+// prepared-statement cache sees a handful of SQL shapes instead of one per
+// distinct item count. The planner deduplicates IN values, making the
+// padding free.
+func inChunks[T any](items []T, fn func(chunk []T) error) error {
+	for start := 0; start < len(items); start += inChunkMax {
+		end := start + inChunkMax
+		if end > len(items) {
+			end = len(items)
+		}
+		chunk := items[start:end]
+		n := 1
+		for n < len(chunk) {
+			n <<= 1
+		}
+		if n > len(chunk) {
+			padded := make([]T, n)
+			copy(padded, chunk)
+			for i := len(chunk); i < n; i++ {
+				padded[i] = chunk[len(chunk)-1]
+			}
+			chunk = padded
+		}
+		if err := fn(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// placeholders returns "?, ?, ..., ?" with n markers.
+func placeholders(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('?')
+	}
+	return sb.String()
+}
+
+// objectIDsByName maps each name to its object IDs in table. Multi-version
+// file names map to several IDs; absent names are absent from the map.
+func (c *Catalog) objectIDsByName(table string, names []string) (map[string][]int64, error) {
+	out := make(map[string][]int64, len(names))
+	err := inChunks(names, func(chunk []string) error {
+		args := make([]sqldb.Value, len(chunk))
+		for i, n := range chunk {
+			args[i] = sqldb.Text(n)
+		}
+		rows, err := c.db.Query(
+			"SELECT name, id FROM "+table+" WHERE name IN ("+placeholders(len(chunk))+")", args...)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Data {
+			out[r[0].S] = append(out[r[0].S], r[1].I)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// attributesBatch fetches the user-defined attributes of many objects in
+// IN-list batches, grouped by object ID and sorted by attribute name — the
+// hydration half of RunQueryAttrs without its former query per name.
+func (c *Catalog) attributesBatch(objType ObjectType, ids []int64) (map[int64][]Attribute, error) {
+	uniq := make([]int64, 0, len(ids))
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	out := make(map[int64][]Attribute, len(uniq))
+	err := inChunks(uniq, func(chunk []int64) error {
+		args := make([]sqldb.Value, 0, len(chunk)+1)
+		args = append(args, sqldb.Text(string(objType)))
+		for _, id := range chunk {
+			args = append(args, sqldb.Int(id))
+		}
+		rows, err := c.db.Query(`SELECT ua.object_id, d.name, d.type, ua.sval, ua.ival, ua.fval, ua.tval
+			FROM user_attribute ua JOIN attribute_def d ON d.id = ua.attr_id
+			WHERE ua.object_type = ? AND ua.object_id IN (`+placeholders(len(chunk))+`)`, args...)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Data {
+			out[r[0].I] = append(out[r[0].I], decodeAttrRow(r[1:]))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for id := range out {
+		sortAttrs(out[id])
+	}
+	return out, nil
 }
 
 // QueryResult couples one matched logical name with the values of the
@@ -250,17 +372,47 @@ func (c *Catalog) RunQueryAttrs(dn string, q Query, returnAttrs []string) ([]Que
 		want[a] = true
 	}
 	out := make([]QueryResult, 0, len(names))
+	if len(want) == 0 || len(names) == 0 {
+		for _, name := range names {
+			out = append(out, QueryResult{Name: name})
+		}
+		return out, nil
+	}
+	// Hydrate all matches with two IN-list batches (resolve names, then
+	// fetch attributes) instead of one GetAttributes round per name. The
+	// per-name semantics are preserved: an unresolvable or unreadable name
+	// fails the call exactly as GetAttributes did.
+	table, err := targetTable(target)
+	if err != nil {
+		return nil, err
+	}
+	idsByName, err := c.objectIDsByName(table, names)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, len(names))
 	for _, name := range names {
+		resolved := idsByName[name]
+		if len(resolved) == 0 {
+			return nil, fmt.Errorf("%w: %s %q", ErrNotFound, target, name)
+		}
+		if len(resolved) > 1 {
+			return nil, fmt.Errorf("%w: file %q has %d versions", ErrAmbiguousFile, name, len(resolved))
+		}
+		if err := c.requireObject(dn, target, resolved[0], PermRead); err != nil {
+			return nil, err
+		}
+		ids = append(ids, resolved[0])
+	}
+	attrsByID, err := c.attributesBatch(target, ids)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
 		res := QueryResult{Name: name}
-		if len(want) > 0 {
-			attrs, err := c.GetAttributes(dn, target, name)
-			if err != nil {
-				return nil, err
-			}
-			for _, a := range attrs {
-				if want[a.Name] {
-					res.Attributes = append(res.Attributes, a)
-				}
+		for _, a := range attrsByID[ids[i]] {
+			if want[a.Name] {
+				res.Attributes = append(res.Attributes, a)
 			}
 		}
 		out = append(out, res)
@@ -276,13 +428,47 @@ func (c *Catalog) QueryFiles(dn string, q Query) ([]File, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Load every version of every match in IN-list batches, then regroup
+	// per name (versions ascending) with the same per-version read
+	// filtering FileVersions applies.
+	uniq := make([]string, 0, len(names))
+	seenName := make(map[string]bool, len(names))
+	for _, name := range names {
+		if !seenName[name] {
+			seenName[name] = true
+			uniq = append(uniq, name)
+		}
+	}
+	byName := make(map[string][]File, len(uniq))
+	err = inChunks(uniq, func(chunk []string) error {
+		args := make([]sqldb.Value, len(chunk))
+		for i, n := range chunk {
+			args[i] = sqldb.Text(n)
+		}
+		rows, err := c.db.Query(
+			"SELECT "+fileColumns+" FROM logical_file WHERE name IN ("+placeholders(len(chunk))+")", args...)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows.Data {
+			f := scanFile(row)
+			byName[f.Name] = append(byName[f.Name], f)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, vs := range byName {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Version < vs[j].Version })
+	}
 	files := make([]File, 0, len(names))
 	for _, name := range names {
-		vs, err := c.FileVersions(dn, name)
-		if err != nil {
-			continue
+		for _, f := range byName[name] {
+			if ok, err := c.allowed(dn, ObjectFile, f.ID, PermRead); err == nil && ok {
+				files = append(files, f)
+			}
 		}
-		files = append(files, vs...)
 	}
 	return files, nil
 }

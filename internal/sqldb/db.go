@@ -3,15 +3,28 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
+	"sync/atomic"
 )
 
-// DB is an in-memory relational database. All methods are safe for
-// concurrent use: reads run under a shared lock, writes are serialized.
+// DB is an in-memory relational database with a copy-on-write MVCC core.
+//
+// Committed state lives in an immutable dbRoot swapped atomically on commit:
+// readers load the current root with one atomic pointer read and run against
+// it wait-free — a Query never blocks behind an open transaction, a DDL
+// statement or a snapshot dump. Writers are serialized by a single mutex;
+// each builds shadow copies of the tables it touches (cheap O(1) btree
+// clones that share nodes with the committed versions) and publishes them
+// as the new root on commit. Rollback simply discards the shadow copies.
 type DB struct {
-	mu      sync.RWMutex
-	tables  map[string]*table
-	indexes map[string]*index // global index namespace
+	// root is the committed state. It is immutable once stored: no table,
+	// index or row reachable from a published root is ever mutated again.
+	root atomic.Pointer[dbRoot]
+
+	// wmu serializes writers (transactions, standalone mutating statements,
+	// DDL and snapshot loads). Readers never take it.
+	wmu sync.Mutex
 
 	// stmtCache memoizes parsed statements by SQL text, the counterpart of
 	// the JDBC prepared-statement cache in the original MCS server. DDL is
@@ -26,6 +39,14 @@ type DB struct {
 	// fault-injection harness.
 	hookMu    sync.RWMutex
 	faultHook func(verb string) error
+}
+
+// dbRoot is one immutable committed version of the whole database: the
+// table set, the global index namespace, and the epoch that names it.
+type dbRoot struct {
+	epoch   uint64
+	tables  map[string]*table
+	indexes map[string]*index
 }
 
 // SetFaultHook installs (or, with nil, removes) the per-statement fault
@@ -63,9 +84,9 @@ func stmtVerb(st Statement) string {
 	}
 }
 
-// maxCachedStatements bounds the parse cache; beyond it the cache resets
-// (statement texts in MCS are a small fixed set, so this never triggers in
-// practice).
+// maxCachedStatements bounds the parse cache; at the limit one arbitrary
+// entry is evicted per insert (statement texts in MCS are a small fixed
+// set, so eviction never triggers in practice).
 const maxCachedStatements = 4096
 
 // parseCached returns the parsed form of sql, caching non-DDL statements.
@@ -86,7 +107,10 @@ func (db *DB) parseCached(sql string) (Statement, error) {
 	}
 	db.stmtMu.Lock()
 	if len(db.stmtCache) >= maxCachedStatements {
-		db.stmtCache = make(map[string]Statement)
+		for k := range db.stmtCache {
+			delete(db.stmtCache, k)
+			break
+		}
 	}
 	db.stmtCache[sql] = st
 	db.stmtMu.Unlock()
@@ -107,12 +131,19 @@ var ErrTxDone = errors.New("sqldb: transaction has already been committed or rol
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{
-		tables:    make(map[string]*table),
-		indexes:   make(map[string]*index),
-		stmtCache: make(map[string]Statement),
-	}
+	db := &DB{stmtCache: make(map[string]Statement)}
+	db.root.Store(&dbRoot{
+		tables:  make(map[string]*table),
+		indexes: make(map[string]*index),
+	})
+	return db
 }
+
+// Epoch returns the commit epoch of the current root. It increases by one
+// for every committed transaction, standalone write, DDL statement and
+// snapshot load, so derived data tagged with an epoch is valid exactly
+// while Epoch() keeps returning the same value.
+func (db *DB) Epoch() uint64 { return db.root.Load().epoch }
 
 // Exec parses and runs a mutating or DDL statement.
 func (db *DB) Exec(sql string, args ...Value) (Result, error) {
@@ -125,17 +156,26 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	}
 	if sel, ok := st.(*SelectStmt); ok {
 		// Permit Exec of SELECT for convenience; discard rows.
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-		_, err := db.executeSelect(sel, args)
+		_, err := db.root.Load().executeSelect(sel, args)
 		return Result{}, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execLocked(st, args, nil)
+	return db.execOne(st, args)
+}
+
+// execOne runs a single non-SELECT statement as its own transaction.
+func (db *DB) execOne(st Statement, args []Value) (Result, error) {
+	tx := db.Begin()
+	res, err := tx.execStmt(st, args)
+	if err != nil {
+		tx.Rollback() //nolint:errcheck // the statement error takes precedence
+		return Result{}, err
+	}
+	return res, tx.Commit()
 }
 
 // Query parses and runs a SELECT, returning the materialized result.
+// It is wait-free with respect to writers: the current committed root is
+// read with a single atomic load and never changes under the query.
 func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	st, err := db.parseCached(sql)
 	if err != nil {
@@ -148,9 +188,7 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	if err := db.checkFault(st); err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.executeSelect(sel, args)
+	return db.root.Load().executeSelect(sel, args)
 }
 
 // Stmt is a prepared statement: parsed once, executable many times.
@@ -173,12 +211,14 @@ func (s *Stmt) Exec(args ...Value) (Result, error) {
 	if err := s.db.checkFault(s.st); err != nil {
 		return Result{}, err
 	}
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
-	return s.db.execLocked(s.st, args, nil)
+	if sel, ok := s.st.(*SelectStmt); ok {
+		_, err := s.db.root.Load().executeSelect(sel, args)
+		return Result{}, err
+	}
+	return s.db.execOne(s.st, args)
 }
 
-// Query runs a prepared SELECT.
+// Query runs a prepared SELECT; like DB.Query it never blocks on writers.
 func (s *Stmt) Query(args ...Value) (*Rows, error) {
 	sel, ok := s.st.(*SelectStmt)
 	if !ok {
@@ -187,32 +227,58 @@ func (s *Stmt) Query(args ...Value) (*Rows, error) {
 	if err := s.db.checkFault(s.st); err != nil {
 		return nil, err
 	}
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	return s.db.executeSelect(sel, args)
+	return s.db.root.Load().executeSelect(sel, args)
 }
 
-// undoEntry records how to reverse one row mutation.
-type undoEntry struct {
-	tbl   *table
-	kind  byte // 'i' insert, 'd' delete, 'u' update
-	rowid int64
-	row   Row // deleted or pre-update image
-}
-
-// Tx is a serializable read-write transaction. It holds the database write
-// lock from Begin until Commit or Rollback, so statements inside it observe
-// and produce a consistent snapshot. DDL is not allowed inside transactions.
+// Tx is a serializable read-write transaction. It holds the writer mutex
+// from Begin until Commit or Rollback; its statements run against a private
+// shadow root, so the transaction observes its own writes while concurrent
+// readers keep seeing the last committed root untouched. Commit publishes
+// the shadow root atomically; Rollback discards it. DDL is not allowed
+// inside transactions.
 type Tx struct {
-	db   *DB
-	undo []undoEntry
-	done bool
+	db *DB
+	// work is the shadow root: table and index maps are copied at Begin,
+	// table contents are cloned lazily the first time a table is written.
+	work *dbRoot
+	// owned marks tables already cloned into work (safe to mutate).
+	owned map[string]bool
+	done  bool
 }
 
-// Begin starts a transaction, blocking until the write lock is available.
+// Begin starts a transaction, blocking until the writer mutex is available.
 func (db *DB) Begin() *Tx {
-	db.mu.Lock()
-	return &Tx{db: db}
+	db.wmu.Lock()
+	base := db.root.Load()
+	return &Tx{
+		db: db,
+		work: &dbRoot{
+			epoch:   base.epoch + 1,
+			tables:  maps.Clone(base.tables),
+			indexes: maps.Clone(base.indexes),
+		},
+		owned: make(map[string]bool),
+	}
+}
+
+// writable returns the transaction's private copy of a table, cloning the
+// committed version on first touch and re-pointing its indexes in the
+// shadow root's namespace.
+func (tx *Tx) writable(name string) (*table, error) {
+	t, ok := tx.work.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no such table %q", name)
+	}
+	if tx.owned[name] {
+		return t, nil
+	}
+	nt := t.clone()
+	tx.work.tables[name] = nt
+	for _, ix := range nt.indexes {
+		tx.work.indexes[ix.name] = ix
+	}
+	tx.owned[name] = true
+	return nt, nil
 }
 
 // Exec runs a mutating statement inside the transaction.
@@ -231,7 +297,7 @@ func (tx *Tx) Exec(sql string, args ...Value) (Result, error) {
 	if err := tx.db.checkFault(st); err != nil {
 		return Result{}, err
 	}
-	return tx.db.execLocked(st, args, &tx.undo)
+	return tx.execStmt(st, args)
 }
 
 // Query runs a SELECT inside the transaction, seeing its uncommitted writes.
@@ -250,46 +316,30 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 	if err := tx.db.checkFault(st); err != nil {
 		return nil, err
 	}
-	return tx.db.executeSelect(sel, args)
+	return tx.work.executeSelect(sel, args)
 }
 
-// Commit makes the transaction's writes permanent and releases the lock.
+// Commit atomically publishes the transaction's shadow root as the new
+// committed state and releases the writer mutex.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
-	tx.undo = nil
-	tx.db.mu.Unlock()
+	tx.db.root.Store(tx.work)
+	tx.db.wmu.Unlock()
 	return nil
 }
 
-// Rollback reverses every write made in the transaction and releases the lock.
+// Rollback discards the transaction's shadow root — nothing was published,
+// so there is nothing to undo — and releases the writer mutex.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		u := tx.undo[i]
-		switch u.kind {
-		case 'i':
-			u.tbl.delete(u.rowid)
-		case 'd':
-			u.tbl.insertAt(u.rowid, u.row)
-		case 'u':
-			cur := u.tbl.rows[u.rowid]
-			for _, ix := range u.tbl.indexes {
-				ix.remove(u.rowid, cur)
-			}
-			u.tbl.rows[u.rowid] = u.row
-			for _, ix := range u.tbl.indexes {
-				ix.insert(u.rowid, u.row)
-			}
-		}
-	}
-	tx.undo = nil
-	tx.db.mu.Unlock()
+	tx.work = nil
+	tx.db.wmu.Unlock()
 	return nil
 }
 
@@ -309,33 +359,32 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	return tx.Commit()
 }
 
-// execLocked dispatches a non-SELECT statement; callers hold the write lock.
-// When undo is non-nil, every row mutation appends its inverse.
-func (db *DB) execLocked(st Statement, args []Value, undo *[]undoEntry) (Result, error) {
+// execStmt dispatches a non-SELECT statement against the shadow root.
+func (tx *Tx) execStmt(st Statement, args []Value) (Result, error) {
 	switch s := st.(type) {
 	case *CreateTableStmt:
-		return db.createTable(s)
+		return tx.createTable(s)
 	case *CreateIndexStmt:
-		return db.createIndex(s)
+		return tx.createIndex(s)
 	case *DropTableStmt:
-		return db.dropTable(s)
+		return tx.dropTable(s)
 	case *DropIndexStmt:
-		return db.dropIndex(s)
+		return tx.dropIndex(s)
 	case *InsertStmt:
-		return db.execInsert(s, args, undo)
+		return tx.execInsert(s, args)
 	case *UpdateStmt:
-		return db.execUpdate(s, args, undo)
+		return tx.execUpdate(s, args)
 	case *DeleteStmt:
-		return db.execDelete(s, args, undo)
+		return tx.execDelete(s, args)
 	case *SelectStmt:
-		_, err := db.executeSelect(s, args)
+		_, err := tx.work.executeSelect(s, args)
 		return Result{}, err
 	}
 	return Result{}, fmt.Errorf("sqldb: unsupported statement %T", st)
 }
 
-func (db *DB) createTable(s *CreateTableStmt) (Result, error) {
-	if _, exists := db.tables[s.Name]; exists {
+func (tx *Tx) createTable(s *CreateTableStmt) (Result, error) {
+	if _, exists := tx.work.tables[s.Name]; exists {
 		if s.IfNotExists {
 			return Result{}, nil
 		}
@@ -345,23 +394,24 @@ func (db *DB) createTable(s *CreateTableStmt) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	db.tables[s.Name] = t
+	tx.work.tables[s.Name] = t
 	for _, ix := range t.indexes {
-		db.indexes[ix.name] = ix
+		tx.work.indexes[ix.name] = ix
 	}
+	tx.owned[s.Name] = true
 	return Result{}, nil
 }
 
-func (db *DB) createIndex(s *CreateIndexStmt) (Result, error) {
-	if _, exists := db.indexes[s.Name]; exists {
+func (tx *Tx) createIndex(s *CreateIndexStmt) (Result, error) {
+	if _, exists := tx.work.indexes[s.Name]; exists {
 		if s.IfNotExists {
 			return Result{}, nil
 		}
 		return Result{}, fmt.Errorf("sqldb: index %q already exists", s.Name)
 	}
-	t, ok := db.tables[s.Table]
-	if !ok {
-		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+	t, err := tx.writable(s.Table)
+	if err != nil {
+		return Result{}, err
 	}
 	cols := make([]int, len(s.Columns))
 	for i, name := range s.Columns {
@@ -373,19 +423,25 @@ func (db *DB) createIndex(s *CreateIndexStmt) (Result, error) {
 	}
 	ix := newIndex(s.Name, t, cols, s.Unique)
 	// Backfill existing rows, verifying uniqueness as we go.
-	for rowid, row := range t.rows {
+	var backfillErr error
+	t.rows.Ascend(func(rowid int64, row Row) bool {
 		if err := ix.checkUnique(rowid, row); err != nil {
-			return Result{}, err
+			backfillErr = err
+			return false
 		}
 		ix.insert(rowid, row)
+		return true
+	})
+	if backfillErr != nil {
+		return Result{}, backfillErr
 	}
 	t.indexes = append(t.indexes, ix)
-	db.indexes[s.Name] = ix
+	tx.work.indexes[s.Name] = ix
 	return Result{}, nil
 }
 
-func (db *DB) dropTable(s *DropTableStmt) (Result, error) {
-	t, ok := db.tables[s.Name]
+func (tx *Tx) dropTable(s *DropTableStmt) (Result, error) {
+	t, ok := tx.work.tables[s.Name]
 	if !ok {
 		if s.IfExists {
 			return Result{}, nil
@@ -393,32 +449,36 @@ func (db *DB) dropTable(s *DropTableStmt) (Result, error) {
 		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Name)
 	}
 	for _, ix := range t.indexes {
-		delete(db.indexes, ix.name)
+		delete(tx.work.indexes, ix.name)
 	}
-	delete(db.tables, s.Name)
+	delete(tx.work.tables, s.Name)
+	delete(tx.owned, s.Name)
 	return Result{}, nil
 }
 
-func (db *DB) dropIndex(s *DropIndexStmt) (Result, error) {
-	ix, ok := db.indexes[s.Name]
+func (tx *Tx) dropIndex(s *DropIndexStmt) (Result, error) {
+	ix, ok := tx.work.indexes[s.Name]
 	if !ok {
 		return Result{}, fmt.Errorf("sqldb: no such index %q", s.Name)
 	}
-	delete(db.indexes, s.Name)
-	t := ix.table
+	t, err := tx.writable(ix.table.name)
+	if err != nil {
+		return Result{}, err
+	}
 	for i, other := range t.indexes {
-		if other == ix {
+		if other.name == s.Name {
 			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
 			break
 		}
 	}
+	delete(tx.work.indexes, s.Name)
 	return Result{}, nil
 }
 
-func (db *DB) execInsert(s *InsertStmt, args []Value, undo *[]undoEntry) (Result, error) {
-	t, ok := db.tables[s.Table]
-	if !ok {
-		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+func (tx *Tx) execInsert(s *InsertStmt, args []Value) (Result, error) {
+	t, err := tx.writable(s.Table)
+	if err != nil {
+		return Result{}, err
 	}
 	ev := &env{params: args}
 	var res Result
@@ -466,12 +526,8 @@ func (db *DB) execInsert(s *InsertStmt, args []Value, undo *[]undoEntry) (Result
 		if err := t.completeRow(row); err != nil {
 			return res, err
 		}
-		rowid, err := t.insert(row)
-		if err != nil {
+		if _, err := t.insert(row); err != nil {
 			return res, err
-		}
-		if undo != nil {
-			*undo = append(*undo, undoEntry{tbl: t, kind: 'i', rowid: rowid})
 		}
 		res.RowsAffected++
 		if autoCol >= 0 {
@@ -483,7 +539,7 @@ func (db *DB) execInsert(s *InsertStmt, args []Value, undo *[]undoEntry) (Result
 
 // matchingRowIDs evaluates where against each row of t (index-accelerated)
 // and returns the matching rowids.
-func (db *DB) matchingRowIDs(t *table, tableName string, where Expr, args []Value) ([]int64, error) {
+func matchingRowIDs(t *table, tableName string, where Expr, args []Value) ([]int64, error) {
 	ev := &env{params: args, bindings: []binding{{alias: tableName, tbl: t}}}
 	var preds []Expr
 	if where != nil {
@@ -519,19 +575,19 @@ func (db *DB) matchingRowIDs(t *table, tableName string, where Expr, args []Valu
 	return ids, nil
 }
 
-func (db *DB) execUpdate(s *UpdateStmt, args []Value, undo *[]undoEntry) (Result, error) {
-	t, ok := db.tables[s.Table]
-	if !ok {
-		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+func (tx *Tx) execUpdate(s *UpdateStmt, args []Value) (Result, error) {
+	t, err := tx.writable(s.Table)
+	if err != nil {
+		return Result{}, err
 	}
-	ids, err := db.matchingRowIDs(t, s.Table, s.Where, args)
+	ids, err := matchingRowIDs(t, s.Table, s.Where, args)
 	if err != nil {
 		return Result{}, err
 	}
 	ev := &env{params: args, bindings: []binding{{alias: s.Table, tbl: t}}}
 	var res Result
 	for _, rowid := range ids {
-		old := t.rows[rowid]
+		old, _ := t.rows.Get(rowid)
 		ev.bindings[0].row = old
 		newRow := old.clone()
 		for _, as := range s.Set {
@@ -556,47 +612,37 @@ func (db *DB) execUpdate(s *UpdateStmt, args []Value, undo *[]undoEntry) (Result
 			}
 			newRow[p] = cv
 		}
-		prev, err := t.update(rowid, newRow)
-		if err != nil {
+		if _, err := t.update(rowid, newRow); err != nil {
 			return res, err
-		}
-		if undo != nil {
-			*undo = append(*undo, undoEntry{tbl: t, kind: 'u', rowid: rowid, row: prev})
 		}
 		res.RowsAffected++
 	}
 	return res, nil
 }
 
-func (db *DB) execDelete(s *DeleteStmt, args []Value, undo *[]undoEntry) (Result, error) {
-	t, ok := db.tables[s.Table]
-	if !ok {
-		return Result{}, fmt.Errorf("sqldb: no such table %q", s.Table)
+func (tx *Tx) execDelete(s *DeleteStmt, args []Value) (Result, error) {
+	t, err := tx.writable(s.Table)
+	if err != nil {
+		return Result{}, err
 	}
-	ids, err := db.matchingRowIDs(t, s.Table, s.Where, args)
+	ids, err := matchingRowIDs(t, s.Table, s.Where, args)
 	if err != nil {
 		return Result{}, err
 	}
 	var res Result
 	for _, rowid := range ids {
-		row, ok := t.delete(rowid)
-		if !ok {
-			continue
+		if _, ok := t.delete(rowid); ok {
+			res.RowsAffected++
 		}
-		if undo != nil {
-			*undo = append(*undo, undoEntry{tbl: t, kind: 'd', rowid: rowid, row: row})
-		}
-		res.RowsAffected++
 	}
 	return res, nil
 }
 
 // Tables lists the table names in the database (test/diagnostic helper).
 func (db *DB) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	root := db.root.Load()
+	names := make([]string, 0, len(root.tables))
+	for n := range root.tables {
 		names = append(names, n)
 	}
 	return names
@@ -604,11 +650,10 @@ func (db *DB) Tables() []string {
 
 // RowCount returns the number of rows in a table.
 func (db *DB) RowCount(table string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[table]
+	root := db.root.Load()
+	t, ok := root.tables[table]
 	if !ok {
 		return 0, fmt.Errorf("sqldb: no such table %q", table)
 	}
-	return len(t.rows), nil
+	return t.rows.Len(), nil
 }

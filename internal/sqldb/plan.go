@@ -15,9 +15,12 @@ type Rows struct {
 type accessPath struct {
 	tbl *table
 
-	// Index equality scan: idx != nil and eqVals set.
+	// Index equality scan: idx != nil and eqVals set. When inList is also
+	// set, the index is probed once per list value with the key
+	// (eqVals..., v) — the multi-point scan behind `col IN (...)`.
 	idx    *index
 	eqVals []Value
+	inList []Value
 
 	// Range scan on idx's first column (idx != nil, eqVals nil).
 	rangeLo, rangeHi       *Value
@@ -28,6 +31,8 @@ type accessPath struct {
 
 func (ap accessPath) String() string {
 	switch {
+	case ap.idx != nil && ap.inList != nil:
+		return fmt.Sprintf("index-in(%s)", ap.idx.name)
 	case ap.idx != nil && ap.eqVals != nil:
 		return fmt.Sprintf("index-eq(%s)", ap.idx.name)
 	case ap.idx != nil:
@@ -39,21 +44,36 @@ func (ap accessPath) String() string {
 
 // scan invokes fn for each rowid selected by the path until fn returns false.
 func (ap accessPath) scan(fn func(rowid int64, row Row) bool) {
+	lookup := func(rowid int64) bool {
+		row, _ := ap.tbl.rows.Get(rowid)
+		return fn(rowid, row)
+	}
 	switch {
-	case ap.idx != nil && ap.eqVals != nil:
-		ap.idx.scanEqual(ap.eqVals, func(rowid int64) bool {
-			return fn(rowid, ap.tbl.rows[rowid])
-		})
-	case ap.idx != nil:
-		ap.idx.scanRange(ap.rangeLo, ap.rangeHi, ap.rangeLoInc, ap.rangeHiInc, func(rowid int64) bool {
-			return fn(rowid, ap.tbl.rows[rowid])
-		})
-	default:
-		for rowid, row := range ap.tbl.rows {
-			if !fn(rowid, row) {
+	case ap.idx != nil && ap.inList != nil:
+		// One equality probe per IN value. The list is deduplicated at plan
+		// time, so every matching rowid is visited exactly once.
+		probe := make([]Value, len(ap.eqVals)+1)
+		copy(probe, ap.eqVals)
+		stop := false
+		for _, v := range ap.inList {
+			probe[len(ap.eqVals)] = v
+			ap.idx.scanEqual(probe, func(rowid int64) bool {
+				if !lookup(rowid) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if stop {
 				return
 			}
 		}
+	case ap.idx != nil && ap.eqVals != nil:
+		ap.idx.scanEqual(ap.eqVals, lookup)
+	case ap.idx != nil:
+		ap.idx.scanRange(ap.rangeLo, ap.rangeHi, ap.rangeLoInc, ap.rangeHiInc, lookup)
+	default:
+		ap.tbl.rows.Ascend(fn)
 	}
 }
 
@@ -118,8 +138,10 @@ func colOf(ex Expr, alias string, tbl *table) (int, bool) {
 // preds must each reference only this table or constants.
 func planAccess(tbl *table, alias string, preds []Expr, params []Value) accessPath {
 	ev := &env{params: params}
-	// Collect col = const equalities and range bounds on columns.
+	// Collect col = const equalities, col IN (consts) lists, and range
+	// bounds on columns.
 	eq := map[int]Value{}
+	inLists := map[int][]Value{}
 	type bound struct {
 		v   Value
 		inc bool
@@ -127,6 +149,39 @@ func planAccess(tbl *table, alias string, preds []Expr, params []Value) accessPa
 	lo := map[int]bound{}
 	hi := map[int]bound{}
 	for _, p := range preds {
+		if in, ok := p.(*InExpr); ok && !in.Not {
+			c, ok := colOf(in.E, alias, tbl)
+			if !ok {
+				continue
+			}
+			vals := make([]Value, 0, len(in.List))
+			usable := true
+			for _, item := range in.List {
+				if !constExpr(item) {
+					usable = false
+					break
+				}
+				v, err := eval(item, ev)
+				if err != nil || v.IsNull() {
+					usable = false
+					break
+				}
+				dup := false
+				for _, u := range vals {
+					if Compare(u, v) == 0 {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					vals = append(vals, v)
+				}
+			}
+			if usable {
+				inLists[c] = vals
+			}
+			continue
+		}
 		b, ok := p.(*BinaryExpr)
 		if !ok {
 			continue
@@ -170,9 +225,12 @@ func planAccess(tbl *table, alias string, preds []Expr, params []Value) accessPa
 			hi[colPos] = bound{v, true}
 		}
 	}
-	// Longest equality prefix over any index wins.
+	// Longest equality prefix over any index wins; an IN list on the column
+	// right after the prefix extends it by one multi-point probe. Ties
+	// prefer a pure equality prefix (one probe) over an IN fan-out.
 	var bestIx *index
-	bestLen := 0
+	var bestIn []Value
+	bestEq, bestScore := 0, 0
 	for _, ix := range tbl.indexes {
 		n := 0
 		for _, c := range ix.cols {
@@ -182,16 +240,26 @@ func planAccess(tbl *table, alias string, preds []Expr, params []Value) accessPa
 				break
 			}
 		}
-		if n > bestLen {
-			bestIx, bestLen = ix, n
+		var inVals []Value
+		if n < len(ix.cols) {
+			if vals, ok := inLists[ix.cols[n]]; ok {
+				inVals = vals
+			}
+		}
+		score := n
+		if inVals != nil {
+			score++
+		}
+		if score > bestScore || (score == bestScore && bestIn != nil && inVals == nil) {
+			bestIx, bestEq, bestIn, bestScore = ix, n, inVals, score
 		}
 	}
-	if bestIx != nil {
-		vals := make([]Value, bestLen)
-		for i := 0; i < bestLen; i++ {
+	if bestIx != nil && bestScore > 0 {
+		vals := make([]Value, bestEq)
+		for i := 0; i < bestEq; i++ {
 			vals[i] = eq[bestIx.cols[i]]
 		}
-		return accessPath{tbl: tbl, idx: bestIx, eqVals: vals}
+		return accessPath{tbl: tbl, idx: bestIx, eqVals: vals, inList: bestIn}
 	}
 	// Range on the first column of some index.
 	for _, ix := range tbl.indexes {
@@ -237,8 +305,11 @@ type stagePlan struct {
 	accessPreds []Expr
 }
 
-func (db *DB) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
-	fromTbl, ok := db.tables[st.From.Table]
+// executeSelect runs a SELECT against one immutable root. Because the root
+// (and every table version reachable from it) is never mutated after
+// publication, this needs no locking at all.
+func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
+	fromTbl, ok := r.tables[st.From.Table]
 	if !ok {
 		return nil, fmt.Errorf("sqldb: no such table %q", st.From.Table)
 	}
@@ -246,7 +317,7 @@ func (db *DB) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 	aliasSet := map[string]*table{st.From.Alias: fromTbl}
 	for i := range st.Joins {
 		j := &st.Joins[i]
-		jt, ok := db.tables[j.Table.Table]
+		jt, ok := r.tables[j.Table.Table]
 		if !ok {
 			return nil, fmt.Errorf("sqldb: no such table %q", j.Table.Table)
 		}
@@ -441,7 +512,8 @@ func (db *DB) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 			aborted := false
 			if !probe.IsNull() {
 				sp.joinIdx.scanEqual([]Value{probe}, func(rowid int64) bool {
-					m, cont := tryRow(sp.tbl.rows[rowid])
+					row, _ := sp.tbl.rows.Get(rowid)
+					m, cont := tryRow(row)
 					anyMatch = anyMatch || m
 					if !cont {
 						aborted = true
@@ -453,12 +525,17 @@ func (db *DB) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 				return false
 			}
 		} else {
-			for _, row := range sp.tbl.rows {
+			aborted := false
+			sp.tbl.rows.Ascend(func(_ int64, row Row) bool {
 				m, cont := tryRow(row)
 				anyMatch = anyMatch || m
 				if !cont {
-					return false
+					aborted = true
 				}
+				return cont
+			})
+			if aborted {
+				return false
 			}
 		}
 		if !anyMatch && sp.join.Left {
@@ -605,9 +682,8 @@ func (db *DB) Explain(sql string, args ...Value) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("sqldb: EXPLAIN supports only SELECT")
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	tbl, ok := db.tables[sel.From.Table]
+	root := db.root.Load()
+	tbl, ok := root.tables[sel.From.Table]
 	if !ok {
 		return "", fmt.Errorf("sqldb: no such table %q", sel.From.Table)
 	}

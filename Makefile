@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check chaos bench figures readpath
+.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,21 @@ figures:
 readpath:
 	$(GO) run ./cmd/mcsbench -fig 14 -threads 1,2,4,8 -sizes 10000 \
 		-json BENCH_readpath.json $(READPATH_FLAGS)
+
+# The write-ahead-log crash suite: the torn-write corpus (recovery from a
+# hard cut at every byte offset of the final record), the kill-and-replay
+# chaos leg (a retried mutation straddling a crash stays exactly-once),
+# the checkpoint-failure regression and the daemon-level crash recovery.
+walcrash:
+	MCS_CHAOS_SEEDS=$${MCS_CHAOS_SEEDS:-1,7,42} \
+		$(GO) test -race -timeout 10m -v \
+		-run 'TestWAL|TestChaosWALKillReplay|TestCheckpointFailureKeepsWAL|TestDaemonWALCrashRecovery' \
+		./internal/sqldb ./cmd/mcsd .
+
+# The durability sweep (Fig. 15): add rate snapshot-only vs WAL with group
+# commit vs WAL without fsync, emitted as BENCH_wal.json. Override for a
+# quick smoke run, e.g.
+# `make walbench WALBENCH_FLAGS="-duration 200ms -sizes 1000"`.
+walbench:
+	$(GO) run ./cmd/mcsbench -fig 15 -threads 1,2,4,8 -sizes 10000 \
+		-wal-json BENCH_wal.json $(WALBENCH_FLAGS)

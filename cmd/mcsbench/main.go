@@ -22,6 +22,12 @@
 // -json FILE the fig 14 points are also written as machine-readable JSON
 // (BENCH_readpath.json in CI).
 //
+// Figure 15 is the durability sweep: add rate directly against the engine
+// with the write-ahead log disabled (snapshot-only, the pre-WAL baseline),
+// enabled with group-commit fsync, and enabled without fsync. With
+// -wal-json FILE the points land as JSON (BENCH_wal.json in CI), including
+// the group-commit slowdown factor versus snapshot-only.
+//
 // The paper's full-scale databases (100k/1M/5M files) are reachable with
 // -sizes 100000,1000000,5000000 given enough memory and patience; the
 // defaults are scaled so a laptop run finishes in minutes while preserving
@@ -72,6 +78,51 @@ func writeReadPathJSON(path string, size int, d time.Duration, points []bench.Mi
 	}
 	if len(points) > 1 && points[0].QueryOps > 0 {
 		rep.QuerySpeedup = points[len(points)-1].QueryOps / points[0].QueryOps
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// walReport is the machine-readable form of the Fig. 15 sweep.
+type walReport struct {
+	Bench       string           `json:"bench"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	DBFiles     int              `json:"db_files"`
+	DurationSec float64          `json:"duration_sec"`
+	Points      []bench.WALPoint `json:"points"`
+	// GroupCommitSlowdown is the snapshot-only add rate divided by the
+	// group-commit rate at the largest common thread count — the durability
+	// tax. Group commit amortizes fsyncs across concurrent committers, so
+	// the factor shrinks as threads grow.
+	GroupCommitSlowdown float64 `json:"group_commit_slowdown"`
+}
+
+// writeWALJSON emits the Fig. 15 points to path.
+func writeWALJSON(path string, size int, d time.Duration, points []bench.WALPoint) error {
+	rep := walReport{
+		Bench:       "wal",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		DBFiles:     size,
+		DurationSec: d.Seconds(),
+		Points:      points,
+	}
+	rate := func(mode string) float64 {
+		best := -1
+		var out float64
+		for _, p := range points {
+			if p.Mode == mode && p.Threads > best {
+				best, out = p.Threads, p.AddsPerSec
+			}
+		}
+		return out
+	}
+	if wal := rate("wal group commit"); wal > 0 {
+		rep.GroupCommitSlowdown = rate("snapshot-only") / wal
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -152,6 +203,7 @@ func main() {
 	batchSizes := flag.String("batch-sizes", "1,10,100,1000", "batch-size sweep for figure 12")
 	latency := flag.Bool("latency", false, "also report per-operation latency (p50/p95/p99) per data point")
 	jsonOut := flag.String("json", "", "write figure 14 points as JSON to this path (e.g. BENCH_readpath.json)")
+	walJSONOut := flag.String("wal-json", "", "write figure 15 points as JSON to this path (e.g. BENCH_wal.json)")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
 
@@ -183,7 +235,7 @@ func main() {
 
 	var figs []int
 	if *fig == "all" {
-		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 	} else {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
@@ -192,11 +244,11 @@ func main() {
 		figs = []int{n}
 	}
 
-	// Figure 12 builds its own fresh catalogs per point; preloaded databases
-	// are only needed for figures 5–11.
+	// Figures 12 and 15 build their own fresh catalogs; preloaded databases
+	// are only needed for the rest.
 	needLoad := false
 	for _, f := range figs {
-		if f != 12 {
+		if f != 12 && f != 15 {
 			needLoad = true
 		}
 	}
@@ -230,6 +282,25 @@ func main() {
 					log.Fatalf("mcsbench: write %s: %v", *jsonOut, err)
 				}
 				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *jsonOut)
+			}
+		} else if f == 15 {
+			// Like fig 14: one sweep feeds both the table and the JSON.
+			size := szs[0]
+			for _, s := range szs[1:] {
+				if s < size {
+					size = s
+				}
+			}
+			points, err := bench.WALSweep(size, thr, *duration)
+			if err != nil {
+				log.Fatalf("mcsbench: figure 15: %v", err)
+			}
+			fmt.Println(bench.Render(15, bench.WALPointSeries(size, points)))
+			if *walJSONOut != "" {
+				if err := writeWALJSON(*walJSONOut, size, *duration, points); err != nil {
+					log.Fatalf("mcsbench: write %s: %v", *walJSONOut, err)
+				}
+				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *walJSONOut)
 			}
 		} else {
 			series, err := bench.Figure(f, opt)

@@ -16,7 +16,13 @@
 // With -snapshot, the daemon restores existing state at startup, writes the
 // catalog to disk every -snapshot-interval, and — on SIGINT/SIGTERM —
 // drains in-flight requests and writes a final snapshot before exiting, so
-// a graceful shutdown never loses committed writes.
+// a graceful shutdown never loses committed writes. Unless -wal=false, a
+// write-ahead log at <snapshot>.wal extends that to per-commit durability:
+// every mutation is fsynced (group-committed) before it is acknowledged,
+// boot replays the log suffix the snapshot does not cover, and each
+// snapshot becomes a checkpoint that truncates the log it covers. A hard
+// crash — kill -9, power loss — then loses nothing but a torn final record,
+// which recovery truncates.
 package main
 
 import (
@@ -103,6 +109,31 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
+// checkpoint writes a snapshot and truncates the write-ahead log it covers:
+// the log rotates (current file sealed, fresh file takes new appends), the
+// snapshot is written durably, and only then — and only if the snapshot's
+// LSN actually covers the sealed records — is the sealed file dropped. The
+// covering LSN is captured before the dump, so a commit racing the snapshot
+// can only make the snapshot newer than claimed, never older: a failed or
+// short checkpoint always leaves every uncovered record on disk for the
+// next recovery.
+func checkpoint(cat *mcs.Catalog, w *mcs.WAL, path string) error {
+	if w == nil {
+		return snapshotTo(cat, path)
+	}
+	if err := w.Rotate(); err != nil {
+		return fmt.Errorf("wal rotate: %w", err)
+	}
+	lsn := cat.LastLSN()
+	if err := snapshotTo(cat, path); err != nil {
+		return err
+	}
+	if err := w.DropCovered(lsn); err != nil {
+		return fmt.Errorf("wal truncate: %w", err)
+	}
+	return nil
+}
+
 // config carries mcsd's parsed flags.
 type config struct {
 	addr          string
@@ -111,9 +142,13 @@ type config struct {
 	preload       int
 	snapshot      string
 	snapshotEvery time.Duration
-	metrics       bool
-	slowOp        time.Duration
-	slowOpLog     string
+	// wal enables the write-ahead log beside the snapshot (per-commit
+	// durability); walSync selects its fsync policy ("always" or "off").
+	wal       bool
+	walSync   string
+	metrics   bool
+	slowOp    time.Duration
+	slowOpLog string
 	// drainTimeout bounds the graceful-shutdown drain.
 	drainTimeout time.Duration
 	// faultSpec/faultSeed configure deterministic fault injection — chaos
@@ -131,6 +166,32 @@ func run(cfg config, stop <-chan os.Signal, ready chan<- net.Addr) error {
 	if err != nil {
 		return err
 	}
+	var wal *mcs.WAL
+	if cfg.snapshot != "" && cfg.wal {
+		var walOpts mcs.WALOptions
+		switch cfg.walSync {
+		case "", "always":
+		case "off":
+			walOpts.NoSync = true
+		default:
+			return fmt.Errorf("-wal-sync: unknown policy %q (want \"always\" or \"off\")", cfg.walSync)
+		}
+		w, stats, err := catalog.OpenWAL(cfg.snapshot+".wal", walOpts)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		wal = w
+		defer wal.Close() //nolint:errcheck // commits were individually fsynced
+		if stats.Applied > 0 || stats.TornBytes > 0 {
+			log.Printf("mcsd: wal: replayed %d of %d records through lsn %d (%d torn bytes truncated)",
+				stats.Applied, stats.Records, stats.LastLSN, stats.TornBytes)
+		}
+		if stats.Applied > 0 && !restored {
+			// The log alone rebuilt committed state; -preload must not
+			// re-create the dataset on top of it.
+			restored = true
+		}
+	}
 	obsOpts := mcs.ObsOptions{
 		DisableEndpoints: !cfg.metrics,
 		SlowOpThreshold:  cfg.slowOp,
@@ -143,7 +204,7 @@ func run(cfg config, stop <-chan os.Signal, ready chan<- net.Addr) error {
 		defer f.Close()
 		obsOpts.SlowOpLogger = log.New(f, "", log.LstdFlags|log.LUTC)
 	}
-	srvOpts := mcs.ServerOptions{Catalog: catalog, Obs: obsOpts}
+	srvOpts := mcs.ServerOptions{Catalog: catalog, Obs: obsOpts, WAL: wal}
 	if cfg.faultSpec != "" {
 		rules, err := mcs.ParseFaultSpec(cfg.faultSpec)
 		if err != nil {
@@ -181,7 +242,7 @@ func run(cfg config, stop <-chan os.Signal, ready chan<- net.Addr) error {
 			for {
 				select {
 				case <-ticker.C:
-					if err := snapshotTo(catalog, cfg.snapshot); err != nil {
+					if err := checkpoint(catalog, wal, cfg.snapshot); err != nil {
 						log.Printf("mcsd: snapshot: %v", err)
 					}
 				case <-tickerDone:
@@ -218,7 +279,7 @@ func run(cfg config, stop <-chan os.Signal, ready chan<- net.Addr) error {
 		log.Printf("mcsd: drain: %v", err)
 	}
 	if cfg.snapshot != "" {
-		if err := snapshotTo(catalog, cfg.snapshot); err != nil {
+		if err := checkpoint(catalog, wal, cfg.snapshot); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)
 		}
 		log.Printf("mcsd: final snapshot written to %s", cfg.snapshot)
@@ -234,6 +295,8 @@ func main() {
 	flag.IntVar(&cfg.preload, "preload", 0, "preload this many benchmark files before serving")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "snapshot file for restart durability")
 	flag.DurationVar(&cfg.snapshotEvery, "snapshot-interval", time.Minute, "interval between periodic snapshots")
+	flag.BoolVar(&cfg.wal, "wal", true, "with -snapshot, keep a write-ahead log beside it for per-commit durability")
+	flag.StringVar(&cfg.walSync, "wal-sync", "always", "WAL fsync policy: \"always\" (group commit, crash-safe) or \"off\" (OS-paced, loses the unsynced tail on power failure)")
 	flag.BoolVar(&cfg.metrics, "metrics", true, "expose the /metrics, /healthz and /statz operational endpoints")
 	flag.DurationVar(&cfg.slowOp, "slow-op", 0, "log operations slower than this threshold, with request ID and DN (0 disables)")
 	flag.StringVar(&cfg.slowOpLog, "slow-op-log", "", "file receiving slow-op lines (default stderr)")

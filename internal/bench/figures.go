@@ -2,12 +2,15 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"mcs/internal/core"
 	"mcs/internal/obs"
+	"mcs/internal/sqldb"
 )
 
 // Env supplies the web-service plumbing without importing the root package
@@ -161,6 +164,9 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	}
 	if fig == 14 {
 		return mixedFigure(opt)
+	}
+	if fig == 15 {
+		return walFigure(opt)
 	}
 	op, err := opForFigure(fig)
 	if err != nil {
@@ -349,6 +355,110 @@ func mixedFigure(opt FigureOptions) ([]Series, error) {
 	return MixedPointSeries(size, points), nil
 }
 
+// WALPoint is one measurement of the durability sweep (Fig. 15): add rate
+// at a given thread count under one durability mode. Appends and Fsyncs are
+// the write-ahead log's counter deltas over the measurement window; their
+// ratio is the group-commit batching factor (fsyncs ≪ appends under load).
+type WALPoint struct {
+	Mode       string  `json:"mode"`
+	Threads    int     `json:"threads"`
+	AddsPerSec float64 `json:"adds_per_sec"`
+	Appends    uint64  `json:"wal_appends"`
+	Fsyncs     uint64  `json:"wal_fsyncs"`
+}
+
+// WALSweep measures Fig. 15: the durability tax. Add rate directly against
+// the catalog engine (the regime where commit cost dominates — through the
+// web service the SOAP overhead would mask it) in three modes: snapshot-only
+// (the pre-WAL baseline: commits are memory-only until the next checkpoint),
+// write-ahead log with group-commit fsync (every ack durable), and the log
+// without fsync (bound the cost of serializing redo records alone). Each
+// mode gets a freshly loaded catalog and, for the log modes, a throwaway
+// log file in a temp directory.
+func WALSweep(size int, threads []int, d time.Duration) ([]WALPoint, error) {
+	cfg := DefaultConfig(size)
+	modes := []struct {
+		name   string
+		attach bool
+		opts   sqldb.WALOptions
+	}{
+		{"snapshot-only", false, sqldb.WALOptions{}},
+		{"wal group commit", true, sqldb.WALOptions{}},
+		{"wal nosync", true, sqldb.WALOptions{NoSync: true}},
+	}
+	var out []WALPoint
+	for _, m := range modes {
+		cat, err := Load(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig 15 setup: %w", err)
+		}
+		var w *sqldb.WAL
+		var dir string
+		if m.attach {
+			dir, err = os.MkdirTemp("", "mcsbench-wal-")
+			if err != nil {
+				return nil, err
+			}
+			w, _, err = cat.OpenWAL(filepath.Join(dir, "bench.snap.wal"), m.opts)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("bench: fig 15 wal: %w", err)
+			}
+		}
+		tgt := []Target{Direct{Catalog: cat}}
+		for _, th := range threads {
+			var before sqldb.WALStats
+			if w != nil {
+				before = w.Stats()
+			}
+			p := WALPoint{Mode: m.name, Threads: th, AddsPerSec: RunRate(tgt, th, d, OpAdd, cfg, 10)}
+			if w != nil {
+				st := w.Stats()
+				p.Appends = st.Appends - before.Appends
+				p.Fsyncs = st.Fsyncs - before.Fsyncs
+			}
+			out = append(out, p)
+		}
+		if w != nil {
+			w.Close()
+			os.RemoveAll(dir)
+		}
+	}
+	return out, nil
+}
+
+// walFigure measures Fig. 15 over the smallest configured database.
+func walFigure(opt FigureOptions) ([]Series, error) {
+	size := opt.Sizes[0]
+	for _, s := range opt.Sizes[1:] {
+		if s < size {
+			size = s
+		}
+	}
+	points, err := WALSweep(size, opt.Threads, opt.Duration)
+	if err != nil {
+		return nil, err
+	}
+	return WALPointSeries(size, points), nil
+}
+
+// WALPointSeries renders the durability sweep as figure series, one line
+// per mode over the thread axis.
+func WALPointSeries(size int, points []WALPoint) []Series {
+	var out []Series
+	idx := map[string]int{}
+	for _, p := range points {
+		i, ok := idx[p.Mode]
+		if !ok {
+			i = len(out)
+			idx[p.Mode] = i
+			out = append(out, Series{Label: sizeLabel(size) + " database, " + p.Mode})
+		}
+		out[i].Points = append(out[i].Points, Point{X: p.Threads, Y: p.AddsPerSec})
+	}
+	return out
+}
+
 // MixedPointSeries renders read-path sweep points as figure series (queries
 // and writes as separate lines over the reader-thread axis).
 func MixedPointSeries(size int, points []MixedPoint) []Series {
@@ -384,6 +494,8 @@ func FigureTitle(fig int) string {
 		return "Fig. 13: Add rate and latency under injected faults, healthy vs degraded-with-retry (adds/s)"
 	case 14:
 		return "Fig. 14: Mixed read/write rate, 1 writer + varying reader threads, database only (ops/s)"
+	case 15:
+		return "Fig. 15: Add rate, snapshot-only vs write-ahead log with group commit, database only (adds/s)"
 	}
 	return fmt.Sprintf("unknown figure %d", fig)
 }
@@ -391,7 +503,7 @@ func FigureTitle(fig int) string {
 // xAxis returns the swept-parameter label of a figure.
 func xAxis(fig int) string {
 	switch fig {
-	case 5, 6, 7, 13, 14:
+	case 5, 6, 7, 13, 14, 15:
 		return "threads"
 	case 8, 9, 10:
 		return "hosts"

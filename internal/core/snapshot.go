@@ -42,3 +42,25 @@ func Restore(opts Options, r io.Reader) (*Catalog, error) {
 	}
 	return &Catalog{db: db, opts: opts, authz: opts.EnforceAuthz}, nil
 }
+
+// LastLSN returns the write-ahead-log sequence number of the catalog's last
+// logged commit (0 without a WAL). A snapshot taken now embeds at least
+// this LSN, which is what makes it a checkpoint: log records at or below it
+// are covered and may be dropped.
+func (c *Catalog) LastLSN() uint64 { return c.db.LastLSN() }
+
+// OpenWAL opens (creating if absent) the write-ahead log at path, replays
+// into the catalog every record the restored snapshot does not already
+// cover, and attaches the log so subsequent mutations are durably logged.
+// Call it exactly once, after Open or Restore and before serving traffic:
+// the catalog's own bootstrap (schema, ACL seeds, replay-cache DDL) runs
+// pre-attach and is deliberately never logged — it is deterministic, so a
+// fresh boot re-creates it identically before replay.
+func (c *Catalog) OpenWAL(path string, opts sqldb.WALOptions) (*sqldb.WAL, sqldb.ReplayStats, error) {
+	w, stats, err := sqldb.OpenWAL(path, c.db, c.db.LastLSN(), opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	c.db.AttachWAL(w)
+	return w, stats, nil
+}

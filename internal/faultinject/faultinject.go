@@ -36,6 +36,12 @@ const (
 	// "update", "delete", "ddl"). A db fault aborts the statement and
 	// rolls back any enclosing transaction.
 	SiteDB Site = "db"
+	// SiteWAL fires inside the write-ahead log; the op name is "append"
+	// (one commit's record write — error aborts the commit before it is
+	// published; partial simulates a torn write using truncate as the byte
+	// count) or "fsync" (one group-commit flush — error fails every commit
+	// the round covers).
+	SiteWAL Site = "wal"
 )
 
 // Kind selects how an injected fault manifests.

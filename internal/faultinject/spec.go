@@ -16,7 +16,7 @@ import (
 //
 // Fields:
 //
-//	site     dispatch | after | transport | db   (required)
+//	site     dispatch | after | transport | db | wal   (required)
 //	kind     error | latency | drop | partial    (required)
 //	op       op name, or statement verb for site=db ("" = any)
 //	reqid    exact request ID ("" = any)
@@ -43,7 +43,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 			switch k {
 			case "site":
 				switch Site(v) {
-				case SiteDispatch, SiteAfter, SiteTransport, SiteDB:
+				case SiteDispatch, SiteAfter, SiteTransport, SiteDB, SiteWAL:
 					r.Site = Site(v)
 				default:
 					err = fmt.Errorf("unknown site %q", v)

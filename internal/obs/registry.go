@@ -103,7 +103,18 @@ type Registry struct {
 	// with a fault injector configured).
 	faultMu sync.Mutex
 	faults  map[string]int64
-	start   time.Time
+	// external holds callback-backed counters owned by other subsystems
+	// (e.g. the write-ahead log), sampled at render time.
+	extMu    sync.Mutex
+	external []externalCounter
+	start    time.Time
+}
+
+// externalCounter is a counter registered via RegisterCounter.
+type externalCounter struct {
+	name string
+	help string
+	fn   func() int64
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -162,6 +173,36 @@ func (r *Registry) FaultsInjected() map[string]int64 {
 	return out
 }
 
+// RegisterCounter exposes a counter owned by another subsystem under name
+// (a full Prometheus metric name, e.g. "mcs_wal_fsyncs_total"). The
+// callback is sampled on every /metrics render, so the owner keeps its own
+// atomic state and the registry stays free of cross-package dependencies.
+// Registering the same name again replaces the callback.
+func (r *Registry) RegisterCounter(name, help string, fn func() int64) {
+	r.extMu.Lock()
+	defer r.extMu.Unlock()
+	for i := range r.external {
+		if r.external[i].name == name {
+			r.external[i] = externalCounter{name: name, help: help, fn: fn}
+			return
+		}
+	}
+	r.external = append(r.external, externalCounter{name: name, help: help, fn: fn})
+	sort.Slice(r.external, func(i, j int) bool { return r.external[i].name < r.external[j].name })
+}
+
+// Counters samples every registered external counter by name.
+func (r *Registry) Counters() map[string]int64 {
+	r.extMu.Lock()
+	ext := append([]externalCounter(nil), r.external...)
+	r.extMu.Unlock()
+	out := make(map[string]int64, len(ext))
+	for _, c := range ext {
+		out[c.name] = c.fn()
+	}
+	return out
+}
+
 // Malformed counts one pre-dispatch rejection.
 func (r *Registry) Malformed() { r.malformed.Add(1) }
 
@@ -213,6 +254,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		BatchSizes    sizeSnapshot          `json:"batch_sizes"`
 		PageSizes     sizeSnapshot          `json:"page_sizes"`
 		Faults        map[string]int64      `json:"faults_injected"`
+		Counters      map[string]int64      `json:"counters"`
 		Operations    map[string]opSnapshot `json:"operations"`
 	}{
 		UptimeSeconds: int64(time.Since(r.start).Seconds()),
@@ -220,6 +262,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		BatchSizes:    snapshotDist(&r.batchSizes),
 		PageSizes:     snapshotDist(&r.pageSizes),
 		Faults:        r.FaultsInjected(),
+		Counters:      r.Counters(),
 		Operations:    make(map[string]opSnapshot),
 	}
 	for _, m := range r.Ops() {
@@ -271,6 +314,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(sites)
 	for _, site := range sites {
 		p("mcs_faults_injected_total{site=%q} %d\n", site, faults[site])
+	}
+	r.extMu.Lock()
+	ext := append([]externalCounter(nil), r.external...)
+	r.extMu.Unlock()
+	for _, c := range ext {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.fn())
 	}
 	p("# HELP mcs_batch_ops Operations carried per batchWrite request.\n# TYPE mcs_batch_ops summary\n")
 	p("mcs_batch_ops_sum %d\nmcs_batch_ops_count %d\n", r.batchSizes.Sum(), r.batchSizes.Count())

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"maps"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -39,12 +40,20 @@ type DB struct {
 	// fault-injection harness.
 	hookMu    sync.RWMutex
 	faultHook func(verb string) error
+
+	// wal, when attached, receives every commit's redo statements before
+	// the root is published, and the commit blocks until a group-commit
+	// fsync covers its LSN. Written once at boot under wmu (AttachWAL);
+	// read only with wmu held (every writer path holds it).
+	wal *WAL
 }
 
 // dbRoot is one immutable committed version of the whole database: the
-// table set, the global index namespace, and the epoch that names it.
+// table set, the global index namespace, the epoch that names it, and the
+// LSN of the last logged commit it contains.
 type dbRoot struct {
 	epoch   uint64
+	lsn     uint64
 	tables  map[string]*table
 	indexes map[string]*index
 }
@@ -145,6 +154,46 @@ func New() *DB {
 // while Epoch() keeps returning the same value.
 func (db *DB) Epoch() uint64 { return db.root.Load().epoch }
 
+// LastLSN returns the log sequence number of the last logged commit in the
+// current root: 0 until a WAL is attached (or on a root restored from a
+// pre-WAL snapshot), then increasing by one per mutating commit.
+func (db *DB) LastLSN() uint64 { return db.root.Load().lsn }
+
+// AttachWAL installs a write-ahead log opened (and replayed) by OpenWAL.
+// Every subsequent mutating commit appends its statements to w and blocks
+// until a group-commit fsync covers it. Attach before accepting traffic;
+// commits already in flight when the attach lands are not logged.
+func (db *DB) AttachWAL(w *WAL) {
+	db.wmu.Lock()
+	db.wal = w
+	db.wmu.Unlock()
+}
+
+// applyWALRecord replays one recovered commit: its statements run in a
+// single transaction whose root is stamped with the record's LSN and
+// published without re-logging. Replay bypasses the fault hook — recovery
+// must not be failable by the chaos harness — and permits DDL, which the
+// public Tx API forbids but single-statement commits may have logged.
+func (db *DB) applyWALRecord(lsn uint64, stmts []redoStmt) error {
+	tx := db.Begin()
+	for _, s := range stmts {
+		st, err := db.parseCached(s.sql)
+		if err != nil {
+			tx.Rollback() //nolint:errcheck // the parse error takes precedence
+			return err
+		}
+		if _, err := tx.execStmt(st, s.args); err != nil {
+			tx.Rollback() //nolint:errcheck // the statement error takes precedence
+			return err
+		}
+	}
+	tx.done = true
+	tx.work.lsn = lsn
+	db.root.Store(tx.work)
+	db.wmu.Unlock()
+	return nil
+}
+
 // Exec parses and runs a mutating or DDL statement.
 func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	st, err := db.parseCached(sql)
@@ -159,17 +208,18 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 		_, err := db.root.Load().executeSelect(sel, args)
 		return Result{}, err
 	}
-	return db.execOne(st, args)
+	return db.execOne(sql, st, args)
 }
 
 // execOne runs a single non-SELECT statement as its own transaction.
-func (db *DB) execOne(st Statement, args []Value) (Result, error) {
+func (db *DB) execOne(sql string, st Statement, args []Value) (Result, error) {
 	tx := db.Begin()
 	res, err := tx.execStmt(st, args)
 	if err != nil {
 		tx.Rollback() //nolint:errcheck // the statement error takes precedence
 		return Result{}, err
 	}
+	tx.noteRedo(sql, st, args)
 	return res, tx.Commit()
 }
 
@@ -193,8 +243,9 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 
 // Stmt is a prepared statement: parsed once, executable many times.
 type Stmt struct {
-	db *DB
-	st Statement
+	db  *DB
+	sql string
+	st  Statement
 }
 
 // Prepare parses sql for repeated execution.
@@ -203,7 +254,7 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, st: st}, nil
+	return &Stmt{db: db, sql: sql, st: st}, nil
 }
 
 // Exec runs a prepared mutating statement.
@@ -215,7 +266,7 @@ func (s *Stmt) Exec(args ...Value) (Result, error) {
 		_, err := s.db.root.Load().executeSelect(sel, args)
 		return Result{}, err
 	}
-	return s.db.execOne(s.st, args)
+	return s.db.execOne(s.sql, s.st, args)
 }
 
 // Query runs a prepared SELECT; like DB.Query it never blocks on writers.
@@ -244,6 +295,11 @@ type Tx struct {
 	// owned marks tables already cloned into work (safe to mutate).
 	owned map[string]bool
 	done  bool
+	// redo accumulates the transaction's mutating statements for the WAL
+	// (only while one is attached); lsn is assigned at Commit if the
+	// transaction was logged.
+	redo []redoStmt
+	lsn  uint64
 }
 
 // Begin starts a transaction, blocking until the writer mutex is available.
@@ -254,12 +310,33 @@ func (db *DB) Begin() *Tx {
 		db: db,
 		work: &dbRoot{
 			epoch:   base.epoch + 1,
+			lsn:     base.lsn,
 			tables:  maps.Clone(base.tables),
 			indexes: maps.Clone(base.indexes),
 		},
 		owned: make(map[string]bool),
 	}
 }
+
+// noteRedo records one successfully executed mutating statement for the
+// WAL. SELECTs are never logged; everything else — including statements
+// that matched zero rows — is, keeping replay a pure re-execution of the
+// committed statement stream. The args slice is cloned because callers may
+// reuse theirs.
+func (tx *Tx) noteRedo(sql string, st Statement, args []Value) {
+	if tx.db.wal == nil {
+		return
+	}
+	if _, ok := st.(*SelectStmt); ok {
+		return
+	}
+	tx.redo = append(tx.redo, redoStmt{sql: sql, args: slices.Clone(args)})
+}
+
+// LSN returns the log sequence number Commit assigned to the transaction:
+// 0 if it was not logged (no WAL attached, or nothing to log), valid only
+// after Commit returns.
+func (tx *Tx) LSN() uint64 { return tx.lsn }
 
 // writable returns the transaction's private copy of a table, cloning the
 // committed version on first touch and re-pointing its indexes in the
@@ -297,7 +374,11 @@ func (tx *Tx) Exec(sql string, args ...Value) (Result, error) {
 	if err := tx.db.checkFault(st); err != nil {
 		return Result{}, err
 	}
-	return tx.execStmt(st, args)
+	res, err := tx.execStmt(st, args)
+	if err == nil {
+		tx.noteRedo(sql, st, args)
+	}
+	return res, err
 }
 
 // Query runs a SELECT inside the transaction, seeing its uncommitted writes.
@@ -320,14 +401,34 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 }
 
 // Commit atomically publishes the transaction's shadow root as the new
-// committed state and releases the writer mutex.
+// committed state and releases the writer mutex. With a WAL attached, a
+// mutating commit first appends its redo record (an append failure aborts
+// the commit — nothing is published) and then, after publishing and
+// releasing the writer mutex, blocks in group commit until an fsync covers
+// its LSN. A returned fsync error means the commit is visible in memory but
+// of uncertain durability: callers treat it as failed and retry, which the
+// replay cache makes safe.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
+	w := tx.db.wal
+	if w != nil && len(tx.redo) > 0 {
+		lsn := tx.work.lsn + 1
+		if err := w.append(lsn, tx.redo); err != nil {
+			tx.work = nil
+			tx.db.wmu.Unlock()
+			return fmt.Errorf("sqldb: commit: %w", err)
+		}
+		tx.work.lsn = lsn
+		tx.lsn = lsn
+	}
 	tx.db.root.Store(tx.work)
 	tx.db.wmu.Unlock()
+	if w != nil && tx.lsn > 0 {
+		return w.waitDurable(tx.lsn)
+	}
 	return nil
 }
 

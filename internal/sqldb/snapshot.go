@@ -65,9 +65,13 @@ type gobTable struct {
 	Rows    [][]gobValue
 }
 
-// gobSnapshot is the full stream payload.
+// gobSnapshot is the full stream payload. LSN is the write-ahead-log
+// sequence number of the pinned root: recovery replays only log records
+// above it. The field is additive — gob decodes pre-WAL snapshots to LSN 0
+// (replay everything) and old readers ignore it — so the version stays 1.
 type gobSnapshot struct {
 	Version int
+	LSN     uint64
 	Tables  []gobTable
 }
 
@@ -78,7 +82,7 @@ type gobSnapshot struct {
 // this dump does not see.
 func (db *DB) Dump(w io.Writer) error {
 	root := db.root.Load()
-	snap := gobSnapshot{Version: snapshotVersion}
+	snap := gobSnapshot{Version: snapshotVersion, LSN: root.lsn}
 	names := make([]string, 0, len(root.tables))
 	for n := range root.tables {
 		names = append(names, n)
@@ -131,6 +135,7 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 	base := db.root.Load()
 	work := &dbRoot{
 		epoch:   base.epoch + 1,
+		lsn:     max(base.lsn, snap.LSN),
 		tables:  maps.Clone(base.tables),
 		indexes: maps.Clone(base.indexes),
 	}

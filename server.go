@@ -27,6 +27,22 @@ import (
 	"mcs/internal/mcswire"
 	"mcs/internal/obs"
 	"mcs/internal/soap"
+	"mcs/internal/sqldb"
+)
+
+// Re-exported write-ahead-log types (see Catalog.OpenWAL): the daemon opens
+// and checkpoints the log; embedders get per-commit durability the same way.
+type (
+	// WAL is the catalog's write-ahead log, opened with Catalog.OpenWAL.
+	WAL = sqldb.WAL
+	// WALOptions configures a WAL (sync policy).
+	WALOptions = sqldb.WALOptions
+	// WALStats reports WAL counters (appends, fsyncs, replayed records).
+	WALStats = sqldb.WALStats
+	// WALReplayStats reports what recovery found in the log at open.
+	WALReplayStats = sqldb.ReplayStats
+	// WALFault is an injected WAL failure (chaos harness).
+	WALFault = sqldb.WALFault
 )
 
 // Re-exported core types, so downstream users only import this package.
@@ -175,6 +191,7 @@ const (
 	FaultSiteAfter     = faultinject.SiteAfter
 	FaultSiteTransport = faultinject.SiteTransport
 	FaultSiteDB        = faultinject.SiteDB
+	FaultSiteWAL       = faultinject.SiteWAL
 
 	FaultKindError   = faultinject.KindError
 	FaultKindLatency = faultinject.KindLatency
@@ -188,6 +205,18 @@ var NewFaultInjector = faultinject.New
 // ParseFaultSpec parses the -fault-spec rule syntax, e.g.
 // "site=dispatch,kind=error,op=createFile,calls=1-3".
 var ParseFaultSpec = faultinject.ParseSpec
+
+// OpOption threads per-call settings (request ID, idempotency key) into an
+// embedded Catalog mutation, as the SOAP layer does for remote callers.
+type OpOption = core.OpOption
+
+// WithRequestID tags a catalog mutation with a correlation ID (audit trail,
+// slow-op log).
+var WithRequestID = core.WithRequestID
+
+// WithIdempotencyKey marks a catalog mutation replayable: a retry carrying
+// the same key returns the recorded response instead of applying twice.
+var WithIdempotencyKey = core.WithIdempotencyKey
 
 // OpenCatalog creates an embedded catalog engine (no web service).
 func OpenCatalog(opts Options) (*Catalog, error) { return core.Open(opts) }
@@ -248,6 +277,11 @@ type ServerOptions struct {
 	// the chaos-testing harness. Production servers leave it nil; there is
 	// no injection code on any hot path when disabled.
 	FaultInjector *FaultInjector
+	// WAL, when non-nil, is the catalog's write-ahead log (already opened
+	// and attached via Catalog.OpenWAL). The server only observes it —
+	// wal_appends/wal_fsyncs/wal_replayed counters on /metrics and /statz —
+	// and routes "wal"-site fault-injection rules into it.
+	WAL *WAL
 }
 
 // Server is the MCS web service: a SOAP endpoint in front of a Catalog.
@@ -267,6 +301,7 @@ type Server struct {
 	metrics   *obs.Registry
 	slow      *obs.SlowOpLog
 	faults    *faultinject.Injector
+	wal       *WAL
 	endpoints bool
 	started   time.Time
 }
@@ -331,12 +366,24 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	}
 	s := &Server{
 		Server: ss, catalog: cat, cas: opts.CAS,
+		wal:       opts.WAL,
 		endpoints: !opts.Obs.DisableEndpoints,
 		started:   time.Now(),
 	}
 	if !opts.Obs.DisableMetrics {
 		s.metrics = obs.NewRegistry()
 		ss.SetMetrics(s.metrics)
+		if w := opts.WAL; w != nil {
+			s.metrics.RegisterCounter("mcs_wal_appends_total",
+				"Commit records appended to the write-ahead log.",
+				func() int64 { return int64(w.Stats().Appends) })
+			s.metrics.RegisterCounter("mcs_wal_fsyncs_total",
+				"Group-commit fsync rounds on the write-ahead log.",
+				func() int64 { return int64(w.Stats().Fsyncs) })
+			s.metrics.RegisterCounter("mcs_wal_replayed_total",
+				"Log records replayed during recovery at startup.",
+				func() int64 { return int64(w.Stats().Replayed) })
+		}
 	}
 	if opts.Obs.SlowOpThreshold > 0 {
 		s.slow = obs.NewSlowOpLog(opts.Obs.SlowOpThreshold, opts.Obs.SlowOpLogger)
@@ -364,6 +411,31 @@ func NewServer(opts ServerOptions) (*Server, error) {
 			}
 			return fmt.Errorf("%w: injected %s fault on db %s", f.Err, f.Kind, verb)
 		})
+		if w := opts.WAL; w != nil {
+			w.SetFaultHook(func(op string) *WALFault {
+				f := inj.Eval(faultinject.SiteWAL, op, "")
+				if f == nil {
+					return nil
+				}
+				if s.metrics != nil {
+					s.metrics.FaultInjected(string(faultinject.SiteWAL))
+				}
+				wf := &WALFault{Delay: f.Delay}
+				switch f.Kind {
+				case faultinject.KindLatency:
+					// delay only
+				case faultinject.KindPartial:
+					wf.ShortWrite = f.TruncateAt
+					if wf.ShortWrite <= 0 {
+						wf.ShortWrite = 5 // into the header: an undeniably torn record
+					}
+					wf.Err = fmt.Errorf("%w: injected torn write on wal %s", f.Err, op)
+				default:
+					wf.Err = fmt.Errorf("%w: injected %s fault on wal %s", f.Err, f.Kind, op)
+				}
+				return wf
+			})
+		}
 	}
 	ss.SetErrorCode(faultCodeFor)
 	s.register()
@@ -435,21 +507,33 @@ func (s *Server) serveStatz(w http.ResponseWriter, _ *http.Request) {
 	if s.faults != nil {
 		faultsInjected = int64(s.faults.Total())
 	}
+	var wal WALStats
+	if s.wal != nil {
+		wal = s.wal.Stats()
+	}
 	enc.Encode(struct { //nolint:errcheck // best-effort response write
-		UptimeSeconds  int64 `json:"uptime_seconds"`
-		Files          int   `json:"files"`
-		Collections    int   `json:"collections"`
-		Views          int   `json:"views"`
-		Attributes     int   `json:"attributes"`
-		AttrDefs       int   `json:"attr_defs"`
-		FaultsInjected int64 `json:"faults_injected"`
-		ReplayedWrites int64 `json:"replayed_writes"`
+		UptimeSeconds  int64  `json:"uptime_seconds"`
+		Files          int    `json:"files"`
+		Collections    int    `json:"collections"`
+		Views          int    `json:"views"`
+		Attributes     int    `json:"attributes"`
+		AttrDefs       int    `json:"attr_defs"`
+		FaultsInjected int64  `json:"faults_injected"`
+		ReplayedWrites int64  `json:"replayed_writes"`
+		WALAppends     uint64 `json:"wal_appends"`
+		WALFsyncs      uint64 `json:"wal_fsyncs"`
+		WALReplayed    uint64 `json:"wal_replayed"`
+		WALDurableLSN  uint64 `json:"wal_durable_lsn"`
 	}{
 		UptimeSeconds: int64(time.Since(s.started).Seconds()),
 		Files:         st.Files, Collections: st.Collections, Views: st.Views,
 		Attributes: st.Attributes, AttrDefs: st.AttrDefs,
 		FaultsInjected: faultsInjected,
 		ReplayedWrites: s.catalog.ReplayHits(),
+		WALAppends:     wal.Appends,
+		WALFsyncs:      wal.Fsyncs,
+		WALReplayed:    wal.Replayed,
+		WALDurableLSN:  wal.DurableLSN,
 	})
 }
 

@@ -1,0 +1,268 @@
+package mcs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Restart-durability tests at the catalog level: the write-ahead log must
+// carry every acknowledged mutation across a hard crash — no graceful
+// shutdown, no final snapshot — and compose with snapshots as checkpoints.
+// A "crash" here is simply abandoning the catalog and its WAL without
+// closing either: exactly what kill -9 leaves behind, minus the torn tail
+// (which internal/sqldb's torn-write corpus covers byte-by-byte).
+
+// openWALCatalog opens a fresh catalog with a WAL at path attached.
+func openWALCatalog(t *testing.T, path string) (*Catalog, *WAL, WALReplayStats) {
+	t.Helper()
+	cat, err := OpenCatalog(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, stats, err := cat.OpenWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return cat, w, stats
+}
+
+func TestWALRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "cat.snap.wal")
+
+	cat, _, _ := openWALCatalog(t, walPath)
+	if _, err := cat.CreateFile(testAlice, FileSpec{Name: "a.dat", Audited: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineAttribute(testAlice, "run", AttrInt, "run number"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.SetAttribute(testAlice, ObjectFile, "a.dat", "run", Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateCollection(testAlice, CollectionSpec{Name: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hard crash: no snapshot, no WAL close. Recover from the log alone.
+	cat2, _, stats := openWALCatalog(t, walPath)
+	if stats.Applied == 0 || stats.TornBytes != 0 {
+		t.Fatalf("recovery stats = %+v, want clean replay", stats)
+	}
+	vs, err := cat2.FileVersions(testAlice, "a.dat")
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("versions = %+v, %v; want exactly one", vs, err)
+	}
+	attrs, err := cat2.GetAttributes(testAlice, ObjectFile, "a.dat")
+	if err != nil || len(attrs) != 1 || attrs[0].Value.Render() != "42" {
+		t.Fatalf("attrs = %+v, %v; want run=42", attrs, err)
+	}
+	recs, err := cat2.AuditLog(testAlice, ObjectFile, "a.dat")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("audit = %+v, %v; want exactly one record", recs, err)
+	}
+	if _, err := cat2.GetCollection(testAlice, "c1"); err != nil {
+		t.Fatalf("collection lost across crash: %v", err)
+	}
+}
+
+func TestWALRestartFromSnapshotPlusSuffix(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "cat.snap")
+	walPath := snapPath + ".wal"
+
+	cat, w, _ := openWALCatalog(t, walPath)
+	if _, err := cat.CreateFile(testAlice, FileSpec{Name: "pre.dat"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint: rotate, snapshot, drop the covered generation — the
+	// sequence mcsd runs on its snapshot ticker.
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	lsn := cat.LastLSN()
+	var snap bytes.Buffer
+	if err := cat.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DropCovered(lsn); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-checkpoint commits live only in the log suffix.
+	if _, err := cat.CreateFile(testAlice, FileSpec{Name: "post.dat"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash; recover from snapshot + suffix.
+	cat2, err := RestoreCatalog(Options{}, &snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cat2.LastLSN(); got != lsn {
+		t.Fatalf("restored LSN = %d, want %d", got, lsn)
+	}
+	_, stats, err := cat2.OpenWAL(walPath, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The suffix re-applies only what the snapshot misses: post.dat (plus
+	// nothing from the dropped, fully covered generation).
+	if stats.Applied != 1 {
+		t.Fatalf("replay stats = %+v, want exactly 1 applied", stats)
+	}
+	for _, name := range []string{"pre.dat", "post.dat"} {
+		vs, err := cat2.FileVersions(testAlice, name)
+		if err != nil || len(vs) != 1 {
+			t.Fatalf("versions(%s) = %+v, %v; want exactly one", name, vs, err)
+		}
+	}
+}
+
+// TestChaosWALKillReplay is the kill-and-replay leg of the chaos matrix: a
+// retried mutation straddles a simulated crash, and the replay cache —
+// committed in the same transaction as the mutation and therefore in the
+// same WAL record — must yield exactly-once application and a single audit
+// record after recovery. Two fault gates:
+//
+//   - append-error: the first commit attempt dies before publication; the
+//     pre-crash retry is the one that lands.
+//   - fsync-error: the first commit attempt is applied and logged but
+//     acknowledged as failed (durability uncertain); the pre-crash retry is
+//     answered from the replay cache.
+//
+// In both legs a post-crash retry with the same idempotency key must also
+// come from the (recovered) replay cache, never re-apply.
+func TestChaosWALKillReplay(t *testing.T) {
+	gates := []struct {
+		name string
+		op   string
+	}{
+		{"append-error", "append"},
+		{"fsync-error", "fsync"},
+	}
+	for _, seed := range chaosSeeds(t) {
+		for _, gate := range gates {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, gate.name), func(t *testing.T) {
+				dir := t.TempDir()
+				walPath := filepath.Join(dir, "cat.snap.wal")
+				cat, w, _ := openWALCatalog(t, walPath)
+
+				// NewServer wires the injector into the WAL's fault hook —
+				// the same path mcsd's -fault-spec "site=wal,..." takes.
+				inj := NewFaultInjector(seed, FaultRule{
+					Site: FaultSiteWAL, Op: gate.op, Kind: FaultKindError, Times: 1,
+				})
+				if _, err := NewServer(ServerOptions{Catalog: cat, WAL: w, FaultInjector: inj}); err != nil {
+					t.Fatal(err)
+				}
+
+				key := "kill-replay-" + gate.name
+				spec := FileSpec{Name: "kz.dat", Audited: true}
+				if _, err := cat.CreateFile(testAlice, spec, WithIdempotencyKey(key)); err == nil {
+					t.Fatalf("first attempt through %s gate succeeded, want injected failure", gate.name)
+				}
+				// The client-side retry, pre-crash.
+				if _, err := cat.CreateFile(testAlice, spec, WithIdempotencyKey(key)); err != nil {
+					t.Fatalf("pre-crash retry: %v", err)
+				}
+				if inj.Total() != 1 {
+					t.Fatalf("faults injected = %d, want 1", inj.Total())
+				}
+				hitsBefore := cat.ReplayHits()
+				if gate.op == "fsync" && hitsBefore != 1 {
+					// fsync gate: the mutation landed on attempt one, so the
+					// retry must have been a replay hit, not a re-apply.
+					t.Fatalf("pre-crash replay hits = %d, want 1", hitsBefore)
+				}
+
+				// Crash (abandon catalog and WAL), then recover.
+				cat2, _, stats := openWALCatalog(t, walPath)
+				if stats.Applied == 0 {
+					t.Fatalf("recovery replayed nothing: %+v", stats)
+				}
+				vs, err := cat2.FileVersions(testAlice, "kz.dat")
+				if err != nil || len(vs) != 1 || vs[0].Version != 1 {
+					t.Fatalf("versions = %+v, %v; want exactly one v1", vs, err)
+				}
+				recs, err := cat2.AuditLog(testAlice, ObjectFile, "kz.dat")
+				if err != nil || len(recs) != 1 {
+					t.Fatalf("audit = %+v, %v; want exactly one record", recs, err)
+				}
+
+				// The straddling retry: same key, other side of the crash.
+				// The replay cache rode the same WAL record as the mutation,
+				// so this must be a cache hit, not a second application.
+				if _, err := cat2.CreateFile(testAlice, spec, WithIdempotencyKey(key)); err != nil {
+					t.Fatalf("post-crash retry: %v", err)
+				}
+				if hits := cat2.ReplayHits(); hits != 1 {
+					t.Fatalf("post-crash replay hits = %d, want 1", hits)
+				}
+				vs, err = cat2.FileVersions(testAlice, "kz.dat")
+				if err != nil || len(vs) != 1 {
+					t.Fatalf("versions after post-crash retry = %+v, %v; want still one", vs, err)
+				}
+				recs, err = cat2.AuditLog(testAlice, ObjectFile, "kz.dat")
+				if err != nil || len(recs) != 1 {
+					t.Fatalf("audit after post-crash retry = %+v, %v; want still one", recs, err)
+				}
+			})
+		}
+	}
+}
+
+// The wal fault site is reachable from the -fault-spec grammar, so chaos
+// runs against a real daemon can gate the log without code changes.
+func TestWALFaultSpecParses(t *testing.T) {
+	rules, err := ParseFaultSpec("site=wal,op=fsync,kind=error,times=2;site=wal,op=append,kind=partial,truncate=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Site != FaultSiteWAL || rules[1].TruncateAt != 5 {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+// A server with a WAL exposes its counters on /metrics and /statz.
+func TestWALServerCounters(t *testing.T) {
+	dir := t.TempDir()
+	cat, w, _ := openWALCatalog(t, filepath.Join(dir, "cat.snap.wal"))
+	srv, url := startServer(t, ServerOptions{Catalog: cat, WAL: w})
+	c := NewClient(url, testAlice)
+	if _, err := c.CreateFile(FileSpec{Name: "m.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Appends == 0 || st.DurableLSN == 0 {
+		t.Fatalf("wal stats = %+v, want appends and durable lsn > 0", st)
+	}
+	var buf bytes.Buffer
+	if err := srv.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"mcs_wal_appends_total", "mcs_wal_fsyncs_total", "mcs_wal_replayed_total"} {
+		if !bytes.Contains(buf.Bytes(), []byte(metric)) {
+			t.Fatalf("/metrics lacks %s:\n%s", metric, buf.String())
+		}
+	}
+}
+
+// Sanity: the log file actually exists and grows beside the snapshot path,
+// the operator-visible contract of -snapshot + -wal.
+func TestWALFileOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "cat.snap.wal")
+	cat, _, _ := openWALCatalog(t, walPath)
+	if _, err := cat.CreateFile(testAlice, FileSpec{Name: "d.dat"}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(walPath)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("wal file = %v, %v; want non-empty", fi, err)
+	}
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench
+.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench transportbench
 
 build:
 	$(GO) build ./...
@@ -61,3 +61,12 @@ walcrash:
 walbench:
 	$(GO) run ./cmd/mcsbench -fig 15 -threads 1,2,4,8 -sizes 10000 \
 		-wal-json BENCH_wal.json $(WALBENCH_FLAGS)
+
+# The wire comparison (Fig. 16): add and simple-query rate through the same
+# server over the SOAP envelope vs the compact JSON wire, emitted as
+# BENCH_transport.json (including the JSON/SOAP speedup on the add path).
+# Override for a quick smoke run, e.g.
+# `make transportbench TRANSPORTBENCH_FLAGS="-duration 200ms -sizes 1000"`.
+transportbench:
+	$(GO) run ./cmd/mcsbench -fig 16 -threads 1,2,4,8 -sizes 10000 \
+		-transport-json BENCH_transport.json $(TRANSPORTBENCH_FLAGS)

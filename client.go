@@ -2,11 +2,13 @@ package mcs
 
 import (
 	"context"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mcs/internal/gsi"
+	"mcs/internal/jsonwire"
 	"mcs/internal/mcswire"
 	"mcs/internal/soap"
 )
@@ -39,7 +41,13 @@ import (
 // ErrTransport; WithRetry makes the client retry those (and ErrUnavailable)
 // automatically with idempotency keys on mutating operations.
 type Client struct {
-	soap *soap.Client
+	// soap and json are the two built-in wire clients. They share one HTTP
+	// connection pool and one header set, so every option applies whichever
+	// transport is (or later becomes) selected.
+	soap      *soap.Client
+	json      *jsonwire.Client
+	transport Transport
+	kind      TransportKind
 	// dn is the identity declared on unauthenticated deployments. When a
 	// GSI credential is attached with WithCredential, the server derives
 	// the identity from the credential instead.
@@ -72,18 +80,43 @@ func WithTimeout(d time.Duration) ClientOption {
 // WithCredential attaches a GSI credential: every request is signed and the
 // server authenticates the chain instead of trusting the declared DN.
 func WithCredential(cred *gsi.Credential) ClientOption {
-	return func(c *Client) { c.soap.Sign = cred.Sign }
+	return func(c *Client) {
+		c.soap.Sign = cred.Sign
+		c.json.Sign = cred.Sign
+	}
 }
 
 // WithAssertion attaches an encoded CAS capability assertion (from
 // gsi.EncodeAssertion) to every request, enabling community-authorized
 // operations on servers configured with CASIntegration.
 func WithAssertion(encoded string) ClientOption {
+	return func(c *Client) { c.soap.Header.Set(gsi.AssertionHeader, encoded) }
+}
+
+// WithTransport selects the wire encoding: TransportSOAP (the default, and
+// the paper-faithful one) or TransportJSON (the compact /api/v1 wire). The
+// two carry identical semantics — every operation, error sentinel, request
+// correlation ID and idempotent-retry guarantee works the same over either.
+func WithTransport(kind TransportKind) ClientOption {
+	return func(c *Client) { c.setTransport(kind) }
+}
+
+// WithCustomTransport installs a caller-provided Transport implementation —
+// for tests, proxies or alternative encodings. The retry layer still pins
+// request IDs and idempotency keys through the extra-headers argument, so a
+// semantics-preserving transport keeps exactly-once retries.
+func WithCustomTransport(t Transport) ClientOption {
+	return func(c *Client) { c.transport, c.kind = t, "" }
+}
+
+// WithHTTPClient substitutes the *http.Client both wire transports share —
+// custom TLS configuration, proxies or instrumentation. It replaces the
+// default pool including its timeout, so combine with WithTimeout (after
+// this option) when a call ceiling is still wanted.
+func WithHTTPClient(h *http.Client) ClientOption {
 	return func(c *Client) {
-		if c.soap.Header == nil {
-			c.soap.Header = make(map[string][]string)
-		}
-		c.soap.Header.Set(gsi.AssertionHeader, encoded)
+		c.soap.HTTP = h
+		c.json.HTTP = h
 	}
 }
 
@@ -121,24 +154,49 @@ func WithBackoff(base, max time.Duration) ClientOption {
 // deployments that standardize on another name; "" disables request-ID
 // propagation.
 func WithRequestIDHeader(name string) ClientOption {
-	return func(c *Client) { c.soap.RequestIDHeader = name }
+	return func(c *Client) {
+		c.soap.RequestIDHeader = name
+		c.json.RequestIDHeader = name
+	}
 }
 
 // NewClient returns a client for the MCS at endpoint, acting as dn.
 func NewClient(endpoint, dn string, opts ...ClientOption) *Client {
 	c := &Client{
 		soap:        soap.NewClient(endpoint),
+		json:        jsonwire.NewClient(endpoint),
 		dn:          dn,
 		backoffBase: 25 * time.Millisecond,
 		backoffMax:  time.Second,
 		sleep:       ctxSleep,
 		rngState:    seedRNG(),
 	}
+	// One pool, one header set: options and deprecated setters configure
+	// the client, not a wire, so they must land on whichever transport is
+	// ever selected.
+	c.json.HTTP = c.soap.HTTP
+	c.soap.Header = make(http.Header)
+	c.json.Header = c.soap.Header
+	c.setTransport(TransportSOAP)
 	for _, opt := range opts {
 		opt(c)
 	}
 	return c
 }
+
+// setTransport points the client at one of the built-in wires.
+func (c *Client) setTransport(kind TransportKind) {
+	switch kind {
+	case TransportJSON:
+		c.transport, c.kind = jsonTransport{c.json}, TransportJSON
+	default:
+		c.transport, c.kind = soapTransport{c.soap}, TransportSOAP
+	}
+}
+
+// TransportName reports which wire the client is using: TransportSOAP,
+// TransportJSON, or "" for a custom Transport.
+func (c *Client) TransportName() TransportKind { return c.kind }
 
 // UseCredential attaches a GSI credential.
 //
@@ -155,12 +213,12 @@ func (c *Client) SetTimeout(d time.Duration) { WithTimeout(d)(c) }
 // Deprecated: pass WithAssertion to NewClient.
 func (c *Client) UseAssertion(encoded string) { WithAssertion(encoded)(c) }
 
-// call performs one logical call — a single SOAP round trip, or a retry
-// loop when WithRetry is configured — and maps SOAP faults back to the
-// sentinel their fault code names.
+// call performs one logical call — a single wire round trip, or a retry
+// loop when WithRetry is configured — and maps wire faults back to the
+// sentinel their fault code names, whichever transport carried them.
 func (c *Client) call(ctx context.Context, action string, req, resp any) error {
 	if c.retryAttempts <= 1 {
-		return mapWireError(c.soap.CallCtx(ctx, action, req, resp))
+		return mapWireError(c.transport.Call(ctx, action, nil, req, resp))
 	}
 	return c.callRetry(ctx, action, req, resp)
 }
@@ -584,6 +642,52 @@ func (c *Client) RunQueryCtx(ctx context.Context, q Query) ([]string, error) {
 		return nil, err
 	}
 	return resp.Names, nil
+}
+
+// RunQueryStream streams query matches with context.Background.
+func (c *Client) RunQueryStream(q Query, row func(name string) error) error {
+	return c.RunQueryStreamCtx(context.Background(), q, row)
+}
+
+// RunQueryStreamCtx executes a discovery query and hands each matching name
+// to row as it arrives, without materializing the full result on either
+// side. Over a streaming transport (TransportJSON) the rows ride one NDJSON
+// response; otherwise the client pages through queryPage, which preserves
+// the bounded-memory contract at one round trip per page. A non-nil error
+// from row aborts the stream and is returned.
+func (c *Client) RunQueryStreamCtx(ctx context.Context, q Query, row func(name string) error) error {
+	if st, ok := c.transport.(StreamTransport); ok {
+		req := &mcswire.QueryRequest{Caller: c.dn, Target: string(q.Target), Limit: q.Limit}
+		for _, p := range q.Predicates {
+			req.Predicates = append(req.Predicates, mcswire.WirePredicate{
+				Attribute: p.Attribute, Op: string(p.Op),
+				Type: string(p.Value.Type), Value: p.Value.Render(),
+			})
+		}
+		return mapWireError(st.Stream(ctx, "query", nil, req,
+			func() any { return new(mcswire.QueryRow) },
+			func(r any) error { return row(r.(*mcswire.QueryRow).Name) }))
+	}
+	sent, token := 0, ""
+	for {
+		names, next, err := c.RunQueryPageCtx(ctx, q, 512, token)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			if q.Limit > 0 && sent >= q.Limit {
+				return nil
+			}
+			if err := row(n); err != nil {
+				return err
+			}
+			sent++
+		}
+		if next == "" {
+			return nil
+		}
+		token = next
+	}
 }
 
 // RunQueryAttrs executes a query returning attributes with

@@ -28,6 +28,13 @@
 // -wal-json FILE the points land as JSON (BENCH_wal.json in CI), including
 // the group-commit slowdown factor versus snapshot-only.
 //
+// Figure 16 is the wire comparison: add and simple-query rate through the
+// same server over the SOAP envelope versus the compact JSON wire under
+// /api/v1/ — the encoding tax, isolated, because both endpoints share one
+// dispatch table. With -transport-json FILE the points land as JSON
+// (BENCH_transport.json in CI), including the JSON-over-SOAP speedup on
+// the add path.
+//
 // The paper's full-scale databases (100k/1M/5M files) are reachable with
 // -sizes 100000,1000000,5000000 given enough memory and patience; the
 // defaults are scaled so a laptop run finishes in minutes while preserving
@@ -131,6 +138,54 @@ func writeWALJSON(path string, size int, d time.Duration, points []bench.WALPoin
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// transportReport is the machine-readable form of the Fig. 16 sweep.
+type transportReport struct {
+	Bench       string                 `json:"bench"`
+	GoMaxProcs  int                    `json:"gomaxprocs"`
+	NumCPU      int                    `json:"num_cpu"`
+	DBFiles     int                    `json:"db_files"`
+	DurationSec float64                `json:"duration_sec"`
+	Points      []bench.TransportPoint `json:"points"`
+	// AddSpeedup and QuerySpeedup are the JSON-wire rate divided by the
+	// SOAP-wire rate for the same operation at the largest common thread
+	// count — how much of the web-service overhead was envelope encoding.
+	AddSpeedup   float64 `json:"add_speedup"`
+	QuerySpeedup float64 `json:"query_speedup"`
+}
+
+// writeTransportJSON emits the Fig. 16 points to path.
+func writeTransportJSON(path string, size int, d time.Duration, points []bench.TransportPoint) error {
+	rep := transportReport{
+		Bench:       "transport",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		DBFiles:     size,
+		DurationSec: d.Seconds(),
+		Points:      points,
+	}
+	rate := func(transport, op string) float64 {
+		best := -1
+		var out float64
+		for _, p := range points {
+			if p.Transport == transport && p.Op == op && p.Threads > best {
+				best, out = p.Threads, p.OpsPerSec
+			}
+		}
+		return out
+	}
+	if soap := rate("soap", "add"); soap > 0 {
+		rep.AddSpeedup = rate("json", "add") / soap
+	}
+	if soap := rate("soap", "query"); soap > 0 {
+		rep.QuerySpeedup = rate("json", "query") / soap
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func parseSizes(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -188,12 +243,17 @@ func env() bench.Env {
 				mcs.WithRetry(5),
 				mcs.WithBackoff(time.Millisecond, 20*time.Millisecond))
 		},
+		NewJSONClient: func(url string) bench.SOAPClient {
+			return mcs.NewClient(url, bench.LoaderDN,
+				mcs.WithTimeout(10*time.Minute),
+				mcs.WithTransport(mcs.TransportJSON))
+		},
 	}
 }
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", `figure to regenerate: 5..14 or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 5..16 or "all"`)
 	sizes := flag.String("sizes", "10000,50000,100000", "database sizes (files), comma-separated")
 	threads := flag.String("threads", "1,2,4,8,12,16", "thread sweep for figures 5-7")
 	hosts := flag.String("hosts", "1,2,4,6,8,10", "host sweep for figures 8-10")
@@ -204,6 +264,7 @@ func main() {
 	latency := flag.Bool("latency", false, "also report per-operation latency (p50/p95/p99) per data point")
 	jsonOut := flag.String("json", "", "write figure 14 points as JSON to this path (e.g. BENCH_readpath.json)")
 	walJSONOut := flag.String("wal-json", "", "write figure 15 points as JSON to this path (e.g. BENCH_wal.json)")
+	transportJSONOut := flag.String("transport-json", "", "write figure 16 points as JSON to this path (e.g. BENCH_transport.json)")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
 
@@ -235,7 +296,7 @@ func main() {
 
 	var figs []int
 	if *fig == "all" {
-		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
 	} else {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
@@ -282,6 +343,25 @@ func main() {
 					log.Fatalf("mcsbench: write %s: %v", *jsonOut, err)
 				}
 				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *jsonOut)
+			}
+		} else if f == 16 {
+			// Like figs 14/15: one sweep feeds both the table and the JSON.
+			size := szs[0]
+			for _, s := range szs[1:] {
+				if s < size {
+					size = s
+				}
+			}
+			points, err := bench.TransportSweep(opt)
+			if err != nil {
+				log.Fatalf("mcsbench: figure 16: %v", err)
+			}
+			fmt.Println(bench.Render(16, bench.TransportPointSeries(size, points)))
+			if *transportJSONOut != "" {
+				if err := writeTransportJSON(*transportJSONOut, size, *duration, points); err != nil {
+					log.Fatalf("mcsbench: write %s: %v", *transportJSONOut, err)
+				}
+				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *transportJSONOut)
 			}
 		} else if f == 15 {
 			// Like fig 14: one sweep feeds both the table and the JSON.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mcs/internal/core"
+	"mcs/internal/jsonwire"
 	"mcs/internal/soap"
 )
 
@@ -28,11 +29,12 @@ var faultSentinels = []struct {
 	{"Unavailable", core.ErrUnavailable},
 }
 
-// ErrTransport marks calls that failed without a decodable SOAP reply: the
-// request never completed, the connection dropped mid-body, or a non-SOAP
-// intermediary answered. The server may or may not have applied the
-// operation, which is exactly why mutating calls carry idempotency keys;
-// with retries enabled the client re-sends these automatically.
+// ErrTransport marks calls that failed without a decodable reply — on
+// either wire: the request never completed, the connection dropped
+// mid-body, or an intermediary answered in the wrong encoding. The server
+// may or may not have applied the operation, which is exactly why mutating
+// calls carry idempotency keys; with retries enabled the client re-sends
+// these automatically.
 var ErrTransport = errors.New("mcs: transport failure")
 
 // transportError couples a transport failure with the ErrTransport sentinel
@@ -88,9 +90,24 @@ func (e *wireError) Error() string { return e.fault.Error() }
 // sentinel (for errors.Is).
 func (e *wireError) Unwrap() []error { return []error{e.fault, e.sentinel} }
 
-// mapWireError decorates SOAP faults with their sentinel and transport
-// failures with ErrTransport; other errors (marshal problems, context
-// cancellation before send) pass through unchanged.
+// jsonWireError couples a JSON wire error with the sentinel its code names
+// — the JSON-wire twin of wireError, carrying the same "Server.<Code>"
+// strings the SOAP faultcode does, so both wires decode to identical
+// sentinels.
+type jsonWireError struct {
+	wire     *jsonwire.Error
+	sentinel error
+}
+
+func (e *jsonWireError) Error() string { return e.wire.Error() }
+
+// Unwrap exposes both the wire error (for errors.As) and the sentinel (for
+// errors.Is).
+func (e *jsonWireError) Unwrap() []error { return []error{e.wire, e.sentinel} }
+
+// mapWireError decorates wire faults (SOAP or JSON) with their sentinel and
+// transport failures with ErrTransport; other errors (marshal problems,
+// context cancellation before send) pass through unchanged.
 func mapWireError(err error) error {
 	if err == nil {
 		return nil
@@ -102,8 +119,19 @@ func mapWireError(err error) error {
 		}
 		return err
 	}
-	var te *soap.TransportError
-	if errors.As(err, &te) {
+	var jerr *jsonwire.Error
+	if errors.As(err, &jerr) {
+		if sentinel := sentinelForFault(jerr.Code); sentinel != nil {
+			return &jsonWireError{wire: jerr, sentinel: sentinel}
+		}
+		return err
+	}
+	var ste *soap.TransportError
+	if errors.As(err, &ste) {
+		return &transportError{inner: err}
+	}
+	var jte *jsonwire.TransportError
+	if errors.As(err, &jte) {
 		return &transportError{inner: err}
 	}
 	return err

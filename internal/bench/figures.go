@@ -28,6 +28,10 @@ type Env struct {
 	// NewRetryClient returns a client with retries, backoff and idempotency
 	// keys enabled, matching the degraded server. Optional — Figure 13 only.
 	NewRetryClient func(url string) SOAPClient
+	// NewJSONClient returns a client speaking the compact JSON wire
+	// (/api/v1/) against the same server NewClient's SOAP client talks to.
+	// Optional — only the Fig. 16 wire comparison needs it.
+	NewJSONClient func(url string) SOAPClient
 }
 
 // Point is one measurement: X is the swept parameter, Y the rate (ops/s).
@@ -167,6 +171,9 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	}
 	if fig == 15 {
 		return walFigure(opt)
+	}
+	if fig == 16 {
+		return transportFigure(opt)
 	}
 	op, err := opForFigure(fig)
 	if err != nil {
@@ -442,6 +449,105 @@ func walFigure(opt FigureOptions) ([]Series, error) {
 	return WALPointSeries(size, points), nil
 }
 
+// TransportPoint is one measurement of the wire comparison (Fig. 16):
+// throughput of one operation at a given thread count through one wire
+// encoding — the same server, the same handlers, only the envelope differs.
+type TransportPoint struct {
+	Transport string  `json:"transport"`
+	Op        string  `json:"op"`
+	Threads   int     `json:"threads"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// TransportSweep measures Fig. 16: add and simple-query rate through the
+// web service over the SOAP wire versus the compact JSON wire, swept over
+// client threads on the smallest configured database. Both clients hit the
+// same server instance — the dispatch table behind both endpoints is
+// shared — so any gap is pure encoding and framing cost.
+func TransportSweep(opt FigureOptions) ([]TransportPoint, error) {
+	opt = opt.Defaults()
+	if opt.Env.NewJSONClient == nil {
+		return nil, fmt.Errorf("bench: figure 16 requires Env.NewJSONClient")
+	}
+	size := opt.Sizes[0]
+	for _, s := range opt.Sizes[1:] {
+		if s < size {
+			size = s
+		}
+	}
+	cats, err := loadAll([]int{size}, opt.Catalogs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig(size)
+	url, stop, err := opt.Env.StartServer(cats[size])
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	wires := []struct {
+		name      string
+		newClient func(url string) SOAPClient
+	}{
+		{"soap", opt.Env.NewClient},
+		{"json", opt.Env.NewJSONClient},
+	}
+	ops := []struct {
+		name string
+		op   Op
+	}{
+		{"add", OpAdd},
+		{"query", OpSimpleQuery},
+	}
+	var out []TransportPoint
+	for _, wire := range wires {
+		targets := []Target{SOAP{Client: wire.newClient(url)}}
+		for _, o := range ops {
+			for _, th := range opt.Threads {
+				out = append(out, TransportPoint{
+					Transport: wire.name, Op: o.name, Threads: th,
+					OpsPerSec: RunRate(targets, th, opt.Duration, o.op, cfg, opt.AttrK),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// transportFigure measures Fig. 16 over the smallest configured database.
+func transportFigure(opt FigureOptions) ([]Series, error) {
+	size := opt.Sizes[0]
+	for _, s := range opt.Sizes[1:] {
+		if s < size {
+			size = s
+		}
+	}
+	points, err := TransportSweep(opt)
+	if err != nil {
+		return nil, err
+	}
+	return TransportPointSeries(size, points), nil
+}
+
+// TransportPointSeries renders the wire comparison as figure series, one
+// line per (wire, operation) pair over the thread axis.
+func TransportPointSeries(size int, points []TransportPoint) []Series {
+	var out []Series
+	idx := map[string]int{}
+	for _, p := range points {
+		key := p.Transport + "/" + p.Op
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			out = append(out, Series{Label: sizeLabel(size) + " database, " + p.Op + " over " + p.Transport})
+		}
+		out[i].Points = append(out[i].Points, Point{X: p.Threads, Y: p.OpsPerSec})
+	}
+	return out
+}
+
 // WALPointSeries renders the durability sweep as figure series, one line
 // per mode over the thread axis.
 func WALPointSeries(size int, points []WALPoint) []Series {
@@ -496,6 +602,8 @@ func FigureTitle(fig int) string {
 		return "Fig. 14: Mixed read/write rate, 1 writer + varying reader threads, database only (ops/s)"
 	case 15:
 		return "Fig. 15: Add rate, snapshot-only vs write-ahead log with group commit, database only (adds/s)"
+	case 16:
+		return "Fig. 16: Add and simple-query rate, SOAP wire vs compact JSON wire, same server (ops/s)"
 	}
 	return fmt.Sprintf("unknown figure %d", fig)
 }
@@ -503,7 +611,7 @@ func FigureTitle(fig int) string {
 // xAxis returns the swept-parameter label of a figure.
 func xAxis(fig int) string {
 	switch fig {
-	case 5, 6, 7, 13, 14, 15:
+	case 5, 6, 7, 13, 14, 15, 16:
 		return "threads"
 	case 8, 9, 10:
 		return "hosts"

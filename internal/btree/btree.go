@@ -72,9 +72,18 @@ func (t *Tree[K, V]) mutable(n *node[K, V]) *node[K, V] {
 		return n
 	}
 	cp := &node[K, V]{cow: t.cow}
-	cp.items = append(make([]item[K, V], 0, cap(n.items)), n.items...)
+	// Size the copy by occupancy, not by the source's capacity: nodes sit
+	// around 2/3 full on average, and a full-capacity copy of every node on
+	// the path is the dominant allocation of a copy-on-write mutation. A
+	// small headroom keeps the common insert-after-copy from growing the
+	// slice again immediately.
+	c := len(n.items) + 4
+	if c > maxItems {
+		c = maxItems
+	}
+	cp.items = append(make([]item[K, V], 0, c), n.items...)
 	if !n.leaf() {
-		cp.children = append(make([]*node[K, V], 0, cap(n.children)), n.children...)
+		cp.children = append(make([]*node[K, V], 0, len(n.children)+4), n.children...)
 	}
 	return cp
 }

@@ -1,0 +1,269 @@
+package jsonwire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mcs/internal/obs"
+)
+
+// Client issues JSON API calls to a single endpoint over HTTP.
+//
+// Each Client owns its own http.Client and connection pool by default, so
+// benchmark harnesses can model independent "client hosts" by constructing
+// one Client per simulated host. Field semantics mirror soap.Client exactly;
+// the top-level mcs.Client points both wire clients at one shared pool and
+// header set so functional options apply to whichever transport is selected.
+type Client struct {
+	// Endpoint is the service base URL; operations POST to
+	// Endpoint + "/api/v1/<op>".
+	Endpoint string
+	HTTP     *http.Client
+	// Sign, when set, is called with the serialized body and may add
+	// authentication headers (the gsi package provides an implementation).
+	Sign func(req *http.Request, body []byte) error
+	// Header holds extra headers attached to every request (e.g. CAS
+	// capability assertions).
+	Header http.Header
+	// RequestIDHeader names the header carrying the per-call correlation
+	// ID (default obs.RequestIDHeader). Set it to "" to disable request-ID
+	// propagation entirely.
+	RequestIDHeader string
+	// NewRequestID generates a correlation ID for calls that do not carry
+	// one already; nil uses obs.NewRequestID.
+	NewRequestID func() string
+}
+
+// NewClient returns a client for endpoint with a dedicated connection pool.
+func NewClient(endpoint string) *Client {
+	return &Client{
+		Endpoint: strings.TrimSuffix(endpoint, "/"),
+		HTTP: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+			},
+		},
+		RequestIDHeader: obs.RequestIDHeader,
+	}
+}
+
+// TransportError reports a JSON API call that failed without a decodable
+// reply: the request never completed, the connection dropped mid-body, or a
+// non-JSON intermediary answered. Status and Body carry whatever did arrive
+// — identical diagnostics to the SOAP wire's soap.TransportError.
+type TransportError struct {
+	Action string
+	Status string // HTTP status line; "" when no response arrived at all
+	Body   string // prefix of the (possibly partial) body
+	Err    error  // underlying cause; nil for a clean non-2xx reply
+}
+
+// Error renders the most specific description the available evidence
+// allows.
+func (e *TransportError) Error() string {
+	switch {
+	case e.Err == nil:
+		return fmt.Sprintf("json: call %s: server returned %s: %q", e.Action, e.Status, e.Body)
+	case e.Status != "":
+		return fmt.Sprintf("json: call %s: response truncated after %s: %v (partial body %q)",
+			e.Action, e.Status, e.Err, e.Body)
+	default:
+		return fmt.Sprintf("json: call %s: %v", e.Action, e.Err)
+	}
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Call performs one round trip with no deadline beyond the client's HTTP
+// timeout. See CallCtx.
+func (c *Client) Call(action string, req, resp any) error {
+	return c.CallCtx(context.Background(), action, req, resp)
+}
+
+// CallCtx performs one JSON request/response round trip. action names the
+// operation (the /api/v1/<action> path), req is marshalled as the request
+// body and the reply is unmarshalled into resp. A server-side error reply is
+// returned as a *Error carrying the wire code.
+func (c *Client) CallCtx(ctx context.Context, action string, req, resp any) error {
+	return c.CallHdrCtx(ctx, action, nil, req, resp)
+}
+
+// CallHdrCtx is CallCtx with extra per-call headers, applied before the
+// automatic request-ID generation so a pinned ID suppresses it. Retry layers
+// use extra to repeat one request ID and idempotency key across every
+// attempt of a logical call.
+func (c *Client) CallHdrCtx(ctx context.Context, action string, extra http.Header, req, resp any) error {
+	httpResp, raw, err := c.roundTrip(ctx, action, extra, req, "")
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode < 200 || httpResp.StatusCode > 299 {
+		// Servers report application errors with a JSON error envelope;
+		// surface those as *Error. Anything else — typically an
+		// intermediary's error page — must not reach the decoder as if it
+		// were a reply, so quote the status and a body prefix instead.
+		if werr := decodeError(raw); werr != nil {
+			return werr
+		}
+		return &TransportError{Action: action, Status: httpResp.Status, Body: bodyPrefix(raw)}
+	}
+	if resp != nil {
+		if err := json.Unmarshal(raw, resp); err != nil {
+			return fmt.Errorf("json: decode %s reply: %w", action, err)
+		}
+	}
+	return nil
+}
+
+// StreamCtx performs one streamed (NDJSON) call: rows are decoded into a
+// fresh value from newRow and handed to row as they arrive, so arbitrarily
+// large results never materialize client-side either. The server terminates
+// a successful stream with {"end":true}; a stream that ends without the
+// terminator was severed mid-flight and returns a *TransportError.
+func (c *Client) StreamCtx(ctx context.Context, action string, extra http.Header, req any,
+	newRow func() any, row func(any) error) error {
+	httpResp, _, err := c.roundTrip(ctx, action, extra, req, "ndjson")
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode < 200 || httpResp.StatusCode > 299 {
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+		if werr := decodeError(raw); werr != nil {
+			return werr
+		}
+		return &TransportError{Action: action, Status: httpResp.Status, Body: bodyPrefix(raw)}
+	}
+	sc := bufio.NewScanner(httpResp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Error *Error `json:"error"`
+			End   bool   `json:"end"`
+		}
+		if err := json.Unmarshal(line, &probe); err == nil {
+			if probe.Error != nil {
+				return probe.Error
+			}
+			if probe.End {
+				return nil
+			}
+		}
+		r := newRow()
+		if err := json.Unmarshal(line, r); err != nil {
+			return fmt.Errorf("json: decode %s stream row: %w", action, err)
+		}
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	err = sc.Err()
+	// EOF without the {"end":true} terminator: the connection was severed
+	// mid-stream and the result may be incomplete.
+	return &TransportError{Action: action, Status: httpResp.Status, Err: fmt.Errorf("stream ended without terminator: %w", orEOF(err))}
+}
+
+// orEOF substitutes io.ErrUnexpectedEOF for a nil scanner error so the
+// truncation always carries a cause.
+func orEOF(err error) error {
+	if err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// roundTrip builds and issues one request. For unary calls (stream == "")
+// the body is fully read and the response is closed; for streamed calls the
+// open response is returned with a nil body slice.
+func (c *Client) roundTrip(ctx context.Context, action string, extra http.Header, req any, stream string) (*http.Response, []byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("json: marshal %s request: %w", action, err)
+	}
+	url := c.Endpoint + Prefix + action
+	if stream != "" {
+		url += "?stream=" + stream
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, fmt.Errorf("json: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if stream != "" {
+		httpReq.Header.Set("Accept", "application/x-ndjson")
+	}
+	for k, vals := range c.Header {
+		for _, v := range vals {
+			httpReq.Header.Add(k, v)
+		}
+	}
+	for k, vals := range extra {
+		httpReq.Header.Del(k)
+		for _, v := range vals {
+			httpReq.Header.Add(k, v)
+		}
+	}
+	if c.RequestIDHeader != "" && httpReq.Header.Get(c.RequestIDHeader) == "" {
+		gen := c.NewRequestID
+		if gen == nil {
+			gen = obs.NewRequestID
+		}
+		httpReq.Header.Set(c.RequestIDHeader, gen())
+	}
+	if c.Sign != nil {
+		if err := c.Sign(httpReq, payload); err != nil {
+			return nil, nil, fmt.Errorf("json: sign request: %w", err)
+		}
+	}
+	httpResp, err := c.HTTP.Do(httpReq)
+	if err != nil {
+		return nil, nil, &TransportError{Action: action, Err: err}
+	}
+	if stream != "" {
+		return httpResp, nil, nil
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		// The connection dropped mid-body. The status line and whatever
+		// bytes did arrive are still diagnostic gold, so carry them.
+		return nil, nil, &TransportError{
+			Action: action, Status: httpResp.Status, Body: bodyPrefix(raw), Err: err,
+		}
+	}
+	return httpResp, raw, nil
+}
+
+// decodeError extracts a wire error envelope from an error reply body, or
+// nil when the body is not a decodable envelope.
+func decodeError(raw []byte) *Error {
+	var env errEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil || env.Error.Code == "" {
+		return nil
+	}
+	return env.Error
+}
+
+// bodyPrefix returns the leading bytes of a response body for error
+// messages, truncating long bodies.
+func bodyPrefix(raw []byte) string {
+	const max = 256
+	if len(raw) > max {
+		return string(raw[:max]) + "..."
+	}
+	return string(raw)
+}

@@ -1,0 +1,384 @@
+// Package jsonwire is the compact JSON-over-HTTP wire of the Metadata
+// Catalog Service: the same operations, sentinel mapping and correlation
+// headers as the SOAP endpoint, minus the XML envelope cost. Both wires
+// mount the same transport-neutral dispatch table (mcswire.Table), so an
+// operation registered once is served identically over either encoding.
+//
+// Requests POST a JSON body to /api/v1/<op>; replies are the bare response
+// object. Errors carry {"error":{"code","message"}} where code is the same
+// "Server.<Sentinel>" string the SOAP fault code carries, so the client maps
+// both wires onto one sentinel table. Streamable operations (query) can ask
+// for application/x-ndjson and receive rows one line at a time, terminated
+// by {"end":true} — a missing terminator is a truncated reply.
+package jsonwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mcs/internal/faultinject"
+	"mcs/internal/mcswire"
+	"mcs/internal/obs"
+)
+
+// Prefix is the URL prefix all JSON API operations live under.
+const Prefix = "/api/v1/"
+
+// TransportLabel tags this wire's metrics ({transport="json"}).
+const TransportLabel = "json"
+
+// Authenticator verifies a request before dispatch and returns the caller's
+// DN. Structurally identical to soap.Authenticator, so one gsi.Verifier
+// serves both wires.
+type Authenticator interface {
+	Authenticate(r *http.Request, body []byte) (dn string, err error)
+}
+
+// Error is an application error carried over the JSON wire: the counterpart
+// of a SOAP fault. Code uses the same "Server.<Sentinel>" suffix convention
+// as SOAP fault codes, so one code→sentinel table decodes both wires.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error renders the server's message (the code travels for errors.Is
+// mapping, not for display).
+func (e *Error) Error() string { return e.Message }
+
+// errEnvelope is the JSON error reply shape.
+type errEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// Server dispatches JSON API requests to the operations of a shared
+// transport-neutral table. It implements http.Handler for paths under
+// Prefix.
+type Server struct {
+	mu      sync.RWMutex
+	table   *mcswire.Table
+	auth    Authenticator
+	metrics *obs.Registry
+	slow    *obs.SlowOpLog
+	faults  *faultinject.Injector
+	// errorCode maps a handler error to a code suffix (e.g. "NotFound" →
+	// "Server.NotFound"); empty means plain "Server".
+	errorCode func(error) string
+}
+
+// NewServer returns a JSON wire server over the given dispatch table.
+func NewServer(table *mcswire.Table) *Server {
+	return &Server{table: table}
+}
+
+// SetAuthenticator installs a request authenticator; nil disables auth.
+func (s *Server) SetAuthenticator(a Authenticator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auth = a
+}
+
+// SetMetrics installs a metrics registry recording every dispatch under the
+// "json" transport label; nil disables instrumentation.
+func (s *Server) SetMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = r
+}
+
+// SetSlowOpLog installs a slow-operation log; nil disables it.
+func (s *Server) SetSlowOpLog(l *obs.SlowOpLog) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slow = l
+}
+
+// SetFaultInjector installs a chaos fault injector evaluated at the
+// dispatch, after and transport sites of every call, exactly as on the SOAP
+// wire; nil disables injection.
+func (s *Server) SetFaultInjector(in *faultinject.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = in
+}
+
+// SetErrorCode installs the error→code mapping used when handlers fail; nil
+// restores the plain "Server" code.
+func (s *Server) SetErrorCode(fn func(error) string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errorCode = fn
+}
+
+// malformed counts one pre-dispatch rejection when metrics are enabled.
+func (s *Server) malformed(m *obs.Registry) {
+	if m != nil {
+		m.Malformed()
+	}
+}
+
+// wantsStream reports whether the request asked for an NDJSON streamed
+// reply (Accept: application/x-ndjson or ?stream=ndjson / ?stream=1).
+func wantsStream(r *http.Request) bool {
+	if v := r.URL.Query().Get("stream"); v == "ndjson" || v == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// ServeHTTP implements http.Handler: POST /api/v1/<op> dispatches an
+// operation; GET /api/v1/ lists the registered operations.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	auth, metrics, slow, inj := s.auth, s.metrics, s.slow, s.faults
+	s.mu.RUnlock()
+
+	if !strings.HasPrefix(r.URL.Path, Prefix) {
+		http.NotFound(w, r)
+		return
+	}
+	op := strings.TrimPrefix(r.URL.Path, Prefix)
+
+	if r.Method == http.MethodGet {
+		if op == "" || op == "ops" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct { //nolint:errcheck // best-effort response write
+				Ops []string `json:"ops"`
+			}{Ops: s.table.Ops()})
+			return
+		}
+		http.Error(w, "MCS JSON endpoint; POST JSON requests to /api/v1/<op>", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	// Correlate the call exactly as the SOAP wire does: accept the client's
+	// request ID or mint one, and echo it back.
+	reqID := r.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		s.malformed(metrics)
+		s.writeError(w, "Client", fmt.Sprintf("read request: %v", err), http.StatusBadRequest)
+		return
+	}
+	ctx := &mcswire.Ctx{
+		RemoteAddr:     r.RemoteAddr,
+		Header:         r.Header,
+		RequestID:      reqID,
+		IdempotencyKey: r.Header.Get(obs.IdempotencyKeyHeader),
+		Transport:      TransportLabel,
+	}
+	if auth != nil {
+		dn, err := auth.Authenticate(r, raw)
+		if err != nil {
+			s.malformed(metrics)
+			s.writeError(w, "Client.Authentication", err.Error(), http.StatusUnauthorized)
+			return
+		}
+		ctx.DN = dn
+	}
+
+	h := s.table.Lookup(op)
+	if h == nil {
+		s.malformed(metrics)
+		s.writeError(w, "Client", fmt.Sprintf("unknown operation %q", op), http.StatusNotFound)
+		return
+	}
+	req := h.New()
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, req); err != nil {
+			s.malformed(metrics)
+			s.writeError(w, "Client", fmt.Sprintf("decode %s request: %v", op, err), http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Dispatch-site injection: the call fails before its handler runs.
+	if f := s.inject(inj, metrics, faultinject.SiteDispatch, op, reqID); f != nil {
+		switch f.Kind {
+		case faultinject.KindLatency:
+			// Slow dispatch only; the handler still runs below.
+		case faultinject.KindDrop:
+			panic(http.ErrAbortHandler)
+		default:
+			s.writeError(w, s.code(f.Err),
+				fmt.Sprintf("injected %s fault before %s: %v", f.Kind, op, f.Err), http.StatusInternalServerError)
+			return
+		}
+	}
+
+	if h.Stream != nil && wantsStream(r) {
+		s.serveStream(w, h, ctx, req, metrics, slow, reqID)
+		return
+	}
+
+	var om *obs.OpMetrics
+	if metrics != nil {
+		om = metrics.TransportOp(TransportLabel, op)
+		om.Begin()
+	}
+	start := time.Now()
+	resp, err := h.Call(ctx, req)
+	elapsed := time.Since(start)
+	if om != nil {
+		om.End(elapsed, err)
+	}
+	slow.Record(op, reqID, ctx.DN, elapsed, err)
+
+	if err != nil {
+		s.writeError(w, s.code(err), err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	// After-site injection: the handler has run (and committed) but the
+	// reply is lost. Only an idempotent retry recovers from this one.
+	if f := s.inject(inj, metrics, faultinject.SiteAfter, op, reqID); f != nil {
+		switch f.Kind {
+		case faultinject.KindLatency:
+		case faultinject.KindDrop:
+			panic(http.ErrAbortHandler)
+		default:
+			s.writeError(w, s.code(f.Err),
+				fmt.Sprintf("injected %s fault after %s: %v", f.Kind, op, f.Err), http.StatusInternalServerError)
+			return
+		}
+	}
+
+	out, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, "Server", err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	// Transport-site injection: the response write itself misbehaves.
+	if f := s.inject(inj, metrics, faultinject.SiteTransport, op, reqID); f != nil {
+		switch f.Kind {
+		case faultinject.KindDrop:
+			panic(http.ErrAbortHandler)
+		case faultinject.KindPartial:
+			// Advertise the full length, deliver a prefix, sever the
+			// connection — the client's body read fails mid-stream with the
+			// status line already in hand.
+			n := f.TruncateAt
+			if n <= 0 || n >= len(out) {
+				n = len(out) / 2
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+			w.Write(out[:n]) //nolint:errcheck // deliberately truncated write
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		case faultinject.KindError:
+			s.writeError(w, s.code(f.Err),
+				fmt.Sprintf("injected error fault writing %s reply: %v", op, f.Err), http.StatusInternalServerError)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out) //nolint:errcheck // best-effort response write
+}
+
+// serveStream answers one streamable operation as NDJSON: one JSON object
+// per row, flushed in small batches, terminated by {"end":true}. Rows are
+// emitted as the handler produces them, so the reply never materializes
+// server-side. An error before the first row is an ordinary error reply; an
+// error mid-stream becomes a {"error":...} line, distinguishable from a
+// severed connection by the missing terminator.
+func (s *Server) serveStream(w http.ResponseWriter, h *mcswire.Handler, ctx *mcswire.Ctx, req any,
+	metrics *obs.Registry, slow *obs.SlowOpLog, reqID string) {
+	var om *obs.OpMetrics
+	if metrics != nil {
+		om = metrics.TransportOp(TransportLabel, h.Name)
+		om.Begin()
+	}
+	start := time.Now()
+
+	const flushEvery = 64
+	wrote := 0
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(row any) error {
+		if wrote == 0 {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+		wrote++
+		if fl != nil && wrote%flushEvery == 0 {
+			fl.Flush()
+		}
+		return nil
+	}
+	err := h.Stream(ctx, req, emit)
+	elapsed := time.Since(start)
+	if om != nil {
+		om.End(elapsed, err)
+	}
+	slow.Record(h.Name, reqID, ctx.DN, elapsed, err)
+
+	if err != nil {
+		if wrote == 0 {
+			s.writeError(w, s.code(err), err.Error(), http.StatusInternalServerError)
+			return
+		}
+		enc.Encode(errEnvelope{Error: &Error{Code: s.code(err), Message: err.Error()}}) //nolint:errcheck // best-effort trailer
+		return
+	}
+	enc.Encode(struct { //nolint:errcheck // best-effort terminator
+		End bool `json:"end"`
+	}{End: true})
+}
+
+// inject evaluates one fault site, counting the injection and applying any
+// latency component; the caller applies the fault's visible effect.
+func (s *Server) inject(inj *faultinject.Injector, m *obs.Registry, site faultinject.Site, op, reqID string) *faultinject.Fault {
+	f := inj.Eval(site, op, reqID)
+	if f == nil {
+		return nil
+	}
+	if m != nil {
+		m.FaultInjected(string(site))
+	}
+	if f.Delay > 0 {
+		inj.Sleep(f.Delay)
+	}
+	return f
+}
+
+// code renders the error code for a handler error, consulting the installed
+// error→code mapping.
+func (s *Server) code(err error) string {
+	s.mu.RLock()
+	fn := s.errorCode
+	s.mu.RUnlock()
+	if fn != nil {
+		if suffix := fn(err); suffix != "" {
+			return "Server." + suffix
+		}
+	}
+	return "Server"
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code, msg string, status int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errEnvelope{Error: &Error{Code: code, Message: msg}}) //nolint:errcheck // best-effort response write
+}

@@ -12,73 +12,73 @@ import (
 // WireBatchCreate is a batched createFile (same fields as CreateFileRequest
 // minus the envelope).
 type WireBatchCreate struct {
-	Name             string     `xml:"name"`
-	Version          int        `xml:"version,omitempty"`
-	DataType         string     `xml:"dataType,omitempty"`
-	Collection       string     `xml:"collection,omitempty"`
-	ContainerID      string     `xml:"containerId,omitempty"`
-	ContainerService string     `xml:"containerService,omitempty"`
-	MasterCopy       string     `xml:"masterCopy,omitempty"`
-	Audited          bool       `xml:"audited,omitempty"`
-	Provenance       string     `xml:"provenance,omitempty"`
-	Attributes       []WireAttr `xml:"attributes>attribute"`
+	Name             string     `xml:"name" json:"name"`
+	Version          int        `xml:"version,omitempty" json:"version,omitempty"`
+	DataType         string     `xml:"dataType,omitempty" json:"dataType,omitempty"`
+	Collection       string     `xml:"collection,omitempty" json:"collection,omitempty"`
+	ContainerID      string     `xml:"containerId,omitempty" json:"containerId,omitempty"`
+	ContainerService string     `xml:"containerService,omitempty" json:"containerService,omitempty"`
+	MasterCopy       string     `xml:"masterCopy,omitempty" json:"masterCopy,omitempty"`
+	Audited          bool       `xml:"audited,omitempty" json:"audited,omitempty"`
+	Provenance       string     `xml:"provenance,omitempty" json:"provenance,omitempty"`
+	Attributes       []WireAttr `xml:"attributes>attribute" json:"attributes"`
 }
 
 // WireBatchUpdate is a batched updateFile; the Set* flags distinguish
 // clearing a value from leaving it unchanged, as in UpdateFileRequest.
 type WireBatchUpdate struct {
-	Name                string `xml:"name"`
-	Version             int    `xml:"version,omitempty"`
-	SetDataType         bool   `xml:"setDataType"`
-	DataType            string `xml:"dataType,omitempty"`
-	SetValid            bool   `xml:"setValid"`
-	Valid               bool   `xml:"valid,omitempty"`
-	SetContainerID      bool   `xml:"setContainerId"`
-	ContainerID         string `xml:"containerId,omitempty"`
-	SetContainerService bool   `xml:"setContainerService"`
-	ContainerService    string `xml:"containerService,omitempty"`
-	SetMasterCopy       bool   `xml:"setMasterCopy"`
-	MasterCopy          string `xml:"masterCopy,omitempty"`
+	Name                string `xml:"name" json:"name"`
+	Version             int    `xml:"version,omitempty" json:"version,omitempty"`
+	SetDataType         bool   `xml:"setDataType" json:"setDataType"`
+	DataType            string `xml:"dataType,omitempty" json:"dataType,omitempty"`
+	SetValid            bool   `xml:"setValid" json:"setValid"`
+	Valid               bool   `xml:"valid,omitempty" json:"valid,omitempty"`
+	SetContainerID      bool   `xml:"setContainerId" json:"setContainerId"`
+	ContainerID         string `xml:"containerId,omitempty" json:"containerId,omitempty"`
+	SetContainerService bool   `xml:"setContainerService" json:"setContainerService"`
+	ContainerService    string `xml:"containerService,omitempty" json:"containerService,omitempty"`
+	SetMasterCopy       bool   `xml:"setMasterCopy" json:"setMasterCopy"`
+	MasterCopy          string `xml:"masterCopy,omitempty" json:"masterCopy,omitempty"`
 }
 
 // WireBatchDelete is a batched deleteFile.
 type WireBatchDelete struct {
-	Name    string `xml:"name"`
-	Version int    `xml:"version,omitempty"`
+	Name    string `xml:"name" json:"name"`
+	Version int    `xml:"version,omitempty" json:"version,omitempty"`
 }
 
 // WireBatchSetAttr is a batched setAttribute.
 type WireBatchSetAttr struct {
-	ObjectType string   `xml:"objectType"`
-	Object     string   `xml:"object"`
-	Attribute  WireAttr `xml:"attribute"`
+	ObjectType string   `xml:"objectType" json:"objectType"`
+	Object     string   `xml:"object" json:"object"`
+	Attribute  WireAttr `xml:"attribute" json:"attribute"`
 }
 
 // WireBatchAnnotate is a batched annotate.
 type WireBatchAnnotate struct {
-	ObjectType string `xml:"objectType"`
-	Object     string `xml:"object"`
-	Text       string `xml:"text"`
+	ObjectType string `xml:"objectType" json:"objectType"`
+	Object     string `xml:"object" json:"object"`
+	Text       string `xml:"text" json:"text"`
 }
 
 // WireBatchOp is one mutation in a batchWrite; exactly one member element is
 // present.
 type WireBatchOp struct {
-	Create   *WireBatchCreate   `xml:"create"`
-	Update   *WireBatchUpdate   `xml:"update"`
-	Delete   *WireBatchDelete   `xml:"delete"`
-	SetAttr  *WireBatchSetAttr  `xml:"setAttribute"`
-	Annotate *WireBatchAnnotate `xml:"annotate"`
+	Create   *WireBatchCreate   `xml:"create" json:"create"`
+	Update   *WireBatchUpdate   `xml:"update" json:"update"`
+	Delete   *WireBatchDelete   `xml:"delete" json:"delete"`
+	SetAttr  *WireBatchSetAttr  `xml:"setAttribute" json:"setAttribute"`
+	Annotate *WireBatchAnnotate `xml:"annotate" json:"annotate"`
 }
 
 // BatchWriteRequest applies a sequence of mutations in one transaction.
 // Quiet suppresses the per-op results: bulk loaders that never read the acks
 // save serializing, shipping and parsing one result element per op.
 type BatchWriteRequest struct {
-	XMLName xml.Name      `xml:"urn:mcs batchWrite"`
-	Caller  string        `xml:"caller,omitempty"`
-	Quiet   bool          `xml:"quiet,omitempty"`
-	Ops     []WireBatchOp `xml:"ops>op"`
+	XMLName xml.Name      `xml:"urn:mcs batchWrite" json:"-"`
+	Caller  string        `xml:"caller,omitempty" json:"caller,omitempty"`
+	Quiet   bool          `xml:"quiet,omitempty" json:"quiet,omitempty"`
+	Ops     []WireBatchOp `xml:"ops>op" json:"ops"`
 }
 
 // WireBatchResult is the outcome of one op in a committed batch. Results are
@@ -86,17 +86,17 @@ type BatchWriteRequest struct {
 // — rather than full file echoes: serializing N WireFiles back would cost as
 // much XML as the request itself and defeat the point of batching.
 type WireBatchResult struct {
-	Action  string `xml:"action"`
-	ID      int64  `xml:"id,omitempty"`
-	Version int    `xml:"version,omitempty"`
+	Action  string `xml:"action" json:"action"`
+	ID      int64  `xml:"id,omitempty" json:"id,omitempty"`
+	Version int    `xml:"version,omitempty" json:"version,omitempty"`
 }
 
 // BatchWriteResponse returns one result per op, in request order. Count is
 // the number of ops applied; quiet batches return only the count.
 type BatchWriteResponse struct {
-	XMLName xml.Name          `xml:"urn:mcs batchWriteResponse"`
-	Count   int               `xml:"count"`
-	Results []WireBatchResult `xml:"results>result"`
+	XMLName xml.Name          `xml:"urn:mcs batchWriteResponse" json:"-"`
+	Count   int               `xml:"count" json:"count"`
+	Results []WireBatchResult `xml:"results>result" json:"results"`
 }
 
 // BatchOpToWire converts a core batch op to its wire form.
@@ -210,38 +210,38 @@ func BatchOpFromWire(w WireBatchOp) (core.BatchOp, error) {
 // QueryPageRequest runs a discovery query returning one bounded page of
 // names plus a continuation token.
 type QueryPageRequest struct {
-	XMLName    xml.Name        `xml:"urn:mcs queryPage"`
-	Caller     string          `xml:"caller,omitempty"`
-	Target     string          `xml:"target,omitempty"`
-	Predicates []WirePredicate `xml:"predicates>predicate"`
-	PageSize   int             `xml:"pageSize,omitempty"`
-	Token      string          `xml:"token,omitempty"`
+	XMLName    xml.Name        `xml:"urn:mcs queryPage" json:"-"`
+	Caller     string          `xml:"caller,omitempty" json:"caller,omitempty"`
+	Target     string          `xml:"target,omitempty" json:"target,omitempty"`
+	Predicates []WirePredicate `xml:"predicates>predicate" json:"predicates"`
+	PageSize   int             `xml:"pageSize,omitempty" json:"pageSize,omitempty"`
+	Token      string          `xml:"token,omitempty" json:"token,omitempty"`
 }
 
 // QueryPageResponse returns one page of matching names. Next is the token
 // for the following page; "" means the scan is complete. A page may be
 // shorter than pageSize (authorization filtering) while Next is non-empty.
 type QueryPageResponse struct {
-	XMLName xml.Name `xml:"urn:mcs queryPageResponse"`
-	Names   []string `xml:"names>name"`
-	Next    string   `xml:"next,omitempty"`
+	XMLName xml.Name `xml:"urn:mcs queryPageResponse" json:"-"`
+	Names   []string `xml:"names>name" json:"names"`
+	Next    string   `xml:"next,omitempty" json:"next,omitempty"`
 }
 
 // CollectionContentsPageRequest lists one bounded page of a collection's
 // direct members.
 type CollectionContentsPageRequest struct {
-	XMLName  xml.Name `xml:"urn:mcs collectionContentsPage"`
-	Caller   string   `xml:"caller,omitempty"`
-	Name     string   `xml:"name"`
-	PageSize int      `xml:"pageSize,omitempty"`
-	Token    string   `xml:"token,omitempty"`
+	XMLName  xml.Name `xml:"urn:mcs collectionContentsPage" json:"-"`
+	Caller   string   `xml:"caller,omitempty" json:"caller,omitempty"`
+	Name     string   `xml:"name" json:"name"`
+	PageSize int      `xml:"pageSize,omitempty" json:"pageSize,omitempty"`
+	Token    string   `xml:"token,omitempty" json:"token,omitempty"`
 }
 
 // CollectionContentsPageResponse returns one page of members
 // (sub-collections first, then files) and a continuation token.
 type CollectionContentsPageResponse struct {
-	XMLName        xml.Name         `xml:"urn:mcs collectionContentsPageResponse"`
-	Files          []WireFile       `xml:"files>file"`
-	SubCollections []WireCollection `xml:"subCollections>collection"`
-	Next           string           `xml:"next,omitempty"`
+	XMLName        xml.Name         `xml:"urn:mcs collectionContentsPageResponse" json:"-"`
+	Files          []WireFile       `xml:"files>file" json:"files"`
+	SubCollections []WireCollection `xml:"subCollections>collection" json:"subCollections"`
+	Next           string           `xml:"next,omitempty" json:"next,omitempty"`
 }

@@ -14,15 +14,22 @@ import (
 // atomically; a single OpMetrics is shared by every request dispatching the
 // operation.
 type OpMetrics struct {
-	name     string
-	requests atomic.Int64
-	errors   atomic.Int64
-	inflight atomic.Int64
-	latency  Histogram
+	name string
+	// transport labels the wire that carried the operation ("json"); ""
+	// (the default SOAP path) keeps the label off rendered metrics so
+	// long-standing dashboards and scrapes stay stable.
+	transport string
+	requests  atomic.Int64
+	errors    atomic.Int64
+	inflight  atomic.Int64
+	latency   Histogram
 }
 
 // Name returns the operation name.
 func (m *OpMetrics) Name() string { return m.name }
+
+// Transport returns the wire label, "" for the default (SOAP) path.
+func (m *OpMetrics) Transport() string { return m.transport }
 
 // Requests returns the number of dispatches (including failed ones).
 func (m *OpMetrics) Requests() int64 { return m.requests.Load() }
@@ -134,21 +141,33 @@ func (r *Registry) BatchSizes() *SizeDist { return &r.batchSizes }
 // PageSizes returns the distribution of entries per page.
 func (r *Registry) PageSizes() *SizeDist { return &r.pageSizes }
 
-// Op returns the metrics of the named operation, creating them on first use.
+// Op returns the metrics of the named operation on the default (SOAP)
+// transport, creating them on first use.
 func (r *Registry) Op(name string) *OpMetrics {
+	return r.TransportOp("", name)
+}
+
+// TransportOp returns the metrics of the named operation on the labeled
+// transport, creating them on first use. The empty transport is the default
+// (SOAP) path and renders without a transport label.
+func (r *Registry) TransportOp(transport, name string) *OpMetrics {
+	key := name
+	if transport != "" {
+		key = transport + "\x00" + name
+	}
 	r.mu.RLock()
-	m, ok := r.ops[name]
+	m, ok := r.ops[key]
 	r.mu.RUnlock()
 	if ok {
 		return m
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok = r.ops[name]; ok {
+	if m, ok = r.ops[key]; ok {
 		return m
 	}
-	m = &OpMetrics{name: name}
-	r.ops[name] = m
+	m = &OpMetrics{name: name, transport: transport}
+	r.ops[key] = m
 	return m
 }
 
@@ -217,8 +236,31 @@ func (r *Registry) Ops() []*OpMetrics {
 	for _, m := range r.ops {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].transport < out[j].transport
+	})
 	return out
+}
+
+// opKey names one (operation, transport) pair in JSON renderings: the bare
+// operation name on the default path, "transport:name" otherwise.
+func opKey(m *OpMetrics) string {
+	if m.transport == "" {
+		return m.name
+	}
+	return m.transport + ":" + m.name
+}
+
+// opLabels renders the Prometheus label set of one (operation, transport)
+// pair; the default path keeps the historical single-label form.
+func opLabels(m *OpMetrics) string {
+	if m.transport == "" {
+		return fmt.Sprintf("op=%q", m.name)
+	}
+	return fmt.Sprintf("op=%q,transport=%q", m.name, m.transport)
 }
 
 // opSnapshot is the JSON shape of one operation's metrics.
@@ -266,7 +308,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		Operations:    make(map[string]opSnapshot),
 	}
 	for _, m := range r.Ops() {
-		body.Operations[m.name] = opSnapshot{
+		body.Operations[opKey(m)] = opSnapshot{
 			Requests: m.Requests(),
 			Errors:   m.Errors(),
 			InFlight: m.InFlight(),
@@ -291,17 +333,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
-	p("# HELP mcs_requests_total SOAP operations dispatched.\n# TYPE mcs_requests_total counter\n")
+	p("# HELP mcs_requests_total Operations dispatched.\n# TYPE mcs_requests_total counter\n")
 	for _, m := range r.Ops() {
-		p("mcs_requests_total{op=%q} %d\n", m.name, m.Requests())
+		p("mcs_requests_total{%s} %d\n", opLabels(m), m.Requests())
 	}
-	p("# HELP mcs_errors_total SOAP operations that returned an error.\n# TYPE mcs_errors_total counter\n")
+	p("# HELP mcs_errors_total Operations that returned an error.\n# TYPE mcs_errors_total counter\n")
 	for _, m := range r.Ops() {
-		p("mcs_errors_total{op=%q} %d\n", m.name, m.Errors())
+		p("mcs_errors_total{%s} %d\n", opLabels(m), m.Errors())
 	}
-	p("# HELP mcs_in_flight SOAP operations currently executing.\n# TYPE mcs_in_flight gauge\n")
+	p("# HELP mcs_in_flight Operations currently executing.\n# TYPE mcs_in_flight gauge\n")
 	for _, m := range r.Ops() {
-		p("mcs_in_flight{op=%q} %d\n", m.name, m.InFlight())
+		p("mcs_in_flight{%s} %d\n", opLabels(m), m.InFlight())
 	}
 	p("# HELP mcs_malformed_requests_total Requests rejected before dispatch.\n# TYPE mcs_malformed_requests_total counter\n")
 	p("mcs_malformed_requests_total %d\n", r.malformed.Load())
@@ -328,13 +370,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	p("# HELP mcs_latency_seconds Operation latency.\n# TYPE mcs_latency_seconds histogram\n")
 	for _, m := range r.Ops() {
 		cum := m.latency.Buckets()
+		labels := opLabels(m)
 		for i := 0; i < NumBuckets; i++ {
-			p("mcs_latency_seconds_bucket{op=%q,le=\"%g\"} %d\n",
-				m.name, BucketBound(i).Seconds(), cum[i])
+			p("mcs_latency_seconds_bucket{%s,le=\"%g\"} %d\n",
+				labels, BucketBound(i).Seconds(), cum[i])
 		}
-		p("mcs_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", m.name, cum[NumBuckets])
-		p("mcs_latency_seconds_sum{op=%q} %g\n", m.name, m.latency.Sum().Seconds())
-		p("mcs_latency_seconds_count{op=%q} %d\n", m.name, m.latency.Count())
+		p("mcs_latency_seconds_bucket{%s,le=\"+Inf\"} %d\n", labels, cum[NumBuckets])
+		p("mcs_latency_seconds_sum{%s} %g\n", labels, m.latency.Sum().Seconds())
+		p("mcs_latency_seconds_count{%s} %d\n", labels, m.latency.Count())
 	}
 	return err
 }

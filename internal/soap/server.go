@@ -138,6 +138,25 @@ func Handle[Req, Resp any](s *Server, name string, fn func(ctx *Ctx, req *Req) (
 	}
 }
 
+// HandleAny registers a type-erased operation handler, the mount point for
+// transport-neutral dispatch tables: newReq yields a fresh request struct for
+// the decoder and call executes the operation. Handle remains the typed
+// convenience for directly-registered operations.
+func (s *Server) HandleAny(name string, newReq func() any, call func(ctx *Ctx, req any) (any, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ops[name]; dup {
+		panic(fmt.Sprintf("soap: operation %q registered twice", name))
+	}
+	s.ops[name] = func(ctx *Ctx, dec *xml.Decoder, start *xml.StartElement) (any, error) {
+		req := newReq()
+		if err := dec.DecodeElement(req, start); err != nil {
+			return nil, fmt.Errorf("decode %s request: %w", name, err)
+		}
+		return call(ctx, req)
+	}
+}
+
 // Operations returns the sorted operation names (for WSDL generation).
 func (s *Server) Operations() []string {
 	s.mu.RLock()

@@ -68,6 +68,8 @@ func (c *Client) RetryStats() RetryStats {
 // recognize replays and the audit log shows one logical request.
 func (c *Client) callRetry(ctx context.Context, action string, req, resp any) error {
 	hdr := make(http.Header)
+	// Both wire clients share one Header and keep RequestIDHeader in sync
+	// (see NewClient), so reading the SOAP side covers either transport.
 	if h := c.soap.RequestIDHeader; h != "" && c.soap.Header.Get(h) == "" {
 		hdr.Set(h, obs.NewRequestID())
 	}
@@ -90,8 +92,8 @@ func (c *Client) callRetry(ctx context.Context, action string, req, resp any) er
 }
 
 // callOnce performs a single attempt. Retry attempts decode into a fresh
-// response struct — XML decoding appends to slices, and a failed attempt can
-// partially fill resp before erroring — and copy it over resp only on
+// response struct — wire decoding can append to slices, and a failed attempt
+// can partially fill resp before erroring — and copy it over resp only on
 // success, so the caller never sees doubled slice elements or fields left
 // over from a dead attempt.
 func (c *Client) callOnce(ctx context.Context, action string, hdr http.Header, req, resp any, fresh bool) error {
@@ -101,7 +103,7 @@ func (c *Client) callOnce(ctx context.Context, action string, hdr http.Header, r
 	if useFresh {
 		target = reflect.New(rv.Elem().Type()).Interface()
 	}
-	err := c.soap.CallHdrCtx(ctx, action, hdr, req, target)
+	err := c.transport.Call(ctx, action, hdr, req, target)
 	if err == nil && useFresh {
 		rv.Elem().Set(reflect.ValueOf(target).Elem())
 	}

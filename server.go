@@ -19,11 +19,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"mcs/internal/core"
 	"mcs/internal/faultinject"
 	"mcs/internal/gsi"
+	"mcs/internal/jsonwire"
 	"mcs/internal/mcswire"
 	"mcs/internal/obs"
 	"mcs/internal/soap"
@@ -282,6 +284,10 @@ type ServerOptions struct {
 	// wal_appends/wal_fsyncs/wal_replayed counters on /metrics and /statz —
 	// and routes "wal"-site fault-injection rules into it.
 	WAL *WAL
+	// DisableJSONAPI removes the compact JSON wire (/api/v1/<op>), leaving
+	// SOAP as the only operation transport. Both wires serve the same
+	// dispatch table; disabling one never changes the other's behavior.
+	DisableJSONAPI bool
 }
 
 // Server is the MCS web service: a SOAP endpoint in front of a Catalog.
@@ -302,6 +308,8 @@ type Server struct {
 	slow      *obs.SlowOpLog
 	faults    *faultinject.Injector
 	wal       *WAL
+	table     *mcswire.Table
+	json      *jsonwire.Server
 	endpoints bool
 	started   time.Time
 }
@@ -320,12 +328,16 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 // SlowOps returns the server's slow-operation log, or nil when disabled.
 func (s *Server) SlowOps() *obs.SlowOpLog { return s.slow }
 
+// Table returns the transport-neutral dispatch table: every catalog
+// operation, registered exactly once and mounted by both wire servers.
+func (s *Server) Table() *mcswire.Table { return s.table }
+
 // caller resolves the effective identity of a request: the authenticated
 // GSI DN when available, otherwise the client-declared identity (the mode
 // the paper's scalability study ran in). When CAS integration is on and
 // the request bears a valid assertion for this caller covering (right,
 // resource), the operation runs as the community identity instead.
-func (s *Server) caller(ctx *soap.Ctx, declared string, right gsi.Right, resource string) string {
+func (s *Server) caller(ctx *mcswire.Ctx, declared string, right gsi.Right, resource string) string {
 	dn := ctx.DN
 	if dn == "" {
 		dn = declared
@@ -439,6 +451,23 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	}
 	ss.SetErrorCode(faultCodeFor)
 	s.register()
+	if !opts.DisableJSONAPI {
+		js := jsonwire.NewServer(s.table)
+		if opts.TrustStore != nil {
+			js.SetAuthenticator(&gsi.Verifier{Trust: opts.TrustStore})
+		}
+		if s.metrics != nil {
+			js.SetMetrics(s.metrics)
+		}
+		if s.slow != nil {
+			js.SetSlowOpLog(s.slow)
+		}
+		if s.faults != nil {
+			js.SetFaultInjector(s.faults)
+		}
+		js.SetErrorCode(faultCodeFor)
+		s.json = js
+	}
 	return s, nil
 }
 
@@ -447,8 +476,9 @@ func (s *Server) ListenAndServe(addr string) error {
 	return http.ListenAndServe(addr, s)
 }
 
-// ServeHTTP routes the diagnostic endpoints when enabled and hands
-// everything else to the SOAP dispatcher.
+// ServeHTTP routes the diagnostic endpoints when enabled, the JSON API
+// under /api/v1/ unless disabled, and hands everything else to the SOAP
+// dispatcher.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.endpoints {
 		switch r.URL.Path {
@@ -462,6 +492,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.serveStatz(w, r)
 			return
 		}
+	}
+	if s.json != nil && strings.HasPrefix(r.URL.Path, jsonwire.Prefix) {
+		s.json.ServeHTTP(w, r)
+		return
 	}
 	s.Server.ServeHTTP(w, r)
 }
@@ -537,24 +571,82 @@ func (s *Server) serveStatz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handle registers one typed operation handler in the dispatch table,
+// type-erasing it for the wire servers. Mutating comes from the same
+// mutatingActions map the client retry layer consults, so both ends of the
+// wire agree — from one source — on which calls carry idempotency keys.
+func handle[Req, Resp any](t *mcswire.Table, name string, fn func(ctx *mcswire.Ctx, req *Req) (*Resp, error)) {
+	t.Register(mcswire.Handler{
+		Name:     name,
+		Mutating: mutatingActions[name],
+		New:      func() any { return new(Req) },
+		Call: func(ctx *mcswire.Ctx, req any) (any, error) {
+			return fn(ctx, req.(*Req))
+		},
+	})
+}
+
+// mountSOAP serves every dispatch-table operation over the SOAP wire. The
+// SOAP layer owns XML decoding and envelope encoding; the table handler in
+// between is the same one the JSON wire runs.
+func (s *Server) mountSOAP() {
+	for _, name := range s.table.Ops() {
+		h := s.table.Lookup(name)
+		s.Server.HandleAny(h.Name, h.New, func(ctx *soap.Ctx, req any) (any, error) {
+			return h.Call(&mcswire.Ctx{
+				DN: ctx.DN, RemoteAddr: ctx.RemoteAddr, Header: ctx.Header,
+				RequestID: ctx.RequestID, IdempotencyKey: ctx.IdempotencyKey,
+				Transport: "soap",
+			}, req)
+		})
+	}
+}
+
+// queryFromWire converts a wire query (target + string-typed predicates)
+// into a core Query, shared by the query, queryPage and queryAttrs handlers
+// and the streamed query path.
+func queryFromWire(target string, limit int, preds []mcswire.WirePredicate) (Query, error) {
+	q := Query{Target: ObjectType(target), Limit: limit}
+	for _, wp := range preds {
+		v, err := core.ParseAttrValue(AttrType(wp.Type), wp.Value)
+		if err != nil {
+			return Query{}, fmt.Errorf("predicate %q: %w", wp.Attribute, err)
+		}
+		q.Predicates = append(q.Predicates, Predicate{
+			Attribute: wp.Attribute, Op: Op(wp.Op), Value: v,
+		})
+	}
+	return q, nil
+}
+
+// streamPageSize bounds how many result rows a streamed operation holds in
+// memory at once: the server walks the catalog page by page and writes rows
+// out as they surface, so response size never drives server memory.
+const streamPageSize = 512
+
+// register builds the transport-neutral dispatch table — every catalog
+// operation, registered exactly once — and mounts it on the SOAP server.
+// NewServer mounts the same table on the JSON wire.
 func (s *Server) register() {
 	cat := s.catalog
+	t := mcswire.NewTable()
+	s.table = t
 
 	// opOpts threads per-request correlation into every mutating catalog
 	// call: the request ID (audit trail, slow-op log) and the idempotency
 	// key (replay detection for retried writes).
-	opOpts := func(ctx *soap.Ctx) []core.OpOption {
+	opOpts := func(ctx *mcswire.Ctx) []core.OpOption {
 		return []core.OpOption{
 			core.WithRequestID(ctx.RequestID),
 			core.WithIdempotencyKey(ctx.IdempotencyKey),
 		}
 	}
 
-	soap.Handle(s.Server, "ping", func(ctx *soap.Ctx, req *mcswire.PingRequest) (*mcswire.PingResponse, error) {
+	handle(t, "ping", func(ctx *mcswire.Ctx, req *mcswire.PingRequest) (*mcswire.PingResponse, error) {
 		return &mcswire.PingResponse{DN: ctx.DN}, nil
 	})
 
-	soap.Handle(s.Server, "createFile", func(ctx *soap.Ctx, req *mcswire.CreateFileRequest) (*mcswire.CreateFileResponse, error) {
+	handle(t, "createFile", func(ctx *mcswire.Ctx, req *mcswire.CreateFileRequest) (*mcswire.CreateFileResponse, error) {
 		attrs := make([]Attribute, 0, len(req.Attributes))
 		for _, wa := range req.Attributes {
 			a, err := wa.ToCore()
@@ -575,7 +667,7 @@ func (s *Server) register() {
 		return &mcswire.CreateFileResponse{File: mcswire.FileToWire(f)}, nil
 	})
 
-	soap.Handle(s.Server, "getFile", func(ctx *soap.Ctx, req *mcswire.GetFileRequest) (*mcswire.GetFileResponse, error) {
+	handle(t, "getFile", func(ctx *mcswire.Ctx, req *mcswire.GetFileRequest) (*mcswire.GetFileResponse, error) {
 		f, err := cat.GetFile(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name, req.Version)
 		if err != nil {
 			return nil, err
@@ -583,7 +675,7 @@ func (s *Server) register() {
 		return &mcswire.GetFileResponse{File: mcswire.FileToWire(f)}, nil
 	})
 
-	soap.Handle(s.Server, "fileVersions", func(ctx *soap.Ctx, req *mcswire.FileVersionsRequest) (*mcswire.FileVersionsResponse, error) {
+	handle(t, "fileVersions", func(ctx *mcswire.Ctx, req *mcswire.FileVersionsRequest) (*mcswire.FileVersionsResponse, error) {
 		fs, err := cat.FileVersions(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
 		if err != nil {
 			return nil, err
@@ -595,7 +687,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "updateFile", func(ctx *soap.Ctx, req *mcswire.UpdateFileRequest) (*mcswire.UpdateFileResponse, error) {
+	handle(t, "updateFile", func(ctx *mcswire.Ctx, req *mcswire.UpdateFileRequest) (*mcswire.UpdateFileResponse, error) {
 		var upd FileUpdate
 		if req.SetDataType {
 			upd.DataType = &req.DataType
@@ -620,7 +712,7 @@ func (s *Server) register() {
 		return &mcswire.UpdateFileResponse{File: mcswire.FileToWire(f)}, nil
 	})
 
-	soap.Handle(s.Server, "deleteFile", func(ctx *soap.Ctx, req *mcswire.DeleteFileRequest) (*mcswire.DeleteFileResponse, error) {
+	handle(t, "deleteFile", func(ctx *mcswire.Ctx, req *mcswire.DeleteFileRequest) (*mcswire.DeleteFileResponse, error) {
 		if err := cat.DeleteFile(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name, req.Version,
 			opOpts(ctx)...); err != nil {
 			return nil, err
@@ -628,14 +720,14 @@ func (s *Server) register() {
 		return &mcswire.DeleteFileResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "moveFile", func(ctx *soap.Ctx, req *mcswire.MoveFileRequest) (*mcswire.MoveFileResponse, error) {
+	handle(t, "moveFile", func(ctx *mcswire.Ctx, req *mcswire.MoveFileRequest) (*mcswire.MoveFileResponse, error) {
 		if err := cat.MoveFile(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Collection, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.MoveFileResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "batchWrite", func(ctx *soap.Ctx, req *mcswire.BatchWriteRequest) (*mcswire.BatchWriteResponse, error) {
+	handle(t, "batchWrite", func(ctx *mcswire.Ctx, req *mcswire.BatchWriteRequest) (*mcswire.BatchWriteResponse, error) {
 		ops := make([]BatchOp, 0, len(req.Ops))
 		for i, wo := range req.Ops {
 			op, err := mcswire.BatchOpFromWire(wo)
@@ -665,7 +757,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "createCollection", func(ctx *soap.Ctx, req *mcswire.CreateCollectionRequest) (*mcswire.CreateCollectionResponse, error) {
+	handle(t, "createCollection", func(ctx *mcswire.Ctx, req *mcswire.CreateCollectionRequest) (*mcswire.CreateCollectionResponse, error) {
 		attrs := make([]Attribute, 0, len(req.Attributes))
 		for _, wa := range req.Attributes {
 			a, err := wa.ToCore()
@@ -684,7 +776,7 @@ func (s *Server) register() {
 		return &mcswire.CreateCollectionResponse{Collection: mcswire.CollectionToWire(col)}, nil
 	})
 
-	soap.Handle(s.Server, "getCollection", func(ctx *soap.Ctx, req *mcswire.GetCollectionRequest) (*mcswire.GetCollectionResponse, error) {
+	handle(t, "getCollection", func(ctx *mcswire.Ctx, req *mcswire.GetCollectionRequest) (*mcswire.GetCollectionResponse, error) {
 		col, err := cat.GetCollection(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
 		if err != nil {
 			return nil, err
@@ -692,22 +784,56 @@ func (s *Server) register() {
 		return &mcswire.GetCollectionResponse{Collection: mcswire.CollectionToWire(col)}, nil
 	})
 
-	soap.Handle(s.Server, "collectionContents", func(ctx *soap.Ctx, req *mcswire.CollectionContentsRequest) (*mcswire.CollectionContentsResponse, error) {
-		files, subs, err := cat.CollectionContents(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
-		if err != nil {
-			return nil, err
-		}
-		resp := &mcswire.CollectionContentsResponse{}
-		for _, f := range files {
-			resp.Files = append(resp.Files, mcswire.FileToWire(f))
-		}
-		for _, c := range subs {
-			resp.SubCollections = append(resp.SubCollections, mcswire.CollectionToWire(c))
-		}
-		return resp, nil
+	// collectionContents also streams: large collections page through the
+	// catalog and emit one member per row instead of one giant reply.
+	t.Register(mcswire.Handler{
+		Name: "collectionContents",
+		New:  func() any { return new(mcswire.CollectionContentsRequest) },
+		Call: func(ctx *mcswire.Ctx, req any) (any, error) {
+			r := req.(*mcswire.CollectionContentsRequest)
+			files, subs, err := cat.CollectionContents(s.caller(ctx, r.Caller, gsi.RightRead, r.Name), r.Name)
+			if err != nil {
+				return nil, err
+			}
+			resp := &mcswire.CollectionContentsResponse{}
+			for _, f := range files {
+				resp.Files = append(resp.Files, mcswire.FileToWire(f))
+			}
+			for _, c := range subs {
+				resp.SubCollections = append(resp.SubCollections, mcswire.CollectionToWire(c))
+			}
+			return resp, nil
+		},
+		Stream: func(ctx *mcswire.Ctx, req any, emit func(row any) error) error {
+			r := req.(*mcswire.CollectionContentsRequest)
+			who := s.caller(ctx, r.Caller, gsi.RightRead, r.Name)
+			token := ""
+			for {
+				files, subs, next, err := cat.CollectionContentsPage(who, r.Name, streamPageSize, token)
+				if err != nil {
+					return err
+				}
+				for _, f := range files {
+					wf := mcswire.FileToWire(f)
+					if err := emit(mcswire.ContentsRow{File: &wf}); err != nil {
+						return err
+					}
+				}
+				for _, c := range subs {
+					wc := mcswire.CollectionToWire(c)
+					if err := emit(mcswire.ContentsRow{Collection: &wc}); err != nil {
+						return err
+					}
+				}
+				if next == "" {
+					return nil
+				}
+				token = next
+			}
+		},
 	})
 
-	soap.Handle(s.Server, "collectionContentsPage", func(ctx *soap.Ctx, req *mcswire.CollectionContentsPageRequest) (*mcswire.CollectionContentsPageResponse, error) {
+	handle(t, "collectionContentsPage", func(ctx *mcswire.Ctx, req *mcswire.CollectionContentsPageRequest) (*mcswire.CollectionContentsPageResponse, error) {
 		files, subs, next, err := cat.CollectionContentsPage(
 			s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name, req.PageSize, req.Token)
 		if err != nil {
@@ -726,7 +852,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "deleteCollection", func(ctx *soap.Ctx, req *mcswire.DeleteCollectionRequest) (*mcswire.DeleteCollectionResponse, error) {
+	handle(t, "deleteCollection", func(ctx *mcswire.Ctx, req *mcswire.DeleteCollectionRequest) (*mcswire.DeleteCollectionResponse, error) {
 		if err := cat.DeleteCollection(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name,
 			opOpts(ctx)...); err != nil {
 			return nil, err
@@ -734,7 +860,7 @@ func (s *Server) register() {
 		return &mcswire.DeleteCollectionResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "listCollections", func(ctx *soap.Ctx, req *mcswire.ListCollectionsRequest) (*mcswire.ListCollectionsResponse, error) {
+	handle(t, "listCollections", func(ctx *mcswire.Ctx, req *mcswire.ListCollectionsRequest) (*mcswire.ListCollectionsResponse, error) {
 		names, err := cat.ListCollections(s.caller(ctx, req.Caller, gsi.RightRead, ""), req.Pattern)
 		if err != nil {
 			return nil, err
@@ -742,7 +868,7 @@ func (s *Server) register() {
 		return &mcswire.ListCollectionsResponse{Names: names}, nil
 	})
 
-	soap.Handle(s.Server, "createView", func(ctx *soap.Ctx, req *mcswire.CreateViewRequest) (*mcswire.CreateViewResponse, error) {
+	handle(t, "createView", func(ctx *mcswire.Ctx, req *mcswire.CreateViewRequest) (*mcswire.CreateViewResponse, error) {
 		attrs := make([]Attribute, 0, len(req.Attributes))
 		for _, wa := range req.Attributes {
 			a, err := wa.ToCore()
@@ -760,7 +886,7 @@ func (s *Server) register() {
 		return &mcswire.CreateViewResponse{View: mcswire.ViewToWire(v)}, nil
 	})
 
-	soap.Handle(s.Server, "addToView", func(ctx *soap.Ctx, req *mcswire.AddToViewRequest) (*mcswire.AddToViewResponse, error) {
+	handle(t, "addToView", func(ctx *mcswire.Ctx, req *mcswire.AddToViewRequest) (*mcswire.AddToViewResponse, error) {
 		if err := cat.AddToView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member,
 			opOpts(ctx)...); err != nil {
 			return nil, err
@@ -768,14 +894,14 @@ func (s *Server) register() {
 		return &mcswire.AddToViewResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "removeFromView", func(ctx *soap.Ctx, req *mcswire.RemoveFromViewRequest) (*mcswire.RemoveFromViewResponse, error) {
+	handle(t, "removeFromView", func(ctx *mcswire.Ctx, req *mcswire.RemoveFromViewRequest) (*mcswire.RemoveFromViewResponse, error) {
 		if err := cat.RemoveFromView(s.caller(ctx, req.Caller, gsi.RightWrite, req.View), req.View, ObjectType(req.ObjectType), req.Member, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.RemoveFromViewResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "viewContents", func(ctx *soap.Ctx, req *mcswire.ViewContentsRequest) (*mcswire.ViewContentsResponse, error) {
+	handle(t, "viewContents", func(ctx *mcswire.Ctx, req *mcswire.ViewContentsRequest) (*mcswire.ViewContentsResponse, error) {
 		members, err := cat.ViewContents(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
 		if err != nil {
 			return nil, err
@@ -789,7 +915,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "expandView", func(ctx *soap.Ctx, req *mcswire.ExpandViewRequest) (*mcswire.ExpandViewResponse, error) {
+	handle(t, "expandView", func(ctx *mcswire.Ctx, req *mcswire.ExpandViewRequest) (*mcswire.ExpandViewResponse, error) {
 		names, err := cat.ExpandView(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name)
 		if err != nil {
 			return nil, err
@@ -797,7 +923,7 @@ func (s *Server) register() {
 		return &mcswire.ExpandViewResponse{Names: names}, nil
 	})
 
-	soap.Handle(s.Server, "deleteView", func(ctx *soap.Ctx, req *mcswire.DeleteViewRequest) (*mcswire.DeleteViewResponse, error) {
+	handle(t, "deleteView", func(ctx *mcswire.Ctx, req *mcswire.DeleteViewRequest) (*mcswire.DeleteViewResponse, error) {
 		if err := cat.DeleteView(s.caller(ctx, req.Caller, gsi.RightDelete, req.Name), req.Name,
 			opOpts(ctx)...); err != nil {
 			return nil, err
@@ -805,7 +931,7 @@ func (s *Server) register() {
 		return &mcswire.DeleteViewResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "defineAttribute", func(ctx *soap.Ctx, req *mcswire.DefineAttributeRequest) (*mcswire.DefineAttributeResponse, error) {
+	handle(t, "defineAttribute", func(ctx *mcswire.Ctx, req *mcswire.DefineAttributeRequest) (*mcswire.DefineAttributeResponse, error) {
 		def, err := cat.DefineAttribute(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), req.Name, AttrType(req.Type), req.Description, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
@@ -815,7 +941,7 @@ func (s *Server) register() {
 		}, nil
 	})
 
-	soap.Handle(s.Server, "listAttributeDefs", func(ctx *soap.Ctx, req *mcswire.ListAttributeDefsRequest) (*mcswire.ListAttributeDefsResponse, error) {
+	handle(t, "listAttributeDefs", func(ctx *mcswire.Ctx, req *mcswire.ListAttributeDefsRequest) (*mcswire.ListAttributeDefsResponse, error) {
 		defs, err := cat.ListAttributeDefs()
 		if err != nil {
 			return nil, err
@@ -829,7 +955,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "setAttribute", func(ctx *soap.Ctx, req *mcswire.SetAttributeRequest) (*mcswire.SetAttributeResponse, error) {
+	handle(t, "setAttribute", func(ctx *mcswire.Ctx, req *mcswire.SetAttributeRequest) (*mcswire.SetAttributeResponse, error) {
 		a, err := req.Attribute.ToCore()
 		if err != nil {
 			return nil, err
@@ -840,14 +966,14 @@ func (s *Server) register() {
 		return &mcswire.SetAttributeResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "unsetAttribute", func(ctx *soap.Ctx, req *mcswire.UnsetAttributeRequest) (*mcswire.UnsetAttributeResponse, error) {
+	handle(t, "unsetAttribute", func(ctx *mcswire.Ctx, req *mcswire.UnsetAttributeRequest) (*mcswire.UnsetAttributeResponse, error) {
 		if err := cat.UnsetAttribute(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object, req.Attribute, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.UnsetAttributeResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "getAttributes", func(ctx *soap.Ctx, req *mcswire.GetAttributesRequest) (*mcswire.GetAttributesResponse, error) {
+	handle(t, "getAttributes", func(ctx *mcswire.Ctx, req *mcswire.GetAttributesRequest) (*mcswire.GetAttributesResponse, error) {
 		attrs, err := cat.GetAttributes(s.caller(ctx, req.Caller, gsi.RightRead, req.Object), ObjectType(req.ObjectType), req.Object)
 		if err != nil {
 			return nil, err
@@ -859,34 +985,58 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "query", func(ctx *soap.Ctx, req *mcswire.QueryRequest) (*mcswire.QueryResponse, error) {
-		q := Query{Target: ObjectType(req.Target), Limit: req.Limit}
-		for _, wp := range req.Predicates {
-			v, err := core.ParseAttrValue(AttrType(wp.Type), wp.Value)
+	// query carries a Stream implementation beside the unary call: over a
+	// streaming transport the server pages through the catalog and emits one
+	// row per match, so neither side ever materializes the full result.
+	t.Register(mcswire.Handler{
+		Name: "query",
+		New:  func() any { return new(mcswire.QueryRequest) },
+		Call: func(ctx *mcswire.Ctx, req any) (any, error) {
+			r := req.(*mcswire.QueryRequest)
+			q, err := queryFromWire(r.Target, r.Limit, r.Predicates)
 			if err != nil {
-				return nil, fmt.Errorf("predicate %q: %w", wp.Attribute, err)
+				return nil, err
 			}
-			q.Predicates = append(q.Predicates, Predicate{
-				Attribute: wp.Attribute, Op: Op(wp.Op), Value: v,
-			})
-		}
-		names, err := cat.RunQuery(s.caller(ctx, req.Caller, gsi.RightRead, ""), q)
-		if err != nil {
-			return nil, err
-		}
-		return &mcswire.QueryResponse{Names: names}, nil
+			names, err := cat.RunQuery(s.caller(ctx, r.Caller, gsi.RightRead, ""), q)
+			if err != nil {
+				return nil, err
+			}
+			return &mcswire.QueryResponse{Names: names}, nil
+		},
+		Stream: func(ctx *mcswire.Ctx, req any, emit func(row any) error) error {
+			r := req.(*mcswire.QueryRequest)
+			q, err := queryFromWire(r.Target, 0, r.Predicates)
+			if err != nil {
+				return err
+			}
+			who := s.caller(ctx, r.Caller, gsi.RightRead, "")
+			sent, token := 0, ""
+			for {
+				names, next, err := cat.RunQueryPage(who, q, streamPageSize, token)
+				if err != nil {
+					return err
+				}
+				for _, n := range names {
+					if r.Limit > 0 && sent >= r.Limit {
+						return nil
+					}
+					if err := emit(mcswire.QueryRow{Name: n}); err != nil {
+						return err
+					}
+					sent++
+				}
+				if next == "" {
+					return nil
+				}
+				token = next
+			}
+		},
 	})
 
-	soap.Handle(s.Server, "queryPage", func(ctx *soap.Ctx, req *mcswire.QueryPageRequest) (*mcswire.QueryPageResponse, error) {
-		q := Query{Target: ObjectType(req.Target)}
-		for _, wp := range req.Predicates {
-			v, err := core.ParseAttrValue(AttrType(wp.Type), wp.Value)
-			if err != nil {
-				return nil, fmt.Errorf("predicate %q: %w", wp.Attribute, err)
-			}
-			q.Predicates = append(q.Predicates, Predicate{
-				Attribute: wp.Attribute, Op: Op(wp.Op), Value: v,
-			})
+	handle(t, "queryPage", func(ctx *mcswire.Ctx, req *mcswire.QueryPageRequest) (*mcswire.QueryPageResponse, error) {
+		q, err := queryFromWire(req.Target, 0, req.Predicates)
+		if err != nil {
+			return nil, err
 		}
 		names, next, err := cat.RunQueryPage(s.caller(ctx, req.Caller, gsi.RightRead, ""), q, req.PageSize, req.Token)
 		if err != nil {
@@ -898,16 +1048,10 @@ func (s *Server) register() {
 		return &mcswire.QueryPageResponse{Names: names, Next: next}, nil
 	})
 
-	soap.Handle(s.Server, "queryAttrs", func(ctx *soap.Ctx, req *mcswire.QueryAttrsRequest) (*mcswire.QueryAttrsResponse, error) {
-		q := Query{Target: ObjectType(req.Target), Limit: req.Limit}
-		for _, wp := range req.Predicates {
-			v, err := core.ParseAttrValue(AttrType(wp.Type), wp.Value)
-			if err != nil {
-				return nil, fmt.Errorf("predicate %q: %w", wp.Attribute, err)
-			}
-			q.Predicates = append(q.Predicates, Predicate{
-				Attribute: wp.Attribute, Op: Op(wp.Op), Value: v,
-			})
+	handle(t, "queryAttrs", func(ctx *mcswire.Ctx, req *mcswire.QueryAttrsRequest) (*mcswire.QueryAttrsResponse, error) {
+		q, err := queryFromWire(req.Target, req.Limit, req.Predicates)
+		if err != nil {
+			return nil, err
 		}
 		results, err := cat.RunQueryAttrs(s.caller(ctx, req.Caller, gsi.RightRead, ""), q, req.Return)
 		if err != nil {
@@ -924,7 +1068,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "annotate", func(ctx *soap.Ctx, req *mcswire.AnnotateRequest) (*mcswire.AnnotateResponse, error) {
+	handle(t, "annotate", func(ctx *mcswire.Ctx, req *mcswire.AnnotateRequest) (*mcswire.AnnotateResponse, error) {
 		a, err := cat.Annotate(s.caller(ctx, req.Caller, gsi.RightAnnotate, req.Object), ObjectType(req.ObjectType), req.Object, req.Text, opOpts(ctx)...)
 		if err != nil {
 			return nil, err
@@ -932,7 +1076,7 @@ func (s *Server) register() {
 		return &mcswire.AnnotateResponse{ID: a.ID}, nil
 	})
 
-	soap.Handle(s.Server, "getAnnotations", func(ctx *soap.Ctx, req *mcswire.GetAnnotationsRequest) (*mcswire.GetAnnotationsResponse, error) {
+	handle(t, "getAnnotations", func(ctx *mcswire.Ctx, req *mcswire.GetAnnotationsRequest) (*mcswire.GetAnnotationsResponse, error) {
 		anns, err := cat.Annotations(s.caller(ctx, req.Caller, gsi.RightRead, req.Object), ObjectType(req.ObjectType), req.Object)
 		if err != nil {
 			return nil, err
@@ -946,14 +1090,14 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "addProvenance", func(ctx *soap.Ctx, req *mcswire.AddProvenanceRequest) (*mcswire.AddProvenanceResponse, error) {
+	handle(t, "addProvenance", func(ctx *mcswire.Ctx, req *mcswire.AddProvenanceRequest) (*mcswire.AddProvenanceResponse, error) {
 		if err := cat.AddProvenance(s.caller(ctx, req.Caller, gsi.RightWrite, req.Name), req.Name, req.Version, req.Description, opOpts(ctx)...); err != nil {
 			return nil, err
 		}
 		return &mcswire.AddProvenanceResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "getProvenance", func(ctx *soap.Ctx, req *mcswire.GetProvenanceRequest) (*mcswire.GetProvenanceResponse, error) {
+	handle(t, "getProvenance", func(ctx *mcswire.Ctx, req *mcswire.GetProvenanceRequest) (*mcswire.GetProvenanceResponse, error) {
 		recs, err := cat.Provenance(s.caller(ctx, req.Caller, gsi.RightRead, req.Name), req.Name, req.Version)
 		if err != nil {
 			return nil, err
@@ -967,7 +1111,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "auditLog", func(ctx *soap.Ctx, req *mcswire.AuditLogRequest) (*mcswire.AuditLogResponse, error) {
+	handle(t, "auditLog", func(ctx *mcswire.Ctx, req *mcswire.AuditLogRequest) (*mcswire.AuditLogResponse, error) {
 		recs, err := cat.AuditLog(s.caller(ctx, req.Caller, gsi.RightRead, req.Object), ObjectType(req.ObjectType), req.Object)
 		if err != nil {
 			return nil, err
@@ -982,7 +1126,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "grant", func(ctx *soap.Ctx, req *mcswire.GrantRequest) (*mcswire.GrantResponse, error) {
+	handle(t, "grant", func(ctx *mcswire.Ctx, req *mcswire.GrantRequest) (*mcswire.GrantResponse, error) {
 		err := cat.Grant(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object,
 			req.Principal, Permission(req.Permission))
 		if err != nil {
@@ -991,7 +1135,7 @@ func (s *Server) register() {
 		return &mcswire.GrantResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "revoke", func(ctx *soap.Ctx, req *mcswire.RevokeRequest) (*mcswire.RevokeResponse, error) {
+	handle(t, "revoke", func(ctx *mcswire.Ctx, req *mcswire.RevokeRequest) (*mcswire.RevokeResponse, error) {
 		err := cat.Revoke(s.caller(ctx, req.Caller, gsi.RightWrite, req.Object), ObjectType(req.ObjectType), req.Object,
 			req.Principal, Permission(req.Permission))
 		if err != nil {
@@ -1000,7 +1144,7 @@ func (s *Server) register() {
 		return &mcswire.RevokeResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "registerWriter", func(ctx *soap.Ctx, req *mcswire.RegisterWriterRequest) (*mcswire.RegisterWriterResponse, error) {
+	handle(t, "registerWriter", func(ctx *mcswire.Ctx, req *mcswire.RegisterWriterRequest) (*mcswire.RegisterWriterResponse, error) {
 		err := cat.RegisterWriter(s.caller(ctx, req.Caller, gsi.RightWrite, ""), Writer{
 			DN: req.DN, Description: req.Description, Institution: req.Institution,
 			Address: req.Address, Phone: req.Phone, Email: req.Email,
@@ -1011,7 +1155,7 @@ func (s *Server) register() {
 		return &mcswire.RegisterWriterResponse{OK: true}, nil
 	})
 
-	soap.Handle(s.Server, "getWriter", func(ctx *soap.Ctx, req *mcswire.GetWriterRequest) (*mcswire.GetWriterResponse, error) {
+	handle(t, "getWriter", func(ctx *mcswire.Ctx, req *mcswire.GetWriterRequest) (*mcswire.GetWriterResponse, error) {
 		w, err := cat.GetWriter(s.caller(ctx, req.Caller, gsi.RightRead, ""), req.DN)
 		if err != nil {
 			return nil, err
@@ -1022,7 +1166,7 @@ func (s *Server) register() {
 		}, nil
 	})
 
-	soap.Handle(s.Server, "registerExternalCatalog", func(ctx *soap.Ctx, req *mcswire.RegisterExternalCatalogRequest) (*mcswire.RegisterExternalCatalogResponse, error) {
+	handle(t, "registerExternalCatalog", func(ctx *mcswire.Ctx, req *mcswire.RegisterExternalCatalogRequest) (*mcswire.RegisterExternalCatalogResponse, error) {
 		ec, err := cat.RegisterExternalCatalog(s.caller(ctx, req.Caller, gsi.RightCreate, req.Name), ExternalCatalog{
 			Name: req.Name, Type: req.Type, Host: req.Host, IP: req.IP, Description: req.Description,
 		}, opOpts(ctx)...)
@@ -1032,7 +1176,7 @@ func (s *Server) register() {
 		return &mcswire.RegisterExternalCatalogResponse{ID: ec.ID}, nil
 	})
 
-	soap.Handle(s.Server, "listExternalCatalogs", func(ctx *soap.Ctx, req *mcswire.ListExternalCatalogsRequest) (*mcswire.ListExternalCatalogsResponse, error) {
+	handle(t, "listExternalCatalogs", func(ctx *mcswire.Ctx, req *mcswire.ListExternalCatalogsRequest) (*mcswire.ListExternalCatalogsResponse, error) {
 		list, err := cat.ExternalCatalogs(s.caller(ctx, req.Caller, gsi.RightRead, ""))
 		if err != nil {
 			return nil, err
@@ -1047,7 +1191,7 @@ func (s *Server) register() {
 		return resp, nil
 	})
 
-	soap.Handle(s.Server, "stats", func(ctx *soap.Ctx, req *mcswire.StatsRequest) (*mcswire.StatsResponse, error) {
+	handle(t, "stats", func(ctx *mcswire.Ctx, req *mcswire.StatsRequest) (*mcswire.StatsResponse, error) {
 		st, err := cat.Stats()
 		if err != nil {
 			return nil, err
@@ -1057,4 +1201,6 @@ func (s *Server) register() {
 			Attributes: st.Attributes, AttrDefs: st.AttrDefs,
 		}, nil
 	})
+
+	s.mountSOAP()
 }

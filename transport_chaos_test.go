@@ -1,0 +1,134 @@
+package mcs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// jsonRetryClient is retryClient over the JSON wire: same attempts, same
+// backoff, different encoding. The chaos matrix below must behave
+// identically through it.
+func jsonRetryClient(url string) *Client {
+	return NewClient(url, testAlice,
+		WithTransport(TransportJSON),
+		WithRetry(5),
+		WithBackoff(time.Millisecond, 4*time.Millisecond))
+}
+
+// TestChaosFaultMatrixJSON re-runs the exactly-once fault matrix over the
+// JSON transport: every mutating operation, against faults injected at
+// dispatch, post-handler, transport and database sites, must succeed after
+// retries and be applied exactly once. This is the chaos proof that the
+// retry contract — pinned request IDs, idempotency keys, the server replay
+// cache — carried over to the new wire unchanged.
+func TestChaosFaultMatrixJSON(t *testing.T) {
+	sites := []struct {
+		name string
+		rule func(op string) FaultRule
+	}{
+		{"dispatch-error", func(op string) FaultRule {
+			return FaultRule{Site: FaultSiteDispatch, Op: op, Kind: FaultKindError, Times: 3}
+		}},
+		{"after-error", func(op string) FaultRule {
+			return FaultRule{Site: FaultSiteAfter, Op: op, Kind: FaultKindError, Times: 3}
+		}},
+		{"transport-partial", func(op string) FaultRule {
+			return FaultRule{Site: FaultSiteTransport, Op: op, Kind: FaultKindPartial, Times: 3}
+		}},
+		{"db-error", func(op string) FaultRule {
+			return FaultRule{Site: FaultSiteDB, Kind: FaultKindError, Times: 3}
+		}},
+	}
+	for _, seed := range chaosSeeds(t) {
+		for _, site := range sites {
+			for _, op := range chaosOps() {
+				t.Run(fmt.Sprintf("seed%d/%s/%s", seed, site.name, op.name), func(t *testing.T) {
+					inj := NewFaultInjector(seed, site.rule(op.name))
+					inj.SetEnabled(false) // setup and verify run fault-free
+					_, url := startServer(t, ServerOptions{FaultInjector: inj})
+					admin := NewClient(url, testAlice)
+					if op.setup != nil {
+						op.setup(t, admin)
+					}
+
+					c := jsonRetryClient(url)
+					inj.SetEnabled(true)
+					err := op.invoke(c)
+					inj.SetEnabled(false)
+
+					if err != nil {
+						t.Fatalf("%s over json through %s faults = %v, want success after retries",
+							op.name, site.name, err)
+					}
+					if got := inj.Total(); got != 3 {
+						t.Fatalf("faults injected = %d, want all 3", got)
+					}
+					if st := c.RetryStats(); st.Retries != 3 {
+						t.Fatalf("retries = %d, want exactly 3 (one per injected fault)", st.Retries)
+					}
+					op.verify(t, admin)
+				})
+			}
+		}
+	}
+}
+
+// TestChaosNoRetrySentinelsJSON pins the sentinel contract over the JSON
+// wire with retries off: injected server-side errors surface as
+// ErrUnavailable, severed replies as ErrTransport — byte-for-byte the SOAP
+// wire's behavior, because both decode the same "Server.<Code>" strings.
+func TestChaosNoRetrySentinelsJSON(t *testing.T) {
+	cases := []struct {
+		name string
+		rule FaultRule
+		want error
+	}{
+		{"dispatch-error", FaultRule{Site: FaultSiteDispatch, Kind: FaultKindError, Times: 1}, ErrUnavailable},
+		{"after-error", FaultRule{Site: FaultSiteAfter, Kind: FaultKindError, Times: 1}, ErrUnavailable},
+		{"db-error", FaultRule{Site: FaultSiteDB, Kind: FaultKindError, Times: 1}, ErrUnavailable},
+		{"transport-partial", FaultRule{Site: FaultSiteTransport, Kind: FaultKindPartial, Times: 1}, ErrTransport},
+		{"transport-drop", FaultRule{Site: FaultSiteTransport, Kind: FaultKindDrop, Times: 1}, ErrTransport},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := NewFaultInjector(1, tc.rule)
+			_, url := startServer(t, ServerOptions{FaultInjector: inj})
+			c := NewClient(url, testAlice, WithTransport(TransportJSON)) // retries off
+			_, err := c.CreateFile(FileSpec{Name: "s.dat"})
+			if !Retryable(err) {
+				t.Fatalf("err = %v, want retryable", err)
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want errors.Is %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestJSONRetryReplayCache focuses the exactly-once witness: a reply lost
+// after commit (the after-site fault) forces a retry whose idempotency key
+// hits the server's replay cache — one file version, one audit record, and
+// a replay counted in /statz.
+func TestJSONRetryReplayCache(t *testing.T) {
+	inj := NewFaultInjector(1, FaultRule{
+		Site: FaultSiteAfter, Op: "createFile", Kind: FaultKindError, Times: 1,
+	})
+	srv, url := startServer(t, ServerOptions{FaultInjector: inj})
+	c := jsonRetryClient(url)
+	if _, err := c.CreateFile(FileSpec{Name: "once.dat", Audited: true}); err != nil {
+		t.Fatalf("create through lost reply: %v", err)
+	}
+	if st := c.RetryStats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+	vs, err := c.FileVersions("once.dat")
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("versions = %+v, %v; want exactly one", vs, err)
+	}
+	auditCount(t, NewClient(url, testAlice), ObjectFile, "once.dat", 1)
+	if hits := srv.Catalog().ReplayHits(); hits != 1 {
+		t.Fatalf("replay cache hits = %d, want 1", hits)
+	}
+}

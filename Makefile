@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench transportbench
+.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench transportbench addpath
 
 build:
 	$(GO) build ./...
@@ -70,3 +70,11 @@ walbench:
 transportbench:
 	$(GO) run ./cmd/mcsbench -fig 16 -threads 1,2,4,8 -sizes 10000 \
 		-transport-json BENCH_transport.json $(TRANSPORTBENCH_FLAGS)
+
+# The write-amplification sweep (Fig. 17): pure add rate, one CreateFile per
+# file vs 100 creates per batchWrite transaction, with heap bytes allocated
+# per add, emitted as BENCH_addpath.json. Override for a quick smoke run,
+# e.g. `make addpath ADDPATH_FLAGS="-duration 200ms -sizes 1000"`.
+addpath:
+	$(GO) run ./cmd/mcsbench -fig 17 -threads 1,2,4,8 -sizes 10000 \
+		-addpath-json BENCH_addpath.json $(ADDPATH_FLAGS)

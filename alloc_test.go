@@ -1,0 +1,157 @@
+// Allocation gates for the add path. The write-amplification work (compact
+// Values, batched index maintenance, shared-interior btree copies) is easy to
+// regress invisibly — throughput benchmarks drift with hardware, but bytes
+// allocated per add do not. These tests pin hard budgets well above today's
+// measurements and far below the pre-optimization numbers, so a change that
+// reintroduces per-row index descent or fat value copies fails in CI.
+package mcs_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mcs/internal/bench"
+	"mcs/internal/core"
+)
+
+// allocsPerAdd runs n adds via add and returns (bytes, allocations) per add,
+// measured from the heap's monotonic counters so background GC cannot skew
+// the numbers downward.
+func allocsPerAdd(n int, add func(i int)) (bytesPer, allocsPer float64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		add(i)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// Budgets. A direct add (CreateFile with 10 attributes) currently costs
+// ~200 KB / ~800 allocations against a 10k-file catalog; before this PR it
+// cost ~900 KB / ~1900 allocations. The gates sit at roughly 2× today's
+// numbers: loose enough for tree-depth noise and toolchain drift, tight
+// enough that losing any one optimization trips them.
+const (
+	singleAddByteBudget  = 450_000
+	singleAddAllocBudget = 1_800
+	batchAddByteBudget   = 150_000 // per add inside a 100-op batch (~54 KB today)
+	batchAddAllocBudget  = 500
+)
+
+func gateCatalog(t *testing.T) *core.Catalog {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("allocation gate needs a populated catalog")
+	}
+	cat, err := bench.Load(bench.DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// BenchmarkFig17AddSingle and BenchmarkFig17AddBatch100 are the testing.B
+// counterparts of the Fig. 17 sweep and of the gates above: pure adds (no
+// compensating delete), with B/op and allocs/op reported beside the rate.
+func BenchmarkFig17AddSingle(b *testing.B) {
+	cat := loadedCatalog(b)
+	cfg := bench.DefaultConfig(benchFiles())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := addSeq.Add(1)
+			_, err := cat.CreateFile(bench.LoaderDN, core.FileSpec{
+				Name:       fmt.Sprintf("bench-addonly-%d", i),
+				DataType:   "binary",
+				Attributes: bench.FileAttributes(int(i), cfg.AttrsPerFile),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig17AddBatch100(b *testing.B) {
+	cat := loadedCatalog(b)
+	cfg := bench.DefaultConfig(benchFiles())
+	const batch = 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Each iteration registers one file; whole batches are timed and the
+	// per-file cost is what B/op and ns/op report.
+	for n := 0; n < b.N; n += batch {
+		ops := make([]core.BatchOp, batch)
+		for j := range ops {
+			i := addSeq.Add(1)
+			ops[j] = core.BatchOp{CreateFile: &core.FileSpec{
+				Name:       fmt.Sprintf("bench-addonly-%d", i),
+				DataType:   "binary",
+				Attributes: bench.FileAttributes(int(i), cfg.AttrsPerFile),
+			}}
+		}
+		if _, err := cat.BatchWrite(bench.LoaderDN, ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSingleAddAllocBudget(t *testing.T) {
+	cat := gateCatalog(t)
+	cfg := bench.DefaultConfig(2000)
+	add := func(i int) {
+		_, err := cat.CreateFile(bench.LoaderDN, core.FileSpec{
+			Name:       fmt.Sprintf("alloc-gate-%d", i),
+			DataType:   "binary",
+			Attributes: bench.FileAttributes(i, cfg.AttrsPerFile),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1 << 20) // warm caches and the attribute-definition lookups
+	bytesPer, allocsPer := allocsPerAdd(200, add)
+	t.Logf("single add: %.0f B / %.0f allocs per add", bytesPer, allocsPer)
+	if bytesPer > singleAddByteBudget {
+		t.Errorf("single add allocates %.0f B per add, budget %d", bytesPer, singleAddByteBudget)
+	}
+	if allocsPer > singleAddAllocBudget {
+		t.Errorf("single add makes %.0f allocations per add, budget %d", allocsPer, singleAddAllocBudget)
+	}
+}
+
+func TestBatch100AddAllocBudget(t *testing.T) {
+	cat := gateCatalog(t)
+	cfg := bench.DefaultConfig(2000)
+	const batch = 100
+	seq := 0
+	addBatch := func(i int) {
+		ops := make([]core.BatchOp, batch)
+		for j := range ops {
+			seq++
+			ops[j] = core.BatchOp{CreateFile: &core.FileSpec{
+				Name:       fmt.Sprintf("alloc-gate-batch-%d-%d", i, seq),
+				DataType:   "binary",
+				Attributes: bench.FileAttributes(seq, cfg.AttrsPerFile),
+			}}
+		}
+		if _, err := cat.BatchWrite(bench.LoaderDN, ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addBatch(1 << 20)
+	bytesPerBatch, allocsPerBatch := allocsPerAdd(5, addBatch)
+	bytesPer, allocsPer := bytesPerBatch/batch, allocsPerBatch/batch
+	t.Logf("batch-100 add: %.0f B / %.0f allocs per add", bytesPer, allocsPer)
+	if bytesPer > batchAddByteBudget {
+		t.Errorf("batched add allocates %.0f B per add, budget %d", bytesPer, batchAddByteBudget)
+	}
+	if allocsPer > batchAddAllocBudget {
+		t.Errorf("batched add makes %.0f allocations per add, budget %d", allocsPer, batchAddAllocBudget)
+	}
+}

@@ -35,6 +35,13 @@
 // (BENCH_transport.json in CI), including the JSON-over-SOAP speedup on
 // the add path.
 //
+// Figure 17 is the write-amplification sweep: pure add rate (no
+// compensating delete — the bulk-ingest regime) directly against the engine,
+// one CreateFile call per file versus 100 creates per batchWrite
+// transaction, with heap bytes allocated per add alongside the rates. With
+// -addpath-json FILE the points land as JSON (BENCH_addpath.json in CI),
+// including the batch-over-single speedup.
+//
 // The paper's full-scale databases (100k/1M/5M files) are reachable with
 // -sizes 100000,1000000,5000000 given enough memory and patience; the
 // defaults are scaled so a laptop run finishes in minutes while preserving
@@ -186,6 +193,60 @@ func writeTransportJSON(path string, size int, d time.Duration, points []bench.T
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// addPathReport is the machine-readable form of the Fig. 17 sweep.
+type addPathReport struct {
+	Bench       string               `json:"bench"`
+	GoMaxProcs  int                  `json:"gomaxprocs"`
+	NumCPU      int                  `json:"num_cpu"`
+	DBFiles     int                  `json:"db_files"`
+	DurationSec float64              `json:"duration_sec"`
+	Points      []bench.AddPathPoint `json:"points"`
+	// SingleAddsPerSec and BatchAddsPerSec are the peak rates across the
+	// thread sweep per mode (on a single-core host extra threads only add
+	// queueing, so the peak — not the largest thread count — is the
+	// machine's capability); BatchSpeedup is their ratio — what
+	// per-transaction index batching and one-lock-per-batch commit buy.
+	SingleAddsPerSec float64 `json:"single_adds_per_sec"`
+	BatchAddsPerSec  float64 `json:"batch_adds_per_sec"`
+	BatchSpeedup     float64 `json:"batch_speedup"`
+	// SingleBytesPerAdd is the allocation footprint at that same point — the
+	// write-amplification figure of merit tracked across PRs.
+	SingleBytesPerAdd float64 `json:"single_bytes_per_add"`
+}
+
+// writeAddPathJSON emits the Fig. 17 points to path.
+func writeAddPathJSON(path string, size int, d time.Duration, points []bench.AddPathPoint) error {
+	rep := addPathReport{
+		Bench:       "addpath",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		DBFiles:     size,
+		DurationSec: d.Seconds(),
+		Points:      points,
+	}
+	best := func(mode string) bench.AddPathPoint {
+		var out bench.AddPathPoint
+		for _, p := range points {
+			if p.Mode == mode && p.AddsPerSec > out.AddsPerSec {
+				out = p
+			}
+		}
+		return out
+	}
+	single, batch := best("single"), best("batch100")
+	rep.SingleAddsPerSec = single.AddsPerSec
+	rep.BatchAddsPerSec = batch.AddsPerSec
+	rep.SingleBytesPerAdd = single.BytesPerAdd
+	if single.AddsPerSec > 0 {
+		rep.BatchSpeedup = batch.AddsPerSec / single.AddsPerSec
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func parseSizes(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -253,7 +314,7 @@ func env() bench.Env {
 
 func main() {
 	log.SetFlags(0)
-	fig := flag.String("fig", "all", `figure to regenerate: 5..16 or "all"`)
+	fig := flag.String("fig", "all", `figure to regenerate: 5..17 or "all"`)
 	sizes := flag.String("sizes", "10000,50000,100000", "database sizes (files), comma-separated")
 	threads := flag.String("threads", "1,2,4,8,12,16", "thread sweep for figures 5-7")
 	hosts := flag.String("hosts", "1,2,4,6,8,10", "host sweep for figures 8-10")
@@ -265,6 +326,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write figure 14 points as JSON to this path (e.g. BENCH_readpath.json)")
 	walJSONOut := flag.String("wal-json", "", "write figure 15 points as JSON to this path (e.g. BENCH_wal.json)")
 	transportJSONOut := flag.String("transport-json", "", "write figure 16 points as JSON to this path (e.g. BENCH_transport.json)")
+	addPathJSONOut := flag.String("addpath-json", "", "write figure 17 points as JSON to this path (e.g. BENCH_addpath.json)")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
 
@@ -296,7 +358,7 @@ func main() {
 
 	var figs []int
 	if *fig == "all" {
-		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
 	} else {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
@@ -305,11 +367,11 @@ func main() {
 		figs = []int{n}
 	}
 
-	// Figures 12 and 15 build their own fresh catalogs; preloaded databases
-	// are only needed for the rest.
+	// Figures 12, 15 and 17 build their own fresh catalogs; preloaded
+	// databases are only needed for the rest.
 	needLoad := false
 	for _, f := range figs {
-		if f != 12 && f != 15 {
+		if f != 12 && f != 15 && f != 17 {
 			needLoad = true
 		}
 	}
@@ -362,6 +424,25 @@ func main() {
 					log.Fatalf("mcsbench: write %s: %v", *transportJSONOut, err)
 				}
 				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *transportJSONOut)
+			}
+		} else if f == 17 {
+			// Like figs 14/15: one sweep feeds both the table and the JSON.
+			size := szs[0]
+			for _, s := range szs[1:] {
+				if s < size {
+					size = s
+				}
+			}
+			points, err := bench.AddPathSweep(size, thr, *duration)
+			if err != nil {
+				log.Fatalf("mcsbench: figure 17: %v", err)
+			}
+			fmt.Println(bench.Render(17, bench.AddPathPointSeries(size, points)))
+			if *addPathJSONOut != "" {
+				if err := writeAddPathJSON(*addPathJSONOut, size, *duration, points); err != nil {
+					log.Fatalf("mcsbench: write %s: %v", *addPathJSONOut, err)
+				}
+				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *addPathJSONOut)
 			}
 		} else if f == 15 {
 			// Like fig 14: one sweep feeds both the table and the JSON.

@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mcs/internal/core"
@@ -174,6 +177,9 @@ func Figure(fig int, opt FigureOptions) ([]Series, error) {
 	}
 	if fig == 16 {
 		return transportFigure(opt)
+	}
+	if fig == 17 {
+		return addPathFigure(opt)
 	}
 	op, err := opForFigure(fig)
 	if err != nil {
@@ -449,6 +455,142 @@ func walFigure(opt FigureOptions) ([]Series, error) {
 	return WALPointSeries(size, points), nil
 }
 
+// AddPathPoint is one measurement of the write-amplification sweep (Fig. 17):
+// pure add rate — CreateFile only, no compensating delete, so the database
+// grows for the duration of the window — at a given thread count through one
+// ingestion mode. BytesPerAdd is heap bytes allocated per add over the
+// window (from the runtime's monotonic allocation counter), the quantity the
+// compact-Value and batched-index-maintenance work drives down.
+type AddPathPoint struct {
+	Mode        string  `json:"mode"` // "single" or "batch100"
+	Threads     int     `json:"threads"`
+	AddsPerSec  float64 `json:"adds_per_sec"`
+	BytesPerAdd float64 `json:"bytes_per_add"`
+}
+
+// AddPathBatchSize is the ops-per-call of the Fig. 17 batch mode.
+const AddPathBatchSize = 100
+
+// AddPathSweep measures Fig. 17: direct add throughput (the paper's add
+// workload minus the compensating delete — the bulk-ingest regime) swept
+// over threads in two modes: one CreateFile call per file, and 100 creates
+// per BatchWrite transaction. Each mode starts from a freshly loaded catalog
+// of the given size and keeps it across its thread points; the growth over a
+// few measurement windows is small against the preloaded population.
+func AddPathSweep(size int, threads []int, d time.Duration) ([]AddPathPoint, error) {
+	cfg := DefaultConfig(size)
+	var out []AddPathPoint
+	for _, mode := range []string{"single", "batch100"} {
+		cat, err := Load(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig 17 setup: %w", err)
+		}
+		var seq atomic.Int64
+		for _, th := range threads {
+			out = append(out, runAddPath(cat, mode, th, d, cfg, &seq))
+		}
+	}
+	return out, nil
+}
+
+// runAddPath drives threads workers doing pure adds in the given mode for
+// duration d and returns the aggregate rate and bytes allocated per add.
+func runAddPath(cat *core.Catalog, mode string, threads int, d time.Duration, cfg Config, seq *atomic.Int64) AddPathPoint {
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if mode == "single" {
+					i := seq.Add(1)
+					_, err := cat.CreateFile(LoaderDN, core.FileSpec{
+						Name:       fmt.Sprintf("bench-addpath-%010d", i),
+						DataType:   "binary",
+						Attributes: FileAttributes(int(i), cfg.AttrsPerFile),
+					})
+					if err != nil {
+						panic(fmt.Sprintf("bench: addpath single: %v", err))
+					}
+					total.Add(1)
+					continue
+				}
+				ops := make([]core.BatchOp, AddPathBatchSize)
+				for k := range ops {
+					i := seq.Add(1)
+					spec := core.FileSpec{
+						Name:       fmt.Sprintf("bench-addpath-%010d", i),
+						DataType:   "binary",
+						Attributes: FileAttributes(int(i), cfg.AttrsPerFile),
+					}
+					ops[k] = core.BatchOp{CreateFile: &spec}
+				}
+				if _, err := cat.BatchWrite(LoaderDN, ops); err != nil {
+					panic(fmt.Sprintf("bench: addpath batch: %v", err))
+				}
+				total.Add(AddPathBatchSize)
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	p := AddPathPoint{
+		Mode:       mode,
+		Threads:    threads,
+		AddsPerSec: float64(total.Load()) / elapsed.Seconds(),
+	}
+	if n := total.Load(); n > 0 {
+		p.BytesPerAdd = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+	}
+	return p
+}
+
+// addPathFigure measures Fig. 17 over the smallest configured database.
+func addPathFigure(opt FigureOptions) ([]Series, error) {
+	size := opt.Sizes[0]
+	for _, s := range opt.Sizes[1:] {
+		if s < size {
+			size = s
+		}
+	}
+	points, err := AddPathSweep(size, opt.Threads, opt.Duration)
+	if err != nil {
+		return nil, err
+	}
+	return AddPathPointSeries(size, points), nil
+}
+
+// AddPathPointSeries renders the add-path sweep as figure series, one line
+// per mode over the thread axis.
+func AddPathPointSeries(size int, points []AddPathPoint) []Series {
+	var out []Series
+	idx := map[string]int{}
+	for _, p := range points {
+		i, ok := idx[p.Mode]
+		if !ok {
+			i = len(out)
+			idx[p.Mode] = i
+			out = append(out, Series{Label: sizeLabel(size) + " database, " + p.Mode + " adds"})
+		}
+		out[i].Points = append(out[i].Points, Point{X: p.Threads, Y: p.AddsPerSec})
+	}
+	return out
+}
+
 // TransportPoint is one measurement of the wire comparison (Fig. 16):
 // throughput of one operation at a given thread count through one wire
 // encoding — the same server, the same handlers, only the envelope differs.
@@ -604,6 +746,8 @@ func FigureTitle(fig int) string {
 		return "Fig. 15: Add rate, snapshot-only vs write-ahead log with group commit, database only (adds/s)"
 	case 16:
 		return "Fig. 16: Add and simple-query rate, SOAP wire vs compact JSON wire, same server (ops/s)"
+	case 17:
+		return "Fig. 17: Pure add rate, single CreateFile vs 100-op batches, database only (adds/s)"
 	}
 	return fmt.Sprintf("unknown figure %d", fig)
 }
@@ -611,7 +755,7 @@ func FigureTitle(fig int) string {
 // xAxis returns the swept-parameter label of a figure.
 func xAxis(fig int) string {
 	switch fig {
-	case 5, 6, 7, 13, 14, 15, 16:
+	case 5, 6, 7, 13, 14, 15, 16, 17:
 		return "threads"
 	case 8, 9, 10:
 		return "hosts"

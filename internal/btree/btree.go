@@ -11,17 +11,17 @@
 // read a tree concurrently with mutations of its clones, provided the tree
 // itself is no longer mutated after cloning — the discipline sqldb's MVCC
 // roots follow.
+//
+// Fan-out is per tree: New uses DefaultDegree, tuned for read-mostly maps;
+// NewDegree lets write-heavy trees (sqldb's secondary indexes) pick a small
+// degree so each copy-on-write path copy moves fewer bytes.
 package btree
 
-// degree is the minimum number of children of an internal node. Nodes hold
-// between degree-1 and 2*degree-1 items. 32 keeps nodes around a cache line
-// multiple without deep trees for million-row tables.
-const degree = 32
-
-const (
-	maxItems = 2*degree - 1
-	minItems = degree - 1
-)
+// DefaultDegree is the minimum number of children of an internal node for
+// trees built with New. Nodes hold between degree-1 and 2*degree-1 items.
+// 32 keeps nodes around a cache line multiple without deep trees for
+// million-row tables.
+const DefaultDegree = 32
 
 // cow is a copy-on-write ownership token. Every node records the token of
 // the tree that created (or last copied) it; a tree may mutate a node in
@@ -29,12 +29,17 @@ const (
 type cow struct{ _ byte }
 
 // Tree is a B-tree mapping keys of type K to values of type V.
-// The zero value is not usable; construct with New.
+// The zero value is not usable; construct with New or NewDegree.
 type Tree[K, V any] struct {
 	less func(a, b K) bool
 	root *node[K, V]
 	size int
 	cow  *cow
+
+	// maxItems/minItems derive from the tree's degree and travel through
+	// Clone, so every version of a tree splits and merges identically.
+	maxItems int
+	minItems int
 }
 
 type item[K, V any] struct {
@@ -43,15 +48,41 @@ type item[K, V any] struct {
 }
 
 type node[K, V any] struct {
-	cow      *cow
+	cow *cow
+	// itemsCow is the ownership token for the items slice specifically: a
+	// path copy of an interior node shares the source's items array (the
+	// separators only change on a split, merge or rotation, which are rare
+	// next to plain descents) and copies it lazily via ownItems the first
+	// time they actually change. Leaves always copy — reaching a leaf means
+	// mutating it. This matters because the items array is ~90% of an
+	// interior node's bytes; sharing it makes an interior path copy cost a
+	// node header plus a child-pointer slice instead of a full node.
+	itemsCow *cow
 	items    []item[K, V]
 	children []*node[K, V] // nil for leaves
 }
 
-// New returns an empty tree ordered by less.
+// New returns an empty tree of DefaultDegree ordered by less.
 func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return NewDegree[K, V](DefaultDegree, less)
+}
+
+// NewDegree returns an empty tree ordered by less whose nodes have between
+// degree and 2*degree children (degree-1 to 2*degree-1 items). Smaller
+// degrees copy fewer bytes per copy-on-write mutation at the cost of a
+// deeper tree; degree must be at least 2.
+func NewDegree[K, V any](degree int, less func(a, b K) bool) *Tree[K, V] {
+	if degree < 2 {
+		panic("btree: degree must be at least 2")
+	}
 	c := &cow{}
-	return &Tree[K, V]{less: less, root: &node[K, V]{cow: c}, cow: c}
+	return &Tree[K, V]{
+		less:     less,
+		root:     &node[K, V]{cow: c, itemsCow: c},
+		cow:      c,
+		maxItems: 2*degree - 1,
+		minItems: degree - 1,
+	}
 }
 
 // Clone returns a copy of the tree in O(1): both trees share every node
@@ -61,31 +92,78 @@ func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
 // the original) are still live; sqldb guarantees this by never mutating a
 // committed root.
 func (t *Tree[K, V]) Clone() *Tree[K, V] {
-	return &Tree[K, V]{less: t.less, root: t.root, size: t.size, cow: &cow{}}
+	return &Tree[K, V]{
+		less: t.less, root: t.root, size: t.size, cow: &cow{},
+		maxItems: t.maxItems, minItems: t.minItems,
+	}
 }
 
 // mutable returns n if this tree owns it, otherwise a private copy stamped
 // with this tree's token. Callers must store the result back into the
-// parent (or the root) before mutating it.
+// parent (or the root) before mutating it. An interior copy shares the
+// source's items array — the source belongs to an earlier, now-immutable
+// generation, so sharing is safe until this tree mutates the separators, at
+// which point ownItems copies them. A leaf copy takes its items eagerly.
 func (t *Tree[K, V]) mutable(n *node[K, V]) *node[K, V] {
 	if n.cow == t.cow {
 		return n
 	}
 	cp := &node[K, V]{cow: t.cow}
-	// Size the copy by occupancy, not by the source's capacity: nodes sit
-	// around 2/3 full on average, and a full-capacity copy of every node on
-	// the path is the dominant allocation of a copy-on-write mutation. A
-	// small headroom keeps the common insert-after-copy from growing the
-	// slice again immediately.
-	c := len(n.items) + 4
-	if c > maxItems {
-		c = maxItems
+	if n.leaf() {
+		// Size the copy by occupancy, not by the source's capacity: nodes
+		// sit around 2/3 full on average, and full-capacity leaf copies are
+		// the dominant allocation of a copy-on-write mutation. A small
+		// headroom keeps the common insert-after-copy from growing the
+		// slice again immediately.
+		c := len(n.items) + 4
+		if c > t.maxItems {
+			c = t.maxItems
+		}
+		cp.itemsCow = t.cow
+		cp.items = append(make([]item[K, V], 0, c), n.items...)
+		return cp
 	}
-	cp.items = append(make([]item[K, V], 0, c), n.items...)
-	if !n.leaf() {
-		cp.children = append(make([]*node[K, V], 0, len(n.children)+4), n.children...)
+	cp.itemsCow = n.itemsCow
+	cp.items = n.items
+	cc := len(n.children) + 4
+	if cc > t.maxItems+1 {
+		cc = t.maxItems + 1
 	}
+	cp.children = append(make([]*node[K, V], 0, cc), n.children...)
 	return cp
+}
+
+// ownItems makes n's items array private to this tree (copying it if it is
+// still shared with an earlier generation) so separators can be mutated in
+// place. n itself must already be mutable.
+func (t *Tree[K, V]) ownItems(n *node[K, V]) {
+	if n.itemsCow == t.cow {
+		return
+	}
+	c := len(n.items) + 4
+	if c > t.maxItems {
+		c = t.maxItems
+	}
+	n.items = append(make([]item[K, V], 0, c), n.items...)
+	n.itemsCow = t.cow
+}
+
+// clearItems zeroes vacated item slots so shrunk nodes do not pin deleted
+// keys and values (Rows, strings) for as long as the node stays reachable
+// from a published MVCC root.
+func clearItems[K, V any](s []item[K, V], from, to int) {
+	var zero item[K, V]
+	for i := from; i < to; i++ {
+		s[i] = zero
+	}
+}
+
+// clearChildren zeroes vacated child-pointer slots; a stale pointer beyond
+// len would otherwise keep an entire detached subtree alive.
+func clearChildren[K, V any](s []*node[K, V], from, to int) {
+	for i := from; i < to; i++ {
+		s[i] = nil
+	}
 }
 
 // Len reports the number of items stored in the tree.
@@ -131,9 +209,9 @@ func (t *Tree[K, V]) Get(key K) (V, bool) {
 // It reports whether an existing value was replaced.
 func (t *Tree[K, V]) Set(key K, val V) bool {
 	t.root = t.mutable(t.root)
-	if len(t.root.items) == maxItems {
+	if len(t.root.items) == t.maxItems {
 		old := t.root
-		t.root = &node[K, V]{cow: t.cow, children: []*node[K, V]{old}}
+		t.root = &node[K, V]{cow: t.cow, itemsCow: t.cow, children: []*node[K, V]{old}}
 		t.splitChild(t.root, 0)
 	}
 	replaced := t.insertNonFull(t.root, key, val)
@@ -149,6 +227,7 @@ func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) bool {
 	for {
 		i, ok := t.find(n, key)
 		if ok {
+			t.ownItems(n)
 			n.items[i].val = val
 			return true
 		}
@@ -158,7 +237,7 @@ func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) bool {
 			n.items[i] = item[K, V]{key: key, val: val}
 			return false
 		}
-		if len(n.children[i].items) == maxItems {
+		if len(n.children[i].items) == t.maxItems {
 			t.splitChild(n, i)
 			// The promoted separator may equal or order before key.
 			if !t.less(key, n.items[i].key) {
@@ -179,17 +258,27 @@ func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) bool {
 func (t *Tree[K, V]) splitChild(n *node[K, V], i int) {
 	n.children[i] = t.mutable(n.children[i])
 	child := n.children[i]
-	mid := maxItems / 2
+	mid := t.maxItems / 2
 	median := child.items[mid]
 
-	right := &node[K, V]{cow: t.cow}
-	right.items = append(right.items, child.items[mid+1:]...)
-	child.items = child.items[:mid]
+	right := &node[K, V]{cow: t.cow, itemsCow: t.cow}
+	right.items = append(make([]item[K, V], 0, mid+4), child.items[mid+1:]...)
+	if child.itemsCow == t.cow {
+		clearItems(child.items, mid, len(child.items))
+		child.items = child.items[:mid]
+	} else {
+		// Shared with an earlier generation: take the left half directly
+		// instead of copying all items only to truncate them.
+		child.items = append(make([]item[K, V], 0, mid+4), child.items[:mid]...)
+		child.itemsCow = t.cow
+	}
 	if !child.leaf() {
 		right.children = append(right.children, child.children[mid+1:]...)
+		clearChildren(child.children, mid+1, len(child.children))
 		child.children = child.children[:mid+1]
 	}
 
+	t.ownItems(n)
 	n.items = append(n.items, item[K, V]{})
 	copy(n.items[i+1:], n.items[i:])
 	n.items[i] = median
@@ -218,19 +307,23 @@ func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
 		if !found {
 			return false
 		}
-		n.items = append(n.items[:i], n.items[i+1:]...)
+		copy(n.items[i:], n.items[i+1:])
+		clearItems(n.items, len(n.items)-1, len(n.items))
+		n.items = n.items[:len(n.items)-1]
 		return true
 	}
 	if found {
 		// Replace with predecessor from the left subtree, then delete it there.
-		if left := n.children[i]; len(left.items) > minItems {
+		if left := n.children[i]; len(left.items) > t.minItems {
 			pred := t.max(left)
+			t.ownItems(n)
 			n.items[i] = pred
 			n.children[i] = t.mutable(left)
 			return t.delete(n.children[i], pred.key)
 		}
-		if right := n.children[i+1]; len(right.items) > minItems {
+		if right := n.children[i+1]; len(right.items) > t.minItems {
 			succ := t.min(right)
+			t.ownItems(n)
 			n.items[i] = succ
 			n.children[i+1] = t.mutable(right)
 			return t.delete(n.children[i+1], succ.key)
@@ -239,7 +332,7 @@ func (t *Tree[K, V]) delete(n *node[K, V], key K) bool {
 		return t.delete(n.children[i], key)
 	}
 	// Descend, topping up the child if it is minimal.
-	if len(n.children[i].items) == minItems {
+	if len(n.children[i].items) == t.minItems {
 		i = t.fixChild(n, i)
 	}
 	n.children[i] = t.mutable(n.children[i])
@@ -266,33 +359,45 @@ func (t *Tree[K, V]) min(n *node[K, V]) item[K, V] {
 func (t *Tree[K, V]) fixChild(n *node[K, V], i int) int {
 	n.children[i] = t.mutable(n.children[i])
 	child := n.children[i]
-	if i > 0 && len(n.children[i-1].items) > minItems {
+	if i > 0 && len(n.children[i-1].items) > t.minItems {
 		// Rotate right: left sibling's last item -> separator -> child front.
 		n.children[i-1] = t.mutable(n.children[i-1])
 		left := n.children[i-1]
+		t.ownItems(n)
+		t.ownItems(child)
+		t.ownItems(left)
 		child.items = append(child.items, item[K, V]{})
 		copy(child.items[1:], child.items)
 		child.items[0] = n.items[i-1]
 		n.items[i-1] = left.items[len(left.items)-1]
+		clearItems(left.items, len(left.items)-1, len(left.items))
 		left.items = left.items[:len(left.items)-1]
 		if !child.leaf() {
 			child.children = append(child.children, nil)
 			copy(child.children[1:], child.children)
 			child.children[0] = left.children[len(left.children)-1]
+			clearChildren(left.children, len(left.children)-1, len(left.children))
 			left.children = left.children[:len(left.children)-1]
 		}
 		return i
 	}
-	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+	if i < len(n.children)-1 && len(n.children[i+1].items) > t.minItems {
 		// Rotate left.
 		n.children[i+1] = t.mutable(n.children[i+1])
 		right := n.children[i+1]
+		t.ownItems(n)
+		t.ownItems(child)
+		t.ownItems(right)
 		child.items = append(child.items, n.items[i])
 		n.items[i] = right.items[0]
-		right.items = append(right.items[:0], right.items[1:]...)
+		copy(right.items, right.items[1:])
+		clearItems(right.items, len(right.items)-1, len(right.items))
+		right.items = right.items[:len(right.items)-1]
 		if !child.leaf() {
 			child.children = append(child.children, right.children[0])
-			right.children = append(right.children[:0], right.children[1:]...)
+			copy(right.children, right.children[1:])
+			clearChildren(right.children, len(right.children)-1, len(right.children))
+			right.children = right.children[:len(right.children)-1]
 		}
 		return i
 	}
@@ -308,11 +413,17 @@ func (t *Tree[K, V]) fixChild(n *node[K, V], i int) int {
 func (t *Tree[K, V]) mergeChildren(n *node[K, V], i int) {
 	n.children[i] = t.mutable(n.children[i])
 	left, right := n.children[i], n.children[i+1]
+	t.ownItems(n)
+	t.ownItems(left)
 	left.items = append(left.items, n.items[i])
 	left.items = append(left.items, right.items...)
 	left.children = append(left.children, right.children...)
-	n.items = append(n.items[:i], n.items[i+1:]...)
-	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	copy(n.items[i:], n.items[i+1:])
+	clearItems(n.items, len(n.items)-1, len(n.items))
+	n.items = n.items[:len(n.items)-1]
+	copy(n.children[i+1:], n.children[i+2:])
+	clearChildren(n.children, len(n.children)-1, len(n.children))
+	n.children = n.children[:len(n.children)-1]
 }
 
 // Ascend calls fn for each item in key order, starting at the smallest key,

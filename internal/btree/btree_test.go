@@ -439,3 +439,156 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(i % 100000)
 	}
 }
+
+// TestNewDegree exercises a small-fanout tree through the same workload as
+// the randomized test: the split/merge thresholds derive from the degree, so
+// a degree-3 tree hits rebalancing constantly.
+func TestNewDegree(t *testing.T) {
+	tr := NewDegree[int, int](3, func(a, b int) bool { return a < b })
+	rng := rand.New(rand.NewSource(7))
+	ref := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(600)
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Set(k, i)
+			ref[k] = i
+		case 2:
+			tr.Delete(k)
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", k, got, ok, want)
+		}
+	}
+	clone := tr.Clone()
+	for k := range ref {
+		tr.Delete(k)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after delete-all = %d", tr.Len())
+	}
+	if clone.Len() != len(ref) {
+		t.Fatalf("clone.Len = %d, want %d", clone.Len(), len(ref))
+	}
+	if got := tr.Clone().Len(); got != 0 {
+		t.Fatalf("Clone of emptied tree has Len %d", got)
+	}
+}
+
+func TestDegreePanicsBelowTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDegree(1, ...) did not panic")
+		}
+	}()
+	NewDegree[int, int](1, func(a, b int) bool { return a < b })
+}
+
+// checkNoRetention walks every node asserting that the slots between len and
+// cap of its slices are zeroed: a non-zero slot past len pins a deleted key,
+// value or detached subtree for as long as the node is reachable from a live
+// root. Every shrink site (leaf delete, split truncation, rotations, merges)
+// must clear the slots it vacates.
+func checkNoRetention(t *testing.T, tr *Tree[int, *[]byte]) {
+	t.Helper()
+	var walk func(n *node[int, *[]byte])
+	walk = func(n *node[int, *[]byte]) {
+		spare := n.items[len(n.items):cap(n.items)]
+		for i := range spare {
+			if spare[i].key != 0 || spare[i].val != nil {
+				t.Fatalf("stale item %d/%d past len %d: key=%d val=%p",
+					i, len(spare), len(n.items), spare[i].key, spare[i].val)
+			}
+		}
+		spareC := n.children[len(n.children):cap(n.children)]
+		for i := range spareC {
+			if spareC[i] != nil {
+				t.Fatalf("stale child pointer %d past len %d", i, len(n.children))
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(tr.root)
+}
+
+// TestDeleteDoesNotRetainValues drives trees of two fan-outs through a
+// clone-heavy mixed workload — the access pattern of sqldb's MVCC roots —
+// and verifies no vacated slice slot still references a deleted value.
+func TestDeleteDoesNotRetainValues(t *testing.T) {
+	for _, degree := range []int{3, 8, DefaultDegree} {
+		tr := NewDegree[int, *[]byte](degree, func(a, b int) bool { return a < b })
+		rng := rand.New(rand.NewSource(int64(degree)))
+		live := map[int]*[]byte{}
+		for i := 0; i < 8000; i++ {
+			k := 1 + rng.Intn(900)
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := make([]byte, 16)
+				tr.Set(k, &v)
+				live[k] = &v
+			case 3:
+				tr.Delete(k)
+				delete(live, k)
+			case 4:
+				// Shift ownership the way a committed root hands off to the
+				// next writer's clone; the old tree is dropped.
+				tr = tr.Clone()
+			}
+		}
+		checkNoRetention(t, tr)
+		for k, want := range live {
+			got, ok := tr.Get(k)
+			if !ok || got != want {
+				t.Fatalf("degree %d: Get(%d) lost value after workload", degree, k)
+			}
+		}
+		// Drain completely: the delete path's merges and rotations must also
+		// leave nothing behind.
+		for k := range live {
+			tr.Delete(k)
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("degree %d: Len=%d after drain", degree, tr.Len())
+		}
+		checkNoRetention(t, tr)
+	}
+}
+
+// TestMutableCopySizedByOccupancy asserts the copy-on-write node copy
+// allocates by occupancy rather than inheriting the source capacity, so a
+// once-full node that shrank doesn't stay expensive to copy forever.
+func TestMutableCopySizedByOccupancy(t *testing.T) {
+	tr := New[int, int](func(a, b int) bool { return a < b })
+	for i := 0; i < 200; i++ {
+		tr.Set(i, i)
+	}
+	for i := 0; i < 200; i += 2 {
+		tr.Delete(i)
+	}
+	clone := tr.Clone()
+	clone.Set(1, -1) // force a path copy in the clone
+	var walk func(n *node[int, int])
+	walk = func(n *node[int, int]) {
+		// Only items arrays this clone allocated itself: interior copies
+		// share the source generation's arrays until a separator changes.
+		if n.itemsCow == clone.cow {
+			if cap(n.items) > len(n.items)+4 && cap(n.items) > clone.maxItems {
+				t.Fatalf("copied node cap %d for len %d exceeds occupancy sizing",
+					cap(n.items), len(n.items))
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(clone.root)
+}

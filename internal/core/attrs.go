@@ -35,7 +35,7 @@ func (c *Catalog) DefineAttribute(dn, name string, typ AttrType, description str
 		}
 		out = AttributeDef{
 			ID: res.LastInsertID, Name: name, Type: typ,
-			Description: description, Creator: dn, Created: now.M,
+			Description: description, Creator: dn, Created: now.Time(),
 		}
 		return nil
 	})
@@ -63,8 +63,8 @@ func (c *Catalog) getAttributeDefQ(q querier, name string) (AttributeDef, error)
 	}
 	r := rows.Data[0]
 	return AttributeDef{
-		ID: r[0].I, Name: r[1].S, Type: AttrType(r[2].S),
-		Description: r[3].S, Creator: r[4].S, Created: r[5].M,
+		ID: r[0].Int(), Name: r[1].S, Type: AttrType(r[2].S),
+		Description: r[3].S, Creator: r[4].S, Created: r[5].Time(),
 	}, nil
 }
 
@@ -79,8 +79,8 @@ func (c *Catalog) ListAttributeDefs() ([]AttributeDef, error) {
 	defs := make([]AttributeDef, 0, len(rows.Data))
 	for _, r := range rows.Data {
 		defs = append(defs, AttributeDef{
-			ID: r[0].I, Name: r[1].S, Type: AttrType(r[2].S),
-			Description: r[3].S, Creator: r[4].S, Created: r[5].M,
+			ID: r[0].Int(), Name: r[1].S, Type: AttrType(r[2].S),
+			Description: r[3].S, Creator: r[4].S, Created: r[5].Time(),
 		})
 	}
 	return defs, nil
@@ -209,15 +209,15 @@ func decodeAttrRow(r []sqldb.Value) Attribute {
 	case AttrString:
 		v = String(r[2].S)
 	case AttrInt:
-		v = Int(r[3].I)
+		v = Int(r[3].Int())
 	case AttrFloat:
-		v = Float(r[4].F)
+		v = Float(r[4].Float())
 	case AttrDate:
-		v = AttrValue{Type: AttrDate, T: r[5].M}
+		v = AttrValue{Type: AttrDate, T: r[5].Time()}
 	case AttrTime:
-		v = AttrValue{Type: AttrTime, T: r[5].M}
+		v = AttrValue{Type: AttrTime, T: r[5].Time()}
 	default:
-		v = AttrValue{Type: AttrDateTime, T: r[5].M}
+		v = AttrValue{Type: AttrDateTime, T: r[5].Time()}
 	}
 	return Attribute{Name: r[0].S, Value: v}
 }

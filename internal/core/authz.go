@@ -183,7 +183,7 @@ func (c *Catalog) allowedUncachedQ(q querier, dn string, objType ObjectType, id 
 			return false, err
 		}
 		if len(rows.Data) > 0 && !rows.Data[0][0].IsNull() {
-			startCollection = rows.Data[0][0].I
+			startCollection = rows.Data[0][0].Int()
 		}
 	case ObjectCollection:
 		rows, err := q.Query("SELECT parent_id FROM logical_collection WHERE id = ?", sqldb.Int(id))
@@ -191,7 +191,7 @@ func (c *Catalog) allowedUncachedQ(q querier, dn string, objType ObjectType, id 
 			return false, err
 		}
 		if len(rows.Data) > 0 && !rows.Data[0][0].IsNull() {
-			startCollection = rows.Data[0][0].I
+			startCollection = rows.Data[0][0].Int()
 		}
 	}
 	if startCollection == 0 {

@@ -160,7 +160,7 @@ func (c *Catalog) createFileTx(tx *sqldb.Tx, dn string, spec FileSpec, op opSett
 	if version == 0 {
 		version = 1
 		if len(rows.Data) > 0 {
-			version = int(rows.Data[0][0].I) + 1
+			version = int(rows.Data[0][0].Int()) + 1
 		}
 	} else {
 		dup, err := tx.Query("SELECT id FROM logical_file WHERE name = ? AND version = ?",
@@ -208,7 +208,7 @@ func (c *Catalog) createFileTx(tx *sqldb.Tx, dn string, spec FileSpec, op opSett
 		Valid: true, CollectionID: collectionID, ContainerID: spec.ContainerID,
 		ContainerService: spec.ContainerService, MasterCopy: spec.MasterCopy,
 		Creator: dn, LastModifier: dn,
-		Created: now.M, Modified: now.M, Audited: spec.Audited,
+		Created: now.Time(), Modified: now.Time(), Audited: spec.Audited,
 	}, nil
 }
 
@@ -226,23 +226,23 @@ const fileColumns = `id, name, version, data_type, valid, collection_id,
 
 func scanFile(row []sqldb.Value) File {
 	f := File{
-		ID:       row[0].I,
+		ID:       row[0].Int(),
 		Name:     row[1].S,
-		Version:  int(row[2].I),
+		Version:  int(row[2].Int()),
 		DataType: row[3].S,
-		Valid:    row[4].B,
+		Valid:    row[4].Bool(),
 	}
 	if !row[5].IsNull() {
-		f.CollectionID = row[5].I
+		f.CollectionID = row[5].Int()
 	}
 	f.ContainerID = row[6].S
 	f.ContainerService = row[7].S
 	f.MasterCopy = row[8].S
 	f.Creator = row[9].S
 	f.LastModifier = row[10].S
-	f.Created = row[11].M
-	f.Modified = row[12].M
-	f.Audited = row[13].B
+	f.Created = row[11].Time()
+	f.Modified = row[12].Time()
+	f.Audited = row[13].Bool()
 	return f
 }
 
@@ -387,7 +387,7 @@ func (c *Catalog) updateFileTx(tx *sqldb.Tx, dn, name string, version int, upd F
 	add("last_modifier", sqldb.Text(dn))
 	add("modified", now)
 	f.LastModifier = dn
-	f.Modified = now.M
+	f.Modified = now.Time()
 	args = append(args, sqldb.Int(f.ID))
 	if _, err := tx.Exec("UPDATE logical_file SET "+set+" WHERE id = ?", args...); err != nil {
 		return File{}, err

@@ -11,18 +11,18 @@ const collectionColumns = `id, name, description, parent_id, creator,
 
 func scanCollection(row []sqldb.Value) Collection {
 	col := Collection{
-		ID:          row[0].I,
+		ID:          row[0].Int(),
 		Name:        row[1].S,
 		Description: row[2].S,
 	}
 	if !row[3].IsNull() {
-		col.ParentID = row[3].I
+		col.ParentID = row[3].Int()
 	}
 	col.Creator = row[4].S
 	col.LastModifier = row[5].S
-	col.Created = row[6].M
-	col.Modified = row[7].M
-	col.Audited = row[8].B
+	col.Created = row[6].Time()
+	col.Modified = row[7].Time()
+	col.Audited = row[8].Bool()
 	return col
 }
 
@@ -99,7 +99,7 @@ func (c *Catalog) CreateCollection(dn string, spec CollectionSpec, opts ...OpOpt
 		}
 		out = Collection{
 			ID: id, Name: spec.Name, Description: spec.Description, ParentID: parentID,
-			Creator: dn, LastModifier: dn, Created: now.M, Modified: now.M, Audited: spec.Audited,
+			Creator: dn, LastModifier: dn, Created: now.Time(), Modified: now.Time(), Audited: spec.Audited,
 		}
 		return nil
 	})
@@ -203,9 +203,9 @@ func (c *Catalog) collectionParentsQ(q querier) (map[int64]int64, error) {
 	m := make(map[int64]int64, len(rows.Data))
 	for _, r := range rows.Data {
 		if r[1].IsNull() {
-			m[r[0].I] = 0
+			m[r[0].Int()] = 0
 		} else {
-			m[r[0].I] = r[1].I
+			m[r[0].Int()] = r[1].Int()
 		}
 	}
 	if cacheable {
@@ -267,9 +267,9 @@ func (c *Catalog) DeleteCollection(dn, name string, opts ...OpOption) error {
 	if err != nil {
 		return err
 	}
-	if nfiles.Data[0][0].I > 0 || nsubs.Data[0][0].I > 0 {
+	if nfiles.Data[0][0].Int() > 0 || nsubs.Data[0][0].Int() > 0 {
 		return fmt.Errorf("%w: %q has %d files and %d sub-collections",
-			ErrNotEmpty, name, nfiles.Data[0][0].I, nsubs.Data[0][0].I)
+			ErrNotEmpty, name, nfiles.Data[0][0].Int(), nsubs.Data[0][0].Int())
 	}
 	return c.withReplay(op, "deleteCollection", nil, func(tx *sqldb.Tx) error {
 		id := sqldb.Int(col.ID)

@@ -42,8 +42,8 @@ func (c *Catalog) AuditLog(dn string, objType ObjectType, objectName string) ([]
 		recs := make([]AuditRecord, 0, len(rows.Data))
 		for _, r := range rows.Data {
 			recs = append(recs, AuditRecord{
-				ID: r[0].I, Object: ObjectType(r[1].S), ObjectID: r[2].I,
-				Action: r[3].S, DN: r[4].S, Detail: r[5].S, RequestID: r[6].S, At: r[7].M,
+				ID: r[0].Int(), Object: ObjectType(r[1].S), ObjectID: r[2].Int(),
+				Action: r[3].S, DN: r[4].S, Detail: r[5].S, RequestID: r[6].S, At: r[7].Time(),
 			})
 		}
 		return recs, nil
@@ -59,8 +59,8 @@ func (c *Catalog) AuditLog(dn string, objType ObjectType, objectName string) ([]
 	recs := make([]AuditRecord, 0, len(rows.Data))
 	for _, r := range rows.Data {
 		recs = append(recs, AuditRecord{
-			ID: r[0].I, Object: ObjectType(r[1].S), ObjectID: r[2].I,
-			Action: r[3].S, DN: r[4].S, Detail: r[5].S, At: r[6].M,
+			ID: r[0].Int(), Object: ObjectType(r[1].S), ObjectID: r[2].Int(),
+			Action: r[3].S, DN: r[4].S, Detail: r[5].S, At: r[6].Time(),
 		})
 	}
 	return recs, nil
@@ -102,7 +102,7 @@ func (c *Catalog) annotateTx(tx *sqldb.Tx, dn string, objType ObjectType, object
 	}
 	return Annotation{
 		ID: res.LastInsertID, Object: objType, ObjectID: id,
-		Text: text, Creator: dn, CreatedAt: now.M,
+		Text: text, Creator: dn, CreatedAt: now.Time(),
 	}, nil
 }
 
@@ -125,8 +125,8 @@ func (c *Catalog) Annotations(dn string, objType ObjectType, objectName string) 
 	anns := make([]Annotation, 0, len(rows.Data))
 	for _, r := range rows.Data {
 		anns = append(anns, Annotation{
-			ID: r[0].I, Object: objType, ObjectID: id,
-			Text: r[1].S, Creator: r[2].S, CreatedAt: r[3].M,
+			ID: r[0].Int(), Object: objType, ObjectID: id,
+			Text: r[1].S, Creator: r[2].S, CreatedAt: r[3].Time(),
 		})
 	}
 	return anns, nil
@@ -163,7 +163,7 @@ func (c *Catalog) Provenance(dn, fileName string, version int) ([]ProvenanceReco
 	}
 	recs := make([]ProvenanceRecord, 0, len(rows.Data))
 	for _, r := range rows.Data {
-		recs = append(recs, ProvenanceRecord{ID: r[0].I, FileID: r[1].I, Description: r[2].S, At: r[3].M})
+		recs = append(recs, ProvenanceRecord{ID: r[0].Int(), FileID: r[1].Int(), Description: r[2].S, At: r[3].Time()})
 	}
 	return recs, nil
 }
@@ -239,7 +239,7 @@ func (c *Catalog) ExternalCatalogs(dn string) ([]ExternalCatalog, error) {
 	out := make([]ExternalCatalog, 0, len(rows.Data))
 	for _, r := range rows.Data {
 		out = append(out, ExternalCatalog{
-			ID: r[0].I, Name: r[1].S, Type: r[2].S, Host: r[3].S, IP: r[4].S, Description: r[5].S,
+			ID: r[0].Int(), Name: r[1].S, Type: r[2].S, Host: r[3].S, IP: r[4].S, Description: r[5].S,
 		})
 	}
 	return out, nil
@@ -262,15 +262,15 @@ func (c *Catalog) AttributePairs(objType ObjectType, fn func(attr, value string)
 		case AttrString:
 			v = String(r[2].S)
 		case AttrInt:
-			v = Int(r[3].I)
+			v = Int(r[3].Int())
 		case AttrFloat:
-			v = Float(r[4].F)
+			v = Float(r[4].Float())
 		case AttrDate:
-			v = AttrValue{Type: AttrDate, T: r[5].M}
+			v = AttrValue{Type: AttrDate, T: r[5].Time()}
 		case AttrTime:
-			v = AttrValue{Type: AttrTime, T: r[5].M}
+			v = AttrValue{Type: AttrTime, T: r[5].Time()}
 		default:
-			v = AttrValue{Type: AttrDateTime, T: r[5].M}
+			v = AttrValue{Type: AttrDateTime, T: r[5].Time()}
 		}
 		if !fn(r[0].S, v.Render()) {
 			return nil

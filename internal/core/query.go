@@ -297,7 +297,7 @@ func (c *Catalog) objectIDsByName(table string, names []string) (map[string][]in
 			return err
 		}
 		for _, r := range rows.Data {
-			out[r[0].S] = append(out[r[0].S], r[1].I)
+			out[r[0].S] = append(out[r[0].S], r[1].Int())
 		}
 		return nil
 	})
@@ -330,7 +330,7 @@ func (c *Catalog) attributesBatch(objType ObjectType, ids []int64) (map[int64][]
 			return err
 		}
 		for _, r := range rows.Data {
-			out[r[0].I] = append(out[r[0].I], decodeAttrRow(r[1:]))
+			out[r[0].Int()] = append(out[r[0].Int()], decodeAttrRow(r[1:]))
 		}
 		return nil
 	})

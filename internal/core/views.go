@@ -10,14 +10,14 @@ const viewColumns = `id, name, description, creator, last_modifier, created, mod
 
 func scanView(row []sqldb.Value) View {
 	return View{
-		ID:           row[0].I,
+		ID:           row[0].Int(),
 		Name:         row[1].S,
 		Description:  row[2].S,
 		Creator:      row[3].S,
 		LastModifier: row[4].S,
-		Created:      row[5].M,
-		Modified:     row[6].M,
-		Audited:      row[7].B,
+		Created:      row[5].Time(),
+		Modified:     row[6].Time(),
+		Audited:      row[7].Bool(),
 	}
 }
 
@@ -58,7 +58,7 @@ func (c *Catalog) CreateView(dn string, spec ViewSpec, opts ...OpOption) (View, 
 		}
 		out = View{
 			ID: res.LastInsertID, Name: spec.Name, Description: spec.Description,
-			Creator: dn, LastModifier: dn, Created: now.M, Modified: now.M, Audited: spec.Audited,
+			Creator: dn, LastModifier: dn, Created: now.Time(), Modified: now.Time(), Audited: spec.Audited,
 		}
 		return nil
 	})
@@ -134,7 +134,7 @@ func (c *Catalog) viewReaches(fromID, targetID int64) (bool, error) {
 		return false, err
 	}
 	for _, r := range rows.Data {
-		hit, err := c.viewReaches(r[0].I, targetID)
+		hit, err := c.viewReaches(r[0].Int(), targetID)
 		if err != nil || hit {
 			return hit, err
 		}
@@ -237,7 +237,7 @@ func (c *Catalog) ViewContents(dn, viewName string) ([]ViewMember, error) {
 	}
 	members := make([]ViewMember, 0, len(rows.Data))
 	for _, r := range rows.Data {
-		m := ViewMember{Type: ObjectType(r[0].S), ID: r[1].I}
+		m := ViewMember{Type: ObjectType(r[0].S), ID: r[1].Int()}
 		var table string
 		switch m.Type {
 		case ObjectFile:
@@ -285,7 +285,7 @@ func (c *Catalog) ExpandView(dn, viewName string) ([]string, error) {
 			return err
 		}
 		for _, r := range crows.Data {
-			if err := expandCollection(r[0].I); err != nil {
+			if err := expandCollection(r[0].Int()); err != nil {
 				return err
 			}
 		}

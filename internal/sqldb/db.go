@@ -188,6 +188,7 @@ func (db *DB) applyWALRecord(lsn uint64, stmts []redoStmt) error {
 		}
 	}
 	tx.done = true
+	tx.flushWork() // replay bypasses Commit, which normally flushes
 	tx.work.lsn = lsn
 	db.root.Store(tx.work)
 	db.wmu.Unlock()
@@ -338,6 +339,19 @@ func (tx *Tx) noteRedo(sql string, st Statement, args []Value) {
 // after Commit returns.
 func (tx *Tx) LSN() uint64 { return tx.lsn }
 
+// flushWork applies the pending index deltas of every table this
+// transaction has cloned. Index maintenance is deferred per table (see
+// index.flush); this runs before any statement that scans an index inside
+// the transaction and before the shadow root is published, so no root ever
+// becomes visible with unapplied deltas.
+func (tx *Tx) flushWork() {
+	for name := range tx.owned {
+		if t, ok := tx.work.tables[name]; ok {
+			t.flushIndexes()
+		}
+	}
+}
+
 // writable returns the transaction's private copy of a table, cloning the
 // committed version on first touch and re-pointing its indexes in the
 // shadow root's namespace.
@@ -397,6 +411,7 @@ func (tx *Tx) Query(sql string, args ...Value) (*Rows, error) {
 	if err := tx.db.checkFault(st); err != nil {
 		return nil, err
 	}
+	tx.flushWork()
 	return tx.work.executeSelect(sel, args)
 }
 
@@ -413,6 +428,7 @@ func (tx *Tx) Commit() error {
 		return ErrTxDone
 	}
 	tx.done = true
+	tx.flushWork()
 	w := tx.db.wal
 	if w != nil && len(tx.redo) > 0 {
 		lsn := tx.work.lsn + 1
@@ -478,6 +494,7 @@ func (tx *Tx) execStmt(st Statement, args []Value) (Result, error) {
 	case *DeleteStmt:
 		return tx.execDelete(s, args)
 	case *SelectStmt:
+		tx.flushWork()
 		_, err := tx.work.executeSelect(s, args)
 		return Result{}, err
 	}
@@ -523,14 +540,17 @@ func (tx *Tx) createIndex(s *CreateIndexStmt) (Result, error) {
 		cols[i] = p
 	}
 	ix := newIndex(s.Name, t, cols, s.Unique)
-	// Backfill existing rows, verifying uniqueness as we go.
+	// Backfill existing rows, verifying uniqueness as we go. The tree is
+	// written directly (not via the pending-delta path) so checkUnique's
+	// tree probe sees every row backfilled so far without an O(n²) scan of
+	// an ever-growing delta list.
 	var backfillErr error
 	t.rows.Ascend(func(rowid int64, row Row) bool {
 		if err := ix.checkUnique(rowid, row); err != nil {
 			backfillErr = err
 			return false
 		}
-		ix.insert(rowid, row)
+		ix.tree.Set(ix.keyFor(rowid, row), struct{}{})
 		return true
 	})
 	if backfillErr != nil {
@@ -632,7 +652,7 @@ func (tx *Tx) execInsert(s *InsertStmt, args []Value) (Result, error) {
 		}
 		res.RowsAffected++
 		if autoCol >= 0 {
-			res.LastInsertID = row[autoCol].I
+			res.LastInsertID = row[autoCol].Int()
 		}
 	}
 	return res, nil
@@ -681,6 +701,7 @@ func (tx *Tx) execUpdate(s *UpdateStmt, args []Value) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	t.flushIndexes() // matchingRowIDs may probe this table's indexes
 	ids, err := matchingRowIDs(t, s.Table, s.Where, args)
 	if err != nil {
 		return Result{}, err
@@ -726,6 +747,7 @@ func (tx *Tx) execDelete(s *DeleteStmt, args []Value) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	t.flushIndexes() // matchingRowIDs may probe this table's indexes
 	ids, err := matchingRowIDs(t, s.Table, s.Where, args)
 	if err != nil {
 		return Result{}, err

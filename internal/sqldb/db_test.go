@@ -77,7 +77,7 @@ func TestInsertTypeChecking(t *testing.T) {
 	// int -> float widening is allowed
 	mustExec(t, db, "INSERT INTO files (name, score) VALUES ('w', 3)")
 	rows := mustQuery(t, db, "SELECT score FROM files WHERE name = 'w'")
-	if rows.Data[0][0].T != TypeFloat || rows.Data[0][0].F != 3 {
+	if rows.Data[0][0].T != TypeFloat || rows.Data[0][0].Float() != 3 {
 		t.Fatalf("widened value = %v", rows.Data[0][0])
 	}
 }
@@ -90,7 +90,7 @@ func TestUniqueConstraint(t *testing.T) {
 	}
 	// After the failure the table must still be consistent.
 	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files")
-	if rows.Data[0][0].I != 1 {
+	if rows.Data[0][0].Int() != 1 {
 		t.Fatalf("row count after failed insert = %v", rows.Data[0][0])
 	}
 	mustExec(t, db, "INSERT INTO files (name) VALUES ('ok')")
@@ -139,7 +139,7 @@ func TestSelectProjection(t *testing.T) {
 	if len(rows.Columns) != 2 || rows.Columns[0] != "name" || rows.Columns[1] != "size" {
 		t.Fatalf("Columns = %v", rows.Columns)
 	}
-	if rows.Data[0][0].S != "x" || rows.Data[0][1].I != 7 {
+	if rows.Data[0][0].S != "x" || rows.Data[0][1].Int() != 7 {
 		t.Fatalf("Data = %v", rows.Data)
 	}
 	star := mustQuery(t, db, "SELECT * FROM files")
@@ -161,7 +161,7 @@ func TestOrderByLimitOffset(t *testing.T) {
 	rows := mustQuery(t, db, "SELECT size FROM files ORDER BY size")
 	got := []int64{}
 	for _, r := range rows.Data {
-		got = append(got, r[0].I)
+		got = append(got, r[0].Int())
 	}
 	want := []int64{1, 3, 5, 7, 9}
 	for i := range want {
@@ -170,11 +170,11 @@ func TestOrderByLimitOffset(t *testing.T) {
 		}
 	}
 	rows = mustQuery(t, db, "SELECT size FROM files ORDER BY size DESC LIMIT 2")
-	if len(rows.Data) != 2 || rows.Data[0][0].I != 9 || rows.Data[1][0].I != 7 {
+	if len(rows.Data) != 2 || rows.Data[0][0].Int() != 9 || rows.Data[1][0].Int() != 7 {
 		t.Fatalf("ORDER BY DESC LIMIT = %v", rows.Data)
 	}
 	rows = mustQuery(t, db, "SELECT size FROM files ORDER BY size LIMIT 2 OFFSET 1")
-	if len(rows.Data) != 2 || rows.Data[0][0].I != 3 || rows.Data[1][0].I != 5 {
+	if len(rows.Data) != 2 || rows.Data[0][0].Int() != 3 || rows.Data[1][0].Int() != 5 {
 		t.Fatalf("LIMIT OFFSET = %v", rows.Data)
 	}
 	rows = mustQuery(t, db, "SELECT size FROM files ORDER BY size LIMIT 10 OFFSET 99")
@@ -189,11 +189,11 @@ func TestCountStar(t *testing.T) {
 		mustExec(t, db, "INSERT INTO files (name) VALUES (?)", Text(strings.Repeat("a", i+1)))
 	}
 	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files WHERE size IS NULL")
-	if rows.Data[0][0].I != 4 {
+	if rows.Data[0][0].Int() != 4 {
 		t.Fatalf("COUNT(*) = %v", rows.Data[0][0])
 	}
 	rows = mustQuery(t, db, "SELECT COUNT(*) AS n FROM files WHERE name = 'a'")
-	if rows.Columns[0] != "n" || rows.Data[0][0].I != 1 {
+	if rows.Columns[0] != "n" || rows.Data[0][0].Int() != 1 {
 		t.Fatalf("COUNT AS = %v %v", rows.Columns, rows.Data)
 	}
 }
@@ -218,13 +218,13 @@ func TestUpdate(t *testing.T) {
 		t.Fatalf("RowsAffected = %d, want 2", res.RowsAffected)
 	}
 	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files WHERE size = 99")
-	if rows.Data[0][0].I != 2 {
+	if rows.Data[0][0].Int() != 2 {
 		t.Fatalf("updated count = %v", rows.Data[0][0])
 	}
 	// Update through an indexed column keeps the index coherent.
 	mustExec(t, db, "UPDATE files SET name = 'renamed' WHERE name = 'a'")
 	rows = mustQuery(t, db, "SELECT size FROM files WHERE name = 'renamed'")
-	if len(rows.Data) != 1 || rows.Data[0][0].I != 1 {
+	if len(rows.Data) != 1 || rows.Data[0][0].Int() != 1 {
 		t.Fatalf("post-rename lookup = %v", rows.Data)
 	}
 	rows = mustQuery(t, db, "SELECT * FROM files WHERE name = 'a'")
@@ -241,7 +241,7 @@ func TestUpdateUniqueViolation(t *testing.T) {
 	}
 	// b must be intact.
 	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files WHERE name = 'b'")
-	if rows.Data[0][0].I != 1 {
+	if rows.Data[0][0].Int() != 1 {
 		t.Fatal("row lost after failed update")
 	}
 }
@@ -271,7 +271,7 @@ func TestParameters(t *testing.T) {
 	if len(rows.Data) != 1 {
 		t.Fatalf("param query returned %d rows", len(rows.Data))
 	}
-	if rows.Data[0][0].M.Year() != 2003 {
+	if rows.Data[0][0].Time().Year() != 2003 {
 		t.Fatalf("datetime round trip = %v", rows.Data[0][0])
 	}
 	if _, err := db.Query("SELECT * FROM files WHERE name = ?"); err == nil {
@@ -283,7 +283,7 @@ func TestDatetimeCoercionFromText(t *testing.T) {
 	db := newTestDB(t)
 	mustExec(t, db, "INSERT INTO files (name, created) VALUES ('t', '2003-11-15 12:30:00')")
 	rows := mustQuery(t, db, "SELECT created FROM files WHERE name = 't'")
-	if got := rows.Data[0][0].M; got.Month() != time.November || got.Hour() != 12 {
+	if got := rows.Data[0][0].Time(); got.Month() != time.November || got.Hour() != 12 {
 		t.Fatalf("parsed datetime = %v", got)
 	}
 	if _, err := db.Exec("INSERT INTO files (name, created) VALUES ('u', 'not a date')"); err == nil {
@@ -447,14 +447,14 @@ func TestTransactionCommit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0].I != 1 {
+	if rows.Data[0][0].Int() != 1 {
 		t.Fatal("tx does not see its own write")
 	}
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	rows = mustQuery(t, db, "SELECT COUNT(*) FROM files")
-	if rows.Data[0][0].I != 1 {
+	if rows.Data[0][0].Int() != 1 {
 		t.Fatal("committed write lost")
 	}
 	if err := tx.Commit(); err != ErrTxDone {
@@ -474,7 +474,7 @@ func TestTransactionRollback(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := mustQuery(t, db, "SELECT name, size FROM files")
-	if len(rows.Data) != 1 || rows.Data[0][0].S != "keep" || rows.Data[0][1].I != 1 {
+	if len(rows.Data) != 1 || rows.Data[0][0].S != "keep" || rows.Data[0][1].Int() != 1 {
 		t.Fatalf("post-rollback state = %v", rows.Data)
 	}
 	// Indexes must also be restored: lookup by name must work.
@@ -505,7 +505,7 @@ func TestUpdateHelper(t *testing.T) {
 		t.Fatal("Update swallowed the error")
 	}
 	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files")
-	if rows.Data[0][0].I != 1 {
+	if rows.Data[0][0].Int() != 1 {
 		t.Fatalf("rows after mixed Update calls = %v", rows.Data[0][0])
 	}
 }

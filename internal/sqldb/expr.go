@@ -184,12 +184,10 @@ func evalBinary(x *BinaryExpr, e *env) (Value, error) {
 // truthy reports whether v counts as true in a WHERE clause.
 func truthy(v Value) bool {
 	switch v.T {
-	case TypeBool:
-		return v.B
-	case TypeInt:
-		return v.I != 0
+	case TypeBool, TypeInt:
+		return v.N != 0
 	case TypeFloat:
-		return v.F != 0
+		return v.Float() != 0
 	default:
 		return false
 	}

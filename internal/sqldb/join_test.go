@@ -124,7 +124,7 @@ func TestInWithParams(t *testing.T) {
 func TestSelectExpressionProjection(t *testing.T) {
 	db := setupJoinDB(t)
 	rows := mustQuery(t, db, "SELECT salary >= 100 AS senior FROM emp WHERE name = 'ann'")
-	if rows.Columns[0] != "senior" || !rows.Data[0][0].B {
+	if rows.Columns[0] != "senior" || !rows.Data[0][0].Bool() {
 		t.Fatalf("expr projection = %v %v", rows.Columns, rows.Data)
 	}
 }
@@ -161,7 +161,7 @@ func TestDatetimeRangePlan(t *testing.T) {
 	}
 	rows := mustQuery(t, db, "SELECT COUNT(*) FROM ev WHERE at >= ? AND at < ?",
 		Time(base.AddDate(0, 0, 10)), Time(base.AddDate(0, 0, 20)))
-	if rows.Data[0][0].I != 10 {
+	if rows.Data[0][0].Int() != 10 {
 		t.Fatalf("datetime range count = %v", rows.Data[0][0])
 	}
 	plan, err := db.Explain("SELECT * FROM ev WHERE at >= ?", Time(base))
@@ -182,7 +182,7 @@ func TestStatementCacheTransparency(t *testing.T) {
 	}
 	for i := 0; i < 100; i++ {
 		rows := mustQuery(t, db, "SELECT a FROM t WHERE a = ?", Int(int64(i)))
-		if len(rows.Data) != 1 || rows.Data[0][0].I != int64(i) {
+		if len(rows.Data) != 1 || rows.Data[0][0].Int() != int64(i) {
 			t.Fatalf("cached statement wrong result at %d: %v", i, rows.Data)
 		}
 	}
@@ -202,7 +202,7 @@ func TestUpdateWithExpressionOfOldValue(t *testing.T) {
 		t.Fatalf("affected = %d", res.RowsAffected)
 	}
 	rows := mustQuery(t, db, "SELECT salary FROM emp WHERE name = 'ann'")
-	if rows.Data[0][0].I != 120 {
+	if rows.Data[0][0].Int() != 120 {
 		t.Fatalf("identity update changed value: %v", rows.Data)
 	}
 }

@@ -63,7 +63,7 @@ func TestReadersSeeConsistentSnapshotMidTransaction(t *testing.T) {
 			t.Fatal(err)
 		}
 		rows := mustQuery(t, db, "SELECT COUNT(*) FROM files")
-		if n := rows.Data[0][0].I; n != 10 {
+		if n := rows.Data[0][0].Int(); n != 10 {
 			t.Fatalf("mid-tx reader saw %d rows, want 10", n)
 		}
 		// The transaction itself sees its own writes.
@@ -71,7 +71,7 @@ func TestReadersSeeConsistentSnapshotMidTransaction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if n := trows.Data[0][0].I; n != int64(i+1) {
+		if n := trows.Data[0][0].Int(); n != int64(i+1) {
 			t.Fatalf("tx saw %d of its own rows, want %d", n, i+1)
 		}
 	}
@@ -79,7 +79,7 @@ func TestReadersSeeConsistentSnapshotMidTransaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := mustQuery(t, db, "SELECT COUNT(*) FROM files")
-	if n := rows.Data[0][0].I; n != 60 {
+	if n := rows.Data[0][0].Int(); n != 60 {
 		t.Fatalf("post-commit count = %d, want 60", n)
 	}
 }
@@ -112,7 +112,7 @@ func TestRollbackPublishesNothing(t *testing.T) {
 		t.Fatalf("rollback bumped epoch %d -> %d", epoch, got)
 	}
 	rows := mustQuery(t, db, "SELECT size FROM files WHERE name = 'keep'")
-	if len(rows.Data) != 1 || rows.Data[0][0].I != 7 {
+	if len(rows.Data) != 1 || rows.Data[0][0].Int() != 7 {
 		t.Fatalf("rolled-back writes leaked: %v", rows.Data)
 	}
 	if n, _ := db.RowCount("files"); n != 1 {
@@ -255,7 +255,7 @@ func TestConcurrentReadersWriterAndDumper(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if n := rows.Data[0][0].I; n%2 != 0 {
+				if n := rows.Data[0][0].Int(); n%2 != 0 {
 					t.Errorf("reader saw odd row count %d (torn transaction)", n)
 					return
 				}

@@ -18,33 +18,62 @@ import (
 // The format is versioned gob, written from a pinned immutable MVCC root,
 // so dumping never blocks (or is blocked by) concurrent traffic.
 
-// snapshotVersion guards format evolution.
-const snapshotVersion = 1
+// snapshotVersion guards format evolution. Version 1 serialized the old
+// wide Value (separate I/F/S/B/Unix fields per cell); version 2 writes the
+// compact tagged-union form (N carries int/float-bits/bool/unix-micros).
+// Loading accepts both: gob matches fields by name and zero-fills absences,
+// so the one gobValue struct below decodes either generation and fromGob
+// picks the populated representation per the stream version.
+const snapshotVersion = 2
 
-// gobValue is the wire form of a Value (time.Time flattened for stability).
+// legacySnapshotVersion is the oldest stream generation LoadSnapshot accepts.
+const legacySnapshotVersion = 1
+
+// gobValue is the wire form of a Value. Version 2 streams populate T, N and
+// S only; the I/F/B/Unix fields exist so the same struct decodes version 1
+// streams (gob omits zero-valued fields on encode, so they cost nothing on
+// the write side).
 type gobValue struct {
-	T    Type
+	T Type
+	N int64
+	S string
+
+	// Version 1 layout, decode-only.
 	I    int64
 	F    float64
-	S    string
 	B    bool
 	Unix int64 // seconds; valid when T == TypeTime
 }
 
 func toGob(v Value) gobValue {
-	g := gobValue{T: v.T, I: v.I, F: v.F, S: v.S, B: v.B}
-	if v.T == TypeTime {
-		g.Unix = v.M.Unix()
-	}
-	return g
+	return gobValue{T: v.T, N: v.N, S: v.S}
 }
 
-func fromGob(g gobValue) Value {
-	v := Value{T: g.T, I: g.I, F: g.F, S: g.S, B: g.B}
-	if g.T == TypeTime {
-		v.M = time.Unix(g.Unix, 0).UTC()
+// fromGob rebuilds a Value from either stream generation. Text is interned:
+// a snapshot of a million rows repeats the same attribute names and type
+// tags a million times, and this is the one place every stored string
+// passes through at boot.
+func fromGob(g gobValue, version int) Value {
+	if version >= 2 {
+		v := Value{T: g.T, N: g.N, S: g.S}
+		if v.T == TypeText {
+			v.S = Intern(v.S)
+		}
+		return v
 	}
-	return v
+	switch g.T {
+	case TypeInt:
+		return Int(g.I)
+	case TypeFloat:
+		return Float(g.F)
+	case TypeText:
+		return Text(Intern(g.S))
+	case TypeBool:
+		return Bool(g.B)
+	case TypeTime:
+		return Time(time.Unix(g.Unix, 0).UTC())
+	}
+	return Null()
 }
 
 // gobIndex describes one secondary index.
@@ -127,8 +156,9 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
 		return fmt.Errorf("sqldb: decode snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("sqldb: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version < legacySnapshotVersion || snap.Version > snapshotVersion {
+		return fmt.Errorf("sqldb: snapshot version %d, want %d..%d",
+			snap.Version, legacySnapshotVersion, snapshotVersion)
 	}
 	db.wmu.Lock()
 	defer db.wmu.Unlock()
@@ -175,11 +205,14 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 			}
 			row := make(Row, len(gr))
 			for c, gv := range gr {
-				row[c] = fromGob(gv)
+				row[c] = fromGob(gv, snap.Version)
 			}
 			t.rows.Set(rowid, row)
+			// Write index trees directly; the pending-delta path exists to
+			// batch transactional writes and would only buffer the whole
+			// table here.
 			for _, ix := range t.indexes {
-				ix.insert(rowid, row)
+				ix.tree.Set(ix.keyFor(rowid, row), struct{}{})
 			}
 		}
 		work.tables[gt.Name] = t

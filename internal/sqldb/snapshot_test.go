@@ -38,7 +38,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if len(rows.Data) != 1 {
 		t.Fatalf("indexed lookup = %v", rows.Data)
 	}
-	if rows.Data[0][1].F != 41 || rows.Data[0][2].M.Hour() != (9+123)%24 {
+	if rows.Data[0][1].Float() != 41 || rows.Data[0][2].Time().Hour() != (9+123)%24 {
 		t.Fatalf("values = %v", rows.Data[0])
 	}
 	// Unique constraints still enforced.
@@ -111,11 +111,11 @@ func TestSnapshotNullsPreserved(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := mustQuery(t, db2, "SELECT COUNT(*) FROM t WHERE b IS NULL")
-	if rows.Data[0][0].I != 1 {
+	if rows.Data[0][0].Int() != 1 {
 		t.Fatalf("null b count = %v", rows.Data[0][0])
 	}
 	rows = mustQuery(t, db2, "SELECT COUNT(*) FROM t WHERE a IS NULL")
-	if rows.Data[0][0].I != 1 {
+	if rows.Data[0][0].Int() != 1 {
 		t.Fatalf("null a count = %v", rows.Data[0][0])
 	}
 }

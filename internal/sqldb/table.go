@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"mcs/internal/btree"
 )
@@ -20,12 +21,16 @@ func (r Row) clone() Row {
 // duplicate values coexist and each row has a unique entry. The first two
 // columns — the full width of every index in practice — live inline, so
 // building a key for an index insert, delete or probe allocates nothing;
-// wider keys spill the remainder into a slice.
+// wider keys spill the remainder behind a pointer. The layout is tuned for
+// bulk: index-tree nodes hold arrays of these, and every copy-on-write node
+// copy moves them, so the spill slice is a pointer (8 B, nil in practice)
+// rather than an inline slice header (24 B) and the column count is an
+// int32 packed into the pointer's padding — 88 bytes per key instead of 104.
 type indexKey struct {
 	v0, v1 Value
-	more   []Value // columns beyond the first two
-	n      int
+	more   *[]Value // columns beyond the first two, nil when n <= 2
 	rowid  int64
+	n      int32
 }
 
 // col returns the i'th key column.
@@ -36,13 +41,13 @@ func (k *indexKey) col(i int) Value {
 	case 1:
 		return k.v1
 	default:
-		return k.more[i-2]
+		return (*k.more)[i-2]
 	}
 }
 
 // keyFromVals builds an indexKey from column values in order.
 func keyFromVals(vals []Value, rowid int64) indexKey {
-	k := indexKey{n: len(vals), rowid: rowid}
+	k := indexKey{n: int32(len(vals)), rowid: rowid}
 	for i, v := range vals {
 		switch i {
 		case 0:
@@ -50,16 +55,20 @@ func keyFromVals(vals []Value, rowid int64) indexKey {
 		case 1:
 			k.v1 = v
 		default:
-			k.more = append(k.more, v)
+			if k.more == nil {
+				spill := make([]Value, 0, len(vals)-2)
+				k.more = &spill
+			}
+			*k.more = append(*k.more, v)
 		}
 	}
 	return k
 }
 
 func indexKeyLess(a, b indexKey) bool {
-	n := a.n
-	if b.n < n {
-		n = b.n
+	n := int(a.n)
+	if int(b.n) < n {
+		n = int(b.n)
 	}
 	for i := 0; i < n; i++ {
 		switch Compare(a.col(i), b.col(i)) {
@@ -75,13 +84,38 @@ func indexKeyLess(a, b indexKey) bool {
 	return a.rowid < b.rowid
 }
 
+// indexDegree is the btree fan-out for index trees. Indexes are the
+// write-amplification hot spot — every row insert touches every index, and
+// under MVCC each first touch of a node per transaction copies the whole
+// node — so index trees trade depth for small nodes: at degree 8 a node
+// holds ≤15 ~88-byte indexKeys (~1.3 KB per path-copy) versus ~9.9 KB at
+// the default degree 32. The primary row store keeps the default fan-out:
+// its int64 keys are cheap to copy and it is scanned far more than written.
+const indexDegree = 8
+
+// indexDelta is one deferred index mutation: an entry to set or delete.
+type indexDelta struct {
+	key indexKey
+	del bool
+}
+
 // index is one secondary (or primary) index over a table.
+//
+// Mutations are not applied to the tree eagerly: insert and remove append
+// to pending, and flush applies the whole batch sorted by key — so a
+// transaction inserting many rows walks each index path once per leaf
+// neighborhood instead of re-descending per row, and insert/delete pairs
+// within one transaction (the replay-cache prune pattern) cancel without
+// ever touching the tree. Readers of committed roots never see pending
+// deltas: the transaction layer flushes before every index-backed scan and
+// before publishing a root.
 type index struct {
-	name   string
-	table  *table
-	cols   []int // positions in the table's column list
-	unique bool
-	tree   *btree.Tree[indexKey, struct{}]
+	name    string
+	table   *table
+	cols    []int // positions in the table's column list
+	unique  bool
+	tree    *btree.Tree[indexKey, struct{}]
+	pending []indexDelta
 }
 
 func newIndex(name string, t *table, cols []int, unique bool) *index {
@@ -90,12 +124,12 @@ func newIndex(name string, t *table, cols []int, unique bool) *index {
 		table:  t,
 		cols:   cols,
 		unique: unique,
-		tree:   btree.New[indexKey, struct{}](indexKeyLess),
+		tree:   btree.NewDegree[indexKey, struct{}](indexDegree, indexKeyLess),
 	}
 }
 
 func (ix *index) keyFor(rowid int64, row Row) indexKey {
-	k := indexKey{n: len(ix.cols), rowid: rowid}
+	k := indexKey{n: int32(len(ix.cols)), rowid: rowid}
 	for i, c := range ix.cols {
 		switch i {
 		case 0:
@@ -103,32 +137,82 @@ func (ix *index) keyFor(rowid int64, row Row) indexKey {
 		case 1:
 			k.v1 = row[c]
 		default:
-			k.more = append(k.more, row[c])
+			if k.more == nil {
+				spill := make([]Value, 0, len(ix.cols)-2)
+				k.more = &spill
+			}
+			*k.more = append(*k.more, row[c])
 		}
 	}
 	return k
 }
 
+// sameKeyCols reports whether a and b agree on all key columns (rowids may
+// differ).
+func sameKeyCols(a, b indexKey) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := 0; i < int(a.n); i++ {
+		if Compare(a.col(i), b.col(i)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pendingNet returns the latest pending operation for the exact entry
+// (probe's key columns + rowid): +1 net-inserted, -1 net-deleted, 0 no
+// pending op.
+func (ix *index) pendingNet(probe indexKey, rowid int64) int {
+	for i := len(ix.pending) - 1; i >= 0; i-- {
+		d := &ix.pending[i]
+		if d.key.rowid == rowid && sameKeyCols(d.key, probe) {
+			if d.del {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // checkUnique reports a constraint violation if another row already holds
-// the same full key values (NULLs exempt, as in SQL).
+// the same full key values (NULLs exempt, as in SQL). It sees the net state
+// of the index — the tree overlaid with this transaction's pending deltas —
+// without forcing a flush.
 func (ix *index) checkUnique(rowid int64, row Row) error {
 	if !ix.unique {
 		return nil
 	}
 	key := ix.keyFor(rowid, row)
-	for i := 0; i < key.n; i++ {
+	for i := 0; i < int(key.n); i++ {
 		if key.col(i).IsNull() {
 			return nil
 		}
 	}
 	dup := false
 	ix.scanEqualKey(key, func(other int64) bool {
-		if other != rowid {
+		if other != rowid && ix.pendingNet(key, other) >= 0 {
 			dup = true
 			return false
 		}
 		return true
 	})
+	if !dup {
+		// Entries inserted earlier in this transaction exist only in pending.
+		for i := len(ix.pending) - 1; i >= 0; i-- {
+			d := &ix.pending[i]
+			if d.key.rowid == rowid || !sameKeyCols(d.key, key) {
+				continue
+			}
+			// Only the latest pending op per entry decides its net state.
+			if ix.pendingNet(key, d.key.rowid) > 0 {
+				dup = true
+				break
+			}
+		}
+	}
 	if dup {
 		return fmt.Errorf("sqldb: UNIQUE constraint %q violated on table %q", ix.name, ix.table.name)
 	}
@@ -136,16 +220,63 @@ func (ix *index) checkUnique(rowid int64, row Row) error {
 }
 
 func (ix *index) insert(rowid int64, row Row) {
-	ix.tree.Set(ix.keyFor(rowid, row), struct{}{})
+	ix.push(indexDelta{key: ix.keyFor(rowid, row)})
 }
 
 func (ix *index) remove(rowid int64, row Row) {
-	ix.tree.Delete(ix.keyFor(rowid, row))
+	ix.push(indexDelta{key: ix.keyFor(rowid, row), del: true})
+}
+
+func (ix *index) push(d indexDelta) {
+	if ix.pending == nil {
+		// Start with room for a typical transaction's worth of deltas; the
+		// backing array is kept (zeroed) across flushes within a transaction.
+		ix.pending = make([]indexDelta, 0, 16)
+	}
+	ix.pending = append(ix.pending, d)
+}
+
+// flush applies pending deltas to the tree. Deltas are sorted by key so the
+// tree is walked leaf-by-leaf in order, and multiple ops on the same entry
+// coalesce to the last one — an insert+delete pair in the same transaction
+// never touches the tree at all.
+func (ix *index) flush() {
+	p := ix.pending
+	if len(p) == 0 {
+		return
+	}
+	if len(p) > 1 {
+		sort.SliceStable(p, func(i, j int) bool { return indexKeyLess(p[i].key, p[j].key) })
+	}
+	for i := 0; i < len(p); {
+		j := i + 1
+		for j < len(p) && !indexKeyLess(p[i].key, p[j].key) {
+			j++
+		}
+		if last := p[j-1]; last.del {
+			ix.tree.Delete(last.key)
+		} else {
+			ix.tree.Set(last.key, struct{}{})
+		}
+		i = j
+	}
+	// Keep the backing array for the next batch in this transaction, but
+	// zero it so published roots don't pin dead keys.
+	for i := range p {
+		p[i] = indexDelta{}
+	}
+	ix.pending = p[:0]
 }
 
 // scanEqual calls fn with the rowid of every entry whose leading columns
-// equal prefix, in index order, until fn returns false.
+// equal prefix, in index order, until fn returns false. The caller must
+// have flushed pending deltas (the planner entry points do); the guard
+// turns a missed flush point into a loud failure instead of silently
+// missing rows.
 func (ix *index) scanEqual(prefix []Value, fn func(rowid int64) bool) {
+	if len(ix.pending) != 0 {
+		panic("sqldb: index scan with unflushed deltas on " + ix.name)
+	}
 	ix.scanEqualKey(keyFromVals(prefix, math.MinInt64), fn)
 }
 
@@ -154,7 +285,7 @@ func (ix *index) scanEqual(prefix []Value, fn func(rowid int64) bool) {
 func (ix *index) scanEqualKey(start indexKey, fn func(rowid int64) bool) {
 	start.rowid = math.MinInt64
 	ix.tree.AscendGE(start, func(k indexKey, _ struct{}) bool {
-		for i := 0; i < start.n; i++ {
+		for i := 0; i < int(start.n); i++ {
 			if Compare(k.col(i), start.col(i)) != 0 {
 				return false
 			}
@@ -166,6 +297,9 @@ func (ix *index) scanEqualKey(start indexKey, fn func(rowid int64) bool) {
 // scanRange calls fn for entries whose first column lies in the interval
 // described by lo/hi (nil means unbounded) with the given inclusivity.
 func (ix *index) scanRange(lo, hi *Value, loInc, hiInc bool, fn func(rowid int64) bool) {
+	if len(ix.pending) != 0 {
+		panic("sqldb: index scan with unflushed deltas on " + ix.name)
+	}
 	visit := func(k indexKey, _ struct{}) bool {
 		v := k.v0
 		if lo != nil {
@@ -242,6 +376,8 @@ func (t *table) clone() *table {
 	}
 	nt.indexes = make([]*index, len(t.indexes))
 	for i, ix := range t.indexes {
+		// Committed roots are always flushed (the transaction layer flushes
+		// before publishing), so the clone starts with no pending deltas.
 		nt.indexes[i] = &index{
 			name:   ix.name,
 			table:  nt,
@@ -251,6 +387,15 @@ func (t *table) clone() *table {
 		}
 	}
 	return nt
+}
+
+// flushIndexes applies every index's pending deltas. The transaction layer
+// calls it before any index-backed scan and before a commit publishes the
+// table.
+func (t *table) flushIndexes() {
+	for _, ix := range t.indexes {
+		ix.flush()
+	}
 }
 
 // columnPos resolves a column name to its position.
@@ -281,9 +426,14 @@ func (t *table) completeRow(row Row) error {
 		if err != nil {
 			return fmt.Errorf("%w (column %s.%s)", err, t.name, c.Name)
 		}
+		if cv.T == TypeText {
+			// Stored text skews to a small repeated vocabulary (attribute
+			// names, type tags, DNs); share one copy per distinct value.
+			cv.S = Intern(cv.S)
+		}
 		row[i] = cv
-		if c.AutoIncrement && cv.I > t.autoInc {
-			t.autoInc = cv.I
+		if c.AutoIncrement && cv.Int() > t.autoInc {
+			t.autoInc = cv.Int()
 		}
 	}
 	return nil

@@ -13,6 +13,7 @@ package sqldb
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -52,36 +53,89 @@ func (t Type) String() string {
 }
 
 // Value is a single typed cell. The zero Value is NULL.
+//
+// It is a tagged union: the scalar types (INTEGER, FLOAT, BOOLEAN, DATETIME)
+// all pack into N — floats as their IEEE-754 bit pattern, booleans as 0/1,
+// datetimes as unix microseconds — and only TEXT uses S. At 32 bytes a Value
+// is less than half its previous 72-byte layout (which carried an int64, a
+// float64, a bool and an embedded time.Time side by side), which matters
+// because every copy-on-write btree node copy moves whole arrays of them.
+// Values are also cleanly comparable with ==: the unix-micros datetime
+// representation has no monotonic-clock or location pointer the way
+// time.Time does, so a value replayed from the WAL is ==-equal to the one
+// originally committed.
 type Value struct {
 	T Type
-	I int64
-	F float64
+	N int64
 	S string
-	B bool
-	M time.Time
 }
 
 // Null returns the SQL NULL value.
 func Null() Value { return Value{} }
 
 // Int returns an INTEGER value.
-func Int(v int64) Value { return Value{T: TypeInt, I: v} }
+func Int(v int64) Value { return Value{T: TypeInt, N: v} }
 
 // Float returns a FLOAT value.
-func Float(v float64) Value { return Value{T: TypeFloat, F: v} }
+func Float(v float64) Value { return Value{T: TypeFloat, N: int64(math.Float64bits(v))} }
 
 // Text returns a TEXT value.
 func Text(v string) Value { return Value{T: TypeText, S: v} }
 
 // Bool returns a BOOLEAN value.
-func Bool(v bool) Value { return Value{T: TypeBool, B: v} }
+func Bool(v bool) Value {
+	if v {
+		return Value{T: TypeBool, N: 1}
+	}
+	return Value{T: TypeBool}
+}
+
+// timeUnit is the resolution of the DATETIME payload: unix microseconds.
+// Nanoseconds would be the obvious unit, but their int64 range only spans
+// the years 1678–2262 and the MCS schema stores time-of-day attributes as
+// year-1 DATETIMEs; microseconds cover ±292k years and still pack the
+// timestamp into one word.
+const timeUnit = int64(time.Microsecond)
 
 // Time returns a DATETIME value, truncated to whole seconds in UTC so
-// round-trips through the text protocol are loss-free.
-func Time(v time.Time) Value { return Value{T: TypeTime, M: v.UTC().Truncate(time.Second)} }
+// round-trips through the text protocol are loss-free. Storing a unix
+// offset (rather than the time.Time itself) discards any monotonic clock
+// reading at ingest, so a timestamp read back after WAL replay or a
+// snapshot reload is ==-equal to the original.
+func Time(v time.Time) Value {
+	return Value{T: TypeTime, N: v.Unix() * (int64(time.Second) / timeUnit)}
+}
+
+// TimeMicros returns a DATETIME value at full microsecond precision from a
+// unix-microseconds reading. The text protocol truncates to seconds; this
+// constructor exists for decoders that must reproduce a stored value
+// bit-for-bit.
+func TimeMicros(us int64) Value { return Value{T: TypeTime, N: us} }
 
 // IsNull reports whether v is NULL.
 func (v Value) IsNull() bool { return v.T == TypeNull }
+
+// Int returns the INTEGER payload. Valid only when T == TypeInt.
+func (v Value) Int() int64 { return v.N }
+
+// Float returns the FLOAT payload. Valid only when T == TypeFloat.
+func (v Value) Float() float64 { return math.Float64frombits(uint64(v.N)) }
+
+// Bool returns the BOOLEAN payload. Valid only when T == TypeBool.
+func (v Value) Bool() bool { return v.N != 0 }
+
+// Time returns the DATETIME payload in UTC. Valid only when T == TypeTime.
+func (v Value) Time() time.Time {
+	perSec := int64(time.Second) / timeUnit
+	// Split before converting: v.N*timeUnit would overflow for dates far
+	// from the epoch (the year-1 time-of-day convention). time.Unix
+	// normalizes a negative nanosecond remainder.
+	return time.Unix(v.N/perSec, (v.N%perSec)*timeUnit).UTC()
+}
+
+// UnixMicros returns the raw DATETIME payload (unix microseconds). Valid
+// only when T == TypeTime.
+func (v Value) UnixMicros() int64 { return v.N }
 
 // String renders the value as it would appear in a result set.
 func (v Value) String() string {
@@ -89,18 +143,18 @@ func (v Value) String() string {
 	case TypeNull:
 		return "NULL"
 	case TypeInt:
-		return strconv.FormatInt(v.I, 10)
+		return strconv.FormatInt(v.N, 10)
 	case TypeFloat:
-		return strconv.FormatFloat(v.F, 'g', -1, 64)
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
 	case TypeText:
 		return v.S
 	case TypeBool:
-		if v.B {
+		if v.N != 0 {
 			return "TRUE"
 		}
 		return "FALSE"
 	case TypeTime:
-		return v.M.Format(time.RFC3339)
+		return v.Time().Format(time.RFC3339)
 	}
 	return "?"
 }
@@ -110,9 +164,9 @@ func (v Value) String() string {
 func (v Value) numeric() (float64, bool) {
 	switch v.T {
 	case TypeInt:
-		return float64(v.I), true
+		return float64(v.N), true
 	case TypeFloat:
-		return v.F, true
+		return v.Float(), true
 	}
 	return 0, false
 }
@@ -132,6 +186,23 @@ func Compare(a, b Value) int {
 			return 1
 		}
 	}
+	// Same-type scalar fast path: INTEGER, BOOLEAN and DATETIME all order by
+	// their int64 payload directly. This is the comparison the index trees
+	// run on every node visit.
+	if a.T == b.T {
+		switch a.T {
+		case TypeInt, TypeBool, TypeTime:
+			switch {
+			case a.N < b.N:
+				return -1
+			case a.N > b.N:
+				return 1
+			}
+			return 0
+		case TypeText:
+			return strings.Compare(a.S, b.S)
+		}
+	}
 	if af, ok := a.numeric(); ok {
 		if bf, ok := b.numeric(); ok {
 			switch {
@@ -144,9 +215,9 @@ func Compare(a, b Value) int {
 			// ordering over int64 beyond float precision remains sane.
 			if a.T == TypeInt && b.T == TypeInt {
 				switch {
-				case a.I < b.I:
+				case a.N < b.N:
 					return -1
-				case a.I > b.I:
+				case a.N > b.N:
 					return 1
 				}
 			}
@@ -159,28 +230,6 @@ func Compare(a, b Value) int {
 			return -1
 		default:
 			return 1
-		}
-	}
-	switch a.T {
-	case TypeText:
-		return strings.Compare(a.S, b.S)
-	case TypeBool:
-		switch {
-		case a.B == b.B:
-			return 0
-		case !a.B:
-			return -1
-		default:
-			return 1
-		}
-	case TypeTime:
-		switch {
-		case a.M.Before(b.M):
-			return -1
-		case a.M.After(b.M):
-			return 1
-		default:
-			return 0
 		}
 	}
 	return 0
@@ -199,11 +248,13 @@ func coerce(v Value, t Type) (Value, error) {
 	switch t {
 	case TypeFloat:
 		if v.T == TypeInt {
-			return Float(float64(v.I)), nil
+			return Float(float64(v.N)), nil
 		}
 	case TypeInt:
-		if v.T == TypeFloat && v.F == float64(int64(v.F)) {
-			return Int(int64(v.F)), nil
+		if v.T == TypeFloat {
+			if f := v.Float(); f == float64(int64(f)) {
+				return Int(int64(f)), nil
+			}
 		}
 	case TypeTime:
 		if v.T == TypeText {
@@ -216,7 +267,7 @@ func coerce(v Value, t Type) (Value, error) {
 		}
 	case TypeText:
 		if v.T == TypeTime {
-			return Text(v.M.Format(time.RFC3339)), nil
+			return Text(v.Time().Format(time.RFC3339)), nil
 		}
 	}
 	return Value{}, fmt.Errorf("sqldb: cannot store %s value in %s column", v.T, t)

@@ -41,7 +41,7 @@ func TestCompareTime(t *testing.T) {
 
 func TestTimeTruncation(t *testing.T) {
 	v := Time(time.Date(2003, 1, 1, 12, 0, 0, 999999999, time.UTC))
-	if v.M.Nanosecond() != 0 {
+	if v.Time().Nanosecond() != 0 {
 		t.Fatal("Time() did not truncate to seconds")
 	}
 }
@@ -76,10 +76,10 @@ func TestValueString(t *testing.T) {
 }
 
 func TestCoerce(t *testing.T) {
-	if v, err := coerce(Int(3), TypeFloat); err != nil || v.F != 3 {
+	if v, err := coerce(Int(3), TypeFloat); err != nil || v.Float() != 3 {
 		t.Fatalf("int->float: %v %v", v, err)
 	}
-	if v, err := coerce(Float(3.0), TypeInt); err != nil || v.I != 3 {
+	if v, err := coerce(Float(3.0), TypeInt); err != nil || v.Int() != 3 {
 		t.Fatalf("float->int exact: %v %v", v, err)
 	}
 	if _, err := coerce(Float(3.5), TypeInt); err == nil {
@@ -88,7 +88,7 @@ func TestCoerce(t *testing.T) {
 	if _, err := coerce(Text("x"), TypeInt); err == nil {
 		t.Fatal("text->int did not fail")
 	}
-	if v, err := coerce(Text("2003-11-15"), TypeTime); err != nil || v.M.Day() != 15 {
+	if v, err := coerce(Text("2003-11-15"), TypeTime); err != nil || v.Time().Day() != 15 {
 		t.Fatalf("date parse: %v %v", v, err)
 	}
 	if v, err := coerce(Null(), TypeText); err != nil || !v.IsNull() {

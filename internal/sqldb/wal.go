@@ -621,69 +621,107 @@ func decodeWALRecord(payload []byte) (lsn uint64, stmts []redoStmt, err error) {
 	return lsn, stmts, nil
 }
 
-// encodeWALValue appends one tagged value: a type byte then a type-specific
+// Typed-argument wire tags. These are a frozen on-disk contract — logs
+// written before the in-memory Value layout changed must keep replaying —
+// so they are named constants rather than casts of the (internal,
+// reorderable) Type enum, even though the numeric values coincide for the
+// original five. Tags 1–5 are the PR 6 format; walTagTimeMicro is additive:
+// the encoder only emits it for sub-second timestamps, which the seconds
+// tag cannot carry, so logs written by this version remain readable by the
+// old decoder unless they actually contain such a value.
+const (
+	walTagNull      = 0
+	walTagInt       = 1
+	walTagFloat     = 2
+	walTagText      = 3
+	walTagBool      = 4
+	walTagTimeSec   = 5 // varint unix seconds
+	walTagTimeMicro = 6 // varint unix microseconds
+)
+
+// encodeWALValue appends one tagged value: a tag byte then a tag-specific
 // payload (varint int, raw float bits, length-prefixed text, bool byte,
-// varint unix seconds).
+// varint unix seconds or microseconds).
 func encodeWALValue(b []byte, v Value) []byte {
-	b = append(b, byte(v.T))
 	switch v.T {
+	case TypeNull:
+		b = append(b, walTagNull)
 	case TypeInt:
-		b = binary.AppendVarint(b, v.I)
+		b = append(b, walTagInt)
+		b = binary.AppendVarint(b, v.N)
 	case TypeFloat:
-		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.F))
+		b = append(b, walTagFloat)
+		b = binary.BigEndian.AppendUint64(b, uint64(v.N))
 	case TypeText:
+		b = append(b, walTagText)
 		b = binary.AppendUvarint(b, uint64(len(v.S)))
 		b = append(b, v.S...)
 	case TypeBool:
-		if v.B {
+		b = append(b, walTagBool)
+		if v.N != 0 {
 			b = append(b, 1)
 		} else {
 			b = append(b, 0)
 		}
 	case TypeTime:
-		b = binary.AppendVarint(b, v.M.Unix())
+		const perSec = int64(time.Second) / int64(time.Microsecond)
+		if v.N%perSec == 0 {
+			b = append(b, walTagTimeSec)
+			b = binary.AppendVarint(b, v.N/perSec)
+		} else {
+			b = append(b, walTagTimeMicro)
+			b = binary.AppendVarint(b, v.N)
+		}
 	}
 	return b
 }
 
 // decodeWALValue parses one tagged value, returning the remaining bytes.
+// Text is interned: replay re-creates every hot string in the log, and the
+// schema vocabulary (attribute names, type tags) repeats per row.
 func decodeWALValue(b []byte) (Value, []byte, error) {
 	if len(b) == 0 {
 		return Value{}, nil, fmt.Errorf("missing value tag")
 	}
-	t := Type(b[0])
+	t := b[0]
 	b = b[1:]
 	switch t {
-	case TypeNull:
+	case walTagNull:
 		return Null(), b, nil
-	case TypeInt:
+	case walTagInt:
 		i, n := binary.Varint(b)
 		if n <= 0 {
 			return Value{}, nil, fmt.Errorf("bad int")
 		}
 		return Int(i), b[n:], nil
-	case TypeFloat:
+	case walTagFloat:
 		if len(b) < 8 {
 			return Value{}, nil, fmt.Errorf("bad float")
 		}
 		return Float(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
-	case TypeText:
+	case walTagText:
 		n, rest, err := walUvarint(b)
 		if err != nil || uint64(len(rest)) < n {
 			return Value{}, nil, fmt.Errorf("bad text length")
 		}
-		return Text(string(rest[:n])), rest[n:], nil
-	case TypeBool:
+		return Text(internBytes(rest[:n])), rest[n:], nil
+	case walTagBool:
 		if len(b) < 1 {
 			return Value{}, nil, fmt.Errorf("bad bool")
 		}
 		return Bool(b[0] != 0), b[1:], nil
-	case TypeTime:
+	case walTagTimeSec:
 		sec, n := binary.Varint(b)
 		if n <= 0 {
 			return Value{}, nil, fmt.Errorf("bad time")
 		}
 		return Time(time.Unix(sec, 0).UTC()), b[n:], nil
+	case walTagTimeMicro:
+		us, n := binary.Varint(b)
+		if n <= 0 {
+			return Value{}, nil, fmt.Errorf("bad time")
+		}
+		return TimeMicros(us), b[n:], nil
 	}
 	return Value{}, nil, fmt.Errorf("unknown value tag %d", t)
 }

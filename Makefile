@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench transportbench addpath
+.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench transportbench addpath attrpath planparity
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,16 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: fmt vet race
+check: fmt vet race planparity
 	@echo "check: ok"
+
+# The differential planner-parity suite: seeded random schemas, data and
+# SELECTs, the cost-based planner against the naive full-scan evaluator
+# (row multisets must match exactly), run twice under the race detector,
+# then a short randomized fuzzing pass over fresh seeds.
+planparity:
+	$(GO) test -race -count=2 -run 'TestPlanParity' ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz 'FuzzPlanParity' -fuzztime 30s ./internal/sqldb
 
 # The fault-injection suite under fixed seeds (override with
 # MCS_CHAOS_SEEDS=...): fault matrix, retry tests, soak.
@@ -78,3 +86,13 @@ transportbench:
 addpath:
 	$(GO) run ./cmd/mcsbench -fig 17 -threads 1,2,4,8 -sizes 10000 \
 		-addpath-json BENCH_addpath.json $(ADDPATH_FLAGS)
+
+# The attribute-count sweep (Fig. 11): complex-query rate vs predicate count,
+# single thread, database only, emitted as BENCH_attrpath.json including the
+# per-count EXPLAIN plans and the 1-to-8-attribute cliff ratio the cost-based
+# planner is held to (<= 2; the nested-join baseline was near 10). Override
+# for a quick smoke run, e.g.
+# `make attrpath ATTRPATH_FLAGS="-duration 300ms -sizes 2000"`.
+attrpath:
+	$(GO) run ./cmd/mcsbench -fig 11 -attr-sweep 1,2,4,6,8,10 -sizes 20000 \
+		-attr-json BENCH_attrpath.json $(ATTRPATH_FLAGS)

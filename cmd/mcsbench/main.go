@@ -42,6 +42,12 @@
 // -addpath-json FILE the points land as JSON (BENCH_addpath.json in CI),
 // including the batch-over-single speedup.
 //
+// Figure 11, the attribute-count sweep, runs single-threaded with a warmup
+// and a forced GC before each measurement window so the 1-vs-8-attribute
+// ratio is trustworthy on small hosts (see bench.AttrPathSweep). With
+// -attr-json FILE the points — including the per-count EXPLAIN plan and the
+// cliff ratio — land as JSON (BENCH_attrpath.json in CI).
+//
 // The paper's full-scale databases (100k/1M/5M files) are reachable with
 // -sizes 100000,1000000,5000000 given enough memory and patience; the
 // defaults are scaled so a laptop run finishes in minutes while preserving
@@ -193,6 +199,53 @@ func writeTransportJSON(path string, size int, d time.Duration, points []bench.T
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// attrPathReport is the machine-readable form of the Fig. 11 sweep.
+type attrPathReport struct {
+	Bench       string                `json:"bench"`
+	GoMaxProcs  int                   `json:"gomaxprocs"`
+	NumCPU      int                   `json:"num_cpu"`
+	DBFiles     int                   `json:"db_files"`
+	DurationSec float64               `json:"duration_sec"`
+	Points      []bench.AttrPathPoint `json:"points"`
+	// CliffRatio is the 1-attribute query rate divided by the 8-attribute
+	// rate (10-attribute when the sweep has no 8): the Fig. 11 figure of
+	// merit. The paper's nested-join cliff puts this near 10; the sorted-
+	// rowid-intersection planner is held to 2 or below.
+	CliffRatio float64 `json:"cliff_ratio"`
+}
+
+// writeAttrPathJSON emits the Fig. 11 points to path.
+func writeAttrPathJSON(path string, size int, d time.Duration, points []bench.AttrPathPoint) error {
+	rep := attrPathReport{
+		Bench:       "attrpath",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		DBFiles:     size,
+		DurationSec: d.Seconds(),
+		Points:      points,
+	}
+	rate := func(attrs int) float64 {
+		for _, p := range points {
+			if p.Attrs == attrs {
+				return p.QueriesPerSec
+			}
+		}
+		return 0
+	}
+	wide := rate(8)
+	if wide == 0 {
+		wide = rate(10)
+	}
+	if wide > 0 {
+		rep.CliffRatio = rate(1) / wide
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // addPathReport is the machine-readable form of the Fig. 17 sweep.
 type addPathReport struct {
 	Bench       string               `json:"bench"`
@@ -327,6 +380,7 @@ func main() {
 	walJSONOut := flag.String("wal-json", "", "write figure 15 points as JSON to this path (e.g. BENCH_wal.json)")
 	transportJSONOut := flag.String("transport-json", "", "write figure 16 points as JSON to this path (e.g. BENCH_transport.json)")
 	addPathJSONOut := flag.String("addpath-json", "", "write figure 17 points as JSON to this path (e.g. BENCH_addpath.json)")
+	attrJSONOut := flag.String("attr-json", "", "write figure 11 points as JSON to this path (e.g. BENCH_attrpath.json)")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
 
@@ -405,6 +459,35 @@ func main() {
 					log.Fatalf("mcsbench: write %s: %v", *jsonOut, err)
 				}
 				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *jsonOut)
+			}
+		} else if f == 11 {
+			// One single-threaded, GC-settled sweep per size feeds both the
+			// rendered table and the optional JSON report (largest size —
+			// where the attribute cliff would be steepest if it came back).
+			large := szs[0]
+			for _, s := range szs[1:] {
+				if s > large {
+					large = s
+				}
+			}
+			var series []bench.Series
+			var largePoints []bench.AttrPathPoint
+			for _, size := range szs {
+				points, err := bench.AttrPathSweep(opt.Catalogs[size], swp, *duration, bench.DefaultConfig(size))
+				if err != nil {
+					log.Fatalf("mcsbench: figure 11: %v", err)
+				}
+				series = append(series, bench.AttrPathPointSeries(size, points)...)
+				if size == large {
+					largePoints = points
+				}
+			}
+			fmt.Println(bench.Render(11, series))
+			if *attrJSONOut != "" {
+				if err := writeAttrPathJSON(*attrJSONOut, large, *duration, largePoints); err != nil {
+					log.Fatalf("mcsbench: write %s: %v", *attrJSONOut, err)
+				}
+				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *attrJSONOut)
 			}
 		} else if f == 16 {
 			// Like figs 14/15: one sweep feeds both the table and the JSON.

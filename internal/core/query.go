@@ -13,12 +13,17 @@ import (
 // attributes; the result is the set of logical names whose metadata
 // matches — step (1)/(2) of the paper's Figure 2 scenario.
 //
-// Query compilation mirrors what the original MCS server did against MySQL:
-// static predicates filter the object table directly; each user-defined
-// attribute predicate becomes one join against the user_attribute table,
-// so an N-attribute "complex query" is an N-way self-join. The first
-// user-attribute predicate drives the access path through the
-// (attr_id, value) index; subsequent instances join on object_id.
+// Query compilation keeps the relational shape the original MCS server
+// used against MySQL: static predicates filter the object table directly;
+// each user-defined attribute predicate becomes one join against the
+// user_attribute table, so an N-attribute "complex query" is an N-way
+// self-join. How that join executes is the engine's business, not this
+// package's: sqldb's cost-based planner turns the equi-join conjunction
+// into per-attribute probes of the (attr_id, object_type, value,
+// object_id) covering indexes combined by sorted-rowid intersection,
+// ordered most-selective-first from index cardinality stats — which is
+// what keeps Fig. 11 flat instead of cliff-shaped as N grows. ExplainQuery
+// exposes the generated SQL so tests can pin the chosen plan via EXPLAIN.
 
 // targetTable returns the object table and alias for a query target.
 func targetTable(t ObjectType) (string, error) {

@@ -33,6 +33,15 @@ type DB struct {
 	stmtMu    sync.RWMutex
 	stmtCache map[string]Statement
 
+	// planCache memoizes compiled SELECT plans by SQL text, each entry
+	// stamped with the epoch of the root it was compiled against. Epochs are
+	// unique per published root, so a stale plan can never be served: any
+	// commit, DDL statement or snapshot load bumps the epoch and the next
+	// lookup recompiles. Entries are value-free (see compileSelect), so one
+	// cached plan serves every parameter binding and every goroutine.
+	planMu    sync.RWMutex
+	planCache map[string]planCacheEntry
+
 	// faultHook, when set, runs once per statement with the statement's
 	// verb ("select", "insert", "update", "delete", "ddl") before any lock
 	// is taken; a non-nil return aborts the statement with that error (and
@@ -138,9 +147,48 @@ type Result struct {
 // ErrTxDone is returned when using a transaction after Commit or Rollback.
 var ErrTxDone = errors.New("sqldb: transaction has already been committed or rolled back")
 
+// planCacheEntry pairs a compiled plan with the epoch it is valid for.
+type planCacheEntry struct {
+	epoch uint64
+	plan  *selectPlan
+}
+
+// maxCachedPlans bounds the plan cache the same way maxCachedStatements
+// bounds the parse cache.
+const maxCachedPlans = 4096
+
+// plannedSelect returns the compiled plan for sel against root, consulting
+// the epoch-keyed cache. Hits are two map reads under an RLock; misses
+// compile once and publish for every later query on the same root.
+func (db *DB) plannedSelect(sql string, sel *SelectStmt, root *dbRoot) (*selectPlan, error) {
+	db.planMu.RLock()
+	e, ok := db.planCache[sql]
+	db.planMu.RUnlock()
+	if ok && e.epoch == root.epoch {
+		return e.plan, nil
+	}
+	plan, err := root.compileSelect(sel, false)
+	if err != nil {
+		return nil, err
+	}
+	db.planMu.Lock()
+	if len(db.planCache) >= maxCachedPlans {
+		for k := range db.planCache {
+			delete(db.planCache, k)
+			break
+		}
+	}
+	db.planCache[sql] = planCacheEntry{epoch: root.epoch, plan: plan}
+	db.planMu.Unlock()
+	return plan, nil
+}
+
 // New returns an empty database.
 func New() *DB {
-	db := &DB{stmtCache: make(map[string]Statement)}
+	db := &DB{
+		stmtCache: make(map[string]Statement),
+		planCache: make(map[string]planCacheEntry),
+	}
 	db.root.Store(&dbRoot{
 		tables:  make(map[string]*table),
 		indexes: make(map[string]*index),
@@ -206,10 +254,21 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	}
 	if sel, ok := st.(*SelectStmt); ok {
 		// Permit Exec of SELECT for convenience; discard rows.
-		_, err := db.root.Load().executeSelect(sel, args)
+		_, err := db.querySelect(sql, sel, args)
 		return Result{}, err
 	}
 	return db.execOne(sql, st, args)
+}
+
+// querySelect runs a SELECT through the epoch-keyed plan cache against the
+// current committed root.
+func (db *DB) querySelect(sql string, sel *SelectStmt, args []Value) (*Rows, error) {
+	root := db.root.Load()
+	plan, err := db.plannedSelect(sql, sel, root)
+	if err != nil {
+		return nil, err
+	}
+	return plan.run(args)
 }
 
 // execOne runs a single non-SELECT statement as its own transaction.
@@ -239,7 +298,32 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	if err := db.checkFault(st); err != nil {
 		return nil, err
 	}
-	return db.root.Load().executeSelect(sel, args)
+	return db.querySelect(sql, sel, args)
+}
+
+// QueryNaive runs a SELECT with every cost-based planner decision disabled:
+// full scans and pure nested loops, never touching the plan cache. It exists
+// as the reference evaluator for the differential planner-parity harness —
+// any query must return the same multiset of rows through Query and
+// QueryNaive — and is deliberately permanent API, not test scaffolding, so
+// the oracle cannot silently rot.
+func (db *DB) QueryNaive(sql string, args ...Value) (*Rows, error) {
+	st, err := db.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	if err := db.checkFault(st); err != nil {
+		return nil, err
+	}
+	plan, err := db.root.Load().compileSelect(sel, true)
+	if err != nil {
+		return nil, err
+	}
+	return plan.run(args)
 }
 
 // Stmt is a prepared statement: parsed once, executable many times.
@@ -264,7 +348,7 @@ func (s *Stmt) Exec(args ...Value) (Result, error) {
 		return Result{}, err
 	}
 	if sel, ok := s.st.(*SelectStmt); ok {
-		_, err := s.db.root.Load().executeSelect(sel, args)
+		_, err := s.db.querySelect(s.sql, sel, args)
 		return Result{}, err
 	}
 	return s.db.execOne(s.sql, s.st, args)
@@ -279,7 +363,7 @@ func (s *Stmt) Query(args ...Value) (*Rows, error) {
 	if err := s.db.checkFault(s.st); err != nil {
 		return nil, err
 	}
-	return s.db.root.Load().executeSelect(sel, args)
+	return s.db.querySelect(s.sql, sel, args)
 }
 
 // Tx is a serializable read-write transaction. It holds the writer mutex
@@ -556,6 +640,7 @@ func (tx *Tx) createIndex(s *CreateIndexStmt) (Result, error) {
 	if backfillErr != nil {
 		return Result{}, backfillErr
 	}
+	ix.recomputeStats() // backfill bypassed the stat-maintaining flush path
 	t.indexes = append(t.indexes, ix)
 	tx.work.indexes[s.Name] = ix
 	return Result{}, nil
@@ -672,7 +757,8 @@ func matchingRowIDs(t *table, tableName string, where Expr, args []Value) ([]int
 			preds = append(preds, c)
 		}
 	}
-	ap := planAccess(t, tableName, preds, args)
+	sp, _ := planSpec(t, tableName, preds, statsRegistry{})
+	ap := sp.bind(args)
 	var ids []int64
 	var scanErr error
 	ap.scan(func(rowid int64, row Row) bool {

@@ -21,6 +21,7 @@ func setupJoinDB(t *testing.T) *DB {
 }
 
 func TestJoinThreeWay(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	mustExec(t, db, "CREATE TABLE badge (eid INTEGER, code TEXT)")
 	mustExec(t, db, "CREATE INDEX badge_eid ON badge (eid)")
@@ -37,6 +38,7 @@ func TestJoinThreeWay(t *testing.T) {
 }
 
 func TestJoinNullKeysNeverMatch(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	// dee has NULL did: must not join to any department.
 	rows := mustQuery(t, db, "SELECT e.name FROM emp e JOIN dept d ON d.id = e.did")
@@ -55,6 +57,7 @@ func TestJoinNullKeysNeverMatch(t *testing.T) {
 }
 
 func TestJoinWhereOnNullableSide(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	// IS NULL on the nullable side selects exactly the unmatched rows.
 	rows := mustQuery(t, db, `SELECT e.name FROM emp e LEFT JOIN dept d ON d.id = e.did
@@ -65,6 +68,7 @@ func TestJoinWhereOnNullableSide(t *testing.T) {
 }
 
 func TestJoinPredicatePushdown(t *testing.T) {
+	t.Parallel()
 	// A predicate on the joined table must prune before later stages: with
 	// pushdown this query touches few intermediate rows; without it, the
 	// cross product would still give the right answer but the per-stage
@@ -91,6 +95,7 @@ func TestJoinPredicatePushdown(t *testing.T) {
 }
 
 func TestOrderByMultipleKeys(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	rows := mustQuery(t, db, "SELECT did, name FROM emp WHERE did IS NOT NULL ORDER BY did DESC, name ASC")
 	want := [][2]string{{"2", "cat"}, {"1", "ann"}, {"1", "bob"}}
@@ -102,6 +107,7 @@ func TestOrderByMultipleKeys(t *testing.T) {
 }
 
 func TestOrderByJoinedColumn(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	rows := mustQuery(t, db,
 		"SELECT e.name FROM emp e JOIN dept d ON d.id = e.did ORDER BY d.name DESC, e.salary")
@@ -113,6 +119,7 @@ func TestOrderByJoinedColumn(t *testing.T) {
 }
 
 func TestInWithParams(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	rows := mustQuery(t, db, "SELECT name FROM emp WHERE salary IN (?, ?) ORDER BY name",
 		Int(100), Int(90))
@@ -122,6 +129,7 @@ func TestInWithParams(t *testing.T) {
 }
 
 func TestSelectExpressionProjection(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	rows := mustQuery(t, db, "SELECT salary >= 100 AS senior FROM emp WHERE name = 'ann'")
 	if rows.Columns[0] != "senior" || !rows.Data[0][0].Bool() {
@@ -130,6 +138,7 @@ func TestSelectExpressionProjection(t *testing.T) {
 }
 
 func TestStarWithJoinQualifiesColumns(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	rows := mustQuery(t, db, "SELECT * FROM dept d JOIN emp e ON e.did = d.id LIMIT 1")
 	// dept has 2 columns, emp has 4: star over a join yields 6 qualified.
@@ -142,6 +151,7 @@ func TestStarWithJoinQualifiesColumns(t *testing.T) {
 }
 
 func TestAmbiguousColumnRejected(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	if _, err := db.Query("SELECT name FROM dept d JOIN emp e ON e.did = d.id"); err == nil {
 		t.Fatal("ambiguous unqualified column accepted")
@@ -152,6 +162,7 @@ func TestAmbiguousColumnRejected(t *testing.T) {
 }
 
 func TestDatetimeRangePlan(t *testing.T) {
+	t.Parallel()
 	db := New()
 	mustExec(t, db, "CREATE TABLE ev (at DATETIME)")
 	mustExec(t, db, "CREATE INDEX ev_at ON ev (at)")
@@ -174,6 +185,7 @@ func TestDatetimeRangePlan(t *testing.T) {
 }
 
 func TestStatementCacheTransparency(t *testing.T) {
+	t.Parallel()
 	db := New()
 	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
 	// Same text, different params: cache must not leak parameter state.
@@ -195,6 +207,7 @@ func TestStatementCacheTransparency(t *testing.T) {
 }
 
 func TestUpdateWithExpressionOfOldValue(t *testing.T) {
+	t.Parallel()
 	db := setupJoinDB(t)
 	// SET salary = salary is an identity write; verifies old-row env binding.
 	res := mustExec(t, db, "UPDATE emp SET salary = salary WHERE did = 1")

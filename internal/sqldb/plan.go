@@ -3,7 +3,24 @@ package sqldb
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
+
+// Query planning is split compile/bind: compileSelect turns a parsed SELECT
+// into a selectPlan — a value-free description of how to execute it (which
+// index each stage probes, which expressions feed the probe, nested-loop
+// versus sorted-set intersection) — and run binds parameter values and
+// executes. Plans depend only on the statement shape and the root they were
+// compiled against, so the DB layer caches them keyed on the MVCC epoch
+// (see DB.plannedSelect): the PR 5 epoch machinery invalidates them for
+// free on every commit.
+//
+// Access-path choices are safe to make symbolically because they are only
+// ever optimizations: every stage re-applies its full filter list to each
+// candidate row, so a probe merely has to return a superset of the matching
+// rows. When a probe expression binds to NULL (or fails to evaluate) at
+// execution time, bind degrades to a wider probe and the filters keep the
+// result exact.
 
 // Rows is a fully materialized result set.
 type Rows struct {
@@ -11,7 +28,8 @@ type Rows struct {
 	Data    [][]Value
 }
 
-// accessPath describes how the planner reaches rows of one table.
+// accessPath describes how one execution reaches rows of one table: an
+// accessSpec with its probe values bound.
 type accessPath struct {
 	tbl *table
 
@@ -22,7 +40,8 @@ type accessPath struct {
 	eqVals []Value
 	inList []Value
 
-	// Range scan on idx's first column (idx != nil, eqVals nil).
+	// Range scan on the column right after the eqVals prefix (the first
+	// column when eqVals is empty).
 	rangeLo, rangeHi       *Value
 	rangeLoInc, rangeHiInc bool
 
@@ -33,6 +52,8 @@ func (ap accessPath) String() string {
 	switch {
 	case ap.idx != nil && ap.inList != nil:
 		return fmt.Sprintf("index-in(%s)", ap.idx.name)
+	case ap.idx != nil && (ap.rangeLo != nil || ap.rangeHi != nil):
+		return fmt.Sprintf("index-range(%s)", ap.idx.name)
 	case ap.idx != nil && ap.eqVals != nil:
 		return fmt.Sprintf("index-eq(%s)", ap.idx.name)
 	case ap.idx != nil:
@@ -50,7 +71,7 @@ func (ap accessPath) scan(fn func(rowid int64, row Row) bool) {
 	}
 	switch {
 	case ap.idx != nil && ap.inList != nil:
-		// One equality probe per IN value. The list is deduplicated at plan
+		// One equality probe per IN value. The list is deduplicated at bind
 		// time, so every matching rowid is visited exactly once.
 		probe := make([]Value, len(ap.eqVals)+1)
 		copy(probe, ap.eqVals)
@@ -68,13 +89,119 @@ func (ap accessPath) scan(fn func(rowid int64, row Row) bool) {
 				return
 			}
 		}
+	case ap.idx != nil && (ap.rangeLo != nil || ap.rangeHi != nil):
+		ap.idx.scanPrefixRange(ap.eqVals, ap.rangeLo, ap.rangeHi, ap.rangeLoInc, ap.rangeHiInc, lookup)
 	case ap.idx != nil && ap.eqVals != nil:
 		ap.idx.scanEqual(ap.eqVals, lookup)
-	case ap.idx != nil:
-		ap.idx.scanRange(ap.rangeLo, ap.rangeHi, ap.rangeLoInc, ap.rangeHiInc, lookup)
 	default:
 		ap.tbl.rows.Ascend(fn)
 	}
+}
+
+// accessSpec is the symbolic (value-free) form of an access path: the chosen
+// index plus the expressions that will feed its probe slots at bind time.
+type accessSpec struct {
+	tbl *table
+	idx *index
+
+	// eqExprs feed an equality probe on the leading index columns; eqCols
+	// holds the table column position each slot probes (parallel slice).
+	eqExprs []Expr
+	eqCols  []int
+	// inExprs are IN-list items probing the column right after the eq
+	// prefix (nil when the spec has no IN extension).
+	inExprs []Expr
+	// loExpr/hiExpr bound a range on the column right after the eq prefix.
+	loExpr, hiExpr Expr
+	loInc, hiInc   bool
+
+	fullScan bool
+}
+
+func (sp accessSpec) String() string {
+	switch {
+	case sp.idx == nil:
+		return fmt.Sprintf("full-scan(%s)", sp.tbl.name)
+	case sp.inExprs != nil:
+		return fmt.Sprintf("index-in(%s)", sp.idx.name)
+	case sp.loExpr != nil || sp.hiExpr != nil:
+		return fmt.Sprintf("index-range(%s)", sp.idx.name)
+	default:
+		return fmt.Sprintf("index-eq(%s)", sp.idx.name)
+	}
+}
+
+// bind evaluates the spec's probe expressions against params and returns a
+// concrete access path. Binding never fails: a probe value that is NULL (it
+// can never equal a stored value) or unevaluable degrades the path to a
+// wider probe — truncated equality prefix, dropped IN extension, dropped
+// range bound, ultimately a full scan — and the stage filters, which always
+// re-run on every candidate row, keep the result exact.
+func (sp accessSpec) bind(params []Value) accessPath {
+	if sp.idx == nil {
+		return accessPath{tbl: sp.tbl, fullScan: true}
+	}
+	ev := &env{params: params}
+	vals := make([]Value, 0, len(sp.eqExprs))
+	for _, ex := range sp.eqExprs {
+		v, err := eval(ex, ev)
+		if err != nil || v.IsNull() {
+			if len(vals) == 0 {
+				return accessPath{tbl: sp.tbl, fullScan: true}
+			}
+			return accessPath{tbl: sp.tbl, idx: sp.idx, eqVals: vals}
+		}
+		vals = append(vals, v)
+	}
+	if sp.inExprs != nil {
+		list := make([]Value, 0, len(sp.inExprs))
+		for _, item := range sp.inExprs {
+			v, err := eval(item, ev)
+			if err != nil {
+				// Unevaluable item: drop the whole IN extension so the probe
+				// stays a superset of what the filter would accept.
+				if len(vals) == 0 {
+					return accessPath{tbl: sp.tbl, fullScan: true}
+				}
+				return accessPath{tbl: sp.tbl, idx: sp.idx, eqVals: vals}
+			}
+			if v.IsNull() {
+				continue // a NULL item matches nothing
+			}
+			dup := false
+			for _, u := range list {
+				if Compare(u, v) == 0 {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				list = append(list, v)
+			}
+		}
+		return accessPath{tbl: sp.tbl, idx: sp.idx, eqVals: vals, inList: list}
+	}
+	if sp.loExpr != nil || sp.hiExpr != nil {
+		ap := accessPath{tbl: sp.tbl, idx: sp.idx, eqVals: vals}
+		if sp.loExpr != nil {
+			if v, err := eval(sp.loExpr, ev); err == nil && !v.IsNull() {
+				ap.rangeLo, ap.rangeLoInc = &v, sp.loInc
+			}
+		}
+		if sp.hiExpr != nil {
+			if v, err := eval(sp.hiExpr, ev); err == nil && !v.IsNull() {
+				ap.rangeHi, ap.rangeHiInc = &v, sp.hiInc
+			}
+		}
+		if ap.rangeLo == nil && ap.rangeHi == nil {
+			if len(vals) == 0 {
+				return accessPath{tbl: sp.tbl, fullScan: true}
+			}
+			ap.eqVals = vals
+		}
+		return ap
+	}
+	return accessPath{tbl: sp.tbl, idx: sp.idx, eqVals: vals}
 }
 
 // refsOnly reports whether every column reference in ex resolves within the
@@ -134,51 +261,41 @@ func colOf(ex Expr, alias string, tbl *table) (int, bool) {
 	return p, ok
 }
 
-// planAccess picks an access path for tbl (bound as alias) from predicates.
-// preds must each reference only this table or constants.
-func planAccess(tbl *table, alias string, preds []Expr, params []Value) accessPath {
-	ev := &env{params: params}
-	// Collect col = const equalities, col IN (consts) lists, and range
-	// bounds on columns.
-	eq := map[int]Value{}
-	inLists := map[int][]Value{}
-	type bound struct {
-		v   Value
+// planSpec chooses the access spec for tbl (bound as alias) from preds,
+// consulting st — never the table's trees — for cardinality. It returns the
+// spec and the estimated number of rows it yields. Any usable index beats a
+// full scan (a probe is far cheaper than a filtered scan row here, and the
+// filters re-run regardless); among index candidates the smallest estimate
+// wins, with ties going to the earliest candidate in a fixed enumeration
+// order so plans are deterministic.
+func planSpec(tbl *table, alias string, preds []Expr, st statsRegistry) (accessSpec, float64) {
+	// Collect per-column symbolic slots: the first equality expression, the
+	// first all-constant IN list, and range bounds.
+	eq := map[int]Expr{}
+	inLists := map[int][]Expr{}
+	type boundE struct {
+		ex  Expr
 		inc bool
 	}
-	lo := map[int]bound{}
-	hi := map[int]bound{}
+	lo := map[int]boundE{}
+	hi := map[int]boundE{}
 	for _, p := range preds {
 		if in, ok := p.(*InExpr); ok && !in.Not {
 			c, ok := colOf(in.E, alias, tbl)
 			if !ok {
 				continue
 			}
-			vals := make([]Value, 0, len(in.List))
-			usable := true
+			usable := len(in.List) > 0
 			for _, item := range in.List {
 				if !constExpr(item) {
 					usable = false
 					break
 				}
-				v, err := eval(item, ev)
-				if err != nil || v.IsNull() {
-					usable = false
-					break
-				}
-				dup := false
-				for _, u := range vals {
-					if Compare(u, v) == 0 {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					vals = append(vals, v)
-				}
 			}
 			if usable {
-				inLists[c] = vals
+				if _, dup := inLists[c]; !dup {
+					inLists[c] = in.List
+				}
 			}
 			continue
 		}
@@ -208,81 +325,86 @@ func planAccess(tbl *table, alias string, preds []Expr, params []Value) accessPa
 		} else {
 			continue
 		}
-		v, err := eval(val, ev)
-		if err != nil || v.IsNull() {
-			continue
-		}
 		switch op {
 		case "=":
-			eq[colPos] = v
+			if _, dup := eq[colPos]; !dup {
+				eq[colPos] = val
+			}
 		case ">":
-			lo[colPos] = bound{v, false}
+			if _, dup := lo[colPos]; !dup {
+				lo[colPos] = boundE{val, false}
+			}
 		case ">=":
-			lo[colPos] = bound{v, true}
+			if _, dup := lo[colPos]; !dup {
+				lo[colPos] = boundE{val, true}
+			}
 		case "<":
-			hi[colPos] = bound{v, false}
+			if _, dup := hi[colPos]; !dup {
+				hi[colPos] = boundE{val, false}
+			}
 		case "<=":
-			hi[colPos] = bound{v, true}
+			if _, dup := hi[colPos]; !dup {
+				hi[colPos] = boundE{val, true}
+			}
 		}
 	}
-	// Longest equality prefix over any index wins; an IN list on the column
-	// right after the prefix extends it by one multi-point probe. Ties
-	// prefer a pure equality prefix (one probe) over an IN fan-out.
-	var bestIx *index
-	var bestIn []Value
-	bestEq, bestScore := 0, 0
+
+	rows := st.tableRows(tbl)
+	var best accessSpec
+	bestEst := 0.0
+	have := false
+	consider := func(sp accessSpec, est float64) {
+		if !have || est < bestEst {
+			best, bestEst, have = sp, est, true
+		}
+	}
 	for _, ix := range tbl.indexes {
-		n := 0
+		var eqExprs []Expr
+		var eqCols []int
 		for _, c := range ix.cols {
-			if _, ok := eq[c]; ok {
-				n++
-			} else {
+			ex, ok := eq[c]
+			if !ok {
 				break
 			}
+			eqExprs = append(eqExprs, ex)
+			eqCols = append(eqCols, c)
 		}
-		var inVals []Value
+		n := len(eqExprs)
 		if n < len(ix.cols) {
-			if vals, ok := inLists[ix.cols[n]]; ok {
-				inVals = vals
+			next := ix.cols[n]
+			if items, ok := inLists[next]; ok {
+				consider(accessSpec{tbl: tbl, idx: ix, eqExprs: eqExprs, eqCols: eqCols, inExprs: items},
+					st.eqRows(ix, n+1)*float64(len(items)))
+			}
+			l, hasLo := lo[next]
+			h, hasHi := hi[next]
+			if hasLo || hasHi {
+				sp := accessSpec{tbl: tbl, idx: ix, eqExprs: eqExprs, eqCols: eqCols}
+				if hasLo {
+					sp.loExpr, sp.loInc = l.ex, l.inc
+				}
+				if hasHi {
+					sp.hiExpr, sp.hiInc = h.ex, h.inc
+				}
+				base := rows
+				if n > 0 {
+					base = st.eqRows(ix, n)
+				}
+				// No histograms: assume a range keeps a third of its base.
+				consider(sp, base/3)
 			}
 		}
-		score := n
-		if inVals != nil {
-			score++
-		}
-		if score > bestScore || (score == bestScore && bestIn != nil && inVals == nil) {
-			bestIx, bestEq, bestIn, bestScore = ix, n, inVals, score
+		if n > 0 {
+			consider(accessSpec{tbl: tbl, idx: ix, eqExprs: eqExprs, eqCols: eqCols}, st.eqRows(ix, n))
 		}
 	}
-	if bestIx != nil && bestScore > 0 {
-		vals := make([]Value, bestEq)
-		for i := 0; i < bestEq; i++ {
-			vals[i] = eq[bestIx.cols[i]]
-		}
-		return accessPath{tbl: tbl, idx: bestIx, eqVals: vals, inList: bestIn}
+	if !have {
+		return accessSpec{tbl: tbl, fullScan: true}, rows
 	}
-	// Range on the first column of some index.
-	for _, ix := range tbl.indexes {
-		c := ix.cols[0]
-		l, hasLo := lo[c]
-		h, hasHi := hi[c]
-		if hasLo || hasHi {
-			ap := accessPath{tbl: tbl, idx: ix}
-			if hasLo {
-				v := l.v
-				ap.rangeLo, ap.rangeLoInc = &v, l.inc
-			}
-			if hasHi {
-				v := h.v
-				ap.rangeHi, ap.rangeHiInc = &v, h.inc
-			}
-			return ap
-		}
-	}
-	return accessPath{tbl: tbl, fullScan: true}
+	return best, bestEst
 }
 
-// stagePlan is the per-stage execution info for a SELECT pipeline.
+// stagePlan is the per-stage execution info for a compiled SELECT pipeline.
 type stagePlan struct {
 	ref  TableRef
 	tbl  *table
@@ -301,14 +423,38 @@ type stagePlan struct {
 	// match/no-match, for INNER they are just filters.
 	onResidual []Expr
 
-	// For the FROM stage only: static predicates usable for access planning.
-	accessPreds []Expr
+	// access drives the FROM stage's scan (always a full scan in naive
+	// plans). Join stages are reached via joinIdx or a nested full scan.
+	access accessSpec
 }
 
-// executeSelect runs a SELECT against one immutable root. Because the root
-// (and every table version reachable from it) is never mutated after
-// publication, this needs no locking at all.
-func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
+// outCol describes one projected output column.
+type outCol struct {
+	name string
+	// star expansion: binding index + column position; otherwise expr
+	bind, pos int
+	expr      Expr
+	count     bool
+}
+
+// selectPlan is a compiled SELECT: shape-only, value-free, immutable after
+// compilation and therefore safe to cache per epoch and execute from many
+// goroutines at once.
+type selectPlan struct {
+	st        *SelectStmt
+	stages    []stagePlan
+	outs      []outCol
+	countOnly bool
+	// inter, when non-nil, replaces nested-loop execution with sorted
+	// rowid-set intersection over the stages' join-key equivalence class.
+	inter *intersectPlan
+}
+
+// compileSelect builds the execution plan for st against this root. With
+// naive set, every cost-based choice is disabled — full scans and pure
+// nested loops — which is the reference evaluator the planner-parity
+// harness diffs against.
+func (r *dbRoot) compileSelect(st *SelectStmt, naive bool) (*selectPlan, error) {
 	fromTbl, ok := r.tables[st.From.Table]
 	if !ok {
 		return nil, fmt.Errorf("sqldb: no such table %q", st.From.Table)
@@ -352,9 +498,15 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 		return nil, fmt.Errorf("sqldb: unresolvable predicate %s", exprString(unbound[0]))
 	}
 
+	stats := statsRegistry{}
+
 	// Stage 0: access planning from its own conjuncts.
-	stages[0].accessPreds = whereStage[0]
 	stages[0].filters = whereStage[0]
+	if naive {
+		stages[0].access = accessSpec{tbl: fromTbl, fullScan: true}
+	} else {
+		stages[0].access, _ = planSpec(fromTbl, st.From.Alias, whereStage[0], stats)
+	}
 
 	// Join stages: split ON conjuncts, look for an indexed equality probe.
 	for si := 1; si < len(stages); si++ {
@@ -365,7 +517,7 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 			outerScope[stages[k].ref.Alias] = stages[k].tbl
 		}
 		for _, c := range conjuncts(sp.join.On) {
-			if sp.joinIdx == nil {
+			if sp.joinIdx == nil && !naive {
 				if b, ok := c.(*BinaryExpr); ok && b.Op == "=" {
 					// new.col = outer-expr
 					if p, ok := colOf(b.L, sp.ref.Alias, sp.tbl); ok && refsOnly(b.R, outerScope) {
@@ -387,18 +539,11 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 		// Equality predicates on this table alone can also help the probe
 		// path; they are already in filters. For LEFT JOIN, WHERE filters on
 		// the nullable side must run after the match decision; that ordering
-		// is preserved below (filters run after onResidual).
+		// is preserved by the executor (filters run after onResidual).
 	}
 
-	// Build output schema.
-	type outCol struct {
-		name string
-		// star expansion: binding index + column position; otherwise expr
-		bind, pos int
-		expr      Expr
-		count     bool
-	}
-	var outs []outCol
+	// Build the output schema.
+	p := &selectPlan{st: st, stages: stages}
 	for _, item := range st.Items {
 		switch {
 		case item.Star:
@@ -408,7 +553,7 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 					if len(stages) > 1 {
 						name = stages[bi].ref.Alias + "." + cd.Name
 					}
-					outs = append(outs, outCol{name: name, bind: bi, pos: ci, expr: nil})
+					p.outs = append(p.outs, outCol{name: name, bind: bi, pos: ci, expr: nil})
 				}
 			}
 		case item.Count:
@@ -416,7 +561,7 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 			if name == "" {
 				name = "count"
 			}
-			outs = append(outs, outCol{name: name, count: true})
+			p.outs = append(p.outs, outCol{name: name, count: true})
 		default:
 			name := item.As
 			if name == "" {
@@ -425,34 +570,42 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 					name = ref.Column
 				}
 			}
-			outs = append(outs, outCol{name: name, expr: item.Expr, bind: -1})
+			p.outs = append(p.outs, outCol{name: name, expr: item.Expr, bind: -1})
 		}
 	}
-	countOnly := len(outs) == 1 && outs[0].count
+	p.countOnly = len(p.outs) == 1 && p.outs[0].count
 
+	if !naive {
+		p.planIntersect(stats)
+	}
+	return p, nil
+}
+
+// passesAll evaluates a conjunct list against the env, reporting whether
+// every conjunct is true.
+func passesAll(filters []Expr, ev *env) (bool, error) {
+	for _, f := range filters {
+		v, err := eval(f, ev)
+		if err != nil {
+			return false, err
+		}
+		if !truthy(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// run executes the compiled plan with the given parameter values. The plan
+// itself is read-only; all per-execution state lives here.
+func (p *selectPlan) run(params []Value) (*Rows, error) {
+	stages := p.stages
 	ev := &env{params: params, bindings: make([]binding, len(stages))}
 	for i := range stages {
 		ev.bindings[i] = binding{alias: stages[i].ref.Alias, tbl: stages[i].tbl}
 	}
 
-	passes := func(filters []Expr) (bool, error) {
-		for _, f := range filters {
-			v, err := eval(f, ev)
-			if err != nil {
-				return false, err
-			}
-			if !truthy(v) {
-				return false, nil
-			}
-		}
-		return true, nil
-	}
-
 	var resultEnvRows [][]Row // snapshot of binding rows per result tuple
-	var execErr error
-
-	// Recursive nested-loop execution over stages.
-	var run func(si int) bool // returns false to abort (error)
 	emit := func() bool {
 		snap := make([]Row, len(stages))
 		for i := range ev.bindings {
@@ -461,6 +614,125 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 		resultEnvRows = append(resultEnvRows, snap)
 		return true
 	}
+
+	if p.inter != nil {
+		if err := p.runIntersect(ev, emit); err != nil {
+			return nil, err
+		}
+	} else if err := p.runNested(ev, params, emit); err != nil {
+		return nil, err
+	}
+
+	// ORDER BY over the materialized env rows.
+	if len(p.st.OrderBy) > 0 {
+		keys := make([][]Value, len(resultEnvRows))
+		for i, snap := range resultEnvRows {
+			for bi := range ev.bindings {
+				ev.bindings[bi].row = snap[bi]
+			}
+			ks := make([]Value, len(p.st.OrderBy))
+			for ki, ob := range p.st.OrderBy {
+				v, err := eval(ob.Expr, ev)
+				if err != nil {
+					return nil, err
+				}
+				ks[ki] = v
+			}
+			keys[i] = ks
+		}
+		order := make([]int, len(resultEnvRows))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ka, kb := keys[order[a]], keys[order[b]]
+			for ki := range p.st.OrderBy {
+				c := Compare(ka[ki], kb[ki])
+				if c == 0 {
+					continue
+				}
+				if p.st.OrderBy[ki].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([][]Row, len(resultEnvRows))
+		for i, o := range order {
+			sorted[i] = resultEnvRows[o]
+		}
+		resultEnvRows = sorted
+	}
+
+	// Projection.
+	res := &Rows{Columns: make([]string, len(p.outs))}
+	for i, oc := range p.outs {
+		res.Columns[i] = oc.name
+	}
+	if p.countOnly {
+		res.Data = [][]Value{{Int(int64(len(resultEnvRows)))}}
+		return res, nil
+	}
+	for _, snap := range resultEnvRows {
+		for bi := range ev.bindings {
+			ev.bindings[bi].row = snap[bi]
+		}
+		out := make([]Value, len(p.outs))
+		for i, oc := range p.outs {
+			switch {
+			case oc.count:
+				out[i] = Int(int64(len(resultEnvRows)))
+			case oc.expr != nil:
+				v, err := eval(oc.expr, ev)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			default:
+				if snap[oc.bind] == nil {
+					out[i] = Null()
+				} else {
+					out[i] = snap[oc.bind][oc.pos]
+				}
+			}
+		}
+		res.Data = append(res.Data, out)
+	}
+
+	if p.st.Distinct {
+		seen := map[string]bool{}
+		uniq := res.Data[:0]
+		for _, row := range res.Data {
+			key := rowKey(row)
+			if !seen[key] {
+				seen[key] = true
+				uniq = append(uniq, row)
+			}
+		}
+		res.Data = uniq
+	}
+
+	// LIMIT / OFFSET.
+	if p.st.Offset > 0 {
+		if p.st.Offset >= len(res.Data) {
+			res.Data = nil
+		} else {
+			res.Data = res.Data[p.st.Offset:]
+		}
+	}
+	if p.st.Limit >= 0 && p.st.Limit < len(res.Data) {
+		res.Data = res.Data[:p.st.Limit]
+	}
+	return res, nil
+}
+
+// runNested is the nested-loop executor: recursive index-probe (or scan)
+// joins in statement order, with LEFT JOIN null-row handling.
+func (p *selectPlan) runNested(ev *env, params []Value, emit func() bool) error {
+	stages := p.stages
+	var execErr error
+	var run func(si int) bool // returns false to abort (error)
 	run = func(si int) bool {
 		if si == len(stages) {
 			return emit()
@@ -469,7 +741,7 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 		tryRow := func(row Row) (matched bool, cont bool) {
 			ev.bindings[si].row = row
 			if len(sp.onResidual) > 0 {
-				ok, err := passes(sp.onResidual)
+				ok, err := passesAll(sp.onResidual, ev)
 				if err != nil {
 					execErr = err
 					return false, false
@@ -478,7 +750,7 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 					return false, true
 				}
 			}
-			ok, err := passes(sp.filters)
+			ok, err := passesAll(sp.filters, ev)
 			if err != nil {
 				execErr = err
 				return false, false
@@ -492,7 +764,7 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 		}
 		anyMatch := false
 		if si == 0 {
-			ap := planAccess(sp.tbl, sp.ref.Alias, sp.accessPreds, params)
+			ap := sp.access.bind(params)
 			aborted := false
 			ap.scan(func(_ int64, row Row) bool {
 				_, cont := tryRow(row)
@@ -540,7 +812,7 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 		}
 		if !anyMatch && sp.join.Left {
 			ev.bindings[si].row = nil
-			ok, err := passes(sp.filters)
+			ok, err := passesAll(sp.filters, ev)
 			if err != nil {
 				execErr = err
 				return false
@@ -553,111 +825,21 @@ func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
 		return true
 	}
 	if !run(0) && execErr != nil {
-		return nil, execErr
+		return execErr
 	}
+	return nil
+}
 
-	// ORDER BY over the materialized env rows.
-	if len(st.OrderBy) > 0 {
-		keys := make([][]Value, len(resultEnvRows))
-		for i, snap := range resultEnvRows {
-			for bi := range ev.bindings {
-				ev.bindings[bi].row = snap[bi]
-			}
-			ks := make([]Value, len(st.OrderBy))
-			for ki, ob := range st.OrderBy {
-				v, err := eval(ob.Expr, ev)
-				if err != nil {
-					return nil, err
-				}
-				ks[ki] = v
-			}
-			keys[i] = ks
-		}
-		order := make([]int, len(resultEnvRows))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			ka, kb := keys[order[a]], keys[order[b]]
-			for ki := range st.OrderBy {
-				c := Compare(ka[ki], kb[ki])
-				if c == 0 {
-					continue
-				}
-				if st.OrderBy[ki].Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		sorted := make([][]Row, len(resultEnvRows))
-		for i, o := range order {
-			sorted[i] = resultEnvRows[o]
-		}
-		resultEnvRows = sorted
+// executeSelect compiles and runs a SELECT against one immutable root.
+// Transactions use it directly (their shadow roots are private, so caching
+// would be pointless); DB-level queries go through the epoch-keyed plan
+// cache instead.
+func (r *dbRoot) executeSelect(st *SelectStmt, params []Value) (*Rows, error) {
+	plan, err := r.compileSelect(st, false)
+	if err != nil {
+		return nil, err
 	}
-
-	// Projection.
-	res := &Rows{Columns: make([]string, len(outs))}
-	for i, oc := range outs {
-		res.Columns[i] = oc.name
-	}
-	if countOnly {
-		res.Data = [][]Value{{Int(int64(len(resultEnvRows)))}}
-		return res, nil
-	}
-	for _, snap := range resultEnvRows {
-		for bi := range ev.bindings {
-			ev.bindings[bi].row = snap[bi]
-		}
-		out := make([]Value, len(outs))
-		for i, oc := range outs {
-			switch {
-			case oc.count:
-				out[i] = Int(int64(len(resultEnvRows)))
-			case oc.expr != nil:
-				v, err := eval(oc.expr, ev)
-				if err != nil {
-					return nil, err
-				}
-				out[i] = v
-			default:
-				if snap[oc.bind] == nil {
-					out[i] = Null()
-				} else {
-					out[i] = snap[oc.bind][oc.pos]
-				}
-			}
-		}
-		res.Data = append(res.Data, out)
-	}
-
-	if st.Distinct {
-		seen := map[string]bool{}
-		uniq := res.Data[:0]
-		for _, row := range res.Data {
-			key := rowKey(row)
-			if !seen[key] {
-				seen[key] = true
-				uniq = append(uniq, row)
-			}
-		}
-		res.Data = uniq
-	}
-
-	// LIMIT / OFFSET.
-	if st.Offset > 0 {
-		if st.Offset >= len(res.Data) {
-			res.Data = nil
-		} else {
-			res.Data = res.Data[st.Offset:]
-		}
-	}
-	if st.Limit >= 0 && st.Limit < len(res.Data) {
-		res.Data = res.Data[:st.Limit]
-	}
-	return res, nil
+	return plan.run(params)
 }
 
 // rowKey builds a collision-safe string key for DISTINCT.
@@ -670,9 +852,60 @@ func rowKey(row []Value) string {
 	return key
 }
 
-// Explain returns a one-line description of the access path the planner
-// would choose for the FROM table of a SELECT. Used by tests and ablation
-// benchmarks to assert index usage.
+// String renders the plan as one stable line — the EXPLAIN format asserted
+// by golden tests. Single-table plans render as the bare access path
+// ("index-eq(name)"); nested-loop joins render each stage in execution
+// order ("nested[a index-eq(i) -> b probe(j) -> c scan(t)]"); intersection
+// plans list the stages most-selective-first with the key-probe stages
+// marked ("intersect[a0 index-eq(i) & t key-probe(j)]").
+func (p *selectPlan) String() string {
+	if p.inter != nil {
+		var b strings.Builder
+		b.WriteString("intersect[")
+		for i := range p.inter.order {
+			is := &p.inter.order[i]
+			if i > 0 {
+				b.WriteString(" & ")
+			}
+			b.WriteString(p.stages[is.si].ref.Alias)
+			b.WriteByte(' ')
+			if is.probe {
+				b.WriteString("key-probe(" + is.probeIdx.name + ")")
+			} else {
+				b.WriteString(is.access.String())
+			}
+		}
+		b.WriteString("]")
+		return b.String()
+	}
+	if len(p.stages) == 1 {
+		return p.stages[0].access.String()
+	}
+	var b strings.Builder
+	b.WriteString("nested[")
+	for si := range p.stages {
+		if si > 0 {
+			b.WriteString(" -> ")
+		}
+		sp := &p.stages[si]
+		b.WriteString(sp.ref.Alias)
+		b.WriteByte(' ')
+		switch {
+		case si == 0:
+			b.WriteString(sp.access.String())
+		case sp.joinIdx != nil:
+			b.WriteString("probe(" + sp.joinIdx.name + ")")
+		default:
+			b.WriteString("scan(" + sp.tbl.name + ")")
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// Explain returns the one-line plan rendering for a SELECT (see
+// selectPlan.String). Planning is value-free, so trailing args are accepted
+// for compatibility but do not influence the plan.
 func (db *DB) Explain(sql string, args ...Value) (string, error) {
 	st, err := Parse(sql)
 	if err != nil {
@@ -683,19 +916,9 @@ func (db *DB) Explain(sql string, args ...Value) (string, error) {
 		return "", fmt.Errorf("sqldb: EXPLAIN supports only SELECT")
 	}
 	root := db.root.Load()
-	tbl, ok := root.tables[sel.From.Table]
-	if !ok {
-		return "", fmt.Errorf("sqldb: no such table %q", sel.From.Table)
+	plan, err := db.plannedSelect(sql, sel, root)
+	if err != nil {
+		return "", err
 	}
-	var preds []Expr
-	if sel.Where != nil {
-		scope := map[string]*table{sel.From.Alias: tbl}
-		for _, c := range conjuncts(sel.Where) {
-			if refsOnly(c, scope) {
-				preds = append(preds, c)
-			}
-		}
-	}
-	ap := planAccess(tbl, sel.From.Alias, preds, args)
-	return ap.String(), nil
+	return plan.String(), nil
 }

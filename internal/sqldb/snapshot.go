@@ -215,6 +215,11 @@ func (db *DB) LoadSnapshot(r io.Reader) error {
 				ix.tree.Set(ix.keyFor(rowid, row), struct{}{})
 			}
 		}
+		// Direct tree writes bypassed the stat-maintaining flush; rebuild
+		// the planner's cardinality counts with one walk per index.
+		for _, ix := range t.indexes {
+			ix.recomputeStats()
+		}
 		work.tables[gt.Name] = t
 	}
 	// Publish the rebuilt state atomically; an error above leaves the

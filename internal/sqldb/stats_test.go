@@ -1,0 +1,217 @@
+package sqldb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// Property tests for the planner's cardinality statistics: however an index
+// tree came to hold its entries — incremental flush maintenance under
+// churn, WAL replay, snapshot restore, CREATE INDEX backfill — its stored
+// distinct-prefix counts must equal a from-scratch count of the tree.
+
+// verifyStats asserts the property for every index of every table in db's
+// committed root.
+func verifyStats(t *testing.T, db *DB, ctx string) {
+	t.Helper()
+	root := db.root.Load()
+	for _, tbl := range root.tables {
+		for _, ix := range tbl.indexes {
+			want := ix.distinctCounts()
+			got := ix.stats.distinct
+			if len(got) != len(want) {
+				t.Fatalf("%s: %s stats width = %d, want %d", ctx, ix.name, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%s: %s distinct[%d] = %d, want %d (tree len %d)",
+						ctx, ix.name, k, got[k], want[k], ix.tree.Len())
+				}
+			}
+		}
+	}
+}
+
+// churnStatsDB creates a table with single- and multi-column indexes and
+// applies seeded random insert/update/delete churn, including multi-
+// statement transactions and rollbacks. Small value domains force heavy
+// duplication, so distinct counts and row counts diverge — the case the
+// estimates exist to tell apart.
+func churnStatsDB(t *testing.T, db *DB, rng *rand.Rand, ops int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE churn (id INTEGER PRIMARY KEY, a INTEGER, b TEXT, c INTEGER)")
+	mustExec(t, db, "CREATE INDEX churn_a ON churn (a)")
+	mustExec(t, db, "CREATE INDEX churn_ab ON churn (a, b)")
+	mustExec(t, db, "CREATE INDEX churn_bca ON churn (b, c, a)")
+	next := int64(0)
+	val := func() Value {
+		if rng.Intn(6) == 0 {
+			return Null()
+		}
+		return Int(int64(rng.Intn(5)))
+	}
+	sval := func() Value {
+		if rng.Intn(6) == 0 {
+			return Null()
+		}
+		return Text(fmt.Sprintf("s%d", rng.Intn(4)))
+	}
+	one := func(tx *Tx) error {
+		switch rng.Intn(4) {
+		case 0, 1:
+			next++
+			_, err := tx.Exec("INSERT INTO churn (id, a, b, c) VALUES (?, ?, ?, ?)",
+				Int(next), val(), sval(), val())
+			return err
+		case 2:
+			_, err := tx.Exec("UPDATE churn SET a = ?, b = ? WHERE c = ?", val(), sval(), val())
+			return err
+		default:
+			_, err := tx.Exec("DELETE FROM churn WHERE a = ? AND b = ?", val(), sval())
+			return err
+		}
+	}
+	for i := 0; i < ops; i++ {
+		if rng.Intn(10) == 0 {
+			// A transaction batching several statements; one in three rolls
+			// back, which must leave the published stats untouched.
+			tx := db.Begin()
+			for j := 0; j <= rng.Intn(4); j++ {
+				if err := one(tx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rng.Intn(3) == 0 {
+				if err := tx.Rollback(); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := db.Update(one); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStatsConsistentUnderChurn(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			db := New()
+			rng := rand.New(rand.NewSource(seed))
+			churnStatsDB(t, db, rng, 40)
+			verifyStats(t, db, "mid-churn")
+			churnStatsDB2(t, db, rng, 160)
+			verifyStats(t, db, "post-churn")
+		})
+	}
+}
+
+// churnStatsDB2 continues churn on an already-created schema.
+func churnStatsDB2(t *testing.T, db *DB, rng *rand.Rand, ops int) {
+	t.Helper()
+	for i := 0; i < ops; i++ {
+		a, b, c := rng.Intn(5), rng.Intn(4), rng.Intn(5)
+		switch rng.Intn(3) {
+		case 0:
+			mustExec(t, db, "INSERT INTO churn (id, a, b, c) VALUES (?, ?, ?, ?)",
+				Int(int64(100000+i)), Int(int64(a)), Text(fmt.Sprintf("s%d", b)), Int(int64(c)))
+		case 1:
+			mustExec(t, db, "UPDATE churn SET c = ? WHERE a = ?", Int(int64(c)), Int(int64(a)))
+		default:
+			mustExec(t, db, "DELETE FROM churn WHERE b = ? AND c = ?",
+				Text(fmt.Sprintf("s%d", b)), Int(int64(c)))
+		}
+	}
+}
+
+func TestStatsAfterWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stats.wal")
+	db := New()
+	w, _ := openTestWAL(t, path, db, WALOptions{})
+	rng := rand.New(rand.NewSource(7))
+	churnStatsDB(t, db, rng, 120)
+	verifyStats(t, db, "pre-crash")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := New()
+	w2, stats := openTestWAL(t, path, db2, WALOptions{})
+	defer w2.Close()
+	if stats.Applied == 0 {
+		t.Fatal("replay applied nothing")
+	}
+	verifyStats(t, db2, "post-replay")
+}
+
+func TestStatsAfterSnapshotRestore(t *testing.T) {
+	t.Parallel()
+	db := New()
+	rng := rand.New(rand.NewSource(11))
+	churnStatsDB(t, db, rng, 120)
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	verifyStats(t, db2, "post-restore")
+}
+
+func TestStatsAfterCreateIndexBackfill(t *testing.T) {
+	t.Parallel()
+	db := New()
+	rng := rand.New(rand.NewSource(13))
+	churnStatsDB(t, db, rng, 120)
+	// Backfill over existing rows, then keep churning on the new index.
+	mustExec(t, db, "CREATE INDEX churn_ca ON churn (c, a)")
+	verifyStats(t, db, "post-backfill")
+	churnStatsDB2(t, db, rng, 80)
+	verifyStats(t, db, "post-backfill-churn")
+}
+
+// TestStatsRegistryEstimates pins the registry's arithmetic: eqRows is
+// rows/distinct clamped to at least one row, and over-long prefixes reuse
+// the widest count.
+func TestStatsRegistryEstimates(t *testing.T) {
+	t.Parallel()
+	db := New()
+	mustExec(t, db, "CREATE TABLE e (a INTEGER, b INTEGER)")
+	mustExec(t, db, "CREATE INDEX e_ab ON e (a, b)")
+	for i := 0; i < 60; i++ {
+		mustExec(t, db, "INSERT INTO e (a, b) VALUES (?, ?)",
+			Int(int64(i%3)), Int(int64(i%12)))
+	}
+	root := db.root.Load()
+	ix := root.indexes["e_ab"]
+	if ix == nil {
+		t.Fatal("index missing")
+	}
+	reg := statsRegistry{}
+	if got := reg.distinct(ix, 1); got != 3 {
+		t.Fatalf("distinct(1) = %v", got)
+	}
+	if got := reg.distinct(ix, 2); got != 12 {
+		t.Fatalf("distinct(2) = %v", got)
+	}
+	if got := reg.distinct(ix, 5); got != 12 {
+		t.Fatalf("distinct(5) clamps to widest = %v", got)
+	}
+	if got := reg.eqRows(ix, 1); got != 20 {
+		t.Fatalf("eqRows(1) = %v", got)
+	}
+	if got := reg.eqRows(ix, 2); got != 5 {
+		t.Fatalf("eqRows(2) = %v", got)
+	}
+}

@@ -116,6 +116,10 @@ type index struct {
 	unique  bool
 	tree    *btree.Tree[indexKey, struct{}]
 	pending []indexDelta
+
+	// stats holds the exact distinct counts the planner's statsRegistry
+	// reads; flush maintains them incrementally (see stats.go).
+	stats indexStats
 }
 
 func newIndex(name string, t *table, cols []int, unique bool) *index {
@@ -125,6 +129,7 @@ func newIndex(name string, t *table, cols []int, unique bool) *index {
 		cols:   cols,
 		unique: unique,
 		tree:   btree.NewDegree[indexKey, struct{}](indexDegree, indexKeyLess),
+		stats:  indexStats{distinct: make([]int, len(cols))},
 	}
 }
 
@@ -240,6 +245,12 @@ func (ix *index) push(d indexDelta) {
 // tree is walked leaf-by-leaf in order, and multiple ops on the same entry
 // coalesce to the last one — an insert+delete pair in the same transaction
 // never touches the tree at all.
+//
+// Because the batch is sorted, deltas touching the same key prefix are
+// contiguous, which is what makes incremental distinct-count maintenance
+// cheap: for every prefix length, each distinct prefix group in the batch
+// pays at most two read-only tree probes — existence before its ops apply
+// and after — to detect the 0↔N transitions that move the counts.
 func (ix *index) flush() {
 	p := ix.pending
 	if len(p) == 0 {
@@ -248,18 +259,46 @@ func (ix *index) flush() {
 	if len(p) > 1 {
 		sort.SliceStable(p, func(i, j int) bool { return indexKeyLess(p[i].key, p[j].key) })
 	}
-	for i := 0; i < len(p); {
-		j := i + 1
-		for j < len(p) && !indexKeyLess(p[i].key, p[j].key) {
-			j++
+	nc := len(ix.cols)
+	// apply processes deltas p[lo:hi) that share their first lvl key
+	// columns: group them by column lvl, bracket each group with existence
+	// probes at prefix length lvl+1, and recurse. At the full key width it
+	// applies the tree ops, coalescing multiple ops on one exact entry
+	// (same key columns and rowid) to the last.
+	var apply func(lo, hi, lvl int)
+	apply = func(lo, hi, lvl int) {
+		if lvl == nc {
+			for k := lo; k < hi; {
+				m := k + 1
+				for m < hi && !indexKeyLess(p[k].key, p[m].key) {
+					m++
+				}
+				if last := p[m-1]; last.del {
+					ix.tree.Delete(last.key)
+				} else {
+					ix.tree.Set(last.key, struct{}{})
+				}
+				k = m
+			}
+			return
 		}
-		if last := p[j-1]; last.del {
-			ix.tree.Delete(last.key)
-		} else {
-			ix.tree.Set(last.key, struct{}{})
+		for i := lo; i < hi; {
+			e := i + 1
+			for e < hi && Compare(p[e].key.col(lvl), p[i].key.col(lvl)) == 0 {
+				e++
+			}
+			pre := ix.hasPrefix(p[i].key, lvl+1)
+			apply(i, e, lvl+1)
+			post := ix.hasPrefix(p[i].key, lvl+1)
+			if !pre && post {
+				ix.stats.distinct[lvl]++
+			} else if pre && !post {
+				ix.stats.distinct[lvl]--
+			}
+			i = e
 		}
-		i = j
 	}
+	apply(0, len(p), 0)
 	// Keep the backing array for the next batch in this transaction, but
 	// zero it so published roots don't pin dead keys.
 	for i := range p {
@@ -285,23 +324,71 @@ func (ix *index) scanEqual(prefix []Value, fn func(rowid int64) bool) {
 func (ix *index) scanEqualKey(start indexKey, fn func(rowid int64) bool) {
 	start.rowid = math.MinInt64
 	ix.tree.AscendGE(start, func(k indexKey, _ struct{}) bool {
-		for i := 0; i < int(start.n); i++ {
-			if Compare(k.col(i), start.col(i)) != 0 {
-				return false
-			}
+		if !prefixEq(&k, &start) {
+			return false
 		}
 		return fn(k.rowid)
+	})
+}
+
+// prefixEq reports whether k's leading start.n columns all compare equal to
+// start's. It is the per-entry termination test of every equality scan, so
+// it reads the inline key fields directly (no col() copies) and compares
+// with valuesEq's fast paths rather than the full comparator.
+func prefixEq(k, start *indexKey) bool {
+	n := int(start.n)
+	if n > 0 && !valuesEq(&k.v0, &start.v0) {
+		return false
+	}
+	if n > 1 && !valuesEq(&k.v1, &start.v1) {
+		return false
+	}
+	for i := 2; i < n; i++ {
+		if !valuesEq(&(*k.more)[i-2], &(*start.more)[i-2]) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanEqualEntries is scanEqual exposing the whole index entry instead of
+// just the rowid. Covered plans (see intersect.go) read join-key columns
+// straight out of the entries, skipping the row fetch entirely.
+func (ix *index) scanEqualEntries(prefix []Value, fn func(key indexKey) bool) {
+	if len(ix.pending) != 0 {
+		panic("sqldb: index scan with unflushed deltas on " + ix.name)
+	}
+	start := keyFromVals(prefix, math.MinInt64)
+	ix.tree.AscendGE(start, func(k indexKey, _ struct{}) bool {
+		if !prefixEq(&k, &start) {
+			return false
+		}
+		return fn(k)
 	})
 }
 
 // scanRange calls fn for entries whose first column lies in the interval
 // described by lo/hi (nil means unbounded) with the given inclusivity.
 func (ix *index) scanRange(lo, hi *Value, loInc, hiInc bool, fn func(rowid int64) bool) {
+	ix.scanPrefixRange(nil, lo, hi, loInc, hiInc, fn)
+}
+
+// scanPrefixRange calls fn for entries whose leading columns equal prefix
+// and whose next column lies in the interval described by lo/hi (nil means
+// unbounded) with the given inclusivity. An empty prefix is a plain range
+// scan on the first column.
+func (ix *index) scanPrefixRange(prefix []Value, lo, hi *Value, loInc, hiInc bool, fn func(rowid int64) bool) {
 	if len(ix.pending) != 0 {
 		panic("sqldb: index scan with unflushed deltas on " + ix.name)
 	}
+	rc := len(prefix)
 	visit := func(k indexKey, _ struct{}) bool {
-		v := k.v0
+		for i := 0; i < rc; i++ {
+			if Compare(k.col(i), prefix[i]) != 0 {
+				return false
+			}
+		}
+		v := k.col(rc)
 		if lo != nil {
 			c := Compare(v, *lo)
 			if c < 0 || (c == 0 && !loInc) {
@@ -316,9 +403,15 @@ func (ix *index) scanRange(lo, hi *Value, loInc, hiInc bool, fn func(rowid int64
 		}
 		return fn(k.rowid)
 	}
-	if lo != nil {
-		ix.tree.AscendGE(indexKey{v0: *lo, n: 1, rowid: math.MinInt64}, visit)
-	} else {
+	switch {
+	case lo != nil:
+		vals := make([]Value, rc+1)
+		copy(vals, prefix)
+		vals[rc] = *lo
+		ix.tree.AscendGE(keyFromVals(vals, math.MinInt64), visit)
+	case rc > 0:
+		ix.tree.AscendGE(keyFromVals(prefix, math.MinInt64), visit)
+	default:
 		ix.tree.Ascend(visit)
 	}
 }
@@ -384,6 +477,7 @@ func (t *table) clone() *table {
 			cols:   ix.cols,
 			unique: ix.unique,
 			tree:   ix.tree.Clone(),
+			stats:  ix.stats.clone(),
 		}
 	}
 	return nt

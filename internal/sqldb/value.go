@@ -200,6 +200,12 @@ func Compare(a, b Value) int {
 			}
 			return 0
 		case TypeText:
+			// Equality first: == short-circuits on pointer identity, and
+			// stored text is interned (see completeRow), so comparing a
+			// value against an equal stored value is a pointer check.
+			if a.S == b.S {
+				return 0
+			}
 			return strings.Compare(a.S, b.S)
 		}
 	}
@@ -239,6 +245,29 @@ func Compare(a, b Value) int {
 // including NULL (SQL three-valued logic is applied by the evaluator; Equal
 // is the raw tuple-identity used by indexes, where NULL == NULL).
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// valuesEq reports Compare(*a, *b) == 0 through pointers, with same-type
+// fast paths cheap enough for per-entry use in index scans: every same-type
+// pair except FLOAT decides on one field compare (NULLs always carry N=0,
+// scalars order by N, TEXT by S — interned, so usually a pointer check).
+// Same-type FLOAT can only short-circuit the equal case: distinct bit
+// patterns may still compare equal (-0.0 vs 0.0), so inequality and every
+// cross-type pair fall back to the full comparator.
+func valuesEq(a, b *Value) bool {
+	if a.T == b.T {
+		switch a.T {
+		case TypeText:
+			return a.S == b.S
+		case TypeFloat:
+			if a.N == b.N {
+				return true
+			}
+		default:
+			return a.N == b.N
+		}
+	}
+	return Compare(*a, *b) == 0
+}
 
 // coerce converts v to column type t where a lossless conversion exists.
 func coerce(v Value, t Type) (Value, error) {

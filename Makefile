@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench transportbench addpath attrpath planparity
+.PHONY: build test race vet fmt check chaos bench figures readpath walcrash walbench transportbench addpath attrpath planparity shardbench
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,12 @@ planparity:
 	$(GO) test -run '^$$' -fuzz 'FuzzPlanParity' -fuzztime 30s ./internal/sqldb
 
 # The fault-injection suite under fixed seeds (override with
-# MCS_CHAOS_SEEDS=...): fault matrix, retry tests, soak.
+# MCS_CHAOS_SEEDS=...): fault matrix, retry tests, soak, plus the shard
+# router's degraded-mode legs (partial results, retried mutations through
+# the router, pagination across a shard restart).
 chaos:
 	MCS_CHAOS_SEEDS=$${MCS_CHAOS_SEEDS:-1,7,42} \
-		$(GO) test -race -timeout 5m -run 'TestChaos|TestRetry|TestBatchWriteAtomicVisibility|TestPaginationTokenSurvivesRestart' -v .
+		$(GO) test -race -timeout 5m -run 'TestChaos|TestRetry|TestBatchWriteAtomicVisibility|TestPaginationTokenSurvivesRestart|TestShardRouterChaosPartialResult|TestShardRouterRetriedMutation|TestShardRouterPaginationAcrossShardRestart' -v .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -96,3 +98,14 @@ addpath:
 attrpath:
 	$(GO) run ./cmd/mcsbench -fig 11 -attr-sweep 1,2,4,6,8,10 -sizes 20000 \
 		-attr-json BENCH_attrpath.json $(ATTRPATH_FLAGS)
+
+# The horizontal-sharding sweep (Fig. 18): aggregate add, simple-query and
+# scatter-query rate through the mcsrouter front end at 1, 2 and 4 shards,
+# emitted as BENCH_shard.json including the add-rate scale-out factor at the
+# largest shard count (meaningful on multi-core hosts; a single core
+# measures routing overhead instead — the JSON records gomaxprocs).
+# Override for a quick smoke run, e.g.
+# `make shardbench SHARDBENCH_FLAGS="-duration 200ms -sizes 1000"`.
+shardbench:
+	$(GO) run ./cmd/mcsbench -fig 18 -shard-counts 1,2,4 -sizes 10000 \
+		-shard-json BENCH_shard.json $(SHARDBENCH_FLAGS)

@@ -929,3 +929,32 @@ func (c *Client) StatsCtx(ctx context.Context) (Stats, error) {
 		Attributes: resp.Attributes, AttrDefs: resp.AttrDefs,
 	}, nil
 }
+
+// DiscoverySummary is the soft-state discovery summary a catalog publishes
+// for federation and shard routing: its defined attribute names, a bloom
+// filter over (attribute, value) bindings, and the binding count.
+type DiscoverySummary struct {
+	// Attrs lists the attribute names the catalog defines, sorted.
+	Attrs []string
+	// Pairs is the base64-encoded JSON bloom filter over attribute
+	// bindings (decode with internal/rls.Bloom via encoding/json).
+	Pairs string
+	// Objects counts the summarized bindings.
+	Objects int
+}
+
+// FetchDiscoverySummary fetches the catalog's discovery summary with
+// context.Background. FP is the requested bloom false-positive rate
+// (0 selects the server default of 0.01).
+func (c *Client) FetchDiscoverySummary(fp float64) (DiscoverySummary, error) {
+	return c.FetchDiscoverySummaryCtx(context.Background(), fp)
+}
+
+// FetchDiscoverySummaryCtx fetches the catalog's discovery summary.
+func (c *Client) FetchDiscoverySummaryCtx(ctx context.Context, fp float64) (DiscoverySummary, error) {
+	var resp mcswire.DiscoverySummaryResponse
+	if err := c.call(ctx, "discoverySummary", &mcswire.DiscoverySummaryRequest{Caller: c.dn, FP: fp}, &resp); err != nil {
+		return DiscoverySummary{}, err
+	}
+	return DiscoverySummary{Attrs: resp.Attrs, Pairs: resp.Pairs, Objects: resp.Objects}, nil
+}

@@ -42,6 +42,17 @@
 // -addpath-json FILE the points land as JSON (BENCH_addpath.json in CI),
 // including the batch-over-single speedup.
 //
+// Figure 18 is the horizontal-sharding sweep: aggregate add, simple-query
+// and scatter-query rate through the mcsrouter scatter-gather front end
+// over a shard-count axis (1, 2 and 4 mcsd shards by default). Adds and
+// simple queries carry shard-prefixed names and forward to exactly one
+// shard; scatter queries fan out to every shard and merge. With -shard-json
+// FILE the points land as JSON (BENCH_shard.json in CI), including the
+// add-rate scale-out factor at the largest shard count. On a single-core
+// host the sweep measures routing overhead, not scale-out — the shards and
+// the router share the CPU — so the JSON records gomaxprocs alongside the
+// ratios.
+//
 // Figure 11, the attribute-count sweep, runs single-threaded with a warmup
 // and a forced GC before each measurement window so the 1-vs-8-attribute
 // ratio is trustworthy on small hosts (see bench.AttrPathSweep). With
@@ -70,6 +81,7 @@ import (
 	"mcs"
 	"mcs/internal/bench"
 	"mcs/internal/core"
+	"mcs/internal/shard"
 )
 
 // readPathReport is the machine-readable form of the Fig. 14 sweep.
@@ -191,6 +203,65 @@ func writeTransportJSON(path string, size int, d time.Duration, points []bench.T
 	}
 	if soap := rate("soap", "query"); soap > 0 {
 		rep.QuerySpeedup = rate("json", "query") / soap
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// shardReport is the machine-readable form of the Fig. 18 sweep.
+type shardReport struct {
+	Bench       string             `json:"bench"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
+	DBFiles     int                `json:"db_files"`
+	DurationSec float64            `json:"duration_sec"`
+	Points      []bench.ShardPoint `json:"points"`
+	// AddScale and QueryScale are the aggregate add and simple-query rates
+	// at the largest shard count divided by the single-shard rates — the
+	// scale-out figures of merit. Meaningful only when gomaxprocs exceeds
+	// the shard count: on fewer cores the shards, the router and the load
+	// generator time-slice one CPU and the ratio measures the router's
+	// extra hop instead.
+	AddScale   float64 `json:"add_scale"`
+	QueryScale float64 `json:"query_scale"`
+	// ScatterScale is the same ratio for the fan-out query: expected below
+	// one on any host, since every scatter pays one subquery per shard.
+	ScatterScale float64 `json:"scatter_scale"`
+	MaxShards    int     `json:"max_shards"`
+}
+
+// writeShardJSON emits the Fig. 18 points to path.
+func writeShardJSON(path string, size int, d time.Duration, points []bench.ShardPoint) error {
+	rep := shardReport{
+		Bench:       "shard",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		DBFiles:     size,
+		DurationSec: d.Seconds(),
+		Points:      points,
+	}
+	for _, p := range points {
+		if p.Shards > rep.MaxShards {
+			rep.MaxShards = p.Shards
+		}
+	}
+	rate := func(op string, shards int) float64 {
+		for _, p := range points {
+			if p.Op == op && p.Shards == shards {
+				return p.OpsPerSec
+			}
+		}
+		return 0
+	}
+	for op, dst := range map[string]*float64{
+		"add": &rep.AddScale, "query": &rep.QueryScale, "scatter": &rep.ScatterScale,
+	} {
+		if base := rate(op, 1); base > 0 {
+			*dst = rate(op, rep.MaxShards) / base
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -362,6 +433,42 @@ func env() bench.Env {
 				mcs.WithTimeout(10*time.Minute),
 				mcs.WithTransport(mcs.TransportJSON))
 		},
+		StartShardedRouter: func(cats []*core.Catalog) (string, func(), error) {
+			var stops []func()
+			stop := func() {
+				for i := len(stops) - 1; i >= 0; i-- {
+					stops[i]()
+				}
+			}
+			var parts []string
+			for i, cat := range cats {
+				srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
+				if err != nil {
+					stop()
+					return "", nil, err
+				}
+				ts := httptest.NewServer(srv)
+				stops = append(stops, ts.Close)
+				parts = append(parts, bench.ShardPrefix(i)+"="+ts.URL)
+				if i == 0 {
+					parts = append(parts, "*="+ts.URL)
+				}
+			}
+			m, err := shard.ParseInline(strings.Join(parts, ","))
+			if err != nil {
+				stop()
+				return "", nil, err
+			}
+			router, err := shard.NewRouter(shard.Options{Map: m})
+			if err != nil {
+				stop()
+				return "", nil, err
+			}
+			stops = append(stops, router.Stop)
+			ts := httptest.NewServer(router)
+			stops = append(stops, ts.Close)
+			return ts.URL, stop, nil
+		},
 	}
 }
 
@@ -381,6 +488,9 @@ func main() {
 	transportJSONOut := flag.String("transport-json", "", "write figure 16 points as JSON to this path (e.g. BENCH_transport.json)")
 	addPathJSONOut := flag.String("addpath-json", "", "write figure 17 points as JSON to this path (e.g. BENCH_addpath.json)")
 	attrJSONOut := flag.String("attr-json", "", "write figure 11 points as JSON to this path (e.g. BENCH_attrpath.json)")
+	shardJSONOut := flag.String("shard-json", "", "write figure 18 points as JSON to this path (e.g. BENCH_shard.json)")
+	shardCounts := flag.String("shard-counts", "1,2,4", "shard-count sweep for figure 18")
+	shardThreads := flag.Int("shard-threads", 8, "client threads per figure 18 data point")
 	flag.Parse()
 	_ = http.DefaultClient // keep net/http linked for httptest servers
 
@@ -404,6 +514,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("mcsbench: %v", err)
 	}
+	shc, err := parseInts(*shardCounts)
+	if err != nil {
+		log.Fatalf("mcsbench: %v", err)
+	}
 	opt := bench.FigureOptions{
 		Sizes: szs, Threads: thr, Hosts: hst,
 		ThreadsPerHost: *threadsPerHost, Duration: *duration,
@@ -412,7 +526,7 @@ func main() {
 
 	var figs []int
 	if *fig == "all" {
-		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
+		figs = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18}
 	} else {
 		n, err := strconv.Atoi(*fig)
 		if err != nil {
@@ -421,11 +535,11 @@ func main() {
 		figs = []int{n}
 	}
 
-	// Figures 12, 15 and 17 build their own fresh catalogs; preloaded
+	// Figures 12, 15, 17 and 18 build their own fresh catalogs; preloaded
 	// databases are only needed for the rest.
 	needLoad := false
 	for _, f := range figs {
-		if f != 12 && f != 15 && f != 17 {
+		if f != 12 && f != 15 && f != 17 && f != 18 {
 			needLoad = true
 		}
 	}
@@ -526,6 +640,25 @@ func main() {
 					log.Fatalf("mcsbench: write %s: %v", *addPathJSONOut, err)
 				}
 				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *addPathJSONOut)
+			}
+		} else if f == 18 {
+			// Like figs 14/15: one sweep feeds both the table and the JSON.
+			size := szs[0]
+			for _, s := range szs[1:] {
+				if s < size {
+					size = s
+				}
+			}
+			points, err := bench.ShardSweep(opt, shc, *shardThreads)
+			if err != nil {
+				log.Fatalf("mcsbench: figure 18: %v", err)
+			}
+			fmt.Println(bench.Render(18, bench.ShardPointSeries(size, points)))
+			if *shardJSONOut != "" {
+				if err := writeShardJSON(*shardJSONOut, size, *duration, points); err != nil {
+					log.Fatalf("mcsbench: write %s: %v", *shardJSONOut, err)
+				}
+				fmt.Fprintf(os.Stderr, "mcsbench: wrote %s\n", *shardJSONOut)
 			}
 		} else if f == 15 {
 			// Like fig 14: one sweep feeds both the table and the JSON.

@@ -1,0 +1,131 @@
+// Command mcsrouter runs the stateless scatter-gather router in front of a
+// horizontally sharded MCS deployment: collection subtrees are partitioned
+// across mcsd instances by logical-name prefix, and the router mounts the
+// same SOAP + JSON surface as a single mcsd, so clients need no
+// reconfiguration beyond the endpoint URL.
+//
+// Usage:
+//
+//	mcsrouter -addr :8090 -shards "ligo=http://shard-a:8080,sdss=http://shard-b:8080"
+//	mcsrouter -addr :8090 -shard-map /etc/mcs/shards.map
+//
+// The shard-map file holds one "<prefix> <endpoint>" pair per line ("*" is
+// the catch-all prefix; # starts a comment). Single-collection operations
+// forward to exactly one shard; cross-shard queries scatter to the shards a
+// bloom-filter summary cannot rule out and gather a merged result. The
+// router also exposes /metrics, /healthz and /statz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcs/internal/shard"
+)
+
+// config carries mcsrouter's parsed flags.
+type config struct {
+	addr            string
+	shardMapFile    string
+	shardsInline    string
+	summaryInterval time.Duration
+	fp              float64
+	callTimeout     time.Duration
+	metrics         bool
+	drainTimeout    time.Duration
+}
+
+// run starts the router and serves until stop delivers a signal or the
+// listener fails. When ready is non-nil, the bound address is sent on it
+// once the router is accepting connections.
+func run(cfg config, stop <-chan os.Signal, ready chan<- net.Addr) error {
+	var (
+		m   *shard.Map
+		err error
+	)
+	switch {
+	case cfg.shardMapFile != "" && cfg.shardsInline != "":
+		return fmt.Errorf("-shard-map and -shards are mutually exclusive")
+	case cfg.shardMapFile != "":
+		m, err = shard.ParseMapFile(cfg.shardMapFile)
+	case cfg.shardsInline != "":
+		m, err = shard.ParseInline(cfg.shardsInline)
+	default:
+		return fmt.Errorf("one of -shard-map or -shards is required")
+	}
+	if err != nil {
+		return err
+	}
+	router, err := shard.NewRouter(shard.Options{
+		Map:             m,
+		FP:              cfg.fp,
+		SummaryInterval: cfg.summaryInterval,
+		CallTimeout:     cfg.callTimeout,
+		DisableMetrics:  !cfg.metrics,
+	})
+	if err != nil {
+		return err
+	}
+	router.Start()
+	defer router.Stop()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	extra := ""
+	if cfg.metrics {
+		extra = ", metrics at /metrics"
+	}
+	fmt.Fprintf(os.Stderr, "mcsrouter: routing %d shard(s) on http://%s (SOAP + JSON API at /api/v1/%s)\n",
+		len(m.Endpoints()), ln.Addr(), extra)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	httpSrv := &http.Server{Handler: router}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-stop:
+		log.Printf("mcsrouter: %v: draining requests", sig)
+	}
+	drain := cfg.drainTimeout
+	if drain <= 0 {
+		drain = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("mcsrouter: drain: %v", err)
+	}
+	return nil
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8090", "listen address")
+	flag.StringVar(&cfg.shardMapFile, "shard-map", "", "shard-map file: one \"<prefix> <endpoint>\" per line, \"*\" for the catch-all")
+	flag.StringVar(&cfg.shardsInline, "shards", "", "inline shard map: \"prefix=endpoint,prefix=endpoint\" (\"*=endpoint\" for the catch-all)")
+	flag.DurationVar(&cfg.summaryInterval, "summary-interval", 15*time.Second, "period of bloom-summary pulls from shards (0 disables screening)")
+	flag.Float64Var(&cfg.fp, "fp", 0.01, "bloom false-positive rate requested from shard summaries")
+	flag.DurationVar(&cfg.callTimeout, "call-timeout", 30*time.Second, "deadline for each forwarded shard call")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "expose the /metrics, /healthz and /statz operational endpoints")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	flag.Parse()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(cfg, stop, nil); err != nil {
+		log.Fatalf("mcsrouter: %v", err)
+	}
+}

@@ -2,32 +2,18 @@ package mcs
 
 import (
 	"errors"
-	"strings"
 
-	"mcs/internal/core"
 	"mcs/internal/jsonwire"
+	"mcs/internal/mcswire"
 	"mcs/internal/soap"
 )
 
 // faultSentinels is the exhaustive, symmetric mapping between the catalog's
-// sentinel errors and SOAP fault code suffixes. The server encodes a
-// handler error as faultcode soapenv:Server.<Code>; the client decodes the
-// code back to the same sentinel, so errors.Is works identically on both
-// sides of the wire. Every core.Err* sentinel must appear here exactly once
-// (TestFaultSentinelTableExhaustive enforces it).
-var faultSentinels = []struct {
-	Code string
-	Err  error
-}{
-	{"NotFound", core.ErrNotFound},
-	{"Exists", core.ErrExists},
-	{"Denied", core.ErrDenied},
-	{"InvalidInput", core.ErrInvalidInput},
-	{"Cycle", core.ErrCycle},
-	{"NotEmpty", core.ErrNotEmpty},
-	{"AmbiguousFile", core.ErrAmbiguousFile},
-	{"Unavailable", core.ErrUnavailable},
-}
+// sentinel errors and SOAP fault code suffixes. It lives in
+// internal/mcswire so the shard router maps errors identically without
+// importing this package; every core.Err* sentinel must appear there
+// exactly once (TestFaultSentinelTableExhaustive enforces it).
+var faultSentinels = mcswire.Sentinels
 
 // ErrTransport marks calls that failed without a decodable reply — on
 // either wire: the request never completed, the connection dropped
@@ -51,30 +37,11 @@ func (e *transportError) Unwrap() []error { return []error{e.inner, ErrTransport
 
 // faultCodeFor maps a handler error to its fault code suffix ("" when the
 // error wraps no known sentinel).
-func faultCodeFor(err error) string {
-	for _, fs := range faultSentinels {
-		if errors.Is(err, fs.Err) {
-			return fs.Code
-		}
-	}
-	return ""
-}
+func faultCodeFor(err error) string { return mcswire.CodeForError(err) }
 
 // sentinelForFault maps a wire fault code (e.g. "soapenv:Server.NotFound")
 // back to its sentinel, or nil for unrecognized codes.
-func sentinelForFault(code string) error {
-	i := strings.LastIndex(code, ".")
-	if i < 0 {
-		return nil
-	}
-	suffix := code[i+1:]
-	for _, fs := range faultSentinels {
-		if fs.Code == suffix {
-			return fs.Err
-		}
-	}
-	return nil
-}
+func sentinelForFault(code string) error { return mcswire.SentinelForCode(code) }
 
 // wireError couples the SOAP fault a call returned with the sentinel its
 // fault code names, so callers can both read the server's message and match

@@ -33,8 +33,14 @@ type Env struct {
 	NewRetryClient func(url string) SOAPClient
 	// NewJSONClient returns a client speaking the compact JSON wire
 	// (/api/v1/) against the same server NewClient's SOAP client talks to.
-	// Optional — only the Fig. 16 wire comparison needs it.
+	// Optional — only the Fig. 16 wire comparison and the Fig. 18 sharding
+	// sweep need it.
 	NewJSONClient func(url string) SOAPClient
+	// StartShardedRouter serves each catalog as its own shard — shard i
+	// owning the ShardPrefix(i) namespace, shard 0 doubling as the
+	// catch-all — behind a scatter-gather router, and returns the router's
+	// base URL. Optional — only the Fig. 18 sharding sweep needs it.
+	StartShardedRouter func(cats []*core.Catalog) (url string, stop func(), err error)
 }
 
 // Point is one measurement: X is the swept parameter, Y the rate (ops/s).
@@ -748,6 +754,8 @@ func FigureTitle(fig int) string {
 		return "Fig. 16: Add and simple-query rate, SOAP wire vs compact JSON wire, same server (ops/s)"
 	case 17:
 		return "Fig. 17: Pure add rate, single CreateFile vs 100-op batches, database only (adds/s)"
+	case 18:
+		return "Fig. 18: Aggregate add, simple-query and scatter-query rate through the shard router vs shard count (ops/s)"
 	}
 	return fmt.Sprintf("unknown figure %d", fig)
 }
@@ -761,6 +769,8 @@ func xAxis(fig int) string {
 		return "hosts"
 	case 12:
 		return "batch"
+	case 18:
+		return "shards"
 	default:
 		return "attributes"
 	}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mcs/internal/core"
+)
+
+// ShardPoint is one measurement of the sharding sweep (Fig. 18): the
+// aggregate operation rate through the scatter-gather router at a given
+// shard count.
+type ShardPoint struct {
+	Shards    int     `json:"shards"`
+	Op        string  `json:"op"`
+	Threads   int     `json:"threads"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ShardOf assigns a workload name to one of n shards by hash. The loader
+// and the workload wrapper share this function, so a prefixed name always
+// lands on the shard that holds (or will hold) it.
+func ShardOf(name string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ShardPrefix is shard i's routing prefix in the sweep's shard map.
+func ShardPrefix(i int) string { return fmt.Sprintf("s%d-", i) }
+
+// LoadShardInto populates cat with shard's slice of the n-shard benchmark
+// dataset: the files whose unprefixed names hash to shard, created under
+// the shard's routing prefix. Attribute definitions are replicated on every
+// shard (the router broadcasts defineAttribute the same way), and each file
+// keeps its global value group, so complex-query selectivity matches the
+// unsharded dataset.
+func LoadShardInto(cat *core.Catalog, cfg Config, shard, n int) error {
+	if cfg.FilesPerCollection <= 0 {
+		cfg.FilesPerCollection = 1000
+	}
+	if cfg.AttrsPerFile <= 0 {
+		cfg.AttrsPerFile = 10
+	}
+	for j := 0; j < cfg.AttrsPerFile; j++ {
+		if _, err := cat.DefineAttribute(LoaderDN, attrName(j), attrType(j), "bench attribute"); err != nil {
+			return err
+		}
+	}
+	nColl := (cfg.Files + cfg.FilesPerCollection - 1) / cfg.FilesPerCollection
+	for ci := 0; ci < nColl; ci++ {
+		if _, err := cat.CreateCollection(LoaderDN, core.CollectionSpec{
+			Name:       fmt.Sprintf("%sbench-coll-%05d", ShardPrefix(shard), ci),
+			Attributes: FileAttributes(ci, cfg.AttrsPerFile),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.Files; i++ {
+		name := FileName(i)
+		if ShardOf(name, n) != shard {
+			continue
+		}
+		if _, err := cat.CreateFile(LoaderDN, core.FileSpec{
+			Name:       ShardPrefix(shard) + name,
+			DataType:   "binary",
+			Collection: fmt.Sprintf("%sbench-coll-%05d", ShardPrefix(shard), i/cfg.FilesPerCollection),
+			Attributes: FileAttributes(i, cfg.AttrsPerFile),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardTarget adapts a router-facing Target to the sharded namespace: adds
+// and simple queries get the owning shard's prefix (so writes forward to
+// exactly one shard and spread across all of them), while complex attribute
+// queries pass through unprefixed and scatter to every shard the router
+// cannot screen out.
+type ShardTarget struct {
+	Inner Target
+	N     int
+}
+
+// AddAndDelete implements Target.
+func (s ShardTarget) AddAndDelete(name string, attrs []core.Attribute) error {
+	return s.Inner.AddAndDelete(ShardPrefix(ShardOf(name, s.N))+name, attrs)
+}
+
+// SimpleQuery implements Target.
+func (s ShardTarget) SimpleQuery(name string) error {
+	return s.Inner.SimpleQuery(ShardPrefix(ShardOf(name, s.N)) + name)
+}
+
+// AttrQuery implements Target.
+func (s ShardTarget) AttrQuery(preds []core.Predicate) error {
+	return s.Inner.AttrQuery(preds)
+}
+
+// ShardSweep measures Fig. 18: aggregate add, simple-query and
+// complex-query (scatter) rates through the router over the shard-count
+// axis, on the smallest configured database. Each shard count gets a fresh
+// deployment holding the same global dataset partitioned by name hash, so
+// rates across shard counts compare identical logical workloads.
+func ShardSweep(opt FigureOptions, shardCounts []int, threads int) ([]ShardPoint, error) {
+	opt = opt.Defaults()
+	if opt.Env.StartShardedRouter == nil {
+		return nil, fmt.Errorf("bench: figure 18 requires Env.StartShardedRouter")
+	}
+	if opt.Env.NewJSONClient == nil {
+		return nil, fmt.Errorf("bench: figure 18 requires Env.NewJSONClient")
+	}
+	if threads <= 0 {
+		threads = 4
+	}
+	size := opt.Sizes[0]
+	for _, s := range opt.Sizes[1:] {
+		if s < size {
+			size = s
+		}
+	}
+	cfg := DefaultConfig(size)
+	ops := []struct {
+		name string
+		op   Op
+	}{
+		{"add", OpAdd},
+		{"query", OpSimpleQuery},
+		{"scatter", OpComplexQuery},
+	}
+	var out []ShardPoint
+	for _, n := range shardCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("bench: bad shard count %d", n)
+		}
+		cats := make([]*core.Catalog, n)
+		for i := range cats {
+			cat, err := core.Open(core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if err := LoadShardInto(cat, cfg, i, n); err != nil {
+				return nil, err
+			}
+			cats[i] = cat
+		}
+		url, stop, err := opt.Env.StartShardedRouter(cats)
+		if err != nil {
+			return nil, err
+		}
+		target := ShardTarget{Inner: SOAP{Client: opt.Env.NewJSONClient(url)}, N: n}
+		for _, o := range ops {
+			out = append(out, ShardPoint{
+				Shards: n, Op: o.name, Threads: threads,
+				OpsPerSec: RunRate([]Target{target}, threads, opt.Duration, o.op, cfg, opt.AttrK),
+			})
+		}
+		stop()
+	}
+	return out, nil
+}
+
+// ShardPointSeries renders the sharding sweep as figure series, one line
+// per operation over the shard-count axis.
+func ShardPointSeries(size int, points []ShardPoint) []Series {
+	var out []Series
+	idx := map[string]int{}
+	for _, p := range points {
+		i, ok := idx[p.Op]
+		if !ok {
+			i = len(out)
+			idx[p.Op] = i
+			out = append(out, Series{Label: sizeLabel(size) + " database, " + p.Op + " via router"})
+		}
+		out[i].Points = append(out[i].Points, Point{X: p.Shards, Y: p.OpsPerSec})
+	}
+	return out
+}

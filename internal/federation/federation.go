@@ -73,6 +73,12 @@ func Summarize(cat *core.Catalog, name string, fp float64) (*Summary, error) {
 	return s, nil
 }
 
+// MayMatch reports whether the summarized catalog may hold objects matching
+// q. False negatives are impossible — a summary that rules a catalog out is
+// authoritative — while a false positive costs one wasted subquery. The
+// shard router uses this to screen scatter queries per shard.
+func (s *Summary) MayMatch(q core.Query) bool { return summaryMayMatch(s, q) }
+
 // indexEntry is what the index holds for one local catalog.
 type indexEntry struct {
 	summary *Summary

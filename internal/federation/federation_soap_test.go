@@ -1,0 +1,86 @@
+// External test package: this test drives federation through real mcs
+// servers, and the root package now imports federation (the
+// discoverySummary op), so an in-package test importing mcs would cycle.
+package federation_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mcs"
+	"mcs/internal/core"
+	"mcs/internal/federation"
+)
+
+const dn = "/O=Grid/CN=federator"
+
+func newSite(t *testing.T, project string, files int) *core.Catalog {
+	t.Helper()
+	cat, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineAttribute(dn, "project", core.AttrString, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.DefineAttribute(dn, "index", core.AttrInt, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < files; i++ {
+		_, err := cat.CreateFile(dn, core.FileSpec{
+			Name: fmt.Sprintf("%s-file-%03d", project, i),
+			Attributes: []core.Attribute{
+				{Name: "project", Value: core.String(project)},
+				{Name: "index", Value: core.Int(int64(i))},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func TestFederatedQueryOverSOAP(t *testing.T) {
+	// Full stack: three MCS servers behind SOAP, index screening, network
+	// subqueries through the real client.
+	endpoints := map[string]string{}
+	cats := map[string]*core.Catalog{
+		"siteA": newSite(t, "alpha", 5),
+		"siteB": newSite(t, "beta", 5),
+	}
+	for name, cat := range cats {
+		srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		endpoints[name] = ts.URL
+	}
+	ix := federation.NewIndex()
+	for name, cat := range cats {
+		s, err := federation.Summarize(cat, name, 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Update(s, time.Minute)
+	}
+	fc := &federation.Client{
+		Index: ix,
+		Dial: func(name string) (federation.Querier, error) {
+			return mcs.NewClient(endpoints[name], dn), nil
+		},
+	}
+	res, err := fc.Query(core.Query{Predicates: []core.Predicate{
+		{Attribute: "project", Op: core.OpEq, Value: core.String("beta")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names["siteB"]) != 5 || len(res.Names["siteA"]) != 0 {
+		t.Fatalf("names = %v", res.Names)
+	}
+}

@@ -2,11 +2,9 @@ package federation
 
 import (
 	"fmt"
-	"net/http/httptest"
 	"testing"
 	"time"
 
-	"mcs"
 	"mcs/internal/core"
 )
 
@@ -156,48 +154,6 @@ func TestFederatedQueryMergesAndSkips(t *testing.T) {
 	}
 	if got := res.Merged(); len(got) != 15 {
 		t.Fatalf("merged %d names", len(got))
-	}
-}
-
-func TestFederatedQueryOverSOAP(t *testing.T) {
-	// Full stack: three MCS servers behind SOAP, index screening, network
-	// subqueries through the real client.
-	endpoints := map[string]string{}
-	cats := map[string]*core.Catalog{
-		"siteA": newSite(t, "alpha", 5),
-		"siteB": newSite(t, "beta", 5),
-	}
-	for name, cat := range cats {
-		srv, err := mcs.NewServer(mcs.ServerOptions{Catalog: cat})
-		if err != nil {
-			t.Fatal(err)
-		}
-		ts := httptest.NewServer(srv)
-		t.Cleanup(ts.Close)
-		endpoints[name] = ts.URL
-	}
-	ix := NewIndex()
-	for name, cat := range cats {
-		s, err := Summarize(cat, name, 0.001)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ix.Update(s, time.Minute)
-	}
-	fc := &Client{
-		Index: ix,
-		Dial: func(name string) (Querier, error) {
-			return mcs.NewClient(endpoints[name], dn), nil
-		},
-	}
-	res, err := fc.Query(core.Query{Predicates: []core.Predicate{
-		{Attribute: "project", Op: core.OpEq, Value: core.String("beta")},
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Names["siteB"]) != 5 || len(res.Names["siteA"]) != 0 {
-		t.Fatalf("names = %v", res.Names)
 	}
 }
 

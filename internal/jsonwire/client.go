@@ -56,6 +56,18 @@ func NewClient(endpoint string) *Client {
 	}
 }
 
+// NewClientWithHTTP returns a client for endpoint that shares an existing
+// *http.Client (pool, timeout, transport). The shard router points one pool
+// at every backend so scatter fan-out reuses warm connections instead of
+// growing one idle pool per shard.
+func NewClientWithHTTP(endpoint string, h *http.Client) *Client {
+	return &Client{
+		Endpoint:        strings.TrimSuffix(endpoint, "/"),
+		HTTP:            h,
+		RequestIDHeader: obs.RequestIDHeader,
+	}
+}
+
 // TransportError reports a JSON API call that failed without a decodable
 // reply: the request never completed, the connection dropped mid-body, or a
 // non-JSON intermediary answered. Status and Body carry whatever did arrive

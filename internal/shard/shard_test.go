@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMapAndRoute(t *testing.T) {
+	m, err := ParseMap(`
+# experiment shards
+ligo     http://shard-a:8080/
+ligo-s5  http://shard-b:8080
+sdss     http://shard-a:8080
+*        http://shard-c:8080
+`)
+	if err != nil {
+		t.Fatalf("ParseMap: %v", err)
+	}
+	cases := []struct {
+		name, want string
+	}{
+		{"ligo-run1/file.gwf", "http://shard-a:8080"}, // prefix match, trailing / trimmed
+		{"ligo-s5-seg9", "http://shard-b:8080"},       // longest prefix wins
+		{"sdss-dr1", "http://shard-a:8080"},
+		{"unmapped-name", "http://shard-c:8080"}, // catch-all
+	}
+	for _, c := range cases {
+		got, ok := m.Route(c.name)
+		if !ok || got != c.want {
+			t.Errorf("Route(%q) = %q, %v; want %q", c.name, got, ok, c.want)
+		}
+	}
+	eps := m.Endpoints()
+	want := []string{"http://shard-a:8080", "http://shard-b:8080", "http://shard-c:8080"}
+	if len(eps) != len(want) {
+		t.Fatalf("Endpoints = %v, want %v", eps, want)
+	}
+	for i := range want {
+		if eps[i] != want[i] {
+			t.Fatalf("Endpoints = %v, want %v", eps, want)
+		}
+	}
+}
+
+func TestRouteWithoutCatchAll(t *testing.T) {
+	m, err := ParseInline("a=http://x,b=http://y")
+	if err != nil {
+		t.Fatalf("ParseInline: %v", err)
+	}
+	if _, ok := m.Route("zzz"); ok {
+		t.Fatal("Route matched a name with no owning prefix and no catch-all")
+	}
+	if ep, ok := m.Route("b-col"); !ok || ep != "http://y" {
+		t.Fatalf("Route(b-col) = %q, %v", ep, ok)
+	}
+}
+
+func TestParseMapErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                         // empty map
+		"onlyprefix",               // missing endpoint
+		"a http://x\na http://y",   // duplicate prefix
+		"a http://x too-many-cols", // trailing junk
+	} {
+		if _, err := ParseMap(bad); err == nil {
+			t.Errorf("ParseMap(%q) succeeded, want error", bad)
+		}
+	}
+	if _, err := ParseInline("a=http://x,a=http://y"); err == nil {
+		t.Error("ParseInline accepted a duplicate prefix")
+	}
+	if _, err := ParseInline("noequals"); err == nil {
+		t.Error("ParseInline accepted a pair without =")
+	}
+}
+
+func TestPageTokenRoundTrip(t *testing.T) {
+	for _, tok := range []pageToken{
+		{},
+		{Shard: 3},
+		{Shard: 1, Inner: "opaque-shard-cursor=="},
+	} {
+		enc := encodePageToken(tok)
+		got, err := decodePageToken(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", enc, err)
+		}
+		if got != tok {
+			t.Fatalf("round trip %+v -> %+v", tok, got)
+		}
+	}
+	if _, err := decodePageToken("!!not-base64!!"); err == nil {
+		t.Fatal("decodePageToken accepted garbage")
+	}
+	// A shard's own (non-composed) token must not decode by accident into a
+	// valid composed token with the wrong meaning; garbage JSON is rejected.
+	if _, err := decodePageToken("bm90LWpzb24"); err == nil {
+		t.Fatal("decodePageToken accepted non-JSON payload")
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Options{}); err == nil {
+		t.Fatal("NewRouter accepted a nil map")
+	}
+	m, err := ParseInline("a=http://x,b=http://y,*=http://z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(Options{Map: m, DisableMetrics: true})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Stop()
+	// The dispatch table must not mount discoverySummary: the router is not
+	// a catalog, and merged blooms would be meaningless.
+	for _, op := range r.Table().Ops() {
+		if op == "discoverySummary" {
+			t.Fatal("router table mounts discoverySummary")
+		}
+	}
+	if r.Table().Lookup("query") == nil || r.Table().Lookup("createFile") == nil {
+		t.Fatal("router table missing core ops")
+	}
+	if !strings.HasPrefix(r.backends[0].name, "http://") {
+		t.Fatalf("backend name %q", r.backends[0].name)
+	}
+}

@@ -405,6 +405,7 @@ func TestFaultSentinelTableExhaustive(t *testing.T) {
 		"ErrNotEmpty":      ErrNotEmpty,
 		"ErrAmbiguousFile": ErrAmbiguousFile,
 		"ErrUnavailable":   ErrUnavailable,
+		"ErrPartialResult": ErrPartialResult,
 	}
 	// ErrTransport is deliberately absent: it is a client-side diagnosis
 	// (no decodable reply), never a wire fault code.

@@ -9,35 +9,16 @@ import (
 	"reflect"
 	"time"
 
+	"mcs/internal/mcswire"
 	"mcs/internal/obs"
 )
 
 // mutatingActions lists the operations that change catalog state. Retried
 // mutations carry an idempotency key so the server applies them exactly
 // once no matter how many attempts reach it; read-only operations are
-// trivially safe to repeat and need no key.
-var mutatingActions = map[string]bool{
-	"createFile":              true,
-	"updateFile":              true,
-	"deleteFile":              true,
-	"moveFile":                true,
-	"batchWrite":              true,
-	"createCollection":        true,
-	"deleteCollection":        true,
-	"createView":              true,
-	"addToView":               true,
-	"removeFromView":          true,
-	"deleteView":              true,
-	"defineAttribute":         true,
-	"setAttribute":            true,
-	"unsetAttribute":          true,
-	"annotate":                true,
-	"addProvenance":           true,
-	"grant":                   true,
-	"revoke":                  true,
-	"registerWriter":          true,
-	"registerExternalCatalog": true,
-}
+// trivially safe to repeat and need no key. The table lives in
+// internal/mcswire so the shard router shares it.
+var mutatingActions = mcswire.MutatingOps
 
 // Retryable reports whether err is worth retrying: the server said it was
 // temporarily unavailable (ErrUnavailable) or the call failed without a

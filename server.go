@@ -14,16 +14,19 @@ package mcs
 
 import (
 	"crypto/ed25519"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
 	"mcs/internal/core"
 	"mcs/internal/faultinject"
+	"mcs/internal/federation"
 	"mcs/internal/gsi"
 	"mcs/internal/jsonwire"
 	"mcs/internal/mcswire"
@@ -166,6 +169,9 @@ var (
 	ErrNotEmpty      = core.ErrNotEmpty
 	ErrAmbiguousFile = core.ErrAmbiguousFile
 	ErrUnavailable   = core.ErrUnavailable
+	// ErrPartialResult is returned by the shard router when a scatter-gather
+	// operation could not reach every shard it needed.
+	ErrPartialResult = mcswire.ErrPartialResult
 )
 
 // Fault-injection surface, re-exported so chaos harnesses and operators only
@@ -1199,6 +1205,31 @@ func (s *Server) register() {
 		return &mcswire.StatsResponse{
 			Files: st.Files, Collections: st.Collections, Views: st.Views,
 			Attributes: st.Attributes, AttrDefs: st.AttrDefs,
+		}, nil
+	})
+
+	handle(t, "discoverySummary", func(ctx *mcswire.Ctx, req *mcswire.DiscoverySummaryRequest) (*mcswire.DiscoverySummaryResponse, error) {
+		fp := req.FP
+		if fp <= 0 || fp >= 1 {
+			fp = 0.01
+		}
+		sum, err := federation.Summarize(cat, "", fp)
+		if err != nil {
+			return nil, err
+		}
+		bloomJSON, err := json.Marshal(sum.Pairs)
+		if err != nil {
+			return nil, err
+		}
+		attrs := make([]string, 0, len(sum.Attrs))
+		for name := range sum.Attrs {
+			attrs = append(attrs, name)
+		}
+		sort.Strings(attrs)
+		return &mcswire.DiscoverySummaryResponse{
+			Attrs:   attrs,
+			Pairs:   base64.StdEncoding.EncodeToString(bloomJSON),
+			Objects: sum.Objects,
 		}, nil
 	})
 

@@ -123,6 +123,7 @@ func parityScript() []parityStep {
 			return nil, c.DeleteCollection("dst")
 		}},
 		{"stats", func(c *Client) (any, error) { return c.Stats() }},
+		{"discoverySummary", func(c *Client) (any, error) { return c.FetchDiscoverySummary(0.001) }},
 	}
 }
 
